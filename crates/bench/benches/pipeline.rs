@@ -1,0 +1,58 @@
+//! Criterion benchmarks for dataset generation, metrics, and the black-box
+//! baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use difftune::{generate_simulated_dataset, sample_table, ParamSpec};
+use difftune_bhive::corpus::{generate_corpus, CorpusConfig};
+use difftune_bhive::metrics::kendall_tau;
+use difftune_cpu::{default_params, Microarch};
+use difftune_opentuner::{BanditTuner, SearchSpace, TunerConfig};
+use difftune_sim::McaSimulator;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_pipeline(c: &mut Criterion) {
+    c.bench_function("corpus_generate_200_blocks", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            generate_corpus(&CorpusConfig { num_blocks: 200, seed, ..CorpusConfig::default() })
+        })
+    });
+
+    c.bench_function("sample_parameter_table", |b| {
+        let spec = ParamSpec::llvm_mca();
+        let defaults = default_params(Microarch::Haswell);
+        let mut rng = StdRng::seed_from_u64(0);
+        b.iter(|| sample_table(&mut rng, &spec, &defaults))
+    });
+
+    c.bench_function("simulated_dataset_256_samples", |b| {
+        let corpus = generate_corpus(&CorpusConfig { num_blocks: 64, seed: 0, ..CorpusConfig::default() });
+        let blocks: Vec<_> = corpus.into_iter().map(|c| c.block).collect();
+        let simulator = McaSimulator::new(16);
+        let defaults = default_params(Microarch::Haswell);
+        b.iter(|| {
+            generate_simulated_dataset(&simulator, &ParamSpec::llvm_mca(), &defaults, &blocks, 256, 0, 1)
+        })
+    });
+
+    c.bench_function("kendall_tau_10k", |b| {
+        let mut rng = StdRng::seed_from_u64(0);
+        let actual: Vec<f64> = (0..10_000).map(|_| rng.gen_range(0.0..100.0)).collect();
+        let predicted: Vec<f64> = actual.iter().map(|a| a + rng.gen_range(-5.0..5.0)).collect();
+        b.iter(|| kendall_tau(&predicted, &actual))
+    });
+
+    c.bench_function("opentuner_100_iterations_sphere", |b| {
+        b.iter(|| {
+            let space = SearchSpace::uniform(64, 0.0, 5.0);
+            let mut tuner = BanditTuner::new(space, TunerConfig::default());
+            tuner.optimize(|x| x.iter().map(|v| (v - 2.0).powi(2)).sum(), 100)
+        })
+    });
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion benchmarks for the simulators and the reference machine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use difftune_cpu::{default_params, AnalyticalModel, Machine, Microarch};
+use difftune_isa::{BasicBlock, BlockGenerator};
+use difftune_sim::{McaSimulator, Simulator, UopSimulator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn blocks() -> Vec<BasicBlock> {
+    let generator = BlockGenerator::default();
+    let mut rng = StdRng::seed_from_u64(0);
+    (0..32).map(|_| generator.generate_with_len(&mut rng, 8)).collect()
+}
+
+fn bench_simulators(c: &mut Criterion) {
+    let blocks = blocks();
+    let params = default_params(Microarch::Haswell);
+    let mca = McaSimulator::default();
+    let uop = UopSimulator::default();
+    let machine = Machine::new(Microarch::Haswell);
+    let analytical = AnalyticalModel::new(Microarch::Haswell).expect("haswell is supported");
+
+    c.bench_function("mca_predict_8inst_block", |b| {
+        let mut index = 0;
+        b.iter(|| {
+            index = (index + 1) % blocks.len();
+            mca.predict(&params, &blocks[index])
+        })
+    });
+    c.bench_function("uop_predict_8inst_block", |b| {
+        let mut index = 0;
+        b.iter(|| {
+            index = (index + 1) % blocks.len();
+            uop.predict(&params, &blocks[index])
+        })
+    });
+    c.bench_function("reference_machine_measure", |b| {
+        let mut index = 0;
+        b.iter(|| {
+            index = (index + 1) % blocks.len();
+            machine.measure(&blocks[index])
+        })
+    });
+    c.bench_function("analytical_model_predict", |b| {
+        let mut index = 0;
+        b.iter(|| {
+            index = (index + 1) % blocks.len();
+            analytical.predict(&blocks[index])
+        })
+    });
+}
+
+criterion_group!(benches, bench_simulators);
+criterion_main!(benches);

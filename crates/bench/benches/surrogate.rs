@@ -1,0 +1,78 @@
+//! Criterion benchmarks for the surrogate models and training steps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use difftune_cpu::{default_params, Microarch};
+use difftune_isa::{BasicBlock, BlockGenerator};
+use difftune_surrogate::train::{train_with_optimizer, TrainConfig, TrainSample};
+use difftune_surrogate::{
+    block_param_features, global_features, FeatureMlpConfig, FeatureMlpModel, IthemalConfig,
+    IthemalModel, Vocab,
+};
+use difftune_tensor::optim::Adam;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn samples(count: usize) -> Vec<TrainSample> {
+    let generator = BlockGenerator::default();
+    let mut rng = StdRng::seed_from_u64(1);
+    let vocab = Vocab::new();
+    let params = default_params(Microarch::Haswell);
+    (0..count)
+        .map(|i| {
+            let block: BasicBlock = generator.generate_with_len(&mut rng, 5);
+            let tokenized = vocab.tokenize_block(&block);
+            TrainSample {
+                per_inst_features: Some(block_param_features(&params, &tokenized)),
+                global_features: Some(global_features(&params)),
+                block: tokenized,
+                target: 1.0 + (i % 7) as f64,
+            }
+        })
+        .collect()
+}
+
+fn bench_surrogate(c: &mut Criterion) {
+    let data = samples(64);
+    let lstm = IthemalModel::new(IthemalConfig {
+        embed_dim: 16,
+        hidden_dim: 32,
+        instr_layers: 1,
+        block_layers: 1,
+        parameter_inputs: true,
+        seed: 0,
+    });
+    let mlp = FeatureMlpModel::new(FeatureMlpConfig::default());
+
+    c.bench_function("lstm_surrogate_forward", |b| {
+        let sample = &data[0];
+        b.iter(|| {
+            lstm.predict(
+                &sample.block,
+                sample.per_inst_features.as_deref(),
+                sample.global_features.as_ref(),
+            )
+        })
+    });
+    c.bench_function("mlp_surrogate_forward", |b| {
+        let sample = &data[0];
+        b.iter(|| {
+            mlp.predict(
+                &sample.block,
+                sample.per_inst_features.as_deref(),
+                sample.global_features.as_ref(),
+            )
+        })
+    });
+    c.bench_function("mlp_surrogate_train_batch64", |b| {
+        b.iter(|| {
+            let mut model = FeatureMlpModel::new(FeatureMlpConfig::default());
+            let mut adam = Adam::new(1e-3);
+            let config = TrainConfig { epochs: 1, batch_size: 64, threads: 1, ..TrainConfig::default() };
+            train_with_optimizer(&mut model, &data, &config, &mut adam)
+        })
+    });
+}
+
+criterion_group!(benches, bench_surrogate);
+criterion_main!(benches);

@@ -1,0 +1,407 @@
+//! Synthetic corpus generation: applications, categories, and block sampling.
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Geometric};
+use serde::{Deserialize, Serialize};
+
+use difftune_isa::{BasicBlock, BlockGenerator, GeneratorConfig, OpClass};
+
+/// Source applications mirroring the BHive corpus (Table V).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Application {
+    OpenBlas,
+    Redis,
+    Sqlite,
+    Gzip,
+    TensorFlow,
+    ClangLlvm,
+    Eigen,
+    Embree,
+    Ffmpeg,
+}
+
+impl Application {
+    /// All applications, in the order used by Table V.
+    pub const ALL: [Application; 9] = [
+        Application::OpenBlas,
+        Application::Redis,
+        Application::Sqlite,
+        Application::Gzip,
+        Application::TensorFlow,
+        Application::ClangLlvm,
+        Application::Eigen,
+        Application::Embree,
+        Application::Ffmpeg,
+    ];
+
+    /// Display name as used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Application::OpenBlas => "OpenBLAS",
+            Application::Redis => "Redis",
+            Application::Sqlite => "SQLite",
+            Application::Gzip => "GZip",
+            Application::TensorFlow => "TensorFlow",
+            Application::ClangLlvm => "Clang/LLVM",
+            Application::Eigen => "Eigen",
+            Application::Embree => "Embree",
+            Application::Ffmpeg => "FFmpeg",
+        }
+    }
+
+    /// The relative share of the corpus drawn from this application, roughly
+    /// matching the block counts in Table V (Clang/LLVM dominates).
+    pub fn corpus_weight(self) -> f64 {
+        match self {
+            Application::OpenBlas => 5.0,
+            Application::Redis => 3.0,
+            Application::Sqlite => 2.5,
+            Application::Gzip => 0.7,
+            Application::TensorFlow => 21.0,
+            Application::ClangLlvm => 60.0,
+            Application::Eigen => 1.3,
+            Application::Embree => 3.5,
+            Application::Ffmpeg => 5.0,
+        }
+    }
+
+    /// The instruction-mix profile used to generate blocks for this application.
+    pub fn profile(self) -> GeneratorConfig {
+        let weights = match self {
+            // Dense numeric kernels: vector and FP heavy, some FMA.
+            Application::OpenBlas | Application::Eigen => vec![
+                (OpClass::IntAlu, 10.0),
+                (OpClass::Mov, 10.0),
+                (OpClass::Lea, 4.0),
+                (OpClass::VecMov, 18.0),
+                (OpClass::VecAlu, 8.0),
+                (OpClass::VecShuffle, 6.0),
+                (OpClass::FpAdd, 14.0),
+                (OpClass::FpMul, 14.0),
+                (OpClass::Fma, 12.0),
+                (OpClass::FpDiv, 1.0),
+                (OpClass::Convert, 2.0),
+                (OpClass::Shift, 1.0),
+            ],
+            // Ray tracing / media: vector integer plus FP, shuffles.
+            Application::Embree | Application::Ffmpeg => vec![
+                (OpClass::IntAlu, 15.0),
+                (OpClass::Mov, 14.0),
+                (OpClass::Lea, 4.0),
+                (OpClass::Shift, 4.0),
+                (OpClass::VecMov, 14.0),
+                (OpClass::VecAlu, 14.0),
+                (OpClass::VecMul, 6.0),
+                (OpClass::VecShuffle, 10.0),
+                (OpClass::FpAdd, 7.0),
+                (OpClass::FpMul, 6.0),
+                (OpClass::Fma, 3.0),
+                (OpClass::Convert, 3.0),
+            ],
+            // TensorFlow: a blend of numeric kernels and framework scalar code.
+            Application::TensorFlow => vec![
+                (OpClass::IntAlu, 20.0),
+                (OpClass::Mov, 20.0),
+                (OpClass::Lea, 6.0),
+                (OpClass::Shift, 3.0),
+                (OpClass::Stack, 3.0),
+                (OpClass::VecMov, 12.0),
+                (OpClass::VecAlu, 6.0),
+                (OpClass::FpAdd, 10.0),
+                (OpClass::FpMul, 10.0),
+                (OpClass::Fma, 5.0),
+                (OpClass::Convert, 2.0),
+                (OpClass::BitScan, 1.0),
+            ],
+            // Pointer-chasing scalar server code.
+            Application::Redis | Application::Sqlite | Application::ClangLlvm => vec![
+                (OpClass::IntAlu, 34.0),
+                (OpClass::Mov, 30.0),
+                (OpClass::Lea, 8.0),
+                (OpClass::Shift, 5.0),
+                (OpClass::Stack, 6.0),
+                (OpClass::IntMul, 1.5),
+                (OpClass::IntDiv, 0.3),
+                (OpClass::BitScan, 1.5),
+                (OpClass::VecMov, 3.0),
+                (OpClass::FpAdd, 0.5),
+            ],
+            // Compression: tight scalar loops with shifts and memory traffic.
+            Application::Gzip => vec![
+                (OpClass::IntAlu, 36.0),
+                (OpClass::Mov, 26.0),
+                (OpClass::Lea, 6.0),
+                (OpClass::Shift, 14.0),
+                (OpClass::BitScan, 3.0),
+                (OpClass::Stack, 2.0),
+                (OpClass::IntMul, 1.0),
+            ],
+        };
+        let mem_operand_prob = match self {
+            Application::Redis | Application::Sqlite | Application::ClangLlvm => 0.45,
+            Application::Gzip => 0.4,
+            Application::OpenBlas | Application::Eigen => 0.3,
+            _ => 0.35,
+        };
+        GeneratorConfig {
+            class_weights: weights,
+            mem_operand_prob,
+            dependency_prob: 0.45,
+            min_len: 1,
+            max_len: 64,
+        }
+    }
+}
+
+impl fmt::Display for Application {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Hardware-resource categories from Chen et al. (Table V, bottom half).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Category {
+    /// Scalar ALU operations only.
+    Scalar,
+    /// Purely vector instructions.
+    Vec,
+    /// Scalar and vector arithmetic mixed.
+    ScalarVec,
+    /// Mostly loads.
+    Ld,
+    /// Mostly stores.
+    St,
+    /// A mix of loads and stores.
+    LdSt,
+}
+
+impl Category {
+    /// All categories in Table V order.
+    pub const ALL: [Category; 6] =
+        [Category::Scalar, Category::Vec, Category::ScalarVec, Category::Ld, Category::St, Category::LdSt];
+
+    /// Display name as used in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            Category::Scalar => "Scalar",
+            Category::Vec => "Vec",
+            Category::ScalarVec => "Scalar/Vec",
+            Category::Ld => "Ld",
+            Category::St => "St",
+            Category::LdSt => "Ld/St",
+        }
+    }
+
+    /// Classifies a block by the hardware resources it exercises.
+    pub fn classify(block: &BasicBlock) -> Category {
+        let loads = block.num_loads();
+        let stores = block.num_stores();
+        let vector = block.num_vector_insts();
+        let scalar = block.len() - vector;
+        if loads == 0 && stores == 0 {
+            if vector == 0 {
+                Category::Scalar
+            } else if scalar == 0 {
+                Category::Vec
+            } else {
+                Category::ScalarVec
+            }
+        } else if stores == 0 {
+            Category::Ld
+        } else if loads == 0 {
+            Category::St
+        } else {
+            Category::LdSt
+        }
+    }
+}
+
+impl fmt::Display for Category {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Configuration for corpus generation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorpusConfig {
+    /// Total number of blocks to generate (before deduplication).
+    pub num_blocks: usize,
+    /// Seed for the corpus generator.
+    pub seed: u64,
+    /// Maximum block length (BHive's maximum is 256).
+    pub max_len: usize,
+    /// Mean of the geometric length distribution (BHive's mean is ~4.9,
+    /// median 3).
+    pub mean_len: f64,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        CorpusConfig { num_blocks: 10_000, seed: 0, max_len: 64, mean_len: 4.9 }
+    }
+}
+
+/// A generated block together with its source applications.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorpusBlock {
+    /// The basic block.
+    pub block: BasicBlock,
+    /// Source applications (usually one; occasionally shared between two, as
+    /// in BHive where identical blocks appear in several applications).
+    pub apps: Vec<Application>,
+    /// The hardware-resource category.
+    pub category: Category,
+}
+
+/// Generates a corpus of unique blocks with application labels.
+pub fn generate_corpus(config: &CorpusConfig) -> Vec<CorpusBlock> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let generators: Vec<(Application, BlockGenerator)> = Application::ALL
+        .iter()
+        .map(|&app| (app, BlockGenerator::new(app.profile())))
+        .collect();
+    let total_weight: f64 = Application::ALL.iter().map(|a| a.corpus_weight()).sum();
+    // Geometric length distribution shifted to start at 1.
+    let p = 1.0 / config.mean_len.max(1.1);
+    let length_dist = Geometric::new(p).expect("valid geometric parameter");
+
+    let mut seen = std::collections::HashSet::new();
+    let mut corpus = Vec::with_capacity(config.num_blocks);
+    let mut attempts = 0usize;
+    while corpus.len() < config.num_blocks && attempts < config.num_blocks * 20 {
+        attempts += 1;
+        // Pick an application by corpus weight.
+        let mut target = rng.gen_range(0.0..total_weight);
+        let mut chosen = 0usize;
+        for (i, (app, _)) in generators.iter().enumerate() {
+            let w = app.corpus_weight();
+            if target < w {
+                chosen = i;
+                break;
+            }
+            target -= w;
+        }
+        let (app, generator) = &generators[chosen];
+        let len = (1 + length_dist.sample(&mut rng) as usize).min(config.max_len);
+        let block = generator.generate_with_len(&mut rng, len);
+        let text = block.to_string();
+        if !seen.insert(text) {
+            continue;
+        }
+        let mut apps = vec![*app];
+        // A small fraction of blocks are shared between applications.
+        if rng.gen_bool(0.05) {
+            let other = Application::ALL[rng.gen_range(0..Application::ALL.len())];
+            if other != *app {
+                apps.push(other);
+            }
+        }
+        let category = Category::classify(&block);
+        corpus.push(CorpusBlock { block, apps, category });
+    }
+    corpus
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_has_requested_size_and_unique_blocks() {
+        let config = CorpusConfig { num_blocks: 500, seed: 1, ..CorpusConfig::default() };
+        let corpus = generate_corpus(&config);
+        assert_eq!(corpus.len(), 500);
+        let unique: std::collections::HashSet<String> =
+            corpus.iter().map(|b| b.block.to_string()).collect();
+        assert_eq!(unique.len(), corpus.len(), "blocks must be unique");
+    }
+
+    #[test]
+    fn corpus_generation_is_deterministic() {
+        let config = CorpusConfig { num_blocks: 100, seed: 7, ..CorpusConfig::default() };
+        let a = generate_corpus(&config);
+        let b = generate_corpus(&config);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn length_distribution_is_bhive_like() {
+        let config = CorpusConfig { num_blocks: 2000, seed: 3, ..CorpusConfig::default() };
+        let corpus = generate_corpus(&config);
+        let mut lens: Vec<usize> = corpus.iter().map(|b| b.block.len()).collect();
+        lens.sort_unstable();
+        let median = lens[lens.len() / 2];
+        let mean = lens.iter().sum::<usize>() as f64 / lens.len() as f64;
+        assert!((2..=5).contains(&median), "median length should be small like BHive's 3, got {median}");
+        assert!(mean > median as f64 * 0.8, "mean should exceed the median (long tail), got {mean}");
+        assert!(*lens.last().unwrap() <= config.max_len);
+        assert_eq!(*lens.first().unwrap(), 1);
+    }
+
+    #[test]
+    fn applications_have_distinct_profiles() {
+        let blas = Application::OpenBlas.profile();
+        let redis = Application::Redis.profile();
+        let blas_fp: f64 = blas
+            .class_weights
+            .iter()
+            .filter(|(c, _)| c.is_vector())
+            .map(|(_, w)| w)
+            .sum();
+        let redis_fp: f64 = redis
+            .class_weights
+            .iter()
+            .filter(|(c, _)| c.is_vector())
+            .map(|(_, w)| w)
+            .sum();
+        assert!(blas_fp > redis_fp * 3.0, "OpenBLAS must be far more vector-heavy than Redis");
+    }
+
+    #[test]
+    fn every_application_appears_in_a_large_corpus() {
+        let config = CorpusConfig { num_blocks: 3000, seed: 5, ..CorpusConfig::default() };
+        let corpus = generate_corpus(&config);
+        for app in Application::ALL {
+            let count = corpus.iter().filter(|b| b.apps.contains(&app)).count();
+            assert!(count > 0, "{app} missing from corpus");
+        }
+        // Clang/LLVM should dominate, as in Table V.
+        let clang = corpus.iter().filter(|b| b.apps.contains(&Application::ClangLlvm)).count();
+        let gzip = corpus.iter().filter(|b| b.apps.contains(&Application::Gzip)).count();
+        assert!(clang > gzip * 5);
+    }
+
+    #[test]
+    fn category_classification_rules() {
+        let scalar: BasicBlock = "addq %rax, %rbx\nsubq %rcx, %rdx".parse().unwrap();
+        assert_eq!(Category::classify(&scalar), Category::Scalar);
+        let vec: BasicBlock = "addps %xmm1, %xmm0\nmulps %xmm2, %xmm3".parse().unwrap();
+        assert_eq!(Category::classify(&vec), Category::Vec);
+        let mixed: BasicBlock = "addq %rax, %rbx\naddps %xmm1, %xmm0".parse().unwrap();
+        assert_eq!(Category::classify(&mixed), Category::ScalarVec);
+        let load: BasicBlock = "movq (%rdi), %rax".parse().unwrap();
+        assert_eq!(Category::classify(&load), Category::Ld);
+        let store: BasicBlock = "movq %rax, (%rdi)".parse().unwrap();
+        assert_eq!(Category::classify(&store), Category::St);
+        let both: BasicBlock = "movq (%rdi), %rax\nmovq %rax, 8(%rdi)".parse().unwrap();
+        assert_eq!(Category::classify(&both), Category::LdSt);
+    }
+
+    #[test]
+    fn every_category_appears_in_a_large_corpus() {
+        let config = CorpusConfig { num_blocks: 5000, seed: 11, ..CorpusConfig::default() };
+        let corpus = generate_corpus(&config);
+        for category in Category::ALL {
+            assert!(
+                corpus.iter().any(|b| b.category == category),
+                "category {category} missing from corpus"
+            );
+        }
+    }
+}

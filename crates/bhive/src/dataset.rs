@@ -1,0 +1,311 @@
+//! Measured datasets: corpus + ground truth timings + splits + evaluation.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use difftune_cpu::{Machine, Microarch};
+use difftune_isa::BasicBlock;
+
+use crate::corpus::{generate_corpus, Application, Category, CorpusConfig};
+use crate::metrics::{kendall_tau, mape};
+
+/// Which split a record belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Split {
+    /// 80% of the corpus, used to optimize parameters.
+    Train,
+    /// 10% of the corpus, used for development decisions.
+    Validation,
+    /// 10% of the corpus, used for the numbers reported in tables.
+    Test,
+}
+
+/// One measured basic block.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Record {
+    /// The basic block.
+    pub block: BasicBlock,
+    /// The measured timing (cycles per iteration) on the dataset's machine.
+    pub timing: f64,
+    /// Source applications.
+    pub apps: Vec<Application>,
+    /// Hardware-resource category.
+    pub category: Category,
+    /// The split this record belongs to.
+    pub split: Split,
+}
+
+/// Table III-style summary statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetSummary {
+    /// Number of blocks per split (train, validation, test).
+    pub split_sizes: (usize, usize, usize),
+    /// Minimum block length.
+    pub min_block_len: usize,
+    /// Median block length.
+    pub median_block_len: usize,
+    /// Mean block length.
+    pub mean_block_len: f64,
+    /// Maximum block length.
+    pub max_block_len: usize,
+    /// Median measured timing (the paper reports this per microarchitecture,
+    /// scaled by 100 iterations).
+    pub median_timing: f64,
+    /// Number of distinct opcodes appearing anywhere in the corpus.
+    pub unique_opcodes: usize,
+    /// Number of distinct opcodes appearing in the training split.
+    pub unique_opcodes_train: usize,
+    /// Number of distinct opcodes appearing in the test split.
+    pub unique_opcodes_test: usize,
+}
+
+/// A measured dataset for one microarchitecture.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    uarch: Microarch,
+    records: Vec<Record>,
+}
+
+impl Dataset {
+    /// Generates a corpus, measures every block on the reference machine for
+    /// `uarch`, and splits it 80/10/10 (block-wise disjoint by construction,
+    /// since the corpus contains no duplicate blocks).
+    pub fn build(uarch: Microarch, config: &CorpusConfig) -> Self {
+        let corpus = generate_corpus(config);
+        let machine = Machine::new(uarch);
+
+        // Measure in parallel: measurement is pure per-block work.
+        let num_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(16);
+        let timings: Vec<f64> = if corpus.len() < 256 || num_threads == 1 {
+            corpus.iter().map(|b| machine.measure(&b.block)).collect()
+        } else {
+            let mut timings = vec![0.0; corpus.len()];
+            let chunk = corpus.len().div_ceil(num_threads);
+            crossbeam::thread::scope(|scope| {
+                for (blocks, out) in corpus.chunks(chunk).zip(timings.chunks_mut(chunk)) {
+                    let machine = &machine;
+                    scope.spawn(move |_| {
+                        for (record, slot) in blocks.iter().zip(out.iter_mut()) {
+                            *slot = machine.measure(&record.block);
+                        }
+                    });
+                }
+            })
+            .expect("measurement threads do not panic");
+            timings
+        };
+
+        let n = corpus.len();
+        let train_end = n * 8 / 10;
+        let valid_end = n * 9 / 10;
+        let records = corpus
+            .into_iter()
+            .zip(timings)
+            .enumerate()
+            .map(|(i, (corpus_block, timing))| Record {
+                block: corpus_block.block,
+                timing,
+                apps: corpus_block.apps,
+                category: corpus_block.category,
+                split: if i < train_end {
+                    Split::Train
+                } else if i < valid_end {
+                    Split::Validation
+                } else {
+                    Split::Test
+                },
+            })
+            .collect();
+        Dataset { uarch, records }
+    }
+
+    /// The microarchitecture this dataset was measured on.
+    pub fn uarch(&self) -> Microarch {
+        self.uarch
+    }
+
+    /// All records.
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// Total number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if the dataset holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Records in a given split.
+    pub fn split(&self, split: Split) -> Vec<&Record> {
+        self.records.iter().filter(|r| r.split == split).collect()
+    }
+
+    /// The training split.
+    pub fn train(&self) -> Vec<&Record> {
+        self.split(Split::Train)
+    }
+
+    /// The validation split.
+    pub fn validation(&self) -> Vec<&Record> {
+        self.split(Split::Validation)
+    }
+
+    /// The test split.
+    pub fn test(&self) -> Vec<&Record> {
+        self.split(Split::Test)
+    }
+
+    /// Table III-style summary statistics.
+    pub fn summary(&self) -> DatasetSummary {
+        let mut lens: Vec<usize> = self.records.iter().map(|r| r.block.len()).collect();
+        lens.sort_unstable();
+        let mut timings: Vec<f64> = self.records.iter().map(|r| r.timing).collect();
+        timings.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let unique = |records: &[&Record]| -> usize {
+            let mut set = std::collections::HashSet::new();
+            for r in records {
+                for op in r.block.opcodes_used() {
+                    set.insert(op);
+                }
+            }
+            set.len()
+        };
+        let all: Vec<&Record> = self.records.iter().collect();
+        DatasetSummary {
+            split_sizes: (self.train().len(), self.validation().len(), self.test().len()),
+            min_block_len: lens.first().copied().unwrap_or(0),
+            median_block_len: lens.get(lens.len() / 2).copied().unwrap_or(0),
+            mean_block_len: if lens.is_empty() { 0.0 } else { lens.iter().sum::<usize>() as f64 / lens.len() as f64 },
+            max_block_len: lens.last().copied().unwrap_or(0),
+            median_timing: timings.get(timings.len() / 2).copied().unwrap_or(0.0),
+            unique_opcodes: unique(&all),
+            unique_opcodes_train: unique(&self.train()),
+            unique_opcodes_test: unique(&self.test()),
+        }
+    }
+
+    /// Evaluates a predictor on a set of records, returning
+    /// `(error, kendall_tau)` where error is the mean absolute percentage
+    /// error defined in the paper.
+    pub fn evaluate<'a, F>(records: &[&'a Record], mut predict: F) -> (f64, f64)
+    where
+        F: FnMut(&'a BasicBlock) -> f64,
+    {
+        let predictions: Vec<f64> = records.iter().map(|r| predict(&r.block)).collect();
+        let actuals: Vec<f64> = records.iter().map(|r| r.timing).collect();
+        (mape(&predictions, &actuals), kendall_tau(&predictions, &actuals))
+    }
+
+    /// Per-application error of a predictor over a set of records (Table V, top).
+    pub fn error_by_application<'a, F>(records: &[&'a Record], mut predict: F) -> BTreeMap<Application, (usize, f64)>
+    where
+        F: FnMut(&'a BasicBlock) -> f64,
+    {
+        let mut grouped: BTreeMap<Application, (Vec<f64>, Vec<f64>)> = BTreeMap::new();
+        for record in records {
+            let prediction = predict(&record.block);
+            for &app in &record.apps {
+                let entry = grouped.entry(app).or_default();
+                entry.0.push(prediction);
+                entry.1.push(record.timing);
+            }
+        }
+        grouped
+            .into_iter()
+            .map(|(app, (preds, actuals))| (app, (preds.len(), mape(&preds, &actuals))))
+            .collect()
+    }
+
+    /// Per-category error of a predictor over a set of records (Table V, bottom).
+    pub fn error_by_category<'a, F>(records: &[&'a Record], mut predict: F) -> BTreeMap<Category, (usize, f64)>
+    where
+        F: FnMut(&'a BasicBlock) -> f64,
+    {
+        let mut grouped: BTreeMap<Category, (Vec<f64>, Vec<f64>)> = BTreeMap::new();
+        for record in records {
+            let prediction = predict(&record.block);
+            let entry = grouped.entry(record.category).or_default();
+            entry.0.push(prediction);
+            entry.1.push(record.timing);
+        }
+        grouped
+            .into_iter()
+            .map(|(category, (preds, actuals))| (category, (preds.len(), mape(&preds, &actuals))))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_dataset() -> Dataset {
+        let config = CorpusConfig { num_blocks: 400, seed: 2, ..CorpusConfig::default() };
+        Dataset::build(Microarch::Haswell, &config)
+    }
+
+    #[test]
+    fn splits_partition_the_dataset() {
+        let dataset = small_dataset();
+        let summary = dataset.summary();
+        let (train, valid, test) = summary.split_sizes;
+        assert_eq!(train + valid + test, dataset.len());
+        assert!(train >= 8 * valid - 8, "train should be ~8x validation");
+        assert!(valid > 0 && test > 0);
+    }
+
+    #[test]
+    fn splits_are_blockwise_disjoint() {
+        let dataset = small_dataset();
+        let train: std::collections::HashSet<String> =
+            dataset.train().iter().map(|r| r.block.to_string()).collect();
+        for record in dataset.test() {
+            assert!(!train.contains(&record.block.to_string()));
+        }
+    }
+
+    #[test]
+    fn all_timings_are_positive() {
+        let dataset = small_dataset();
+        assert!(dataset.records().iter().all(|r| r.timing > 0.0));
+    }
+
+    #[test]
+    fn evaluation_of_perfect_predictor_is_zero_error() {
+        let dataset = small_dataset();
+        let test = dataset.test();
+        let lookup: std::collections::HashMap<String, f64> =
+            test.iter().map(|r| (r.block.to_string(), r.timing)).collect();
+        let (error, tau) = Dataset::evaluate(&test, |block| lookup[&block.to_string()]);
+        assert!(error < 1e-12);
+        assert!(tau > 0.99);
+    }
+
+    #[test]
+    fn per_application_and_category_groups_cover_all_records() {
+        let dataset = small_dataset();
+        let test = dataset.test();
+        let by_app = Dataset::error_by_application(&test, |b| b.len() as f64);
+        let by_cat = Dataset::error_by_category(&test, |b| b.len() as f64);
+        assert!(!by_app.is_empty());
+        assert!(!by_cat.is_empty());
+        let cat_total: usize = by_cat.values().map(|(count, _)| count).sum();
+        assert_eq!(cat_total, test.len());
+    }
+
+    #[test]
+    fn summary_matches_bhive_shape() {
+        let dataset = small_dataset();
+        let summary = dataset.summary();
+        assert_eq!(summary.min_block_len, 1);
+        assert!(summary.median_block_len <= 6);
+        assert!(summary.mean_block_len >= summary.median_block_len as f64 * 0.8);
+        assert!(summary.unique_opcodes_train <= summary.unique_opcodes);
+        assert!(summary.unique_opcodes > 50);
+    }
+}

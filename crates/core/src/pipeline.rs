@@ -1,0 +1,390 @@
+//! The end-to-end DiffTune driver (Figure 1).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use difftune_isa::{BasicBlock, OpcodeId};
+use difftune_sim::{SimParams, Simulator};
+use difftune_surrogate::train::{train, TrainConfig, TrainReport};
+use difftune_surrogate::{
+    FeatureMlpConfig, FeatureMlpModel, IthemalConfig, IthemalModel, SurrogateModel, TokenizedBlock,
+    Vocab,
+};
+use difftune_tensor::optim::{Adam, Optimizer};
+use difftune_tensor::{Grads, Graph, Tensor};
+
+use crate::sampling::sample_table;
+use crate::simdata::generate_simulated_dataset;
+use crate::spec::ParamSpec;
+use crate::theta::ThetaTable;
+
+/// Which surrogate family to use.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SurrogateKind {
+    /// The Ithemal-style LSTM surrogate from the paper (Figure 3).
+    Lstm(IthemalConfig),
+    /// The fast feature-MLP surrogate (used for ablations and quick runs).
+    Mlp(FeatureMlpConfig),
+}
+
+/// Configuration of a DiffTune run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffTuneConfig {
+    /// Which surrogate family to train.
+    pub surrogate: SurrogateKind,
+    /// Size of the simulated dataset as a multiple of the training set (the
+    /// paper uses 10×).
+    pub simulated_multiplier: f64,
+    /// Hard cap on the simulated dataset size (keeps laptop-scale runs fast).
+    pub max_simulated: usize,
+    /// Surrogate training hyperparameters (Equation 2; the paper uses Adam
+    /// with learning rate 1e-3 and batch size 256).
+    pub surrogate_train: TrainConfig,
+    /// Learning rate for the parameter table (Equation 3; the paper uses 0.05).
+    pub table_learning_rate: f32,
+    /// Epochs of parameter-table training over the ground-truth training set
+    /// (the paper uses 1).
+    pub table_epochs: usize,
+    /// Batch size for parameter-table training.
+    pub table_batch_size: usize,
+    /// Keep θ inside the sampling distribution's range during optimization
+    /// (the surrogate is only trained inside that region; see Section VII).
+    pub clamp_to_sampling: bool,
+    /// Random seed.
+    pub seed: u64,
+    /// Worker threads (0 = all cores).
+    pub threads: usize,
+}
+
+impl Default for DiffTuneConfig {
+    /// A laptop-scale configuration using the fast feature-MLP surrogate; the
+    /// paper-faithful LSTM surrogate is selected by the benchmark binaries via
+    /// [`SurrogateKind::Lstm`].
+    fn default() -> Self {
+        DiffTuneConfig {
+            surrogate: SurrogateKind::Mlp(FeatureMlpConfig::default()),
+            simulated_multiplier: 5.0,
+            max_simulated: 60_000,
+            surrogate_train: TrainConfig { epochs: 3, ..TrainConfig::default() },
+            table_learning_rate: 0.05,
+            table_epochs: 1,
+            table_batch_size: 256,
+            clamp_to_sampling: true,
+            seed: 0,
+            threads: 0,
+        }
+    }
+}
+
+/// The outcome of a DiffTune run.
+#[derive(Debug)]
+pub struct DiffTuneResult {
+    /// The learned parameter table, ready to plug back into the simulator.
+    pub learned: SimParams,
+    /// The randomly initialized table the optimization started from.
+    pub initial: SimParams,
+    /// Surrogate training statistics (Equation 2).
+    pub surrogate_report: TrainReport,
+    /// Mean parameter-table training loss per epoch (Equation 3).
+    pub table_losses: Vec<f64>,
+    /// The trained surrogate (useful for analyses such as Figure 2).
+    pub surrogate: Box<dyn SurrogateModel>,
+    /// Number of learned scalar parameters.
+    pub num_learned_parameters: usize,
+}
+
+/// The DiffTune optimization driver.
+#[derive(Debug, Clone)]
+pub struct DiffTune {
+    config: DiffTuneConfig,
+}
+
+impl DiffTune {
+    /// Creates a driver with the given configuration.
+    pub fn new(config: DiffTuneConfig) -> Self {
+        DiffTune { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DiffTuneConfig {
+        &self.config
+    }
+
+    /// Builds (but does not train) the configured surrogate.
+    pub fn build_surrogate(&self) -> Box<dyn SurrogateModel> {
+        match self.config.surrogate {
+            SurrogateKind::Lstm(config) => Box::new(IthemalModel::new(config)),
+            SurrogateKind::Mlp(config) => Box::new(FeatureMlpModel::new(config)),
+        }
+    }
+
+    /// Runs the full DiffTune pipeline against a simulator and a ground-truth
+    /// training set of `(block, measured timing)` pairs.
+    pub fn run(
+        &self,
+        simulator: &dyn Simulator,
+        spec: &ParamSpec,
+        defaults: &SimParams,
+        train_set: &[(BasicBlock, f64)],
+    ) -> DiffTuneResult {
+        assert!(!train_set.is_empty(), "DiffTune needs a non-empty training set");
+        let blocks: Vec<BasicBlock> =
+            train_set.iter().filter(|(b, _)| !b.is_empty()).map(|(b, _)| b.clone()).collect();
+
+        // Step 2 (Figure 1): simulated dataset.
+        let simulated_size = ((blocks.len() as f64 * self.config.simulated_multiplier) as usize)
+            .clamp(1, self.config.max_simulated);
+        let simulated = generate_simulated_dataset(
+            simulator,
+            spec,
+            defaults,
+            &blocks,
+            simulated_size,
+            self.config.seed,
+            self.config.threads,
+        );
+
+        // Step 3: train the surrogate to mimic the simulator.
+        let mut surrogate = self.build_surrogate();
+        let surrogate_report = train(&mut surrogate, &simulated, &self.config.surrogate_train);
+
+        // Step 4: train the parameter table through the frozen surrogate.
+        let (theta, table_losses, initial) =
+            self.train_table(&surrogate, spec, defaults, train_set);
+
+        DiffTuneResult {
+            learned: theta.to_sim_params(),
+            initial,
+            surrogate_report,
+            table_losses,
+            surrogate,
+            num_learned_parameters: spec.num_learned(defaults.num_opcodes()),
+        }
+    }
+
+    /// Equation 3: gradient descent on θ through the frozen surrogate.
+    fn train_table(
+        &self,
+        surrogate: &Box<dyn SurrogateModel>,
+        spec: &ParamSpec,
+        defaults: &SimParams,
+        train_set: &[(BasicBlock, f64)],
+    ) -> (ThetaTable, Vec<f64>, SimParams) {
+        let mut rng = StdRng::seed_from_u64(self.config.seed.wrapping_add(1));
+        let default_theta = ThetaTable::from_table(defaults);
+
+        // Initialize the table to a random sample from the sampling
+        // distribution (Section IV), keeping unlearned entries at the defaults.
+        let initial_table = sample_table(&mut rng, spec, defaults);
+        let mut theta = ThetaTable::from_table(&initial_table);
+        theta.freeze_unlearned(spec, &default_theta);
+        let initial = theta.to_sim_params();
+
+        // The optimization store: frozen surrogate weights plus θ. Only θ ever
+        // receives optimizer updates.
+        let mut store = surrogate.params().clone();
+        let theta_id = store.add("difftune.theta", theta.tensor());
+        let mut optimizer = Adam::new(self.config.table_learning_rate);
+
+        let vocab = Vocab::new();
+        let samples: Vec<(TokenizedBlock, Vec<OpcodeId>, f64)> = train_set
+            .iter()
+            .filter(|(block, _)| !block.is_empty())
+            .map(|(block, timing)| {
+                let tokenized = vocab.tokenize_block(block);
+                let opcodes = tokenized.insts.iter().map(|inst| inst.opcode).collect();
+                (tokenized, opcodes, *timing)
+            })
+            .collect();
+
+        let threads = if self.config.threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            self.config.threads
+        };
+
+        let mut order: Vec<usize> = (0..samples.len()).collect();
+        let mut losses = Vec::with_capacity(self.config.table_epochs);
+        for _ in 0..self.config.table_epochs {
+            order.shuffle(&mut rng);
+            let mut epoch_loss = 0.0;
+            for batch in order.chunks(self.config.table_batch_size) {
+                let seed = 1.0 / batch.len() as f32;
+                let batch_refs: Vec<&(TokenizedBlock, Vec<OpcodeId>, f64)> =
+                    batch.iter().map(|&i| &samples[i]).collect();
+
+                let grad_of = |shard: &[&(TokenizedBlock, Vec<OpcodeId>, f64)]| -> (f64, Grads) {
+                    let mut grads = Grads::new(&store);
+                    let mut loss_total = 0.0;
+                    for (block, opcodes, timing) in shard.iter().copied() {
+                        let mut graph = Graph::new(&store);
+                        let theta_var = graph.param(theta_id);
+                        let (features, global) =
+                            ThetaTable::feature_vars(&mut graph, theta_var, opcodes);
+                        let prediction =
+                            surrogate.forward(&mut graph, block, Some(&features), Some(global));
+                        let target = timing.max(1e-3) as f32;
+                        let target_var = graph.input(Tensor::scalar(target));
+                        let diff = graph.sub(prediction, target_var);
+                        let abs = graph.abs(diff);
+                        let loss = graph.scale(abs, 1.0 / target);
+                        loss_total += f64::from(graph.value(loss)[0]);
+                        graph.backward_scaled(loss, &mut grads, seed);
+                    }
+                    (loss_total, grads)
+                };
+
+                let (batch_loss, grads) = if threads <= 1 || batch_refs.len() < 8 {
+                    grad_of(&batch_refs)
+                } else {
+                    let chunk = batch_refs.len().div_ceil(threads);
+                    let results: Vec<(f64, Grads)> = crossbeam::thread::scope(|scope| {
+                        let handles: Vec<_> = batch_refs
+                            .chunks(chunk)
+                            .map(|shard| scope.spawn(|_| grad_of(shard)))
+                            .collect();
+                        handles
+                            .into_iter()
+                            .map(|h| h.join().expect("table-training worker panicked"))
+                            .collect()
+                    })
+                    .expect("table-training scope");
+                    let mut total = 0.0;
+                    let mut merged = Grads::new(&store);
+                    for (loss, local) in results {
+                        total += loss;
+                        merged.merge(&local);
+                    }
+                    (total, merged)
+                };
+
+                // Keep the surrogate frozen: only θ's gradient reaches the optimizer.
+                let mut theta_grads = Grads::new(&store);
+                if let Some(grad) = grads.get(theta_id) {
+                    theta_grads.accumulate(theta_id, grad, 1.0);
+                }
+                optimizer.step(&mut store, &theta_grads);
+
+                // Restore any frozen entries to their default values and keep
+                // the learned entries inside the surrogate's training region.
+                let mut updated = ThetaTable::from_tensor(store.get(theta_id));
+                if self.config.clamp_to_sampling {
+                    updated.clamp_to_sampling(spec);
+                }
+                updated.freeze_unlearned(spec, &default_theta);
+                *store.get_mut(theta_id) = updated.tensor();
+
+                epoch_loss += batch_loss;
+            }
+            losses.push(epoch_loss / samples.len().max(1) as f64);
+        }
+
+        let final_theta = ThetaTable::from_tensor(store.get(theta_id));
+        (final_theta, losses, initial)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use difftune_sim::{McaSimulator, Simulator};
+
+    fn tiny_train_set(simulator: &McaSimulator, truth: &SimParams) -> Vec<(BasicBlock, f64)> {
+        [
+            "addq %rax, %rbx",
+            "addq %rax, %rbx\naddq %rbx, %rcx",
+            "imulq %rbx, %rcx\naddq %rcx, %rax",
+            "movq (%rdi), %rax\naddq %rax, %rbx",
+            "pushq %rbx\ntestl %r8d, %r8d",
+            "xorl %eax, %eax\naddl %eax, %ebx",
+            "mulsd %xmm0, %xmm1\naddsd %xmm1, %xmm2",
+            "subq %rdx, %rsi\nleaq 8(%rsi), %rdi",
+            "shrq $3, %rax\norq %rax, %rbx",
+            "movq %rax, 8(%rsp)\nmovq 8(%rsp), %rbx",
+        ]
+        .iter()
+        .map(|text| {
+            let block: BasicBlock = text.parse().unwrap();
+            let timing = simulator.predict(truth, &block);
+            (block, timing)
+        })
+        .collect()
+    }
+
+    fn fast_config() -> DiffTuneConfig {
+        DiffTuneConfig {
+            surrogate: SurrogateKind::Mlp(FeatureMlpConfig { hidden_dim: 24, ..FeatureMlpConfig::default() }),
+            simulated_multiplier: 40.0,
+            max_simulated: 400,
+            surrogate_train: TrainConfig { epochs: 10, batch_size: 64, threads: 1, ..TrainConfig::default() },
+            table_learning_rate: 0.05,
+            table_epochs: 4,
+            table_batch_size: 10,
+            clamp_to_sampling: true,
+            seed: 3,
+            threads: 1,
+        }
+    }
+
+    #[test]
+    fn pipeline_runs_end_to_end_and_respects_constraints() {
+        // Ground truth produced by the simulator itself under a "true" table:
+        // the surrogate-based optimization should produce a valid table and
+        // reduce the training loss.
+        let simulator = McaSimulator::new(16);
+        let mut truth = SimParams::uniform_default();
+        for entry in &mut truth.per_inst {
+            entry.write_latency = 3;
+        }
+        let train_set = tiny_train_set(&simulator, &truth);
+        let defaults = SimParams::uniform_default();
+
+        let difftune = DiffTune::new(fast_config());
+        let result = difftune.run(&simulator, &ParamSpec::llvm_mca(), &defaults, &train_set);
+
+        assert_eq!(result.learned.num_opcodes(), defaults.num_opcodes());
+        assert!(result.learned.dispatch_width >= 1);
+        assert!(result.learned.reorder_buffer_size >= 1);
+        assert!(result.learned.per_inst.iter().all(|p| p.num_micro_ops >= 1));
+        assert!(result.surrogate_report.final_loss().is_finite());
+        assert!(!result.table_losses.is_empty());
+        assert!(
+            result.table_losses.last().unwrap() <= result.table_losses.first().unwrap(),
+            "table training loss should not increase: {:?}",
+            result.table_losses
+        );
+        assert_eq!(result.num_learned_parameters, ParamSpec::llvm_mca().num_learned(defaults.num_opcodes()));
+    }
+
+    #[test]
+    fn write_latency_only_spec_keeps_other_parameters_at_defaults() {
+        let simulator = McaSimulator::new(16);
+        let truth = SimParams::uniform_default();
+        let train_set = tiny_train_set(&simulator, &truth);
+        let defaults = difftune_cpu::default_params(difftune_cpu::Microarch::Haswell);
+
+        let mut config = fast_config();
+        config.table_epochs = 60;
+        config.table_learning_rate = 0.3;
+        let difftune = DiffTune::new(config);
+        let result = difftune.run(&simulator, &ParamSpec::write_latency_only(), &defaults, &train_set);
+
+        assert_eq!(result.learned.dispatch_width, defaults.dispatch_width);
+        assert_eq!(result.learned.reorder_buffer_size, defaults.reorder_buffer_size);
+        for (learned, default) in result.learned.per_inst.iter().zip(&defaults.per_inst) {
+            assert_eq!(learned.num_micro_ops, default.num_micro_ops);
+            assert_eq!(learned.port_map, default.port_map);
+            assert_eq!(learned.read_advance_cycles, default.read_advance_cycles);
+        }
+        // The write latencies of opcodes that appear in the training set should
+        // have been touched by the optimizer for at least some opcodes.
+        let changed = result
+            .learned
+            .per_inst
+            .iter()
+            .zip(&result.initial.per_inst)
+            .filter(|(l, i)| l.write_latency != i.write_latency)
+            .count();
+        assert!(changed > 0, "training must move at least one write latency");
+    }
+}

@@ -1,0 +1,115 @@
+//! Sampling parameter tables from the spec's distributions.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use difftune_sim::{SimParams, NUM_PORTS};
+
+use crate::spec::ParamSpec;
+
+/// Samples a random parameter table from the spec's sampling distributions.
+///
+/// Parameters that are not learned keep their values from `defaults`, exactly
+/// as in the paper's WriteLatency-only experiment where everything else stays
+/// at the expert-provided values.
+pub fn sample_table<R: Rng + ?Sized>(rng: &mut R, spec: &ParamSpec, defaults: &SimParams) -> SimParams {
+    let ranges = &spec.sampling;
+    let mut table = defaults.clone();
+
+    if spec.dispatch_width {
+        table.dispatch_width = rng.gen_range(ranges.dispatch_width.0..=ranges.dispatch_width.1);
+    }
+    if spec.reorder_buffer {
+        table.reorder_buffer_size = rng.gen_range(ranges.reorder_buffer.0..=ranges.reorder_buffer.1);
+    }
+
+    for entry in &mut table.per_inst {
+        if spec.num_micro_ops {
+            entry.num_micro_ops = rng.gen_range(ranges.num_micro_ops.0..=ranges.num_micro_ops.1);
+        }
+        if spec.write_latency {
+            entry.write_latency = rng.gen_range(ranges.write_latency.0..=ranges.write_latency.1);
+        }
+        if spec.read_advance {
+            for slot in &mut entry.read_advance_cycles {
+                *slot = rng.gen_range(ranges.read_advance.0..=ranges.read_advance.1);
+            }
+        }
+        if spec.port_map {
+            // The paper's distribution: 0–2 cycles on each of 0–2 randomly
+            // selected ports.
+            entry.port_map = [0; NUM_PORTS];
+            let ports_used = rng.gen_range(ranges.ports_used.0..=ranges.ports_used.1) as usize;
+            let mut ports: Vec<usize> = (0..NUM_PORTS).collect();
+            ports.shuffle(rng);
+            for &port in ports.iter().take(ports_used) {
+                entry.port_map[port] = rng.gen_range(ranges.port_cycles.0..=ranges.port_cycles.1);
+            }
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use difftune_sim::PerInstParams;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn defaults() -> SimParams {
+        let mut d = SimParams::with_uniform(4, 192, PerInstParams::unit());
+        d.per_inst[0].write_latency = 7;
+        d
+    }
+
+    #[test]
+    fn full_spec_samples_within_ranges() {
+        let spec = crate::ParamSpec::llvm_mca();
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..5 {
+            let table = sample_table(&mut rng, &spec, &defaults());
+            assert!((1..=10).contains(&table.dispatch_width));
+            assert!((50..=250).contains(&table.reorder_buffer_size));
+            for entry in &table.per_inst {
+                assert!(entry.write_latency <= 5);
+                assert!((1..=10).contains(&entry.num_micro_ops));
+                assert!(entry.read_advance_cycles.iter().all(|&v| v <= 5));
+                let used_ports = entry.port_map.iter().filter(|&&c| c > 0).count();
+                assert!(used_ports <= 2, "at most two ports receive cycles");
+                assert!(entry.port_map.iter().all(|&c| c <= 2));
+            }
+        }
+    }
+
+    #[test]
+    fn unlearned_parameters_keep_their_defaults() {
+        let spec = crate::ParamSpec::write_latency_only();
+        let mut rng = StdRng::seed_from_u64(1);
+        let base = defaults();
+        let table = sample_table(&mut rng, &spec, &base);
+        assert_eq!(table.dispatch_width, base.dispatch_width);
+        assert_eq!(table.reorder_buffer_size, base.reorder_buffer_size);
+        for (sampled, original) in table.per_inst.iter().zip(&base.per_inst) {
+            assert_eq!(sampled.num_micro_ops, original.num_micro_ops);
+            assert_eq!(sampled.port_map, original.port_map);
+            assert!(sampled.write_latency <= 10);
+        }
+        // At least some write latencies should differ from the defaults.
+        let changed = table
+            .per_inst
+            .iter()
+            .zip(&base.per_inst)
+            .filter(|(s, o)| s.write_latency != o.write_latency)
+            .count();
+        assert!(changed > table.per_inst.len() / 2);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let spec = crate::ParamSpec::llvm_mca();
+        let a = sample_table(&mut StdRng::seed_from_u64(5), &spec, &defaults());
+        let b = sample_table(&mut StdRng::seed_from_u64(5), &spec, &defaults());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,298 @@
+//! The trainable parameter table θ.
+//!
+//! During optimization the parameter table is a flat vector of
+//! *unconstrained* floats in "offset space": each entry stores
+//! `value − lower_bound` and may drift negative; the surrogate sees
+//! `|θ| / scale` (matching how sampled tables are encoded during surrogate
+//! training), and extraction back into the simulator computes
+//! `round(|θ|) + lower_bound` (Section IV of the paper).
+
+use difftune_isa::OpcodeId;
+use difftune_sim::{ParamBounds, SimParams, NUM_PORTS, NUM_READ_ADVANCE};
+use difftune_surrogate::{GLOBAL_SCALES, PER_INST_SCALES};
+use difftune_tensor::{Graph, Tensor, Var};
+use serde::{Deserialize, Serialize};
+
+use crate::spec::ParamSpec;
+
+/// Number of per-instruction entries in the flat layout.
+const PER_INST: usize = 2 + NUM_READ_ADVANCE + NUM_PORTS;
+
+/// The trainable, unconstrained parameter table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThetaTable {
+    values: Vec<f32>,
+}
+
+impl ThetaTable {
+    /// Builds a θ table from an integer parameter table (subtracting lower
+    /// bounds).
+    pub fn from_table(table: &SimParams) -> Self {
+        let mut values = Vec::with_capacity(2 + table.num_opcodes() * PER_INST);
+        values.push(table.dispatch_width.saturating_sub(1) as f32);
+        values.push(table.reorder_buffer_size.saturating_sub(1) as f32);
+        for entry in &table.per_inst {
+            values.push(entry.num_micro_ops.saturating_sub(1) as f32);
+            values.push(entry.write_latency as f32);
+            values.extend(entry.read_advance_cycles.iter().map(|&v| v as f32));
+            values.extend(entry.port_map.iter().map(|&v| v as f32));
+        }
+        ThetaTable { values }
+    }
+
+    /// Reconstructs θ from a tensor produced by [`ThetaTable::tensor`] (e.g.
+    /// after optimizer updates).
+    pub fn from_tensor(tensor: &Tensor) -> Self {
+        ThetaTable { values: tensor.data().to_vec() }
+    }
+
+    /// The flat values as a tensor, ready to be registered as a trainable
+    /// parameter.
+    pub fn tensor(&self) -> Tensor {
+        Tensor::vector(self.values.clone())
+    }
+
+    /// Number of scalar entries.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Number of opcodes covered.
+    pub fn num_opcodes(&self) -> usize {
+        (self.values.len() - 2) / PER_INST
+    }
+
+    /// Extracts the integer simulator parameters: `round(|θ|) + lower_bound`.
+    pub fn to_sim_params(&self) -> SimParams {
+        let bounds = ParamBounds::default();
+        let flat: Vec<f64> = self
+            .values
+            .iter()
+            .enumerate()
+            .map(|(index, &value)| {
+                let magnitude = f64::from(value.abs());
+                magnitude + f64::from(lower_bound_of(index, &bounds))
+            })
+            .collect();
+        SimParams::from_flat(&flat, &bounds)
+    }
+
+    /// Resets every entry that the spec does *not* learn back to the value it
+    /// has in `defaults` (in offset space). Called after each optimizer step so
+    /// frozen parameters stay at their expert-provided values.
+    pub fn freeze_unlearned(&mut self, spec: &ParamSpec, defaults: &ThetaTable) {
+        assert_eq!(self.values.len(), defaults.values.len(), "mismatched table sizes");
+        if !spec.dispatch_width {
+            self.values[0] = defaults.values[0];
+        }
+        if !spec.reorder_buffer {
+            self.values[1] = defaults.values[1];
+        }
+        let num_opcodes = self.num_opcodes();
+        for opcode in 0..num_opcodes {
+            let base = 2 + opcode * PER_INST;
+            if !spec.num_micro_ops {
+                self.values[base] = defaults.values[base];
+            }
+            if !spec.write_latency {
+                self.values[base + 1] = defaults.values[base + 1];
+            }
+            if !spec.read_advance {
+                for k in 0..NUM_READ_ADVANCE {
+                    self.values[base + 2 + k] = defaults.values[base + 2 + k];
+                }
+            }
+            if !spec.port_map {
+                for k in 0..NUM_PORTS {
+                    self.values[base + 2 + NUM_READ_ADVANCE + k] =
+                        defaults.values[base + 2 + NUM_READ_ADVANCE + k];
+                }
+            }
+        }
+    }
+
+    /// Clamps every entry's magnitude to the top of the spec's sampling range
+    /// (in offset space).
+    ///
+    /// The surrogate is only trained on parameter tables drawn from the
+    /// sampling distributions, so its predictions (and therefore its gradients)
+    /// are unreliable far outside that region — the extrapolation issue the
+    /// paper discusses in Section VII. Keeping θ inside the sampled region
+    /// during optimization avoids chasing those unreliable gradients.
+    pub fn clamp_to_sampling(&mut self, spec: &ParamSpec) {
+        let ranges = &spec.sampling;
+        let clamp = |value: &mut f32, max_offset: f32| {
+            if value.abs() > max_offset {
+                *value = value.signum() * max_offset;
+            }
+        };
+        clamp(&mut self.values[0], (ranges.dispatch_width.1.saturating_sub(1)) as f32);
+        clamp(&mut self.values[1], (ranges.reorder_buffer.1.saturating_sub(1)) as f32);
+        let num_opcodes = self.num_opcodes();
+        for opcode in 0..num_opcodes {
+            let base = 2 + opcode * PER_INST;
+            clamp(&mut self.values[base], (ranges.num_micro_ops.1.saturating_sub(1)) as f32);
+            clamp(&mut self.values[base + 1], ranges.write_latency.1 as f32);
+            for k in 0..NUM_READ_ADVANCE {
+                clamp(&mut self.values[base + 2 + k], ranges.read_advance.1 as f32);
+            }
+            for k in 0..NUM_PORTS {
+                clamp(&mut self.values[base + 2 + NUM_READ_ADVANCE + k], ranges.port_cycles.1 as f32);
+            }
+        }
+    }
+
+    /// Builds the surrogate input features for a block from a θ leaf already
+    /// registered in the graph: one per-instruction feature `Var` per opcode in
+    /// `opcodes`, plus the global feature `Var`.
+    ///
+    /// The encoding (`|θ| / scale`) matches
+    /// [`difftune_surrogate::param_features`] exactly, so the surrogate sees
+    /// the same representation during training and during parameter-table
+    /// optimization.
+    pub fn feature_vars(graph: &mut Graph<'_>, theta: Var, opcodes: &[OpcodeId]) -> (Vec<Var>, Var) {
+        let inv_inst_scales =
+            graph.input(Tensor::vector(PER_INST_SCALES.iter().map(|s| 1.0 / s).collect()));
+        let inv_global_scales =
+            graph.input(Tensor::vector(GLOBAL_SCALES.iter().map(|s| 1.0 / s).collect()));
+
+        let global_raw = graph.slice(theta, 0, 2);
+        let global_abs = graph.abs(global_raw);
+        let global = graph.mul(global_abs, inv_global_scales);
+
+        let per_inst = opcodes
+            .iter()
+            .map(|opcode| {
+                let start = 2 + opcode.index() * PER_INST;
+                let raw = graph.slice(theta, start, PER_INST);
+                let magnitude = graph.abs(raw);
+                graph.mul(magnitude, inv_inst_scales)
+            })
+            .collect();
+        (per_inst, global)
+    }
+}
+
+/// The lower bound of the flat-layout entry at `index`.
+fn lower_bound_of(index: usize, bounds: &ParamBounds) -> u32 {
+    match index {
+        0 => bounds.dispatch_width_min,
+        1 => bounds.reorder_buffer_min,
+        _ => {
+            let offset = (index - 2) % PER_INST;
+            match offset {
+                0 => bounds.num_micro_ops_min,
+                1 => bounds.write_latency_min,
+                k if k < 2 + NUM_READ_ADVANCE => bounds.read_advance_min,
+                _ => bounds.port_map_min,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use difftune_isa::OpcodeRegistry;
+    use difftune_surrogate::param_features;
+    use difftune_tensor::Params;
+
+    #[test]
+    fn round_trip_preserves_integer_tables() {
+        let mut table = SimParams::uniform_default();
+        table.dispatch_width = 6;
+        table.reorder_buffer_size = 144;
+        table.per_inst[5].write_latency = 4;
+        table.per_inst[5].num_micro_ops = 3;
+        table.per_inst[7].port_map[9] = 2;
+        table.per_inst[7].read_advance_cycles[2] = 5;
+        let theta = ThetaTable::from_table(&table);
+        assert_eq!(theta.to_sim_params(), table);
+        assert_eq!(theta.num_opcodes(), table.num_opcodes());
+    }
+
+    #[test]
+    fn extraction_takes_absolute_value_and_adds_bounds() {
+        let table = SimParams::uniform_default();
+        let mut theta = ThetaTable::from_table(&table);
+        // Drive some entries negative, as gradient descent may do.
+        theta.values[0] = -2.4; // dispatch width offset
+        theta.values[3] = -1.7; // write latency of opcode 0
+        let extracted = theta.to_sim_params();
+        assert_eq!(extracted.dispatch_width, 1 + 2); // round(2.4) + 1
+        assert_eq!(extracted.per_inst[0].write_latency, 2); // round(1.7)
+    }
+
+    #[test]
+    fn freezing_restores_unlearned_entries() {
+        let defaults = SimParams::uniform_default();
+        let default_theta = ThetaTable::from_table(&defaults);
+        let mut theta = default_theta.clone();
+        for value in &mut theta.values {
+            *value += 3.0;
+        }
+        theta.freeze_unlearned(&ParamSpec::write_latency_only(), &default_theta);
+        // Write latencies stay perturbed, everything else is restored.
+        assert_eq!(theta.values[0], default_theta.values[0]);
+        assert_eq!(theta.values[1], default_theta.values[1]);
+        assert_eq!(theta.values[2], default_theta.values[2], "num_micro_ops restored");
+        assert_eq!(theta.values[3], default_theta.values[3] + 3.0, "write latency kept");
+        assert_eq!(theta.values[4], default_theta.values[4], "read advance restored");
+    }
+
+    #[test]
+    fn feature_vars_match_the_surrogate_training_encoding() {
+        let registry = OpcodeRegistry::global();
+        let mut table = SimParams::uniform_default();
+        let opcode = registry.by_name("ADD32mr").unwrap();
+        table.inst_mut(opcode).write_latency = 5;
+        table.inst_mut(opcode).num_micro_ops = 4;
+        table.inst_mut(opcode).port_map[2] = 2;
+        table.dispatch_width = 7;
+        table.reorder_buffer_size = 101;
+
+        // Reference encoding used when training the surrogate on sampled tables.
+        let expected_inst = param_features(table.inst(opcode));
+        let expected_global = difftune_surrogate::global_features(&table);
+
+        // Graph encoding used when optimizing θ through the frozen surrogate.
+        let theta = ThetaTable::from_table(&table);
+        let mut params = Params::new();
+        let theta_id = params.add("theta", theta.tensor());
+        let mut graph = Graph::new(&params);
+        let theta_var = graph.param(theta_id);
+        let (inst_features, global) = ThetaTable::feature_vars(&mut graph, theta_var, &[opcode]);
+
+        for (a, b) in graph.value(inst_features[0]).iter().zip(expected_inst.data()) {
+            assert!((a - b).abs() < 1e-6, "per-instruction encoding mismatch: {a} vs {b}");
+        }
+        for (a, b) in graph.value(global).iter().zip(expected_global.data()) {
+            assert!((a - b).abs() < 1e-6, "global encoding mismatch: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn gradients_flow_through_feature_vars_to_theta() {
+        let registry = OpcodeRegistry::global();
+        let opcode = registry.by_name("XOR32rr").unwrap();
+        let theta = ThetaTable::from_table(&SimParams::uniform_default());
+        let mut params = Params::new();
+        let theta_id = params.add("theta", theta.tensor());
+        let mut graph = Graph::new(&params);
+        let theta_var = graph.param(theta_id);
+        let (features, global) = ThetaTable::feature_vars(&mut graph, theta_var, &[opcode]);
+        let combined = graph.concat(&[features[0], global]);
+        let loss = graph.sum(combined);
+        let mut grads = difftune_tensor::Grads::new(&params);
+        graph.backward(loss, &mut grads);
+        let grad = grads.get(theta_id).expect("theta must receive a gradient");
+        let nonzero = grad.data().iter().filter(|v| **v != 0.0).count();
+        // 15 per-instruction entries + 2 global entries receive gradient.
+        assert_eq!(nonzero, 17);
+    }
+}

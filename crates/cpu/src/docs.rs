@@ -1,0 +1,145 @@
+//! "Vendor documentation": the expert-provided default simulator parameters.
+//!
+//! The paper's default llvm-mca parameters come from LLVM's hand-written
+//! scheduling models, which are in turn derived from vendor manuals and
+//! third-party measurements — imperfectly, because the simulator's parameter
+//! semantics do not exactly match what the documentation describes
+//! (Section II-B of the paper). This module reproduces that derivation against
+//! the reference machines in this crate:
+//!
+//! * `WriteLatency` is the documented latency, which includes the load-to-use
+//!   latency for memory forms, is never zero for dependency-breaking idioms
+//!   (the documentation documents the ALU, not the renamer), and reports a
+//!   2-cycle store-pipeline latency for push/pop.
+//! * `PortMap` entries are only filled in for operations tied to one specific
+//!   port; operations that can execute on a *group* of ports are left at zero,
+//!   matching the paper's choice to zero out port-group parameters.
+//! * `NumMicroOps` counts compute plus load plus store micro-ops.
+//! * `ReadAdvanceCycles` default to zero.
+//! * The global `DispatchWidth`/`ReorderBufferSize` come straight from the
+//!   documented machine configuration.
+
+use difftune_isa::{OpClass, OpcodeRegistry};
+use difftune_sim::{PerInstParams, SimParams, NUM_PORTS, NUM_READ_ADVANCE};
+
+use crate::tables::InstTraits;
+use crate::uarch::Microarch;
+
+/// Builds the expert-provided default parameter table for a microarchitecture.
+pub fn default_params(uarch: Microarch) -> SimParams {
+    let registry = OpcodeRegistry::global();
+    let config = uarch.config();
+    let mut per_inst = Vec::with_capacity(registry.len());
+
+    for (_, info) in registry.iter() {
+        let traits = InstTraits::for_opcode(uarch, info);
+        let class = info.class();
+
+        // Documented latency: the manuals report latency from the memory
+        // operand for memory forms, never report zero for ALU idioms, and list
+        // push/pop with the store pipeline latency.
+        let write_latency = match class {
+            OpClass::Stack => 2,
+            OpClass::Nop => 1,
+            _ => traits.documented_latency(info, config.load_latency).max(1),
+        };
+
+        let num_micro_ops =
+            (traits.compute_uops + u32::from(info.loads()) + u32::from(info.stores())).max(1);
+
+        // Port map: only single-port resources are documented per port;
+        // port-group resources are zeroed (paper Section V-A).
+        let mut port_map = [0u32; NUM_PORTS];
+        let compute_ports = config.ports_for(class);
+        if compute_ports.count_ones() == 1 && traits.compute_uops > 0 {
+            let port = compute_ports.trailing_zeros() as usize;
+            if port < NUM_PORTS {
+                port_map[port] = 1 + traits.blocking_cycles;
+            }
+        }
+        if info.stores() && config.store_ports.count_ones() == 1 {
+            let port = config.store_ports.trailing_zeros() as usize;
+            if port < NUM_PORTS {
+                port_map[port] += 1;
+            }
+        }
+
+        per_inst.push(PerInstParams {
+            num_micro_ops,
+            write_latency,
+            read_advance_cycles: [0; NUM_READ_ADVANCE],
+            port_map,
+        });
+    }
+
+    SimParams {
+        dispatch_width: config.dispatch_width,
+        reorder_buffer_size: config.rob_size,
+        per_inst,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use difftune_isa::BasicBlock;
+    use difftune_sim::{McaSimulator, Simulator};
+
+    #[test]
+    fn default_globals_match_documented_machine_configuration() {
+        let params = default_params(Microarch::Haswell);
+        assert_eq!(params.dispatch_width, 4);
+        assert_eq!(params.reorder_buffer_size, 192);
+    }
+
+    #[test]
+    fn push_has_the_documented_two_cycle_latency_and_store_port() {
+        // This is the mismatch the paper's PUSH64r case study hinges on.
+        let registry = OpcodeRegistry::global();
+        let params = default_params(Microarch::Haswell);
+        let push = params.inst(registry.by_name("PUSH64r").unwrap());
+        assert_eq!(push.write_latency, 2);
+        assert_eq!(push.port_map[4], 1, "push occupies the store port");
+    }
+
+    #[test]
+    fn zero_idiom_capable_xor_still_documents_one_cycle() {
+        let registry = OpcodeRegistry::global();
+        let params = default_params(Microarch::Haswell);
+        let xor = params.inst(registry.by_name("XOR32rr").unwrap());
+        assert_eq!(xor.write_latency, 1, "documentation does not know about the renamer fast path");
+    }
+
+    #[test]
+    fn memory_forms_document_load_to_use_latency() {
+        let registry = OpcodeRegistry::global();
+        let params = default_params(Microarch::Haswell);
+        let add_rr = params.inst(registry.by_name("ADD32rr").unwrap());
+        let add_rm = params.inst(registry.by_name("ADD32rm").unwrap());
+        assert!(add_rm.write_latency >= add_rr.write_latency + 4);
+    }
+
+    #[test]
+    fn defaults_differ_across_microarchitectures() {
+        let hsw = default_params(Microarch::Haswell);
+        let skl = default_params(Microarch::Skylake);
+        let zen = default_params(Microarch::Zen2);
+        assert_ne!(hsw, skl);
+        assert_ne!(hsw, zen);
+        assert_eq!(hsw.num_opcodes(), skl.num_opcodes());
+    }
+
+    #[test]
+    fn defaults_give_sane_predictions_on_simple_blocks() {
+        let params = default_params(Microarch::Haswell);
+        let sim = McaSimulator::default();
+        let add: BasicBlock = "addq %rax, %rbx\naddq %rbx, %rcx".parse().unwrap();
+        let timing = sim.predict(&params, &add);
+        assert!((1.0..4.0).contains(&timing), "chained adds should take ~2 cycles, got {timing}");
+
+        // The paper's push case study: default parameters over-predict.
+        let push: BasicBlock = "pushq %rbx\ntestl %r8d, %r8d".parse().unwrap();
+        let push_timing = sim.predict(&params, &push);
+        assert!((1.8..2.5).contains(&push_timing), "default push latency predicts ~2 cycles, got {push_timing}");
+    }
+}

@@ -1,0 +1,472 @@
+//! The reference machine model and BHive-style measurement harness.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, VecDeque};
+use std::hash::{Hash, Hasher};
+
+use serde::{Deserialize, Serialize};
+
+use difftune_isa::{BasicBlock, Inst, OpClass, OpcodeRegistry, RegFamily};
+
+use crate::tables::InstTraits;
+use crate::uarch::{Microarch, PortSet, UarchConfig};
+
+/// Configuration of the measurement harness.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MeasurementConfig {
+    /// Number of unrolled iterations timed (BHive and llvm-mca use 100).
+    pub iterations: u32,
+    /// Whether to apply the microarchitecture's deterministic measurement noise.
+    pub apply_noise: bool,
+}
+
+impl Default for MeasurementConfig {
+    fn default() -> Self {
+        MeasurementConfig { iterations: 100, apply_noise: true }
+    }
+}
+
+/// A reference machine: the stand-in for physical silicon.
+///
+/// `Machine` implements a more detailed out-of-order model than the tuned
+/// simulator in `difftune-sim`: micro-ops choose the earliest-available port
+/// among the ports that can actually execute them, zero idioms and (on newer
+/// cores) register moves are eliminated at rename, loads pay the L1 latency,
+/// and stores forward to later loads of the same address, creating memory
+/// dependency chains. Measurements add a small deterministic per-block noise.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    uarch: Microarch,
+    config: UarchConfig,
+    measurement: MeasurementConfig,
+    /// Cached traits per opcode id.
+    traits: Vec<InstTraits>,
+}
+
+impl Machine {
+    /// Creates the reference machine for a microarchitecture with default
+    /// measurement settings.
+    pub fn new(uarch: Microarch) -> Self {
+        Machine::with_measurement(uarch, MeasurementConfig::default())
+    }
+
+    /// Creates the reference machine with explicit measurement settings.
+    pub fn with_measurement(uarch: Microarch, measurement: MeasurementConfig) -> Self {
+        let registry = OpcodeRegistry::global();
+        let config = uarch.config();
+        let traits = registry.iter().map(|(_, info)| InstTraits::for_opcode(uarch, info)).collect();
+        Machine { uarch, config, measurement, traits }
+    }
+
+    /// The microarchitecture this machine models.
+    pub fn uarch(&self) -> Microarch {
+        self.uarch
+    }
+
+    /// The machine configuration (true hardware characteristics).
+    pub fn config(&self) -> &UarchConfig {
+        &self.config
+    }
+
+    /// The true traits of an opcode on this machine.
+    pub fn traits_of(&self, id: difftune_isa::OpcodeId) -> &InstTraits {
+        &self.traits[id.index()]
+    }
+
+    /// Measures a block: cycles to execute the configured number of unrolled
+    /// iterations, divided by the iteration count, with deterministic
+    /// measurement noise applied (if enabled).
+    pub fn measure(&self, block: &BasicBlock) -> f64 {
+        let exact = self.measure_exact(block);
+        if !self.measurement.apply_noise || exact == 0.0 {
+            return exact;
+        }
+        exact * self.noise_factor(block)
+    }
+
+    /// Measures a block without measurement noise.
+    pub fn measure_exact(&self, block: &BasicBlock) -> f64 {
+        if block.is_empty() {
+            return 0.0;
+        }
+        let total = self.simulate(block, self.measurement.iterations);
+        total as f64 / self.measurement.iterations as f64
+    }
+
+    /// The deterministic multiplicative noise factor for a block, derived from
+    /// a hash of the block text and the microarchitecture.
+    fn noise_factor(&self, block: &BasicBlock) -> f64 {
+        let mut hasher = DefaultHasher::new();
+        self.uarch.name().hash(&mut hasher);
+        block.to_string().hash(&mut hasher);
+        let unit = (hasher.finish() % 10_000) as f64 / 10_000.0;
+        1.0 + self.config.measurement_noise * (2.0 * unit - 1.0)
+    }
+
+    fn simulate(&self, block: &BasicBlock, iterations: u32) -> u64 {
+        let statics: Vec<StaticInst> = block.iter().map(|inst| self.prepare(inst)).collect();
+
+        let decode_width = self.config.decode_width.max(1) as u64;
+        let dispatch_width = self.config.dispatch_width.max(1) as u64;
+        let rob_size = self.config.rob_size.max(1) as u64;
+        let load_latency = self.config.load_latency as u64;
+        let forward_latency = self.config.store_forward_latency as u64;
+        let num_ports = self.config.num_ports;
+
+        let mut reg_ready = [0u64; RegFamily::COUNT];
+        let mut port_free = vec![0u64; num_ports];
+        let mut store_data: HashMap<MemKey, u64> = HashMap::new();
+        let mut rob: VecDeque<(u64, u64)> = VecDeque::new();
+        let mut rob_used = 0u64;
+        let mut decode_cycle = 0u64;
+        let mut decode_slots = decode_width;
+        let mut dispatch_cycle = 0u64;
+        let mut dispatch_slots = dispatch_width;
+        let mut last_retire = 0u64;
+
+        for _ in 0..iterations {
+            for inst in &statics {
+                // Frontend decode.
+                if decode_slots == 0 {
+                    decode_cycle += 1;
+                    decode_slots = decode_width;
+                }
+                decode_slots -= 1;
+                let decoded = decode_cycle;
+
+                // Reorder buffer + dispatch.
+                let uops = inst.total_uops.max(1).min(rob_size);
+                let mut rob_free_cycle = 0u64;
+                while rob_used + uops > rob_size {
+                    match rob.pop_front() {
+                        Some((retire, n)) => {
+                            rob_used -= n;
+                            rob_free_cycle = retire;
+                        }
+                        None => break,
+                    }
+                }
+                let start_floor = decoded.max(rob_free_cycle);
+                if start_floor > dispatch_cycle {
+                    dispatch_cycle = start_floor;
+                    dispatch_slots = dispatch_width;
+                }
+                let mut remaining = uops;
+                loop {
+                    if dispatch_slots == 0 {
+                        dispatch_cycle += 1;
+                        dispatch_slots = dispatch_width;
+                    }
+                    let take = remaining.min(dispatch_slots);
+                    dispatch_slots -= take;
+                    remaining -= take;
+                    if remaining == 0 {
+                        break;
+                    }
+                }
+                let dispatched = dispatch_cycle;
+
+                // Eliminated instructions: zero idioms break dependencies and
+                // register moves inherit the source's readiness; neither uses a
+                // port.
+                if inst.zero_idiom && self.config.zero_idiom_elimination {
+                    for family in &inst.writes {
+                        reg_ready[family.index()] = dispatched;
+                    }
+                    let retire = dispatched.max(last_retire);
+                    last_retire = retire;
+                    rob.push_back((retire, uops));
+                    rob_used += uops;
+                    continue;
+                }
+                if inst.reg_move && self.config.move_elimination {
+                    let source_ready =
+                        inst.reads.iter().map(|f| reg_ready[f.index()]).max().unwrap_or(dispatched);
+                    let ready = source_ready.max(dispatched);
+                    for family in &inst.writes {
+                        reg_ready[family.index()] = ready;
+                    }
+                    let retire = ready.max(last_retire);
+                    last_retire = retire;
+                    rob.push_back((retire, uops));
+                    rob_used += uops;
+                    continue;
+                }
+
+                // Address computation inputs.
+                let addr_ready = inst
+                    .addr_reads
+                    .iter()
+                    .map(|f| reg_ready[f.index()])
+                    .max()
+                    .unwrap_or(0)
+                    .max(dispatched);
+
+                // Load micro-op.
+                let mut loaded_ready = 0u64;
+                let mut max_uop_end = dispatched;
+                if inst.loads {
+                    let (port, free) = best_port(&port_free, self.config.load_ports);
+                    let start = addr_ready.max(free);
+                    port_free[port] = start + 1;
+                    max_uop_end = max_uop_end.max(start + 1);
+                    let mut value_at = start + load_latency;
+                    if let Some(key) = inst.mem_key {
+                        if let Some(&store_ready) = store_data.get(&key) {
+                            value_at = value_at.max(store_ready + forward_latency + load_latency);
+                        }
+                    }
+                    loaded_ready = value_at;
+                }
+
+                // Compute micro-ops.
+                let mut input_ready = dispatched;
+                for family in &inst.reads {
+                    input_ready = input_ready.max(reg_ready[family.index()]);
+                }
+                if inst.loads {
+                    input_ready = input_ready.max(loaded_ready);
+                }
+                let mut compute_start = input_ready;
+                for k in 0..inst.compute_uops {
+                    let (port, free) = best_port(&port_free, inst.ports);
+                    let start = input_ready.max(free);
+                    // Non-pipelined units (dividers) block their port once per
+                    // instruction, not once per micro-op.
+                    let busy = if k == 0 { 1 + inst.blocking as u64 } else { 1 };
+                    port_free[port] = start + busy;
+                    compute_start = compute_start.max(start);
+                    max_uop_end = max_uop_end.max(start + busy);
+                }
+
+                let result_ready = if inst.compute_uops > 0 {
+                    compute_start + inst.latency as u64
+                } else if inst.loads {
+                    loaded_ready
+                } else {
+                    dispatched
+                };
+
+                // Publish register results. The stack engine renames %rsp at
+                // dispatch, so stack-pointer updates are effectively free.
+                for family in &inst.writes {
+                    let ready = if *family == RegFamily::Rsp && inst.class == OpClass::Stack {
+                        dispatched
+                    } else {
+                        result_ready
+                    };
+                    reg_ready[family.index()] = ready;
+                }
+
+                // Store micro-op: address and data must both be ready.
+                if inst.stores {
+                    let (port, free) = best_port(&port_free, self.config.store_ports);
+                    let data_ready = if inst.compute_uops > 0 { result_ready } else { input_ready };
+                    let start = addr_ready.max(data_ready).max(free);
+                    port_free[port] = start + 1;
+                    max_uop_end = max_uop_end.max(start + 1);
+                    if let Some(key) = inst.mem_key {
+                        store_data.insert(key, start);
+                    }
+                }
+
+                let execute_end = max_uop_end.max(result_ready);
+                let retire = execute_end.max(last_retire);
+                last_retire = retire;
+                rob.push_back((retire, uops));
+                rob_used += uops;
+            }
+        }
+
+        last_retire
+    }
+
+    fn prepare(&self, inst: &Inst) -> StaticInst {
+        let info = inst.info();
+        let traits = &self.traits[inst.opcode().index()];
+        let class = info.class();
+        let loads = inst.loads();
+        let stores = inst.stores();
+        let addr_reads: Vec<RegFamily> =
+            inst.mem_operand().map(|m| m.address_regs().collect()).unwrap_or_default();
+        // Register sources feeding the computation (address registers feed the
+        // AGU instead).
+        let reads: Vec<RegFamily> =
+            inst.reads().into_iter().filter(|f| !addr_reads.contains(f)).collect();
+        let total_uops =
+            traits.compute_uops as u64 + u64::from(loads) + u64::from(stores);
+        StaticInst {
+            class,
+            reads,
+            addr_reads,
+            writes: inst.writes(),
+            loads,
+            stores,
+            mem_key: inst.mem_operand().map(MemKey::from_mem),
+            zero_idiom: inst.is_zero_idiom(),
+            reg_move: info.mnemonic() == difftune_isa::Mnemonic::Mov
+                && info.form() == difftune_isa::Form::Rr,
+            compute_uops: traits.compute_uops,
+            latency: traits.latency,
+            blocking: traits.blocking_cycles,
+            ports: self.config.ports_for(class),
+            total_uops: total_uops.max(1),
+        }
+    }
+}
+
+/// Picks the earliest-free port among a candidate set; returns (port, free cycle).
+fn best_port(port_free: &[u64], candidates: PortSet) -> (usize, u64) {
+    let mut best = (0usize, u64::MAX);
+    for (port, &free) in port_free.iter().enumerate() {
+        if candidates & (1 << port) != 0 && free < best.1 {
+            best = (port, free);
+        }
+    }
+    if best.1 == u64::MAX {
+        // No candidate port (should not happen for executable classes): fall
+        // back to port 0 so simulation still makes progress.
+        (0, port_free[0])
+    } else {
+        best
+    }
+}
+
+/// A key identifying a memory location for store-to-load forwarding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct MemKey {
+    base: Option<RegFamily>,
+    index: Option<RegFamily>,
+    scale: u8,
+    disp: i32,
+}
+
+impl MemKey {
+    fn from_mem(mem: &difftune_isa::MemRef) -> Self {
+        MemKey {
+            base: mem.base.map(|r| r.family()),
+            index: mem.index.map(|r| r.family()),
+            scale: mem.scale,
+            disp: mem.disp,
+        }
+    }
+}
+
+struct StaticInst {
+    class: OpClass,
+    reads: Vec<RegFamily>,
+    addr_reads: Vec<RegFamily>,
+    writes: Vec<RegFamily>,
+    loads: bool,
+    stores: bool,
+    mem_key: Option<MemKey>,
+    zero_idiom: bool,
+    reg_move: bool,
+    compute_uops: u32,
+    latency: u32,
+    blocking: u32,
+    ports: PortSet,
+    total_uops: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(text: &str) -> BasicBlock {
+        text.parse().expect("test block parses")
+    }
+
+    fn haswell() -> Machine {
+        Machine::with_measurement(Microarch::Haswell, MeasurementConfig { iterations: 100, apply_noise: false })
+    }
+
+    #[test]
+    fn push_test_pair_takes_about_one_cycle() {
+        // Paper case study: `pushq %rbx ; testl %r8d, %r8d` measures 1.01 cycles.
+        let timing = haswell().measure_exact(&block("pushq %rbx\ntestl %r8d, %r8d"));
+        assert!((timing - 1.0).abs() < 0.3, "expected ~1 cycle per iteration, got {timing}");
+    }
+
+    #[test]
+    fn zero_idiom_is_faster_than_a_dependent_xor() {
+        // Paper case study: `xorl %r13d, %r13d` measures 0.31 cycles (bounded
+        // only by rename/retire bandwidth).
+        let machine = haswell();
+        let idiom = machine.measure_exact(&block("xorl %r13d, %r13d"));
+        let real = machine.measure_exact(&block("xorl %eax, %r13d"));
+        assert!(idiom < 0.5, "zero idiom should be well under a cycle, got {idiom}");
+        assert!(real >= 1.0, "a real xor carries a dependency chain, got {real}");
+    }
+
+    #[test]
+    fn rmw_memory_chain_matches_case_study_shape() {
+        // Paper case study: `addl %eax, 16(%rsp)` measures 5.97 cycles because
+        // the load, add, and store chain through the same address.
+        let timing = haswell().measure_exact(&block("addl %eax, 16(%rsp)"));
+        assert!(
+            (4.5..8.0).contains(&timing),
+            "RMW chain should cost roughly load+add+forward per iteration, got {timing}"
+        );
+    }
+
+    #[test]
+    fn dependent_adds_are_latency_bound_independent_adds_are_not() {
+        let machine = haswell();
+        let dependent = machine.measure_exact(&block("addq %rax, %rbx\naddq %rbx, %rcx"));
+        let independent = machine.measure_exact(&block("addq %rax, %rbx\naddq %rcx, %rdx"));
+        assert!(dependent >= independent, "{dependent} vs {independent}");
+        assert!(independent <= 1.2, "two independent adds fit in one cycle on four ALU ports");
+    }
+
+    #[test]
+    fn division_is_much_slower_than_addition() {
+        let machine = haswell();
+        let div = machine.measure_exact(&block("idivq %rcx"));
+        let add = machine.measure_exact(&block("addq %rcx, %rax"));
+        assert!(div > add * 5.0, "divide {div} should dwarf add {add}");
+    }
+
+    #[test]
+    fn move_elimination_only_on_newer_cores() {
+        let mov = block("movq %rax, %rbx\naddq %rbx, %rcx\nmovq %rcx, %rax");
+        let ivb = Machine::with_measurement(Microarch::IvyBridge, MeasurementConfig { iterations: 100, apply_noise: false });
+        let hsw = haswell();
+        assert!(hsw.measure_exact(&mov) <= ivb.measure_exact(&mov));
+    }
+
+    #[test]
+    fn measurements_differ_across_microarchitectures() {
+        let b = block("mulsd %xmm1, %xmm0\naddsd %xmm0, %xmm2\ndivsd %xmm3, %xmm4");
+        let timings: Vec<f64> = Microarch::ALL
+            .iter()
+            .map(|&u| Machine::with_measurement(u, MeasurementConfig { iterations: 100, apply_noise: false }).measure_exact(&b))
+            .collect();
+        let distinct = timings.iter().filter(|&&t| (t - timings[0]).abs() > 1e-6).count();
+        assert!(distinct >= 1, "at least one microarchitecture should differ: {timings:?}");
+    }
+
+    #[test]
+    fn noise_is_small_and_deterministic() {
+        let machine = Machine::new(Microarch::Haswell);
+        let b = block("addq %rax, %rbx\nmovq (%rdi), %rcx");
+        let a = machine.measure(&b);
+        let c = machine.measure(&b);
+        let exact = machine.measure_exact(&b);
+        assert_eq!(a, c, "noise must be deterministic");
+        assert!((a - exact).abs() / exact < 0.05, "noise must stay small");
+    }
+
+    #[test]
+    fn empty_block_measures_zero() {
+        assert_eq!(haswell().measure(&BasicBlock::new()), 0.0);
+    }
+
+    #[test]
+    fn longer_blocks_take_longer() {
+        let machine = haswell();
+        let short = machine.measure_exact(&block("imulq %rbx, %rax"));
+        let long = machine.measure_exact(&block("imulq %rbx, %rax\nimulq %rax, %rcx\nimulq %rcx, %rdx"));
+        assert!(long > short);
+    }
+}

@@ -1,0 +1,232 @@
+//! The hidden "true" per-opcode characteristics of each reference
+//! microarchitecture.
+//!
+//! These tables play the role of the physical machine's actual behaviour. They
+//! are never read by DiffTune; only the measurement harness
+//! ([`crate::Machine`]) and the analytical baseline ([`crate::AnalyticalModel`])
+//! use them. The "expert documentation" that seeds the default simulator
+//! parameters ([`crate::default_params`]) is derived from them with the kinds
+//! of simplifications real vendor documentation makes.
+
+use serde::{Deserialize, Serialize};
+
+use difftune_isa::{Mnemonic, OpClass, OpcodeInfo, Width};
+
+use crate::uarch::Microarch;
+
+/// True execution characteristics of one opcode on one microarchitecture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InstTraits {
+    /// Dependency latency of the compute operation in cycles (excluding any
+    /// load-to-use latency, which the reference model adds separately).
+    pub latency: u32,
+    /// Number of compute micro-ops (excluding load/store micro-ops).
+    pub compute_uops: u32,
+    /// Extra cycles the execution port stays blocked beyond the first
+    /// (non-pipelined units such as dividers); zero means fully pipelined.
+    pub blocking_cycles: u32,
+}
+
+impl InstTraits {
+    /// The true characteristics of `info` on `uarch`.
+    pub fn for_opcode(uarch: Microarch, info: &OpcodeInfo) -> Self {
+        let class = info.class();
+        let width = info.width();
+        let mnemonic = info.mnemonic();
+
+        let mut latency = base_latency(class, width, mnemonic);
+        let mut compute_uops = base_compute_uops(class, width, mnemonic);
+        let mut blocking = 0;
+
+        // Per-microarchitecture adjustments.
+        match uarch {
+            Microarch::IvyBridge => {
+                latency = match class {
+                    OpClass::FpDiv => latency + 6,
+                    OpClass::FpSqrt => latency + 5,
+                    OpClass::IntDiv => latency + 8,
+                    OpClass::VecMul => latency + 1,
+                    _ => latency,
+                };
+                // Ivy Bridge splits 256-bit integer vector operations.
+                if width == Width::B256 && class.is_vector() {
+                    compute_uops += 1;
+                }
+            }
+            Microarch::Haswell => {}
+            Microarch::Skylake => {
+                latency = match class {
+                    OpClass::FpAdd => 4,
+                    OpClass::FpMul => 4,
+                    OpClass::Fma => 4,
+                    OpClass::FpDiv => latency.saturating_sub(2),
+                    OpClass::IntDiv => latency.saturating_sub(4),
+                    _ => latency,
+                };
+            }
+            Microarch::Zen2 => {
+                latency = match class {
+                    OpClass::FpMul => 3,
+                    OpClass::FpDiv => latency.saturating_sub(4),
+                    OpClass::FpSqrt => latency.saturating_sub(4),
+                    OpClass::IntDiv => latency.saturating_sub(8),
+                    OpClass::IntMul => if width == Width::B64 { 4 } else { 3 },
+                    OpClass::Convert => latency + 1,
+                    _ => latency,
+                };
+                // Zen 2's integer divider is partially iterative but issues few micro-ops.
+                if class == OpClass::IntDiv {
+                    compute_uops = 2;
+                }
+            }
+        }
+
+        // Non-pipelined units hold their port.
+        blocking = match class {
+            OpClass::IntDiv => latency / 2,
+            OpClass::FpDiv | OpClass::FpSqrt => latency / 3,
+            _ => blocking,
+        };
+
+        InstTraits { latency, compute_uops, blocking_cycles: blocking }
+    }
+
+    /// The latency a vendor manual would document for this opcode: the compute
+    /// latency, plus the load-to-use latency for forms that read memory
+    /// (documentation reports "latency from memory operand").
+    pub fn documented_latency(&self, info: &OpcodeInfo, load_latency: u32) -> u32 {
+        if info.loads() {
+            self.latency + load_latency
+        } else {
+            self.latency
+        }
+    }
+}
+
+fn base_latency(class: OpClass, width: Width, mnemonic: Mnemonic) -> u32 {
+    match class {
+        OpClass::IntAlu => 1,
+        OpClass::IntMul => 3,
+        OpClass::IntDiv => match width {
+            Width::B8 | Width::B16 => 18,
+            Width::B32 => 22,
+            _ => 30,
+        },
+        OpClass::Shift => 1,
+        OpClass::Mov => 1,
+        OpClass::Lea => 1,
+        // The stack engine renames %rsp; push/pop have no visible compute latency.
+        OpClass::Stack => 0,
+        OpClass::BitScan => 3,
+        OpClass::VecAlu => 1,
+        OpClass::VecMul => match mnemonic {
+            Mnemonic::Pmulld => 10,
+            _ => 5,
+        },
+        OpClass::VecShuffle => 1,
+        OpClass::VecMov => 1,
+        OpClass::FpAdd => 3,
+        OpClass::FpMul => 5,
+        OpClass::FpDiv => match mnemonic {
+            Mnemonic::Divss | Mnemonic::Divps => 11,
+            _ => 14,
+        },
+        OpClass::FpSqrt => match mnemonic {
+            Mnemonic::Sqrtss | Mnemonic::Sqrtps => 13,
+            _ => 18,
+        },
+        OpClass::Fma => 5,
+        OpClass::Convert => 4,
+        OpClass::Nop => 0,
+    }
+}
+
+fn base_compute_uops(class: OpClass, width: Width, mnemonic: Mnemonic) -> u32 {
+    let base = match class {
+        OpClass::IntDiv => 9,
+        OpClass::IntMul if width == Width::B8 => 1,
+        OpClass::Stack => 0,
+        OpClass::Nop => 0,
+        _ => 1,
+    };
+    match mnemonic {
+        Mnemonic::Xchg => 3,
+        Mnemonic::Cmpps => 1,
+        _ => base,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use difftune_isa::OpcodeRegistry;
+
+    fn traits(uarch: Microarch, name: &str) -> InstTraits {
+        let registry = OpcodeRegistry::global();
+        let id = registry.by_name(name).unwrap_or_else(|| panic!("missing opcode {name}"));
+        InstTraits::for_opcode(uarch, registry.info(id))
+    }
+
+    #[test]
+    fn simple_alu_is_single_cycle_everywhere() {
+        for uarch in Microarch::ALL {
+            let t = traits(uarch, "ADD64rr");
+            assert_eq!(t.latency, 1);
+            assert_eq!(t.compute_uops, 1);
+            assert_eq!(t.blocking_cycles, 0);
+        }
+    }
+
+    #[test]
+    fn division_is_slow_and_blocking() {
+        for uarch in Microarch::ALL {
+            let t = traits(uarch, "DIV64r");
+            assert!(t.latency >= 15, "{uarch:?} divide latency {}", t.latency);
+            assert!(t.blocking_cycles > 0, "divider must block its port");
+        }
+    }
+
+    #[test]
+    fn skylake_shortens_fp_latencies_vs_haswell() {
+        let hsw = traits(Microarch::Haswell, "MULSDrr");
+        let skl = traits(Microarch::Skylake, "MULSDrr");
+        assert!(skl.latency < hsw.latency);
+    }
+
+    #[test]
+    fn zen2_divider_differs_from_intel() {
+        let hsw = traits(Microarch::Haswell, "DIVSDrr");
+        let zen = traits(Microarch::Zen2, "DIVSDrr");
+        assert!(zen.latency < hsw.latency);
+    }
+
+    #[test]
+    fn stack_operations_have_no_compute_latency() {
+        let t = traits(Microarch::Haswell, "PUSH64r");
+        assert_eq!(t.latency, 0);
+        assert_eq!(t.compute_uops, 0);
+    }
+
+    #[test]
+    fn documented_latency_includes_load_for_memory_forms() {
+        let registry = OpcodeRegistry::global();
+        let rm = registry.by_name("ADD32rm").unwrap();
+        let rr = registry.by_name("ADD32rr").unwrap();
+        let t_rm = InstTraits::for_opcode(Microarch::Haswell, registry.info(rm));
+        let t_rr = InstTraits::for_opcode(Microarch::Haswell, registry.info(rr));
+        assert_eq!(t_rm.documented_latency(registry.info(rm), 4), t_rr.latency + 4);
+        assert_eq!(t_rr.documented_latency(registry.info(rr), 4), t_rr.latency);
+    }
+
+    #[test]
+    fn every_opcode_has_finite_traits_on_every_uarch() {
+        let registry = OpcodeRegistry::global();
+        for uarch in Microarch::ALL {
+            for (_, info) in registry.iter() {
+                let t = InstTraits::for_opcode(uarch, info);
+                assert!(t.latency <= 64, "{} has implausible latency {}", info.name(), t.latency);
+                assert!(t.compute_uops <= 12);
+            }
+        }
+    }
+}

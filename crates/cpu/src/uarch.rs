@@ -1,0 +1,310 @@
+//! Microarchitectures and their machine-level configuration.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use difftune_isa::OpClass;
+
+/// The four microarchitectures evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Microarch {
+    /// Intel Ivy Bridge (2012).
+    IvyBridge,
+    /// Intel Haswell (2013) — the paper's primary evaluation target.
+    Haswell,
+    /// Intel Skylake (2015).
+    Skylake,
+    /// AMD Zen 2 (2019).
+    Zen2,
+}
+
+impl Microarch {
+    /// All evaluated microarchitectures, in the order used by the paper's tables.
+    pub const ALL: [Microarch; 4] = [Microarch::IvyBridge, Microarch::Haswell, Microarch::Skylake, Microarch::Zen2];
+
+    /// The display name used in tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Microarch::IvyBridge => "Ivy Bridge",
+            Microarch::Haswell => "Haswell",
+            Microarch::Skylake => "Skylake",
+            Microarch::Zen2 => "Zen 2",
+        }
+    }
+
+    /// The machine configuration of this microarchitecture's reference model.
+    pub fn config(self) -> UarchConfig {
+        UarchConfig::for_uarch(self)
+    }
+}
+
+impl fmt::Display for Microarch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for Microarch {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().replace([' ', '-', '_'], "").as_str() {
+            "ivybridge" | "ivb" => Ok(Microarch::IvyBridge),
+            "haswell" | "hsw" => Ok(Microarch::Haswell),
+            "skylake" | "skl" => Ok(Microarch::Skylake),
+            "zen2" | "zen" => Ok(Microarch::Zen2),
+            other => Err(format!("unknown microarchitecture `{other}`")),
+        }
+    }
+}
+
+/// A set of candidate execution ports, as a bitmask over the reference
+/// machine's ports.
+pub type PortSet = u16;
+
+/// Machine-level configuration of a reference microarchitecture.
+///
+/// These are the *hidden true* machine characteristics; the "documentation"
+/// used to build default simulator parameters is derived from them in
+/// [`crate::default_params`], and DiffTune never sees them directly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UarchConfig {
+    /// Number of execution ports in the reference model.
+    pub num_ports: usize,
+    /// Micro-ops dispatched (renamed) per cycle.
+    pub dispatch_width: u32,
+    /// Instructions decoded per cycle by the frontend.
+    pub decode_width: u32,
+    /// Reorder buffer capacity in micro-ops.
+    pub rob_size: u32,
+    /// Load-to-use latency of the L1 data cache.
+    pub load_latency: u32,
+    /// Extra latency of store-to-load forwarding (added on top of the load
+    /// latency when a load reads a recently stored location).
+    pub store_forward_latency: u32,
+    /// Whether register-to-register moves are eliminated at rename.
+    pub move_elimination: bool,
+    /// Whether zero idioms are executed without an execution port and break
+    /// dependencies.
+    pub zero_idiom_elimination: bool,
+    /// Relative measurement noise applied by the measurement harness.
+    pub measurement_noise: f64,
+    /// Ports able to execute each class of operation (index by port bit).
+    pub class_ports: Vec<(OpClass, PortSet)>,
+    /// Ports able to compute load addresses / execute load micro-ops.
+    pub load_ports: PortSet,
+    /// Ports able to execute store micro-ops.
+    pub store_ports: PortSet,
+}
+
+fn bits(ports: &[usize]) -> PortSet {
+    ports.iter().fold(0, |acc, &p| acc | (1 << p))
+}
+
+impl UarchConfig {
+    /// The configuration of a microarchitecture's reference model.
+    pub fn for_uarch(uarch: Microarch) -> Self {
+        use OpClass::*;
+        match uarch {
+            // Six-port core: p0/p1/p5 compute, p2/p3 loads, p4 stores.
+            Microarch::IvyBridge => UarchConfig {
+                num_ports: 6,
+                dispatch_width: 4,
+                decode_width: 4,
+                rob_size: 168,
+                load_latency: 4,
+                store_forward_latency: 1,
+                move_elimination: false,
+                zero_idiom_elimination: true,
+                measurement_noise: 0.02,
+                class_ports: vec![
+                    (IntAlu, bits(&[0, 1, 5])),
+                    (IntMul, bits(&[1])),
+                    (IntDiv, bits(&[0])),
+                    (Shift, bits(&[0, 5])),
+                    (Mov, bits(&[0, 1, 5])),
+                    (Lea, bits(&[1, 5])),
+                    (Stack, bits(&[0, 1, 5])),
+                    (BitScan, bits(&[1])),
+                    (VecAlu, bits(&[0, 1, 5])),
+                    (VecMul, bits(&[0])),
+                    (VecShuffle, bits(&[5])),
+                    (VecMov, bits(&[0, 1, 5])),
+                    (FpAdd, bits(&[1])),
+                    (FpMul, bits(&[0])),
+                    (FpDiv, bits(&[0])),
+                    (FpSqrt, bits(&[0])),
+                    (Fma, bits(&[0, 1])),
+                    (Convert, bits(&[1])),
+                    (Nop, 0),
+                ],
+                load_ports: bits(&[2, 3]),
+                store_ports: bits(&[4]),
+            },
+            // Eight-port core: p0/p1/p5/p6 compute, p2/p3 loads, p4 store data, p7 store AGU.
+            Microarch::Haswell => UarchConfig {
+                num_ports: 8,
+                dispatch_width: 4,
+                decode_width: 4,
+                rob_size: 192,
+                load_latency: 4,
+                store_forward_latency: 1,
+                move_elimination: true,
+                zero_idiom_elimination: true,
+                measurement_noise: 0.02,
+                class_ports: vec![
+                    (IntAlu, bits(&[0, 1, 5, 6])),
+                    (IntMul, bits(&[1])),
+                    (IntDiv, bits(&[0])),
+                    (Shift, bits(&[0, 6])),
+                    (Mov, bits(&[0, 1, 5, 6])),
+                    (Lea, bits(&[1, 5])),
+                    (Stack, bits(&[0, 1, 5, 6])),
+                    (BitScan, bits(&[1])),
+                    (VecAlu, bits(&[0, 1, 5])),
+                    (VecMul, bits(&[0])),
+                    (VecShuffle, bits(&[5])),
+                    (VecMov, bits(&[0, 1, 5])),
+                    (FpAdd, bits(&[1])),
+                    (FpMul, bits(&[0, 1])),
+                    (FpDiv, bits(&[0])),
+                    (FpSqrt, bits(&[0])),
+                    (Fma, bits(&[0, 1])),
+                    (Convert, bits(&[1])),
+                    (Nop, 0),
+                ],
+                load_ports: bits(&[2, 3]),
+                store_ports: bits(&[4]),
+            },
+            // Skylake: like Haswell with better vector port balance and a larger window.
+            Microarch::Skylake => UarchConfig {
+                num_ports: 8,
+                dispatch_width: 4,
+                decode_width: 5,
+                rob_size: 224,
+                load_latency: 4,
+                store_forward_latency: 1,
+                move_elimination: true,
+                zero_idiom_elimination: true,
+                measurement_noise: 0.02,
+                class_ports: vec![
+                    (IntAlu, bits(&[0, 1, 5, 6])),
+                    (IntMul, bits(&[1])),
+                    (IntDiv, bits(&[0])),
+                    (Shift, bits(&[0, 6])),
+                    (Mov, bits(&[0, 1, 5, 6])),
+                    (Lea, bits(&[1, 5])),
+                    (Stack, bits(&[0, 1, 5, 6])),
+                    (BitScan, bits(&[1])),
+                    (VecAlu, bits(&[0, 1, 5])),
+                    (VecMul, bits(&[0, 1])),
+                    (VecShuffle, bits(&[5])),
+                    (VecMov, bits(&[0, 1, 5])),
+                    (FpAdd, bits(&[0, 1])),
+                    (FpMul, bits(&[0, 1])),
+                    (FpDiv, bits(&[0])),
+                    (FpSqrt, bits(&[0])),
+                    (Fma, bits(&[0, 1])),
+                    (Convert, bits(&[1])),
+                    (Nop, 0),
+                ],
+                load_ports: bits(&[2, 3]),
+                store_ports: bits(&[4]),
+            },
+            // Zen 2: four integer ALUs (0-3), three AGUs (4-6 with 6 dedicated to
+            // stores), four FP pipes (7-9 plus sharing).
+            Microarch::Zen2 => UarchConfig {
+                num_ports: 10,
+                dispatch_width: 5,
+                decode_width: 4,
+                rob_size: 224,
+                load_latency: 4,
+                store_forward_latency: 2,
+                move_elimination: true,
+                zero_idiom_elimination: true,
+                measurement_noise: 0.025,
+                class_ports: vec![
+                    (IntAlu, bits(&[0, 1, 2, 3])),
+                    (IntMul, bits(&[1])),
+                    (IntDiv, bits(&[2])),
+                    (Shift, bits(&[0, 1, 2, 3])),
+                    (Mov, bits(&[0, 1, 2, 3])),
+                    (Lea, bits(&[0, 1, 2, 3])),
+                    (Stack, bits(&[0, 1, 2, 3])),
+                    (BitScan, bits(&[1, 3])),
+                    (VecAlu, bits(&[7, 8, 9])),
+                    (VecMul, bits(&[7])),
+                    (VecShuffle, bits(&[8, 9])),
+                    (VecMov, bits(&[7, 8, 9])),
+                    (FpAdd, bits(&[8, 9])),
+                    (FpMul, bits(&[7, 8])),
+                    (FpDiv, bits(&[7])),
+                    (FpSqrt, bits(&[7])),
+                    (Fma, bits(&[7, 8])),
+                    (Convert, bits(&[8])),
+                    (Nop, 0),
+                ],
+                load_ports: bits(&[4, 5])
+                ,
+                store_ports: bits(&[6]),
+            },
+        }
+    }
+
+    /// Candidate ports for a class of operation.
+    pub fn ports_for(&self, class: OpClass) -> PortSet {
+        self.class_ports
+            .iter()
+            .find(|(c, _)| *c == class)
+            .map(|(_, ports)| *ports)
+            .unwrap_or(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_uarchs_have_consistent_configs() {
+        for uarch in Microarch::ALL {
+            let config = uarch.config();
+            assert!(config.num_ports <= 16);
+            assert!(config.dispatch_width >= 4);
+            assert!(config.rob_size >= 128);
+            assert!(config.load_ports != 0 && config.store_ports != 0);
+            for (class, ports) in &config.class_ports {
+                if *class != OpClass::Nop {
+                    assert!(*ports != 0, "{uarch:?} has no port for {class:?}");
+                    assert!(*ports < (1 << config.num_ports), "{uarch:?} port set out of range for {class:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ports_for_unknown_class_defaults_to_port_zero() {
+        let config = Microarch::Haswell.config();
+        assert_ne!(config.ports_for(OpClass::IntAlu), 0);
+    }
+
+    #[test]
+    fn uarch_parsing_and_display() {
+        assert_eq!("haswell".parse::<Microarch>().unwrap(), Microarch::Haswell);
+        assert_eq!("Ivy Bridge".parse::<Microarch>().unwrap(), Microarch::IvyBridge);
+        assert_eq!("zen2".parse::<Microarch>().unwrap(), Microarch::Zen2);
+        assert!("pentium".parse::<Microarch>().is_err());
+        assert_eq!(Microarch::Skylake.to_string(), "Skylake");
+    }
+
+    #[test]
+    fn haswell_differs_from_ivy_bridge() {
+        let hsw = Microarch::Haswell.config();
+        let ivb = Microarch::IvyBridge.config();
+        assert!(hsw.num_ports > ivb.num_ports);
+        assert!(hsw.move_elimination && !ivb.move_elimination);
+        assert!(hsw.rob_size > ivb.rob_size);
+    }
+}

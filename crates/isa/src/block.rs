@@ -1,0 +1,171 @@
+//! Basic blocks: straight-line instruction sequences.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::parse::ParseError;
+use crate::registry::OpcodeId;
+use crate::Inst;
+
+/// A basic block: a straight-line sequence of instructions with no branches,
+/// jumps, or loops, matching the unit of measurement in BHive and the unit of
+/// simulation in llvm-mca.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BasicBlock {
+    insts: Vec<Inst>,
+}
+
+impl BasicBlock {
+    /// Creates an empty basic block.
+    pub fn new() -> Self {
+        BasicBlock { insts: Vec::new() }
+    }
+
+    /// Creates a basic block from a list of instructions.
+    pub fn from_insts(insts: Vec<Inst>) -> Self {
+        BasicBlock { insts }
+    }
+
+    /// Appends an instruction.
+    pub fn push(&mut self, inst: Inst) {
+        self.insts.push(inst);
+    }
+
+    /// The instructions in program order.
+    pub fn insts(&self) -> &[Inst] {
+        &self.insts
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// True if the block has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Iterates over the instructions in program order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Inst> {
+        self.insts.iter()
+    }
+
+    /// The distinct opcode ids used by this block, in first-use order.
+    pub fn opcodes_used(&self) -> Vec<OpcodeId> {
+        let mut seen = Vec::new();
+        for inst in &self.insts {
+            if !seen.contains(&inst.opcode()) {
+                seen.push(inst.opcode());
+            }
+        }
+        seen
+    }
+
+    /// Number of instructions that read from memory.
+    pub fn num_loads(&self) -> usize {
+        self.insts.iter().filter(|i| i.loads()).count()
+    }
+
+    /// Number of instructions that write to memory.
+    pub fn num_stores(&self) -> usize {
+        self.insts.iter().filter(|i| i.stores()).count()
+    }
+
+    /// Number of instructions whose class executes on the vector side.
+    pub fn num_vector_insts(&self) -> usize {
+        self.insts.iter().filter(|i| i.class().is_vector()).count()
+    }
+}
+
+impl FromIterator<Inst> for BasicBlock {
+    fn from_iter<T: IntoIterator<Item = Inst>>(iter: T) -> Self {
+        BasicBlock { insts: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<Inst> for BasicBlock {
+    fn extend<T: IntoIterator<Item = Inst>>(&mut self, iter: T) {
+        self.insts.extend(iter);
+    }
+}
+
+impl IntoIterator for BasicBlock {
+    type Item = Inst;
+    type IntoIter = std::vec::IntoIter<Inst>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.insts.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a BasicBlock {
+    type Item = &'a Inst;
+    type IntoIter = std::slice::Iter<'a, Inst>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.insts.iter()
+    }
+}
+
+impl fmt::Display for BasicBlock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, inst) in self.insts.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{inst}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for BasicBlock {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        crate::parse::parse_block(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_round_trips_through_text() {
+        let text = "pushq %rbx\ntestl %r8d, %r8d";
+        let block: BasicBlock = text.parse().unwrap();
+        assert_eq!(block.len(), 2);
+        assert_eq!(block.to_string(), text);
+    }
+
+    #[test]
+    fn counting_helpers() {
+        let block: BasicBlock = "movq (%rdi), %rax\naddq %rax, %rbx\nmovq %rbx, 8(%rdi)\naddsd %xmm1, %xmm0"
+            .parse()
+            .unwrap();
+        assert_eq!(block.num_loads(), 1);
+        assert_eq!(block.num_stores(), 1);
+        assert_eq!(block.num_vector_insts(), 1);
+        assert_eq!(block.opcodes_used().len(), 4);
+    }
+
+    #[test]
+    fn collects_from_iterator() {
+        let source: BasicBlock = "incq %rax\nincq %rax".parse().unwrap();
+        let collected: BasicBlock = source.iter().cloned().collect();
+        assert_eq!(collected.len(), 2);
+        assert_eq!(collected.opcodes_used().len(), 1);
+    }
+
+    #[test]
+    fn empty_block_properties() {
+        let block = BasicBlock::new();
+        assert!(block.is_empty());
+        assert_eq!(block.to_string(), "");
+        assert_eq!(block.num_loads(), 0);
+    }
+}

@@ -1,0 +1,377 @@
+//! Random basic-block generation.
+//!
+//! The generator synthesizes straight-line blocks with a configurable
+//! instruction-class mix, memory-operand density, and register-dependency
+//! density. `difftune-bhive` layers application-specific profiles (OpenBLAS,
+//! Redis, ...) on top of this generator to build its BHive-style corpus.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::opcode::{OperandKind, Width};
+use crate::registry::{OpcodeId, OpcodeRegistry};
+use crate::{BasicBlock, Inst, MemRef, Mnemonic, OpClass, Operand, Reg, RegFamily};
+
+/// Configuration for [`BlockGenerator`].
+#[derive(Debug, Clone)]
+pub struct GeneratorConfig {
+    /// Relative weight of each operation class in the generated mix.
+    pub class_weights: Vec<(OpClass, f64)>,
+    /// Probability that an instruction uses a memory operand form when the
+    /// chosen opcode family has one.
+    pub mem_operand_prob: f64,
+    /// Probability that a source register is drawn from recently written
+    /// registers (creating a dependency chain) rather than uniformly.
+    pub dependency_prob: f64,
+    /// Minimum generated block length.
+    pub min_len: usize,
+    /// Maximum generated block length.
+    pub max_len: usize,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            class_weights: vec![
+                (OpClass::IntAlu, 30.0),
+                (OpClass::Mov, 25.0),
+                (OpClass::Lea, 5.0),
+                (OpClass::Shift, 5.0),
+                (OpClass::IntMul, 2.0),
+                (OpClass::IntDiv, 0.5),
+                (OpClass::Stack, 4.0),
+                (OpClass::BitScan, 1.0),
+                (OpClass::VecMov, 8.0),
+                (OpClass::VecAlu, 6.0),
+                (OpClass::VecMul, 2.0),
+                (OpClass::VecShuffle, 2.0),
+                (OpClass::FpAdd, 4.0),
+                (OpClass::FpMul, 3.0),
+                (OpClass::FpDiv, 0.5),
+                (OpClass::FpSqrt, 0.3),
+                (OpClass::Fma, 1.0),
+                (OpClass::Convert, 0.7),
+            ],
+            mem_operand_prob: 0.35,
+            dependency_prob: 0.4,
+            min_len: 1,
+            max_len: 16,
+        }
+    }
+}
+
+/// The pool of registers the generator draws operands from, plus the recently
+/// written registers used to create dependency chains.
+#[derive(Debug, Clone)]
+pub struct OperandPool {
+    gprs: Vec<RegFamily>,
+    vecs: Vec<RegFamily>,
+    address_bases: Vec<RegFamily>,
+    recent_gpr: Vec<RegFamily>,
+    recent_vec: Vec<RegFamily>,
+}
+
+impl Default for OperandPool {
+    fn default() -> Self {
+        OperandPool {
+            // Leave %rsp/%rbp out of the general pool so they stay usable as
+            // address bases, mirroring compiler-generated code.
+            gprs: vec![
+                RegFamily::Rax,
+                RegFamily::Rbx,
+                RegFamily::Rcx,
+                RegFamily::Rdx,
+                RegFamily::Rsi,
+                RegFamily::Rdi,
+                RegFamily::R8,
+                RegFamily::R9,
+                RegFamily::R10,
+                RegFamily::R11,
+                RegFamily::R12,
+                RegFamily::R13,
+                RegFamily::R14,
+                RegFamily::R15,
+            ],
+            vecs: RegFamily::VECS.to_vec(),
+            address_bases: vec![
+                RegFamily::Rsp,
+                RegFamily::Rbp,
+                RegFamily::Rdi,
+                RegFamily::Rsi,
+                RegFamily::Rbx,
+            ],
+            recent_gpr: Vec::new(),
+            recent_vec: Vec::new(),
+        }
+    }
+}
+
+impl OperandPool {
+    fn pick_gpr<R: Rng + ?Sized>(&self, rng: &mut R, dependency_prob: f64) -> RegFamily {
+        if !self.recent_gpr.is_empty() && rng.gen_bool(dependency_prob) {
+            *self.recent_gpr.choose(rng).expect("non-empty")
+        } else {
+            *self.gprs.choose(rng).expect("non-empty")
+        }
+    }
+
+    fn pick_vec<R: Rng + ?Sized>(&self, rng: &mut R, dependency_prob: f64) -> RegFamily {
+        if !self.recent_vec.is_empty() && rng.gen_bool(dependency_prob) {
+            *self.recent_vec.choose(rng).expect("non-empty")
+        } else {
+            *self.vecs.choose(rng).expect("non-empty")
+        }
+    }
+
+    fn record_write(&mut self, family: RegFamily) {
+        let list = if family.class() == crate::RegClass::Vector {
+            &mut self.recent_vec
+        } else {
+            &mut self.recent_gpr
+        };
+        list.push(family);
+        if list.len() > 4 {
+            list.remove(0);
+        }
+    }
+}
+
+/// A random basic-block generator.
+#[derive(Debug, Clone)]
+pub struct BlockGenerator {
+    config: GeneratorConfig,
+    /// Opcode ids bucketed by (class, has-memory-operand).
+    reg_only: Vec<Vec<OpcodeId>>,
+    with_mem: Vec<Vec<OpcodeId>>,
+    weights: Vec<f64>,
+}
+
+impl BlockGenerator {
+    /// Creates a generator for the given configuration, drawing opcodes from
+    /// the global registry.
+    pub fn new(config: GeneratorConfig) -> Self {
+        let registry = OpcodeRegistry::global();
+        let classes: Vec<OpClass> = config.class_weights.iter().map(|(c, _)| *c).collect();
+        let weights: Vec<f64> = config.class_weights.iter().map(|(_, w)| *w).collect();
+        let mut reg_only = vec![Vec::new(); classes.len()];
+        let mut with_mem = vec![Vec::new(); classes.len()];
+        for (id, info) in registry.iter() {
+            // Skip 256-bit forms in generation by default; profiles that want
+            // them can still parse/construct them directly.
+            if info.width() == Width::B256 {
+                continue;
+            }
+            if let Some(slot) = classes.iter().position(|&c| c == info.class()) {
+                let bucket =
+                    if info.form().has_mem() { &mut with_mem[slot] } else { &mut reg_only[slot] };
+                // Weight common mnemonics: real code moves data with plain
+                // moves far more often than with cmov/xchg/bswap, and memory
+                // traffic is dominated by mov loads and stores rather than
+                // ALU-with-memory forms.
+                for _ in 0..generation_weight(info.mnemonic(), info.form()) {
+                    bucket.push(id);
+                }
+            }
+        }
+        BlockGenerator { config, reg_only, with_mem, weights }
+    }
+
+    /// The generator configuration.
+    pub fn config(&self) -> &GeneratorConfig {
+        &self.config
+    }
+
+    /// Generates a block whose length is drawn uniformly from
+    /// `[min_len, max_len]`.
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> BasicBlock {
+        let len = rng.gen_range(self.config.min_len..=self.config.max_len);
+        self.generate_with_len(rng, len)
+    }
+
+    /// Generates a block with exactly `len` instructions.
+    pub fn generate_with_len<R: Rng + ?Sized>(&self, rng: &mut R, len: usize) -> BasicBlock {
+        let mut pool = OperandPool::default();
+        let mut block = BasicBlock::new();
+        for _ in 0..len {
+            let inst = self.generate_inst(rng, &mut pool);
+            for family in inst.writes() {
+                if family.class() == crate::RegClass::Gpr || family.class() == crate::RegClass::Vector {
+                    pool.record_write(family);
+                }
+            }
+            block.push(inst);
+        }
+        block
+    }
+
+    /// Generates a single instruction.
+    pub fn generate_inst<R: Rng + ?Sized>(&self, rng: &mut R, pool: &mut OperandPool) -> Inst {
+        // Weighted class choice.
+        let total: f64 = self.weights.iter().sum();
+        let mut target = rng.gen_range(0.0..total);
+        let mut slot = 0;
+        for (i, w) in self.weights.iter().enumerate() {
+            if target < *w {
+                slot = i;
+                break;
+            }
+            target -= w;
+        }
+
+        // Memory operands mostly ride on plain moves in real code; other
+        // classes fold memory operands far less often.
+        let class_mem_prob = match self.classes_slot(slot) {
+            OpClass::Mov | OpClass::VecMov | OpClass::Stack => self.config.mem_operand_prob,
+            _ => self.config.mem_operand_prob * 0.3,
+        };
+        let use_mem = rng.gen_bool(class_mem_prob.clamp(0.0, 1.0));
+        let bucket = if use_mem && !self.with_mem[slot].is_empty() {
+            &self.with_mem[slot]
+        } else if !self.reg_only[slot].is_empty() {
+            &self.reg_only[slot]
+        } else {
+            &self.with_mem[slot]
+        };
+        let id = *bucket.choose(rng).expect("class bucket is empty");
+        self.instantiate(rng, id, pool)
+    }
+
+    /// The class generated for a given weight slot.
+    fn classes_slot(&self, slot: usize) -> OpClass {
+        self.config.class_weights[slot].0
+    }
+
+    /// Builds operands for an opcode.
+    fn instantiate<R: Rng + ?Sized>(&self, rng: &mut R, id: OpcodeId, pool: &mut OperandPool) -> Inst {
+        let registry = OpcodeRegistry::global();
+        let info = registry.info(id);
+        let dep = self.config.dependency_prob;
+        let width = info.width();
+        let mut operands = Vec::new();
+        for kind in info.form().operand_kinds() {
+            let operand = match kind {
+                OperandKind::Reg => {
+                    // Conversions mix register files: the integer side of a cvt
+                    // is a GPR even though the opcode is vector-width.
+                    let op_index = operands.len();
+                    let gpr_slot = match info.mnemonic() {
+                        Mnemonic::Cvtsi2ss | Mnemonic::Cvtsi2sd => op_index == 1,
+                        Mnemonic::Cvttss2si | Mnemonic::Cvttsd2si => op_index == 0,
+                        _ => !width.is_vector(),
+                    };
+                    if gpr_slot {
+                        let family = pool.pick_gpr(rng, dep);
+                        let reg_width = if width.is_vector() { Width::B64 } else { width };
+                        Operand::Reg(Reg::new(family, reg_width))
+                    } else {
+                        Operand::Reg(Reg::new(pool.pick_vec(rng, dep), Width::B128))
+                    }
+                }
+                OperandKind::Mem => {
+                    let base = *pool.address_bases.choose(rng).expect("non-empty");
+                    let disp = rng.gen_range(-8i32..32) * 8;
+                    let mem = if rng.gen_bool(0.2) {
+                        let index = pool.pick_gpr(rng, dep);
+                        MemRef {
+                            base: Some(Reg::new(base, Width::B64)),
+                            index: Some(Reg::new(index, Width::B64)),
+                            scale: *[1u8, 2, 4, 8].choose(rng).expect("non-empty"),
+                            disp,
+                        }
+                    } else {
+                        MemRef::base_disp(Reg::new(base, Width::B64), disp)
+                    };
+                    Operand::Mem(mem)
+                }
+                OperandKind::Imm => Operand::Imm(rng.gen_range(0..64)),
+            };
+            operands.push(operand);
+        }
+        Inst::new(id, operands)
+    }
+}
+
+impl Default for BlockGenerator {
+    fn default() -> Self {
+        BlockGenerator::new(GeneratorConfig::default())
+    }
+}
+
+/// Relative frequency of a mnemonic within its class bucket, approximating how
+/// often the spelling appears in compiler-generated code. Plain moves dominate
+/// data movement; conditional moves, exchanges and byte swaps are rare; memory
+/// operands appear mostly on moves rather than on read-modify-write ALU forms.
+fn generation_weight(mnemonic: Mnemonic, form: crate::Form) -> usize {
+    use Mnemonic::*;
+    let base = match mnemonic {
+        Mov => 12,
+        Movaps | Movups | Movdqa | Movdqu | Movss | Movsd => 5,
+        Movzx | Movsx => 3,
+        Cmove | Cmovne | Cmovl | Cmovg | Cmovb | Cmova => 1,
+        Sete | Setne | Setl | Setg | Setb | Seta => 1,
+        Xchg | Bswap => 1,
+        Add | Sub | Cmp | Test | And | Or | Xor | Lea => 6,
+        Adc | Sbb => 1,
+        Inc | Dec => 3,
+        Paddd | Pxor | Addps | Mulps | Addsd | Mulsd | Addss | Mulss => 4,
+        _ => 2,
+    };
+    // Read-modify-write memory destinations are much rarer than register
+    // destinations or plain loads in real code.
+    match form {
+        crate::Form::Mr | crate::Form::Mi => (base / 4).max(1),
+        _ => base,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generates_blocks_in_requested_length_range() {
+        let generator = BlockGenerator::default();
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..50 {
+            let block = generator.generate(&mut rng);
+            assert!(block.len() >= 1 && block.len() <= 16);
+        }
+    }
+
+    #[test]
+    fn generated_blocks_round_trip_through_text() {
+        let generator = BlockGenerator::default();
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let block = generator.generate_with_len(&mut rng, 6);
+            let text = block.to_string();
+            let reparsed: BasicBlock = text.parse().unwrap_or_else(|e| {
+                panic!("generated block failed to reparse: {e}\n{text}");
+            });
+            assert_eq!(reparsed.len(), block.len());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let generator = BlockGenerator::default();
+        let a = generator.generate_with_len(&mut StdRng::seed_from_u64(3), 8);
+        let b = generator.generate_with_len(&mut StdRng::seed_from_u64(3), 8);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn class_weights_shape_the_mix() {
+        let config = GeneratorConfig {
+            class_weights: vec![(OpClass::FpMul, 1.0)],
+            mem_operand_prob: 0.0,
+            ..GeneratorConfig::default()
+        };
+        let generator = BlockGenerator::new(config);
+        let mut rng = StdRng::seed_from_u64(11);
+        let block = generator.generate_with_len(&mut rng, 20);
+        assert!(block.iter().all(|i| i.class() == OpClass::FpMul));
+    }
+}

@@ -1,0 +1,259 @@
+//! Instructions: an opcode plus its explicit operands, with semantic queries.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::opcode::{DestKind, Form, OpcodeInfo, OperandKind};
+use crate::registry::{OpcodeId, OpcodeRegistry};
+use crate::{Mnemonic, OpClass, Operand, RegFamily};
+
+/// A single instruction.
+///
+/// Operands are stored in LLVM's destination-first order; [`fmt::Display`]
+/// renders AT&T syntax (source-first).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Inst {
+    opcode: OpcodeId,
+    operands: Vec<Operand>,
+}
+
+impl Inst {
+    /// Creates an instruction, validating the operands against the opcode's form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number or kinds of operands do not match the opcode's form.
+    pub fn new(opcode: OpcodeId, operands: Vec<Operand>) -> Self {
+        let info = OpcodeRegistry::global().info(opcode);
+        let kinds = info.form().operand_kinds();
+        assert_eq!(
+            kinds.len(),
+            operands.len(),
+            "opcode {} expects {} operands, got {}",
+            info.name(),
+            kinds.len(),
+            operands.len()
+        );
+        for (kind, operand) in kinds.iter().zip(&operands) {
+            let ok = match kind {
+                OperandKind::Reg => matches!(operand, Operand::Reg(_)),
+                OperandKind::Mem => matches!(operand, Operand::Mem(_)),
+                OperandKind::Imm => matches!(operand, Operand::Imm(_)),
+            };
+            assert!(ok, "operand {operand} does not match expected kind {kind:?} for {}", info.name());
+        }
+        Inst { opcode, operands }
+    }
+
+    /// The opcode id.
+    pub fn opcode(&self) -> OpcodeId {
+        self.opcode
+    }
+
+    /// The opcode's static description (resolved via the global registry).
+    pub fn info(&self) -> &'static OpcodeInfo {
+        OpcodeRegistry::global().info(self.opcode)
+    }
+
+    /// The explicit operands, in destination-first order.
+    pub fn operands(&self) -> &[Operand] {
+        &self.operands
+    }
+
+    /// The mnemonic.
+    pub fn mnemonic(&self) -> Mnemonic {
+        self.info().mnemonic()
+    }
+
+    /// The coarse operation class.
+    pub fn class(&self) -> OpClass {
+        self.info().class()
+    }
+
+    /// True if this instruction reads from memory.
+    pub fn loads(&self) -> bool {
+        self.info().loads()
+    }
+
+    /// True if this instruction writes to memory.
+    pub fn stores(&self) -> bool {
+        self.info().stores()
+    }
+
+    /// True if this instruction touches memory at all.
+    pub fn has_memory_operand(&self) -> bool {
+        self.loads() || self.stores() || self.operands.iter().any(Operand::is_mem)
+    }
+
+    /// The memory operand, if the form has one.
+    pub fn mem_operand(&self) -> Option<&crate::MemRef> {
+        self.operands.iter().find_map(Operand::as_mem)
+    }
+
+    /// True if this is a recognized zero idiom (`xorl %eax, %eax`,
+    /// `pxor %xmm0, %xmm0`, ...): a dependency-breaking instruction whose
+    /// result does not depend on its inputs.
+    pub fn is_zero_idiom(&self) -> bool {
+        if !self.mnemonic().is_zero_idiom_capable() || self.info().form() != Form::Rr {
+            return false;
+        }
+        match (self.operands[0].as_reg(), self.operands[1].as_reg()) {
+            (Some(a), Some(b)) => a.family() == b.family(),
+            _ => false,
+        }
+    }
+
+    /// Register families read by this instruction, including address registers
+    /// of memory operands and implicit reads (flags, stack pointer, ...).
+    ///
+    /// Zero idioms still report their syntactic reads; simulators that model
+    /// dependency-breaking (like the reference CPUs in `difftune-cpu`) check
+    /// [`Self::is_zero_idiom`] separately.
+    pub fn reads(&self) -> Vec<RegFamily> {
+        let info = self.info();
+        let mut reads = Vec::with_capacity(4);
+        for (i, operand) in self.operands.iter().enumerate() {
+            match operand {
+                Operand::Reg(reg) => {
+                    let is_dest = i == 0 && info.dest_kind() != DestKind::None;
+                    let dest_read = info.dest_kind() == DestKind::ReadWrite;
+                    if !is_dest || dest_read {
+                        reads.push(reg.family());
+                    }
+                }
+                Operand::Mem(mem) => reads.extend(mem.address_regs()),
+                Operand::Imm(_) => {}
+            }
+        }
+        reads.extend_from_slice(info.implicit_reads());
+        reads.sort_unstable();
+        reads.dedup();
+        reads
+    }
+
+    /// Register families written by this instruction, including implicit writes.
+    pub fn writes(&self) -> Vec<RegFamily> {
+        let info = self.info();
+        let mut writes = Vec::with_capacity(2);
+        if info.dest_kind() != DestKind::None {
+            if let Some(Operand::Reg(reg)) = self.operands.first() {
+                writes.push(reg.family());
+            }
+        }
+        writes.extend_from_slice(info.implicit_writes());
+        writes.sort_unstable();
+        writes.dedup();
+        writes
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let info = self.info();
+        let mnemonic = info.mnemonic();
+        // AT&T mnemonic spelling: base name plus a width suffix for scalar
+        // integer operations; movz/movs additionally encode the (assumed 8-bit)
+        // source width.
+        let mut name = mnemonic.att_name().to_string();
+        if mnemonic.has_width_suffix() && !info.width().is_vector() {
+            if matches!(mnemonic, Mnemonic::Movzx | Mnemonic::Movsx) {
+                name.push('b');
+            }
+            name.push_str(info.width().att_suffix());
+        }
+        write!(f, "{name}")?;
+        if !self.operands.is_empty() {
+            // AT&T order: sources first, destination last.
+            let mut ops: Vec<String> = self.operands.iter().map(|o| o.to_string()).collect();
+            ops.reverse();
+            write!(f, " {}", ops.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MemRef, Reg, RegFamily, Width};
+
+    fn registry() -> &'static OpcodeRegistry {
+        OpcodeRegistry::global()
+    }
+
+    fn reg(family: RegFamily, width: Width) -> Operand {
+        Operand::Reg(Reg::new(family, width))
+    }
+
+    #[test]
+    fn push_semantics_match_paper_case_study() {
+        let id = registry().by_name("PUSH64r").unwrap();
+        let push = Inst::new(id, vec![reg(RegFamily::Rbx, Width::B64)]);
+        assert!(push.stores());
+        assert!(!push.loads());
+        assert!(push.reads().contains(&RegFamily::Rbx));
+        assert!(push.reads().contains(&RegFamily::Rsp));
+        assert!(push.writes().contains(&RegFamily::Rsp));
+        assert_eq!(push.to_string(), "pushq %rbx");
+    }
+
+    #[test]
+    fn xor_zero_idiom_detection() {
+        let id = registry().by_name("XOR32rr").unwrap();
+        let r13d = reg(RegFamily::R13, Width::B32);
+        let zero = Inst::new(id, vec![r13d, r13d]);
+        assert!(zero.is_zero_idiom());
+        assert_eq!(zero.to_string(), "xorl %r13d, %r13d");
+
+        let other = Inst::new(id, vec![r13d, reg(RegFamily::Rax, Width::B32)]);
+        assert!(!other.is_zero_idiom());
+    }
+
+    #[test]
+    fn add_mem_reg_is_rmw_and_prints_att_order() {
+        let id = registry().by_name("ADD32mr").unwrap();
+        let mem = Operand::Mem(MemRef::base_disp(Reg::new(RegFamily::Rsp, Width::B64), 16));
+        let inst = Inst::new(id, vec![mem, reg(RegFamily::Rax, Width::B32)]);
+        assert!(inst.loads() && inst.stores());
+        assert_eq!(inst.to_string(), "addl %eax, 16(%rsp)");
+        assert!(inst.reads().contains(&RegFamily::Rsp), "address register is read");
+        assert!(inst.reads().contains(&RegFamily::Rax));
+        assert!(inst.writes().contains(&RegFamily::Flags));
+    }
+
+    #[test]
+    fn mov_dest_is_not_read() {
+        let id = registry().by_name("MOV64rr").unwrap();
+        let inst = Inst::new(id, vec![reg(RegFamily::Rdi, Width::B64), reg(RegFamily::Rsi, Width::B64)]);
+        assert_eq!(inst.reads(), vec![RegFamily::Rsi]);
+        assert_eq!(inst.writes(), vec![RegFamily::Rdi]);
+        assert_eq!(inst.to_string(), "movq %rsi, %rdi");
+    }
+
+    #[test]
+    fn shr_with_immediate_matches_figure2_block() {
+        let id = registry().by_name("SHR64mi").unwrap();
+        let mem = Operand::Mem(MemRef::base_disp(Reg::new(RegFamily::Rsp, Width::B64), 16));
+        let inst = Inst::new(id, vec![mem, Operand::Imm(5)]);
+        assert_eq!(inst.to_string(), "shrq $5, 16(%rsp)");
+        assert!(inst.loads() && inst.stores());
+    }
+
+    #[test]
+    #[should_panic]
+    fn operand_kind_mismatch_panics() {
+        let id = registry().by_name("ADD32rr").unwrap();
+        let _ = Inst::new(id, vec![Operand::Imm(1), Operand::Imm(2)]);
+    }
+
+    #[test]
+    fn division_has_implicit_rax_rdx_traffic() {
+        let id = registry().by_name("DIV64r").unwrap();
+        let inst = Inst::new(id, vec![reg(RegFamily::Rcx, Width::B64)]);
+        assert!(inst.reads().contains(&RegFamily::Rax));
+        assert!(inst.reads().contains(&RegFamily::Rdx));
+        assert!(inst.writes().contains(&RegFamily::Rax));
+        assert!(inst.writes().contains(&RegFamily::Rdx));
+    }
+}

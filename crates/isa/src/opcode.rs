@@ -1,0 +1,305 @@
+//! Opcodes: mnemonic × operand width × operand form, in LLVM's naming style.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Mnemonic, RegFamily};
+
+/// Operand/operation width in bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Width {
+    B8,
+    B16,
+    B32,
+    B64,
+    B128,
+    B256,
+}
+
+impl Width {
+    /// The width in bits.
+    pub fn bits(self) -> u32 {
+        match self {
+            Width::B8 => 8,
+            Width::B16 => 16,
+            Width::B32 => 32,
+            Width::B64 => 64,
+            Width::B128 => 128,
+            Width::B256 => 256,
+        }
+    }
+
+    /// The AT&T width suffix (`b`, `w`, `l`, `q`) for scalar widths.
+    pub fn att_suffix(self) -> &'static str {
+        match self {
+            Width::B8 => "b",
+            Width::B16 => "w",
+            Width::B32 => "l",
+            Width::B64 => "q",
+            Width::B128 | Width::B256 => "",
+        }
+    }
+
+    /// True if this width addresses the vector register file.
+    pub fn is_vector(self) -> bool {
+        matches!(self, Width::B128 | Width::B256)
+    }
+}
+
+/// Operand form in LLVM's dst-first letter encoding.
+///
+/// The letters describe the explicit operands in destination-first order:
+/// `r` register, `m` memory, `i` immediate. For example [`Form::Mr`] is a
+/// memory destination with a register source (`ADD32mr` — `addl %eax, (%rbx)`
+/// in AT&T syntax).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Form {
+    /// register ← register
+    Rr,
+    /// register ← immediate
+    Ri,
+    /// register ← memory
+    Rm,
+    /// memory ← register
+    Mr,
+    /// memory ← immediate
+    Mi,
+    /// single register operand
+    R,
+    /// single memory operand
+    M,
+    /// single immediate operand
+    I,
+    /// register ← register, immediate
+    Rri,
+    /// register ← memory, immediate
+    Rmi,
+    /// no explicit operands
+    NoOperands,
+}
+
+impl Form {
+    /// The lowercase suffix used in opcode names (`"mr"`, `"rri"`, ...).
+    pub fn name_suffix(self) -> &'static str {
+        match self {
+            Form::Rr => "rr",
+            Form::Ri => "ri",
+            Form::Rm => "rm",
+            Form::Mr => "mr",
+            Form::Mi => "mi",
+            Form::R => "r",
+            Form::M => "m",
+            Form::I => "i",
+            Form::Rri => "rri",
+            Form::Rmi => "rmi",
+            Form::NoOperands => "",
+        }
+    }
+
+    /// Expected operand kinds in destination-first order.
+    pub fn operand_kinds(self) -> &'static [OperandKind] {
+        use OperandKind::*;
+        match self {
+            Form::Rr => &[Reg, Reg],
+            Form::Ri => &[Reg, Imm],
+            Form::Rm => &[Reg, Mem],
+            Form::Mr => &[Mem, Reg],
+            Form::Mi => &[Mem, Imm],
+            Form::R => &[Reg],
+            Form::M => &[Mem],
+            Form::I => &[Imm],
+            Form::Rri => &[Reg, Reg, Imm],
+            Form::Rmi => &[Reg, Mem, Imm],
+            Form::NoOperands => &[],
+        }
+    }
+
+    /// Number of explicit operands.
+    pub fn num_operands(self) -> usize {
+        self.operand_kinds().len()
+    }
+
+    /// True if any explicit operand is a memory reference.
+    pub fn has_mem(self) -> bool {
+        self.operand_kinds().contains(&OperandKind::Mem)
+    }
+}
+
+/// The kind of an explicit operand slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OperandKind {
+    /// A register operand.
+    Reg,
+    /// A memory operand.
+    Mem,
+    /// An immediate operand.
+    Imm,
+}
+
+/// An opcode: a mnemonic instantiated at a width and operand form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Opcode {
+    /// The mnemonic.
+    pub mnemonic: Mnemonic,
+    /// The operation width.
+    pub width: Width,
+    /// The operand form.
+    pub form: Form,
+}
+
+impl Opcode {
+    /// The LLVM-style opcode name, e.g. `ADD32mr`, `PUSH64r`, `PADDDrr`,
+    /// `VADDPSYrm` (the `Y` marks 256-bit forms).
+    pub fn name(&self) -> String {
+        let base = self.mnemonic.llvm_name();
+        match self.width {
+            Width::B128 => format!("{}{}", base, self.form.name_suffix()),
+            Width::B256 => {
+                let base = if base.starts_with('V') { base } else { format!("V{base}") };
+                format!("{}Y{}", base, self.form.name_suffix())
+            }
+            w => format!("{}{}{}", base, w.bits(), self.form.name_suffix()),
+        }
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+/// How the first explicit operand (the destination slot) is accessed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DestKind {
+    /// There is no written destination (e.g. `cmp`, `test`, `push`, `nop`).
+    None,
+    /// The destination is both read and written (e.g. `add`, `shl`, `paddd`).
+    ReadWrite,
+    /// The destination is overwritten without being read (e.g. `mov`, `lea`, `pop`).
+    WriteOnly,
+}
+
+/// Full static description of an opcode: its identity plus the semantic facts
+/// the simulators need (memory behaviour, implicit register traffic, how the
+/// destination operand is accessed).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpcodeInfo {
+    opcode: Opcode,
+    name: String,
+    dest: DestKind,
+    loads: bool,
+    stores: bool,
+    implicit_reads: Vec<RegFamily>,
+    implicit_writes: Vec<RegFamily>,
+}
+
+impl OpcodeInfo {
+    pub(crate) fn new(
+        opcode: Opcode,
+        dest: DestKind,
+        loads: bool,
+        stores: bool,
+        implicit_reads: Vec<RegFamily>,
+        implicit_writes: Vec<RegFamily>,
+    ) -> Self {
+        let name = opcode.name();
+        OpcodeInfo { opcode, name, dest, loads, stores, implicit_reads, implicit_writes }
+    }
+
+    /// The opcode identity.
+    pub fn opcode(&self) -> Opcode {
+        self.opcode
+    }
+
+    /// The LLVM-style name (e.g. `"XOR32rr"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The mnemonic.
+    pub fn mnemonic(&self) -> Mnemonic {
+        self.opcode.mnemonic
+    }
+
+    /// The operation width.
+    pub fn width(&self) -> Width {
+        self.opcode.width
+    }
+
+    /// The operand form.
+    pub fn form(&self) -> Form {
+        self.opcode.form
+    }
+
+    /// The coarse operation class of the mnemonic.
+    pub fn class(&self) -> crate::OpClass {
+        self.opcode.mnemonic.class()
+    }
+
+    /// How the destination slot is accessed.
+    pub fn dest_kind(&self) -> DestKind {
+        self.dest
+    }
+
+    /// True if executing the opcode reads from memory.
+    pub fn loads(&self) -> bool {
+        self.loads
+    }
+
+    /// True if executing the opcode writes to memory.
+    pub fn stores(&self) -> bool {
+        self.stores
+    }
+
+    /// Register families read regardless of explicit operands.
+    pub fn implicit_reads(&self) -> &[RegFamily] {
+        &self.implicit_reads
+    }
+
+    /// Register families written regardless of explicit operands.
+    pub fn implicit_writes(&self) -> &[RegFamily] {
+        &self.implicit_writes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opcode_names_match_llvm_style() {
+        let add = Opcode { mnemonic: Mnemonic::Add, width: Width::B32, form: Form::Mr };
+        assert_eq!(add.name(), "ADD32mr");
+        let push = Opcode { mnemonic: Mnemonic::Push, width: Width::B64, form: Form::R };
+        assert_eq!(push.name(), "PUSH64r");
+        let paddd = Opcode { mnemonic: Mnemonic::Paddd, width: Width::B128, form: Form::Rr };
+        assert_eq!(paddd.name(), "PADDDrr");
+        let vaddps = Opcode { mnemonic: Mnemonic::Addps, width: Width::B256, form: Form::Rm };
+        assert_eq!(vaddps.name(), "VADDPSYrm");
+        let fma = Opcode { mnemonic: Mnemonic::Vfmadd231ps, width: Width::B256, form: Form::Rr };
+        assert_eq!(fma.name(), "VFMADD231PSYrr");
+        let shr = Opcode { mnemonic: Mnemonic::Shr, width: Width::B64, form: Form::Mi };
+        assert_eq!(shr.name(), "SHR64mi");
+    }
+
+    #[test]
+    fn form_operand_kinds() {
+        assert_eq!(Form::Mr.num_operands(), 2);
+        assert!(Form::Mr.has_mem());
+        assert!(!Form::Rr.has_mem());
+        assert_eq!(Form::Rri.operand_kinds().len(), 3);
+        assert_eq!(Form::NoOperands.num_operands(), 0);
+    }
+
+    #[test]
+    fn width_properties() {
+        assert_eq!(Width::B32.att_suffix(), "l");
+        assert_eq!(Width::B64.att_suffix(), "q");
+        assert!(Width::B128.is_vector());
+        assert!(!Width::B64.is_vector());
+        assert_eq!(Width::B256.bits(), 256);
+    }
+}

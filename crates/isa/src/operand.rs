@@ -1,0 +1,176 @@
+//! Instruction operands: registers, immediates, and memory references.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Reg, RegFamily};
+
+/// A memory reference in `disp(base, index, scale)` form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MemRef {
+    /// Base register, if any.
+    pub base: Option<Reg>,
+    /// Index register, if any.
+    pub index: Option<Reg>,
+    /// Scale applied to the index register (1, 2, 4 or 8).
+    pub scale: u8,
+    /// Signed displacement.
+    pub disp: i32,
+}
+
+impl MemRef {
+    /// A memory reference with only a base register.
+    pub fn base(base: Reg) -> Self {
+        MemRef { base: Some(base), index: None, scale: 1, disp: 0 }
+    }
+
+    /// A memory reference with a base register and displacement.
+    pub fn base_disp(base: Reg, disp: i32) -> Self {
+        MemRef { base: Some(base), index: None, scale: 1, disp }
+    }
+
+    /// A memory reference with base, index, scale and displacement.
+    pub fn full(base: Reg, index: Reg, scale: u8, disp: i32) -> Self {
+        MemRef { base: Some(base), index: Some(index), scale, disp }
+    }
+
+    /// Register families read to compute the effective address.
+    pub fn address_regs(&self) -> impl Iterator<Item = RegFamily> + '_ {
+        self.base
+            .iter()
+            .chain(self.index.iter())
+            .map(|r| r.family())
+    }
+}
+
+impl fmt::Display for MemRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.disp != 0 || (self.base.is_none() && self.index.is_none()) {
+            write!(f, "{}", self.disp)?;
+        }
+        if self.base.is_some() || self.index.is_some() {
+            write!(f, "(")?;
+            if let Some(base) = self.base {
+                write!(f, "{base}")?;
+            }
+            if let Some(index) = self.index {
+                write!(f, ",{index},{}", self.scale)?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+/// A single instruction operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Operand {
+    /// A register operand.
+    Reg(Reg),
+    /// An immediate operand.
+    Imm(i64),
+    /// A memory operand.
+    Mem(MemRef),
+}
+
+impl Operand {
+    /// Returns the register if this is a register operand.
+    pub fn as_reg(&self) -> Option<Reg> {
+        match self {
+            Operand::Reg(r) => Some(*r),
+            _ => None,
+        }
+    }
+
+    /// Returns the memory reference if this is a memory operand.
+    pub fn as_mem(&self) -> Option<&MemRef> {
+        match self {
+            Operand::Mem(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Returns the immediate value if this is an immediate operand.
+    pub fn as_imm(&self) -> Option<i64> {
+        match self {
+            Operand::Imm(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// True if this operand is a memory reference.
+    pub fn is_mem(&self) -> bool {
+        matches!(self, Operand::Mem(_))
+    }
+}
+
+impl From<Reg> for Operand {
+    fn from(reg: Reg) -> Self {
+        Operand::Reg(reg)
+    }
+}
+
+impl From<MemRef> for Operand {
+    fn from(mem: MemRef) -> Self {
+        Operand::Mem(mem)
+    }
+}
+
+impl From<i64> for Operand {
+    fn from(imm: i64) -> Self {
+        Operand::Imm(imm)
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Imm(i) => write!(f, "${i}"),
+            Operand::Mem(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RegFamily, Width};
+
+    fn reg(family: RegFamily) -> Reg {
+        Reg::new(family, Width::B64)
+    }
+
+    #[test]
+    fn memref_display_forms() {
+        let rsp = reg(RegFamily::Rsp);
+        let rax = reg(RegFamily::Rax);
+        assert_eq!(MemRef::base(rsp).to_string(), "(%rsp)");
+        assert_eq!(MemRef::base_disp(rsp, 16).to_string(), "16(%rsp)");
+        assert_eq!(MemRef::base_disp(rsp, -8).to_string(), "-8(%rsp)");
+        assert_eq!(MemRef::full(rsp, rax, 4, 32).to_string(), "32(%rsp,%rax,4)");
+    }
+
+    #[test]
+    fn operand_display() {
+        assert_eq!(Operand::Imm(5).to_string(), "$5");
+        assert_eq!(Operand::Reg(reg(RegFamily::Rbx)).to_string(), "%rbx");
+    }
+
+    #[test]
+    fn address_regs_collects_base_and_index() {
+        let m = MemRef::full(reg(RegFamily::Rsp), reg(RegFamily::Rax), 8, 0);
+        let families: Vec<_> = m.address_regs().collect();
+        assert_eq!(families, vec![RegFamily::Rsp, RegFamily::Rax]);
+    }
+
+    #[test]
+    fn operand_accessors() {
+        let op = Operand::Imm(3);
+        assert_eq!(op.as_imm(), Some(3));
+        assert_eq!(op.as_reg(), None);
+        assert!(!op.is_mem());
+        assert!(Operand::Mem(MemRef::base(reg(RegFamily::Rdi))).is_mem());
+    }
+}

@@ -1,0 +1,333 @@
+//! Architectural registers.
+//!
+//! Dependency tracking in the simulators happens at the granularity of a
+//! [`RegFamily`]: `%eax` and `%rax` alias the same family, matching how the
+//! out-of-order models in this workspace (and llvm-mca's register file) treat
+//! partial register writes.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// An architectural register family (aliasing class).
+///
+/// General-purpose families cover all width views (`%al`/`%ax`/`%eax`/`%rax`
+/// are all [`RegFamily::Rax`]); vector families cover the XMM/YMM views.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum RegFamily {
+    Rax,
+    Rbx,
+    Rcx,
+    Rdx,
+    Rsi,
+    Rdi,
+    Rbp,
+    Rsp,
+    R8,
+    R9,
+    R10,
+    R11,
+    R12,
+    R13,
+    R14,
+    R15,
+    Xmm0,
+    Xmm1,
+    Xmm2,
+    Xmm3,
+    Xmm4,
+    Xmm5,
+    Xmm6,
+    Xmm7,
+    Xmm8,
+    Xmm9,
+    Xmm10,
+    Xmm11,
+    Xmm12,
+    Xmm13,
+    Xmm14,
+    Xmm15,
+    /// Instruction pointer (only ever read, via RIP-relative addressing).
+    Rip,
+    /// The status flags register (EFLAGS), written by most ALU instructions.
+    Flags,
+}
+
+impl RegFamily {
+    /// All general-purpose register families, in encoding order.
+    pub const GPRS: [RegFamily; 16] = [
+        RegFamily::Rax,
+        RegFamily::Rbx,
+        RegFamily::Rcx,
+        RegFamily::Rdx,
+        RegFamily::Rsi,
+        RegFamily::Rdi,
+        RegFamily::Rbp,
+        RegFamily::Rsp,
+        RegFamily::R8,
+        RegFamily::R9,
+        RegFamily::R10,
+        RegFamily::R11,
+        RegFamily::R12,
+        RegFamily::R13,
+        RegFamily::R14,
+        RegFamily::R15,
+    ];
+
+    /// All vector register families, in encoding order.
+    pub const VECS: [RegFamily; 16] = [
+        RegFamily::Xmm0,
+        RegFamily::Xmm1,
+        RegFamily::Xmm2,
+        RegFamily::Xmm3,
+        RegFamily::Xmm4,
+        RegFamily::Xmm5,
+        RegFamily::Xmm6,
+        RegFamily::Xmm7,
+        RegFamily::Xmm8,
+        RegFamily::Xmm9,
+        RegFamily::Xmm10,
+        RegFamily::Xmm11,
+        RegFamily::Xmm12,
+        RegFamily::Xmm13,
+        RegFamily::Xmm14,
+        RegFamily::Xmm15,
+    ];
+
+    /// The register class this family belongs to.
+    pub fn class(self) -> RegClass {
+        match self {
+            RegFamily::Flags => RegClass::Flags,
+            RegFamily::Rip => RegClass::Rip,
+            f if Self::VECS.contains(&f) => RegClass::Vector,
+            _ => RegClass::Gpr,
+        }
+    }
+
+    /// A small dense index usable for tables keyed by register family.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Total number of register families (the valid range of [`Self::index`]).
+    pub const COUNT: usize = 34;
+}
+
+/// Broad register classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RegClass {
+    /// 8/16/32/64-bit general purpose registers.
+    Gpr,
+    /// 128/256-bit vector registers.
+    Vector,
+    /// The instruction pointer.
+    Rip,
+    /// The status flags.
+    Flags,
+}
+
+/// A register operand: a family viewed at a particular width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Reg {
+    family: RegFamily,
+    width: crate::Width,
+}
+
+impl Reg {
+    /// Creates a register from a family and access width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the width is not valid for the register class (e.g. a 256-bit
+    /// view of a general-purpose register).
+    pub fn new(family: RegFamily, width: crate::Width) -> Self {
+        let ok = match family.class() {
+            RegClass::Gpr => width.bits() <= 64,
+            RegClass::Vector => width.bits() >= 128,
+            RegClass::Rip => width == crate::Width::B64,
+            RegClass::Flags => width == crate::Width::B64,
+        };
+        assert!(ok, "invalid width {width:?} for register family {family:?}");
+        Reg { family, width }
+    }
+
+    /// The aliasing family of this register.
+    pub fn family(self) -> RegFamily {
+        self.family
+    }
+
+    /// The access width of this register view.
+    pub fn width(self) -> crate::Width {
+        self.width
+    }
+
+    /// Returns the same family viewed at a different width.
+    pub fn with_width(self, width: crate::Width) -> Self {
+        Reg::new(self.family, width)
+    }
+}
+
+/// The AT&T spelling of a GPR family at each width: (8, 16, 32, 64).
+fn gpr_names(family: RegFamily) -> (&'static str, &'static str, &'static str, &'static str) {
+    match family {
+        RegFamily::Rax => ("al", "ax", "eax", "rax"),
+        RegFamily::Rbx => ("bl", "bx", "ebx", "rbx"),
+        RegFamily::Rcx => ("cl", "cx", "ecx", "rcx"),
+        RegFamily::Rdx => ("dl", "dx", "edx", "rdx"),
+        RegFamily::Rsi => ("sil", "si", "esi", "rsi"),
+        RegFamily::Rdi => ("dil", "di", "edi", "rdi"),
+        RegFamily::Rbp => ("bpl", "bp", "ebp", "rbp"),
+        RegFamily::Rsp => ("spl", "sp", "esp", "rsp"),
+        RegFamily::R8 => ("r8b", "r8w", "r8d", "r8"),
+        RegFamily::R9 => ("r9b", "r9w", "r9d", "r9"),
+        RegFamily::R10 => ("r10b", "r10w", "r10d", "r10"),
+        RegFamily::R11 => ("r11b", "r11w", "r11d", "r11"),
+        RegFamily::R12 => ("r12b", "r12w", "r12d", "r12"),
+        RegFamily::R13 => ("r13b", "r13w", "r13d", "r13"),
+        RegFamily::R14 => ("r14b", "r14w", "r14d", "r14"),
+        RegFamily::R15 => ("r15b", "r15w", "r15d", "r15"),
+        _ => unreachable!("not a GPR family"),
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use crate::Width;
+        match self.family.class() {
+            RegClass::Gpr => {
+                let (b, w, d, q) = gpr_names(self.family);
+                let name = match self.width {
+                    Width::B8 => b,
+                    Width::B16 => w,
+                    Width::B32 => d,
+                    Width::B64 => q,
+                    _ => unreachable!(),
+                };
+                write!(f, "%{name}")
+            }
+            RegClass::Vector => {
+                let idx = self.family.index() - RegFamily::Xmm0.index();
+                let prefix = if self.width == Width::B256 { "ymm" } else { "xmm" };
+                write!(f, "%{prefix}{idx}")
+            }
+            RegClass::Rip => write!(f, "%rip"),
+            RegClass::Flags => write!(f, "%eflags"),
+        }
+    }
+}
+
+/// Error produced when a register name cannot be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRegError(pub(crate) String);
+
+impl fmt::Display for ParseRegError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown register name `{}`", self.0)
+    }
+}
+
+impl std::error::Error for ParseRegError {}
+
+impl FromStr for Reg {
+    type Err = ParseRegError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        use crate::Width;
+        let name = s.strip_prefix('%').unwrap_or(s);
+        if let Some(rest) = name.strip_prefix("xmm") {
+            if let Ok(i) = rest.parse::<usize>() {
+                if i < 16 {
+                    return Ok(Reg::new(RegFamily::VECS[i], Width::B128));
+                }
+            }
+        }
+        if let Some(rest) = name.strip_prefix("ymm") {
+            if let Ok(i) = rest.parse::<usize>() {
+                if i < 16 {
+                    return Ok(Reg::new(RegFamily::VECS[i], Width::B256));
+                }
+            }
+        }
+        if name == "rip" {
+            return Ok(Reg::new(RegFamily::Rip, Width::B64));
+        }
+        for family in RegFamily::GPRS {
+            let (b, w, d, q) = gpr_names(family);
+            let width = if name == b {
+                Width::B8
+            } else if name == w {
+                Width::B16
+            } else if name == d {
+                Width::B32
+            } else if name == q {
+                Width::B64
+            } else {
+                continue;
+            };
+            return Ok(Reg::new(family, width));
+        }
+        Err(ParseRegError(s.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Width;
+
+    #[test]
+    fn display_round_trips_all_gprs() {
+        for family in RegFamily::GPRS {
+            for width in [Width::B8, Width::B16, Width::B32, Width::B64] {
+                let reg = Reg::new(family, width);
+                let text = reg.to_string();
+                let parsed: Reg = text.parse().unwrap();
+                assert_eq!(parsed, reg, "round trip failed for {text}");
+            }
+        }
+    }
+
+    #[test]
+    fn display_round_trips_all_vectors() {
+        for family in RegFamily::VECS {
+            for width in [Width::B128, Width::B256] {
+                let reg = Reg::new(family, width);
+                let parsed: Reg = reg.to_string().parse().unwrap();
+                assert_eq!(parsed, reg);
+            }
+        }
+    }
+
+    #[test]
+    fn width_views_alias_same_family() {
+        let eax: Reg = "%eax".parse().unwrap();
+        let rax: Reg = "%rax".parse().unwrap();
+        assert_eq!(eax.family(), rax.family());
+        assert_ne!(eax, rax);
+    }
+
+    #[test]
+    fn unknown_register_is_an_error() {
+        assert!("%zzz".parse::<Reg>().is_err());
+        assert!("%xmm16".parse::<Reg>().is_err());
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_width_panics() {
+        let _ = Reg::new(RegFamily::Rax, Width::B128);
+    }
+
+    #[test]
+    fn family_indices_are_dense_and_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for family in RegFamily::GPRS.iter().chain(RegFamily::VECS.iter()) {
+            assert!(family.index() < RegFamily::COUNT);
+            assert!(seen.insert(family.index()));
+        }
+        assert!(RegFamily::Flags.index() < RegFamily::COUNT);
+        assert!(RegFamily::Rip.index() < RegFamily::COUNT);
+    }
+}

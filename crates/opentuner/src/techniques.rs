@@ -1,0 +1,319 @@
+//! The ensemble of search techniques driven by the bandit.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::tuner::SearchSpace;
+
+/// A search technique: proposes the next candidate given the best-so-far.
+pub trait Technique: std::fmt::Debug + Send {
+    /// A short name for reporting.
+    fn name(&self) -> &'static str;
+
+    /// Proposes a new candidate.
+    fn propose(&mut self, rng: &mut StdRng, best: &[f64], best_cost: f64, space: &SearchSpace) -> Vec<f64>;
+
+    /// Receives the evaluation of the last proposal (whether it improved the
+    /// global best). Techniques with internal state (annealing temperature,
+    /// populations) update themselves here. The default does nothing.
+    fn feedback(&mut self, _candidate: &[f64], _cost: f64, _improved: bool) {}
+}
+
+/// Uniform random sampling over the whole space.
+#[derive(Debug, Default)]
+pub struct RandomSearch;
+
+impl RandomSearch {
+    /// Creates the technique.
+    pub fn new() -> Self {
+        RandomSearch
+    }
+}
+
+impl Technique for RandomSearch {
+    fn name(&self) -> &'static str {
+        "random-search"
+    }
+
+    fn propose(&mut self, rng: &mut StdRng, _best: &[f64], _best_cost: f64, space: &SearchSpace) -> Vec<f64> {
+        space.sample(rng)
+    }
+}
+
+/// Greedy hill climbing: perturb a random subset of coordinates of the best
+/// configuration by a fraction of the parameter range.
+#[derive(Debug)]
+pub struct HillClimb {
+    step_fraction: f64,
+}
+
+impl HillClimb {
+    /// Creates a hill climber whose steps span `step_fraction` of each range.
+    pub fn new(step_fraction: f64) -> Self {
+        HillClimb { step_fraction }
+    }
+}
+
+impl Technique for HillClimb {
+    fn name(&self) -> &'static str {
+        "hill-climb"
+    }
+
+    fn propose(&mut self, rng: &mut StdRng, best: &[f64], _best_cost: f64, space: &SearchSpace) -> Vec<f64> {
+        let mut candidate = best.to_vec();
+        let dims = space.dims().max(1);
+        // Perturb ~1% of coordinates (at least one).
+        let count = (dims / 100).max(1);
+        for _ in 0..count {
+            let dim = rng.gen_range(0..dims);
+            let range = space.upper[dim] - space.lower[dim];
+            candidate[dim] += rng.gen_range(-1.0..1.0) * range * self.step_fraction;
+        }
+        candidate
+    }
+}
+
+/// Simulated annealing: hill climbing with a temperature-controlled step size
+/// that cools every time a proposal fails to improve.
+#[derive(Debug)]
+pub struct SimulatedAnnealing {
+    temperature: f64,
+}
+
+impl SimulatedAnnealing {
+    /// Creates an annealer with the given starting temperature (1.0 means
+    /// steps initially span the full parameter range).
+    pub fn new(temperature: f64) -> Self {
+        SimulatedAnnealing { temperature }
+    }
+
+    /// The current temperature (exposed for tests).
+    pub fn temperature(&self) -> f64 {
+        self.temperature
+    }
+}
+
+impl Technique for SimulatedAnnealing {
+    fn name(&self) -> &'static str {
+        "simulated-annealing"
+    }
+
+    fn propose(&mut self, rng: &mut StdRng, best: &[f64], _best_cost: f64, space: &SearchSpace) -> Vec<f64> {
+        best.iter()
+            .enumerate()
+            .map(|(dim, &value)| {
+                let range = space.upper[dim] - space.lower[dim];
+                if rng.gen_bool(0.05) {
+                    value + rng.gen_range(-1.0..1.0) * range * self.temperature
+                } else {
+                    value
+                }
+            })
+            .collect()
+    }
+
+    fn feedback(&mut self, _candidate: &[f64], _cost: f64, improved: bool) {
+        if improved {
+            self.temperature = (self.temperature * 1.05).min(1.0);
+        } else {
+            self.temperature = (self.temperature * 0.995).max(0.01);
+        }
+    }
+}
+
+/// Differential evolution over a small population.
+#[derive(Debug)]
+pub struct DifferentialEvolution {
+    population_size: usize,
+    population: Vec<Vec<f64>>,
+    costs: Vec<f64>,
+    last_proposal: Option<Vec<f64>>,
+}
+
+impl DifferentialEvolution {
+    /// Creates a differential-evolution technique with the given population size.
+    pub fn new(population_size: usize) -> Self {
+        DifferentialEvolution {
+            population_size: population_size.max(4),
+            population: Vec::new(),
+            costs: Vec::new(),
+            last_proposal: None,
+        }
+    }
+}
+
+impl Technique for DifferentialEvolution {
+    fn name(&self) -> &'static str {
+        "differential-evolution"
+    }
+
+    fn propose(&mut self, rng: &mut StdRng, best: &[f64], best_cost: f64, space: &SearchSpace) -> Vec<f64> {
+        // Seed the population lazily around the best-so-far.
+        while self.population.len() < self.population_size {
+            let member = if self.population.is_empty() { best.to_vec() } else { space.sample(rng) };
+            self.population.push(member);
+            self.costs.push(f64::INFINITY);
+        }
+        if self.costs[0].is_infinite() {
+            self.costs[0] = best_cost;
+        }
+        let pick = |rng: &mut StdRng| rng.gen_range(0..self.population_size);
+        let (a, b, c) = (pick(rng), pick(rng), pick(rng));
+        let f = 0.6;
+        let crossover = 0.2;
+        let candidate: Vec<f64> = (0..space.dims())
+            .map(|dim| {
+                if rng.gen_bool(crossover) {
+                    self.population[a][dim] + f * (self.population[b][dim] - self.population[c][dim])
+                } else {
+                    best[dim]
+                }
+            })
+            .collect();
+        self.last_proposal = Some(candidate.clone());
+        candidate
+    }
+
+    fn feedback(&mut self, candidate: &[f64], cost: f64, _improved: bool) {
+        // Replace the worst member if the candidate is better.
+        if let Some((worst_index, &worst_cost)) = self
+            .costs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        {
+            if cost < worst_cost {
+                self.population[worst_index] = candidate.to_vec();
+                self.costs[worst_index] = cost;
+            }
+        }
+    }
+}
+
+/// Pattern (coordinate) search: steps one coordinate at a time by a shrinking
+/// step size.
+#[derive(Debug)]
+pub struct PatternSearch {
+    step: f64,
+    next_dim: usize,
+    direction: f64,
+}
+
+impl PatternSearch {
+    /// Creates a pattern search starting at 25% of each parameter range.
+    pub fn new() -> Self {
+        PatternSearch { step: 0.25, next_dim: 0, direction: 1.0 }
+    }
+}
+
+impl Default for PatternSearch {
+    fn default() -> Self {
+        PatternSearch::new()
+    }
+}
+
+impl Technique for PatternSearch {
+    fn name(&self) -> &'static str {
+        "pattern-search"
+    }
+
+    fn propose(&mut self, _rng: &mut StdRng, best: &[f64], _best_cost: f64, space: &SearchSpace) -> Vec<f64> {
+        let mut candidate = best.to_vec();
+        if candidate.is_empty() {
+            return candidate;
+        }
+        let dim = self.next_dim % candidate.len();
+        let range = space.upper[dim] - space.lower[dim];
+        candidate[dim] += self.direction * self.step * range;
+        candidate
+    }
+
+    fn feedback(&mut self, _candidate: &[f64], _cost: f64, improved: bool) {
+        if improved {
+            // Keep pushing the same coordinate in the same direction.
+            return;
+        }
+        if self.direction > 0.0 {
+            self.direction = -1.0;
+        } else {
+            self.direction = 1.0;
+            self.next_dim = self.next_dim.wrapping_add(1);
+            self.step = (self.step * 0.98).max(0.01);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn space() -> SearchSpace {
+        SearchSpace::uniform(8, 0.0, 10.0)
+    }
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0)
+    }
+
+    #[test]
+    fn proposals_have_the_right_dimension() {
+        let best = vec![5.0; 8];
+        let mut techniques: Vec<Box<dyn Technique>> = vec![
+            Box::new(RandomSearch::new()),
+            Box::new(HillClimb::new(0.2)),
+            Box::new(SimulatedAnnealing::new(1.0)),
+            Box::new(DifferentialEvolution::new(6)),
+            Box::new(PatternSearch::new()),
+        ];
+        let mut r = rng();
+        for technique in &mut techniques {
+            let proposal = technique.propose(&mut r, &best, 1.0, &space());
+            assert_eq!(proposal.len(), 8, "{} proposal has wrong arity", technique.name());
+        }
+    }
+
+    #[test]
+    fn hill_climb_changes_few_coordinates() {
+        let best = vec![5.0; 8];
+        let mut hill = HillClimb::new(0.1);
+        let proposal = hill.propose(&mut rng(), &best, 1.0, &space());
+        let changed = proposal.iter().zip(&best).filter(|(a, b)| a != b).count();
+        assert!(changed >= 1 && changed <= 3);
+    }
+
+    #[test]
+    fn annealing_cools_on_failure_and_reheats_on_success() {
+        let mut annealer = SimulatedAnnealing::new(0.5);
+        annealer.feedback(&[], 1.0, false);
+        assert!(annealer.temperature() < 0.5);
+        annealer.feedback(&[], 1.0, true);
+        assert!(annealer.temperature() > 0.49);
+    }
+
+    #[test]
+    fn pattern_search_reverses_then_advances() {
+        let mut pattern = PatternSearch::new();
+        let best = vec![5.0; 8];
+        let first = pattern.propose(&mut rng(), &best, 1.0, &space());
+        assert!(first[0] > best[0]);
+        pattern.feedback(&first, 10.0, false);
+        let second = pattern.propose(&mut rng(), &best, 1.0, &space());
+        assert!(second[0] < best[0], "after a failed step the direction reverses");
+        pattern.feedback(&second, 10.0, false);
+        let third = pattern.propose(&mut rng(), &best, 1.0, &space());
+        assert_eq!(third[0], best[0], "after both directions fail it moves to the next coordinate");
+        assert!(third[1] != best[1]);
+    }
+
+    #[test]
+    fn differential_evolution_tracks_a_population() {
+        let mut de = DifferentialEvolution::new(5);
+        let best = vec![5.0; 8];
+        let mut r = rng();
+        let proposal = de.propose(&mut r, &best, 3.0, &space());
+        de.feedback(&proposal, 1.0, true);
+        let second = de.propose(&mut r, &best, 1.0, &space());
+        assert_eq!(second.len(), 8);
+    }
+}

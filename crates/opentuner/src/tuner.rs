@@ -1,0 +1,276 @@
+//! The search space and the bandit-driven ensemble tuner.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::techniques::{
+    DifferentialEvolution, HillClimb, PatternSearch, RandomSearch, SimulatedAnnealing, Technique,
+};
+
+/// A bounded box search space over `f64` parameter vectors.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchSpace {
+    /// Per-dimension lower bounds.
+    pub lower: Vec<f64>,
+    /// Per-dimension upper bounds.
+    pub upper: Vec<f64>,
+}
+
+impl SearchSpace {
+    /// Creates a space with the given per-dimension bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bound vectors differ in length or any lower bound exceeds
+    /// its upper bound.
+    pub fn new(lower: Vec<f64>, upper: Vec<f64>) -> Self {
+        assert_eq!(lower.len(), upper.len(), "bound length mismatch");
+        assert!(
+            lower.iter().zip(&upper).all(|(l, u)| l <= u),
+            "every lower bound must not exceed its upper bound"
+        );
+        SearchSpace { lower, upper }
+    }
+
+    /// A space where every dimension shares the same bounds.
+    pub fn uniform(dims: usize, lower: f64, upper: f64) -> Self {
+        SearchSpace::new(vec![lower; dims], vec![upper; dims])
+    }
+
+    /// Number of dimensions.
+    pub fn dims(&self) -> usize {
+        self.lower.len()
+    }
+
+    /// Clamps a candidate into the box.
+    pub fn clamp(&self, candidate: &mut [f64]) {
+        for ((value, lower), upper) in candidate.iter_mut().zip(&self.lower).zip(&self.upper) {
+            *value = value.clamp(*lower, *upper);
+        }
+    }
+
+    /// Samples a uniformly random point.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
+        self.lower
+            .iter()
+            .zip(&self.upper)
+            .map(|(&l, &u)| if l == u { l } else { rng.gen_range(l..=u) })
+            .collect()
+    }
+}
+
+/// Tuner configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TunerConfig {
+    /// Random seed.
+    pub seed: u64,
+    /// UCB1 exploration constant.
+    pub exploration: f64,
+    /// Optional explicit starting point (otherwise a random sample is used).
+    pub start_from_sample: bool,
+}
+
+impl Default for TunerConfig {
+    fn default() -> Self {
+        TunerConfig { seed: 0, exploration: 1.4, start_from_sample: true }
+    }
+}
+
+/// The outcome of a tuning run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TuneResult {
+    /// The best parameter vector found.
+    pub best: Vec<f64>,
+    /// The cost of the best vector.
+    pub best_cost: f64,
+    /// Cost of the best-so-far configuration after each evaluation.
+    pub history: Vec<f64>,
+    /// How many times each technique was chosen, by technique name.
+    pub technique_uses: Vec<(String, usize)>,
+}
+
+/// An OpenTuner-style ensemble tuner: a UCB1 multi-armed bandit chooses which
+/// search technique proposes the next candidate.
+#[derive(Debug)]
+pub struct BanditTuner {
+    space: SearchSpace,
+    config: TunerConfig,
+    techniques: Vec<Box<dyn Technique>>,
+    uses: Vec<usize>,
+    rewards: Vec<f64>,
+}
+
+impl BanditTuner {
+    /// Creates a tuner with the default ensemble of techniques.
+    pub fn new(space: SearchSpace, config: TunerConfig) -> Self {
+        let techniques: Vec<Box<dyn Technique>> = vec![
+            Box::new(RandomSearch::new()),
+            Box::new(HillClimb::new(0.1)),
+            Box::new(HillClimb::new(0.4)),
+            Box::new(SimulatedAnnealing::new(1.0)),
+            Box::new(DifferentialEvolution::new(12)),
+            Box::new(PatternSearch::new()),
+        ];
+        let count = techniques.len();
+        BanditTuner { space, config, techniques, uses: vec![0; count], rewards: vec![0.0; count] }
+    }
+
+    /// Creates a tuner with a caller-provided ensemble.
+    pub fn with_techniques(space: SearchSpace, config: TunerConfig, techniques: Vec<Box<dyn Technique>>) -> Self {
+        assert!(!techniques.is_empty(), "the ensemble needs at least one technique");
+        let count = techniques.len();
+        BanditTuner { space, config, techniques, uses: vec![0; count], rewards: vec![0.0; count] }
+    }
+
+    /// The search space.
+    pub fn space(&self) -> &SearchSpace {
+        &self.space
+    }
+
+    /// Runs the tuner for a fixed number of objective evaluations, minimizing
+    /// `objective`.
+    pub fn optimize<F>(&mut self, mut objective: F, evaluations: usize, ) -> TuneResult
+    where
+        F: FnMut(&[f64]) -> f64,
+    {
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut best = if self.config.start_from_sample {
+            self.space.sample(&mut rng)
+        } else {
+            self.space.lower.clone()
+        };
+        let mut best_cost = objective(&best);
+        let mut history = Vec::with_capacity(evaluations);
+        history.push(best_cost);
+
+        for iteration in 1..evaluations {
+            let technique_index = self.pick_technique(iteration);
+            let mut candidate =
+                self.techniques[technique_index].propose(&mut rng, &best, best_cost, &self.space);
+            self.space.clamp(&mut candidate);
+            let cost = objective(&candidate);
+
+            // Reward: relative improvement over the current best (clamped to [0, 1]).
+            let improvement = if cost < best_cost && best_cost.abs() > f64::EPSILON {
+                ((best_cost - cost) / best_cost.abs()).clamp(0.0, 1.0)
+            } else {
+                0.0
+            };
+            self.uses[technique_index] += 1;
+            self.rewards[technique_index] += improvement;
+            self.techniques[technique_index].feedback(&candidate, cost, cost < best_cost);
+
+            if cost < best_cost {
+                best_cost = cost;
+                best = candidate;
+            }
+            history.push(best_cost);
+        }
+
+        TuneResult {
+            best,
+            best_cost,
+            history,
+            technique_uses: self
+                .techniques
+                .iter()
+                .zip(&self.uses)
+                .map(|(t, &u)| (t.name().to_string(), u))
+                .collect(),
+        }
+    }
+
+    /// UCB1 selection over the ensemble.
+    fn pick_technique(&self, iteration: usize) -> usize {
+        // Try every technique once first.
+        if let Some(unused) = self.uses.iter().position(|&u| u == 0) {
+            return unused;
+        }
+        let total: usize = self.uses.iter().sum::<usize>().max(1);
+        let mut best_index = 0;
+        let mut best_score = f64::NEG_INFINITY;
+        for (index, (&uses, &reward)) in self.uses.iter().zip(&self.rewards).enumerate() {
+            let mean = reward / uses as f64;
+            let bonus = self.config.exploration * ((total as f64).ln() / uses as f64).sqrt();
+            let score = mean + bonus;
+            if score > best_score {
+                best_score = score;
+                best_index = index;
+            }
+        }
+        let _ = iteration;
+        best_index
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sphere(x: &[f64]) -> f64 {
+        x.iter().map(|v| (v - 2.0).powi(2)).sum()
+    }
+
+    #[test]
+    fn search_space_sampling_and_clamping() {
+        let space = SearchSpace::uniform(3, -1.0, 1.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..50 {
+            let point = space.sample(&mut rng);
+            assert!(point.iter().all(|v| (-1.0..=1.0).contains(v)));
+        }
+        let mut out_of_range = vec![5.0, -5.0, 0.0];
+        space.clamp(&mut out_of_range);
+        assert_eq!(out_of_range, vec![1.0, -1.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_bounds_panic() {
+        let _ = SearchSpace::new(vec![1.0], vec![0.0]);
+    }
+
+    #[test]
+    fn tuner_improves_on_a_smooth_objective() {
+        let space = SearchSpace::uniform(6, -10.0, 10.0);
+        let mut tuner = BanditTuner::new(space, TunerConfig { seed: 3, ..TunerConfig::default() });
+        let result = tuner.optimize(sphere, 800);
+        assert!(result.best_cost < result.history[0], "must improve over the initial sample");
+        assert!(result.best_cost < 10.0, "800 evaluations should get close on 6 dimensions, got {}", result.best_cost);
+        assert_eq!(result.history.len(), 800);
+        // History is monotone non-increasing (best-so-far).
+        assert!(result.history.windows(2).all(|w| w[1] <= w[0]));
+    }
+
+    #[test]
+    fn tuner_struggles_in_high_dimensions_with_small_budgets() {
+        // The paper's core observation: with a budget that is tiny relative to
+        // the dimensionality, black-box search barely improves.
+        let dims = 2000;
+        let space = SearchSpace::uniform(dims, 0.0, 5.0);
+        let mut tuner = BanditTuner::new(space, TunerConfig { seed: 1, ..TunerConfig::default() });
+        let result = tuner.optimize(sphere, 300);
+        // Optimum would be 0; random points average ~dims * E[(x-2)^2] ≈ 2.3k.
+        assert!(result.best_cost > 1000.0, "high-dimensional search should remain far from optimal");
+    }
+
+    #[test]
+    fn all_techniques_get_exercised() {
+        let space = SearchSpace::uniform(4, 0.0, 1.0);
+        let mut tuner = BanditTuner::new(space, TunerConfig::default());
+        let result = tuner.optimize(|x| x.iter().sum(), 200);
+        assert!(result.technique_uses.iter().all(|(_, uses)| *uses > 0));
+    }
+
+    #[test]
+    fn deterministic_given_a_seed() {
+        let space = SearchSpace::uniform(5, 0.0, 3.0);
+        let run = |seed| {
+            let mut tuner = BanditTuner::new(space.clone(), TunerConfig { seed, ..TunerConfig::default() });
+            tuner.optimize(sphere, 150).best_cost
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+}

@@ -1,0 +1,60 @@
+//! # difftune-sim
+//!
+//! The parameterized CPU simulators whose parameters DiffTune learns.
+//!
+//! Two simulators are provided, mirroring the two targets evaluated in the
+//! paper:
+//!
+//! * [`McaSimulator`] — an llvm-mca-style instruction-level out-of-order model
+//!   with dispatch, issue, execute, and retire stages, driven by the full
+//!   parameter table of [`SimParams`] (`DispatchWidth`, `ReorderBufferSize`,
+//!   per-opcode `NumMicroOps`, `WriteLatency`, `ReadAdvanceCycles`, `PortMap`).
+//! * [`UopSimulator`] — an llvm_sim-style micro-op-level model with a modeled
+//!   frontend, which consumes only `WriteLatency` and `PortMap` (interpreted as
+//!   micro-ops per port), as in the paper's Appendix A.
+//!
+//! Both implement the [`Simulator`] trait: a pure function from a parameter
+//! table and a basic block to a predicted timing (cycles per block iteration,
+//! averaged over a fixed number of unrolled iterations, matching BHive's and
+//! llvm-mca's definition of timing).
+//!
+//! # Example
+//!
+//! ```
+//! use difftune_isa::BasicBlock;
+//! use difftune_sim::{McaSimulator, SimParams, Simulator};
+//!
+//! let block: BasicBlock = "addq %rax, %rbx\naddq %rbx, %rcx".parse()?;
+//! let params = SimParams::uniform_default();
+//! let sim = McaSimulator::default();
+//! let timing = sim.predict(&params, &block);
+//! assert!(timing > 0.0);
+//! # Ok::<(), difftune_isa::ParseError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod mca;
+mod params;
+mod uop;
+
+pub use mca::{McaSimulator, Timeline, TimelineEntry};
+pub use params::{ParamBounds, PerInstParams, SimParams, NUM_PORTS, NUM_READ_ADVANCE};
+pub use uop::UopSimulator;
+
+use difftune_isa::BasicBlock;
+
+/// A parameterized basic-block CPU simulator.
+///
+/// Implementations are deterministic pure functions: the same parameters and
+/// block always produce the same predicted timing.
+pub trait Simulator: std::fmt::Debug + Send + Sync {
+    /// Predicts the timing of `block` in cycles per iteration (the number of
+    /// cycles to execute the configured number of unrolled iterations of the
+    /// block, divided by the iteration count).
+    fn predict(&self, params: &SimParams, block: &BasicBlock) -> f64;
+
+    /// A short human-readable name (`"llvm-mca"`, `"llvm_sim"`).
+    fn name(&self) -> &'static str;
+}

@@ -1,0 +1,266 @@
+//! An llvm_sim-style micro-op-level simulator (paper Appendix A).
+//!
+//! Compared to [`crate::McaSimulator`], this model:
+//!
+//! * models a simple frontend that fetches and decodes a fixed number of
+//!   instructions per cycle;
+//! * decodes every instruction into micro-ops and dispatches the micro-ops
+//!   individually, rather than simulating instructions as a whole;
+//! * interprets the `PortMap` parameter as *the number of micro-ops dispatched
+//!   to each port* (each micro-op occupies its port for one cycle), matching
+//!   Table VII;
+//! * performs register renaming with an unlimited number of physical
+//!   registers, so only true (read-after-write) dependencies stall execution.
+//!
+//! Only `WriteLatency` and `PortMap` are read from the parameter table;
+//! `NumMicroOps`, `DispatchWidth`, `ReorderBufferSize` and
+//! `ReadAdvanceCycles` are ignored, as in the paper's llvm_sim experiment.
+
+use difftune_isa::{BasicBlock, RegFamily};
+
+use crate::params::{SimParams, NUM_PORTS};
+use crate::Simulator;
+
+/// The llvm_sim-style micro-op simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UopSimulator {
+    iterations: u32,
+    frontend_width: u32,
+}
+
+impl UopSimulator {
+    /// Creates a simulator with the given number of unrolled iterations and
+    /// frontend (fetch/decode) width in instructions per cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either argument is zero.
+    pub fn new(iterations: u32, frontend_width: u32) -> Self {
+        assert!(iterations > 0, "iteration count must be positive");
+        assert!(frontend_width > 0, "frontend width must be positive");
+        UopSimulator { iterations, frontend_width }
+    }
+
+    /// The number of unrolled iterations used for each prediction.
+    pub fn iterations(&self) -> u32 {
+        self.iterations
+    }
+
+    /// The modeled frontend width in instructions per cycle.
+    pub fn frontend_width(&self) -> u32 {
+        self.frontend_width
+    }
+}
+
+impl Default for UopSimulator {
+    /// 100 iterations with a four-wide frontend (the Haswell decode width).
+    fn default() -> Self {
+        UopSimulator::new(100, 4)
+    }
+}
+
+impl Simulator for UopSimulator {
+    fn predict(&self, params: &SimParams, block: &BasicBlock) -> f64 {
+        if block.is_empty() {
+            return 0.0;
+        }
+        let total = simulate(params, block, self.iterations, self.frontend_width);
+        total as f64 / self.iterations as f64
+    }
+
+    fn name(&self) -> &'static str {
+        "llvm_sim"
+    }
+}
+
+struct StaticInst {
+    reads: Vec<RegFamily>,
+    writes: Vec<RegFamily>,
+    loads: bool,
+    stores: bool,
+    /// Ports this instruction sends micro-ops to, one entry per micro-op.
+    uop_ports: Vec<usize>,
+    write_latency: u64,
+}
+
+fn prepare(params: &SimParams, block: &BasicBlock) -> Vec<StaticInst> {
+    block
+        .iter()
+        .map(|inst| {
+            let p = params.inst(inst.opcode());
+            let mut uop_ports = Vec::new();
+            for (port, &count) in p.port_map.iter().enumerate() {
+                for _ in 0..count {
+                    uop_ports.push(port);
+                }
+            }
+            if uop_ports.is_empty() {
+                // Every instruction decodes into at least one micro-op; give it
+                // to port 0 so it still consumes an execution slot.
+                uop_ports.push(0);
+            }
+            StaticInst {
+                reads: inst.reads(),
+                writes: inst.writes(),
+                loads: inst.loads(),
+                stores: inst.stores(),
+                uop_ports,
+                write_latency: p.write_latency as u64,
+            }
+        })
+        .collect()
+}
+
+fn simulate(params: &SimParams, block: &BasicBlock, iterations: u32, frontend_width: u32) -> u64 {
+    let statics = prepare(params, block);
+    if statics.is_empty() {
+        return 0;
+    }
+    let frontend_width = frontend_width as u64;
+
+    let mut reg_ready = [0u64; RegFamily::COUNT];
+    let mut port_free = [0u64; NUM_PORTS];
+    let mut last_store_done = 0u64;
+    let mut last_retire = 0u64;
+
+    // Frontend accounting: instructions decoded per cycle.
+    let mut decode_cycle = 0u64;
+    let mut decode_slots_left = frontend_width;
+
+    for _ in 0..iterations {
+        for inst in &statics {
+            // Frontend: fetch/decode this instruction.
+            if decode_slots_left == 0 {
+                decode_cycle += 1;
+                decode_slots_left = frontend_width;
+            }
+            decode_slots_left -= 1;
+            let decoded = decode_cycle;
+
+            // True dependencies (renaming removes all false dependencies).
+            let mut deps_ready = 0u64;
+            for family in &inst.reads {
+                deps_ready = deps_ready.max(reg_ready[family.index()]);
+            }
+            if inst.loads {
+                deps_ready = deps_ready.max(last_store_done);
+            }
+            let ready = deps_ready.max(decoded);
+
+            // Dispatch each micro-op to its port; a port executes one micro-op
+            // per cycle.
+            let mut last_uop_done = ready;
+            for &port in &inst.uop_ports {
+                let start = ready.max(port_free[port]);
+                port_free[port] = start + 1;
+                last_uop_done = last_uop_done.max(start + 1);
+            }
+
+            let result_ready = last_uop_done + inst.write_latency;
+            for family in &inst.writes {
+                reg_ready[family.index()] = result_ready;
+            }
+            if inst.stores {
+                last_store_done = last_store_done.max(last_uop_done);
+            }
+
+            // In-order retirement once all micro-ops have executed and the
+            // result is available.
+            let retire = result_ready.max(last_uop_done).max(last_retire);
+            last_retire = retire;
+        }
+    }
+
+    last_retire
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use difftune_isa::OpcodeRegistry;
+
+    fn block(text: &str) -> BasicBlock {
+        text.parse().expect("test block parses")
+    }
+
+    #[test]
+    fn empty_block_is_zero() {
+        let sim = UopSimulator::default();
+        assert_eq!(sim.predict(&SimParams::uniform_default(), &BasicBlock::new()), 0.0);
+    }
+
+    #[test]
+    fn frontend_width_bounds_decode_throughput() {
+        // Independent zero-latency instructions spread over four different
+        // ports: with a 1-wide frontend the decode rate is the bottleneck.
+        let b = block("movq %rax, %rbx\naddq %rcx, %rdx\nxorq %rsi, %rdi\nsubq %r8, %r9");
+        let mut params = SimParams::uniform_default();
+        let registry = OpcodeRegistry::global();
+        for (name, port) in [("MOV64rr", 0usize), ("ADD64rr", 1), ("XOR64rr", 2), ("SUB64rr", 3)] {
+            let id = registry.by_name(name).unwrap();
+            let entry = params.inst_mut(id);
+            entry.write_latency = 0;
+            entry.port_map = [0; NUM_PORTS];
+            entry.port_map[port] = 1;
+        }
+        let narrow = UopSimulator::new(100, 1).predict(&params, &b);
+        let wide = UopSimulator::new(100, 8).predict(&params, &b);
+        assert!(narrow > wide, "narrow frontend must be slower: {narrow} vs {wide}");
+        assert!(narrow >= 3.5, "1-wide frontend decodes 4 instructions in ~4 cycles, got {narrow}");
+    }
+
+    #[test]
+    fn port_map_counts_micro_ops() {
+        // One instruction with 4 micro-ops on the same port takes ~4 cycles per
+        // iteration; spread across 4 ports it takes ~1.
+        let b = block("paddd %xmm1, %xmm0");
+        let paddd = OpcodeRegistry::global().by_name("PADDDrr").unwrap();
+        let mut same_port = SimParams::uniform_default();
+        same_port.inst_mut(paddd).write_latency = 0;
+        same_port.inst_mut(paddd).port_map = [4, 0, 0, 0, 0, 0, 0, 0, 0, 0];
+        let mut spread = same_port.clone();
+        spread.inst_mut(paddd).port_map = [1, 1, 1, 1, 0, 0, 0, 0, 0, 0];
+        let sim = UopSimulator::default();
+        let same = sim.predict(&same_port, &b);
+        let wide = sim.predict(&spread, &b);
+        assert!(same > wide * 2.0, "serializing micro-ops on one port must be slower: {same} vs {wide}");
+    }
+
+    #[test]
+    fn write_latency_lengthens_dependency_chains() {
+        let b = block("addsd %xmm1, %xmm0\naddsd %xmm0, %xmm2");
+        let sim = UopSimulator::default();
+        let mut slow = SimParams::uniform_default();
+        let mut fast = SimParams::uniform_default();
+        for p in &mut slow.per_inst {
+            p.write_latency = 5;
+        }
+        for p in &mut fast.per_inst {
+            p.write_latency = 1;
+        }
+        assert!(sim.predict(&slow, &b) > sim.predict(&fast, &b) * 2.0);
+    }
+
+    #[test]
+    fn ignores_num_micro_ops_and_rob_parameters() {
+        let b = block("addq %rax, %rbx\nsubq %rcx, %rdx");
+        let sim = UopSimulator::default();
+        let base = SimParams::uniform_default();
+        let mut tweaked = base.clone();
+        tweaked.reorder_buffer_size = 1;
+        tweaked.dispatch_width = 1;
+        for p in &mut tweaked.per_inst {
+            p.num_micro_ops = 9;
+            p.read_advance_cycles = [5, 5, 5];
+        }
+        assert_eq!(sim.predict(&base, &b), sim.predict(&tweaked, &b));
+    }
+
+    #[test]
+    fn deterministic_predictions() {
+        let b = block("mulsd %xmm1, %xmm0\naddsd %xmm0, %xmm2\nmovsd %xmm2, 8(%rsp)");
+        let sim = UopSimulator::default();
+        let params = SimParams::uniform_default();
+        assert_eq!(sim.predict(&params, &b), sim.predict(&params, &b));
+    }
+}

@@ -1,0 +1,277 @@
+//! Canonicalization of basic blocks into token sequences and of parameter
+//! tables into normalized feature vectors.
+
+use difftune_isa::{BasicBlock, Inst, OpcodeId, OpcodeRegistry, Operand, RegFamily};
+use difftune_sim::{PerInstParams, SimParams, NUM_PORTS, NUM_READ_ADVANCE};
+use difftune_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Number of per-instruction parameter features fed to the surrogate
+/// (`NumMicroOps`, `WriteLatency`, `ReadAdvanceCycles[3]`, `PortMap[10]`).
+pub const PER_INST_FEATURES: usize = 2 + NUM_READ_ADVANCE + NUM_PORTS;
+
+/// Number of global parameter features (`DispatchWidth`, `ReorderBufferSize`).
+pub const GLOBAL_FEATURES: usize = 2;
+
+/// Normalization divisors applied to per-instruction parameters before they
+/// enter the surrogate (kept modest so that the sampled training ranges map
+/// roughly to `[0, 1]`).
+pub const PER_INST_SCALES: [f32; PER_INST_FEATURES] =
+    [10.0, 10.0, 10.0, 10.0, 10.0, 4.0, 4.0, 4.0, 4.0, 4.0, 4.0, 4.0, 4.0, 4.0, 4.0];
+
+/// Normalization divisors for the global parameters.
+pub const GLOBAL_SCALES: [f32; GLOBAL_FEATURES] = [10.0, 250.0];
+
+/// The token vocabulary: one token per opcode, one per register family, plus
+/// operand-kind and structure markers.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Vocab {
+    num_opcodes: usize,
+}
+
+impl Vocab {
+    /// Builds the vocabulary over the global opcode registry.
+    pub fn new() -> Self {
+        Vocab { num_opcodes: OpcodeRegistry::global().len() }
+    }
+
+    /// Total number of tokens.
+    pub fn len(&self) -> usize {
+        self.num_opcodes + RegFamily::COUNT + 5
+    }
+
+    /// True if the vocabulary is empty (never the case in practice).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The token for an opcode.
+    pub fn opcode_token(&self, id: OpcodeId) -> usize {
+        id.index()
+    }
+
+    /// The token for a register family.
+    pub fn register_token(&self, family: RegFamily) -> usize {
+        self.num_opcodes + family.index()
+    }
+
+    /// The token marking a memory operand.
+    pub fn mem_token(&self) -> usize {
+        self.num_opcodes + RegFamily::COUNT
+    }
+
+    /// The token marking an immediate operand.
+    pub fn imm_token(&self) -> usize {
+        self.num_opcodes + RegFamily::COUNT + 1
+    }
+
+    /// The `<S>` marker (start of source operands).
+    pub fn sources_token(&self) -> usize {
+        self.num_opcodes + RegFamily::COUNT + 2
+    }
+
+    /// The `<D>` marker (start of destination operands).
+    pub fn dests_token(&self) -> usize {
+        self.num_opcodes + RegFamily::COUNT + 3
+    }
+
+    /// The `<E>` marker (end of instruction).
+    pub fn end_token(&self) -> usize {
+        self.num_opcodes + RegFamily::COUNT + 4
+    }
+
+    /// Tokenizes one instruction in Ithemal's canonical order:
+    /// `opcode <S> sources... <D> destinations... <E>`.
+    pub fn tokenize_inst(&self, inst: &Inst) -> TokenizedInst {
+        let mut tokens = Vec::with_capacity(8);
+        tokens.push(self.opcode_token(inst.opcode()));
+        tokens.push(self.sources_token());
+        for operand in inst.operands().iter().skip(1) {
+            self.push_operand(&mut tokens, operand);
+        }
+        // Implicit sources that matter for timing (e.g. the stack pointer).
+        for family in inst.info().implicit_reads() {
+            tokens.push(self.register_token(*family));
+        }
+        tokens.push(self.dests_token());
+        if let Some(first) = inst.operands().first() {
+            self.push_operand(&mut tokens, first);
+        }
+        tokens.push(self.end_token());
+        TokenizedInst { opcode: inst.opcode(), tokens }
+    }
+
+    fn push_operand(&self, tokens: &mut Vec<usize>, operand: &Operand) {
+        match operand {
+            Operand::Reg(reg) => tokens.push(self.register_token(reg.family())),
+            Operand::Imm(_) => tokens.push(self.imm_token()),
+            Operand::Mem(mem) => {
+                tokens.push(self.mem_token());
+                for family in mem.address_regs() {
+                    tokens.push(self.register_token(family));
+                }
+            }
+        }
+    }
+
+    /// Tokenizes a whole block.
+    pub fn tokenize_block(&self, block: &BasicBlock) -> TokenizedBlock {
+        TokenizedBlock { insts: block.iter().map(|inst| self.tokenize_inst(inst)).collect() }
+    }
+}
+
+impl Default for Vocab {
+    fn default() -> Self {
+        Vocab::new()
+    }
+}
+
+/// A tokenized instruction.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TokenizedInst {
+    /// The instruction's opcode (used to select its parameter-table entry).
+    pub opcode: OpcodeId,
+    /// The canonical token sequence.
+    pub tokens: Vec<usize>,
+}
+
+/// A tokenized basic block.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TokenizedBlock {
+    /// Tokenized instructions in program order.
+    pub insts: Vec<TokenizedInst>,
+}
+
+impl TokenizedBlock {
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// True if the block has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Total number of tokens across all instructions.
+    pub fn num_tokens(&self) -> usize {
+        self.insts.iter().map(|i| i.tokens.len()).sum()
+    }
+}
+
+/// The normalized per-instruction parameter feature vector for one opcode's
+/// table entry (the representation concatenated to the instruction embedding
+/// in Figure 3).
+pub fn param_features(entry: &PerInstParams) -> Tensor {
+    let mut raw = Vec::with_capacity(PER_INST_FEATURES);
+    // Lower-bounded parameters have their bound subtracted before being fed to
+    // the surrogate (Section IV): NumMicroOps has bound 1, the rest bound 0.
+    raw.push(entry.num_micro_ops.saturating_sub(1) as f32);
+    raw.push(entry.write_latency as f32);
+    raw.extend(entry.read_advance_cycles.iter().map(|&v| v as f32));
+    raw.extend(entry.port_map.iter().map(|&v| v as f32));
+    let data = raw.iter().zip(PER_INST_SCALES.iter()).map(|(v, s)| v / s).collect();
+    Tensor::vector(data)
+}
+
+/// The normalized global parameter feature vector (`DispatchWidth`,
+/// `ReorderBufferSize`).
+pub fn global_features(params: &SimParams) -> Tensor {
+    let raw = [
+        params.dispatch_width.saturating_sub(1) as f32,
+        params.reorder_buffer_size.saturating_sub(1) as f32,
+    ];
+    Tensor::vector(raw.iter().zip(GLOBAL_SCALES.iter()).map(|(v, s)| v / s).collect())
+}
+
+/// Builds the full list of per-instruction feature tensors for a block under a
+/// parameter table.
+pub fn block_param_features(params: &SimParams, block: &TokenizedBlock) -> Vec<Tensor> {
+    block.insts.iter().map(|inst| param_features(params.inst(inst.opcode))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use difftune_isa::BasicBlock;
+
+    #[test]
+    fn vocabulary_covers_opcodes_registers_and_markers() {
+        let vocab = Vocab::new();
+        let registry = OpcodeRegistry::global();
+        assert_eq!(vocab.len(), registry.len() + RegFamily::COUNT + 5);
+        assert!(vocab.end_token() < vocab.len());
+        assert!(!vocab.is_empty());
+    }
+
+    #[test]
+    fn tokenization_follows_ithemal_canonical_order() {
+        let vocab = Vocab::new();
+        let block: BasicBlock = "addl %eax, 16(%rsp)".parse().unwrap();
+        let tokenized = vocab.tokenize_block(&block);
+        assert_eq!(tokenized.len(), 1);
+        let inst = &tokenized.insts[0];
+        let registry = OpcodeRegistry::global();
+        assert_eq!(inst.opcode, registry.by_name("ADD32mr").unwrap());
+        // opcode, <S>, %eax, <D>, MEM, %rsp, <E>
+        assert_eq!(inst.tokens[0], vocab.opcode_token(inst.opcode));
+        assert_eq!(inst.tokens[1], vocab.sources_token());
+        assert!(inst.tokens.contains(&vocab.mem_token()));
+        assert!(inst.tokens.contains(&vocab.register_token(RegFamily::Rsp)));
+        assert_eq!(*inst.tokens.last().unwrap(), vocab.end_token());
+        assert!(inst.tokens.iter().all(|&t| t < vocab.len()));
+    }
+
+    #[test]
+    fn different_blocks_tokenize_differently() {
+        let vocab = Vocab::new();
+        let a: BasicBlock = "addq %rax, %rbx".parse().unwrap();
+        let b: BasicBlock = "addq %rcx, %rbx".parse().unwrap();
+        assert_ne!(vocab.tokenize_block(&a), vocab.tokenize_block(&b));
+    }
+
+    #[test]
+    fn implicit_stack_pointer_appears_for_push() {
+        let vocab = Vocab::new();
+        let block: BasicBlock = "pushq %rbx".parse().unwrap();
+        let tokenized = vocab.tokenize_block(&block);
+        assert!(tokenized.insts[0].tokens.contains(&vocab.register_token(RegFamily::Rsp)));
+    }
+
+    #[test]
+    fn param_features_are_normalized_and_bounded() {
+        let mut entry = PerInstParams::unit();
+        entry.write_latency = 5;
+        entry.num_micro_ops = 3;
+        entry.port_map[9] = 2;
+        let features = param_features(&entry);
+        assert_eq!(features.len(), PER_INST_FEATURES);
+        assert!((features.data()[0] - 0.2).abs() < 1e-6, "num_micro_ops - 1 scaled by 10");
+        assert!((features.data()[1] - 0.5).abs() < 1e-6, "write latency scaled by 10");
+        assert!(features.data().iter().all(|v| (0.0..=3.0).contains(v)));
+    }
+
+    #[test]
+    fn global_features_shape_and_normalization() {
+        let mut params = SimParams::uniform_default();
+        params.dispatch_width = 6;
+        params.reorder_buffer_size = 251;
+        let features = global_features(&params);
+        assert_eq!(features.len(), GLOBAL_FEATURES);
+        assert!((features.data()[0] - 0.5).abs() < 1e-6);
+        assert!((features.data()[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn block_param_features_follow_instruction_order() {
+        let vocab = Vocab::new();
+        let block: BasicBlock = "addq %rax, %rbx\nmulsd %xmm0, %xmm1".parse().unwrap();
+        let tokenized = vocab.tokenize_block(&block);
+        let mut params = SimParams::uniform_default();
+        params.inst_mut(tokenized.insts[1].opcode).write_latency = 7;
+        let features = block_param_features(&params, &tokenized);
+        assert_eq!(features.len(), 2);
+        assert!((features[1].data()[1] - 0.7).abs() < 1e-6);
+        assert!((features[0].data()[1] - 0.1).abs() < 1e-6);
+    }
+}

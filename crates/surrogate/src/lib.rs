@@ -1,0 +1,100 @@
+//! # difftune-surrogate
+//!
+//! Learned differentiable surrogates of basic-block CPU simulators.
+//!
+//! The paper's surrogate is a modified Ithemal model (Figure 3): a token
+//! embedding feeds a per-instruction LSTM; the resulting instruction vectors
+//! are concatenated with the proposed per-instruction and global simulator
+//! parameters and fed to a (stacked) block-level LSTM; a final linear layer
+//! produces the timing prediction. Because the surrogate is differentiable in
+//! both its weights and the parameter inputs, it can be used both to mimic the
+//! simulator (Equation 2) and, with its weights frozen, to optimize the
+//! simulator's parameters by gradient descent (Equation 3).
+//!
+//! This crate provides:
+//!
+//! * [`Vocab`] / [`TokenizedBlock`] — the Ithemal-style canonicalization of
+//!   basic blocks into token sequences;
+//! * [`param_features`] / [`global_features`] — the normalized encoding of a
+//!   simulator parameter table as surrogate inputs (shared between surrogate
+//!   training and parameter-table optimization so the two stay consistent);
+//! * [`IthemalModel`] — the LSTM surrogate (with or without parameter inputs;
+//!   without parameters it is the Ithemal baseline from Table IV);
+//! * [`FeatureMlpModel`] — a fast feature-based surrogate used for ablations
+//!   and as a cheaper drop-in when wall-clock time matters;
+//! * [`train`] — mini-batch training loops (Adam, MAPE loss, multi-threaded
+//!   gradient computation) shared by surrogate training and the Ithemal
+//!   baseline.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod encode;
+mod feature;
+mod model;
+pub mod train;
+
+pub use encode::{
+    block_param_features, global_features, param_features, TokenizedBlock, TokenizedInst, Vocab,
+    GLOBAL_FEATURES, GLOBAL_SCALES, PER_INST_FEATURES, PER_INST_SCALES,
+};
+pub use feature::{FeatureMlpConfig, FeatureMlpModel};
+pub use model::{IthemalConfig, IthemalModel};
+
+use difftune_tensor::{Graph, Var};
+
+/// A differentiable surrogate model: predicts a block timing from a tokenized
+/// block and (optionally) parameter features already present in the graph.
+///
+/// Both the LSTM surrogate and the feature MLP implement this trait, so the
+/// DiffTune optimization loop in the `difftune` crate is generic over the
+/// surrogate family.
+pub trait SurrogateModel: std::fmt::Debug + Send + Sync {
+    /// Builds the forward computation for one block.
+    ///
+    /// `per_inst_features` must contain one feature vector per instruction (in
+    /// program order) of dimension [`PER_INST_FEATURES`], and
+    /// `global_feature_var` a vector of dimension [`GLOBAL_FEATURES`]. Pass
+    /// `None` to run in baseline (Ithemal) mode without parameter inputs.
+    fn forward(
+        &self,
+        graph: &mut Graph<'_>,
+        block: &TokenizedBlock,
+        per_inst_features: Option<&[Var]>,
+        global_feature_var: Option<Var>,
+    ) -> Var;
+
+    /// The trainable parameter store backing this model.
+    fn params(&self) -> &difftune_tensor::Params;
+
+    /// Mutable access to the trainable parameter store.
+    fn params_mut(&mut self) -> &mut difftune_tensor::Params;
+
+    /// Whether the model consumes parameter features (surrogate mode) or not
+    /// (baseline mode).
+    fn uses_parameter_inputs(&self) -> bool;
+}
+
+impl<T: SurrogateModel + ?Sized> SurrogateModel for Box<T> {
+    fn forward(
+        &self,
+        graph: &mut Graph<'_>,
+        block: &TokenizedBlock,
+        per_inst_features: Option<&[Var]>,
+        global_feature_var: Option<Var>,
+    ) -> Var {
+        (**self).forward(graph, block, per_inst_features, global_feature_var)
+    }
+
+    fn params(&self) -> &difftune_tensor::Params {
+        (**self).params()
+    }
+
+    fn params_mut(&mut self) -> &mut difftune_tensor::Params {
+        (**self).params_mut()
+    }
+
+    fn uses_parameter_inputs(&self) -> bool {
+        (**self).uses_parameter_inputs()
+    }
+}

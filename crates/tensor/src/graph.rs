@@ -1,0 +1,511 @@
+//! The computation graph (tape) and reverse-mode differentiation.
+
+use crate::params::{Grads, ParamId, Params};
+use crate::Tensor;
+
+/// A node handle within a [`Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Var(usize);
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// A leaf referencing a trainable parameter.
+    Param(ParamId),
+    /// A leaf holding constant input data.
+    Input,
+    Add(Var, Var),
+    Sub(Var, Var),
+    Mul(Var, Var),
+    Scale(Var, f32),
+    AddScalar(Var),
+    MatVec { w: Var, x: Var },
+    Sigmoid(Var),
+    Tanh(Var),
+    Relu(Var),
+    Abs(Var),
+    Concat(Vec<Var>),
+    Slice { src: Var, start: usize, len: usize },
+    Row { table: Var, row: usize },
+    Sum(Var),
+    Mean(Var),
+}
+
+#[derive(Debug)]
+struct Node {
+    op: Op,
+    value: Tensor,
+}
+
+/// A dynamically built computation graph over a borrowed parameter store.
+///
+/// Graphs are cheap, single-use objects: build one per sample (or per
+/// forward/backward pass), call [`Graph::backward`], and drop it.
+#[derive(Debug)]
+pub struct Graph<'p> {
+    params: &'p Params,
+    nodes: Vec<Node>,
+}
+
+impl<'p> Graph<'p> {
+    /// Creates an empty graph over a parameter store.
+    pub fn new(params: &'p Params) -> Self {
+        Graph { params, nodes: Vec::with_capacity(64) }
+    }
+
+    fn push(&mut self, op: Op, value: Tensor) -> Var {
+        self.nodes.push(Node { op, value });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// The computed value of a node as a slice.
+    pub fn value(&self, var: Var) -> &[f32] {
+        self.nodes[var.0].value.data()
+    }
+
+    /// The computed value of a node as a tensor.
+    pub fn value_tensor(&self, var: Var) -> &Tensor {
+        &self.nodes[var.0].value
+    }
+
+    /// A leaf node referencing a trainable parameter; gradients flow into the
+    /// corresponding [`Grads`] slot during [`Graph::backward`].
+    pub fn param(&mut self, id: ParamId) -> Var {
+        let value = self.params.get(id).clone();
+        self.push(Op::Param(id), value)
+    }
+
+    /// A constant input leaf (no gradient).
+    pub fn input(&mut self, value: Tensor) -> Var {
+        self.push(Op::Input, value)
+    }
+
+    /// Elementwise addition. Shapes must match.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let value = zip(&self.nodes[a.0].value, &self.nodes[b.0].value, |x, y| x + y);
+        self.push(Op::Add(a, b), value)
+    }
+
+    /// Elementwise subtraction (`a - b`). Shapes must match.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let value = zip(&self.nodes[a.0].value, &self.nodes[b.0].value, |x, y| x - y);
+        self.push(Op::Sub(a, b), value)
+    }
+
+    /// Elementwise multiplication. Shapes must match.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let value = zip(&self.nodes[a.0].value, &self.nodes[b.0].value, |x, y| x * y);
+        self.push(Op::Mul(a, b), value)
+    }
+
+    /// Multiplies every element by a constant.
+    pub fn scale(&mut self, a: Var, factor: f32) -> Var {
+        let value = map(&self.nodes[a.0].value, |x| x * factor);
+        self.push(Op::Scale(a, factor), value)
+    }
+
+    /// Adds a constant to every element.
+    pub fn add_scalar(&mut self, a: Var, constant: f32) -> Var {
+        let value = map(&self.nodes[a.0].value, |x| x + constant);
+        self.push(Op::AddScalar(a), value)
+    }
+
+    /// Matrix-vector product `w · x` where `w` is `[m, n]` and `x` is `[n]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes are incompatible.
+    pub fn matvec(&mut self, w: Var, x: Var) -> Var {
+        let wt = &self.nodes[w.0].value;
+        let xt = &self.nodes[x.0].value;
+        assert_eq!(wt.shape().len(), 2, "matvec weight must be a matrix");
+        let (m, n) = (wt.rows(), wt.cols());
+        assert_eq!(xt.len(), n, "matvec shape mismatch: [{m}, {n}] · [{}]", xt.len());
+        let mut out = vec![0.0f32; m];
+        let wd = wt.data();
+        let xd = xt.data();
+        for i in 0..m {
+            let row = &wd[i * n..(i + 1) * n];
+            let mut acc = 0.0f32;
+            for j in 0..n {
+                acc += row[j] * xd[j];
+            }
+            out[i] = acc;
+        }
+        self.push(Op::MatVec { w, x }, Tensor::vector(out))
+    }
+
+    /// Elementwise logistic sigmoid.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let value = map(&self.nodes[a.0].value, |x| 1.0 / (1.0 + (-x).exp()));
+        self.push(Op::Sigmoid(a), value)
+    }
+
+    /// Elementwise hyperbolic tangent.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let value = map(&self.nodes[a.0].value, f32::tanh);
+        self.push(Op::Tanh(a), value)
+    }
+
+    /// Elementwise rectified linear unit.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let value = map(&self.nodes[a.0].value, |x| x.max(0.0));
+        self.push(Op::Relu(a), value)
+    }
+
+    /// Elementwise absolute value.
+    pub fn abs(&mut self, a: Var) -> Var {
+        let value = map(&self.nodes[a.0].value, f32::abs);
+        self.push(Op::Abs(a), value)
+    }
+
+    /// Concatenates vectors into one vector.
+    pub fn concat(&mut self, parts: &[Var]) -> Var {
+        let mut data = Vec::new();
+        for part in parts {
+            data.extend_from_slice(self.nodes[part.0].value.data());
+        }
+        self.push(Op::Concat(parts.to_vec()), Tensor::vector(data))
+    }
+
+    /// A contiguous slice `[start, start + len)` of a vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice is out of range.
+    pub fn slice(&mut self, src: Var, start: usize, len: usize) -> Var {
+        let data = self.nodes[src.0].value.data()[start..start + len].to_vec();
+        self.push(Op::Slice { src, start, len }, Tensor::vector(data))
+    }
+
+    /// Row `row` of a matrix-valued node (used for embedding lookups).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is not a matrix or the row is out of range.
+    pub fn row(&mut self, table: Var, row: usize) -> Var {
+        let data = self.nodes[table.0].value.row(row).to_vec();
+        self.push(Op::Row { table, row }, Tensor::vector(data))
+    }
+
+    /// Sum of all elements (produces a scalar).
+    pub fn sum(&mut self, a: Var) -> Var {
+        let total: f32 = self.nodes[a.0].value.data().iter().sum();
+        self.push(Op::Sum(a), Tensor::scalar(total))
+    }
+
+    /// Mean of all elements (produces a scalar).
+    pub fn mean(&mut self, a: Var) -> Var {
+        let t = &self.nodes[a.0].value;
+        let mean = if t.is_empty() { 0.0 } else { t.data().iter().sum::<f32>() / t.len() as f32 };
+        self.push(Op::Mean(a), Tensor::scalar(mean))
+    }
+
+    /// Runs reverse-mode differentiation from `loss` (which must be a scalar
+    /// node), accumulating parameter gradients into `grads` with weight
+    /// `1.0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` is not a single-element node.
+    pub fn backward(&self, loss: Var, grads: &mut Grads) {
+        self.backward_scaled(loss, grads, 1.0);
+    }
+
+    /// Like [`Graph::backward`] but seeds the loss gradient with `seed`
+    /// (useful for averaging over a batch without rescaling afterwards).
+    pub fn backward_scaled(&self, loss: Var, grads: &mut Grads, seed: f32) {
+        assert_eq!(self.nodes[loss.0].value.len(), 1, "backward requires a scalar loss");
+        let mut node_grads: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
+        node_grads[loss.0] = Some(Tensor::scalar(seed));
+
+        for index in (0..self.nodes.len()).rev() {
+            let Some(grad) = node_grads[index].take() else { continue };
+            let node = &self.nodes[index];
+            match &node.op {
+                Op::Input => {}
+                Op::Param(id) => grads.accumulate(*id, &grad, 1.0),
+                Op::Add(a, b) => {
+                    add_grad(&mut node_grads, *a, grad.data(), 1.0);
+                    add_grad(&mut node_grads, *b, grad.data(), 1.0);
+                }
+                Op::Sub(a, b) => {
+                    add_grad(&mut node_grads, *a, grad.data(), 1.0);
+                    add_grad(&mut node_grads, *b, grad.data(), -1.0);
+                }
+                Op::Mul(a, b) => {
+                    let bv: Vec<f32> =
+                        grad.data().iter().zip(self.nodes[b.0].value.data()).map(|(g, v)| g * v).collect();
+                    let av: Vec<f32> =
+                        grad.data().iter().zip(self.nodes[a.0].value.data()).map(|(g, v)| g * v).collect();
+                    add_grad(&mut node_grads, *a, &bv, 1.0);
+                    add_grad(&mut node_grads, *b, &av, 1.0);
+                }
+                Op::Scale(a, factor) => add_grad(&mut node_grads, *a, grad.data(), *factor),
+                Op::AddScalar(a) => add_grad(&mut node_grads, *a, grad.data(), 1.0),
+                Op::MatVec { w, x } => {
+                    let wt = &self.nodes[w.0].value;
+                    let xt = &self.nodes[x.0].value;
+                    let (m, n) = (wt.rows(), wt.cols());
+                    // dL/dW[i,j] = g[i] * x[j]; dL/dx[j] = sum_i g[i] * W[i,j]
+                    let g = grad.data();
+                    let mut dw = vec![0.0f32; m * n];
+                    let mut dx = vec![0.0f32; n];
+                    let wd = wt.data();
+                    let xd = xt.data();
+                    for i in 0..m {
+                        let gi = g[i];
+                        if gi == 0.0 {
+                            continue;
+                        }
+                        let row = &wd[i * n..(i + 1) * n];
+                        let drow = &mut dw[i * n..(i + 1) * n];
+                        for j in 0..n {
+                            drow[j] += gi * xd[j];
+                            dx[j] += gi * row[j];
+                        }
+                    }
+                    add_grad_shaped(&mut node_grads, *w, Tensor::matrix(m, n, dw));
+                    add_grad(&mut node_grads, *x, &dx, 1.0);
+                }
+                Op::Sigmoid(a) => {
+                    let d: Vec<f32> = grad
+                        .data()
+                        .iter()
+                        .zip(node.value.data())
+                        .map(|(g, y)| g * y * (1.0 - y))
+                        .collect();
+                    add_grad(&mut node_grads, *a, &d, 1.0);
+                }
+                Op::Tanh(a) => {
+                    let d: Vec<f32> =
+                        grad.data().iter().zip(node.value.data()).map(|(g, y)| g * (1.0 - y * y)).collect();
+                    add_grad(&mut node_grads, *a, &d, 1.0);
+                }
+                Op::Relu(a) => {
+                    let d: Vec<f32> = grad
+                        .data()
+                        .iter()
+                        .zip(self.nodes[a.0].value.data())
+                        .map(|(g, x)| if *x > 0.0 { *g } else { 0.0 })
+                        .collect();
+                    add_grad(&mut node_grads, *a, &d, 1.0);
+                }
+                Op::Abs(a) => {
+                    let d: Vec<f32> = grad
+                        .data()
+                        .iter()
+                        .zip(self.nodes[a.0].value.data())
+                        .map(|(g, x)| if *x >= 0.0 { *g } else { -*g })
+                        .collect();
+                    add_grad(&mut node_grads, *a, &d, 1.0);
+                }
+                Op::Concat(parts) => {
+                    let mut offset = 0;
+                    for part in parts {
+                        let len = self.nodes[part.0].value.len();
+                        add_grad(&mut node_grads, *part, &grad.data()[offset..offset + len], 1.0);
+                        offset += len;
+                    }
+                }
+                Op::Slice { src, start, len } => {
+                    let total = self.nodes[src.0].value.len();
+                    let mut d = vec![0.0f32; total];
+                    d[*start..*start + *len].copy_from_slice(grad.data());
+                    add_grad(&mut node_grads, *src, &d, 1.0);
+                }
+                Op::Row { table, row } => {
+                    // Fast path: embedding tables are parameter leaves, so the
+                    // gradient can be scattered sparsely without materializing a
+                    // dense table-sized gradient on the tape.
+                    let table_node = &self.nodes[table.0];
+                    if let Op::Param(id) = table_node.op {
+                        let cols = table_node.value.cols();
+                        grads.accumulate_at(id, table_node.value.shape(), row * cols, grad.data(), 1.0);
+                    } else {
+                        let shape = table_node.value.shape().to_vec();
+                        let cols = table_node.value.cols();
+                        let mut dense = Tensor::zeros(shape);
+                        dense.data_mut()[row * cols..row * cols + grad.len()].copy_from_slice(grad.data());
+                        add_grad_shaped(&mut node_grads, *table, dense);
+                    }
+                }
+                Op::Sum(a) => {
+                    let g = grad.item();
+                    let d = vec![g; self.nodes[a.0].value.len()];
+                    add_grad(&mut node_grads, *a, &d, 1.0);
+                }
+                Op::Mean(a) => {
+                    let len = self.nodes[a.0].value.len().max(1);
+                    let g = grad.item() / len as f32;
+                    let d = vec![g; self.nodes[a.0].value.len()];
+                    add_grad(&mut node_grads, *a, &d, 1.0);
+                }
+            }
+        }
+    }
+
+    /// Number of nodes recorded on the tape.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+fn map(t: &Tensor, f: impl Fn(f32) -> f32) -> Tensor {
+    Tensor::from_vec(t.data().iter().map(|&x| f(x)).collect(), t.shape().to_vec())
+}
+
+fn zip(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+    assert_eq!(a.shape(), b.shape(), "elementwise shape mismatch: {:?} vs {:?}", a.shape(), b.shape());
+    Tensor::from_vec(
+        a.data().iter().zip(b.data()).map(|(&x, &y)| f(x, y)).collect(),
+        a.shape().to_vec(),
+    )
+}
+
+fn add_grad(grads: &mut [Option<Tensor>], var: Var, values: &[f32], scale: f32) {
+    let slot = &mut grads[var.0];
+    match slot {
+        Some(existing) => {
+            for (dst, src) in existing.data_mut().iter_mut().zip(values) {
+                *dst += src * scale;
+            }
+        }
+        None => {
+            let data: Vec<f32> = values.iter().map(|v| v * scale).collect();
+            let len = data.len();
+            *slot = Some(Tensor::from_vec(data, vec![len]));
+        }
+    }
+}
+
+fn add_grad_shaped(grads: &mut [Option<Tensor>], var: Var, value: Tensor) {
+    let slot = &mut grads[var.0];
+    match slot {
+        Some(existing) => existing.add_scaled(&value, 1.0),
+        None => *slot = Some(value),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::finite_difference_check;
+
+    #[test]
+    fn forward_values_are_correct() {
+        let mut params = Params::new();
+        let w = params.add("w", Tensor::matrix(2, 3, vec![1.0, 0.0, 0.0, 0.0, 2.0, 0.0]));
+        let mut g = Graph::new(&params);
+        let w_var = g.param(w);
+        let x = g.input(Tensor::vector(vec![1.0, 2.0, 3.0]));
+        let y = g.matvec(w_var, x);
+        assert_eq!(g.value(y), &[1.0, 4.0]);
+        let s = g.sigmoid(y);
+        assert!((g.value(s)[0] - 0.7310586).abs() < 1e-5);
+        let total = g.sum(s);
+        assert_eq!(g.value(total).len(), 1);
+    }
+
+    #[test]
+    fn simple_backward_matches_hand_computation() {
+        // loss = sum(w * x), dloss/dw = x
+        let mut params = Params::new();
+        let w = params.add("w", Tensor::vector(vec![2.0, -1.0]));
+        let mut g = Graph::new(&params);
+        let wv = g.param(w);
+        let x = g.input(Tensor::vector(vec![3.0, 4.0]));
+        let y = g.mul(wv, x);
+        let loss = g.sum(y);
+        let mut grads = Grads::new(&params);
+        g.backward(loss, &mut grads);
+        assert_eq!(grads.get(w).unwrap().data(), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn gradcheck_matvec_chain() {
+        finite_difference_check(
+            &[("w", Tensor::matrix(3, 4, (0..12).map(|i| 0.1 * i as f32 - 0.5).collect()))],
+            |g, ids| {
+                let w = g.param(ids[0]);
+                let x = g.input(Tensor::vector(vec![0.3, -0.2, 0.5, 1.0]));
+                let h = g.matvec(w, x);
+                let a = g.tanh(h);
+                g.sum(a)
+            },
+        );
+    }
+
+    #[test]
+    fn gradcheck_elementwise_and_slice_ops() {
+        finite_difference_check(
+            &[("v", Tensor::vector(vec![0.5, -0.3, 1.2, -2.0, 0.4, 0.7]))],
+            |g, ids| {
+                let v = g.param(ids[0]);
+                let a = g.slice(v, 0, 3);
+                let b = g.slice(v, 3, 3);
+                let prod = g.mul(a, b);
+                let s = g.sigmoid(prod);
+                let r = g.relu(b);
+                let abs = g.abs(a);
+                let cat = g.concat(&[s, r, abs]);
+                let scaled = g.scale(cat, 1.5);
+                let shifted = g.add_scalar(scaled, 0.1);
+                g.mean(shifted)
+            },
+        );
+    }
+
+    #[test]
+    fn gradcheck_row_lookup() {
+        finite_difference_check(
+            &[("table", Tensor::matrix(4, 3, (0..12).map(|i| i as f32 * 0.25 - 1.0).collect()))],
+            |g, ids| {
+                let table = g.param(ids[0]);
+                let r0 = g.row(table, 1);
+                let r1 = g.row(table, 3);
+                let sum = g.add(r0, r1);
+                let t = g.tanh(sum);
+                g.sum(t)
+            },
+        );
+    }
+
+    #[test]
+    fn gradcheck_sub_and_abs_loss() {
+        finite_difference_check(&[("p", Tensor::vector(vec![2.0, -0.4]))], |g, ids| {
+            let p = g.param(ids[0]);
+            let target = g.input(Tensor::vector(vec![1.0, 1.0]));
+            let diff = g.sub(p, target);
+            let abs = g.abs(diff);
+            g.sum(abs)
+        });
+    }
+
+    #[test]
+    fn backward_scaled_applies_seed() {
+        let mut params = Params::new();
+        let w = params.add("w", Tensor::vector(vec![1.0]));
+        let mut g = Graph::new(&params);
+        let wv = g.param(w);
+        let loss = g.sum(wv);
+        let mut grads = Grads::new(&params);
+        g.backward_scaled(loss, &mut grads, 0.25);
+        assert_eq!(grads.get(w).unwrap().data(), &[0.25]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn backward_requires_scalar_loss() {
+        let mut params = Params::new();
+        let w = params.add("w", Tensor::vector(vec![1.0, 2.0]));
+        let mut g = Graph::new(&params);
+        let wv = g.param(w);
+        let mut grads = Grads::new(&params);
+        g.backward(wv, &mut grads);
+    }
+}

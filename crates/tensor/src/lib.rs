@@ -1,0 +1,52 @@
+//! # difftune-tensor
+//!
+//! A minimal reverse-mode automatic differentiation engine, built from scratch
+//! so that the learned differentiable surrogate in `difftune-surrogate` (and
+//! the gradient-based parameter-table optimization in `difftune`) do not need
+//! an external deep-learning framework.
+//!
+//! The design is deliberately small and CPU-oriented:
+//!
+//! * [`Tensor`] — a dense row-major `f32` tensor (vectors and matrices).
+//! * [`Params`] / [`ParamId`] — a named parameter store; parameters are shared
+//!   immutably with computation graphs and updated by an [`optim`] optimizer.
+//! * [`Graph`] / [`Var`] — a tape: building an expression records nodes, and
+//!   [`Graph::backward`] walks the tape in reverse accumulating gradients into
+//!   a [`Grads`] store keyed by [`ParamId`].
+//! * [`nn`] — the layers the Ithemal-style surrogate needs: linear layers,
+//!   embedding tables, and (stacked) LSTM cells.
+//! * [`optim`] — SGD and Adam.
+//! * [`check`] — finite-difference gradient checking used heavily in tests.
+//!
+//! # Example
+//!
+//! ```
+//! use difftune_tensor::{Graph, Grads, Params, Tensor};
+//!
+//! let mut params = Params::new();
+//! let w = params.add("w", Tensor::from_vec(vec![2.0, -1.0], vec![2]));
+//! let mut graph = Graph::new(&params);
+//! let w_var = graph.param(w);
+//! let x = graph.input(Tensor::from_vec(vec![3.0, 4.0], vec![2]));
+//! let y = graph.mul(w_var, x);
+//! let loss = graph.sum(y); // 2*3 + (-1)*4 = 2
+//! assert_eq!(graph.value(loss)[0], 2.0);
+//!
+//! let mut grads = Grads::new(&params);
+//! graph.backward(loss, &mut grads);
+//! assert_eq!(grads.get(w).unwrap().data(), &[3.0, 4.0]);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod check;
+mod graph;
+pub mod nn;
+pub mod optim;
+mod params;
+mod tensor;
+
+pub use graph::{Graph, Var};
+pub use params::{Grads, ParamId, Params};
+pub use tensor::Tensor;

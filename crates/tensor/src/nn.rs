@@ -1,0 +1,380 @@
+//! Neural network layers: linear, embedding, and LSTM cells.
+
+use rand::Rng;
+
+use crate::{Graph, ParamId, Params, Tensor, Var};
+
+/// Creates a tensor with uniform Xavier/Glorot initialization for a layer with
+/// the given fan-in and fan-out.
+pub fn xavier_init<R: Rng + ?Sized>(rng: &mut R, rows: usize, cols: usize) -> Tensor {
+    let bound = (6.0 / (rows + cols) as f32).sqrt();
+    let data = (0..rows * cols).map(|_| rng.gen_range(-bound..bound)).collect();
+    Tensor::matrix(rows, cols, data)
+}
+
+/// Creates a vector initialized uniformly in `[-bound, bound]`.
+pub fn uniform_vector<R: Rng + ?Sized>(rng: &mut R, len: usize, bound: f32) -> Tensor {
+    Tensor::vector((0..len).map(|_| rng.gen_range(-bound..bound)).collect())
+}
+
+/// A fully connected layer `y = W x + b`.
+#[derive(Debug, Clone, Copy)]
+pub struct Linear {
+    w: ParamId,
+    b: ParamId,
+    /// Input dimensionality.
+    pub input_dim: usize,
+    /// Output dimensionality.
+    pub output_dim: usize,
+}
+
+impl Linear {
+    /// Registers a new linear layer's parameters.
+    pub fn new<R: Rng + ?Sized>(
+        params: &mut Params,
+        rng: &mut R,
+        name: &str,
+        input_dim: usize,
+        output_dim: usize,
+    ) -> Self {
+        let w = params.add(format!("{name}.w"), xavier_init(rng, output_dim, input_dim));
+        let b = params.add(format!("{name}.b"), Tensor::vector(vec![0.0; output_dim]));
+        Linear { w, b, input_dim, output_dim }
+    }
+
+    /// Applies the layer.
+    pub fn forward(&self, graph: &mut Graph<'_>, x: Var) -> Var {
+        let w = graph.param(self.w);
+        let b = graph.param(self.b);
+        let wx = graph.matvec(w, x);
+        graph.add(wx, b)
+    }
+
+    /// The parameter ids of this layer (weight, bias).
+    pub fn param_ids(&self) -> [ParamId; 2] {
+        [self.w, self.b]
+    }
+}
+
+/// An embedding table mapping token indices to vectors.
+#[derive(Debug, Clone, Copy)]
+pub struct Embedding {
+    table: ParamId,
+    /// Number of embeddings (vocabulary size).
+    pub vocab: usize,
+    /// Embedding dimensionality.
+    pub dim: usize,
+}
+
+impl Embedding {
+    /// Registers a new embedding table.
+    pub fn new<R: Rng + ?Sized>(params: &mut Params, rng: &mut R, name: &str, vocab: usize, dim: usize) -> Self {
+        let table = params.add(format!("{name}.table"), xavier_init(rng, vocab, dim));
+        Embedding { table, vocab, dim }
+    }
+
+    /// Looks up one token.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `token` is out of range.
+    pub fn lookup(&self, graph: &mut Graph<'_>, token: usize) -> Var {
+        assert!(token < self.vocab, "token {token} out of range for vocabulary of {}", self.vocab);
+        let table = graph.param(self.table);
+        graph.row(table, token)
+    }
+
+    /// The parameter id of the table.
+    pub fn param_id(&self) -> ParamId {
+        self.table
+    }
+}
+
+/// A single LSTM cell.
+///
+/// Gates are packed in the order `[input, forget, cell, output]` in one
+/// `4h × (input + hidden)` weight matrix plus a `4h` bias. The forget-gate
+/// bias is initialized to `1.0`, a standard trick that stabilizes early
+/// training.
+#[derive(Debug, Clone, Copy)]
+pub struct LstmCell {
+    w: ParamId,
+    b: ParamId,
+    /// Input dimensionality.
+    pub input_dim: usize,
+    /// Hidden state dimensionality.
+    pub hidden_dim: usize,
+}
+
+impl LstmCell {
+    /// Registers a new LSTM cell's parameters.
+    pub fn new<R: Rng + ?Sized>(
+        params: &mut Params,
+        rng: &mut R,
+        name: &str,
+        input_dim: usize,
+        hidden_dim: usize,
+    ) -> Self {
+        let w = params.add(format!("{name}.w"), xavier_init(rng, 4 * hidden_dim, input_dim + hidden_dim));
+        let mut bias = vec![0.0f32; 4 * hidden_dim];
+        for slot in bias.iter_mut().skip(hidden_dim).take(hidden_dim) {
+            *slot = 1.0;
+        }
+        let b = params.add(format!("{name}.b"), Tensor::vector(bias));
+        LstmCell { w, b, input_dim, hidden_dim }
+    }
+
+    /// Runs one step: `(h, c) = cell(x, h_prev, c_prev)`.
+    pub fn step(&self, graph: &mut Graph<'_>, x: Var, h_prev: Var, c_prev: Var) -> (Var, Var) {
+        let h = self.hidden_dim;
+        let w = graph.param(self.w);
+        let b = graph.param(self.b);
+        let xh = graph.concat(&[x, h_prev]);
+        let gates_linear = graph.matvec(w, xh);
+        let gates = graph.add(gates_linear, b);
+
+        let i_gate = graph.slice(gates, 0, h);
+        let f_gate = graph.slice(gates, h, h);
+        let g_gate = graph.slice(gates, 2 * h, h);
+        let o_gate = graph.slice(gates, 3 * h, h);
+
+        let i = graph.sigmoid(i_gate);
+        let f = graph.sigmoid(f_gate);
+        let g = graph.tanh(g_gate);
+        let o = graph.sigmoid(o_gate);
+
+        let retained = graph.mul(f, c_prev);
+        let written = graph.mul(i, g);
+        let c = graph.add(retained, written);
+        let c_act = graph.tanh(c);
+        let h_out = graph.mul(o, c_act);
+        (h_out, c)
+    }
+
+    /// A zero-valued initial state `(h, c)`.
+    pub fn zero_state(&self, graph: &mut Graph<'_>) -> (Var, Var) {
+        let h = graph.input(Tensor::vector(vec![0.0; self.hidden_dim]));
+        let c = graph.input(Tensor::vector(vec![0.0; self.hidden_dim]));
+        (h, c)
+    }
+
+    /// The parameter ids of this cell (weights, bias).
+    pub fn param_ids(&self) -> [ParamId; 2] {
+        [self.w, self.b]
+    }
+}
+
+/// A stack of LSTM cells applied layer by layer to a sequence, as used by the
+/// Ithemal-style surrogate (the paper stacks four).
+#[derive(Debug, Clone)]
+pub struct StackedLstm {
+    cells: Vec<LstmCell>,
+}
+
+impl StackedLstm {
+    /// Registers `layers` LSTM cells; the first consumes `input_dim`-sized
+    /// inputs, the rest consume the previous layer's hidden states.
+    pub fn new<R: Rng + ?Sized>(
+        params: &mut Params,
+        rng: &mut R,
+        name: &str,
+        input_dim: usize,
+        hidden_dim: usize,
+        layers: usize,
+    ) -> Self {
+        assert!(layers >= 1, "a stacked LSTM needs at least one layer");
+        let cells = (0..layers)
+            .map(|layer| {
+                let in_dim = if layer == 0 { input_dim } else { hidden_dim };
+                LstmCell::new(params, rng, &format!("{name}.layer{layer}"), in_dim, hidden_dim)
+            })
+            .collect();
+        StackedLstm { cells }
+    }
+
+    /// Number of layers.
+    pub fn layers(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// The hidden dimensionality.
+    pub fn hidden_dim(&self) -> usize {
+        self.cells[0].hidden_dim
+    }
+
+    /// Runs the stack over a sequence and returns the final hidden state of
+    /// the top layer (the sequence summary vector).
+    pub fn run(&self, graph: &mut Graph<'_>, sequence: &[Var]) -> Var {
+        let mut states: Vec<(Var, Var)> = self.cells.iter().map(|c| c.zero_state(graph)).collect();
+        for &input in sequence {
+            let mut layer_input = input;
+            for (cell, state) in self.cells.iter().zip(states.iter_mut()) {
+                let (h, c) = cell.step(graph, layer_input, state.0, state.1);
+                *state = (h, c);
+                layer_input = h;
+            }
+        }
+        states.last().expect("at least one layer").0
+    }
+
+    /// All parameter ids in the stack.
+    pub fn param_ids(&self) -> Vec<ParamId> {
+        self.cells.iter().flat_map(|c| c.param_ids()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::finite_difference_check;
+    use crate::Grads;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn linear_forward_shape_and_values() {
+        let mut params = Params::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let layer = Linear::new(&mut params, &mut rng, "fc", 3, 2);
+        let mut g = Graph::new(&params);
+        let x = g.input(Tensor::vector(vec![1.0, -1.0, 0.5]));
+        let y = layer.forward(&mut g, x);
+        assert_eq!(g.value(y).len(), 2);
+    }
+
+    #[test]
+    fn lstm_step_produces_bounded_outputs() {
+        let mut params = Params::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let cell = LstmCell::new(&mut params, &mut rng, "lstm", 4, 8);
+        let mut g = Graph::new(&params);
+        let x = g.input(Tensor::vector(vec![0.5, -0.5, 1.0, 2.0]));
+        let (h0, c0) = cell.zero_state(&mut g);
+        let (h1, _c1) = cell.step(&mut g, x, h0, c0);
+        assert_eq!(g.value(h1).len(), 8);
+        assert!(g.value(h1).iter().all(|v| v.abs() <= 1.0), "h is a product of sigmoids and tanh");
+    }
+
+    #[test]
+    fn stacked_lstm_run_uses_all_layers_and_is_order_sensitive() {
+        let mut params = Params::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let stack = StackedLstm::new(&mut params, &mut rng, "stack", 3, 6, 2);
+        assert_eq!(stack.layers(), 2);
+        assert_eq!(stack.param_ids().len(), 4);
+
+        let mut g = Graph::new(&params);
+        let a = g.input(Tensor::vector(vec![1.0, 0.0, 0.0]));
+        let b = g.input(Tensor::vector(vec![0.0, 1.0, 0.0]));
+        let forward = stack.run(&mut g, &[a, b]);
+        let backward = stack.run(&mut g, &[b, a]);
+        let delta: f32 = g
+            .value(forward)
+            .iter()
+            .zip(g.value(backward))
+            .map(|(x, y)| (x - y).abs())
+            .sum();
+        assert!(delta > 1e-6, "the summary must depend on sequence order");
+    }
+
+    #[test]
+    fn gradcheck_linear_layer() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let w0 = xavier_init(&mut rng, 2, 3);
+        let b0 = Tensor::vector(vec![0.1, -0.2]);
+        finite_difference_check(&[("w", w0), ("b", b0)], |g, ids| {
+            let w = g.param(ids[0]);
+            let b = g.param(ids[1]);
+            let x = g.input(Tensor::vector(vec![0.4, -1.2, 0.9]));
+            let wx = g.matvec(w, x);
+            let y = g.add(wx, b);
+            let t = g.tanh(y);
+            g.sum(t)
+        });
+    }
+
+    #[test]
+    fn gradcheck_lstm_cell() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let hidden = 3usize;
+        let input = 2usize;
+        let w0 = xavier_init(&mut rng, 4 * hidden, input + hidden);
+        let b0 = uniform_vector(&mut rng, 4 * hidden, 0.1);
+        finite_difference_check(&[("w", w0), ("b", b0)], |g, ids| {
+            let w = g.param(ids[0]);
+            let b = g.param(ids[1]);
+            let x = g.input(Tensor::vector(vec![0.7, -0.3]));
+            let h_prev = g.input(Tensor::vector(vec![0.1, 0.0, -0.1]));
+            let c_prev = g.input(Tensor::vector(vec![0.2, -0.2, 0.0]));
+            let xh = g.concat(&[x, h_prev]);
+            let gates_linear = g.matvec(w, xh);
+            let gates = g.add(gates_linear, b);
+            let i_gate = g.slice(gates, 0, hidden);
+            let f_gate = g.slice(gates, hidden, hidden);
+            let g_gate = g.slice(gates, 2 * hidden, hidden);
+            let o_gate = g.slice(gates, 3 * hidden, hidden);
+            let i = g.sigmoid(i_gate);
+            let f = g.sigmoid(f_gate);
+            let gg = g.tanh(g_gate);
+            let o = g.sigmoid(o_gate);
+            let retained = g.mul(f, c_prev);
+            let written = g.mul(i, gg);
+            let c = g.add(retained, written);
+            let c_act = g.tanh(c);
+            let h = g.mul(o, c_act);
+            g.sum(h)
+        });
+    }
+
+    #[test]
+    fn training_a_linear_layer_reduces_loss() {
+        // One gradient step on a toy regression must reduce the loss.
+        let mut params = Params::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        let layer = Linear::new(&mut params, &mut rng, "fc", 2, 1);
+
+        let loss_of = |params: &Params| -> f32 {
+            let mut g = Graph::new(params);
+            let x = g.input(Tensor::vector(vec![1.0, 2.0]));
+            let y = layer.forward(&mut g, x);
+            let target = g.input(Tensor::vector(vec![3.0]));
+            let diff = g.sub(y, target);
+            let sq = g.mul(diff, diff);
+            let loss = g.sum(sq);
+            g.value(loss)[0]
+        };
+
+        let before = loss_of(&params);
+        let mut grads = Grads::new(&params);
+        {
+            let mut g = Graph::new(&params);
+            let x = g.input(Tensor::vector(vec![1.0, 2.0]));
+            let y = layer.forward(&mut g, x);
+            let target = g.input(Tensor::vector(vec![3.0]));
+            let diff = g.sub(y, target);
+            let sq = g.mul(diff, diff);
+            let loss = g.sum(sq);
+            g.backward(loss, &mut grads);
+        }
+        for [w, b] in [layer.param_ids()] {
+            for id in [w, b] {
+                if let Some(grad) = grads.get(id) {
+                    let grad = grad.clone();
+                    params.get_mut(id).add_scaled(&grad, -0.05);
+                }
+            }
+        }
+        assert!(loss_of(&params) < before);
+    }
+
+    #[test]
+    fn embedding_lookup_returns_rows() {
+        let mut params = Params::new();
+        let mut rng = StdRng::seed_from_u64(6);
+        let embedding = Embedding::new(&mut params, &mut rng, "tok", 5, 4);
+        let expected = params.get(embedding.param_id()).row(3).to_vec();
+        let mut g = Graph::new(&params);
+        let looked_up = embedding.lookup(&mut g, 3);
+        assert_eq!(g.value(looked_up), expected.as_slice());
+    }
+}

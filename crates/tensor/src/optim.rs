@@ -1,0 +1,204 @@
+//! Optimizers: stochastic gradient descent and Adam.
+
+use crate::{Grads, ParamId, Params, Tensor};
+
+/// An optimizer updates a [`Params`] store in place from accumulated [`Grads`].
+pub trait Optimizer: std::fmt::Debug {
+    /// Applies one update step. `grads` should hold the (already averaged)
+    /// gradient of the loss with respect to each parameter.
+    fn step(&mut self, params: &mut Params, grads: &Grads);
+
+    /// The configured learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Changes the learning rate (e.g. for a schedule).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Plain stochastic gradient descent, optionally with momentum.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<Option<Tensor>>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer.
+    pub fn new(lr: f32) -> Self {
+        Sgd { lr, momentum: 0.0, velocity: Vec::new() }
+    }
+
+    /// Creates an SGD optimizer with momentum.
+    pub fn with_momentum(lr: f32, momentum: f32) -> Self {
+        Sgd { lr, momentum, velocity: Vec::new() }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut Params, grads: &Grads) {
+        if self.velocity.len() < params.len() {
+            self.velocity.resize(params.len(), None);
+        }
+        for index in 0..params.len() {
+            let id = ParamId(index);
+            let Some(grad) = grads.get(id) else { continue };
+            if self.momentum > 0.0 {
+                let velocity = self.velocity[index]
+                    .get_or_insert_with(|| Tensor::zeros(grad.shape().to_vec()));
+                for (v, g) in velocity.data_mut().iter_mut().zip(grad.data()) {
+                    *v = self.momentum * *v + g;
+                }
+                let velocity = velocity.clone();
+                params.get_mut(id).add_scaled(&velocity, -self.lr);
+            } else {
+                params.get_mut(id).add_scaled(grad, -self.lr);
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// The Adam optimizer (Kingma & Ba, 2015), used by the paper to train both the
+/// surrogate and the parameter table.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    epsilon: f32,
+    step: u64,
+    first_moment: Vec<Option<Tensor>>,
+    second_moment: Vec<Option<Tensor>>,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with the standard β₁=0.9, β₂=0.999, ε=1e-8.
+    pub fn new(lr: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            epsilon: 1e-8,
+            step: 0,
+            first_moment: Vec::new(),
+            second_moment: Vec::new(),
+        }
+    }
+
+    /// The number of steps taken so far.
+    pub fn steps_taken(&self) -> u64 {
+        self.step
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut Params, grads: &Grads) {
+        if self.first_moment.len() < params.len() {
+            self.first_moment.resize(params.len(), None);
+            self.second_moment.resize(params.len(), None);
+        }
+        self.step += 1;
+        let bias1 = 1.0 - self.beta1.powi(self.step as i32);
+        let bias2 = 1.0 - self.beta2.powi(self.step as i32);
+
+        for index in 0..params.len() {
+            let id = ParamId(index);
+            let Some(grad) = grads.get(id) else { continue };
+            let m =
+                self.first_moment[index].get_or_insert_with(|| Tensor::zeros(grad.shape().to_vec()));
+            let v =
+                self.second_moment[index].get_or_insert_with(|| Tensor::zeros(grad.shape().to_vec()));
+            let value = params.get_mut(id);
+            let data = value.data_mut();
+            for i in 0..data.len() {
+                let g = grad.data()[i];
+                let m_i = &mut m.data_mut()[i];
+                *m_i = self.beta1 * *m_i + (1.0 - self.beta1) * g;
+                let v_i = &mut v.data_mut()[i];
+                *v_i = self.beta2 * *v_i + (1.0 - self.beta2) * g * g;
+                let m_hat = *m_i / bias1;
+                let v_hat = *v_i / bias2;
+                data[i] -= self.lr * m_hat / (v_hat.sqrt() + self.epsilon);
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Graph, Grads};
+
+    /// Minimizes `(w - 3)^2` and returns the final value of `w`.
+    fn optimize(mut optimizer: impl Optimizer, steps: usize) -> f32 {
+        let mut params = Params::new();
+        let w = params.add("w", Tensor::scalar(0.0));
+        for _ in 0..steps {
+            let mut grads = Grads::new(&params);
+            let mut graph = Graph::new(&params);
+            let wv = graph.param(w);
+            let target = graph.input(Tensor::scalar(3.0));
+            let diff = graph.sub(wv, target);
+            let sq = graph.mul(diff, diff);
+            let loss = graph.sum(sq);
+            graph.backward(loss, &mut grads);
+            optimizer.step(&mut params, &grads);
+        }
+        params.get(w).item()
+    }
+
+    #[test]
+    fn sgd_converges_on_a_quadratic() {
+        let w = optimize(Sgd::new(0.1), 100);
+        assert!((w - 3.0).abs() < 1e-3, "got {w}");
+    }
+
+    #[test]
+    fn sgd_with_momentum_converges() {
+        let w = optimize(Sgd::with_momentum(0.05, 0.9), 200);
+        assert!((w - 3.0).abs() < 1e-2, "got {w}");
+    }
+
+    #[test]
+    fn adam_converges_on_a_quadratic() {
+        let w = optimize(Adam::new(0.1), 300);
+        assert!((w - 3.0).abs() < 1e-2, "got {w}");
+    }
+
+    #[test]
+    fn adam_counts_steps_and_updates_lr() {
+        let mut adam = Adam::new(0.01);
+        assert_eq!(adam.steps_taken(), 0);
+        adam.set_learning_rate(0.5);
+        assert_eq!(adam.learning_rate(), 0.5);
+    }
+
+    #[test]
+    fn optimizers_ignore_parameters_without_gradients() {
+        let mut params = Params::new();
+        let w = params.add("w", Tensor::scalar(1.0));
+        let untouched = params.add("frozen", Tensor::scalar(7.0));
+        let mut grads = Grads::new(&params);
+        grads.accumulate(w, &Tensor::scalar(1.0), 1.0);
+        let mut sgd = Sgd::new(0.1);
+        sgd.step(&mut params, &grads);
+        assert_eq!(params.get(untouched).item(), 7.0);
+        assert!((params.get(w).item() - 0.9).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,176 @@
+//! Dense row-major `f32` tensors.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense row-major tensor of `f32` values.
+///
+/// Only rank-1 (vectors) and rank-2 (matrices) tensors are used by this
+/// workspace, but the shape is stored generically.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    data: Vec<f32>,
+    shape: Vec<usize>,
+}
+
+impl Tensor {
+    /// Creates a tensor from raw data and a shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the data length does not match the product of the shape.
+    pub fn from_vec(data: Vec<f32>, shape: Vec<usize>) -> Self {
+        let expected: usize = shape.iter().product();
+        assert_eq!(data.len(), expected, "data length {} does not match shape {:?}", data.len(), shape);
+        Tensor { data, shape }
+    }
+
+    /// A tensor of zeros with the given shape.
+    pub fn zeros(shape: Vec<usize>) -> Self {
+        let len = shape.iter().product();
+        Tensor { data: vec![0.0; len], shape }
+    }
+
+    /// A rank-1 tensor holding a single scalar.
+    pub fn scalar(value: f32) -> Self {
+        Tensor { data: vec![value], shape: vec![1] }
+    }
+
+    /// A rank-1 tensor (vector) from data.
+    pub fn vector(data: Vec<f32>) -> Self {
+        let len = data.len();
+        Tensor { data, shape: vec![len] }
+    }
+
+    /// A rank-2 tensor (matrix) from data in row-major order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn matrix(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        Tensor::from_vec(data, vec![rows, cols])
+    }
+
+    /// The flat data slice.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the flat data slice.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// The shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the tensor has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The single value of a scalar (length-1) tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor does not hold exactly one element.
+    pub fn item(&self) -> f32 {
+        assert_eq!(self.data.len(), 1, "item() requires a single-element tensor");
+        self.data[0]
+    }
+
+    /// Number of rows of a matrix (or the length of a vector).
+    pub fn rows(&self) -> usize {
+        self.shape.first().copied().unwrap_or(0)
+    }
+
+    /// Number of columns of a matrix (1 for a vector).
+    pub fn cols(&self) -> usize {
+        self.shape.get(1).copied().unwrap_or(1)
+    }
+
+    /// A view of row `i` of a matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not a matrix or `i` is out of range.
+    pub fn row(&self, i: usize) -> &[f32] {
+        assert_eq!(self.shape.len(), 2, "row() requires a matrix");
+        let cols = self.cols();
+        &self.data[i * cols..(i + 1) * cols]
+    }
+
+    /// Adds `other * scale` elementwise into this tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn add_scaled(&mut self, other: &Tensor, scale: f32) {
+        assert_eq!(self.shape, other.shape, "shape mismatch in add_scaled");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b * scale;
+        }
+    }
+
+    /// Sets every element to zero.
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// The L2 norm of the tensor.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let t = Tensor::matrix(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(t.rows(), 2);
+        assert_eq!(t.cols(), 3);
+        assert_eq!(t.row(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(t.len(), 6);
+        assert!(!t.is_empty());
+        assert_eq!(Tensor::scalar(3.5).item(), 3.5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn shape_mismatch_panics() {
+        let _ = Tensor::from_vec(vec![1.0, 2.0], vec![3]);
+    }
+
+    #[test]
+    fn add_scaled_and_zero() {
+        let mut a = Tensor::vector(vec![1.0, 2.0]);
+        let b = Tensor::vector(vec![10.0, 20.0]);
+        a.add_scaled(&b, 0.5);
+        assert_eq!(a.data(), &[6.0, 12.0]);
+        a.fill_zero();
+        assert_eq!(a.data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn norm() {
+        let t = Tensor::vector(vec![3.0, 4.0]);
+        assert!((t.norm() - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = Tensor::matrix(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Tensor = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+}

@@ -1,0 +1,51 @@
+//! Compare non-learned predictors on a small Skylake dataset: the llvm-mca
+//! style simulator with default parameters, the IACA-style analytical model,
+//! and an OpenTuner-style black-box search with a small budget.
+//!
+//! Run with `cargo run --release --example compare_baselines`.
+
+use difftune_repro::bhive::{CorpusConfig, Dataset};
+use difftune_repro::cpu::{default_params, AnalyticalModel, Microarch};
+use difftune_repro::opentuner::{BanditTuner, SearchSpace, TunerConfig};
+use difftune_repro::sim::{McaSimulator, ParamBounds, SimParams, Simulator};
+
+fn main() {
+    let uarch = Microarch::Skylake;
+    let dataset = Dataset::build(uarch, &CorpusConfig { num_blocks: 1200, seed: 4, ..CorpusConfig::default() });
+    let test = dataset.test();
+    let simulator = McaSimulator::default();
+
+    let defaults = default_params(uarch);
+    let (default_error, default_tau) =
+        Dataset::evaluate(&test, |b| simulator.predict(&defaults, b));
+    println!("{:<22} error {:>6.1}%  tau {default_tau:.3}", "llvm-mca (default)", default_error * 100.0);
+
+    let analytical = AnalyticalModel::new(uarch).expect("Skylake is an Intel target");
+    let (analytical_error, analytical_tau) = Dataset::evaluate(&test, |b| analytical.predict(b));
+    println!("{:<22} error {:>6.1}%  tau {analytical_tau:.3}", "analytical (IACA-like)", analytical_error * 100.0);
+
+    // Black-box search over the full 10k-dimensional table with a tiny budget:
+    // this is the experiment showing why gradient-based search is needed.
+    let train = dataset.train();
+    let subsample: Vec<_> = train.iter().take(60).copied().collect();
+    let flat_len = defaults.to_flat().len();
+    let mut lower = vec![0.0; flat_len];
+    let mut upper = vec![5.0; flat_len];
+    lower[0] = 1.0;
+    upper[0] = 10.0;
+    lower[1] = 50.0;
+    upper[1] = 250.0;
+    let mut tuner = BanditTuner::new(SearchSpace::new(lower, upper), TunerConfig::default());
+    let bounds = ParamBounds::default();
+    let result = tuner.optimize(
+        |flat| {
+            let params = SimParams::from_flat(flat, &bounds);
+            Dataset::evaluate(&subsample, |b| simulator.predict(&params, b)).0
+        },
+        150,
+    );
+    let tuned = SimParams::from_flat(&result.best, &bounds);
+    let (tuned_error, tuned_tau) = Dataset::evaluate(&test, |b| simulator.predict(&tuned, b));
+    println!("{:<22} error {:>6.1}%  tau {tuned_tau:.3}", "OpenTuner-style", tuned_error * 100.0);
+    println!("\n(black-box search over {flat_len} dimensions cannot compete at this budget;\n run `cargo run -p difftune-bench --bin table4_error` for the full comparison)");
+}

@@ -1,0 +1,36 @@
+//! Inspect the llvm-mca-style pipeline: print the per-instruction timeline
+//! (dispatch / issue / execute / retire cycles) of a block under the default
+//! Haswell parameters, the way `llvm-mca -timeline` does.
+//!
+//! Run with `cargo run --release --example pipeline_timeline -- "addl %eax, 16(%rsp)"`
+//! (the argument is optional; a default block is used otherwise).
+
+use difftune_repro::cpu::{default_params, Machine, Microarch};
+use difftune_repro::isa::BasicBlock;
+use difftune_repro::sim::McaSimulator;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let text = std::env::args().nth(1).unwrap_or_else(|| {
+        "movq (%rdi), %rax\naddq %rax, %rbx\nimulq %rbx, %rcx\nmovq %rcx, 8(%rdi)".to_string()
+    });
+    let block: BasicBlock = text.parse()?;
+
+    let simulator = McaSimulator::new(4);
+    let defaults = default_params(Microarch::Haswell);
+    let timeline = simulator.trace(&defaults, &block);
+
+    println!("timeline for 4 unrolled iterations under the default Haswell parameters:\n");
+    println!("{:<4} {:<4} {:>9} {:>7} {:>9} {:>7}  instruction", "it", "idx", "dispatch", "issue", "exec-end", "retire");
+    for entry in &timeline.entries {
+        let inst = &block.insts()[entry.index];
+        println!(
+            "{:<4} {:<4} {:>9} {:>7} {:>9} {:>7}  {}",
+            entry.iteration, entry.index, entry.dispatch, entry.issue, entry.execute_end, entry.retire, inst
+        );
+    }
+    println!("\npredicted cycles per iteration: {:.2}", timeline.cycles_per_iteration());
+
+    let machine = Machine::new(Microarch::Haswell);
+    println!("reference-machine measurement:  {:.2}", machine.measure(&block));
+    Ok(())
+}

@@ -1,0 +1,41 @@
+//! Quickstart: parse a basic block, measure it on a reference machine, and
+//! compare the llvm-mca-style simulator's prediction under the default
+//! (expert-provided) parameters.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use difftune_repro::cpu::{default_params, Machine, Microarch};
+use difftune_repro::isa::BasicBlock;
+use difftune_repro::sim::{McaSimulator, Simulator};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's PUSH64r case-study block.
+    let block: BasicBlock = "pushq %rbx\ntestl %r8d, %r8d".parse()?;
+    println!("block:\n{block}\n");
+
+    // "Measure" the block on the Haswell reference machine (the stand-in for
+    // real silicon in this reproduction).
+    let machine = Machine::new(Microarch::Haswell);
+    let measured = machine.measure(&block);
+    println!("measured timing (cycles/iteration): {measured:.2}");
+
+    // Predict it with the llvm-mca-style simulator under the expert defaults.
+    let simulator = McaSimulator::default();
+    let defaults = default_params(Microarch::Haswell);
+    let predicted = simulator.predict(&defaults, &block);
+    println!("llvm-mca prediction with default parameters: {predicted:.2}");
+    println!(
+        "relative error: {:.1}%",
+        (predicted - measured).abs() / measured * 100.0
+    );
+
+    // The default WriteLatency for PUSH64r documents the store pipeline (2
+    // cycles); the hardware's stack engine makes the dependency free. This is
+    // exactly the kind of mismatch DiffTune learns away — see the
+    // `tune_simulator` example and `cargo run -p difftune-bench --bin case_studies`.
+    let push = difftune_repro::isa::OpcodeRegistry::global()
+        .by_name("PUSH64r")
+        .expect("PUSH64r exists");
+    println!("default WriteLatency for PUSH64r: {}", defaults.inst(push).write_latency);
+    Ok(())
+}

@@ -1,0 +1,125 @@
+//! Cross-crate integration tests: ISA ↔ simulators ↔ dataset ↔ surrogate.
+
+use difftune_repro::bhive::{CorpusConfig, Dataset};
+use difftune_repro::cpu::{default_params, AnalyticalModel, Machine, MeasurementConfig, Microarch};
+use difftune_repro::isa::{BasicBlock, BlockGenerator};
+use difftune_repro::sim::{McaSimulator, SimParams, Simulator, UopSimulator};
+use difftune_repro::surrogate::{block_param_features, global_features, Vocab};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn generated_blocks_flow_through_every_component() {
+    let generator = BlockGenerator::default();
+    let mut rng = StdRng::seed_from_u64(42);
+    let machine = Machine::new(Microarch::Haswell);
+    let mca = McaSimulator::default();
+    let uop = UopSimulator::default();
+    let analytical = AnalyticalModel::new(Microarch::Haswell).unwrap();
+    let params = default_params(Microarch::Haswell);
+    let vocab = Vocab::new();
+
+    for _ in 0..50 {
+        let block = generator.generate(&mut rng);
+        // Text round trip.
+        let reparsed: BasicBlock = block.to_string().parse().expect("round trip");
+        assert_eq!(reparsed.len(), block.len());
+        // Every predictor produces a finite, non-negative timing.
+        for timing in [
+            machine.measure(&block),
+            mca.predict(&params, &block),
+            uop.predict(&params, &block),
+            analytical.predict(&block),
+        ] {
+            assert!(timing.is_finite() && timing >= 0.0, "bad timing {timing} for block:\n{block}");
+        }
+        // The surrogate encoding covers every instruction.
+        let tokenized = vocab.tokenize_block(&block);
+        assert_eq!(tokenized.len(), block.len());
+        let features = block_param_features(&params, &tokenized);
+        assert_eq!(features.len(), block.len());
+        assert_eq!(global_features(&params).len(), 2);
+    }
+}
+
+#[test]
+fn default_parameters_differ_per_microarchitecture_and_change_predictions() {
+    let block: BasicBlock = "mulsd %xmm1, %xmm0\naddsd %xmm0, %xmm2\ndivsd %xmm3, %xmm4".parse().unwrap();
+    let sim = McaSimulator::default();
+    let timings: Vec<f64> = Microarch::ALL
+        .iter()
+        .map(|&uarch| sim.predict(&default_params(uarch), &block))
+        .collect();
+    assert!(
+        timings.iter().any(|&t| (t - timings[0]).abs() > 1e-9),
+        "per-microarchitecture defaults should produce different predictions: {timings:?}"
+    );
+}
+
+#[test]
+fn measurements_are_reproducible_and_noise_bounded() {
+    let machine = Machine::new(Microarch::Skylake);
+    let exact_machine =
+        Machine::with_measurement(Microarch::Skylake, MeasurementConfig { iterations: 100, apply_noise: false });
+    let generator = BlockGenerator::default();
+    let mut rng = StdRng::seed_from_u64(7);
+    for _ in 0..20 {
+        let block = generator.generate_with_len(&mut rng, 4);
+        let a = machine.measure(&block);
+        let b = machine.measure(&block);
+        assert_eq!(a, b);
+        let exact = exact_machine.measure_exact(&block);
+        if exact > 0.0 {
+            assert!((a - exact).abs() / exact < 0.05);
+        }
+    }
+}
+
+#[test]
+fn dataset_default_error_matches_paper_ballpark_on_haswell() {
+    // The expert defaults should land in a 20-60% error band (the paper
+    // reports 25%; the exact number depends on the synthetic corpus), and the
+    // rank correlation should be clearly positive.
+    let dataset = Dataset::build(
+        Microarch::Haswell,
+        &CorpusConfig { num_blocks: 1200, seed: 9, ..CorpusConfig::default() },
+    );
+    let sim = McaSimulator::default();
+    let defaults = default_params(Microarch::Haswell);
+    let (error, tau) = Dataset::evaluate(&dataset.test(), |b| sim.predict(&defaults, b));
+    assert!(error > 0.10 && error < 0.60, "default error {error}");
+    assert!(tau > 0.5, "default tau {tau}");
+}
+
+#[test]
+fn random_parameter_tables_are_much_worse_than_defaults() {
+    // Mirrors the paper's observation that a random sample from the sampling
+    // distribution has ~171% error while the defaults have ~25-35%.
+    use difftune_repro::core::{sample_table, ParamSpec};
+    let dataset = Dataset::build(
+        Microarch::Haswell,
+        &CorpusConfig { num_blocks: 600, seed: 5, ..CorpusConfig::default() },
+    );
+    let sim = McaSimulator::default();
+    let defaults = default_params(Microarch::Haswell);
+    let mut rng = StdRng::seed_from_u64(11);
+    let random = sample_table(&mut rng, &ParamSpec::llvm_mca(), &defaults);
+    let test = dataset.test();
+    let (default_error, _) = Dataset::evaluate(&test, |b| sim.predict(&defaults, b));
+    let (random_error, _) = Dataset::evaluate(&test, |b| sim.predict(&random, b));
+    assert!(
+        random_error > default_error * 1.5,
+        "random table ({random_error}) should be far worse than defaults ({default_error})"
+    );
+}
+
+#[test]
+fn simulator_is_a_pure_function_of_its_parameters() {
+    let block: BasicBlock = "addq %rax, %rbx\nmovq (%rdi), %rcx\naddq %rcx, %rbx".parse().unwrap();
+    let sim = McaSimulator::default();
+    let a = SimParams::uniform_default();
+    let mut b = SimParams::uniform_default();
+    assert_eq!(sim.predict(&a, &block), sim.predict(&b, &block));
+    b.per_inst[block.insts()[0].opcode().index()].write_latency = 9;
+    assert_ne!(sim.predict(&a, &block), sim.predict(&b, &block));
+}

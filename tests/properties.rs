@@ -1,0 +1,96 @@
+//! Property-based integration tests over generated blocks and parameter tables.
+
+use difftune_repro::bhive::metrics::{kendall_tau, mape};
+use difftune_repro::cpu::{default_params, Machine, MeasurementConfig, Microarch};
+use difftune_repro::isa::{BasicBlock, BlockGenerator};
+use difftune_repro::sim::{McaSimulator, ParamBounds, SimParams, Simulator};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn generated_block(seed: u64, len: usize) -> BasicBlock {
+    let generator = BlockGenerator::default();
+    let mut rng = StdRng::seed_from_u64(seed);
+    generator.generate_with_len(&mut rng, len.max(1))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Any generated block prints to text that parses back to the same block.
+    #[test]
+    fn block_text_round_trip(seed in 0u64..5_000, len in 1usize..12) {
+        let block = generated_block(seed, len);
+        let reparsed: BasicBlock = block.to_string().parse().expect("parse generated block");
+        prop_assert_eq!(reparsed, block);
+    }
+
+    /// The simulator's prediction is finite, non-negative, and monotone in the
+    /// number of unrolled iterations being amortized (longer blocks of the
+    /// same instructions never get faster).
+    #[test]
+    fn simulator_predictions_are_sane(seed in 0u64..5_000, len in 1usize..10) {
+        let block = generated_block(seed, len);
+        let sim = McaSimulator::default();
+        let params = default_params(Microarch::Haswell);
+        let timing = sim.predict(&params, &block);
+        prop_assert!(timing.is_finite() && timing >= 0.0);
+
+        // Duplicating the block's instructions cannot make it faster.
+        let doubled: BasicBlock = block.iter().cloned().chain(block.iter().cloned()).collect();
+        let doubled_timing = sim.predict(&params, &doubled);
+        prop_assert!(doubled_timing >= timing - 1e-9, "{doubled_timing} < {timing}");
+    }
+
+    /// Raising every write latency never speeds up a block.
+    #[test]
+    fn higher_latencies_never_speed_things_up(seed in 0u64..5_000, len in 1usize..8, bump in 1u32..6) {
+        let block = generated_block(seed, len);
+        let sim = McaSimulator::default();
+        let base = default_params(Microarch::Haswell);
+        let mut slower = base.clone();
+        for entry in &mut slower.per_inst {
+            entry.write_latency += bump;
+        }
+        prop_assert!(sim.predict(&slower, &block) >= sim.predict(&base, &block) - 1e-9);
+    }
+
+    /// The reference machine is deterministic and its noise is bounded.
+    #[test]
+    fn reference_measurements_are_stable(seed in 0u64..2_000, len in 1usize..8) {
+        let block = generated_block(seed, len);
+        let machine = Machine::new(Microarch::Zen2);
+        let exact = Machine::with_measurement(Microarch::Zen2, MeasurementConfig { iterations: 100, apply_noise: false });
+        let a = machine.measure(&block);
+        prop_assert_eq!(a, machine.measure(&block));
+        let e = exact.measure_exact(&block);
+        if e > 0.0 {
+            prop_assert!((a - e).abs() / e < 0.06);
+        }
+    }
+
+    /// Flattening a parameter table and reconstructing it is the identity.
+    #[test]
+    fn sim_params_flat_round_trip(dispatch in 1u32..10, rob in 1u32..400, latency in 0u32..30, port in 0usize..10) {
+        let mut params = SimParams::uniform_default();
+        params.dispatch_width = dispatch;
+        params.reorder_buffer_size = rob;
+        params.per_inst[3].write_latency = latency;
+        params.per_inst[3].port_map[port] = 2;
+        let back = SimParams::from_flat(&params.to_flat(), &ParamBounds::default());
+        prop_assert_eq!(back, params);
+    }
+
+    /// MAPE is zero only for perfect predictions and scales linearly with
+    /// over-prediction; Kendall's tau is bounded in [-1, 1] and equals 1 for
+    /// any strictly increasing transformation of the actuals.
+    #[test]
+    fn metric_properties(values in proptest::collection::vec(0.1f64..100.0, 2..40)) {
+        prop_assert!(mape(&values, &values) < 1e-12);
+        let doubled: Vec<f64> = values.iter().map(|v| v * 2.0).collect();
+        prop_assert!((mape(&doubled, &values) - 1.0).abs() < 1e-9);
+        let monotone: Vec<f64> = values.iter().map(|v| v.powi(2) + 1.0).collect();
+        let tau = kendall_tau(&monotone, &values);
+        prop_assert!(tau <= 1.0 + 1e-12 && tau >= -1.0 - 1e-12);
+    }
+}
