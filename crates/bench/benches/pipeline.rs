@@ -17,7 +17,11 @@ fn bench_pipeline(c: &mut Criterion) {
         let mut seed = 0;
         b.iter(|| {
             seed += 1;
-            generate_corpus(&CorpusConfig { num_blocks: 200, seed, ..CorpusConfig::default() })
+            generate_corpus(&CorpusConfig {
+                num_blocks: 200,
+                seed,
+                ..CorpusConfig::default()
+            })
         })
     });
 
@@ -29,19 +33,34 @@ fn bench_pipeline(c: &mut Criterion) {
     });
 
     c.bench_function("simulated_dataset_256_samples", |b| {
-        let corpus = generate_corpus(&CorpusConfig { num_blocks: 64, seed: 0, ..CorpusConfig::default() });
+        let corpus = generate_corpus(&CorpusConfig {
+            num_blocks: 64,
+            seed: 0,
+            ..CorpusConfig::default()
+        });
         let blocks: Vec<_> = corpus.into_iter().map(|c| c.block).collect();
         let simulator = McaSimulator::new(16);
         let defaults = default_params(Microarch::Haswell);
         b.iter(|| {
-            generate_simulated_dataset(&simulator, &ParamSpec::llvm_mca(), &defaults, &blocks, 256, 0, 1)
+            generate_simulated_dataset(
+                &simulator,
+                &ParamSpec::llvm_mca(),
+                &defaults,
+                &blocks,
+                256,
+                0,
+                1,
+            )
         })
     });
 
     c.bench_function("kendall_tau_10k", |b| {
         let mut rng = StdRng::seed_from_u64(0);
         let actual: Vec<f64> = (0..10_000).map(|_| rng.gen_range(0.0..100.0)).collect();
-        let predicted: Vec<f64> = actual.iter().map(|a| a + rng.gen_range(-5.0..5.0)).collect();
+        let predicted: Vec<f64> = actual
+            .iter()
+            .map(|a| a + rng.gen_range(-5.0..5.0))
+            .collect();
         b.iter(|| kendall_tau(&predicted, &actual))
     });
 

@@ -11,7 +11,9 @@ use rand::SeedableRng;
 fn blocks() -> Vec<BasicBlock> {
     let generator = BlockGenerator::default();
     let mut rng = StdRng::seed_from_u64(0);
-    (0..32).map(|_| generator.generate_with_len(&mut rng, 8)).collect()
+    (0..32)
+        .map(|_| generator.generate_with_len(&mut rng, 8))
+        .collect()
 }
 
 fn bench_simulators(c: &mut Criterion) {

@@ -68,7 +68,12 @@ fn bench_surrogate(c: &mut Criterion) {
         b.iter(|| {
             let mut model = FeatureMlpModel::new(FeatureMlpConfig::default());
             let mut adam = Adam::new(1e-3);
-            let config = TrainConfig { epochs: 1, batch_size: 64, threads: 1, ..TrainConfig::default() };
+            let config = TrainConfig {
+                epochs: 1,
+                batch_size: 64,
+                threads: 1,
+                ..TrainConfig::default()
+            };
             train_with_optimizer(&mut model, &data, &config, &mut adam)
         })
     });

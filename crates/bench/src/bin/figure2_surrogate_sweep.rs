@@ -42,7 +42,7 @@ fn main() {
     let tokenized = vocab.tokenize_block(&block);
 
     println!("Figure 2: SHR64mi timing while sweeping DispatchWidth (scale: {scale:?})\n");
-    println!("{:<14} {:<12} {}", "DispatchWidth", "llvm-mca", "Surrogate");
+    println!("{:<14} {:<12} Surrogate", "DispatchWidth", "llvm-mca");
     for width in 1..=10u32 {
         let mut params = defaults.clone();
         params.dispatch_width = width;

@@ -17,7 +17,11 @@ fn histogram(name: &str, default_values: &[u32], learned_values: &[u32], max_buc
                 .filter(|&&v| v.min(max_bucket) == bucket)
                 .count()
         };
-        println!("{bucket:<8} {:>10} {:>10}", count(default_values), count(learned_values));
+        println!(
+            "{bucket:<8} {:>10} {:>10}",
+            count(default_values),
+            count(learned_values)
+        );
     }
     println!();
 }
@@ -42,7 +46,14 @@ fn main() {
     let simulator = mca();
     let dataset = dataset_for(uarch, scale, 0);
     let defaults = default_params(uarch);
-    let result = run_difftune(&simulator, &ParamSpec::llvm_mca(), uarch, &dataset, scale, 0);
+    let result = run_difftune(
+        &simulator,
+        &ParamSpec::llvm_mca(),
+        uarch,
+        &dataset,
+        scale,
+        0,
+    );
 
     println!("Figure 4: default vs learned parameter distributions (Haswell, scale: {scale:?})\n");
     let (default_uops, default_latency, default_advance, default_ports) = collect(&defaults);

@@ -13,11 +13,18 @@ fn main() {
     let dataset = dataset_for(uarch, scale, 0);
     let test = dataset.test();
     let defaults = default_params(uarch);
-    let result = run_difftune(&simulator, &ParamSpec::llvm_mca(), uarch, &dataset, scale, 0);
+    let result = run_difftune(
+        &simulator,
+        &ParamSpec::llvm_mca(),
+        uarch,
+        &dataset,
+        scale,
+        0,
+    );
 
     let sweep = |name: &str, base: &SimParams| {
         println!("\n{name}: error while sweeping DispatchWidth");
-        println!("{:<14} {}", "DispatchWidth", "Error");
+        println!("{:<14} Error", "DispatchWidth");
         for width in 1..=10u32 {
             let mut params = base.clone();
             params.dispatch_width = width;
@@ -25,7 +32,7 @@ fn main() {
             println!("{width:<14} {}", pct(error));
         }
         println!("\n{name}: error while sweeping ReorderBufferSize");
-        println!("{:<18} {}", "ReorderBufferSize", "Error");
+        println!("{:<18} Error", "ReorderBufferSize");
         for rob in [10u32, 25, 50, 75, 100, 150, 200, 250, 300, 400] {
             let mut params = base.clone();
             params.reorder_buffer_size = rob;

@@ -9,17 +9,37 @@ use difftune_sim::Simulator;
 
 fn main() {
     let uarch = Microarch::Haswell;
-    let blocks: usize = std::env::var("SANITY_BLOCKS").ok().and_then(|v| v.parse().ok()).unwrap_or(1500);
-    let dataset = Dataset::build(uarch, &CorpusConfig { num_blocks: blocks, seed: 0, ..CorpusConfig::default() });
+    let blocks: usize = std::env::var("SANITY_BLOCKS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1500);
+    let dataset = Dataset::build(
+        uarch,
+        &CorpusConfig {
+            num_blocks: blocks,
+            seed: 0,
+            ..CorpusConfig::default()
+        },
+    );
     let simulator = mca();
     let test = dataset.test();
 
     let defaults = default_params(uarch);
     let (default_error, default_tau) = evaluate_params(&simulator, &defaults, &test);
-    println!("default : err {:6.1}% tau {default_tau:.3}", default_error * 100.0);
+    println!(
+        "default : err {:6.1}% tau {default_tau:.3}",
+        default_error * 100.0
+    );
 
     let start = std::time::Instant::now();
-    let result = run_difftune(&simulator, &ParamSpec::llvm_mca(), uarch, &dataset, Scale::Small, 0);
+    let result = run_difftune(
+        &simulator,
+        &ParamSpec::llvm_mca(),
+        uarch,
+        &dataset,
+        Scale::Small,
+        0,
+    );
     let (initial_error, _) = Dataset::evaluate(&test, |b| simulator.predict(&result.initial, b));
     let (learned_error, learned_tau) = evaluate_params(&simulator, &result.learned, &test);
     println!("initial : err {:6.1}%", initial_error * 100.0);
@@ -30,7 +50,12 @@ fn main() {
         result.table_losses,
         start.elapsed()
     );
-    let zero_latency = result.learned.per_inst.iter().filter(|p| p.write_latency == 0).count();
+    let zero_latency = result
+        .learned
+        .per_inst
+        .iter()
+        .filter(|p| p.write_latency == 0)
+        .count();
     println!(
         "learned globals: width {} rob {}; opcodes with WriteLatency 0: {}",
         result.learned.dispatch_width, result.learned.reorder_buffer_size, zero_latency

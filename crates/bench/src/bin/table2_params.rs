@@ -8,7 +8,10 @@ fn main() {
     let registry = OpcodeRegistry::global();
     let spec = ParamSpec::llvm_mca();
     println!("Table II: parameters learned for the llvm-mca-style simulator\n");
-    println!("{:<20} {:<22} {:<14} Description", "Parameter", "Count", "Constraint");
+    println!(
+        "{:<20} {:<22} {:<14} Description",
+        "Parameter", "Count", "Constraint"
+    );
     println!(
         "{:<20} {:<22} {:<14} micro-ops dispatched per cycle",
         "DispatchWidth", "1 global", "integer, >= 1"
@@ -39,6 +42,9 @@ fn main() {
     );
     println!();
     println!("opcodes in the registry:      {}", registry.len());
-    println!("learned scalar parameters:    {}", spec.num_learned(registry.len()));
+    println!(
+        "learned scalar parameters:    {}",
+        spec.num_learned(registry.len())
+    );
     println!("(the paper reports 11265 parameters over its 837-opcode dataset)");
 }

@@ -22,8 +22,16 @@ fn main() {
     println!("  Max                  {}", summary.max_block_len);
     println!("Median block timing (cycles per iteration x 100, as reported by BHive)");
     for uarch in Microarch::ALL {
-        let dataset = if uarch == Microarch::Haswell { haswell.clone() } else { dataset_for(uarch, scale, 0) };
-        println!("  {:<20} {:.0}", uarch.name(), dataset.summary().median_timing * 100.0);
+        let dataset = if uarch == Microarch::Haswell {
+            haswell.clone()
+        } else {
+            dataset_for(uarch, scale, 0)
+        };
+        println!(
+            "  {:<20} {:.0}",
+            uarch.name(),
+            dataset.summary().median_timing * 100.0
+        );
     }
     println!("# Unique opcodes");
     println!("  Train                {}", summary.unique_opcodes_train);

@@ -13,7 +13,10 @@ fn main() {
     let scale = Scale::from_env();
     let simulator = mca();
     println!("Table IV: test error and Kendall's tau per predictor (scale: {scale:?})\n");
-    println!("{:<12} {:<12} {:<10} {}", "Architecture", "Predictor", "Error", "Tau");
+    println!(
+        "{:<12} {:<12} {:<10} Tau",
+        "Architecture", "Predictor", "Error"
+    );
 
     for uarch in Microarch::ALL {
         let dataset = dataset_for(uarch, scale, 0);
@@ -23,7 +26,14 @@ fn main() {
         let (default_error, default_tau) = evaluate_params(&simulator, &defaults, &test);
         row(uarch.name(), "Default", default_error, default_tau);
 
-        let result = run_difftune(&simulator, &ParamSpec::llvm_mca(), uarch, &dataset, scale, 0);
+        let result = run_difftune(
+            &simulator,
+            &ParamSpec::llvm_mca(),
+            uarch,
+            &dataset,
+            scale,
+            0,
+        );
         let (learned_error, learned_tau) = evaluate_params(&simulator, &result.learned, &test);
         row(uarch.name(), "DiffTune", learned_error, learned_tau);
 
@@ -32,7 +42,7 @@ fn main() {
 
         match analytical_baseline(uarch, &dataset) {
             Some((error, tau)) => row(uarch.name(), "IACA-like", error, tau),
-            None => println!("{:<12} {:<12} {:<10} {}", uarch.name(), "IACA-like", "N/A", "N/A"),
+            None => println!("{:<12} {:<12} {:<10} N/A", uarch.name(), "IACA-like", "N/A"),
         }
 
         let (_, opentuner_error, opentuner_tau) =

@@ -14,22 +14,49 @@ fn main() {
     let dataset = dataset_for(uarch, scale, 0);
     let test = dataset.test();
     let defaults = default_params(uarch);
-    let result = run_difftune(&simulator, &ParamSpec::llvm_mca(), uarch, &dataset, scale, 0);
+    let result = run_difftune(
+        &simulator,
+        &ParamSpec::llvm_mca(),
+        uarch,
+        &dataset,
+        scale,
+        0,
+    );
 
     println!("Table V: Haswell error by application and category (scale: {scale:?})\n");
-    println!("{:<28} {:>8} {:>14} {:>14}", "Block type", "# blocks", "Default error", "Learned error");
+    println!(
+        "{:<28} {:>8} {:>14} {:>14}",
+        "Block type", "# blocks", "Default error", "Learned error"
+    );
 
     let default_by_app = Dataset::error_by_application(&test, |b| simulator.predict(&defaults, b));
-    let learned_by_app = Dataset::error_by_application(&test, |b| simulator.predict(&result.learned, b));
+    let learned_by_app =
+        Dataset::error_by_application(&test, |b| simulator.predict(&result.learned, b));
     for (app, (count, default_error)) in &default_by_app {
         let learned_error = learned_by_app.get(app).map(|(_, e)| *e).unwrap_or(f64::NAN);
-        println!("{:<28} {:>8} {:>14} {:>14}", app.name(), count, pct(*default_error), pct(learned_error));
+        println!(
+            "{:<28} {:>8} {:>14} {:>14}",
+            app.name(),
+            count,
+            pct(*default_error),
+            pct(learned_error)
+        );
     }
     println!();
     let default_by_cat = Dataset::error_by_category(&test, |b| simulator.predict(&defaults, b));
-    let learned_by_cat = Dataset::error_by_category(&test, |b| simulator.predict(&result.learned, b));
+    let learned_by_cat =
+        Dataset::error_by_category(&test, |b| simulator.predict(&result.learned, b));
     for (category, (count, default_error)) in &default_by_cat {
-        let learned_error = learned_by_cat.get(category).map(|(_, e)| *e).unwrap_or(f64::NAN);
-        println!("{:<28} {:>8} {:>14} {:>14}", category.name(), count, pct(*default_error), pct(learned_error));
+        let learned_error = learned_by_cat
+            .get(category)
+            .map(|(_, e)| *e)
+            .unwrap_or(f64::NAN);
+        println!(
+            "{:<28} {:>8} {:>14} {:>14}",
+            category.name(),
+            count,
+            pct(*default_error),
+            pct(learned_error)
+        );
     }
 }

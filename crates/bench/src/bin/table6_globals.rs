@@ -10,10 +10,26 @@ fn main() {
     let simulator = mca();
     let dataset = dataset_for(uarch, scale, 0);
     let defaults = default_params(uarch);
-    let result = run_difftune(&simulator, &ParamSpec::llvm_mca(), uarch, &dataset, scale, 0);
+    let result = run_difftune(
+        &simulator,
+        &ParamSpec::llvm_mca(),
+        uarch,
+        &dataset,
+        scale,
+        0,
+    );
 
     println!("Table VI: default and learned global parameters (Haswell, scale: {scale:?})\n");
-    println!("{:<12} {:<16} {}", "Parameters", "DispatchWidth", "ReorderBufferSize");
-    println!("{:<12} {:<16} {}", "Default", defaults.dispatch_width, defaults.reorder_buffer_size);
-    println!("{:<12} {:<16} {}", "Learned", result.learned.dispatch_width, result.learned.reorder_buffer_size);
+    println!(
+        "{:<12} {:<16} ReorderBufferSize",
+        "Parameters", "DispatchWidth"
+    );
+    println!(
+        "{:<12} {:<16} {}",
+        "Default", defaults.dispatch_width, defaults.reorder_buffer_size
+    );
+    println!(
+        "{:<12} {:<16} {}",
+        "Learned", result.learned.dispatch_width, result.learned.reorder_buffer_size
+    );
 }

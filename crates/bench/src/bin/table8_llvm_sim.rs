@@ -16,19 +16,30 @@ fn main() {
     let test = dataset.test();
 
     println!("Table VIII: llvm_sim-style simulator on Haswell (scale: {scale:?})\n");
-    println!("{:<12} {:<12} {:<10} {}", "Architecture", "Predictor", "Error", "Tau");
+    println!(
+        "{:<12} {:<12} {:<10} Tau",
+        "Architecture", "Predictor", "Error"
+    );
 
     let defaults = default_params(uarch);
     let (default_error, default_tau) = evaluate_params(&simulator, &defaults, &test);
     row(uarch.name(), "Default", default_error, default_tau);
 
-    let result = run_difftune(&simulator, &ParamSpec::llvm_sim(), uarch, &dataset, scale, 0);
+    let result = run_difftune(
+        &simulator,
+        &ParamSpec::llvm_sim(),
+        uarch,
+        &dataset,
+        scale,
+        0,
+    );
     let (learned_error, learned_tau) = evaluate_params(&simulator, &result.learned, &test);
     row(uarch.name(), "DiffTune", learned_error, learned_tau);
 
     let (ithemal_error, ithemal_tau) = ithemal_baseline(&dataset, scale, 0);
     row(uarch.name(), "Ithemal", ithemal_error, ithemal_tau);
 
-    let (_, opentuner_error, opentuner_tau) = opentuner_baseline(&simulator, uarch, &dataset, scale, 0);
+    let (_, opentuner_error, opentuner_tau) =
+        opentuner_baseline(&simulator, uarch, &dataset, scale, 0);
     row(uarch.name(), "OpenTuner", opentuner_error, opentuner_tau);
 }

@@ -15,13 +15,37 @@ fn main() {
 
     println!("Section VI-B: WriteLatency-only optimization on Haswell (scale: {scale:?})\n");
     let (default_error, default_tau) = evaluate_params(&simulator, &defaults, &test);
-    println!("{:<28} error {:<8} tau {:.3}", "Default", pct(default_error), default_tau);
+    println!(
+        "{:<28} error {:<8} tau {:.3}",
+        "Default",
+        pct(default_error),
+        default_tau
+    );
 
-    let full = run_difftune(&simulator, &ParamSpec::llvm_mca(), uarch, &dataset, scale, 0);
+    let full = run_difftune(
+        &simulator,
+        &ParamSpec::llvm_mca(),
+        uarch,
+        &dataset,
+        scale,
+        0,
+    );
     let (full_error, full_tau) = evaluate_params(&simulator, &full.learned, &test);
-    println!("{:<28} error {:<8} tau {:.3}", "DiffTune (all parameters)", pct(full_error), full_tau);
+    println!(
+        "{:<28} error {:<8} tau {:.3}",
+        "DiffTune (all parameters)",
+        pct(full_error),
+        full_tau
+    );
 
-    let latency_only = run_difftune(&simulator, &ParamSpec::write_latency_only(), uarch, &dataset, scale, 0);
+    let latency_only = run_difftune(
+        &simulator,
+        &ParamSpec::write_latency_only(),
+        uarch,
+        &dataset,
+        scale,
+        0,
+    );
     let (latency_error, latency_tau) = evaluate_params(&simulator, &latency_only.learned, &test);
     println!(
         "{:<28} error {:<8} tau {:.3}",

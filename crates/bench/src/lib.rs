@@ -30,7 +30,11 @@ pub enum Scale {
 impl Scale {
     /// Reads the scale from the environment.
     pub fn from_env() -> Scale {
-        match std::env::var("DIFFTUNE_SCALE").unwrap_or_default().to_ascii_lowercase().as_str() {
+        match std::env::var("DIFFTUNE_SCALE")
+            .unwrap_or_default()
+            .to_ascii_lowercase()
+            .as_str()
+        {
             "smoke" => Scale::Smoke,
             "paper" => Scale::Paper,
             _ => Scale::Small,
@@ -97,6 +101,9 @@ impl Scale {
                     Scale::Small => 5,
                     Scale::Paper => 6,
                 },
+                // The paper trains the surrogate with batch 256; the smaller
+                // library default exists for laptop-scale datasets.
+                batch_size: if self == Scale::Paper { 256 } else { 32 },
                 ..TrainConfig::default()
             },
             table_learning_rate: 0.05,
@@ -111,13 +118,20 @@ impl Scale {
 
 /// Builds the measured dataset for a microarchitecture at a scale.
 pub fn dataset_for(uarch: Microarch, scale: Scale, seed: u64) -> Dataset {
-    let config = CorpusConfig { num_blocks: scale.corpus_blocks(), seed, ..CorpusConfig::default() };
+    let config = CorpusConfig {
+        num_blocks: scale.corpus_blocks(),
+        seed,
+        ..CorpusConfig::default()
+    };
     Dataset::build(uarch, &config)
 }
 
 /// `(block, timing)` pairs for a split, as consumed by [`DiffTune::run`].
 pub fn pairs(records: &[&Record]) -> Vec<(difftune_isa::BasicBlock, f64)> {
-    records.iter().map(|r| (r.block.clone(), r.timing)).collect()
+    records
+        .iter()
+        .map(|r| (r.block.clone(), r.timing))
+        .collect()
 }
 
 /// Evaluates a parameter table under a simulator on a set of records,
@@ -164,9 +178,30 @@ pub fn ithemal_baseline(dataset: &Dataset, scale: Scale, seed: u64) -> (f64, f64
     };
     let train_samples = make_samples(&dataset.train());
     let config = match scale {
-        Scale::Smoke => IthemalConfig { embed_dim: 12, hidden_dim: 24, instr_layers: 1, block_layers: 1, parameter_inputs: false, seed },
-        Scale::Small => IthemalConfig { embed_dim: 16, hidden_dim: 32, instr_layers: 1, block_layers: 1, parameter_inputs: false, seed },
-        Scale::Paper => IthemalConfig { embed_dim: 64, hidden_dim: 128, instr_layers: 1, block_layers: 4, parameter_inputs: false, seed },
+        Scale::Smoke => IthemalConfig {
+            embed_dim: 12,
+            hidden_dim: 24,
+            instr_layers: 1,
+            block_layers: 1,
+            parameter_inputs: false,
+            seed,
+        },
+        Scale::Small => IthemalConfig {
+            embed_dim: 16,
+            hidden_dim: 32,
+            instr_layers: 1,
+            block_layers: 1,
+            parameter_inputs: false,
+            seed,
+        },
+        Scale::Paper => IthemalConfig {
+            embed_dim: 64,
+            hidden_dim: 128,
+            instr_layers: 1,
+            block_layers: 4,
+            parameter_inputs: false,
+            seed,
+        },
     };
     let mut model = IthemalModel::new(config);
     let train_config = TrainConfig {
@@ -175,6 +210,7 @@ pub fn ithemal_baseline(dataset: &Dataset, scale: Scale, seed: u64) -> (f64, f64
             Scale::Small => 6,
             Scale::Paper => 10,
         },
+        batch_size: if scale == Scale::Paper { 256 } else { 32 },
         ..TrainConfig::default()
     };
     train(&mut model, &train_samples, &train_config);
@@ -190,7 +226,9 @@ pub fn ithemal_baseline(dataset: &Dataset, scale: Scale, seed: u64) -> (f64, f64
 /// `None` for microarchitectures it does not support (Zen 2).
 pub fn analytical_baseline(uarch: Microarch, dataset: &Dataset) -> Option<(f64, f64)> {
     let model = AnalyticalModel::new(uarch)?;
-    Some(Dataset::evaluate(&dataset.test(), |block| model.predict(block)))
+    Some(Dataset::evaluate(&dataset.test(), |block| {
+        model.predict(block)
+    }))
 }
 
 /// Runs the OpenTuner-style black-box baseline with evaluation-budget parity:
@@ -222,12 +260,19 @@ pub fn opentuner_baseline(
     upper[1] = 250.0;
     let space = SearchSpace::new(lower, upper);
 
-    let mut tuner = BanditTuner::new(space, TunerConfig { seed, ..TunerConfig::default() });
+    let mut tuner = BanditTuner::new(
+        space,
+        TunerConfig {
+            seed,
+            ..TunerConfig::default()
+        },
+    );
     let bounds = ParamBounds::default();
     let result = tuner.optimize(
         |flat| {
             let params = SimParams::from_flat(flat, &bounds);
-            let (error, _) = Dataset::evaluate(&subsample, |block| simulator.predict(&params, block));
+            let (error, _) =
+                Dataset::evaluate(&subsample, |block| simulator.predict(&params, block));
             error
         },
         evaluations,
@@ -244,7 +289,10 @@ pub fn pct(x: f64) -> String {
 
 /// Prints a standard table row.
 pub fn row(architecture: &str, predictor: &str, error: f64, tau: f64) {
-    println!("{architecture:<12} {predictor:<12} {:<10} {tau:.3}", pct(error));
+    println!(
+        "{architecture:<12} {predictor:<12} {:<10} {tau:.3}",
+        pct(error)
+    );
 }
 
 /// A default llvm-mca-style simulator instance shared by the binaries.
@@ -274,6 +322,8 @@ mod tests {
         assert!(default_tau > 0.3);
         let analytical = analytical_baseline(Microarch::Haswell, &dataset);
         assert!(analytical.is_some());
-        assert!(analytical_baseline(Microarch::Zen2, &dataset_for(Microarch::Zen2, scale, 1)).is_none());
+        assert!(
+            analytical_baseline(Microarch::Zen2, &dataset_for(Microarch::Zen2, scale, 1)).is_none()
+        );
     }
 }

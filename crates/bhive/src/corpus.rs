@@ -182,8 +182,14 @@ pub enum Category {
 
 impl Category {
     /// All categories in Table V order.
-    pub const ALL: [Category; 6] =
-        [Category::Scalar, Category::Vec, Category::ScalarVec, Category::Ld, Category::St, Category::LdSt];
+    pub const ALL: [Category; 6] = [
+        Category::Scalar,
+        Category::Vec,
+        Category::ScalarVec,
+        Category::Ld,
+        Category::St,
+        Category::LdSt,
+    ];
 
     /// Display name as used in the paper.
     pub fn name(self) -> &'static str {
@@ -243,7 +249,12 @@ pub struct CorpusConfig {
 
 impl Default for CorpusConfig {
     fn default() -> Self {
-        CorpusConfig { num_blocks: 10_000, seed: 0, max_len: 64, mean_len: 4.9 }
+        CorpusConfig {
+            num_blocks: 10_000,
+            seed: 0,
+            max_len: 64,
+            mean_len: 4.9,
+        }
     }
 }
 
@@ -303,7 +314,11 @@ pub fn generate_corpus(config: &CorpusConfig) -> Vec<CorpusBlock> {
             }
         }
         let category = Category::classify(&block);
-        corpus.push(CorpusBlock { block, apps, category });
+        corpus.push(CorpusBlock {
+            block,
+            apps,
+            category,
+        });
     }
     corpus
 }
@@ -314,7 +329,11 @@ mod tests {
 
     #[test]
     fn corpus_has_requested_size_and_unique_blocks() {
-        let config = CorpusConfig { num_blocks: 500, seed: 1, ..CorpusConfig::default() };
+        let config = CorpusConfig {
+            num_blocks: 500,
+            seed: 1,
+            ..CorpusConfig::default()
+        };
         let corpus = generate_corpus(&config);
         assert_eq!(corpus.len(), 500);
         let unique: std::collections::HashSet<String> =
@@ -324,7 +343,11 @@ mod tests {
 
     #[test]
     fn corpus_generation_is_deterministic() {
-        let config = CorpusConfig { num_blocks: 100, seed: 7, ..CorpusConfig::default() };
+        let config = CorpusConfig {
+            num_blocks: 100,
+            seed: 7,
+            ..CorpusConfig::default()
+        };
         let a = generate_corpus(&config);
         let b = generate_corpus(&config);
         assert_eq!(a, b);
@@ -332,14 +355,24 @@ mod tests {
 
     #[test]
     fn length_distribution_is_bhive_like() {
-        let config = CorpusConfig { num_blocks: 2000, seed: 3, ..CorpusConfig::default() };
+        let config = CorpusConfig {
+            num_blocks: 2000,
+            seed: 3,
+            ..CorpusConfig::default()
+        };
         let corpus = generate_corpus(&config);
         let mut lens: Vec<usize> = corpus.iter().map(|b| b.block.len()).collect();
         lens.sort_unstable();
         let median = lens[lens.len() / 2];
         let mean = lens.iter().sum::<usize>() as f64 / lens.len() as f64;
-        assert!((2..=5).contains(&median), "median length should be small like BHive's 3, got {median}");
-        assert!(mean > median as f64 * 0.8, "mean should exceed the median (long tail), got {mean}");
+        assert!(
+            (2..=5).contains(&median),
+            "median length should be small like BHive's 3, got {median}"
+        );
+        assert!(
+            mean > median as f64 * 0.8,
+            "mean should exceed the median (long tail), got {mean}"
+        );
         assert!(*lens.last().unwrap() <= config.max_len);
         assert_eq!(*lens.first().unwrap(), 1);
     }
@@ -360,20 +393,33 @@ mod tests {
             .filter(|(c, _)| c.is_vector())
             .map(|(_, w)| w)
             .sum();
-        assert!(blas_fp > redis_fp * 3.0, "OpenBLAS must be far more vector-heavy than Redis");
+        assert!(
+            blas_fp > redis_fp * 3.0,
+            "OpenBLAS must be far more vector-heavy than Redis"
+        );
     }
 
     #[test]
     fn every_application_appears_in_a_large_corpus() {
-        let config = CorpusConfig { num_blocks: 3000, seed: 5, ..CorpusConfig::default() };
+        let config = CorpusConfig {
+            num_blocks: 3000,
+            seed: 5,
+            ..CorpusConfig::default()
+        };
         let corpus = generate_corpus(&config);
         for app in Application::ALL {
             let count = corpus.iter().filter(|b| b.apps.contains(&app)).count();
             assert!(count > 0, "{app} missing from corpus");
         }
         // Clang/LLVM should dominate, as in Table V.
-        let clang = corpus.iter().filter(|b| b.apps.contains(&Application::ClangLlvm)).count();
-        let gzip = corpus.iter().filter(|b| b.apps.contains(&Application::Gzip)).count();
+        let clang = corpus
+            .iter()
+            .filter(|b| b.apps.contains(&Application::ClangLlvm))
+            .count();
+        let gzip = corpus
+            .iter()
+            .filter(|b| b.apps.contains(&Application::Gzip))
+            .count();
         assert!(clang > gzip * 5);
     }
 
@@ -395,7 +441,11 @@ mod tests {
 
     #[test]
     fn every_category_appears_in_a_large_corpus() {
-        let config = CorpusConfig { num_blocks: 5000, seed: 11, ..CorpusConfig::default() };
+        let config = CorpusConfig {
+            num_blocks: 5000,
+            seed: 11,
+            ..CorpusConfig::default()
+        };
         let corpus = generate_corpus(&config);
         for category in Category::ALL {
             assert!(

@@ -76,23 +76,25 @@ impl Dataset {
         let machine = Machine::new(uarch);
 
         // Measure in parallel: measurement is pure per-block work.
-        let num_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(16);
+        let num_threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(16);
         let timings: Vec<f64> = if corpus.len() < 256 || num_threads == 1 {
             corpus.iter().map(|b| machine.measure(&b.block)).collect()
         } else {
             let mut timings = vec![0.0; corpus.len()];
             let chunk = corpus.len().div_ceil(num_threads);
-            crossbeam::thread::scope(|scope| {
+            std::thread::scope(|scope| {
                 for (blocks, out) in corpus.chunks(chunk).zip(timings.chunks_mut(chunk)) {
                     let machine = &machine;
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         for (record, slot) in blocks.iter().zip(out.iter_mut()) {
                             *slot = machine.measure(&record.block);
                         }
                     });
                 }
-            })
-            .expect("measurement threads do not panic");
+            });
             timings
         };
 
@@ -177,10 +179,18 @@ impl Dataset {
         };
         let all: Vec<&Record> = self.records.iter().collect();
         DatasetSummary {
-            split_sizes: (self.train().len(), self.validation().len(), self.test().len()),
+            split_sizes: (
+                self.train().len(),
+                self.validation().len(),
+                self.test().len(),
+            ),
             min_block_len: lens.first().copied().unwrap_or(0),
             median_block_len: lens.get(lens.len() / 2).copied().unwrap_or(0),
-            mean_block_len: if lens.is_empty() { 0.0 } else { lens.iter().sum::<usize>() as f64 / lens.len() as f64 },
+            mean_block_len: if lens.is_empty() {
+                0.0
+            } else {
+                lens.iter().sum::<usize>() as f64 / lens.len() as f64
+            },
             max_block_len: lens.last().copied().unwrap_or(0),
             median_timing: timings.get(timings.len() / 2).copied().unwrap_or(0.0),
             unique_opcodes: unique(&all),
@@ -198,11 +208,17 @@ impl Dataset {
     {
         let predictions: Vec<f64> = records.iter().map(|r| predict(&r.block)).collect();
         let actuals: Vec<f64> = records.iter().map(|r| r.timing).collect();
-        (mape(&predictions, &actuals), kendall_tau(&predictions, &actuals))
+        (
+            mape(&predictions, &actuals),
+            kendall_tau(&predictions, &actuals),
+        )
     }
 
     /// Per-application error of a predictor over a set of records (Table V, top).
-    pub fn error_by_application<'a, F>(records: &[&'a Record], mut predict: F) -> BTreeMap<Application, (usize, f64)>
+    pub fn error_by_application<'a, F>(
+        records: &[&'a Record],
+        mut predict: F,
+    ) -> BTreeMap<Application, (usize, f64)>
     where
         F: FnMut(&'a BasicBlock) -> f64,
     {
@@ -222,7 +238,10 @@ impl Dataset {
     }
 
     /// Per-category error of a predictor over a set of records (Table V, bottom).
-    pub fn error_by_category<'a, F>(records: &[&'a Record], mut predict: F) -> BTreeMap<Category, (usize, f64)>
+    pub fn error_by_category<'a, F>(
+        records: &[&'a Record],
+        mut predict: F,
+    ) -> BTreeMap<Category, (usize, f64)>
     where
         F: FnMut(&'a BasicBlock) -> f64,
     {
@@ -245,7 +264,11 @@ mod tests {
     use super::*;
 
     fn small_dataset() -> Dataset {
-        let config = CorpusConfig { num_blocks: 400, seed: 2, ..CorpusConfig::default() };
+        let config = CorpusConfig {
+            num_blocks: 400,
+            seed: 2,
+            ..CorpusConfig::default()
+        };
         Dataset::build(Microarch::Haswell, &config)
     }
 
@@ -262,8 +285,11 @@ mod tests {
     #[test]
     fn splits_are_blockwise_disjoint() {
         let dataset = small_dataset();
-        let train: std::collections::HashSet<String> =
-            dataset.train().iter().map(|r| r.block.to_string()).collect();
+        let train: std::collections::HashSet<String> = dataset
+            .train()
+            .iter()
+            .map(|r| r.block.to_string())
+            .collect();
         for record in dataset.test() {
             assert!(!train.contains(&record.block.to_string()));
         }
@@ -279,8 +305,10 @@ mod tests {
     fn evaluation_of_perfect_predictor_is_zero_error() {
         let dataset = small_dataset();
         let test = dataset.test();
-        let lookup: std::collections::HashMap<String, f64> =
-            test.iter().map(|r| (r.block.to_string(), r.timing)).collect();
+        let lookup: std::collections::HashMap<String, f64> = test
+            .iter()
+            .map(|r| (r.block.to_string(), r.timing))
+            .collect();
         let (error, tau) = Dataset::evaluate(&test, |block| lookup[&block.to_string()]);
         assert!(error < 1e-12);
         assert!(tau > 0.99);

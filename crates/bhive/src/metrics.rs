@@ -8,7 +8,11 @@
 ///
 /// Panics if the two slices have different lengths.
 pub fn mape(predictions: &[f64], actuals: &[f64]) -> f64 {
-    assert_eq!(predictions.len(), actuals.len(), "prediction/actual length mismatch");
+    assert_eq!(
+        predictions.len(),
+        actuals.len(),
+        "prediction/actual length mismatch"
+    );
     let mut total = 0.0;
     let mut count = 0usize;
     for (&p, &a) in predictions.iter().zip(actuals) {
@@ -34,7 +38,11 @@ pub fn mape(predictions: &[f64], actuals: &[f64]) -> f64 {
 ///
 /// Panics if the two slices have different lengths.
 pub fn kendall_tau(predictions: &[f64], actuals: &[f64]) -> f64 {
-    assert_eq!(predictions.len(), actuals.len(), "prediction/actual length mismatch");
+    assert_eq!(
+        predictions.len(),
+        actuals.len(),
+        "prediction/actual length mismatch"
+    );
     let n = predictions.len();
     if n < 2 {
         return 1.0;
@@ -44,7 +52,11 @@ pub fn kendall_tau(predictions: &[f64], actuals: &[f64]) -> f64 {
     // tied in either variable are counted as neither concordant nor
     // discordant (tau-a denominator still n(n-1)/2).
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| actuals[a].partial_cmp(&actuals[b]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&a, &b| {
+        actuals[a]
+            .partial_cmp(&actuals[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let ranked: Vec<f64> = order.iter().map(|&i| predictions[i]).collect();
 
     // Count ties in actuals (consecutive equal groups after sorting).
@@ -98,7 +110,8 @@ fn count_inversions(values: &mut [f64], buffer: &mut [f64]) -> u64 {
     }
     let mid = n / 2;
     let (left, right) = values.split_at_mut(mid);
-    let mut inversions = count_inversions(left, &mut buffer[..mid]) + count_inversions(right, &mut buffer[mid..]);
+    let mut inversions =
+        count_inversions(left, &mut buffer[..mid]) + count_inversions(right, &mut buffer[mid..]);
 
     // Merge, counting cross inversions (right element strictly smaller than a
     // remaining left element).
@@ -166,7 +179,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         let n = 200;
         let actual: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..100.0)).collect();
-        let pred: Vec<f64> = actual.iter().map(|a| a + rng.gen_range(-30.0..30.0)).collect();
+        let pred: Vec<f64> = actual
+            .iter()
+            .map(|a| a + rng.gen_range(-30.0..30.0))
+            .collect();
 
         let mut concordant = 0i64;
         let mut discordant = 0i64;
@@ -183,7 +199,10 @@ mod tests {
         }
         let expected = (concordant - discordant) as f64 / (n * (n - 1) / 2) as f64;
         let fast = kendall_tau(&pred, &actual);
-        assert!((fast - expected).abs() < 1e-9, "fast {fast} vs reference {expected}");
+        assert!(
+            (fast - expected).abs() < 1e-9,
+            "fast {fast} vs reference {expected}"
+        );
     }
 
     #[test]

@@ -1,8 +1,5 @@
 //! The end-to-end DiffTune driver (Figure 1).
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
 use difftune_isa::{BasicBlock, OpcodeId};
 use difftune_sim::{SimParams, Simulator};
 use difftune_surrogate::train::{train, TrainConfig, TrainReport};
@@ -12,6 +9,9 @@ use difftune_surrogate::{
 };
 use difftune_tensor::optim::{Adam, Optimizer};
 use difftune_tensor::{Grads, Graph, Tensor};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
 
 use crate::sampling::sample_table;
 use crate::simdata::generate_simulated_dataset;
@@ -65,7 +65,10 @@ impl Default for DiffTuneConfig {
             surrogate: SurrogateKind::Mlp(FeatureMlpConfig::default()),
             simulated_multiplier: 5.0,
             max_simulated: 60_000,
-            surrogate_train: TrainConfig { epochs: 3, ..TrainConfig::default() },
+            surrogate_train: TrainConfig {
+                epochs: 3,
+                ..TrainConfig::default()
+            },
             table_learning_rate: 0.05,
             table_epochs: 1,
             table_batch_size: 256,
@@ -127,9 +130,15 @@ impl DiffTune {
         defaults: &SimParams,
         train_set: &[(BasicBlock, f64)],
     ) -> DiffTuneResult {
-        assert!(!train_set.is_empty(), "DiffTune needs a non-empty training set");
-        let blocks: Vec<BasicBlock> =
-            train_set.iter().filter(|(b, _)| !b.is_empty()).map(|(b, _)| b.clone()).collect();
+        assert!(
+            !train_set.is_empty(),
+            "DiffTune needs a non-empty training set"
+        );
+        let blocks: Vec<BasicBlock> = train_set
+            .iter()
+            .filter(|(b, _)| !b.is_empty())
+            .map(|(b, _)| b.clone())
+            .collect();
 
         // Step 2 (Figure 1): simulated dataset.
         let simulated_size = ((blocks.len() as f64 * self.config.simulated_multiplier) as usize)
@@ -150,7 +159,7 @@ impl DiffTune {
 
         // Step 4: train the parameter table through the frozen surrogate.
         let (theta, table_losses, initial) =
-            self.train_table(&surrogate, spec, defaults, train_set);
+            self.train_table(&*surrogate, spec, defaults, train_set);
 
         DiffTuneResult {
             learned: theta.to_sim_params(),
@@ -165,7 +174,7 @@ impl DiffTune {
     /// Equation 3: gradient descent on θ through the frozen surrogate.
     fn train_table(
         &self,
-        surrogate: &Box<dyn SurrogateModel>,
+        surrogate: &dyn SurrogateModel,
         spec: &ParamSpec,
         defaults: &SimParams,
         train_set: &[(BasicBlock, f64)],
@@ -198,7 +207,9 @@ impl DiffTune {
             .collect();
 
         let threads = if self.config.threads == 0 {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
         } else {
             self.config.threads
         };
@@ -238,17 +249,16 @@ impl DiffTune {
                     grad_of(&batch_refs)
                 } else {
                     let chunk = batch_refs.len().div_ceil(threads);
-                    let results: Vec<(f64, Grads)> = crossbeam::thread::scope(|scope| {
+                    let results: Vec<(f64, Grads)> = std::thread::scope(|scope| {
                         let handles: Vec<_> = batch_refs
                             .chunks(chunk)
-                            .map(|shard| scope.spawn(|_| grad_of(shard)))
+                            .map(|shard| scope.spawn(move || grad_of(shard)))
                             .collect();
                         handles
                             .into_iter()
                             .map(|h| h.join().expect("table-training worker panicked"))
                             .collect()
-                    })
-                    .expect("table-training scope");
+                    });
                     let mut total = 0.0;
                     let mut merged = Grads::new(&store);
                     for (loss, local) in results {
@@ -313,10 +323,18 @@ mod tests {
 
     fn fast_config() -> DiffTuneConfig {
         DiffTuneConfig {
-            surrogate: SurrogateKind::Mlp(FeatureMlpConfig { hidden_dim: 24, ..FeatureMlpConfig::default() }),
+            surrogate: SurrogateKind::Mlp(FeatureMlpConfig {
+                hidden_dim: 24,
+                ..FeatureMlpConfig::default()
+            }),
             simulated_multiplier: 40.0,
             max_simulated: 400,
-            surrogate_train: TrainConfig { epochs: 10, batch_size: 64, threads: 1, ..TrainConfig::default() },
+            surrogate_train: TrainConfig {
+                epochs: 10,
+                batch_size: 64,
+                threads: 1,
+                ..TrainConfig::default()
+            },
             table_learning_rate: 0.05,
             table_epochs: 4,
             table_batch_size: 10,
@@ -353,7 +371,10 @@ mod tests {
             "table training loss should not increase: {:?}",
             result.table_losses
         );
-        assert_eq!(result.num_learned_parameters, ParamSpec::llvm_mca().num_learned(defaults.num_opcodes()));
+        assert_eq!(
+            result.num_learned_parameters,
+            ParamSpec::llvm_mca().num_learned(defaults.num_opcodes())
+        );
     }
 
     #[test]
@@ -367,10 +388,18 @@ mod tests {
         config.table_epochs = 60;
         config.table_learning_rate = 0.3;
         let difftune = DiffTune::new(config);
-        let result = difftune.run(&simulator, &ParamSpec::write_latency_only(), &defaults, &train_set);
+        let result = difftune.run(
+            &simulator,
+            &ParamSpec::write_latency_only(),
+            &defaults,
+            &train_set,
+        );
 
         assert_eq!(result.learned.dispatch_width, defaults.dispatch_width);
-        assert_eq!(result.learned.reorder_buffer_size, defaults.reorder_buffer_size);
+        assert_eq!(
+            result.learned.reorder_buffer_size,
+            defaults.reorder_buffer_size
+        );
         for (learned, default) in result.learned.per_inst.iter().zip(&defaults.per_inst) {
             assert_eq!(learned.num_micro_ops, default.num_micro_ops);
             assert_eq!(learned.port_map, default.port_map);

@@ -12,7 +12,11 @@ use crate::spec::ParamSpec;
 /// Parameters that are not learned keep their values from `defaults`, exactly
 /// as in the paper's WriteLatency-only experiment where everything else stays
 /// at the expert-provided values.
-pub fn sample_table<R: Rng + ?Sized>(rng: &mut R, spec: &ParamSpec, defaults: &SimParams) -> SimParams {
+pub fn sample_table<R: Rng + ?Sized>(
+    rng: &mut R,
+    spec: &ParamSpec,
+    defaults: &SimParams,
+) -> SimParams {
     let ranges = &spec.sampling;
     let mut table = defaults.clone();
 
@@ -20,7 +24,8 @@ pub fn sample_table<R: Rng + ?Sized>(rng: &mut R, spec: &ParamSpec, defaults: &S
         table.dispatch_width = rng.gen_range(ranges.dispatch_width.0..=ranges.dispatch_width.1);
     }
     if spec.reorder_buffer {
-        table.reorder_buffer_size = rng.gen_range(ranges.reorder_buffer.0..=ranges.reorder_buffer.1);
+        table.reorder_buffer_size =
+            rng.gen_range(ranges.reorder_buffer.0..=ranges.reorder_buffer.1);
     }
 
     for entry in &mut table.per_inst {

@@ -28,12 +28,17 @@ pub fn generate_simulated_dataset(
     seed: u64,
     threads: usize,
 ) -> Vec<TrainSample> {
-    assert!(!blocks.is_empty(), "need at least one block to build a simulated dataset");
+    assert!(
+        !blocks.is_empty(),
+        "need at least one block to build a simulated dataset"
+    );
     let vocab = Vocab::new();
     let tokenized: Vec<_> = blocks.iter().map(|b| vocab.tokenize_block(b)).collect();
 
     let threads = if threads == 0 {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     } else {
         threads
     };
@@ -49,7 +54,12 @@ pub fn generate_simulated_dataset(
             let block = tokenized[block_index].clone();
             let per_inst_features = Some(block_param_features(&table, &block));
             let global = Some(global_features(&table));
-            out.push(TrainSample { block, per_inst_features, global_features: global, target });
+            out.push(TrainSample {
+                block,
+                per_inst_features,
+                global_features: global,
+                target,
+            });
             let _ = index;
         }
         out
@@ -59,16 +69,19 @@ pub fn generate_simulated_dataset(
         generate_range(0..size)
     } else {
         let chunk = size.div_ceil(threads);
-        let ranges: Vec<std::ops::Range<usize>> =
-            (0..threads).map(|t| (t * chunk).min(size)..((t + 1) * chunk).min(size)).collect();
-        crossbeam::thread::scope(|scope| {
+        let ranges: Vec<std::ops::Range<usize>> = (0..threads)
+            .map(|t| (t * chunk).min(size)..((t + 1) * chunk).min(size))
+            .collect();
+        std::thread::scope(|scope| {
             let handles: Vec<_> = ranges
                 .into_iter()
-                .map(|range| scope.spawn(|_| generate_range(range)))
+                .map(|range| scope.spawn(move || generate_range(range)))
                 .collect();
-            handles.into_iter().flat_map(|h| h.join().expect("dataset worker panicked")).collect()
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("dataset worker panicked"))
+                .collect()
         })
-        .expect("dataset generation scope")
     }
 }
 
@@ -78,10 +91,14 @@ mod tests {
     use difftune_sim::McaSimulator;
 
     fn blocks() -> Vec<BasicBlock> {
-        ["addq %rax, %rbx", "imulq %rbx, %rcx\naddq %rcx, %rax", "movq (%rdi), %rax\naddq %rax, %rbx"]
-            .iter()
-            .map(|t| t.parse().unwrap())
-            .collect()
+        [
+            "addq %rax, %rbx",
+            "imulq %rbx, %rcx\naddq %rcx, %rax",
+            "movq (%rdi), %rax\naddq %rax, %rbx",
+        ]
+        .iter()
+        .map(|t| t.parse().unwrap())
+        .collect()
     }
 
     #[test]
@@ -98,7 +115,9 @@ mod tests {
         );
         assert_eq!(data.len(), 100);
         assert!(data.iter().all(|s| s.target >= 0.0 && s.target.is_finite()));
-        assert!(data.iter().all(|s| s.per_inst_features.as_ref().unwrap().len() == s.block.len()));
+        assert!(data
+            .iter()
+            .all(|s| s.per_inst_features.as_ref().unwrap().len() == s.block.len()));
     }
 
     #[test]
@@ -124,7 +143,10 @@ mod tests {
                 (sim.predict(&defaults, b) - sample.target).abs() < 1e-12
                     && Vocab::new().tokenize_block(b) == sample.block
             });
-            assert!(matching, "target should be the default-parameter prediction of its block");
+            assert!(
+                matching,
+                "target should be the default-parameter prediction of its block"
+            );
         }
     }
 
@@ -141,7 +163,11 @@ mod tests {
             2,
             1,
         );
-        let distinct: std::collections::HashSet<u64> = data.iter().map(|s| s.target.to_bits()).collect();
-        assert!(distinct.len() > 5, "sampling parameter tables must vary the simulated timing");
+        let distinct: std::collections::HashSet<u64> =
+            data.iter().map(|s| s.target.to_bits()).collect();
+        assert!(
+            distinct.len() > 5,
+            "sampling parameter tables must vary the simulated timing"
+        );
     }
 }

@@ -86,7 +86,10 @@ impl ParamSpec {
             write_latency: true,
             read_advance: false,
             port_map: false,
-            sampling: SamplingRanges { write_latency: (0, 10), ..SamplingRanges::default() },
+            sampling: SamplingRanges {
+                write_latency: (0, 10),
+                ..SamplingRanges::default()
+            },
         }
     }
 

@@ -43,7 +43,9 @@ impl ThetaTable {
     /// Reconstructs θ from a tensor produced by [`ThetaTable::tensor`] (e.g.
     /// after optimizer updates).
     pub fn from_tensor(tensor: &Tensor) -> Self {
-        ThetaTable { values: tensor.data().to_vec() }
+        ThetaTable {
+            values: tensor.data().to_vec(),
+        }
     }
 
     /// The flat values as a tensor, ready to be registered as a trainable
@@ -86,7 +88,11 @@ impl ThetaTable {
     /// has in `defaults` (in offset space). Called after each optimizer step so
     /// frozen parameters stay at their expert-provided values.
     pub fn freeze_unlearned(&mut self, spec: &ParamSpec, defaults: &ThetaTable) {
-        assert_eq!(self.values.len(), defaults.values.len(), "mismatched table sizes");
+        assert_eq!(
+            self.values.len(),
+            defaults.values.len(),
+            "mismatched table sizes"
+        );
         if !spec.dispatch_width {
             self.values[0] = defaults.values[0];
         }
@@ -131,18 +137,30 @@ impl ThetaTable {
                 *value = value.signum() * max_offset;
             }
         };
-        clamp(&mut self.values[0], (ranges.dispatch_width.1.saturating_sub(1)) as f32);
-        clamp(&mut self.values[1], (ranges.reorder_buffer.1.saturating_sub(1)) as f32);
+        clamp(
+            &mut self.values[0],
+            (ranges.dispatch_width.1.saturating_sub(1)) as f32,
+        );
+        clamp(
+            &mut self.values[1],
+            (ranges.reorder_buffer.1.saturating_sub(1)) as f32,
+        );
         let num_opcodes = self.num_opcodes();
         for opcode in 0..num_opcodes {
             let base = 2 + opcode * PER_INST;
-            clamp(&mut self.values[base], (ranges.num_micro_ops.1.saturating_sub(1)) as f32);
+            clamp(
+                &mut self.values[base],
+                (ranges.num_micro_ops.1.saturating_sub(1)) as f32,
+            );
             clamp(&mut self.values[base + 1], ranges.write_latency.1 as f32);
             for k in 0..NUM_READ_ADVANCE {
                 clamp(&mut self.values[base + 2 + k], ranges.read_advance.1 as f32);
             }
             for k in 0..NUM_PORTS {
-                clamp(&mut self.values[base + 2 + NUM_READ_ADVANCE + k], ranges.port_cycles.1 as f32);
+                clamp(
+                    &mut self.values[base + 2 + NUM_READ_ADVANCE + k],
+                    ranges.port_cycles.1 as f32,
+                );
             }
         }
     }
@@ -155,11 +173,17 @@ impl ThetaTable {
     /// [`difftune_surrogate::param_features`] exactly, so the surrogate sees
     /// the same representation during training and during parameter-table
     /// optimization.
-    pub fn feature_vars(graph: &mut Graph<'_>, theta: Var, opcodes: &[OpcodeId]) -> (Vec<Var>, Var) {
-        let inv_inst_scales =
-            graph.input(Tensor::vector(PER_INST_SCALES.iter().map(|s| 1.0 / s).collect()));
-        let inv_global_scales =
-            graph.input(Tensor::vector(GLOBAL_SCALES.iter().map(|s| 1.0 / s).collect()));
+    pub fn feature_vars(
+        graph: &mut Graph<'_>,
+        theta: Var,
+        opcodes: &[OpcodeId],
+    ) -> (Vec<Var>, Var) {
+        let inv_inst_scales = graph.input(Tensor::vector(
+            PER_INST_SCALES.iter().map(|s| 1.0 / s).collect(),
+        ));
+        let inv_global_scales = graph.input(Tensor::vector(
+            GLOBAL_SCALES.iter().map(|s| 1.0 / s).collect(),
+        ));
 
         let global_raw = graph.slice(theta, 0, 2);
         let global_abs = graph.abs(global_raw);
@@ -240,9 +264,19 @@ mod tests {
         // Write latencies stay perturbed, everything else is restored.
         assert_eq!(theta.values[0], default_theta.values[0]);
         assert_eq!(theta.values[1], default_theta.values[1]);
-        assert_eq!(theta.values[2], default_theta.values[2], "num_micro_ops restored");
-        assert_eq!(theta.values[3], default_theta.values[3] + 3.0, "write latency kept");
-        assert_eq!(theta.values[4], default_theta.values[4], "read advance restored");
+        assert_eq!(
+            theta.values[2], default_theta.values[2],
+            "num_micro_ops restored"
+        );
+        assert_eq!(
+            theta.values[3],
+            default_theta.values[3] + 3.0,
+            "write latency kept"
+        );
+        assert_eq!(
+            theta.values[4], default_theta.values[4],
+            "read advance restored"
+        );
     }
 
     #[test]
@@ -268,8 +302,15 @@ mod tests {
         let theta_var = graph.param(theta_id);
         let (inst_features, global) = ThetaTable::feature_vars(&mut graph, theta_var, &[opcode]);
 
-        for (a, b) in graph.value(inst_features[0]).iter().zip(expected_inst.data()) {
-            assert!((a - b).abs() < 1e-6, "per-instruction encoding mismatch: {a} vs {b}");
+        for (a, b) in graph
+            .value(inst_features[0])
+            .iter()
+            .zip(expected_inst.data())
+        {
+            assert!(
+                (a - b).abs() < 1e-6,
+                "per-instruction encoding mismatch: {a} vs {b}"
+            );
         }
         for (a, b) in graph.value(global).iter().zip(expected_global.data()) {
             assert!((a - b).abs() < 1e-6, "global encoding mismatch: {a} vs {b}");

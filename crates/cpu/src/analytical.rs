@@ -38,7 +38,10 @@ impl AnalyticalModel {
     pub fn new(uarch: Microarch) -> Option<Self> {
         match uarch {
             Microarch::Zen2 => None,
-            _ => Some(AnalyticalModel { uarch, config: uarch.config() }),
+            _ => Some(AnalyticalModel {
+                uarch,
+                config: uarch.config(),
+            }),
         }
     }
 
@@ -74,7 +77,11 @@ impl AnalyticalModel {
             // Port pressure: compute micro-ops spread over candidate ports,
             // loads over load ports, stores over store ports.
             if !zero_idiom {
-                spread(&mut port_pressure, config.ports_for(info.class()), traits.compute_uops as f64 * (1.0 + traits.blocking_cycles as f64));
+                spread(
+                    &mut port_pressure,
+                    config.ports_for(info.class()),
+                    traits.compute_uops as f64 * (1.0 + traits.blocking_cycles as f64),
+                );
                 if inst.loads() {
                     spread(&mut port_pressure, config.load_ports, 1.0);
                 }
@@ -82,7 +89,8 @@ impl AnalyticalModel {
                     spread(&mut port_pressure, config.store_ports, 1.0);
                 }
             }
-            let uops = (traits.compute_uops + u32::from(inst.loads()) + u32::from(inst.stores())).max(1);
+            let uops =
+                (traits.compute_uops + u32::from(inst.loads()) + u32::from(inst.stores())).max(1);
             total_uops += uops as f64;
             if zero_idiom {
                 eliminated += 1;
@@ -93,9 +101,18 @@ impl AnalyticalModel {
             let latency = if zero_idiom {
                 0.0
             } else {
-                traits.latency as f64 + if inst.loads() { config.load_latency as f64 } else { 0.0 }
+                traits.latency as f64
+                    + if inst.loads() {
+                        config.load_latency as f64
+                    } else {
+                        0.0
+                    }
             };
-            dep_insts.push(DepInst { reads: inst.reads(), writes: inst.writes(), latency });
+            dep_insts.push(DepInst {
+                reads: inst.reads(),
+                writes: inst.writes(),
+                latency,
+            });
         }
 
         let port_bound = port_pressure.iter().cloned().fold(0.0, f64::max);
@@ -113,7 +130,11 @@ impl AnalyticalModel {
         for iteration in 0..window {
             let mut iteration_finish: f64 = 0.0;
             for inst in &dep_insts {
-                let start = inst.reads.iter().map(|f| reg_ready[f.index()]).fold(0.0, f64::max);
+                let start = inst
+                    .reads
+                    .iter()
+                    .map(|f| reg_ready[f.index()])
+                    .fold(0.0, f64::max);
                 let done = start + inst.latency;
                 for family in &inst.writes {
                     reg_ready[family.index()] = done;
@@ -169,7 +190,13 @@ mod tests {
     #[test]
     fn throughput_bound_blocks_are_predicted_well() {
         let model = AnalyticalModel::new(Microarch::Haswell).unwrap();
-        let machine = Machine::with_measurement(Microarch::Haswell, MeasurementConfig { iterations: 100, apply_noise: false });
+        let machine = Machine::with_measurement(
+            Microarch::Haswell,
+            MeasurementConfig {
+                iterations: 100,
+                apply_noise: false,
+            },
+        );
         let b = block("addq %rax, %rbx\naddq %rcx, %rdx\naddq %rsi, %rdi\naddq %r8, %r9");
         let predicted = model.predict(&b);
         let measured = machine.measure_exact(&b);
@@ -180,7 +207,13 @@ mod tests {
     #[test]
     fn latency_bound_chains_are_predicted_well() {
         let model = AnalyticalModel::new(Microarch::Haswell).unwrap();
-        let machine = Machine::with_measurement(Microarch::Haswell, MeasurementConfig { iterations: 100, apply_noise: false });
+        let machine = Machine::with_measurement(
+            Microarch::Haswell,
+            MeasurementConfig {
+                iterations: 100,
+                apply_noise: false,
+            },
+        );
         let b = block("mulsd %xmm1, %xmm0\naddsd %xmm0, %xmm1");
         let predicted = model.predict(&b);
         let measured = machine.measure_exact(&b);
@@ -193,7 +226,13 @@ mod tests {
         // The ADD32mr case study: the analytical model under-predicts because it
         // does not model store-to-load forwarding chains.
         let model = AnalyticalModel::new(Microarch::Haswell).unwrap();
-        let machine = Machine::with_measurement(Microarch::Haswell, MeasurementConfig { iterations: 100, apply_noise: false });
+        let machine = Machine::with_measurement(
+            Microarch::Haswell,
+            MeasurementConfig {
+                iterations: 100,
+                apply_noise: false,
+            },
+        );
         let b = block("addl %eax, 16(%rsp)");
         assert!(model.predict(&b) < machine.measure_exact(&b));
     }
@@ -202,7 +241,10 @@ mod tests {
     fn zero_idiom_is_not_latency_bound() {
         let model = AnalyticalModel::new(Microarch::Haswell).unwrap();
         let idiom = model.predict(&block("xorl %r13d, %r13d"));
-        assert!(idiom <= 0.5, "zero idiom should be bounded by the frontend, got {idiom}");
+        assert!(
+            idiom <= 0.5,
+            "zero idiom should be bounded by the frontend, got {idiom}"
+        );
     }
 
     #[test]

@@ -107,7 +107,10 @@ mod tests {
         let registry = OpcodeRegistry::global();
         let params = default_params(Microarch::Haswell);
         let xor = params.inst(registry.by_name("XOR32rr").unwrap());
-        assert_eq!(xor.write_latency, 1, "documentation does not know about the renamer fast path");
+        assert_eq!(
+            xor.write_latency, 1,
+            "documentation does not know about the renamer fast path"
+        );
     }
 
     #[test]
@@ -135,11 +138,17 @@ mod tests {
         let sim = McaSimulator::default();
         let add: BasicBlock = "addq %rax, %rbx\naddq %rbx, %rcx".parse().unwrap();
         let timing = sim.predict(&params, &add);
-        assert!((1.0..4.0).contains(&timing), "chained adds should take ~2 cycles, got {timing}");
+        assert!(
+            (1.0..4.0).contains(&timing),
+            "chained adds should take ~2 cycles, got {timing}"
+        );
 
         // The paper's push case study: default parameters over-predict.
         let push: BasicBlock = "pushq %rbx\ntestl %r8d, %r8d".parse().unwrap();
         let push_timing = sim.predict(&params, &push);
-        assert!((1.8..2.5).contains(&push_timing), "default push latency predicts ~2 cycles, got {push_timing}");
+        assert!(
+            (1.8..2.5).contains(&push_timing),
+            "default push latency predicts ~2 cycles, got {push_timing}"
+        );
     }
 }

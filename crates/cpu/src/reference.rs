@@ -22,7 +22,10 @@ pub struct MeasurementConfig {
 
 impl Default for MeasurementConfig {
     fn default() -> Self {
-        MeasurementConfig { iterations: 100, apply_noise: true }
+        MeasurementConfig {
+            iterations: 100,
+            apply_noise: true,
+        }
     }
 }
 
@@ -54,8 +57,16 @@ impl Machine {
     pub fn with_measurement(uarch: Microarch, measurement: MeasurementConfig) -> Self {
         let registry = OpcodeRegistry::global();
         let config = uarch.config();
-        let traits = registry.iter().map(|(_, info)| InstTraits::for_opcode(uarch, info)).collect();
-        Machine { uarch, config, measurement, traits }
+        let traits = registry
+            .iter()
+            .map(|(_, info)| InstTraits::for_opcode(uarch, info))
+            .collect();
+        Machine {
+            uarch,
+            config,
+            measurement,
+            traits,
+        }
     }
 
     /// The microarchitecture this machine models.
@@ -180,8 +191,12 @@ impl Machine {
                     continue;
                 }
                 if inst.reg_move && self.config.move_elimination {
-                    let source_ready =
-                        inst.reads.iter().map(|f| reg_ready[f.index()]).max().unwrap_or(dispatched);
+                    let source_ready = inst
+                        .reads
+                        .iter()
+                        .map(|f| reg_ready[f.index()])
+                        .max()
+                        .unwrap_or(dispatched);
                     let ready = source_ready.max(dispatched);
                     for family in &inst.writes {
                         reg_ready[family.index()] = ready;
@@ -261,7 +276,11 @@ impl Machine {
                 // Store micro-op: address and data must both be ready.
                 if inst.stores {
                     let (port, free) = best_port(&port_free, self.config.store_ports);
-                    let data_ready = if inst.compute_uops > 0 { result_ready } else { input_ready };
+                    let data_ready = if inst.compute_uops > 0 {
+                        result_ready
+                    } else {
+                        input_ready
+                    };
                     let start = addr_ready.max(data_ready).max(free);
                     port_free[port] = start + 1;
                     max_uop_end = max_uop_end.max(start + 1);
@@ -287,14 +306,18 @@ impl Machine {
         let class = info.class();
         let loads = inst.loads();
         let stores = inst.stores();
-        let addr_reads: Vec<RegFamily> =
-            inst.mem_operand().map(|m| m.address_regs().collect()).unwrap_or_default();
+        let addr_reads: Vec<RegFamily> = inst
+            .mem_operand()
+            .map(|m| m.address_regs().collect())
+            .unwrap_or_default();
         // Register sources feeding the computation (address registers feed the
         // AGU instead).
-        let reads: Vec<RegFamily> =
-            inst.reads().into_iter().filter(|f| !addr_reads.contains(f)).collect();
-        let total_uops =
-            traits.compute_uops as u64 + u64::from(loads) + u64::from(stores);
+        let reads: Vec<RegFamily> = inst
+            .reads()
+            .into_iter()
+            .filter(|f| !addr_reads.contains(f))
+            .collect();
+        let total_uops = traits.compute_uops as u64 + u64::from(loads) + u64::from(stores);
         StaticInst {
             class,
             reads,
@@ -378,14 +401,23 @@ mod tests {
     }
 
     fn haswell() -> Machine {
-        Machine::with_measurement(Microarch::Haswell, MeasurementConfig { iterations: 100, apply_noise: false })
+        Machine::with_measurement(
+            Microarch::Haswell,
+            MeasurementConfig {
+                iterations: 100,
+                apply_noise: false,
+            },
+        )
     }
 
     #[test]
     fn push_test_pair_takes_about_one_cycle() {
         // Paper case study: `pushq %rbx ; testl %r8d, %r8d` measures 1.01 cycles.
         let timing = haswell().measure_exact(&block("pushq %rbx\ntestl %r8d, %r8d"));
-        assert!((timing - 1.0).abs() < 0.3, "expected ~1 cycle per iteration, got {timing}");
+        assert!(
+            (timing - 1.0).abs() < 0.3,
+            "expected ~1 cycle per iteration, got {timing}"
+        );
     }
 
     #[test]
@@ -395,8 +427,14 @@ mod tests {
         let machine = haswell();
         let idiom = machine.measure_exact(&block("xorl %r13d, %r13d"));
         let real = machine.measure_exact(&block("xorl %eax, %r13d"));
-        assert!(idiom < 0.5, "zero idiom should be well under a cycle, got {idiom}");
-        assert!(real >= 1.0, "a real xor carries a dependency chain, got {real}");
+        assert!(
+            idiom < 0.5,
+            "zero idiom should be well under a cycle, got {idiom}"
+        );
+        assert!(
+            real >= 1.0,
+            "a real xor carries a dependency chain, got {real}"
+        );
     }
 
     #[test]
@@ -416,7 +454,10 @@ mod tests {
         let dependent = machine.measure_exact(&block("addq %rax, %rbx\naddq %rbx, %rcx"));
         let independent = machine.measure_exact(&block("addq %rax, %rbx\naddq %rcx, %rdx"));
         assert!(dependent >= independent, "{dependent} vs {independent}");
-        assert!(independent <= 1.2, "two independent adds fit in one cycle on four ALU ports");
+        assert!(
+            independent <= 1.2,
+            "two independent adds fit in one cycle on four ALU ports"
+        );
     }
 
     #[test]
@@ -430,7 +471,13 @@ mod tests {
     #[test]
     fn move_elimination_only_on_newer_cores() {
         let mov = block("movq %rax, %rbx\naddq %rbx, %rcx\nmovq %rcx, %rax");
-        let ivb = Machine::with_measurement(Microarch::IvyBridge, MeasurementConfig { iterations: 100, apply_noise: false });
+        let ivb = Machine::with_measurement(
+            Microarch::IvyBridge,
+            MeasurementConfig {
+                iterations: 100,
+                apply_noise: false,
+            },
+        );
         let hsw = haswell();
         assert!(hsw.measure_exact(&mov) <= ivb.measure_exact(&mov));
     }
@@ -440,10 +487,25 @@ mod tests {
         let b = block("mulsd %xmm1, %xmm0\naddsd %xmm0, %xmm2\ndivsd %xmm3, %xmm4");
         let timings: Vec<f64> = Microarch::ALL
             .iter()
-            .map(|&u| Machine::with_measurement(u, MeasurementConfig { iterations: 100, apply_noise: false }).measure_exact(&b))
+            .map(|&u| {
+                Machine::with_measurement(
+                    u,
+                    MeasurementConfig {
+                        iterations: 100,
+                        apply_noise: false,
+                    },
+                )
+                .measure_exact(&b)
+            })
             .collect();
-        let distinct = timings.iter().filter(|&&t| (t - timings[0]).abs() > 1e-6).count();
-        assert!(distinct >= 1, "at least one microarchitecture should differ: {timings:?}");
+        let distinct = timings
+            .iter()
+            .filter(|&&t| (t - timings[0]).abs() > 1e-6)
+            .count();
+        assert!(
+            distinct >= 1,
+            "at least one microarchitecture should differ: {timings:?}"
+        );
     }
 
     #[test]
@@ -466,7 +528,9 @@ mod tests {
     fn longer_blocks_take_longer() {
         let machine = haswell();
         let short = machine.measure_exact(&block("imulq %rbx, %rax"));
-        let long = machine.measure_exact(&block("imulq %rbx, %rax\nimulq %rax, %rcx\nimulq %rcx, %rdx"));
+        let long = machine.measure_exact(&block(
+            "imulq %rbx, %rax\nimulq %rax, %rcx\nimulq %rcx, %rdx",
+        ));
         assert!(long > short);
     }
 }

@@ -70,7 +70,13 @@ impl InstTraits {
                     OpClass::FpDiv => latency.saturating_sub(4),
                     OpClass::FpSqrt => latency.saturating_sub(4),
                     OpClass::IntDiv => latency.saturating_sub(8),
-                    OpClass::IntMul => if width == Width::B64 { 4 } else { 3 },
+                    OpClass::IntMul => {
+                        if width == Width::B64 {
+                            4
+                        } else {
+                            3
+                        }
+                    }
                     OpClass::Convert => latency + 1,
                     _ => latency,
                 };
@@ -88,7 +94,11 @@ impl InstTraits {
             _ => blocking,
         };
 
-        InstTraits { latency, compute_uops, blocking_cycles: blocking }
+        InstTraits {
+            latency,
+            compute_uops,
+            blocking_cycles: blocking,
+        }
     }
 
     /// The latency a vendor manual would document for this opcode: the compute
@@ -163,7 +173,9 @@ mod tests {
 
     fn traits(uarch: Microarch, name: &str) -> InstTraits {
         let registry = OpcodeRegistry::global();
-        let id = registry.by_name(name).unwrap_or_else(|| panic!("missing opcode {name}"));
+        let id = registry
+            .by_name(name)
+            .unwrap_or_else(|| panic!("missing opcode {name}"));
         InstTraits::for_opcode(uarch, registry.info(id))
     }
 
@@ -214,7 +226,10 @@ mod tests {
         let rr = registry.by_name("ADD32rr").unwrap();
         let t_rm = InstTraits::for_opcode(Microarch::Haswell, registry.info(rm));
         let t_rr = InstTraits::for_opcode(Microarch::Haswell, registry.info(rr));
-        assert_eq!(t_rm.documented_latency(registry.info(rm), 4), t_rr.latency + 4);
+        assert_eq!(
+            t_rm.documented_latency(registry.info(rm), 4),
+            t_rr.latency + 4
+        );
         assert_eq!(t_rr.documented_latency(registry.info(rr), 4), t_rr.latency);
     }
 
@@ -224,7 +239,12 @@ mod tests {
         for uarch in Microarch::ALL {
             for (_, info) in registry.iter() {
                 let t = InstTraits::for_opcode(uarch, info);
-                assert!(t.latency <= 64, "{} has implausible latency {}", info.name(), t.latency);
+                assert!(
+                    t.latency <= 64,
+                    "{} has implausible latency {}",
+                    info.name(),
+                    t.latency
+                );
                 assert!(t.compute_uops <= 12);
             }
         }

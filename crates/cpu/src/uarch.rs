@@ -22,7 +22,12 @@ pub enum Microarch {
 
 impl Microarch {
     /// All evaluated microarchitectures, in the order used by the paper's tables.
-    pub const ALL: [Microarch; 4] = [Microarch::IvyBridge, Microarch::Haswell, Microarch::Skylake, Microarch::Zen2];
+    pub const ALL: [Microarch; 4] = [
+        Microarch::IvyBridge,
+        Microarch::Haswell,
+        Microarch::Skylake,
+        Microarch::Zen2,
+    ];
 
     /// The display name used in tables.
     pub fn name(self) -> &'static str {
@@ -246,8 +251,7 @@ impl UarchConfig {
                     (Convert, bits(&[8])),
                     (Nop, 0),
                 ],
-                load_ports: bits(&[4, 5])
-                ,
+                load_ports: bits(&[4, 5]),
                 store_ports: bits(&[6]),
             },
         }
@@ -278,7 +282,10 @@ mod tests {
             for (class, ports) in &config.class_ports {
                 if *class != OpClass::Nop {
                     assert!(*ports != 0, "{uarch:?} has no port for {class:?}");
-                    assert!(*ports < (1 << config.num_ports), "{uarch:?} port set out of range for {class:?}");
+                    assert!(
+                        *ports < (1 << config.num_ports),
+                        "{uarch:?} port set out of range for {class:?}"
+                    );
                 }
             }
         }
@@ -293,7 +300,10 @@ mod tests {
     #[test]
     fn uarch_parsing_and_display() {
         assert_eq!("haswell".parse::<Microarch>().unwrap(), Microarch::Haswell);
-        assert_eq!("Ivy Bridge".parse::<Microarch>().unwrap(), Microarch::IvyBridge);
+        assert_eq!(
+            "Ivy Bridge".parse::<Microarch>().unwrap(),
+            Microarch::IvyBridge
+        );
         assert_eq!("zen2".parse::<Microarch>().unwrap(), Microarch::Zen2);
         assert!("pentium".parse::<Microarch>().is_err());
         assert_eq!(Microarch::Skylake.to_string(), "Skylake");

@@ -82,7 +82,9 @@ impl BasicBlock {
 
 impl FromIterator<Inst> for BasicBlock {
     fn from_iter<T: IntoIterator<Item = Inst>>(iter: T) -> Self {
-        BasicBlock { insts: iter.into_iter().collect() }
+        BasicBlock {
+            insts: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -144,9 +146,10 @@ mod tests {
 
     #[test]
     fn counting_helpers() {
-        let block: BasicBlock = "movq (%rdi), %rax\naddq %rax, %rbx\nmovq %rbx, 8(%rdi)\naddsd %xmm1, %xmm0"
-            .parse()
-            .unwrap();
+        let block: BasicBlock =
+            "movq (%rdi), %rax\naddq %rax, %rbx\nmovq %rbx, 8(%rdi)\naddsd %xmm1, %xmm0"
+                .parse()
+                .unwrap();
         assert_eq!(block.num_loads(), 1);
         assert_eq!(block.num_stores(), 1);
         assert_eq!(block.num_vector_insts(), 1);

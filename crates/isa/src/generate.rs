@@ -162,8 +162,11 @@ impl BlockGenerator {
                 continue;
             }
             if let Some(slot) = classes.iter().position(|&c| c == info.class()) {
-                let bucket =
-                    if info.form().has_mem() { &mut with_mem[slot] } else { &mut reg_only[slot] };
+                let bucket = if info.form().has_mem() {
+                    &mut with_mem[slot]
+                } else {
+                    &mut reg_only[slot]
+                };
                 // Weight common mnemonics: real code moves data with plain
                 // moves far more often than with cmov/xchg/bswap, and memory
                 // traffic is dominated by mov loads and stores rather than
@@ -173,7 +176,12 @@ impl BlockGenerator {
                 }
             }
         }
-        BlockGenerator { config, reg_only, with_mem, weights }
+        BlockGenerator {
+            config,
+            reg_only,
+            with_mem,
+            weights,
+        }
     }
 
     /// The generator configuration.
@@ -195,7 +203,9 @@ impl BlockGenerator {
         for _ in 0..len {
             let inst = self.generate_inst(rng, &mut pool);
             for family in inst.writes() {
-                if family.class() == crate::RegClass::Gpr || family.class() == crate::RegClass::Vector {
+                if family.class() == crate::RegClass::Gpr
+                    || family.class() == crate::RegClass::Vector
+                {
                     pool.record_write(family);
                 }
             }
@@ -242,7 +252,12 @@ impl BlockGenerator {
     }
 
     /// Builds operands for an opcode.
-    fn instantiate<R: Rng + ?Sized>(&self, rng: &mut R, id: OpcodeId, pool: &mut OperandPool) -> Inst {
+    fn instantiate<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        id: OpcodeId,
+        pool: &mut OperandPool,
+    ) -> Inst {
         let registry = OpcodeRegistry::global();
         let info = registry.info(id);
         let dep = self.config.dependency_prob;
@@ -336,7 +351,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         for _ in 0..50 {
             let block = generator.generate(&mut rng);
-            assert!(block.len() >= 1 && block.len() <= 16);
+            assert!(!block.is_empty() && block.len() <= 16);
         }
     }
 

@@ -41,7 +41,11 @@ impl Inst {
                 OperandKind::Mem => matches!(operand, Operand::Mem(_)),
                 OperandKind::Imm => matches!(operand, Operand::Imm(_)),
             };
-            assert!(ok, "operand {operand} does not match expected kind {kind:?} for {}", info.name());
+            assert!(
+                ok,
+                "operand {operand} does not match expected kind {kind:?} for {}",
+                info.name()
+            );
         }
         Inst { opcode, operands }
     }
@@ -217,7 +221,10 @@ mod tests {
         let inst = Inst::new(id, vec![mem, reg(RegFamily::Rax, Width::B32)]);
         assert!(inst.loads() && inst.stores());
         assert_eq!(inst.to_string(), "addl %eax, 16(%rsp)");
-        assert!(inst.reads().contains(&RegFamily::Rsp), "address register is read");
+        assert!(
+            inst.reads().contains(&RegFamily::Rsp),
+            "address register is read"
+        );
         assert!(inst.reads().contains(&RegFamily::Rax));
         assert!(inst.writes().contains(&RegFamily::Flags));
     }
@@ -225,7 +232,13 @@ mod tests {
     #[test]
     fn mov_dest_is_not_read() {
         let id = registry().by_name("MOV64rr").unwrap();
-        let inst = Inst::new(id, vec![reg(RegFamily::Rdi, Width::B64), reg(RegFamily::Rsi, Width::B64)]);
+        let inst = Inst::new(
+            id,
+            vec![
+                reg(RegFamily::Rdi, Width::B64),
+                reg(RegFamily::Rsi, Width::B64),
+            ],
+        );
         assert_eq!(inst.reads(), vec![RegFamily::Rsi]);
         assert_eq!(inst.writes(), vec![RegFamily::Rdi]);
         assert_eq!(inst.to_string(), "movq %rsi, %rdi");

@@ -328,7 +328,11 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         for &m in Mnemonic::ALL {
             assert!(!m.att_name().is_empty());
-            assert!(seen.insert(m.att_name()), "duplicate AT&T name {}", m.att_name());
+            assert!(
+                seen.insert(m.att_name()),
+                "duplicate AT&T name {}",
+                m.att_name()
+            );
         }
         assert!(Mnemonic::ALL.len() >= 100, "expected a rich mnemonic set");
     }

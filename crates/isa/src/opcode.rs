@@ -157,7 +157,11 @@ impl Opcode {
         match self.width {
             Width::B128 => format!("{}{}", base, self.form.name_suffix()),
             Width::B256 => {
-                let base = if base.starts_with('V') { base } else { format!("V{base}") };
+                let base = if base.starts_with('V') {
+                    base
+                } else {
+                    format!("V{base}")
+                };
                 format!("{}Y{}", base, self.form.name_suffix())
             }
             w => format!("{}{}{}", base, w.bits(), self.form.name_suffix()),
@@ -206,7 +210,15 @@ impl OpcodeInfo {
         implicit_writes: Vec<RegFamily>,
     ) -> Self {
         let name = opcode.name();
-        OpcodeInfo { opcode, name, dest, loads, stores, implicit_reads, implicit_writes }
+        OpcodeInfo {
+            opcode,
+            name,
+            dest,
+            loads,
+            stores,
+            implicit_reads,
+            implicit_writes,
+        }
     }
 
     /// The opcode identity.
@@ -271,17 +283,41 @@ mod tests {
 
     #[test]
     fn opcode_names_match_llvm_style() {
-        let add = Opcode { mnemonic: Mnemonic::Add, width: Width::B32, form: Form::Mr };
+        let add = Opcode {
+            mnemonic: Mnemonic::Add,
+            width: Width::B32,
+            form: Form::Mr,
+        };
         assert_eq!(add.name(), "ADD32mr");
-        let push = Opcode { mnemonic: Mnemonic::Push, width: Width::B64, form: Form::R };
+        let push = Opcode {
+            mnemonic: Mnemonic::Push,
+            width: Width::B64,
+            form: Form::R,
+        };
         assert_eq!(push.name(), "PUSH64r");
-        let paddd = Opcode { mnemonic: Mnemonic::Paddd, width: Width::B128, form: Form::Rr };
+        let paddd = Opcode {
+            mnemonic: Mnemonic::Paddd,
+            width: Width::B128,
+            form: Form::Rr,
+        };
         assert_eq!(paddd.name(), "PADDDrr");
-        let vaddps = Opcode { mnemonic: Mnemonic::Addps, width: Width::B256, form: Form::Rm };
+        let vaddps = Opcode {
+            mnemonic: Mnemonic::Addps,
+            width: Width::B256,
+            form: Form::Rm,
+        };
         assert_eq!(vaddps.name(), "VADDPSYrm");
-        let fma = Opcode { mnemonic: Mnemonic::Vfmadd231ps, width: Width::B256, form: Form::Rr };
+        let fma = Opcode {
+            mnemonic: Mnemonic::Vfmadd231ps,
+            width: Width::B256,
+            form: Form::Rr,
+        };
         assert_eq!(fma.name(), "VFMADD231PSYrr");
-        let shr = Opcode { mnemonic: Mnemonic::Shr, width: Width::B64, form: Form::Mi };
+        let shr = Opcode {
+            mnemonic: Mnemonic::Shr,
+            width: Width::B64,
+            form: Form::Mi,
+        };
         assert_eq!(shr.name(), "SHR64mi");
     }
 

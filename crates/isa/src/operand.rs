@@ -22,17 +22,32 @@ pub struct MemRef {
 impl MemRef {
     /// A memory reference with only a base register.
     pub fn base(base: Reg) -> Self {
-        MemRef { base: Some(base), index: None, scale: 1, disp: 0 }
+        MemRef {
+            base: Some(base),
+            index: None,
+            scale: 1,
+            disp: 0,
+        }
     }
 
     /// A memory reference with a base register and displacement.
     pub fn base_disp(base: Reg, disp: i32) -> Self {
-        MemRef { base: Some(base), index: None, scale: 1, disp }
+        MemRef {
+            base: Some(base),
+            index: None,
+            scale: 1,
+            disp,
+        }
     }
 
     /// A memory reference with base, index, scale and displacement.
     pub fn full(base: Reg, index: Reg, scale: u8, disp: i32) -> Self {
-        MemRef { base: Some(base), index: Some(index), scale, disp }
+        MemRef {
+            base: Some(base),
+            index: Some(index),
+            scale,
+            disp,
+        }
     }
 
     /// Register families read to compute the effective address.

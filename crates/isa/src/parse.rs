@@ -81,7 +81,11 @@ pub fn parse_inst(line: &str) -> Result<Inst, ParseError> {
     // destination plus the memory source if present, otherwise the first source.
     if operands.len() == 3 && !operands.iter().any(|o| matches!(o, Operand::Imm(_))) {
         let dst = operands[0];
-        let src = if operands[2].is_mem() { operands[2] } else { operands[1] };
+        let src = if operands[2].is_mem() {
+            operands[2]
+        } else {
+            operands[1]
+        };
         operands = vec![dst, src];
     }
 
@@ -126,7 +130,10 @@ fn parse_imm(text: &str) -> Result<i64, ParseError> {
         Some(rest) => (true, rest),
         None => (false, text),
     };
-    let value = if let Some(hex) = digits.strip_prefix("0x").or_else(|| digits.strip_prefix("0X")) {
+    let value = if let Some(hex) = digits
+        .strip_prefix("0x")
+        .or_else(|| digits.strip_prefix("0X"))
+    {
         i64::from_str_radix(hex, 16)
     } else {
         digits.parse::<i64>()
@@ -141,22 +148,33 @@ fn parse_operand(text: &str) -> Result<Operand, ParseError> {
         return Ok(Operand::Imm(parse_imm(imm)?));
     }
     if text.starts_with('%') {
-        let reg: Reg = text.parse().map_err(|_| ParseError::UnknownRegister(text.to_string()))?;
+        let reg: Reg = text
+            .parse()
+            .map_err(|_| ParseError::UnknownRegister(text.to_string()))?;
         return Ok(Operand::Reg(reg));
     }
     // Memory operand: disp(base, index, scale) with every part optional except
     // the parentheses (a bare displacement is not supported).
-    let open = text.find('(').ok_or_else(|| ParseError::BadOperand(text.to_string()))?;
-    let close = text.rfind(')').ok_or_else(|| ParseError::BadOperand(text.to_string()))?;
+    let open = text
+        .find('(')
+        .ok_or_else(|| ParseError::BadOperand(text.to_string()))?;
+    let close = text
+        .rfind(')')
+        .ok_or_else(|| ParseError::BadOperand(text.to_string()))?;
     if close < open {
         return Err(ParseError::BadOperand(text.to_string()));
     }
     let disp_text = text[..open].trim();
-    let disp = if disp_text.is_empty() { 0 } else { parse_imm(disp_text)? as i32 };
+    let disp = if disp_text.is_empty() {
+        0
+    } else {
+        parse_imm(disp_text)? as i32
+    };
     let inner = &text[open + 1..close];
     let parts: Vec<&str> = inner.split(',').map(str::trim).collect();
     let parse_reg = |s: &str| -> Result<Reg, ParseError> {
-        s.parse().map_err(|_| ParseError::UnknownRegister(s.to_string()))
+        s.parse()
+            .map_err(|_| ParseError::UnknownRegister(s.to_string()))
     };
     let base = match parts.first() {
         Some(&"") | None => None,
@@ -168,9 +186,16 @@ fn parse_operand(text: &str) -> Result<Operand, ParseError> {
     };
     let scale = match parts.get(2) {
         Some(&"") | None => 1,
-        Some(&s) => s.parse::<u8>().map_err(|_| ParseError::BadOperand(text.to_string()))?,
+        Some(&s) => s
+            .parse::<u8>()
+            .map_err(|_| ParseError::BadOperand(text.to_string()))?,
     };
-    Ok(Operand::Mem(MemRef { base, index, scale, disp }))
+    Ok(Operand::Mem(MemRef {
+        base,
+        index,
+        scale,
+        disp,
+    }))
 }
 
 /// True if any operand is a vector register.
@@ -195,7 +220,10 @@ fn resolve_mnemonic(text: &str, operands: &[Operand]) -> Result<(Mnemonic, Width
             if ambiguous && !has_vector_operand(operands) {
                 continue;
             }
-            let width = if operands.iter().any(|o| matches!(o, Operand::Reg(r) if r.width() == Width::B256)) {
+            let width = if operands
+                .iter()
+                .any(|o| matches!(o, Operand::Reg(r) if r.width() == Width::B256))
+            {
                 Width::B256
             } else if m.class().is_vector() {
                 Width::B128
@@ -210,7 +238,10 @@ fn resolve_mnemonic(text: &str, operands: &[Operand]) -> Result<(Mnemonic, Width
     if let Some(stripped) = lower.strip_prefix('v') {
         for &m in Mnemonic::ALL {
             if !m.has_width_suffix() && m.class().is_vector() && m.att_name() == stripped {
-                let width = if operands.iter().any(|o| matches!(o, Operand::Reg(r) if r.width() == Width::B256)) {
+                let width = if operands
+                    .iter()
+                    .any(|o| matches!(o, Operand::Reg(r) if r.width() == Width::B256))
+                {
                     Width::B256
                 } else {
                     Width::B128
@@ -236,7 +267,11 @@ fn resolve_mnemonic(text: &str, operands: &[Operand]) -> Result<(Mnemonic, Width
         if lower.starts_with(prefix) && lower.len() > prefix.len() + 1 {
             let dest = lower.chars().last().and_then(suffix_width);
             if let Some(width) = dest {
-                let m = if prefix == "movz" { Mnemonic::Movzx } else { Mnemonic::Movsx };
+                let m = if prefix == "movz" {
+                    Mnemonic::Movzx
+                } else {
+                    Mnemonic::Movsx
+                };
                 return Ok((m, width));
             }
         }
@@ -306,7 +341,11 @@ fn lookup_opcode(
     operands: &[Operand],
 ) -> Option<OpcodeId> {
     let registry = OpcodeRegistry::global();
-    let direct = registry.lookup(Opcode { mnemonic, width, form });
+    let direct = registry.lookup(Opcode {
+        mnemonic,
+        width,
+        form,
+    });
     if direct.is_some() {
         return direct;
     }
@@ -316,7 +355,7 @@ fn lookup_opcode(
     for (id, info) in registry.iter() {
         if info.mnemonic() == mnemonic && info.form() == form {
             let distance = info.width().bits().abs_diff(width.bits());
-            if best.map_or(true, |(d, _)| distance < d) {
+            if best.is_none_or(|(d, _)| distance < d) {
                 best = Some((distance, id));
             }
         }
@@ -365,14 +404,17 @@ mod tests {
     fn parses_vector_and_fma_instructions() {
         assert_eq!(parse("addsd %xmm1, %xmm0").info().name(), "ADDSDrr");
         assert_eq!(parse("paddd (%rsi), %xmm2").info().name(), "PADDDrm");
-        assert_eq!(parse("vfmadd231ps %ymm2, %ymm1, %ymm0").is_zero_idiom(), false);
+        assert!(!parse("vfmadd231ps %ymm2, %ymm1, %ymm0").is_zero_idiom());
         assert_eq!(parse("vaddps %ymm1, %ymm0").info().name(), "VADDPSYrr");
     }
 
     #[test]
     fn parses_immediates_and_three_operand_forms() {
         assert_eq!(parse("imulq $8, %rbx, %rax").info().name(), "IMUL64rri");
-        assert_eq!(parse("shufps $0x1b, %xmm1, %xmm0").info().name(), "SHUFPSrri");
+        assert_eq!(
+            parse("shufps $0x1b, %xmm1, %xmm0").info().name(),
+            "SHUFPSrri"
+        );
         assert_eq!(parse("pushq $42").info().name(), "PUSH64i");
         assert_eq!(parse("movl $-1, %eax").info().name(), "MOV32ri");
     }
@@ -387,15 +429,25 @@ mod tests {
 
     #[test]
     fn block_parser_skips_comments_and_blank_lines() {
-        let block = parse_block("# header\n\npushq %rbx\n// comment\nincl %eax ; decl %eax\n").unwrap();
+        let block =
+            parse_block("# header\n\npushq %rbx\n// comment\nincl %eax ; decl %eax\n").unwrap();
         assert_eq!(block.len(), 3);
     }
 
     #[test]
     fn errors_are_reported() {
-        assert!(matches!(parse_inst("frobnicate %rax"), Err(ParseError::UnknownMnemonic(_))));
-        assert!(matches!(parse_inst("addl %zzz, %eax"), Err(ParseError::UnknownRegister(_))));
-        assert!(matches!(parse_inst("addl $x, %eax"), Err(ParseError::BadOperand(_))));
+        assert!(matches!(
+            parse_inst("frobnicate %rax"),
+            Err(ParseError::UnknownMnemonic(_))
+        ));
+        assert!(matches!(
+            parse_inst("addl %zzz, %eax"),
+            Err(ParseError::UnknownRegister(_))
+        ));
+        assert!(matches!(
+            parse_inst("addl $x, %eax"),
+            Err(ParseError::BadOperand(_))
+        ));
     }
 
     #[test]

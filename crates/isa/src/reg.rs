@@ -209,7 +209,11 @@ impl fmt::Display for Reg {
             }
             RegClass::Vector => {
                 let idx = self.family.index() - RegFamily::Xmm0.index();
-                let prefix = if self.width == Width::B256 { "ymm" } else { "xmm" };
+                let prefix = if self.width == Width::B256 {
+                    "ymm"
+                } else {
+                    "xmm"
+                };
                 write!(f, "%{prefix}{idx}")
             }
             RegClass::Rip => write!(f, "%rip"),

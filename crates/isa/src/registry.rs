@@ -203,12 +203,22 @@ impl OpcodeRegistry {
             let (widths, forms) = valid_combos(mnemonic);
             for &width in widths {
                 for &form in forms {
-                    let opcode = Opcode { mnemonic, width, form };
+                    let opcode = Opcode {
+                        mnemonic,
+                        width,
+                        form,
+                    };
                     let dest = dest_kind(mnemonic, form);
                     let (loads, stores) = memory_behaviour(mnemonic, form, dest);
                     let (implicit_reads, implicit_writes) = implicit_regs(mnemonic);
-                    let info =
-                        OpcodeInfo::new(opcode, dest, loads, stores, implicit_reads, implicit_writes);
+                    let info = OpcodeInfo::new(
+                        opcode,
+                        dest,
+                        loads,
+                        stores,
+                        implicit_reads,
+                        implicit_writes,
+                    );
                     let id = OpcodeId(infos.len() as u16);
                     by_name.insert(info.name().to_string(), id);
                     by_opcode.insert(opcode, id);
@@ -216,7 +226,11 @@ impl OpcodeRegistry {
                 }
             }
         }
-        OpcodeRegistry { infos, by_name, by_opcode }
+        OpcodeRegistry {
+            infos,
+            by_name,
+            by_opcode,
+        }
     }
 
     /// The process-wide shared registry.
@@ -259,12 +273,18 @@ impl OpcodeRegistry {
 
     /// Iterates over all `(id, info)` pairs in id order.
     pub fn iter(&self) -> impl Iterator<Item = (OpcodeId, &OpcodeInfo)> {
-        self.infos.iter().enumerate().map(|(i, info)| (OpcodeId(i as u16), info))
+        self.infos
+            .iter()
+            .enumerate()
+            .map(|(i, info)| (OpcodeId(i as u16), info))
     }
 
     /// All opcode ids whose mnemonic class matches `class`.
     pub fn ids_with_class(&self, class: OpClass) -> Vec<OpcodeId> {
-        self.iter().filter(|(_, info)| info.class() == class).map(|(id, _)| id).collect()
+        self.iter()
+            .filter(|(_, info)| info.class() == class)
+            .map(|(id, _)| id)
+            .collect()
     }
 }
 
@@ -301,7 +321,9 @@ mod tests {
     #[test]
     fn paper_case_study_opcodes_exist() {
         let registry = OpcodeRegistry::full();
-        for name in ["PUSH64r", "XOR32rr", "ADD32mr", "SHR64mi", "TEST32rr", "MOV32ri"] {
+        for name in [
+            "PUSH64r", "XOR32rr", "ADD32mr", "SHR64mi", "TEST32rr", "MOV32ri",
+        ] {
             assert!(registry.by_name(name).is_some(), "missing opcode {name}");
         }
     }
@@ -317,16 +339,25 @@ mod tests {
         assert!(pop.loads() && !pop.stores());
 
         let add_mr = registry.info(registry.by_name("ADD32mr").unwrap());
-        assert!(add_mr.loads() && add_mr.stores(), "RMW must both load and store");
+        assert!(
+            add_mr.loads() && add_mr.stores(),
+            "RMW must both load and store"
+        );
 
         let mov_mr = registry.info(registry.by_name("MOV32mr").unwrap());
         assert!(!mov_mr.loads() && mov_mr.stores(), "store must not load");
 
         let cmp_mi = registry.info(registry.by_name("CMP32mi").unwrap());
-        assert!(cmp_mi.loads() && !cmp_mi.stores(), "compare-with-memory only loads");
+        assert!(
+            cmp_mi.loads() && !cmp_mi.stores(),
+            "compare-with-memory only loads"
+        );
 
         let lea = registry.info(registry.by_name("LEA64rm").unwrap());
-        assert!(!lea.loads() && !lea.stores(), "lea computes an address without touching memory");
+        assert!(
+            !lea.loads() && !lea.stores(),
+            "lea computes an address without touching memory"
+        );
 
         let xor = registry.info(registry.by_name("XOR32rr").unwrap());
         assert!(xor.implicit_writes().contains(&RegFamily::Flags));
@@ -343,8 +374,16 @@ mod tests {
     #[test]
     fn class_filter_returns_nonempty_sets() {
         let registry = OpcodeRegistry::full();
-        for class in [OpClass::IntAlu, OpClass::FpMul, OpClass::VecAlu, OpClass::Stack] {
-            assert!(!registry.ids_with_class(class).is_empty(), "no opcodes for {class:?}");
+        for class in [
+            OpClass::IntAlu,
+            OpClass::FpMul,
+            OpClass::VecAlu,
+            OpClass::Stack,
+        ] {
+            assert!(
+                !registry.ids_with_class(class).is_empty(),
+                "no opcodes for {class:?}"
+            );
         }
     }
 }

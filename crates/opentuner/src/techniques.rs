@@ -11,7 +11,13 @@ pub trait Technique: std::fmt::Debug + Send {
     fn name(&self) -> &'static str;
 
     /// Proposes a new candidate.
-    fn propose(&mut self, rng: &mut StdRng, best: &[f64], best_cost: f64, space: &SearchSpace) -> Vec<f64>;
+    fn propose(
+        &mut self,
+        rng: &mut StdRng,
+        best: &[f64],
+        best_cost: f64,
+        space: &SearchSpace,
+    ) -> Vec<f64>;
 
     /// Receives the evaluation of the last proposal (whether it improved the
     /// global best). Techniques with internal state (annealing temperature,
@@ -35,7 +41,13 @@ impl Technique for RandomSearch {
         "random-search"
     }
 
-    fn propose(&mut self, rng: &mut StdRng, _best: &[f64], _best_cost: f64, space: &SearchSpace) -> Vec<f64> {
+    fn propose(
+        &mut self,
+        rng: &mut StdRng,
+        _best: &[f64],
+        _best_cost: f64,
+        space: &SearchSpace,
+    ) -> Vec<f64> {
         space.sample(rng)
     }
 }
@@ -59,7 +71,13 @@ impl Technique for HillClimb {
         "hill-climb"
     }
 
-    fn propose(&mut self, rng: &mut StdRng, best: &[f64], _best_cost: f64, space: &SearchSpace) -> Vec<f64> {
+    fn propose(
+        &mut self,
+        rng: &mut StdRng,
+        best: &[f64],
+        _best_cost: f64,
+        space: &SearchSpace,
+    ) -> Vec<f64> {
         let mut candidate = best.to_vec();
         let dims = space.dims().max(1);
         // Perturb ~1% of coordinates (at least one).
@@ -98,7 +116,13 @@ impl Technique for SimulatedAnnealing {
         "simulated-annealing"
     }
 
-    fn propose(&mut self, rng: &mut StdRng, best: &[f64], _best_cost: f64, space: &SearchSpace) -> Vec<f64> {
+    fn propose(
+        &mut self,
+        rng: &mut StdRng,
+        best: &[f64],
+        _best_cost: f64,
+        space: &SearchSpace,
+    ) -> Vec<f64> {
         best.iter()
             .enumerate()
             .map(|(dim, &value)| {
@@ -147,10 +171,20 @@ impl Technique for DifferentialEvolution {
         "differential-evolution"
     }
 
-    fn propose(&mut self, rng: &mut StdRng, best: &[f64], best_cost: f64, space: &SearchSpace) -> Vec<f64> {
+    fn propose(
+        &mut self,
+        rng: &mut StdRng,
+        best: &[f64],
+        best_cost: f64,
+        space: &SearchSpace,
+    ) -> Vec<f64> {
         // Seed the population lazily around the best-so-far.
         while self.population.len() < self.population_size {
-            let member = if self.population.is_empty() { best.to_vec() } else { space.sample(rng) };
+            let member = if self.population.is_empty() {
+                best.to_vec()
+            } else {
+                space.sample(rng)
+            };
             self.population.push(member);
             self.costs.push(f64::INFINITY);
         }
@@ -164,7 +198,8 @@ impl Technique for DifferentialEvolution {
         let candidate: Vec<f64> = (0..space.dims())
             .map(|dim| {
                 if rng.gen_bool(crossover) {
-                    self.population[a][dim] + f * (self.population[b][dim] - self.population[c][dim])
+                    self.population[a][dim]
+                        + f * (self.population[b][dim] - self.population[c][dim])
                 } else {
                     best[dim]
                 }
@@ -202,7 +237,11 @@ pub struct PatternSearch {
 impl PatternSearch {
     /// Creates a pattern search starting at 25% of each parameter range.
     pub fn new() -> Self {
-        PatternSearch { step: 0.25, next_dim: 0, direction: 1.0 }
+        PatternSearch {
+            step: 0.25,
+            next_dim: 0,
+            direction: 1.0,
+        }
     }
 }
 
@@ -217,7 +256,13 @@ impl Technique for PatternSearch {
         "pattern-search"
     }
 
-    fn propose(&mut self, _rng: &mut StdRng, best: &[f64], _best_cost: f64, space: &SearchSpace) -> Vec<f64> {
+    fn propose(
+        &mut self,
+        _rng: &mut StdRng,
+        best: &[f64],
+        _best_cost: f64,
+        space: &SearchSpace,
+    ) -> Vec<f64> {
         let mut candidate = best.to_vec();
         if candidate.is_empty() {
             return candidate;
@@ -269,7 +314,12 @@ mod tests {
         let mut r = rng();
         for technique in &mut techniques {
             let proposal = technique.propose(&mut r, &best, 1.0, &space());
-            assert_eq!(proposal.len(), 8, "{} proposal has wrong arity", technique.name());
+            assert_eq!(
+                proposal.len(),
+                8,
+                "{} proposal has wrong arity",
+                technique.name()
+            );
         }
     }
 
@@ -279,7 +329,7 @@ mod tests {
         let mut hill = HillClimb::new(0.1);
         let proposal = hill.propose(&mut rng(), &best, 1.0, &space());
         let changed = proposal.iter().zip(&best).filter(|(a, b)| a != b).count();
-        assert!(changed >= 1 && changed <= 3);
+        assert!((1..=3).contains(&changed));
     }
 
     #[test]
@@ -299,10 +349,16 @@ mod tests {
         assert!(first[0] > best[0]);
         pattern.feedback(&first, 10.0, false);
         let second = pattern.propose(&mut rng(), &best, 1.0, &space());
-        assert!(second[0] < best[0], "after a failed step the direction reverses");
+        assert!(
+            second[0] < best[0],
+            "after a failed step the direction reverses"
+        );
         pattern.feedback(&second, 10.0, false);
         let third = pattern.propose(&mut rng(), &best, 1.0, &space());
-        assert_eq!(third[0], best[0], "after both directions fail it moves to the next coordinate");
+        assert_eq!(
+            third[0], best[0],
+            "after both directions fail it moves to the next coordinate"
+        );
         assert!(third[1] != best[1]);
     }
 

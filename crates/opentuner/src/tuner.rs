@@ -73,7 +73,11 @@ pub struct TunerConfig {
 
 impl Default for TunerConfig {
     fn default() -> Self {
-        TunerConfig { seed: 0, exploration: 1.4, start_from_sample: true }
+        TunerConfig {
+            seed: 0,
+            exploration: 1.4,
+            start_from_sample: true,
+        }
     }
 }
 
@@ -113,14 +117,33 @@ impl BanditTuner {
             Box::new(PatternSearch::new()),
         ];
         let count = techniques.len();
-        BanditTuner { space, config, techniques, uses: vec![0; count], rewards: vec![0.0; count] }
+        BanditTuner {
+            space,
+            config,
+            techniques,
+            uses: vec![0; count],
+            rewards: vec![0.0; count],
+        }
     }
 
     /// Creates a tuner with a caller-provided ensemble.
-    pub fn with_techniques(space: SearchSpace, config: TunerConfig, techniques: Vec<Box<dyn Technique>>) -> Self {
-        assert!(!techniques.is_empty(), "the ensemble needs at least one technique");
+    pub fn with_techniques(
+        space: SearchSpace,
+        config: TunerConfig,
+        techniques: Vec<Box<dyn Technique>>,
+    ) -> Self {
+        assert!(
+            !techniques.is_empty(),
+            "the ensemble needs at least one technique"
+        );
         let count = techniques.len();
-        BanditTuner { space, config, techniques, uses: vec![0; count], rewards: vec![0.0; count] }
+        BanditTuner {
+            space,
+            config,
+            techniques,
+            uses: vec![0; count],
+            rewards: vec![0.0; count],
+        }
     }
 
     /// The search space.
@@ -130,7 +153,7 @@ impl BanditTuner {
 
     /// Runs the tuner for a fixed number of objective evaluations, minimizing
     /// `objective`.
-    pub fn optimize<F>(&mut self, mut objective: F, evaluations: usize, ) -> TuneResult
+    pub fn optimize<F>(&mut self, mut objective: F, evaluations: usize) -> TuneResult
     where
         F: FnMut(&[f64]) -> f64,
     {
@@ -234,10 +257,23 @@ mod tests {
     #[test]
     fn tuner_improves_on_a_smooth_objective() {
         let space = SearchSpace::uniform(6, -10.0, 10.0);
-        let mut tuner = BanditTuner::new(space, TunerConfig { seed: 3, ..TunerConfig::default() });
+        let mut tuner = BanditTuner::new(
+            space,
+            TunerConfig {
+                seed: 3,
+                ..TunerConfig::default()
+            },
+        );
         let result = tuner.optimize(sphere, 800);
-        assert!(result.best_cost < result.history[0], "must improve over the initial sample");
-        assert!(result.best_cost < 10.0, "800 evaluations should get close on 6 dimensions, got {}", result.best_cost);
+        assert!(
+            result.best_cost < result.history[0],
+            "must improve over the initial sample"
+        );
+        assert!(
+            result.best_cost < 10.0,
+            "800 evaluations should get close on 6 dimensions, got {}",
+            result.best_cost
+        );
         assert_eq!(result.history.len(), 800);
         // History is monotone non-increasing (best-so-far).
         assert!(result.history.windows(2).all(|w| w[1] <= w[0]));
@@ -249,10 +285,19 @@ mod tests {
         // the dimensionality, black-box search barely improves.
         let dims = 2000;
         let space = SearchSpace::uniform(dims, 0.0, 5.0);
-        let mut tuner = BanditTuner::new(space, TunerConfig { seed: 1, ..TunerConfig::default() });
+        let mut tuner = BanditTuner::new(
+            space,
+            TunerConfig {
+                seed: 1,
+                ..TunerConfig::default()
+            },
+        );
         let result = tuner.optimize(sphere, 300);
         // Optimum would be 0; random points average ~dims * E[(x-2)^2] ≈ 2.3k.
-        assert!(result.best_cost > 1000.0, "high-dimensional search should remain far from optimal");
+        assert!(
+            result.best_cost > 1000.0,
+            "high-dimensional search should remain far from optimal"
+        );
     }
 
     #[test]
@@ -267,7 +312,13 @@ mod tests {
     fn deterministic_given_a_seed() {
         let space = SearchSpace::uniform(5, 0.0, 3.0);
         let run = |seed| {
-            let mut tuner = BanditTuner::new(space.clone(), TunerConfig { seed, ..TunerConfig::default() });
+            let mut tuner = BanditTuner::new(
+                space.clone(),
+                TunerConfig {
+                    seed,
+                    ..TunerConfig::default()
+                },
+            );
             tuner.optimize(sphere, 150).best_cost
         };
         assert_eq!(run(9), run(9));

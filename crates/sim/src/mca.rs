@@ -51,7 +51,11 @@ impl McaSimulator {
     /// timeline (dispatch/issue/execute/retire cycles of every dynamic
     /// instruction), useful for inspection and examples.
     pub fn trace(&self, params: &SimParams, block: &BasicBlock) -> Timeline {
-        let mut timeline = Timeline { entries: Vec::new(), total_cycles: 0, iterations: self.iterations };
+        let mut timeline = Timeline {
+            entries: Vec::new(),
+            total_cycles: 0,
+            iterations: self.iterations,
+        };
         let total = simulate(params, block, self.iterations, Some(&mut timeline.entries));
         timeline.total_cycles = total;
         timeline
@@ -287,7 +291,10 @@ mod tests {
     #[test]
     fn empty_block_has_zero_timing() {
         let sim = McaSimulator::default();
-        assert_eq!(sim.predict(&SimParams::uniform_default(), &BasicBlock::new()), 0.0);
+        assert_eq!(
+            sim.predict(&SimParams::uniform_default(), &BasicBlock::new()),
+            0.0
+        );
     }
 
     #[test]
@@ -298,7 +305,10 @@ mod tests {
         let b = block("addq %rax, %rbx\naddq %rcx, %rdx\naddq %rsi, %rdi\naddq %r8, %r9");
         let params = SimParams::uniform_default();
         let timing = sim.predict(&params, &b);
-        assert!((timing - 4.0).abs() < 0.2, "expected ~4 cycles/iter, got {timing}");
+        assert!(
+            (timing - 4.0).abs() < 0.2,
+            "expected ~4 cycles/iter, got {timing}"
+        );
     }
 
     #[test]
@@ -337,7 +347,10 @@ mod tests {
         });
         let slow_timing = sim.predict(&slow, &b);
         let fast_timing = sim.predict(&fast, &b);
-        assert!(slow_timing > fast_timing * 2.0, "latency must lengthen the chain: {slow_timing} vs {fast_timing}");
+        assert!(
+            slow_timing > fast_timing * 2.0,
+            "latency must lengthen the chain: {slow_timing} vs {fast_timing}"
+        );
     }
 
     #[test]
@@ -358,8 +371,14 @@ mod tests {
 
         let slow_timing = sim.predict(&slow, &b);
         let fast_timing = sim.predict(&fast, &b);
-        assert!((slow_timing - 2.0).abs() < 0.2, "default-like parameters predict ~2 cycles, got {slow_timing}");
-        assert!((fast_timing - 1.0).abs() < 0.2, "learned-like parameters predict ~1 cycle, got {fast_timing}");
+        assert!(
+            (slow_timing - 2.0).abs() < 0.2,
+            "default-like parameters predict ~2 cycles, got {slow_timing}"
+        );
+        assert!(
+            (fast_timing - 1.0).abs() < 0.2,
+            "learned-like parameters predict ~1 cycle, got {fast_timing}"
+        );
     }
 
     #[test]
@@ -381,8 +400,14 @@ mod tests {
         };
         let narrow = sim.predict(&make(1), &b);
         let wide = sim.predict(&make(8), &b);
-        assert!((narrow - 8.0).abs() < 0.5, "width 1 dispatches 8 uops in ~8 cycles, got {narrow}");
-        assert!(wide < 2.0, "width 8 dispatches them in ~1 cycle, got {wide}");
+        assert!(
+            (narrow - 8.0).abs() < 0.5,
+            "width 1 dispatches 8 uops in ~8 cycles, got {narrow}"
+        );
+        assert!(
+            wide < 2.0,
+            "width 8 dispatches them in ~1 cycle, got {wide}"
+        );
     }
 
     #[test]
@@ -398,7 +423,10 @@ mod tests {
         };
         let tiny = sim.predict(&make(1), &b);
         let big = sim.predict(&make(256), &b);
-        assert!(tiny > big, "a one-entry reorder buffer must serialize execution: {tiny} vs {big}");
+        assert!(
+            tiny > big,
+            "a one-entry reorder buffer must serialize execution: {tiny} vs {big}"
+        );
     }
 
     #[test]

@@ -41,7 +41,12 @@ impl PerInstParams {
     pub fn unit() -> Self {
         let mut port_map = [0; NUM_PORTS];
         port_map[0] = 1;
-        PerInstParams { num_micro_ops: 1, write_latency: 1, read_advance_cycles: [0; NUM_READ_ADVANCE], port_map }
+        PerInstParams {
+            num_micro_ops: 1,
+            write_latency: 1,
+            read_advance_cycles: [0; NUM_READ_ADVANCE],
+            port_map,
+        }
     }
 
     /// The maximum number of cycles this instruction holds any single port.
@@ -107,9 +112,17 @@ pub struct SimParams {
 impl SimParams {
     /// Creates a table with the given global parameters and a uniform
     /// per-instruction entry for every opcode in the global registry.
-    pub fn with_uniform(dispatch_width: u32, reorder_buffer_size: u32, entry: PerInstParams) -> Self {
+    pub fn with_uniform(
+        dispatch_width: u32,
+        reorder_buffer_size: u32,
+        entry: PerInstParams,
+    ) -> Self {
         let count = OpcodeRegistry::global().len();
-        SimParams { dispatch_width, reorder_buffer_size, per_inst: vec![entry; count] }
+        SimParams {
+            dispatch_width,
+            reorder_buffer_size,
+            per_inst: vec![entry; count],
+        }
     }
 
     /// A neutral table: dispatch width 4, reorder buffer 128, and
@@ -168,7 +181,11 @@ impl SimParams {
     ///
     /// Panics if the flat vector's length does not match `2 + n × 15` for some `n`.
     pub fn from_flat(flat: &[f64], bounds: &ParamBounds) -> Self {
-        assert!(flat.len() >= 2 && (flat.len() - 2) % PER_INST_PARAMS == 0, "bad flat parameter length {}", flat.len());
+        assert!(
+            flat.len() >= 2 && (flat.len() - 2).is_multiple_of(PER_INST_PARAMS),
+            "bad flat parameter length {}",
+            flat.len()
+        );
         let clamp = |v: f64, min: u32| -> u32 {
             let rounded = v.round();
             if rounded.is_nan() || rounded < min as f64 {
@@ -194,10 +211,19 @@ impl SimParams {
             for (k, slot) in port_map.iter_mut().enumerate() {
                 *slot = clamp(flat[i + 2 + NUM_READ_ADVANCE + k], bounds.port_map_min);
             }
-            per_inst.push(PerInstParams { num_micro_ops, write_latency, read_advance_cycles, port_map });
+            per_inst.push(PerInstParams {
+                num_micro_ops,
+                write_latency,
+                read_advance_cycles,
+                port_map,
+            });
             i += PER_INST_PARAMS;
         }
-        SimParams { dispatch_width, reorder_buffer_size, per_inst }
+        SimParams {
+            dispatch_width,
+            reorder_buffer_size,
+            per_inst,
+        }
     }
 }
 

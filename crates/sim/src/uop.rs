@@ -38,7 +38,10 @@ impl UopSimulator {
     pub fn new(iterations: u32, frontend_width: u32) -> Self {
         assert!(iterations > 0, "iteration count must be positive");
         assert!(frontend_width > 0, "frontend width must be positive");
-        UopSimulator { iterations, frontend_width }
+        UopSimulator {
+            iterations,
+            frontend_width,
+        }
     }
 
     /// The number of unrolled iterations used for each prediction.
@@ -186,7 +189,10 @@ mod tests {
     #[test]
     fn empty_block_is_zero() {
         let sim = UopSimulator::default();
-        assert_eq!(sim.predict(&SimParams::uniform_default(), &BasicBlock::new()), 0.0);
+        assert_eq!(
+            sim.predict(&SimParams::uniform_default(), &BasicBlock::new()),
+            0.0
+        );
     }
 
     #[test]
@@ -196,7 +202,12 @@ mod tests {
         let b = block("movq %rax, %rbx\naddq %rcx, %rdx\nxorq %rsi, %rdi\nsubq %r8, %r9");
         let mut params = SimParams::uniform_default();
         let registry = OpcodeRegistry::global();
-        for (name, port) in [("MOV64rr", 0usize), ("ADD64rr", 1), ("XOR64rr", 2), ("SUB64rr", 3)] {
+        for (name, port) in [
+            ("MOV64rr", 0usize),
+            ("ADD64rr", 1),
+            ("XOR64rr", 2),
+            ("SUB64rr", 3),
+        ] {
             let id = registry.by_name(name).unwrap();
             let entry = params.inst_mut(id);
             entry.write_latency = 0;
@@ -205,8 +216,14 @@ mod tests {
         }
         let narrow = UopSimulator::new(100, 1).predict(&params, &b);
         let wide = UopSimulator::new(100, 8).predict(&params, &b);
-        assert!(narrow > wide, "narrow frontend must be slower: {narrow} vs {wide}");
-        assert!(narrow >= 3.5, "1-wide frontend decodes 4 instructions in ~4 cycles, got {narrow}");
+        assert!(
+            narrow > wide,
+            "narrow frontend must be slower: {narrow} vs {wide}"
+        );
+        assert!(
+            narrow >= 3.5,
+            "1-wide frontend decodes 4 instructions in ~4 cycles, got {narrow}"
+        );
     }
 
     #[test]
@@ -223,7 +240,10 @@ mod tests {
         let sim = UopSimulator::default();
         let same = sim.predict(&same_port, &b);
         let wide = sim.predict(&spread, &b);
-        assert!(same > wide * 2.0, "serializing micro-ops on one port must be slower: {same} vs {wide}");
+        assert!(
+            same > wide * 2.0,
+            "serializing micro-ops on one port must be slower: {same} vs {wide}"
+        );
     }
 
     #[test]

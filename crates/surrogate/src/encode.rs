@@ -16,8 +16,9 @@ pub const GLOBAL_FEATURES: usize = 2;
 /// Normalization divisors applied to per-instruction parameters before they
 /// enter the surrogate (kept modest so that the sampled training ranges map
 /// roughly to `[0, 1]`).
-pub const PER_INST_SCALES: [f32; PER_INST_FEATURES] =
-    [10.0, 10.0, 10.0, 10.0, 10.0, 4.0, 4.0, 4.0, 4.0, 4.0, 4.0, 4.0, 4.0, 4.0, 4.0];
+pub const PER_INST_SCALES: [f32; PER_INST_FEATURES] = [
+    10.0, 10.0, 10.0, 10.0, 10.0, 4.0, 4.0, 4.0, 4.0, 4.0, 4.0, 4.0, 4.0, 4.0, 4.0,
+];
 
 /// Normalization divisors for the global parameters.
 pub const GLOBAL_SCALES: [f32; GLOBAL_FEATURES] = [10.0, 250.0];
@@ -32,7 +33,9 @@ pub struct Vocab {
 impl Vocab {
     /// Builds the vocabulary over the global opcode registry.
     pub fn new() -> Self {
-        Vocab { num_opcodes: OpcodeRegistry::global().len() }
+        Vocab {
+            num_opcodes: OpcodeRegistry::global().len(),
+        }
     }
 
     /// Total number of tokens.
@@ -98,7 +101,10 @@ impl Vocab {
             self.push_operand(&mut tokens, first);
         }
         tokens.push(self.end_token());
-        TokenizedInst { opcode: inst.opcode(), tokens }
+        TokenizedInst {
+            opcode: inst.opcode(),
+            tokens,
+        }
     }
 
     fn push_operand(&self, tokens: &mut Vec<usize>, operand: &Operand) {
@@ -116,7 +122,9 @@ impl Vocab {
 
     /// Tokenizes a whole block.
     pub fn tokenize_block(&self, block: &BasicBlock) -> TokenizedBlock {
-        TokenizedBlock { insts: block.iter().map(|inst| self.tokenize_inst(inst)).collect() }
+        TokenizedBlock {
+            insts: block.iter().map(|inst| self.tokenize_inst(inst)).collect(),
+        }
     }
 }
 
@@ -170,7 +178,11 @@ pub fn param_features(entry: &PerInstParams) -> Tensor {
     raw.push(entry.write_latency as f32);
     raw.extend(entry.read_advance_cycles.iter().map(|&v| v as f32));
     raw.extend(entry.port_map.iter().map(|&v| v as f32));
-    let data = raw.iter().zip(PER_INST_SCALES.iter()).map(|(v, s)| v / s).collect();
+    let data = raw
+        .iter()
+        .zip(PER_INST_SCALES.iter())
+        .map(|(v, s)| v / s)
+        .collect();
     Tensor::vector(data)
 }
 
@@ -181,13 +193,22 @@ pub fn global_features(params: &SimParams) -> Tensor {
         params.dispatch_width.saturating_sub(1) as f32,
         params.reorder_buffer_size.saturating_sub(1) as f32,
     ];
-    Tensor::vector(raw.iter().zip(GLOBAL_SCALES.iter()).map(|(v, s)| v / s).collect())
+    Tensor::vector(
+        raw.iter()
+            .zip(GLOBAL_SCALES.iter())
+            .map(|(v, s)| v / s)
+            .collect(),
+    )
 }
 
 /// Builds the full list of per-instruction feature tensors for a block under a
 /// parameter table.
 pub fn block_param_features(params: &SimParams, block: &TokenizedBlock) -> Vec<Tensor> {
-    block.insts.iter().map(|inst| param_features(params.inst(inst.opcode))).collect()
+    block
+        .insts
+        .iter()
+        .map(|inst| param_features(params.inst(inst.opcode)))
+        .collect()
 }
 
 #[cfg(test)]
@@ -235,7 +256,9 @@ mod tests {
         let vocab = Vocab::new();
         let block: BasicBlock = "pushq %rbx".parse().unwrap();
         let tokenized = vocab.tokenize_block(&block);
-        assert!(tokenized.insts[0].tokens.contains(&vocab.register_token(RegFamily::Rsp)));
+        assert!(tokenized.insts[0]
+            .tokens
+            .contains(&vocab.register_token(RegFamily::Rsp)));
     }
 
     #[test]
@@ -246,8 +269,14 @@ mod tests {
         entry.port_map[9] = 2;
         let features = param_features(&entry);
         assert_eq!(features.len(), PER_INST_FEATURES);
-        assert!((features.data()[0] - 0.2).abs() < 1e-6, "num_micro_ops - 1 scaled by 10");
-        assert!((features.data()[1] - 0.5).abs() < 1e-6, "write latency scaled by 10");
+        assert!(
+            (features.data()[0] - 0.2).abs() < 1e-6,
+            "num_micro_ops - 1 scaled by 10"
+        );
+        assert!(
+            (features.data()[1] - 0.5).abs() < 1e-6,
+            "write latency scaled by 10"
+        );
         assert!(features.data().iter().all(|v| (0.0..=3.0).contains(v)));
     }
 

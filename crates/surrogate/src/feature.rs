@@ -57,7 +57,11 @@ pub struct FeatureMlpConfig {
 
 impl Default for FeatureMlpConfig {
     fn default() -> Self {
-        FeatureMlpConfig { hidden_dim: 64, parameter_inputs: true, seed: 0 }
+        FeatureMlpConfig {
+            hidden_dim: 64,
+            parameter_inputs: true,
+            seed: 0,
+        }
     }
 }
 
@@ -81,11 +85,29 @@ impl FeatureMlpModel {
         } else {
             STATIC_FEATURES
         };
-        let layer1 = Linear::new(&mut params, &mut rng, "mlp.layer1", input_dim, config.hidden_dim);
-        let layer2 = Linear::new(&mut params, &mut rng, "mlp.layer2", config.hidden_dim, config.hidden_dim);
+        let layer1 = Linear::new(
+            &mut params,
+            &mut rng,
+            "mlp.layer1",
+            input_dim,
+            config.hidden_dim,
+        );
+        let layer2 = Linear::new(
+            &mut params,
+            &mut rng,
+            "mlp.layer2",
+            config.hidden_dim,
+            config.hidden_dim,
+        );
         let head = Linear::new(&mut params, &mut rng, "mlp.head", config.hidden_dim, 1);
         params.get_mut(head.param_ids()[1]).data_mut()[0] = 1.0;
-        FeatureMlpModel { config, params, layer1, layer2, head }
+        FeatureMlpModel {
+            config,
+            params,
+            layer1,
+            layer2,
+            head,
+        }
     }
 
     /// The model configuration.
@@ -129,8 +151,8 @@ impl FeatureMlpModel {
         global: Option<&Tensor>,
     ) -> f64 {
         let mut graph = Graph::new(&self.params);
-        let feature_vars: Option<Vec<Var>> =
-            per_inst_features.map(|features| features.iter().map(|f| graph.input(f.clone())).collect());
+        let feature_vars: Option<Vec<Var>> = per_inst_features
+            .map(|features| features.iter().map(|f| graph.input(f.clone())).collect());
         let global_var = global.map(|g| graph.input(g.clone()));
         let out = self.forward(&mut graph, block, feature_vars.as_deref(), global_var);
         f64::from(graph.value(out)[0])
@@ -145,11 +167,19 @@ impl SurrogateModel for FeatureMlpModel {
         per_inst_features: Option<&[Var]>,
         global_feature_var: Option<Var>,
     ) -> Var {
-        assert!(!block.is_empty(), "cannot run the surrogate on an empty block");
+        assert!(
+            !block.is_empty(),
+            "cannot run the surrogate on an empty block"
+        );
         let static_features = graph.input(Self::static_features(block));
         let input = if self.config.parameter_inputs {
-            let features = per_inst_features.expect("surrogate mode requires per-instruction features");
-            assert_eq!(features.len(), block.len(), "one feature vector per instruction");
+            let features =
+                per_inst_features.expect("surrogate mode requires per-instruction features");
+            assert_eq!(
+                features.len(),
+                block.len(),
+                "one feature vector per instruction"
+            );
             let global = global_feature_var.expect("surrogate mode requires global features");
             // Mean-pool the per-instruction parameter features.
             let mut pooled = features[0];
@@ -199,28 +229,49 @@ mod tests {
         let block = tokenized("movq (%rdi), %rax\naddq %rax, %rbx\nmovq %rbx, 8(%rdi)");
         let features = FeatureMlpModel::static_features(&block);
         assert_eq!(features.len(), STATIC_FEATURES);
-        assert!((features.data()[1] - 1.0 / 3.0).abs() < 1e-6, "one load out of three instructions");
-        assert!((features.data()[2] - 1.0 / 3.0).abs() < 1e-6, "one store out of three instructions");
+        assert!(
+            (features.data()[1] - 1.0 / 3.0).abs() < 1e-6,
+            "one load out of three instructions"
+        );
+        assert!(
+            (features.data()[2] - 1.0 / 3.0).abs() < 1e-6,
+            "one store out of three instructions"
+        );
     }
 
     #[test]
     fn forward_is_finite_and_sensitive_to_parameters() {
-        let model = FeatureMlpModel::new(FeatureMlpConfig { hidden_dim: 16, ..FeatureMlpConfig::default() });
+        let model = FeatureMlpModel::new(FeatureMlpConfig {
+            hidden_dim: 16,
+            ..FeatureMlpConfig::default()
+        });
         let block = tokenized("addq %rax, %rbx\nimulq %rbx, %rcx");
         let base = SimParams::uniform_default();
         let mut slow = base.clone();
         for entry in &mut slow.per_inst {
             entry.write_latency = 10;
         }
-        let a = model.predict(&block, Some(&block_param_features(&base, &block)), Some(&global_features(&base)));
-        let b = model.predict(&block, Some(&block_param_features(&slow, &block)), Some(&global_features(&slow)));
+        let a = model.predict(
+            &block,
+            Some(&block_param_features(&base, &block)),
+            Some(&global_features(&base)),
+        );
+        let b = model.predict(
+            &block,
+            Some(&block_param_features(&slow, &block)),
+            Some(&global_features(&slow)),
+        );
         assert!(a.is_finite() && b.is_finite());
         assert!((a - b).abs() > 1e-9);
     }
 
     #[test]
     fn baseline_mode_ignores_parameters() {
-        let model = FeatureMlpModel::new(FeatureMlpConfig { parameter_inputs: false, hidden_dim: 8, seed: 1 });
+        let model = FeatureMlpModel::new(FeatureMlpConfig {
+            parameter_inputs: false,
+            hidden_dim: 8,
+            seed: 1,
+        });
         let block = tokenized("addq %rax, %rbx");
         let out = model.predict(&block, None, None);
         assert!(out.is_finite());

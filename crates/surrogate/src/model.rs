@@ -47,7 +47,10 @@ impl Default for IthemalConfig {
 impl IthemalConfig {
     /// The configuration used for the Ithemal baseline (no parameter inputs).
     pub fn baseline() -> Self {
-        IthemalConfig { parameter_inputs: false, ..IthemalConfig::default() }
+        IthemalConfig {
+            parameter_inputs: false,
+            ..IthemalConfig::default()
+        }
     }
 }
 
@@ -70,7 +73,13 @@ impl IthemalModel {
         let vocab = Vocab::new();
         let mut params = Params::new();
         let mut rng = StdRng::seed_from_u64(config.seed);
-        let embedding = Embedding::new(&mut params, &mut rng, "embedding", vocab.len(), config.embed_dim);
+        let embedding = Embedding::new(
+            &mut params,
+            &mut rng,
+            "embedding",
+            vocab.len(),
+            config.embed_dim,
+        );
         let instr_lstm = StackedLstm::new(
             &mut params,
             &mut rng,
@@ -96,7 +105,15 @@ impl IthemalModel {
         // Bias the timing head positive so the ReLU output head starts in its
         // active region (block timings are never negative).
         params.get_mut(head.param_ids()[1]).data_mut()[0] = 1.0;
-        IthemalModel { config, vocab, params, embedding, instr_lstm, block_lstm, head }
+        IthemalModel {
+            config,
+            vocab,
+            params,
+            embedding,
+            instr_lstm,
+            block_lstm,
+            head,
+        }
     }
 
     /// The model configuration.
@@ -117,8 +134,8 @@ impl IthemalModel {
         global: Option<&Tensor>,
     ) -> f64 {
         let mut graph = Graph::new(&self.params);
-        let feature_vars: Option<Vec<Var>> =
-            per_inst_features.map(|features| features.iter().map(|f| graph.input(f.clone())).collect());
+        let feature_vars: Option<Vec<Var>> = per_inst_features
+            .map(|features| features.iter().map(|f| graph.input(f.clone())).collect());
         let global_var = global.map(|g| graph.input(g.clone()));
         let out = self.forward(&mut graph, block, feature_vars.as_deref(), global_var);
         f64::from(graph.value(out)[0])
@@ -133,20 +150,29 @@ impl SurrogateModel for IthemalModel {
         per_inst_features: Option<&[Var]>,
         global_feature_var: Option<Var>,
     ) -> Var {
-        assert!(!block.is_empty(), "cannot run the surrogate on an empty block");
+        assert!(
+            !block.is_empty(),
+            "cannot run the surrogate on an empty block"
+        );
         if self.config.parameter_inputs {
             assert!(
                 per_inst_features.map(|f| f.len()) == Some(block.len()),
                 "surrogate mode requires one feature vector per instruction"
             );
-            assert!(global_feature_var.is_some(), "surrogate mode requires global features");
+            assert!(
+                global_feature_var.is_some(),
+                "surrogate mode requires global features"
+            );
         }
 
         let mut instruction_vectors = Vec::with_capacity(block.len());
         for (index, inst) in block.insts.iter().enumerate() {
             // Token embeddings → instruction-level LSTM summary.
-            let embedded: Vec<Var> =
-                inst.tokens.iter().map(|&token| self.embedding.lookup(graph, token)).collect();
+            let embedded: Vec<Var> = inst
+                .tokens
+                .iter()
+                .map(|&token| self.embedding.lookup(graph, token))
+                .collect();
             let inst_vec = self.instr_lstm.run(graph, &embedded);
             // Concatenate the proposed parameters for this instruction plus the
             // global parameters (Figure 3).
@@ -189,7 +215,14 @@ mod tests {
     use difftune_tensor::Grads;
 
     fn tiny_config() -> IthemalConfig {
-        IthemalConfig { embed_dim: 8, hidden_dim: 12, instr_layers: 1, block_layers: 1, parameter_inputs: true, seed: 3 }
+        IthemalConfig {
+            embed_dim: 8,
+            hidden_dim: 12,
+            instr_layers: 1,
+            block_layers: 1,
+            parameter_inputs: true,
+            seed: 3,
+        }
     }
 
     fn tokenized(text: &str, vocab: &Vocab) -> TokenizedBlock {
@@ -230,7 +263,10 @@ mod tests {
             Some(&block_param_features(&changed, &block)),
             Some(&global_features(&changed)),
         );
-        assert!((a - b).abs() > 1e-6, "parameter inputs must influence the prediction");
+        assert!(
+            (a - b).abs() > 1e-6,
+            "parameter inputs must influence the prediction"
+        );
     }
 
     #[test]
@@ -240,14 +276,25 @@ mod tests {
         let global = global_features(&params);
         let a_block = tokenized("addq %rax, %rbx", model.vocab());
         let b_block = tokenized("divsd %xmm0, %xmm1", model.vocab());
-        let a = model.predict(&a_block, Some(&block_param_features(&params, &a_block)), Some(&global));
-        let b = model.predict(&b_block, Some(&block_param_features(&params, &b_block)), Some(&global));
+        let a = model.predict(
+            &a_block,
+            Some(&block_param_features(&params, &a_block)),
+            Some(&global),
+        );
+        let b = model.predict(
+            &b_block,
+            Some(&block_param_features(&params, &b_block)),
+            Some(&global),
+        );
         assert!((a - b).abs() > 1e-6);
     }
 
     #[test]
     fn baseline_mode_needs_no_parameter_features() {
-        let model = IthemalModel::new(IthemalConfig { parameter_inputs: false, ..tiny_config() });
+        let model = IthemalModel::new(IthemalConfig {
+            parameter_inputs: false,
+            ..tiny_config()
+        });
         let block = tokenized("addq %rax, %rbx\naddq %rbx, %rcx", model.vocab());
         let out = model.predict(&block, None, None);
         assert!(out.is_finite());
@@ -276,11 +323,25 @@ mod tests {
         let mut grads = Grads::new(&store);
         graph.backward(out, &mut grads);
 
-        assert!(grads.get(feature_id).is_some(), "gradient must reach the parameter inputs");
+        assert!(
+            grads.get(feature_id).is_some(),
+            "gradient must reach the parameter inputs"
+        );
         let embedding_grad = grads.get(model.params().by_name("embedding.table").unwrap());
-        assert!(embedding_grad.is_some(), "gradient must reach the embedding table");
-        let nonzero = grads.get(feature_id).unwrap().data().iter().any(|v| *v != 0.0);
-        assert!(nonzero, "parameter-input gradients should not be identically zero");
+        assert!(
+            embedding_grad.is_some(),
+            "gradient must reach the embedding table"
+        );
+        let nonzero = grads
+            .get(feature_id)
+            .unwrap()
+            .data()
+            .iter()
+            .any(|v| *v != 0.0);
+        assert!(
+            nonzero,
+            "parameter-input gradients should not be identically zero"
+        );
     }
 
     #[test]

@@ -7,8 +7,8 @@
 
 use difftune_tensor::optim::{Adam, Optimizer};
 use difftune_tensor::{Grads, Graph, Tensor, Var};
-use rand::seq::SliceRandom;
 use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
@@ -34,7 +34,9 @@ pub struct TrainSample {
 pub struct TrainConfig {
     /// Adam learning rate (the paper uses 0.001 for the surrogate).
     pub learning_rate: f32,
-    /// Mini-batch size (the paper uses 256).
+    /// Mini-batch size. The paper uses 256 on V100-scale datasets; the default
+    /// here is smaller because the laptop-scale datasets in this repository
+    /// yield too few optimizer steps at 256 to train the LSTM surrogate.
     pub batch_size: usize,
     /// Number of passes over the sample set.
     pub epochs: usize,
@@ -48,7 +50,14 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        TrainConfig { learning_rate: 1e-3, batch_size: 256, epochs: 1, grad_clip: 5.0, seed: 0, threads: 0 }
+        TrainConfig {
+            learning_rate: 1e-3,
+            batch_size: 32,
+            epochs: 1,
+            grad_clip: 5.0,
+            seed: 0,
+            threads: 0,
+        }
     }
 }
 
@@ -69,12 +78,19 @@ impl TrainReport {
 }
 
 /// Builds the per-sample loss `|f̂(θ, x) − target| / target` on the graph.
-fn sample_loss<M: SurrogateModel + ?Sized>(model: &M, graph: &mut Graph<'_>, sample: &TrainSample) -> Var {
+fn sample_loss<M: SurrogateModel + ?Sized>(
+    model: &M,
+    graph: &mut Graph<'_>,
+    sample: &TrainSample,
+) -> Var {
     let feature_vars: Option<Vec<Var>> = sample
         .per_inst_features
         .as_ref()
         .map(|features| features.iter().map(|f| graph.input(f.clone())).collect());
-    let global_var = sample.global_features.as_ref().map(|g| graph.input(g.clone()));
+    let global_var = sample
+        .global_features
+        .as_ref()
+        .map(|g| graph.input(g.clone()));
     let prediction = model.forward(graph, &sample.block, feature_vars.as_deref(), global_var);
     let target = sample.target.max(1e-3) as f32;
     let target_var = graph.input(Tensor::scalar(target));
@@ -84,7 +100,12 @@ fn sample_loss<M: SurrogateModel + ?Sized>(model: &M, graph: &mut Graph<'_>, sam
 }
 
 /// Computes the summed loss and gradients for a slice of samples.
-fn batch_gradients<M: SurrogateModel + ?Sized>(model: &M, samples: &[&TrainSample], grads: &mut Grads, seed: f32) -> f64 {
+fn batch_gradients<M: SurrogateModel + ?Sized>(
+    model: &M,
+    samples: &[&TrainSample],
+    grads: &mut Grads,
+    seed: f32,
+) -> f64 {
     let mut total = 0.0;
     for sample in samples {
         let mut graph = Graph::new(model.params());
@@ -96,7 +117,11 @@ fn batch_gradients<M: SurrogateModel + ?Sized>(model: &M, samples: &[&TrainSampl
 }
 
 /// Trains a surrogate model in place and returns per-epoch statistics.
-pub fn train<M: SurrogateModel>(model: &mut M, samples: &[TrainSample], config: &TrainConfig) -> TrainReport {
+pub fn train<M: SurrogateModel>(
+    model: &mut M,
+    samples: &[TrainSample],
+    config: &TrainConfig,
+) -> TrainReport {
     let mut optimizer = Adam::new(config.learning_rate);
     train_with_optimizer(model, samples, config, &mut optimizer)
 }
@@ -112,7 +137,9 @@ pub fn train_with_optimizer<M: SurrogateModel>(
     let mut order: Vec<usize> = (0..samples.len()).collect();
     let mut rng = StdRng::seed_from_u64(config.seed);
     let threads = if config.threads == 0 {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     } else {
         config.threads
     };
@@ -131,20 +158,22 @@ pub fn train_with_optimizer<M: SurrogateModel>(
             } else {
                 let chunk = batch_samples.len().div_ceil(threads);
                 let model_ref: &M = &*model;
-                let results: Vec<(f64, Grads)> = crossbeam::thread::scope(|scope| {
+                let results: Vec<(f64, Grads)> = std::thread::scope(|scope| {
                     let handles: Vec<_> = batch_samples
                         .chunks(chunk)
                         .map(|shard| {
-                            scope.spawn(move |_| {
+                            scope.spawn(move || {
                                 let mut local = Grads::new(model_ref.params());
                                 let loss = batch_gradients(model_ref, shard, &mut local, seed);
                                 (loss, local)
                             })
                         })
                         .collect();
-                    handles.into_iter().map(|h| h.join().expect("training worker panicked")).collect()
-                })
-                .expect("training scope");
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("training worker panicked"))
+                        .collect()
+                });
                 let mut total = 0.0;
                 for (loss, local) in results {
                     total += loss;
@@ -164,7 +193,10 @@ pub fn train_with_optimizer<M: SurrogateModel>(
         }
         epoch_losses.push(epoch_loss / samples.len().max(1) as f64);
     }
-    TrainReport { epoch_losses, samples: samples.len() }
+    TrainReport {
+        epoch_losses,
+        samples: samples.len(),
+    }
 }
 
 /// Evaluates a model's mean absolute percentage error over samples.
@@ -179,8 +211,16 @@ pub fn evaluate<M: SurrogateModel>(model: &M, samples: &[TrainSample]) -> f64 {
             .per_inst_features
             .as_ref()
             .map(|features| features.iter().map(|f| graph.input(f.clone())).collect());
-        let global_var = sample.global_features.as_ref().map(|g| graph.input(g.clone()));
-        let prediction = model.forward(&mut graph, &sample.block, feature_vars.as_deref(), global_var);
+        let global_var = sample
+            .global_features
+            .as_ref()
+            .map(|g| graph.input(g.clone()));
+        let prediction = model.forward(
+            &mut graph,
+            &sample.block,
+            feature_vars.as_deref(),
+            global_var,
+        );
         let predicted = f64::from(graph.value(prediction)[0]);
         let target = sample.target.max(1e-3);
         total += (predicted - target).abs() / target;
@@ -226,34 +266,75 @@ mod tests {
 
     #[test]
     fn training_the_mlp_surrogate_reduces_loss() {
-        let mut model = FeatureMlpModel::new(FeatureMlpConfig { hidden_dim: 32, ..FeatureMlpConfig::default() });
+        let mut model = FeatureMlpModel::new(FeatureMlpConfig {
+            hidden_dim: 32,
+            ..FeatureMlpConfig::default()
+        });
         let samples = make_samples(true);
         let before = evaluate(&model, &samples);
-        let config = TrainConfig { learning_rate: 3e-3, batch_size: 4, epochs: 60, threads: 1, ..TrainConfig::default() };
+        let config = TrainConfig {
+            learning_rate: 3e-3,
+            batch_size: 4,
+            epochs: 60,
+            threads: 1,
+            ..TrainConfig::default()
+        };
         let report = train(&mut model, &samples, &config);
         let after = evaluate(&model, &samples);
         assert_eq!(report.epoch_losses.len(), 60);
-        assert!(after < before, "training must reduce error: {before} -> {after}");
-        assert!(after < 0.5, "the MLP should fit 8 samples well, got {after}");
+        assert!(
+            after < before,
+            "training must reduce error: {before} -> {after}"
+        );
+        assert!(
+            after < 0.5,
+            "the MLP should fit 8 samples well, got {after}"
+        );
     }
 
     #[test]
     fn training_the_lstm_surrogate_reduces_loss() {
-        let tiny = IthemalConfig { embed_dim: 8, hidden_dim: 16, instr_layers: 1, block_layers: 1, parameter_inputs: true, seed: 7 };
+        let tiny = IthemalConfig {
+            embed_dim: 8,
+            hidden_dim: 16,
+            instr_layers: 1,
+            block_layers: 1,
+            parameter_inputs: true,
+            seed: 7,
+        };
         let mut model = IthemalModel::new(tiny);
         let samples = make_samples(true);
         let before = evaluate(&model, &samples);
-        let config = TrainConfig { learning_rate: 5e-3, batch_size: 4, epochs: 30, threads: 1, ..TrainConfig::default() };
+        let config = TrainConfig {
+            learning_rate: 5e-3,
+            batch_size: 4,
+            epochs: 30,
+            threads: 1,
+            ..TrainConfig::default()
+        };
         train(&mut model, &samples, &config);
         let after = evaluate(&model, &samples);
-        assert!(after < before, "training must reduce error: {before} -> {after}");
+        assert!(
+            after < before,
+            "training must reduce error: {before} -> {after}"
+        );
     }
 
     #[test]
     fn baseline_mode_trains_without_parameter_features() {
-        let mut model = FeatureMlpModel::new(FeatureMlpConfig { hidden_dim: 16, parameter_inputs: false, seed: 2 });
+        let mut model = FeatureMlpModel::new(FeatureMlpConfig {
+            hidden_dim: 16,
+            parameter_inputs: false,
+            seed: 2,
+        });
         let samples = make_samples(false);
-        let config = TrainConfig { learning_rate: 3e-3, batch_size: 4, epochs: 40, threads: 1, ..TrainConfig::default() };
+        let config = TrainConfig {
+            learning_rate: 3e-3,
+            batch_size: 4,
+            epochs: 40,
+            threads: 1,
+            ..TrainConfig::default()
+        };
         let report = train(&mut model, &samples, &config);
         assert!(report.final_loss() < report.epoch_losses[0]);
     }
@@ -261,12 +342,28 @@ mod tests {
     #[test]
     fn multi_threaded_training_matches_single_threaded() {
         let samples = make_samples(true);
-        let config_single =
-            TrainConfig { learning_rate: 1e-3, batch_size: 8, epochs: 3, threads: 1, ..TrainConfig::default() };
-        let config_multi = TrainConfig { threads: 4, ..config_single.clone() };
+        let config_single = TrainConfig {
+            learning_rate: 1e-3,
+            batch_size: 8,
+            epochs: 3,
+            threads: 1,
+            ..TrainConfig::default()
+        };
+        let config_multi = TrainConfig {
+            threads: 4,
+            ..config_single.clone()
+        };
 
-        let mut single = FeatureMlpModel::new(FeatureMlpConfig { hidden_dim: 16, seed: 5, ..FeatureMlpConfig::default() });
-        let mut multi = FeatureMlpModel::new(FeatureMlpConfig { hidden_dim: 16, seed: 5, ..FeatureMlpConfig::default() });
+        let mut single = FeatureMlpModel::new(FeatureMlpConfig {
+            hidden_dim: 16,
+            seed: 5,
+            ..FeatureMlpConfig::default()
+        });
+        let mut multi = FeatureMlpModel::new(FeatureMlpConfig {
+            hidden_dim: 16,
+            seed: 5,
+            ..FeatureMlpConfig::default()
+        });
         train(&mut single, &samples, &config_single);
         train(&mut multi, &samples, &config_multi);
 

@@ -22,7 +22,10 @@ where
     F: Fn(&mut Graph<'_>, &[ParamId]) -> Var,
 {
     let mut params = Params::new();
-    let ids: Vec<ParamId> = seeds.iter().map(|(name, value)| params.add(*name, value.clone())).collect();
+    let ids: Vec<ParamId> = seeds
+        .iter()
+        .map(|(name, value)| params.add(*name, value.clone()))
+        .collect();
 
     // Analytic gradients.
     let mut grads = Grads::new(&params);

@@ -18,14 +18,24 @@ enum Op {
     Mul(Var, Var),
     Scale(Var, f32),
     AddScalar(Var),
-    MatVec { w: Var, x: Var },
+    MatVec {
+        w: Var,
+        x: Var,
+    },
     Sigmoid(Var),
     Tanh(Var),
     Relu(Var),
     Abs(Var),
     Concat(Vec<Var>),
-    Slice { src: Var, start: usize, len: usize },
-    Row { table: Var, row: usize },
+    Slice {
+        src: Var,
+        start: usize,
+        len: usize,
+    },
+    Row {
+        table: Var,
+        row: usize,
+    },
     Sum(Var),
     Mean(Var),
 }
@@ -49,7 +59,10 @@ pub struct Graph<'p> {
 impl<'p> Graph<'p> {
     /// Creates an empty graph over a parameter store.
     pub fn new(params: &'p Params) -> Self {
-        Graph { params, nodes: Vec::with_capacity(64) }
+        Graph {
+            params,
+            nodes: Vec::with_capacity(64),
+        }
     }
 
     fn push(&mut self, op: Op, value: Tensor) -> Var {
@@ -119,7 +132,12 @@ impl<'p> Graph<'p> {
         let xt = &self.nodes[x.0].value;
         assert_eq!(wt.shape().len(), 2, "matvec weight must be a matrix");
         let (m, n) = (wt.rows(), wt.cols());
-        assert_eq!(xt.len(), n, "matvec shape mismatch: [{m}, {n}] · [{}]", xt.len());
+        assert_eq!(
+            xt.len(),
+            n,
+            "matvec shape mismatch: [{m}, {n}] · [{}]",
+            xt.len()
+        );
         let mut out = vec![0.0f32; m];
         let wd = wt.data();
         let xd = xt.data();
@@ -196,7 +214,11 @@ impl<'p> Graph<'p> {
     /// Mean of all elements (produces a scalar).
     pub fn mean(&mut self, a: Var) -> Var {
         let t = &self.nodes[a.0].value;
-        let mean = if t.is_empty() { 0.0 } else { t.data().iter().sum::<f32>() / t.len() as f32 };
+        let mean = if t.is_empty() {
+            0.0
+        } else {
+            t.data().iter().sum::<f32>() / t.len() as f32
+        };
         self.push(Op::Mean(a), Tensor::scalar(mean))
     }
 
@@ -214,12 +236,18 @@ impl<'p> Graph<'p> {
     /// Like [`Graph::backward`] but seeds the loss gradient with `seed`
     /// (useful for averaging over a batch without rescaling afterwards).
     pub fn backward_scaled(&self, loss: Var, grads: &mut Grads, seed: f32) {
-        assert_eq!(self.nodes[loss.0].value.len(), 1, "backward requires a scalar loss");
+        assert_eq!(
+            self.nodes[loss.0].value.len(),
+            1,
+            "backward requires a scalar loss"
+        );
         let mut node_grads: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
         node_grads[loss.0] = Some(Tensor::scalar(seed));
 
         for index in (0..self.nodes.len()).rev() {
-            let Some(grad) = node_grads[index].take() else { continue };
+            let Some(grad) = node_grads[index].take() else {
+                continue;
+            };
             let node = &self.nodes[index];
             match &node.op {
                 Op::Input => {}
@@ -233,10 +261,18 @@ impl<'p> Graph<'p> {
                     add_grad(&mut node_grads, *b, grad.data(), -1.0);
                 }
                 Op::Mul(a, b) => {
-                    let bv: Vec<f32> =
-                        grad.data().iter().zip(self.nodes[b.0].value.data()).map(|(g, v)| g * v).collect();
-                    let av: Vec<f32> =
-                        grad.data().iter().zip(self.nodes[a.0].value.data()).map(|(g, v)| g * v).collect();
+                    let bv: Vec<f32> = grad
+                        .data()
+                        .iter()
+                        .zip(self.nodes[b.0].value.data())
+                        .map(|(g, v)| g * v)
+                        .collect();
+                    let av: Vec<f32> = grad
+                        .data()
+                        .iter()
+                        .zip(self.nodes[a.0].value.data())
+                        .map(|(g, v)| g * v)
+                        .collect();
                     add_grad(&mut node_grads, *a, &bv, 1.0);
                     add_grad(&mut node_grads, *b, &av, 1.0);
                 }
@@ -277,8 +313,12 @@ impl<'p> Graph<'p> {
                     add_grad(&mut node_grads, *a, &d, 1.0);
                 }
                 Op::Tanh(a) => {
-                    let d: Vec<f32> =
-                        grad.data().iter().zip(node.value.data()).map(|(g, y)| g * (1.0 - y * y)).collect();
+                    let d: Vec<f32> = grad
+                        .data()
+                        .iter()
+                        .zip(node.value.data())
+                        .map(|(g, y)| g * (1.0 - y * y))
+                        .collect();
                     add_grad(&mut node_grads, *a, &d, 1.0);
                 }
                 Op::Relu(a) => {
@@ -303,7 +343,12 @@ impl<'p> Graph<'p> {
                     let mut offset = 0;
                     for part in parts {
                         let len = self.nodes[part.0].value.len();
-                        add_grad(&mut node_grads, *part, &grad.data()[offset..offset + len], 1.0);
+                        add_grad(
+                            &mut node_grads,
+                            *part,
+                            &grad.data()[offset..offset + len],
+                            1.0,
+                        );
                         offset += len;
                     }
                 }
@@ -320,12 +365,19 @@ impl<'p> Graph<'p> {
                     let table_node = &self.nodes[table.0];
                     if let Op::Param(id) = table_node.op {
                         let cols = table_node.value.cols();
-                        grads.accumulate_at(id, table_node.value.shape(), row * cols, grad.data(), 1.0);
+                        grads.accumulate_at(
+                            id,
+                            table_node.value.shape(),
+                            row * cols,
+                            grad.data(),
+                            1.0,
+                        );
                     } else {
                         let shape = table_node.value.shape().to_vec();
                         let cols = table_node.value.cols();
                         let mut dense = Tensor::zeros(shape);
-                        dense.data_mut()[row * cols..row * cols + grad.len()].copy_from_slice(grad.data());
+                        dense.data_mut()[row * cols..row * cols + grad.len()]
+                            .copy_from_slice(grad.data());
                         add_grad_shaped(&mut node_grads, *table, dense);
                     }
                 }
@@ -360,9 +412,19 @@ fn map(t: &Tensor, f: impl Fn(f32) -> f32) -> Tensor {
 }
 
 fn zip(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
-    assert_eq!(a.shape(), b.shape(), "elementwise shape mismatch: {:?} vs {:?}", a.shape(), b.shape());
+    assert_eq!(
+        a.shape(),
+        b.shape(),
+        "elementwise shape mismatch: {:?} vs {:?}",
+        a.shape(),
+        b.shape()
+    );
     Tensor::from_vec(
-        a.data().iter().zip(b.data()).map(|(&x, &y)| f(x, y)).collect(),
+        a.data()
+            .iter()
+            .zip(b.data())
+            .map(|(&x, &y)| f(x, y))
+            .collect(),
         a.shape().to_vec(),
     )
 }
@@ -399,7 +461,10 @@ mod tests {
     #[test]
     fn forward_values_are_correct() {
         let mut params = Params::new();
-        let w = params.add("w", Tensor::matrix(2, 3, vec![1.0, 0.0, 0.0, 0.0, 2.0, 0.0]));
+        let w = params.add(
+            "w",
+            Tensor::matrix(2, 3, vec![1.0, 0.0, 0.0, 0.0, 2.0, 0.0]),
+        );
         let mut g = Graph::new(&params);
         let w_var = g.param(w);
         let x = g.input(Tensor::vector(vec![1.0, 2.0, 3.0]));
@@ -429,7 +494,10 @@ mod tests {
     #[test]
     fn gradcheck_matvec_chain() {
         finite_difference_check(
-            &[("w", Tensor::matrix(3, 4, (0..12).map(|i| 0.1 * i as f32 - 0.5).collect()))],
+            &[(
+                "w",
+                Tensor::matrix(3, 4, (0..12).map(|i| 0.1 * i as f32 - 0.5).collect()),
+            )],
             |g, ids| {
                 let w = g.param(ids[0]);
                 let x = g.input(Tensor::vector(vec![0.3, -0.2, 0.5, 1.0]));
@@ -463,7 +531,10 @@ mod tests {
     #[test]
     fn gradcheck_row_lookup() {
         finite_difference_check(
-            &[("table", Tensor::matrix(4, 3, (0..12).map(|i| i as f32 * 0.25 - 1.0).collect()))],
+            &[(
+                "table",
+                Tensor::matrix(4, 3, (0..12).map(|i| i as f32 * 0.25 - 1.0).collect()),
+            )],
             |g, ids| {
                 let table = g.param(ids[0]);
                 let r0 = g.row(table, 1);

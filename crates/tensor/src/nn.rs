@@ -8,7 +8,9 @@ use crate::{Graph, ParamId, Params, Tensor, Var};
 /// the given fan-in and fan-out.
 pub fn xavier_init<R: Rng + ?Sized>(rng: &mut R, rows: usize, cols: usize) -> Tensor {
     let bound = (6.0 / (rows + cols) as f32).sqrt();
-    let data = (0..rows * cols).map(|_| rng.gen_range(-bound..bound)).collect();
+    let data = (0..rows * cols)
+        .map(|_| rng.gen_range(-bound..bound))
+        .collect();
     Tensor::matrix(rows, cols, data)
 }
 
@@ -39,7 +41,12 @@ impl Linear {
     ) -> Self {
         let w = params.add(format!("{name}.w"), xavier_init(rng, output_dim, input_dim));
         let b = params.add(format!("{name}.b"), Tensor::vector(vec![0.0; output_dim]));
-        Linear { w, b, input_dim, output_dim }
+        Linear {
+            w,
+            b,
+            input_dim,
+            output_dim,
+        }
     }
 
     /// Applies the layer.
@@ -68,7 +75,13 @@ pub struct Embedding {
 
 impl Embedding {
     /// Registers a new embedding table.
-    pub fn new<R: Rng + ?Sized>(params: &mut Params, rng: &mut R, name: &str, vocab: usize, dim: usize) -> Self {
+    pub fn new<R: Rng + ?Sized>(
+        params: &mut Params,
+        rng: &mut R,
+        name: &str,
+        vocab: usize,
+        dim: usize,
+    ) -> Self {
         let table = params.add(format!("{name}.table"), xavier_init(rng, vocab, dim));
         Embedding { table, vocab, dim }
     }
@@ -79,7 +92,11 @@ impl Embedding {
     ///
     /// Panics if `token` is out of range.
     pub fn lookup(&self, graph: &mut Graph<'_>, token: usize) -> Var {
-        assert!(token < self.vocab, "token {token} out of range for vocabulary of {}", self.vocab);
+        assert!(
+            token < self.vocab,
+            "token {token} out of range for vocabulary of {}",
+            self.vocab
+        );
         let table = graph.param(self.table);
         graph.row(table, token)
     }
@@ -115,13 +132,21 @@ impl LstmCell {
         input_dim: usize,
         hidden_dim: usize,
     ) -> Self {
-        let w = params.add(format!("{name}.w"), xavier_init(rng, 4 * hidden_dim, input_dim + hidden_dim));
+        let w = params.add(
+            format!("{name}.w"),
+            xavier_init(rng, 4 * hidden_dim, input_dim + hidden_dim),
+        );
         let mut bias = vec![0.0f32; 4 * hidden_dim];
         for slot in bias.iter_mut().skip(hidden_dim).take(hidden_dim) {
             *slot = 1.0;
         }
         let b = params.add(format!("{name}.b"), Tensor::vector(bias));
-        LstmCell { w, b, input_dim, hidden_dim }
+        LstmCell {
+            w,
+            b,
+            input_dim,
+            hidden_dim,
+        }
     }
 
     /// Runs one step: `(h, c) = cell(x, h_prev, c_prev)`.
@@ -186,7 +211,13 @@ impl StackedLstm {
         let cells = (0..layers)
             .map(|layer| {
                 let in_dim = if layer == 0 { input_dim } else { hidden_dim };
-                LstmCell::new(params, rng, &format!("{name}.layer{layer}"), in_dim, hidden_dim)
+                LstmCell::new(
+                    params,
+                    rng,
+                    &format!("{name}.layer{layer}"),
+                    in_dim,
+                    hidden_dim,
+                )
             })
             .collect();
         StackedLstm { cells }
@@ -252,7 +283,10 @@ mod tests {
         let (h0, c0) = cell.zero_state(&mut g);
         let (h1, _c1) = cell.step(&mut g, x, h0, c0);
         assert_eq!(g.value(h1).len(), 8);
-        assert!(g.value(h1).iter().all(|v| v.abs() <= 1.0), "h is a product of sigmoids and tanh");
+        assert!(
+            g.value(h1).iter().all(|v| v.abs() <= 1.0),
+            "h is a product of sigmoids and tanh"
+        );
     }
 
     #[test]

@@ -26,12 +26,20 @@ pub struct Sgd {
 impl Sgd {
     /// Creates an SGD optimizer.
     pub fn new(lr: f32) -> Self {
-        Sgd { lr, momentum: 0.0, velocity: Vec::new() }
+        Sgd {
+            lr,
+            momentum: 0.0,
+            velocity: Vec::new(),
+        }
     }
 
     /// Creates an SGD optimizer with momentum.
     pub fn with_momentum(lr: f32, momentum: f32) -> Self {
-        Sgd { lr, momentum, velocity: Vec::new() }
+        Sgd {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
     }
 }
 
@@ -112,21 +120,23 @@ impl Optimizer for Adam {
         for index in 0..params.len() {
             let id = ParamId(index);
             let Some(grad) = grads.get(id) else { continue };
-            let m =
-                self.first_moment[index].get_or_insert_with(|| Tensor::zeros(grad.shape().to_vec()));
-            let v =
-                self.second_moment[index].get_or_insert_with(|| Tensor::zeros(grad.shape().to_vec()));
+            let m = self.first_moment[index]
+                .get_or_insert_with(|| Tensor::zeros(grad.shape().to_vec()));
+            let v = self.second_moment[index]
+                .get_or_insert_with(|| Tensor::zeros(grad.shape().to_vec()));
             let value = params.get_mut(id);
-            let data = value.data_mut();
-            for i in 0..data.len() {
-                let g = grad.data()[i];
-                let m_i = &mut m.data_mut()[i];
+            for (((w, &g), m_i), v_i) in value
+                .data_mut()
+                .iter_mut()
+                .zip(grad.data())
+                .zip(m.data_mut())
+                .zip(v.data_mut())
+            {
                 *m_i = self.beta1 * *m_i + (1.0 - self.beta1) * g;
-                let v_i = &mut v.data_mut()[i];
                 *v_i = self.beta2 * *v_i + (1.0 - self.beta2) * g * g;
                 let m_hat = *m_i / bias1;
                 let v_hat = *v_i / bias2;
-                data[i] -= self.lr * m_hat / (v_hat.sqrt() + self.epsilon);
+                *w -= self.lr * m_hat / (v_hat.sqrt() + self.epsilon);
             }
         }
     }
@@ -143,7 +153,7 @@ impl Optimizer for Adam {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Graph, Grads};
+    use crate::{Grads, Graph};
 
     /// Minimizes `(w - 3)^2` and returns the final value of `w`.
     fn optimize(mut optimizer: impl Optimizer, steps: usize) -> f32 {

@@ -95,7 +95,9 @@ pub struct Grads {
 impl Grads {
     /// Creates a gradient store matching a parameter store.
     pub fn new(params: &Params) -> Self {
-        Grads { slots: vec![None; params.len()] }
+        Grads {
+            slots: vec![None; params.len()],
+        }
     }
 
     /// The accumulated gradient for a parameter, if any was produced.
@@ -121,7 +123,14 @@ impl Grads {
     /// Adds a single scaled value into one element of the gradient slot,
     /// allocating the slot (with the given shape) if needed. Used for sparse
     /// updates such as embedding rows.
-    pub fn accumulate_at(&mut self, id: ParamId, shape: &[usize], offset: usize, values: &[f32], scale: f32) {
+    pub fn accumulate_at(
+        &mut self,
+        id: ParamId,
+        shape: &[usize],
+        offset: usize,
+        values: &[f32],
+        scale: f32,
+    ) {
         if self.slots.len() <= id.0 {
             self.slots.resize(id.0 + 1, None);
         }
@@ -212,7 +221,10 @@ mod tests {
         let mut g2 = Grads::new(&params);
         g2.accumulate_at(table, &[3, 2], 2, &[10.0, 10.0], 0.5);
         g1.merge(&g2);
-        assert_eq!(g1.get(table).unwrap().data(), &[0.0, 0.0, 6.0, 7.0, 0.0, 0.0]);
+        assert_eq!(
+            g1.get(table).unwrap().data(),
+            &[0.0, 0.0, 6.0, 7.0, 0.0, 0.0]
+        );
     }
 
     #[test]

@@ -20,25 +20,40 @@ impl Tensor {
     /// Panics if the data length does not match the product of the shape.
     pub fn from_vec(data: Vec<f32>, shape: Vec<usize>) -> Self {
         let expected: usize = shape.iter().product();
-        assert_eq!(data.len(), expected, "data length {} does not match shape {:?}", data.len(), shape);
+        assert_eq!(
+            data.len(),
+            expected,
+            "data length {} does not match shape {:?}",
+            data.len(),
+            shape
+        );
         Tensor { data, shape }
     }
 
     /// A tensor of zeros with the given shape.
     pub fn zeros(shape: Vec<usize>) -> Self {
         let len = shape.iter().product();
-        Tensor { data: vec![0.0; len], shape }
+        Tensor {
+            data: vec![0.0; len],
+            shape,
+        }
     }
 
     /// A rank-1 tensor holding a single scalar.
     pub fn scalar(value: f32) -> Self {
-        Tensor { data: vec![value], shape: vec![1] }
+        Tensor {
+            data: vec![value],
+            shape: vec![1],
+        }
     }
 
     /// A rank-1 tensor (vector) from data.
     pub fn vector(data: Vec<f32>) -> Self {
         let len = data.len();
-        Tensor { data, shape: vec![len] }
+        Tensor {
+            data,
+            shape: vec![len],
+        }
     }
 
     /// A rank-2 tensor (matrix) from data in row-major order.
@@ -81,7 +96,11 @@ impl Tensor {
     ///
     /// Panics if the tensor does not hold exactly one element.
     pub fn item(&self) -> f32 {
-        assert_eq!(self.data.len(), 1, "item() requires a single-element tensor");
+        assert_eq!(
+            self.data.len(),
+            1,
+            "item() requires a single-element tensor"
+        );
         self.data[0]
     }
 

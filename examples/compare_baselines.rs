@@ -11,18 +11,33 @@ use difftune_repro::sim::{McaSimulator, ParamBounds, SimParams, Simulator};
 
 fn main() {
     let uarch = Microarch::Skylake;
-    let dataset = Dataset::build(uarch, &CorpusConfig { num_blocks: 1200, seed: 4, ..CorpusConfig::default() });
+    let dataset = Dataset::build(
+        uarch,
+        &CorpusConfig {
+            num_blocks: 1200,
+            seed: 4,
+            ..CorpusConfig::default()
+        },
+    );
     let test = dataset.test();
     let simulator = McaSimulator::default();
 
     let defaults = default_params(uarch);
     let (default_error, default_tau) =
         Dataset::evaluate(&test, |b| simulator.predict(&defaults, b));
-    println!("{:<22} error {:>6.1}%  tau {default_tau:.3}", "llvm-mca (default)", default_error * 100.0);
+    println!(
+        "{:<22} error {:>6.1}%  tau {default_tau:.3}",
+        "llvm-mca (default)",
+        default_error * 100.0
+    );
 
     let analytical = AnalyticalModel::new(uarch).expect("Skylake is an Intel target");
     let (analytical_error, analytical_tau) = Dataset::evaluate(&test, |b| analytical.predict(b));
-    println!("{:<22} error {:>6.1}%  tau {analytical_tau:.3}", "analytical (IACA-like)", analytical_error * 100.0);
+    println!(
+        "{:<22} error {:>6.1}%  tau {analytical_tau:.3}",
+        "analytical (IACA-like)",
+        analytical_error * 100.0
+    );
 
     // Black-box search over the full 10k-dimensional table with a tiny budget:
     // this is the experiment showing why gradient-based search is needed.
@@ -46,6 +61,10 @@ fn main() {
     );
     let tuned = SimParams::from_flat(&result.best, &bounds);
     let (tuned_error, tuned_tau) = Dataset::evaluate(&test, |b| simulator.predict(&tuned, b));
-    println!("{:<22} error {:>6.1}%  tau {tuned_tau:.3}", "OpenTuner-style", tuned_error * 100.0);
+    println!(
+        "{:<22} error {:>6.1}%  tau {tuned_tau:.3}",
+        "OpenTuner-style",
+        tuned_error * 100.0
+    );
     println!("\n(black-box search over {flat_len} dimensions cannot compete at this budget;\n run `cargo run -p difftune-bench --bin table4_error` for the full comparison)");
 }

@@ -20,17 +20,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let timeline = simulator.trace(&defaults, &block);
 
     println!("timeline for 4 unrolled iterations under the default Haswell parameters:\n");
-    println!("{:<4} {:<4} {:>9} {:>7} {:>9} {:>7}  instruction", "it", "idx", "dispatch", "issue", "exec-end", "retire");
+    println!(
+        "{:<4} {:<4} {:>9} {:>7} {:>9} {:>7}  instruction",
+        "it", "idx", "dispatch", "issue", "exec-end", "retire"
+    );
     for entry in &timeline.entries {
         let inst = &block.insts()[entry.index];
         println!(
             "{:<4} {:<4} {:>9} {:>7} {:>9} {:>7}  {}",
-            entry.iteration, entry.index, entry.dispatch, entry.issue, entry.execute_end, entry.retire, inst
+            entry.iteration,
+            entry.index,
+            entry.dispatch,
+            entry.issue,
+            entry.execute_end,
+            entry.retire,
+            inst
         );
     }
-    println!("\npredicted cycles per iteration: {:.2}", timeline.cycles_per_iteration());
+    println!(
+        "\npredicted cycles per iteration: {:.2}",
+        timeline.cycles_per_iteration()
+    );
 
     let machine = Machine::new(Microarch::Haswell);
-    println!("reference-machine measurement:  {:.2}", machine.measure(&block));
+    println!(
+        "reference-machine measurement:  {:.2}",
+        machine.measure(&block)
+    );
     Ok(())
 }

@@ -36,6 +36,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let push = difftune_repro::isa::OpcodeRegistry::global()
         .by_name("PUSH64r")
         .expect("PUSH64r exists");
-    println!("default WriteLatency for PUSH64r: {}", defaults.inst(push).write_latency);
+    println!(
+        "default WriteLatency for PUSH64r: {}",
+        defaults.inst(push).write_latency
+    );
     Ok(())
 }

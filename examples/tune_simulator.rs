@@ -5,8 +5,8 @@
 //! Run with `cargo run --release --example tune_simulator`.
 //! Set `DIFFTUNE_EXAMPLE_BLOCKS` to change the corpus size (default 1500).
 
-use difftune_repro::core::{DiffTune, DiffTuneConfig, ParamSpec, SurrogateKind};
 use difftune_repro::bhive::{CorpusConfig, Dataset};
+use difftune_repro::core::{DiffTune, DiffTuneConfig, ParamSpec, SurrogateKind};
 use difftune_repro::cpu::{default_params, Microarch};
 use difftune_repro::sim::{McaSimulator, Simulator};
 use difftune_repro::surrogate::FeatureMlpConfig;
@@ -19,14 +19,24 @@ fn main() {
     let uarch = Microarch::Haswell;
 
     println!("building a {blocks}-block corpus measured on the {uarch} reference machine...");
-    let dataset = Dataset::build(uarch, &CorpusConfig { num_blocks: blocks, seed: 0, ..CorpusConfig::default() });
+    let dataset = Dataset::build(
+        uarch,
+        &CorpusConfig {
+            num_blocks: blocks,
+            seed: 0,
+            ..CorpusConfig::default()
+        },
+    );
     let test = dataset.test();
 
     let simulator = McaSimulator::default();
     let defaults = default_params(uarch);
     let (default_error, default_tau) =
         Dataset::evaluate(&test, |block| simulator.predict(&defaults, block));
-    println!("default parameters : error {:.1}%  tau {default_tau:.3}", default_error * 100.0);
+    println!(
+        "default parameters : error {:.1}%  tau {default_tau:.3}",
+        default_error * 100.0
+    );
 
     // A quick configuration using the fast feature-MLP surrogate; the bench
     // binaries use the paper's LSTM surrogate.
@@ -38,15 +48,26 @@ fn main() {
         ..DiffTuneConfig::default()
     };
     let difftune = DiffTune::new(config);
-    let train: Vec<_> = dataset.train().iter().map(|r| (r.block.clone(), r.timing)).collect();
-    println!("running DiffTune ({} learned parameters)...", ParamSpec::llvm_mca().num_learned(defaults.num_opcodes()));
+    let train: Vec<_> = dataset
+        .train()
+        .iter()
+        .map(|r| (r.block.clone(), r.timing))
+        .collect();
+    println!(
+        "running DiffTune ({} learned parameters)...",
+        ParamSpec::llvm_mca().num_learned(defaults.num_opcodes())
+    );
     let result = difftune.run(&simulator, &ParamSpec::llvm_mca(), &defaults, &train);
 
-    let (initial_error, _) = Dataset::evaluate(&test, |block| simulator.predict(&result.initial, block));
+    let (initial_error, _) =
+        Dataset::evaluate(&test, |block| simulator.predict(&result.initial, block));
     let (learned_error, learned_tau) =
         Dataset::evaluate(&test, |block| simulator.predict(&result.learned, block));
     println!("random initial table: error {:.1}%", initial_error * 100.0);
-    println!("learned parameters : error {:.1}%  tau {learned_tau:.3}", learned_error * 100.0);
+    println!(
+        "learned parameters : error {:.1}%  tau {learned_tau:.3}",
+        learned_error * 100.0
+    );
     println!(
         "learned globals: DispatchWidth {} (default {}), ReorderBufferSize {} (default {})",
         result.learned.dispatch_width,

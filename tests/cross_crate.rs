@@ -31,7 +31,10 @@ fn generated_blocks_flow_through_every_component() {
             uop.predict(&params, &block),
             analytical.predict(&block),
         ] {
-            assert!(timing.is_finite() && timing >= 0.0, "bad timing {timing} for block:\n{block}");
+            assert!(
+                timing.is_finite() && timing >= 0.0,
+                "bad timing {timing} for block:\n{block}"
+            );
         }
         // The surrogate encoding covers every instruction.
         let tokenized = vocab.tokenize_block(&block);
@@ -44,7 +47,9 @@ fn generated_blocks_flow_through_every_component() {
 
 #[test]
 fn default_parameters_differ_per_microarchitecture_and_change_predictions() {
-    let block: BasicBlock = "mulsd %xmm1, %xmm0\naddsd %xmm0, %xmm2\ndivsd %xmm3, %xmm4".parse().unwrap();
+    let block: BasicBlock = "mulsd %xmm1, %xmm0\naddsd %xmm0, %xmm2\ndivsd %xmm3, %xmm4"
+        .parse()
+        .unwrap();
     let sim = McaSimulator::default();
     let timings: Vec<f64> = Microarch::ALL
         .iter()
@@ -59,8 +64,13 @@ fn default_parameters_differ_per_microarchitecture_and_change_predictions() {
 #[test]
 fn measurements_are_reproducible_and_noise_bounded() {
     let machine = Machine::new(Microarch::Skylake);
-    let exact_machine =
-        Machine::with_measurement(Microarch::Skylake, MeasurementConfig { iterations: 100, apply_noise: false });
+    let exact_machine = Machine::with_measurement(
+        Microarch::Skylake,
+        MeasurementConfig {
+            iterations: 100,
+            apply_noise: false,
+        },
+    );
     let generator = BlockGenerator::default();
     let mut rng = StdRng::seed_from_u64(7);
     for _ in 0..20 {
@@ -82,7 +92,11 @@ fn dataset_default_error_matches_paper_ballpark_on_haswell() {
     // rank correlation should be clearly positive.
     let dataset = Dataset::build(
         Microarch::Haswell,
-        &CorpusConfig { num_blocks: 1200, seed: 9, ..CorpusConfig::default() },
+        &CorpusConfig {
+            num_blocks: 1200,
+            seed: 9,
+            ..CorpusConfig::default()
+        },
     );
     let sim = McaSimulator::default();
     let defaults = default_params(Microarch::Haswell);
@@ -98,7 +112,11 @@ fn random_parameter_tables_are_much_worse_than_defaults() {
     use difftune_repro::core::{sample_table, ParamSpec};
     let dataset = Dataset::build(
         Microarch::Haswell,
-        &CorpusConfig { num_blocks: 600, seed: 5, ..CorpusConfig::default() },
+        &CorpusConfig {
+            num_blocks: 600,
+            seed: 5,
+            ..CorpusConfig::default()
+        },
     );
     let sim = McaSimulator::default();
     let defaults = default_params(Microarch::Haswell);
@@ -115,7 +133,9 @@ fn random_parameter_tables_are_much_worse_than_defaults() {
 
 #[test]
 fn simulator_is_a_pure_function_of_its_parameters() {
-    let block: BasicBlock = "addq %rax, %rbx\nmovq (%rdi), %rcx\naddq %rcx, %rbx".parse().unwrap();
+    let block: BasicBlock = "addq %rax, %rbx\nmovq (%rdi), %rcx\naddq %rcx, %rbx"
+        .parse()
+        .unwrap();
     let sim = McaSimulator::default();
     let a = SimParams::uniform_default();
     let mut b = SimParams::uniform_default();

@@ -91,6 +91,6 @@ proptest! {
         prop_assert!((mape(&doubled, &values) - 1.0).abs() < 1e-9);
         let monotone: Vec<f64> = values.iter().map(|v| v.powi(2) + 1.0).collect();
         let tau = kendall_tau(&monotone, &values);
-        prop_assert!(tau <= 1.0 + 1e-12 && tau >= -1.0 - 1e-12);
+        prop_assert!((-1.0 - 1e-12..=1.0 + 1e-12).contains(&tau));
     }
 }

@@ -1,0 +1,58 @@
+//! Workspace smoke test: every facade re-export resolves and the core flow
+//! (parse → simulate → surrogate forward) runs. A manifest regression that
+//! drops a crate from the `difftune_repro` facade fails here immediately,
+//! before any heavier test binary is reached.
+
+use difftune_repro::cpu::{default_params, Microarch};
+use difftune_repro::isa::BasicBlock;
+use difftune_repro::sim::{McaSimulator, Simulator, UopSimulator};
+use difftune_repro::surrogate::{
+    block_param_features, global_features, IthemalConfig, IthemalModel,
+};
+
+#[test]
+fn facade_parse_simulate_and_surrogate_forward() {
+    // Parse a block through the facade's `isa` re-export.
+    let block: BasicBlock = "addq %rax, %rbx\nmovq (%rdi), %rcx"
+        .parse()
+        .expect("parse block");
+    assert_eq!(block.len(), 2);
+
+    // One simulator prediction through `cpu` (parameters) + `sim` (simulator).
+    let params = default_params(Microarch::Haswell);
+    let timing = McaSimulator::default().predict(&params, &block);
+    assert!(timing.is_finite() && timing > 0.0, "mca timing {timing}");
+    let uop_timing = UopSimulator::default().predict(&params, &block);
+    assert!(
+        uop_timing.is_finite() && uop_timing > 0.0,
+        "uop timing {uop_timing}"
+    );
+
+    // One surrogate forward pass through `surrogate` (+ `tensor` underneath).
+    let model = IthemalModel::new(IthemalConfig {
+        embed_dim: 8,
+        hidden_dim: 12,
+        instr_layers: 1,
+        block_layers: 1,
+        parameter_inputs: true,
+        seed: 0,
+    });
+    let tokenized = model.vocab().tokenize_block(&block);
+    let features = block_param_features(&params, &tokenized);
+    let global = global_features(&params);
+    let prediction = model.predict(&tokenized, Some(&features), Some(&global));
+    assert!(
+        prediction.is_finite() && prediction >= 0.0,
+        "surrogate prediction {prediction}"
+    );
+}
+
+#[test]
+fn facade_modules_cover_every_workspace_crate() {
+    // Touch one item per facade module so a missing re-export cannot compile.
+    let _spec = difftune_repro::core::ParamSpec::llvm_mca();
+    let _config = difftune_repro::bhive::CorpusConfig::default();
+    let _space = difftune_repro::opentuner::SearchSpace::uniform(4, 0.0, 1.0);
+    let _tensor = difftune_repro::tensor::Tensor::scalar(1.0);
+    let _bounds = difftune_repro::sim::ParamBounds::default();
+}

@@ -1,0 +1,124 @@
+//! Vendored, API-compatible subset of `criterion`: `criterion_group!`,
+//! `criterion_main!`, [`Criterion::bench_function`], and [`Bencher::iter`].
+//!
+//! Each benchmark warms up briefly, then runs timed batches until a small
+//! wall-clock budget is exhausted and reports the median batch's ns/iter.
+//! There is no statistical analysis or HTML report; the point is that
+//! `cargo bench` compiles, runs, and prints stable per-iteration timings in
+//! an environment without registry access. A positional CLI filter argument
+//! (as passed by `cargo bench -- <filter>`) selects matching benchmarks.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-benchmark wall-clock budget after warm-up.
+const MEASURE_BUDGET: Duration = Duration::from_millis(300);
+const WARMUP_BUDGET: Duration = Duration::from_millis(100);
+
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench` invokes the harness with flags like `--bench`; the
+        // first non-flag argument is a name filter, as in real criterion.
+        let filter = std::env::args().skip(1).find(|arg| !arg.starts_with('-'));
+        Self { filter }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, id: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+        };
+        routine(&mut bencher);
+        match median_ns(&mut bencher.samples) {
+            Some(ns) => println!("{id:<40} {ns:>12.1} ns/iter"),
+            None => println!("{id:<40} {:>12} (no samples)", "-"),
+        }
+        self
+    }
+
+    /// Compatibility no-op: upstream criterion finalizes reports here.
+    pub fn final_summary(&mut self) {}
+}
+
+pub struct Bencher {
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: also discovers a batch size that takes ~1ms per sample.
+        let warmup_start = Instant::now();
+        let mut iters_per_sample = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if warmup_start.elapsed() > WARMUP_BUDGET {
+                break;
+            }
+            if elapsed < Duration::from_millis(1) && iters_per_sample < (1 << 20) {
+                iters_per_sample *= 2;
+            }
+        }
+
+        let measure_start = Instant::now();
+        while measure_start.elapsed() < MEASURE_BUDGET {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            self.samples
+                .push(elapsed.as_nanos() as f64 / iters_per_sample as f64);
+        }
+    }
+}
+
+fn median_ns(samples: &mut [f64]) -> Option<f64> {
+    if samples.is_empty() {
+        return None;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("benchmark samples are finite"));
+    Some(samples[samples.len() / 2])
+}
+
+/// Declare a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($function:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $function(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+}
+
+/// Declare the benchmark harness entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Under `cargo test` the harness binary is invoked with `--test`;
+            // benchmarks are expensive, so only smoke-run in that mode by
+            // keeping the normal path (budgets are small enough to be quick).
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,163 @@
+//! Vendored, API-compatible subset of `proptest`.
+//!
+//! The `proptest!` macro expands each property into a plain `#[test]` that
+//! samples its arguments from [`Strategy`] values for a configurable number of
+//! cases. Sampling is fully deterministic: case `i` of every test draws from a
+//! generator seeded with `i`, so failures reproduce without a persistence
+//! file. There is no shrinking — the failing case's inputs are printed
+//! instead, which is enough to debug the properties in this workspace.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleRange, SampleUniform, SeedableRng};
+
+pub mod collection;
+
+/// Subset of proptest's runner configuration honoured by the shim.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+    /// Accepted for API compatibility; the shim never shrinks.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self {
+            cases: 256,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// A source of random values for one property argument.
+pub trait Strategy {
+    type Value: core::fmt::Debug;
+
+    fn pick(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+impl<T> Strategy for core::ops::Range<T>
+where
+    T: SampleUniform + core::fmt::Debug,
+    core::ops::Range<T>: Clone,
+{
+    type Value = T;
+
+    fn pick(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T> Strategy for core::ops::RangeInclusive<T>
+where
+    T: SampleUniform + core::fmt::Debug,
+    core::ops::RangeInclusive<T>: Clone + SampleRange<T>,
+{
+    type Value = T;
+
+    fn pick(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// Strategy that always yields clones of one value (proptest's `Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + core::fmt::Debug>(pub T);
+
+impl<T: Clone + core::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn pick(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Deterministic per-case generator: every failure reproduces from the case
+/// index alone.
+pub fn case_rng(case: u64) -> StdRng {
+    StdRng::seed_from_u64(0x7072_6f70_0000_0000 ^ case)
+}
+
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{Just, ProptestConfig, Strategy};
+}
+
+/// Assert inside a property; failures report the failing case's inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+);
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_eq!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_eq!($left, $right, $($fmt)+);
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_ne!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_ne!($left, $right, $($fmt)+);
+    };
+}
+
+/// Expand properties into deterministic multi-case `#[test]` functions.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                for __case in 0..u64::from(config.cases) {
+                    let mut __rng = $crate::case_rng(__case);
+                    $( let $arg = $crate::Strategy::pick(&$strategy, &mut __rng); )*
+                    let __inputs = format!(
+                        concat!("case {}", $(" ", stringify!($arg), "={:?}",)*),
+                        __case $(, $arg)*
+                    );
+                    let __outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| $body));
+                    if let Err(__panic) = __outcome {
+                        eprintln!("proptest failure in {} [{}]", stringify!($name), __inputs);
+                        ::std::panic::resume_unwind(__panic);
+                    }
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strategy),*) $body
+            )*
+        }
+    };
+}

@@ -1,0 +1,164 @@
+//! Vendored, API-compatible subset of the `rand` crate.
+//!
+//! The build environment has no network access to a crates registry, so this
+//! shim implements exactly the surface the workspace uses: [`rngs::StdRng`],
+//! [`SeedableRng::seed_from_u64`], [`Rng::gen_range`] / [`Rng::gen_bool`] /
+//! [`Rng::sample`], and [`seq::SliceRandom`]. The generator is xoshiro256++
+//! seeded via SplitMix64: deterministic, fast, and of high enough statistical
+//! quality for test-and-benchmark workloads. Streams differ from upstream
+//! `rand`, which only matters to code asserting exact draw values.
+
+pub mod distributions;
+pub mod rngs;
+pub mod seq;
+
+pub use distributions::Distribution;
+
+/// Core source of randomness: everything is derived from `next_u64`.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for Box<R> {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// User-facing convenience methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample uniformly from a half-open (`a..b`) or inclusive (`a..=b`) range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Return `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability out of range"
+        );
+        unit_f64(self.next_u64()) < p
+    }
+
+    /// Sample a value from the given distribution.
+    fn sample<T, D: Distribution<T>>(&mut self, distr: D) -> T
+    where
+        Self: Sized,
+    {
+        distr.sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Construction of reproducible generators from seeds.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from a range.
+pub trait SampleUniform: PartialOrd + Copy {
+    fn sample_between<R: RngCore + ?Sized>(
+        rng: &mut R,
+        low: Self,
+        high: Self,
+        inclusive: bool,
+    ) -> Self;
+}
+
+/// Range argument accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_between(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (low, high) = self.into_inner();
+        assert!(low <= high, "cannot sample empty inclusive range");
+        T::sample_between(rng, low, high, true)
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($ty:ty),*) => {$(
+        impl SampleUniform for $ty {
+            fn sample_between<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self, inclusive: bool) -> Self {
+                let lo = low as i128;
+                let hi = high as i128;
+                let span = (hi - lo) as u128 + if inclusive { 1 } else { 0 };
+                if span == 0 {
+                    // Inclusive range covering the full domain of a 128-bit type
+                    // cannot occur for the integer widths in this workspace.
+                    return low;
+                }
+                // Widening-multiply range reduction; bias is < 2^-64 per draw.
+                let draw = rng.next_u64() as u128;
+                let offset = (draw.wrapping_mul(span)) >> 64;
+                (lo + offset as i128) as $ty
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_between<R: RngCore + ?Sized>(
+        rng: &mut R,
+        low: Self,
+        high: Self,
+        _inclusive: bool,
+    ) -> Self {
+        let sample = low + (high - low) * unit_f64(rng.next_u64());
+        if sample < high {
+            sample
+        } else {
+            // Guard against rounding up to the (exclusive) upper bound.
+            f64::max(low, high - (high - low) * f64::EPSILON)
+        }
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_between<R: RngCore + ?Sized>(
+        rng: &mut R,
+        low: Self,
+        high: Self,
+        _inclusive: bool,
+    ) -> Self {
+        let unit = (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32);
+        let sample = low + (high - low) * unit;
+        if sample < high {
+            sample
+        } else {
+            f32::max(low, high - (high - low) * f32::EPSILON)
+        }
+    }
+}
+
+/// Map a `u64` to a uniform `f64` in `[0, 1)` using the top 53 bits.
+pub(crate) fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}

@@ -1,0 +1,83 @@
+//! Vendored subset of `rand_distr`: the [`Distribution`] trait re-export and
+//! the [`Geometric`] distribution used by the BHive corpus generator.
+
+pub use rand::distributions::Distribution;
+use rand::Rng;
+
+/// Geometric distribution: the number of failures before the first success in
+/// a sequence of Bernoulli trials with success probability `p`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Geometric {
+    p: f64,
+}
+
+/// Error raised for probabilities outside `(0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GeometricError;
+
+impl core::fmt::Display for GeometricError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str("geometric distribution requires 0 < p <= 1")
+    }
+}
+
+impl std::error::Error for GeometricError {}
+
+impl Geometric {
+    pub fn new(p: f64) -> Result<Self, GeometricError> {
+        if p.is_finite() && p > 0.0 && p <= 1.0 {
+            Ok(Self { p })
+        } else {
+            Err(GeometricError)
+        }
+    }
+}
+
+impl Distribution<u64> for Geometric {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.p >= 1.0 {
+            return 0;
+        }
+        // Inversion: floor(ln(U) / ln(1 - p)) with U uniform in (0, 1].
+        let u = 1.0 - rng.gen_range(0.0f64..1.0);
+        let failures = (u.ln() / (1.0 - self.p).ln()).floor();
+        if failures.is_finite() && failures >= 0.0 {
+            failures.min(u64::MAX as f64) as u64
+        } else {
+            0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_invalid_probability() {
+        assert!(Geometric::new(0.0).is_err());
+        assert!(Geometric::new(1.5).is_err());
+        assert!(Geometric::new(f64::NAN).is_err());
+        assert!(Geometric::new(0.5).is_ok());
+    }
+
+    #[test]
+    fn mean_matches_theory() {
+        let dist = Geometric::new(0.25).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 50_000;
+        let total: u64 = (0..n).map(|_| dist.sample(&mut rng)).sum();
+        let mean = total as f64 / n as f64;
+        // E[failures] = (1 - p) / p = 3.
+        assert!((mean - 3.0).abs() < 0.12, "mean {mean}");
+    }
+
+    #[test]
+    fn p_one_is_always_zero() {
+        let dist = Geometric::new(1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!((0..100).all(|_| dist.sample(&mut rng) == 0));
+    }
+}

@@ -1,0 +1,20 @@
+//! Vendored serialization framework compatible with how this workspace uses
+//! `serde`: `#[derive(Serialize, Deserialize)]` plus `serde_json` round-trips.
+//!
+//! Instead of upstream serde's visitor architecture, values funnel through a
+//! self-describing [`Value`] tree (miniserde-style). The derive macros in the
+//! sibling `serde_derive` shim generate impls of the two traits below, and the
+//! `serde_json` shim prints/parses `Value` as JSON text. The enum encoding
+//! follows serde's externally-tagged default, so swapping the real crates back
+//! in produces the same JSON for the types in this repository.
+
+pub mod de;
+pub mod ser;
+mod value;
+
+pub use de::{Deserialize, Error};
+pub use ser::Serialize;
+pub use value::Value;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,237 @@
+//! String-based code generation for the shim's `Serialize`/`Deserialize`.
+
+use std::fmt::Write;
+
+use crate::parse::{Fields, Item, Variant};
+
+/// Serialize a list of `(key_literal, value_expr)` pairs into a `Value::Map`.
+fn map_expr(entries: &[(String, String)]) -> String {
+    let mut out = String::from("::serde::Value::Map(::std::vec![");
+    for (key, value) in entries {
+        let _ = write!(out, "(::std::string::String::from({key:?}), {value}),");
+    }
+    out.push_str("])");
+    out
+}
+
+fn seq_expr(items: &[String]) -> String {
+    format!("::serde::Value::Seq(::std::vec![{}])", items.join(","))
+}
+
+fn ser(expr: &str) -> String {
+    format!("::serde::ser::Serialize::serialize({expr})")
+}
+
+pub fn serialize_impl(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => "::serde::Value::Null".to_string(),
+                Fields::Named(names) => {
+                    let entries: Vec<_> = names
+                        .iter()
+                        .map(|f| (f.clone(), ser(&format!("&self.{f}"))))
+                        .collect();
+                    map_expr(&entries)
+                }
+                // serde convention: a newtype struct serializes as its inner value.
+                Fields::Tuple(1) => ser("&self.0"),
+                Fields::Tuple(n) => {
+                    let items: Vec<_> = (0..*n).map(|i| ser(&format!("&self.{i}"))).collect();
+                    seq_expr(&items)
+                }
+            };
+            implement_serialize(name, &body)
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for Variant {
+                name: variant,
+                fields,
+            } in variants
+            {
+                let arm = match fields {
+                    Fields::Unit => format!(
+                        "{name}::{variant} => \
+                         ::serde::Value::Str(::std::string::String::from({variant:?})),"
+                    ),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<_> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let inner = if *n == 1 {
+                            ser("__f0")
+                        } else {
+                            let items: Vec<_> = binds.iter().map(|b| ser(b)).collect();
+                            seq_expr(&items)
+                        };
+                        let tagged = map_expr(&[(variant.clone(), inner)]);
+                        format!("{name}::{variant}({}) => {tagged},", binds.join(","))
+                    }
+                    Fields::Named(field_names) => {
+                        let binds: Vec<_> = field_names
+                            .iter()
+                            .map(|f| format!("{f}: __b_{f}"))
+                            .collect();
+                        let entries: Vec<_> = field_names
+                            .iter()
+                            .map(|f| (f.clone(), ser(&format!("__b_{f}"))))
+                            .collect();
+                        let tagged = map_expr(&[(variant.clone(), map_expr(&entries))]);
+                        format!("{name}::{variant}{{{}}} => {tagged},", binds.join(","))
+                    }
+                };
+                arms.push_str(&arm);
+            }
+            implement_serialize(name, &format!("match self {{ {arms} }}"))
+        }
+    }
+}
+
+fn implement_serialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::ser::Serialize for {name} {{\n\
+             fn serialize(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+pub fn deserialize_impl(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => format!("::std::result::Result::Ok({name})"),
+                Fields::Named(names) => {
+                    let map = expect_map(name);
+                    let inits: Vec<_> = names
+                        .iter()
+                        .map(|f| format!("{f}: ::serde::de::field(__map, {f:?})?"))
+                        .collect();
+                    format!(
+                        "{map}\n::std::result::Result::Ok({name} {{ {} }})",
+                        inits.join(",")
+                    )
+                }
+                Fields::Tuple(1) => format!(
+                    "::std::result::Result::Ok({name}(::serde::de::Deserialize::deserialize(__v)?))"
+                ),
+                Fields::Tuple(n) => {
+                    let seq = expect_seq(name, "__v");
+                    let inits: Vec<_> = (0..*n)
+                        .map(|i| format!("::serde::de::element(__seq, {i})?"))
+                        .collect();
+                    format!(
+                        "{seq}\n::std::result::Result::Ok({name}({}))",
+                        inits.join(",")
+                    )
+                }
+            };
+            implement_deserialize(name, &body)
+        }
+        Item::Enum { name, variants } => {
+            implement_deserialize(name, &enum_deserialize(name, variants))
+        }
+    }
+}
+
+fn enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    for Variant {
+        name: variant,
+        fields,
+    } in variants
+    {
+        if matches!(fields, Fields::Unit) {
+            let _ = write!(
+                unit_arms,
+                "{variant:?} => ::std::result::Result::Ok({name}::{variant}),"
+            );
+        }
+    }
+    let mut tagged_arms = String::new();
+    for Variant {
+        name: variant,
+        fields,
+    } in variants
+    {
+        let arm = match fields {
+            Fields::Unit => continue,
+            Fields::Tuple(1) => format!(
+                "{variant:?} => ::std::result::Result::Ok(\
+                 {name}::{variant}(::serde::de::Deserialize::deserialize(__inner)?)),"
+            ),
+            Fields::Tuple(n) => {
+                let seq = expect_seq(name, "__inner");
+                let inits: Vec<_> = (0..*n)
+                    .map(|i| format!("::serde::de::element(__seq, {i})?"))
+                    .collect();
+                format!(
+                    "{variant:?} => {{ {seq} ::std::result::Result::Ok({name}::{variant}({})) }},",
+                    inits.join(",")
+                )
+            }
+            Fields::Named(field_names) => {
+                let inits: Vec<_> = field_names
+                    .iter()
+                    .map(|f| format!("{f}: ::serde::de::field(__fields, {f:?})?"))
+                    .collect();
+                format!(
+                    "{variant:?} => {{\
+                         let __fields = __inner.as_map().ok_or_else(|| \
+                             ::serde::de::Error::custom(\
+                                 concat!(\"expected map body for variant \", stringify!({name}::{variant}))))?;\
+                         ::std::result::Result::Ok({name}::{variant} {{ {} }})\
+                     }},",
+                    inits.join(",")
+                )
+            }
+        };
+        tagged_arms.push_str(&arm);
+    }
+    format!(
+        "if let ::std::option::Option::Some(__s) = __v.as_str() {{\n\
+             return match __s {{\n\
+                 {unit_arms}\n\
+                 __other => ::std::result::Result::Err(::serde::de::Error::custom(\
+                     format!(concat!(\"unknown unit variant `{{}}` for enum \", stringify!({name})), __other))),\n\
+             }};\n\
+         }}\n\
+         let __map = __v.as_map().ok_or_else(|| ::serde::de::Error::custom(\
+             concat!(\"expected string or single-entry map for enum \", stringify!({name}))))?;\n\
+         if __map.len() != 1 {{\n\
+             return ::std::result::Result::Err(::serde::de::Error::custom(\
+                 concat!(\"expected single-entry map for enum \", stringify!({name}))));\n\
+         }}\n\
+         let (__tag, __inner) = &__map[0];\n\
+         match __tag.as_str() {{\n\
+             {tagged_arms}\n\
+             __other => ::std::result::Result::Err(::serde::de::Error::custom(\
+                 format!(concat!(\"unknown variant `{{}}` for enum \", stringify!({name})), __other))),\n\
+         }}"
+    )
+}
+
+fn expect_map(name: &str) -> String {
+    format!(
+        "let __map = __v.as_map().ok_or_else(|| ::serde::de::Error::custom(\
+             concat!(\"expected map for struct \", stringify!({name}))))?;"
+    )
+}
+
+fn expect_seq(name: &str, expr: &str) -> String {
+    format!(
+        "let __seq = {expr}.as_seq().ok_or_else(|| ::serde::de::Error::custom(\
+             concat!(\"expected sequence for \", stringify!({name}))))?;"
+    )
+}
+
+fn implement_deserialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::de::Deserialize for {name} {{\n\
+             fn deserialize(__v: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::de::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}

@@ -1,0 +1,48 @@
+//! Hand-rolled `#[derive(Serialize, Deserialize)]` for the vendored serde
+//! shim. The build environment has no registry access, so `syn`/`quote` are
+//! unavailable; instead this crate walks the raw [`TokenStream`] directly.
+//!
+//! Supported shapes — exactly what the workspace derives on:
+//! non-generic structs (named, tuple, unit) and non-generic enums whose
+//! variants are unit, tuple, or struct-like (explicit discriminants allowed).
+//! Generic items produce a compile error naming the limitation.
+//!
+//! The generated code targets the shim's value-tree model and follows serde's
+//! externally-tagged enum encoding: unit variants serialize as a string,
+//! newtype variants as `{"Variant": value}`, tuple variants as
+//! `{"Variant": [..]}`, and struct variants as `{"Variant": {..}}`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+mod codegen;
+mod parse;
+
+use parse::{parse_item, Item};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, codegen::serialize_impl)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, codegen::deserialize_impl)
+}
+
+fn expand(input: TokenStream, generate: fn(&Item) -> String) -> TokenStream {
+    let code = match parse_item(input) {
+        Ok(item) => generate(&item),
+        Err(message) => format!("::core::compile_error!({message:?});"),
+    };
+    code.parse().expect("serde_derive generated invalid Rust")
+}
+
+/// True when the token is the punctuation character `ch`.
+fn is_punct(tree: &TokenTree, ch: char) -> bool {
+    matches!(tree, TokenTree::Punct(p) if p.as_char() == ch)
+}
+
+/// True when the token is a delimited group with the given delimiter.
+fn is_group(tree: &TokenTree, delimiter: Delimiter) -> bool {
+    matches!(tree, TokenTree::Group(g) if g.delimiter() == delimiter)
+}

@@ -1,0 +1,244 @@
+//! Minimal item parser over raw token trees (no `syn` available offline).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+use crate::{is_group, is_punct};
+
+pub enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+pub struct Variant {
+    pub name: String,
+    pub fields: Fields,
+}
+
+pub enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
+
+pub fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut tokens = input.into_iter().peekable();
+    skip_attributes(&mut tokens);
+    skip_visibility(&mut tokens);
+
+    let keyword = match tokens.next() {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => {
+            return Err(format!(
+                "serde shim derive: expected item keyword, found {other:?}"
+            ))
+        }
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => {
+            return Err(format!(
+                "serde shim derive: expected item name, found {other:?}"
+            ))
+        }
+    };
+    if tokens.peek().map(|t| is_punct(t, '<')).unwrap_or(false) {
+        return Err(format!(
+            "serde shim derive does not support generic item `{name}`; \
+             write the impls by hand or drop the generics"
+        ));
+    }
+
+    match keyword.as_str() {
+        "struct" => parse_struct_body(&mut tokens).map(|fields| Item::Struct { name, fields }),
+        "enum" => parse_enum_body(&mut tokens).map(|variants| Item::Enum { name, variants }),
+        other => Err(format!(
+            "serde shim derive supports struct/enum, found `{other}`"
+        )),
+    }
+}
+
+fn parse_struct_body(tokens: &mut Tokens) -> Result<Fields, String> {
+    match tokens.next() {
+        Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+            named_fields(group.stream()).map(Fields::Named)
+        }
+        Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+            Ok(Fields::Tuple(count_tuple_fields(group.stream())))
+        }
+        Some(tree) if is_punct(&tree, ';') => Ok(Fields::Unit),
+        None => Ok(Fields::Unit),
+        other => Err(format!(
+            "serde shim derive: unexpected struct body {other:?}"
+        )),
+    }
+}
+
+fn parse_enum_body(tokens: &mut Tokens) -> Result<Vec<Variant>, String> {
+    let group = match tokens.next() {
+        Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => group,
+        other => {
+            return Err(format!(
+                "serde shim derive: expected enum body, found {other:?}"
+            ))
+        }
+    };
+    let mut body = group.stream().into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attributes(&mut body);
+        let name = match body.next() {
+            Some(TokenTree::Ident(ident)) => ident.to_string(),
+            Some(other) => {
+                return Err(format!(
+                    "serde shim derive: expected variant, found {other:?}"
+                ))
+            }
+            None => break,
+        };
+        let fields = match body.peek() {
+            Some(tree) if is_group(tree, Delimiter::Parenthesis) => {
+                let TokenTree::Group(group) = body.next().expect("peeked") else {
+                    unreachable!()
+                };
+                Fields::Tuple(count_tuple_fields(group.stream()))
+            }
+            Some(tree) if is_group(tree, Delimiter::Brace) => {
+                let TokenTree::Group(group) = body.next().expect("peeked") else {
+                    unreachable!()
+                };
+                Fields::Named(named_fields(group.stream())?)
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) up to the variant separator.
+        skip_until_comma(&mut body);
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+/// Parse `name: Type, ...` pairs, returning the field names in order.
+fn named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut names = Vec::new();
+    loop {
+        skip_attributes(&mut tokens);
+        skip_visibility(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(ident)) => ident.to_string(),
+            Some(other) => {
+                return Err(format!(
+                    "serde shim derive: expected field name, found {other:?}"
+                ))
+            }
+            None => break,
+        };
+        match tokens.next() {
+            Some(tree) if is_punct(&tree, ':') => {}
+            other => {
+                return Err(format!(
+                    "serde shim derive: expected `:` after `{name}`, found {other:?}"
+                ))
+            }
+        }
+        skip_until_comma(&mut tokens);
+        names.push(name);
+    }
+    Ok(names)
+}
+
+/// Count the comma-separated fields of a tuple struct/variant. Commas nested
+/// in sub-groups are invisible here; only `Foo<A, B>` style generic arguments
+/// leak commas, so angle-bracket depth is tracked explicitly.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut separators = 0;
+    let mut saw_tokens = false;
+    let mut trailing_comma = false;
+    let mut angle_depth = 0i32;
+    let mut prev_dash = false;
+    for tree in stream {
+        saw_tokens = true;
+        trailing_comma = false;
+        if let TokenTree::Punct(p) = &tree {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                // `->` in fn-pointer types is not a closing angle bracket.
+                '>' if !prev_dash => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    separators += 1;
+                    trailing_comma = true;
+                }
+                _ => {}
+            }
+            prev_dash = p.as_char() == '-';
+        } else {
+            prev_dash = false;
+        }
+    }
+    if !saw_tokens {
+        0
+    } else if trailing_comma {
+        // `(A, B,)`: every field has its own comma.
+        separators
+    } else {
+        // `(A, B)`: one more field than separating commas.
+        separators + 1
+    }
+}
+
+/// Advance past attributes (`#[...]`) at the current position.
+fn skip_attributes(tokens: &mut Tokens) {
+    while tokens.peek().map(|t| is_punct(t, '#')).unwrap_or(false) {
+        tokens.next();
+        if tokens
+            .peek()
+            .map(|t| is_group(t, Delimiter::Bracket))
+            .unwrap_or(false)
+        {
+            tokens.next();
+        }
+    }
+}
+
+/// Advance past `pub`, `pub(crate)`, `pub(in ...)`.
+fn skip_visibility(tokens: &mut Tokens) {
+    if matches!(tokens.peek(), Some(TokenTree::Ident(ident)) if ident.to_string() == "pub") {
+        tokens.next();
+        if tokens
+            .peek()
+            .map(|t| is_group(t, Delimiter::Parenthesis))
+            .unwrap_or(false)
+        {
+            tokens.next();
+        }
+    }
+}
+
+/// Consume tokens until a comma at angle-bracket depth zero (the comma is
+/// consumed too) or the end of the stream.
+fn skip_until_comma(tokens: &mut Tokens) {
+    let mut angle_depth = 0i32;
+    let mut prev_dash = false;
+    for tree in tokens.by_ref() {
+        if let TokenTree::Punct(p) = &tree {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' if !prev_dash => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+            prev_dash = p.as_char() == '-';
+        } else {
+            prev_dash = false;
+        }
+    }
+}

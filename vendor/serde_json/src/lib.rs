@@ -1,0 +1,133 @@
+//! Vendored JSON front-end for the serde shim: `to_string` / `from_str` over
+//! the shim's [`serde::Value`] tree. Floats print via Rust's shortest-exact
+//! `{:?}` form, so `f32`/`f64` round-trip bit-exactly through text.
+
+mod parse;
+mod print;
+
+use serde::{Deserialize, Serialize, Value};
+
+/// JSON error (serialization or parsing), message-only like the serde shim.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl core::fmt::Display for Error {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(err: serde::Error) -> Self {
+        Self::new(err.to_string())
+    }
+}
+
+/// Serialize a value to compact JSON text.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(print::value_to_json(&value.serialize()))
+}
+
+/// Parse JSON text into any [`Deserialize`] type.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let value = parse::json_to_value(text)?;
+    Ok(T::deserialize(&value)?)
+}
+
+/// Parse JSON text into the generic [`Value`] tree.
+pub fn from_str_value(text: &str) -> Result<Value, Error> {
+    parse::json_to_value(text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string(&42u32).unwrap(), "42");
+        assert_eq!(to_string(&-7i64).unwrap(), "-7");
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert!(from_str::<bool>("true").unwrap());
+        assert_eq!(from_str::<u64>("18446744073709551615").unwrap(), u64::MAX);
+        assert_eq!(from_str::<f64>("2.0").unwrap(), 2.0);
+        assert_eq!(from_str::<f64>("3").unwrap(), 3.0);
+    }
+
+    #[test]
+    fn strings_escape_and_round_trip() {
+        let original = "line\nquote\"back\\slash\ttab\u{1}end";
+        let json = to_string(original).unwrap();
+        assert_eq!(from_str::<String>(&json).unwrap(), original);
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        assert_eq!(from_str::<String>(r#""Aé""#).unwrap(), "Aé");
+        assert_eq!(from_str::<String>(r#""😀""#).unwrap(), "😀");
+        assert_eq!(from_str::<String>(r#""\ud83d\ude00""#).unwrap(), "😀");
+    }
+
+    #[test]
+    fn invalid_surrogate_pairs_are_rejected() {
+        assert!(from_str::<String>(r#""\ud800""#).is_err());
+        assert!(from_str::<String>(r#""\ud800A""#).is_err());
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![1.25f64, -0.5, 1e300];
+        let json = to_string(&v).unwrap();
+        assert_eq!(from_str::<Vec<f64>>(&json).unwrap(), v);
+
+        let pair = (3u32, 9u32);
+        assert_eq!(
+            from_str::<(u32, u32)>(&to_string(&pair).unwrap()).unwrap(),
+            pair
+        );
+
+        let opt: Option<u8> = None;
+        assert_eq!(to_string(&opt).unwrap(), "null");
+        assert_eq!(from_str::<Option<u8>>("null").unwrap(), None);
+    }
+
+    #[test]
+    fn float_text_is_bit_exact() {
+        for &f in &[0.1f64, 1.0 / 3.0, f64::MIN_POSITIVE, 6.02214076e23] {
+            assert_eq!(from_str::<f64>(&to_string(&f).unwrap()).unwrap(), f);
+        }
+        for &f in &[0.1f32, 1.0f32 / 3.0, f32::MIN_POSITIVE] {
+            assert_eq!(from_str::<f32>(&to_string(&f).unwrap()).unwrap(), f);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(from_str::<bool>("tru").is_err());
+        assert!(from_str::<Vec<u8>>("[1, 2").is_err());
+        assert!(from_str::<u8>("256").is_err());
+        assert!(from_str::<String>("\"unterminated").is_err());
+        assert!(from_str::<bool>("true false").is_err());
+    }
+
+    #[test]
+    fn maps_preserve_order() {
+        let value = from_str_value(r#"{"b": 1, "a": {"nested": [1, 2.5, "x"]}}"#).unwrap();
+        let entries = value.as_map().unwrap();
+        assert_eq!(entries[0].0, "b");
+        assert_eq!(entries[1].0, "a");
+    }
+}
