@@ -51,6 +51,7 @@ fn bench_pipeline(c: &mut Criterion) {
                 0,
                 1,
             )
+            .expect("bench blocks are non-empty")
         })
     });
 

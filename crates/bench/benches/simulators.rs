@@ -38,6 +38,19 @@ fn bench_simulators(c: &mut Criterion) {
             uop.predict(&params, &blocks[index])
         })
     });
+    // Per-block loop vs the trait's parallel batched entry point over the
+    // same 32 blocks: quantifies what the batched evaluation paths gain.
+    c.bench_function("mca_predict_32blocks_loop", |b| {
+        b.iter(|| -> Vec<f64> {
+            blocks
+                .iter()
+                .map(|block| mca.predict(&params, block))
+                .collect()
+        })
+    });
+    c.bench_function("mca_predict_32blocks_batch", |b| {
+        b.iter(|| mca.predict_batch(&params, &blocks))
+    });
     c.bench_function("reference_machine_measure", |b| {
         let mut index = 0;
         b.iter(|| {

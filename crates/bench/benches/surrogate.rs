@@ -75,6 +75,7 @@ fn bench_surrogate(c: &mut Criterion) {
                 ..TrainConfig::default()
             };
             train_with_optimizer(&mut model, &data, &config, &mut adam)
+                .expect("bench training config is valid")
         })
     });
 }

@@ -8,7 +8,7 @@ use difftune_isa::{BasicBlock, OpcodeRegistry};
 use difftune_sim::Simulator;
 
 fn main() {
-    let scale = Scale::from_env();
+    let scale = Scale::from_env_or_exit();
     let uarch = Microarch::Haswell;
     let simulator = mca();
     let machine = Machine::with_measurement(

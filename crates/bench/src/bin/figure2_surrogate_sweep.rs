@@ -1,7 +1,7 @@
 //! Figure 2: timing predicted by the simulator and by a trained surrogate for
 //! the block `shrq $5, 16(%rsp)` while sweeping DispatchWidth from 1 to 10.
 
-use difftune::{generate_simulated_dataset, DiffTune, ParamSpec};
+use difftune::{build_surrogate, generate_simulated_dataset, ParamSpec};
 use difftune_bench::{mca, Scale};
 use difftune_cpu::{default_params, Microarch};
 use difftune_isa::BasicBlock;
@@ -10,7 +10,7 @@ use difftune_surrogate::train::train;
 use difftune_surrogate::{block_param_features, global_features, Vocab};
 
 fn main() {
-    let scale = Scale::from_env();
+    let scale = Scale::from_env_or_exit();
     let simulator = mca();
     let defaults = default_params(Microarch::Haswell);
     let block: BasicBlock = "shrq $5, 16(%rsp)".parse().expect("figure 2 block parses");
@@ -31,12 +31,12 @@ fn main() {
         },
         0,
         0,
-    );
-    let difftune = DiffTune::new(scale.difftune_config(0));
-    let mut surrogate = difftune.build_surrogate();
+    )
+    .expect("figure 2 uses a non-empty block set");
+    let mut surrogate = build_surrogate(&scale.difftune_config(0).surrogate);
     let mut config = scale.difftune_config(0).surrogate_train;
     config.epochs = 4;
-    train(&mut surrogate, &samples, &config);
+    train(&mut surrogate, &samples, &config).expect("figure 2 training config is valid");
 
     let vocab = Vocab::new();
     let tokenized = vocab.tokenize_block(&block);

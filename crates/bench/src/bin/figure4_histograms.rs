@@ -41,7 +41,7 @@ fn collect(params: &SimParams) -> (Vec<u32>, Vec<u32>, Vec<u32>, Vec<u32>) {
 }
 
 fn main() {
-    let scale = Scale::from_env();
+    let scale = Scale::from_env_or_exit();
     let uarch = Microarch::Haswell;
     let simulator = mca();
     let dataset = dataset_for(uarch, scale, 0);

@@ -5,7 +5,6 @@ use difftune::ParamSpec;
 use difftune_bench::{evaluate_params, mca, run_difftune, Scale};
 use difftune_bhive::{CorpusConfig, Dataset};
 use difftune_cpu::{default_params, Microarch};
-use difftune_sim::Simulator;
 
 fn main() {
     let uarch = Microarch::Haswell;
@@ -40,7 +39,7 @@ fn main() {
         Scale::Small,
         0,
     );
-    let (initial_error, _) = Dataset::evaluate(&test, |b| simulator.predict(&result.initial, b));
+    let (initial_error, _) = evaluate_params(&simulator, &result.initial, &test);
     let (learned_error, learned_tau) = evaluate_params(&simulator, &result.learned, &test);
     println!("initial : err {:6.1}%", initial_error * 100.0);
     println!(

@@ -4,7 +4,7 @@ use difftune_bench::{dataset_for, Scale};
 use difftune_cpu::Microarch;
 
 fn main() {
-    let scale = Scale::from_env();
+    let scale = Scale::from_env_or_exit();
     println!("Table III: dataset summary statistics (scale: {scale:?})\n");
 
     let haswell = dataset_for(Microarch::Haswell, scale, 0);

@@ -10,7 +10,7 @@ use difftune_bench::{
 use difftune_cpu::{default_params, Microarch};
 
 fn main() {
-    let scale = Scale::from_env();
+    let scale = Scale::from_env_or_exit();
     let simulator = mca();
     println!("Table IV: test error and Kendall's tau per predictor (scale: {scale:?})\n");
     println!(

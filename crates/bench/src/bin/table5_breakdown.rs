@@ -8,7 +8,7 @@ use difftune_cpu::{default_params, Microarch};
 use difftune_sim::Simulator;
 
 fn main() {
-    let scale = Scale::from_env();
+    let scale = Scale::from_env_or_exit();
     let simulator = mca();
     let uarch = Microarch::Haswell;
     let dataset = dataset_for(uarch, scale, 0);

@@ -9,7 +9,7 @@ use difftune_cpu::{default_params, Microarch};
 use difftune_sim::UopSimulator;
 
 fn main() {
-    let scale = Scale::from_env();
+    let scale = Scale::from_env_or_exit();
     let uarch = Microarch::Haswell;
     let simulator = UopSimulator::default();
     let dataset = dataset_for(uarch, scale, 0);

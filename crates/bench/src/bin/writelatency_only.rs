@@ -6,7 +6,7 @@ use difftune_bench::{dataset_for, evaluate_params, mca, pct, run_difftune, Scale
 use difftune_cpu::{default_params, Microarch};
 
 fn main() {
-    let scale = Scale::from_env();
+    let scale = Scale::from_env_or_exit();
     let uarch = Microarch::Haswell;
     let simulator = mca();
     let dataset = dataset_for(uarch, scale, 0);

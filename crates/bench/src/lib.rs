@@ -7,13 +7,32 @@
 //! the baseline runners (Ithemal, the IACA-style analytical model, and the
 //! OpenTuner-style black-box tuner with evaluation-budget parity).
 
-use difftune::{DiffTune, DiffTuneConfig, DiffTuneResult, ParamSpec, SurrogateKind};
+use difftune::{DiffTuneBuilder, DiffTuneConfig, DiffTuneResult, ParamSpec, SurrogateKind};
 use difftune_bhive::{CorpusConfig, Dataset, Record};
 use difftune_cpu::{default_params, AnalyticalModel, Microarch};
 use difftune_opentuner::{BanditTuner, SearchSpace, TunerConfig};
 use difftune_sim::{McaSimulator, ParamBounds, SimParams, Simulator};
 use difftune_surrogate::train::{train, TrainConfig, TrainSample};
 use difftune_surrogate::{IthemalConfig, IthemalModel, Vocab};
+
+/// An unrecognized `DIFFTUNE_SCALE` value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownScale {
+    /// The value the environment supplied.
+    pub given: String,
+}
+
+impl std::fmt::Display for UnknownScale {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown DIFFTUNE_SCALE {:?}: valid scales are \"smoke\", \"small\", and \"paper\"",
+            self.given
+        )
+    }
+}
+
+impl std::error::Error for UnknownScale {}
 
 /// The evaluation scale, selected by the `DIFFTUNE_SCALE` environment variable
 /// (`smoke`, `small` — the default, or `paper`).
@@ -28,17 +47,28 @@ pub enum Scale {
 }
 
 impl Scale {
-    /// Reads the scale from the environment.
-    pub fn from_env() -> Scale {
-        match std::env::var("DIFFTUNE_SCALE")
-            .unwrap_or_default()
-            .to_ascii_lowercase()
-            .as_str()
-        {
-            "smoke" => Scale::Smoke,
-            "paper" => Scale::Paper,
-            _ => Scale::Small,
+    /// Reads the scale from the environment. Unset or empty means
+    /// [`Scale::Small`]; anything else must name a valid scale — a typo such
+    /// as `DIFFTUNE_SCALE=papper` is reported instead of silently running at
+    /// the default scale.
+    pub fn from_env() -> Result<Scale, UnknownScale> {
+        let raw = std::env::var("DIFFTUNE_SCALE").unwrap_or_default();
+        match raw.to_ascii_lowercase().as_str() {
+            "" => Ok(Scale::Small),
+            "smoke" => Ok(Scale::Smoke),
+            "small" => Ok(Scale::Small),
+            "paper" => Ok(Scale::Paper),
+            _ => Err(UnknownScale { given: raw }),
         }
+    }
+
+    /// [`Scale::from_env`] for the table/figure binaries: prints the error and
+    /// exits with a nonzero status on an unrecognized value.
+    pub fn from_env_or_exit() -> Scale {
+        Scale::from_env().unwrap_or_else(|error| {
+            eprintln!("{error}");
+            std::process::exit(2);
+        })
     }
 
     /// Number of corpus blocks generated per microarchitecture.
@@ -126,7 +156,8 @@ pub fn dataset_for(uarch: Microarch, scale: Scale, seed: u64) -> Dataset {
     Dataset::build(uarch, &config)
 }
 
-/// `(block, timing)` pairs for a split, as consumed by [`DiffTune::run`].
+/// `(block, timing)` pairs for a split, as consumed by
+/// [`DiffTuneBuilder::build`].
 pub fn pairs(records: &[&Record]) -> Vec<(difftune_isa::BasicBlock, f64)> {
     records
         .iter()
@@ -135,16 +166,22 @@ pub fn pairs(records: &[&Record]) -> Vec<(difftune_isa::BasicBlock, f64)> {
 }
 
 /// Evaluates a parameter table under a simulator on a set of records,
-/// returning `(error, kendall_tau)`.
+/// returning `(error, kendall_tau)`. The predictions are computed in one
+/// [`Simulator::predict_batch`] call (parallel across cores) rather than a
+/// per-block loop.
 pub fn evaluate_params(
     simulator: &dyn Simulator,
     params: &SimParams,
     records: &[&Record],
 ) -> (f64, f64) {
-    Dataset::evaluate(records, |block| simulator.predict(params, block))
+    let blocks: Vec<difftune_isa::BasicBlock> = records.iter().map(|r| r.block.clone()).collect();
+    let predictions = simulator.predict_batch(params, &blocks);
+    Dataset::evaluate_predictions(records, &predictions)
 }
 
-/// Runs DiffTune for a microarchitecture at a scale.
+/// Runs DiffTune for a microarchitecture at a scale through the session API,
+/// printing stage transitions and losses to stderr so long runs show
+/// progress.
 pub fn run_difftune(
     simulator: &dyn Simulator,
     spec: &ParamSpec,
@@ -154,9 +191,36 @@ pub fn run_difftune(
     seed: u64,
 ) -> DiffTuneResult {
     let config = scale.difftune_config(seed);
-    let difftune = DiffTune::new(config);
     let train_pairs = pairs(&dataset.train());
-    difftune.run(simulator, spec, &default_params(uarch), &train_pairs)
+    let mut session = DiffTuneBuilder::new(config)
+        .build(simulator, spec, &default_params(uarch), &train_pairs)
+        .unwrap_or_else(|error| panic!("DiffTune session rejected its input: {error}"));
+    session.add_observer(Box::new(|event: &difftune::ProgressEvent| {
+        use difftune::ProgressEvent;
+        match event {
+            ProgressEvent::StageStarted { stage } => eprintln!("[difftune] stage {stage:?}"),
+            ProgressEvent::SurrogateEpoch {
+                epoch,
+                epochs,
+                mean_loss,
+            } => eprintln!(
+                "[difftune] surrogate epoch {}/{epochs}: loss {mean_loss:.4}",
+                epoch + 1
+            ),
+            ProgressEvent::TableEpoch {
+                epoch,
+                epochs,
+                mean_loss,
+            } => eprintln!(
+                "[difftune] table epoch {}/{epochs}: loss {mean_loss:.4}",
+                epoch + 1
+            ),
+            _ => {}
+        }
+    }));
+    session
+        .run_to_completion()
+        .unwrap_or_else(|error| panic!("DiffTune run failed: {error}"))
 }
 
 /// Trains the Ithemal baseline (the surrogate architecture without parameter
@@ -213,7 +277,7 @@ pub fn ithemal_baseline(dataset: &Dataset, scale: Scale, seed: u64) -> (f64, f64
         batch_size: if scale == Scale::Paper { 256 } else { 32 },
         ..TrainConfig::default()
     };
-    train(&mut model, &train_samples, &train_config);
+    train(&mut model, &train_samples, &train_config).expect("baseline hyperparameters are valid");
 
     let test = dataset.test();
     Dataset::evaluate(&test, |block| {
@@ -268,12 +332,13 @@ pub fn opentuner_baseline(
         },
     );
     let bounds = ParamBounds::default();
+    let subsample_blocks: Vec<difftune_isa::BasicBlock> =
+        subsample.iter().map(|r| r.block.clone()).collect();
     let result = tuner.optimize(
         |flat| {
             let params = SimParams::from_flat(flat, &bounds);
-            let (error, _) =
-                Dataset::evaluate(&subsample, |block| simulator.predict(&params, block));
-            error
+            let predictions = simulator.predict_batch(&params, &subsample_blocks);
+            Dataset::evaluate_predictions(&subsample, &predictions).0
         },
         evaluations,
     );
@@ -305,8 +370,21 @@ mod tests {
     use super::*;
 
     #[test]
-    fn scale_parsing_defaults_to_small() {
-        assert_eq!(Scale::from_env(), Scale::Small);
+    fn scale_parsing_accepts_valid_scales_and_rejects_typos() {
+        // One test touches the env var sequentially, so parallel tests never
+        // observe a transient value.
+        assert_eq!(Scale::from_env(), Ok(Scale::Small), "unset means small");
+        std::env::set_var("DIFFTUNE_SCALE", "SMOKE");
+        assert_eq!(Scale::from_env(), Ok(Scale::Smoke), "case-insensitive");
+        std::env::set_var("DIFFTUNE_SCALE", "papper");
+        let error = Scale::from_env().unwrap_err();
+        assert_eq!(error.given, "papper");
+        let message = error.to_string();
+        for valid in ["smoke", "small", "paper"] {
+            assert!(message.contains(valid), "{message:?} must list {valid:?}");
+        }
+        std::env::remove_var("DIFFTUNE_SCALE");
+
         assert!(Scale::Smoke.corpus_blocks() < Scale::Small.corpus_blocks());
         assert!(Scale::Small.corpus_blocks() < Scale::Paper.corpus_blocks());
     }

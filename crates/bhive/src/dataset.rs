@@ -207,10 +207,30 @@ impl Dataset {
         F: FnMut(&'a BasicBlock) -> f64,
     {
         let predictions: Vec<f64> = records.iter().map(|r| predict(&r.block)).collect();
+        Self::evaluate_predictions(records, &predictions)
+    }
+
+    /// Evaluates already-computed predictions (one per record, in order)
+    /// against the records' measured timings, returning `(error, kendall_tau)`.
+    ///
+    /// This is the batched counterpart of [`Dataset::evaluate`]: callers that
+    /// score a fixed parameter table produce all predictions in one
+    /// `Simulator::predict_batch` call and hand them here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `predictions.len() != records.len()` (a caller bug, not a
+    /// data condition).
+    pub fn evaluate_predictions(records: &[&Record], predictions: &[f64]) -> (f64, f64) {
+        assert_eq!(
+            predictions.len(),
+            records.len(),
+            "one prediction per record"
+        );
         let actuals: Vec<f64> = records.iter().map(|r| r.timing).collect();
         (
-            mape(&predictions, &actuals),
-            kendall_tau(&predictions, &actuals),
+            mape(predictions, &actuals),
+            kendall_tau(predictions, &actuals),
         )
     }
 

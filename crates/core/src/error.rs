@@ -1,0 +1,75 @@
+//! Typed errors for the DiffTune driver.
+
+use difftune_surrogate::train::TrainError;
+
+use crate::observer::Stage;
+
+/// Everything that can go wrong while configuring, running, or resuming a
+/// DiffTune session.
+///
+/// The driver used to `assert!` on malformed input; the session API reports
+/// every such condition as a value instead, so no panic is reachable from the
+/// public [`Session`](crate::Session) surface on bad input.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DiffTuneError {
+    /// The training set was empty, or every block in it was empty.
+    EmptyTrainSet,
+    /// A configuration field had an unusable value.
+    InvalidConfig {
+        /// The offending field (e.g. `"simulated_multiplier"`).
+        field: &'static str,
+        /// Why the value was rejected.
+        message: String,
+    },
+    /// A stage method was called out of order (e.g.
+    /// [`fit_surrogate`](crate::Session::fit_surrogate) before
+    /// [`generate_dataset`](crate::Session::generate_dataset)).
+    StageOrder {
+        /// The stage the session is currently in.
+        current: Stage,
+        /// The stage the caller tried to run.
+        requested: Stage,
+    },
+    /// A checkpoint did not match the session it was resumed into, or could
+    /// not be decoded.
+    Checkpoint {
+        /// What was inconsistent.
+        message: String,
+    },
+    /// Surrogate training rejected its hyperparameters.
+    Surrogate(TrainError),
+}
+
+impl std::fmt::Display for DiffTuneError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DiffTuneError::EmptyTrainSet => {
+                write!(f, "DiffTune needs at least one non-empty training block")
+            }
+            DiffTuneError::InvalidConfig { field, message } => {
+                write!(f, "invalid configuration: {field}: {message}")
+            }
+            DiffTuneError::StageOrder { current, requested } => write!(
+                f,
+                "cannot run stage {requested:?} while the session is in stage {current:?}"
+            ),
+            DiffTuneError::Checkpoint { message } => write!(f, "bad checkpoint: {message}"),
+            DiffTuneError::Surrogate(inner) => write!(f, "surrogate training: {inner}"),
+        }
+    }
+}
+
+impl std::error::Error for DiffTuneError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DiffTuneError::Surrogate(inner) => Some(inner),
+            _ => None,
+        }
+    }
+}
+
+impl From<TrainError> for DiffTuneError {
+    fn from(inner: TrainError) -> Self {
+        DiffTuneError::Surrogate(inner)
+    }
+}

@@ -1,0 +1,172 @@
+//! Run observation: stages and streamed progress events.
+
+use serde::{Deserialize, Serialize};
+
+/// The stages of the DiffTune pipeline (Figure 1), in execution order.
+///
+/// A [`Session`](crate::Session) is always *in* exactly one stage: the next
+/// one it will run. `Finished` means every stage has completed and only
+/// [`finish`](crate::Session::finish) remains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Stage {
+    /// Step 2: build the simulated dataset `D̂ = {(θ, x, f(θ, x))}`.
+    GenerateDataset,
+    /// Step 3: train the surrogate to mimic the simulator (Equation 2).
+    FitSurrogate,
+    /// Step 4: optimize the parameter table through the frozen surrogate
+    /// (Equation 3).
+    OptimizeTable,
+    /// All stages have run; the result can be extracted.
+    Finished,
+}
+
+impl Stage {
+    /// The stage that runs after this one (`Finished` is terminal).
+    pub fn next(self) -> Stage {
+        match self {
+            Stage::GenerateDataset => Stage::FitSurrogate,
+            Stage::FitSurrogate => Stage::OptimizeTable,
+            Stage::OptimizeTable | Stage::Finished => Stage::Finished,
+        }
+    }
+}
+
+/// A progress event streamed from a running [`Session`](crate::Session).
+///
+/// Long runs emit these continuously so callers can log, plot, or abort
+/// instead of waiting blind for the final result.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProgressEvent {
+    /// A pipeline stage is about to run.
+    StageStarted {
+        /// The stage that is starting.
+        stage: Stage,
+    },
+    /// A pipeline stage completed.
+    StageFinished {
+        /// The stage that finished.
+        stage: Stage,
+    },
+    /// Simulated-dataset generation progress.
+    DatasetProgress {
+        /// Samples generated so far.
+        generated: usize,
+        /// Total samples this run will generate.
+        total: usize,
+    },
+    /// One surrogate-training epoch finished (Equation 2).
+    SurrogateEpoch {
+        /// Zero-based epoch index.
+        epoch: usize,
+        /// Total surrogate epochs.
+        epochs: usize,
+        /// Mean per-sample training loss (MAPE) over the epoch.
+        mean_loss: f64,
+    },
+    /// One parameter-table batch was applied (Equation 3).
+    TableBatch {
+        /// Zero-based epoch index.
+        epoch: usize,
+        /// Zero-based batch index within the epoch.
+        batch: usize,
+        /// Total batches per epoch.
+        batches: usize,
+        /// Mean per-sample loss over the batch.
+        mean_loss: f64,
+    },
+    /// One parameter-table epoch finished (Equation 3).
+    TableEpoch {
+        /// Zero-based epoch index.
+        epoch: usize,
+        /// Total table epochs.
+        epochs: usize,
+        /// Mean per-sample loss over the epoch.
+        mean_loss: f64,
+    },
+}
+
+/// Receives [`ProgressEvent`]s from a running session.
+///
+/// Every closure `FnMut(&ProgressEvent)` is an observer, so the common case
+/// is `session.add_observer(Box::new(|event| println!("{event:?}")))`.
+pub trait RunObserver {
+    /// Called synchronously for each event, in order.
+    fn on_event(&mut self, event: &ProgressEvent);
+}
+
+impl<F: FnMut(&ProgressEvent)> RunObserver for F {
+    fn on_event(&mut self, event: &ProgressEvent) {
+        self(event)
+    }
+}
+
+/// An observer that records every event it sees (useful in tests and for
+/// post-run inspection).
+#[derive(Debug, Default)]
+pub struct RecordingObserver {
+    /// The events received so far, in order.
+    pub events: Vec<ProgressEvent>,
+}
+
+impl RunObserver for RecordingObserver {
+    fn on_event(&mut self, event: &ProgressEvent) {
+        self.events.push(event.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_order_is_the_pipeline_order() {
+        assert_eq!(Stage::GenerateDataset.next(), Stage::FitSurrogate);
+        assert_eq!(Stage::FitSurrogate.next(), Stage::OptimizeTable);
+        assert_eq!(Stage::OptimizeTable.next(), Stage::Finished);
+        assert_eq!(Stage::Finished.next(), Stage::Finished);
+    }
+
+    #[test]
+    fn stages_round_trip_through_json() {
+        for stage in [
+            Stage::GenerateDataset,
+            Stage::FitSurrogate,
+            Stage::OptimizeTable,
+            Stage::Finished,
+        ] {
+            let json = serde_json::to_string(&stage).unwrap();
+            assert_eq!(serde_json::from_str::<Stage>(&json).unwrap(), stage);
+        }
+    }
+
+    #[test]
+    fn closures_are_observers() {
+        let mut count = 0usize;
+        {
+            let mut observer = |_: &ProgressEvent| count += 1;
+            observer.on_event(&ProgressEvent::StageStarted {
+                stage: Stage::GenerateDataset,
+            });
+        }
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn recording_observer_keeps_events_in_order() {
+        let mut observer = RecordingObserver::default();
+        observer.on_event(&ProgressEvent::StageStarted {
+            stage: Stage::GenerateDataset,
+        });
+        observer.on_event(&ProgressEvent::DatasetProgress {
+            generated: 10,
+            total: 20,
+        });
+        assert_eq!(observer.events.len(), 2);
+        assert_eq!(
+            observer.events[0],
+            ProgressEvent::StageStarted {
+                stage: Stage::GenerateDataset
+            }
+        );
+    }
+}

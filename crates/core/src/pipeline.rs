@@ -1,22 +1,20 @@
-//! The end-to-end DiffTune driver (Figure 1).
+//! Run configuration and the legacy one-shot driver.
+//!
+//! The staged, resumable way to run DiffTune is the session API in
+//! [`crate::session`] ([`DiffTuneBuilder`] → [`Session`]); this module keeps
+//! the configuration types and a thin deprecated [`DiffTune::run`] wrapper
+//! for code written against the original blocking entry point.
 
-use difftune_isa::{BasicBlock, OpcodeId};
+use difftune_isa::BasicBlock;
 use difftune_sim::{SimParams, Simulator};
-use difftune_surrogate::train::{train, TrainConfig, TrainReport};
+use difftune_surrogate::train::TrainConfig;
 use difftune_surrogate::{
-    FeatureMlpConfig, FeatureMlpModel, IthemalConfig, IthemalModel, SurrogateModel, TokenizedBlock,
-    Vocab,
+    FeatureMlpConfig, FeatureMlpModel, IthemalConfig, IthemalModel, SurrogateModel,
 };
-use difftune_tensor::optim::{Adam, Optimizer};
-use difftune_tensor::{Grads, Graph, Tensor};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
 
-use crate::sampling::sample_table;
-use crate::simdata::generate_simulated_dataset;
+use crate::error::DiffTuneError;
+use crate::session::{DiffTuneBuilder, DiffTuneResult, Session};
 use crate::spec::ParamSpec;
-use crate::theta::ThetaTable;
 
 /// Which surrogate family to use.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -25,6 +23,14 @@ pub enum SurrogateKind {
     Lstm(IthemalConfig),
     /// The fast feature-MLP surrogate (used for ablations and quick runs).
     Mlp(FeatureMlpConfig),
+}
+
+/// Builds (but does not train) a surrogate of the given kind.
+pub fn build_surrogate(kind: &SurrogateKind) -> Box<dyn SurrogateModel> {
+    match *kind {
+        SurrogateKind::Lstm(config) => Box::new(IthemalModel::new(config)),
+        SurrogateKind::Mlp(config) => Box::new(FeatureMlpModel::new(config)),
+    }
 }
 
 /// Configuration of a DiffTune run.
@@ -79,24 +85,59 @@ impl Default for DiffTuneConfig {
     }
 }
 
-/// The outcome of a DiffTune run.
-#[derive(Debug)]
-pub struct DiffTuneResult {
-    /// The learned parameter table, ready to plug back into the simulator.
-    pub learned: SimParams,
-    /// The randomly initialized table the optimization started from.
-    pub initial: SimParams,
-    /// Surrogate training statistics (Equation 2).
-    pub surrogate_report: TrainReport,
-    /// Mean parameter-table training loss per epoch (Equation 3).
-    pub table_losses: Vec<f64>,
-    /// The trained surrogate (useful for analyses such as Figure 2).
-    pub surrogate: Box<dyn SurrogateModel>,
-    /// Number of learned scalar parameters.
-    pub num_learned_parameters: usize,
+impl DiffTuneConfig {
+    /// Checks every field, returning the first problem found.
+    pub fn validate(&self) -> Result<(), DiffTuneError> {
+        if !self.simulated_multiplier.is_finite() || self.simulated_multiplier <= 0.0 {
+            return Err(DiffTuneError::InvalidConfig {
+                field: "simulated_multiplier",
+                message: format!(
+                    "must be finite and positive, got {}",
+                    self.simulated_multiplier
+                ),
+            });
+        }
+        if self.max_simulated == 0 {
+            return Err(DiffTuneError::InvalidConfig {
+                field: "max_simulated",
+                message: "must be at least 1".to_string(),
+            });
+        }
+        if self.table_batch_size == 0 {
+            return Err(DiffTuneError::InvalidConfig {
+                field: "table_batch_size",
+                message: "must be at least 1".to_string(),
+            });
+        }
+        if !self.table_learning_rate.is_finite() || self.table_learning_rate <= 0.0 {
+            return Err(DiffTuneError::InvalidConfig {
+                field: "table_learning_rate",
+                message: format!(
+                    "must be finite and positive, got {}",
+                    self.table_learning_rate
+                ),
+            });
+        }
+        if self.threads > difftune_surrogate::train::MAX_THREADS {
+            return Err(DiffTuneError::InvalidConfig {
+                field: "threads",
+                message: format!(
+                    "must be 0 (all cores) or at most {}, got {}",
+                    difftune_surrogate::train::MAX_THREADS,
+                    self.threads
+                ),
+            });
+        }
+        self.surrogate_train.validate()?;
+        Ok(())
+    }
 }
 
-/// The DiffTune optimization driver.
+/// The legacy one-shot DiffTune driver.
+///
+/// Prefer [`DiffTuneBuilder`]: it validates input into a staged [`Session`]
+/// that can be observed, checkpointed, and resumed, and reports malformed
+/// input as [`DiffTuneError`] values instead of panicking.
 #[derive(Debug, Clone)]
 pub struct DiffTune {
     config: DiffTuneConfig,
@@ -115,14 +156,21 @@ impl DiffTune {
 
     /// Builds (but does not train) the configured surrogate.
     pub fn build_surrogate(&self) -> Box<dyn SurrogateModel> {
-        match self.config.surrogate {
-            SurrogateKind::Lstm(config) => Box::new(IthemalModel::new(config)),
-            SurrogateKind::Mlp(config) => Box::new(FeatureMlpModel::new(config)),
-        }
+        build_surrogate(&self.config.surrogate)
     }
 
     /// Runs the full DiffTune pipeline against a simulator and a ground-truth
     /// training set of `(block, measured timing)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid configuration or an empty training set — the
+    /// behavior this entry point always had. The session API reports those
+    /// as [`DiffTuneError`] values instead.
+    #[deprecated(
+        note = "use DiffTuneBuilder::new(config).build(..)? and the staged Session API \
+                (generate_dataset / fit_surrogate / optimize_table / finish)"
+    )]
     pub fn run(
         &self,
         simulator: &dyn Simulator,
@@ -130,173 +178,17 @@ impl DiffTune {
         defaults: &SimParams,
         train_set: &[(BasicBlock, f64)],
     ) -> DiffTuneResult {
-        assert!(
-            !train_set.is_empty(),
-            "DiffTune needs a non-empty training set"
-        );
-        let blocks: Vec<BasicBlock> = train_set
-            .iter()
-            .filter(|(b, _)| !b.is_empty())
-            .map(|(b, _)| b.clone())
-            .collect();
-
-        // Step 2 (Figure 1): simulated dataset.
-        let simulated_size = ((blocks.len() as f64 * self.config.simulated_multiplier) as usize)
-            .clamp(1, self.config.max_simulated);
-        let simulated = generate_simulated_dataset(
-            simulator,
-            spec,
-            defaults,
-            &blocks,
-            simulated_size,
-            self.config.seed,
-            self.config.threads,
-        );
-
-        // Step 3: train the surrogate to mimic the simulator.
-        let mut surrogate = self.build_surrogate();
-        let surrogate_report = train(&mut surrogate, &simulated, &self.config.surrogate_train);
-
-        // Step 4: train the parameter table through the frozen surrogate.
-        let (theta, table_losses, initial) =
-            self.train_table(&*surrogate, spec, defaults, train_set);
-
-        DiffTuneResult {
-            learned: theta.to_sim_params(),
-            initial,
-            surrogate_report,
-            table_losses,
-            surrogate,
-            num_learned_parameters: spec.num_learned(defaults.num_opcodes()),
-        }
-    }
-
-    /// Equation 3: gradient descent on θ through the frozen surrogate.
-    fn train_table(
-        &self,
-        surrogate: &dyn SurrogateModel,
-        spec: &ParamSpec,
-        defaults: &SimParams,
-        train_set: &[(BasicBlock, f64)],
-    ) -> (ThetaTable, Vec<f64>, SimParams) {
-        let mut rng = StdRng::seed_from_u64(self.config.seed.wrapping_add(1));
-        let default_theta = ThetaTable::from_table(defaults);
-
-        // Initialize the table to a random sample from the sampling
-        // distribution (Section IV), keeping unlearned entries at the defaults.
-        let initial_table = sample_table(&mut rng, spec, defaults);
-        let mut theta = ThetaTable::from_table(&initial_table);
-        theta.freeze_unlearned(spec, &default_theta);
-        let initial = theta.to_sim_params();
-
-        // The optimization store: frozen surrogate weights plus θ. Only θ ever
-        // receives optimizer updates.
-        let mut store = surrogate.params().clone();
-        let theta_id = store.add("difftune.theta", theta.tensor());
-        let mut optimizer = Adam::new(self.config.table_learning_rate);
-
-        let vocab = Vocab::new();
-        let samples: Vec<(TokenizedBlock, Vec<OpcodeId>, f64)> = train_set
-            .iter()
-            .filter(|(block, _)| !block.is_empty())
-            .map(|(block, timing)| {
-                let tokenized = vocab.tokenize_block(block);
-                let opcodes = tokenized.insts.iter().map(|inst| inst.opcode).collect();
-                (tokenized, opcodes, *timing)
-            })
-            .collect();
-
-        let threads = if self.config.threads == 0 {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        } else {
-            self.config.threads
-        };
-
-        let mut order: Vec<usize> = (0..samples.len()).collect();
-        let mut losses = Vec::with_capacity(self.config.table_epochs);
-        for _ in 0..self.config.table_epochs {
-            order.shuffle(&mut rng);
-            let mut epoch_loss = 0.0;
-            for batch in order.chunks(self.config.table_batch_size) {
-                let seed = 1.0 / batch.len() as f32;
-                let batch_refs: Vec<&(TokenizedBlock, Vec<OpcodeId>, f64)> =
-                    batch.iter().map(|&i| &samples[i]).collect();
-
-                let grad_of = |shard: &[&(TokenizedBlock, Vec<OpcodeId>, f64)]| -> (f64, Grads) {
-                    let mut grads = Grads::new(&store);
-                    let mut loss_total = 0.0;
-                    for (block, opcodes, timing) in shard.iter().copied() {
-                        let mut graph = Graph::new(&store);
-                        let theta_var = graph.param(theta_id);
-                        let (features, global) =
-                            ThetaTable::feature_vars(&mut graph, theta_var, opcodes);
-                        let prediction =
-                            surrogate.forward(&mut graph, block, Some(&features), Some(global));
-                        let target = timing.max(1e-3) as f32;
-                        let target_var = graph.input(Tensor::scalar(target));
-                        let diff = graph.sub(prediction, target_var);
-                        let abs = graph.abs(diff);
-                        let loss = graph.scale(abs, 1.0 / target);
-                        loss_total += f64::from(graph.value(loss)[0]);
-                        graph.backward_scaled(loss, &mut grads, seed);
-                    }
-                    (loss_total, grads)
-                };
-
-                let (batch_loss, grads) = if threads <= 1 || batch_refs.len() < 8 {
-                    grad_of(&batch_refs)
-                } else {
-                    let chunk = batch_refs.len().div_ceil(threads);
-                    let results: Vec<(f64, Grads)> = std::thread::scope(|scope| {
-                        let handles: Vec<_> = batch_refs
-                            .chunks(chunk)
-                            .map(|shard| scope.spawn(move || grad_of(shard)))
-                            .collect();
-                        handles
-                            .into_iter()
-                            .map(|h| h.join().expect("table-training worker panicked"))
-                            .collect()
-                    });
-                    let mut total = 0.0;
-                    let mut merged = Grads::new(&store);
-                    for (loss, local) in results {
-                        total += loss;
-                        merged.merge(&local);
-                    }
-                    (total, merged)
-                };
-
-                // Keep the surrogate frozen: only θ's gradient reaches the optimizer.
-                let mut theta_grads = Grads::new(&store);
-                if let Some(grad) = grads.get(theta_id) {
-                    theta_grads.accumulate(theta_id, grad, 1.0);
-                }
-                optimizer.step(&mut store, &theta_grads);
-
-                // Restore any frozen entries to their default values and keep
-                // the learned entries inside the surrogate's training region.
-                let mut updated = ThetaTable::from_tensor(store.get(theta_id));
-                if self.config.clamp_to_sampling {
-                    updated.clamp_to_sampling(spec);
-                }
-                updated.freeze_unlearned(spec, &default_theta);
-                *store.get_mut(theta_id) = updated.tensor();
-
-                epoch_loss += batch_loss;
-            }
-            losses.push(epoch_loss / samples.len().max(1) as f64);
-        }
-
-        let final_theta = ThetaTable::from_tensor(store.get(theta_id));
-        (final_theta, losses, initial)
+        DiffTuneBuilder::new(self.config.clone())
+            .build(simulator, spec, defaults, train_set)
+            .and_then(Session::run_to_completion)
+            .unwrap_or_else(|error| panic!("DiffTune::run failed: {error}"))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::session::DiffTuneBuilder;
     use difftune_sim::{McaSimulator, Simulator};
 
     fn tiny_train_set(simulator: &McaSimulator, truth: &SimParams) -> Vec<(BasicBlock, f64)> {
@@ -357,8 +249,11 @@ mod tests {
         let train_set = tiny_train_set(&simulator, &truth);
         let defaults = SimParams::uniform_default();
 
-        let difftune = DiffTune::new(fast_config());
-        let result = difftune.run(&simulator, &ParamSpec::llvm_mca(), &defaults, &train_set);
+        let result = DiffTuneBuilder::new(fast_config())
+            .build(&simulator, &ParamSpec::llvm_mca(), &defaults, &train_set)
+            .unwrap()
+            .run_to_completion()
+            .unwrap();
 
         assert_eq!(result.learned.num_opcodes(), defaults.num_opcodes());
         assert!(result.learned.dispatch_width >= 1);
@@ -375,6 +270,31 @@ mod tests {
             result.num_learned_parameters,
             ParamSpec::llvm_mca().num_learned(defaults.num_opcodes())
         );
+        assert_eq!(result.skipped_blocks, 0);
+    }
+
+    #[test]
+    fn deprecated_run_wrapper_matches_the_session() {
+        let simulator = McaSimulator::new(16);
+        let truth = SimParams::uniform_default();
+        let train_set = tiny_train_set(&simulator, &truth);
+        let defaults = SimParams::uniform_default();
+
+        #[allow(deprecated)]
+        let legacy = DiffTune::new(fast_config()).run(
+            &simulator,
+            &ParamSpec::llvm_mca(),
+            &defaults,
+            &train_set,
+        );
+        let session = DiffTuneBuilder::new(fast_config())
+            .build(&simulator, &ParamSpec::llvm_mca(), &defaults, &train_set)
+            .unwrap()
+            .run_to_completion()
+            .unwrap();
+        assert_eq!(legacy.learned, session.learned);
+        assert_eq!(legacy.initial, session.initial);
+        assert_eq!(legacy.table_losses, session.table_losses);
     }
 
     #[test]
@@ -387,13 +307,16 @@ mod tests {
         let mut config = fast_config();
         config.table_epochs = 60;
         config.table_learning_rate = 0.3;
-        let difftune = DiffTune::new(config);
-        let result = difftune.run(
-            &simulator,
-            &ParamSpec::write_latency_only(),
-            &defaults,
-            &train_set,
-        );
+        let result = DiffTuneBuilder::new(config)
+            .build(
+                &simulator,
+                &ParamSpec::write_latency_only(),
+                &defaults,
+                &train_set,
+            )
+            .unwrap()
+            .run_to_completion()
+            .unwrap();
 
         assert_eq!(result.learned.dispatch_width, defaults.dispatch_width);
         assert_eq!(
@@ -415,5 +338,40 @@ mod tests {
             .filter(|(l, i)| l.write_latency != i.write_latency)
             .count();
         assert!(changed > 0, "training must move at least one write latency");
+    }
+
+    #[test]
+    fn config_validation_rejects_bad_fields() {
+        let config = DiffTuneConfig {
+            simulated_multiplier: 0.0,
+            ..DiffTuneConfig::default()
+        };
+        assert!(matches!(
+            config.validate(),
+            Err(DiffTuneError::InvalidConfig {
+                field: "simulated_multiplier",
+                ..
+            })
+        ));
+
+        let config = DiffTuneConfig {
+            table_batch_size: 0,
+            ..DiffTuneConfig::default()
+        };
+        assert!(config.validate().is_err());
+
+        let config = DiffTuneConfig {
+            surrogate_train: TrainConfig {
+                batch_size: 0,
+                ..TrainConfig::default()
+            },
+            ..DiffTuneConfig::default()
+        };
+        assert!(matches!(
+            config.validate(),
+            Err(DiffTuneError::Surrogate(_))
+        ));
+
+        assert!(DiffTuneConfig::default().validate().is_ok());
     }
 }

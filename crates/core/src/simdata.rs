@@ -8,17 +8,26 @@ use difftune_sim::{SimParams, Simulator};
 use difftune_surrogate::train::TrainSample;
 use difftune_surrogate::{block_param_features, global_features, Vocab};
 
+use crate::error::DiffTuneError;
 use crate::sampling::sample_table;
 use crate::spec::ParamSpec;
 
 /// Generates the simulated dataset `D̂ = {(θ, x, f(θ, x))}` used to train the
 /// surrogate (Equation 2).
 ///
-/// For each of `size` samples, a block is drawn from `blocks` (cycling through
-/// a shuffled order, so a multiple of the training-set size corresponds to the
-/// paper's "10× the training set" construction), a parameter table is sampled
-/// from the spec's distributions, the simulator is run, and the triple is
-/// encoded as a [`TrainSample`]. Generation is parallelized across threads.
+/// For each of `size` samples, a block is drawn uniformly from `blocks` (so a
+/// multiple of the training-set size corresponds to the paper's "10× the
+/// training set" construction), a parameter table is sampled from the spec's
+/// distributions, the simulator is run, and the triple is encoded as a
+/// [`TrainSample`]. Generation is parallelized across threads. Because every
+/// sample draws its own parameter table (the paper's i.i.d. `(θ, x)`
+/// construction), there is no shared-table batch to hand to
+/// [`Simulator::predict_batch`]; parallelism comes from partitioning the
+/// sample range instead.
+///
+/// # Errors
+///
+/// [`DiffTuneError::EmptyTrainSet`] when `blocks` is empty.
 pub fn generate_simulated_dataset(
     simulator: &dyn Simulator,
     spec: &ParamSpec,
@@ -27,11 +36,44 @@ pub fn generate_simulated_dataset(
     size: usize,
     seed: u64,
     threads: usize,
-) -> Vec<TrainSample> {
-    assert!(
-        !blocks.is_empty(),
-        "need at least one block to build a simulated dataset"
-    );
+) -> Result<Vec<TrainSample>, DiffTuneError> {
+    generate_simulated_dataset_observed(
+        simulator,
+        spec,
+        defaults,
+        blocks,
+        size,
+        seed,
+        threads,
+        &mut |_, _| {},
+    )
+}
+
+/// [`generate_simulated_dataset`] with a progress callback: `progress` is
+/// called with `(generated_so_far, total)` as chunks of samples land, so long
+/// generations can stream telemetry (the session driver forwards these as
+/// [`ProgressEvent::DatasetProgress`](crate::ProgressEvent::DatasetProgress)).
+///
+/// The generated dataset is identical to [`generate_simulated_dataset`]'s for
+/// the same `(seed, threads)` — observation never changes the sample stream.
+///
+/// # Errors
+///
+/// [`DiffTuneError::EmptyTrainSet`] when `blocks` is empty.
+#[allow(clippy::too_many_arguments)] // mirrors generate_simulated_dataset plus the callback
+pub fn generate_simulated_dataset_observed(
+    simulator: &dyn Simulator,
+    spec: &ParamSpec,
+    defaults: &SimParams,
+    blocks: &[BasicBlock],
+    size: usize,
+    seed: u64,
+    threads: usize,
+    progress: &mut dyn FnMut(usize, usize),
+) -> Result<Vec<TrainSample>, DiffTuneError> {
+    if blocks.is_empty() {
+        return Err(DiffTuneError::EmptyTrainSet);
+    }
     let vocab = Vocab::new();
     let tokenized: Vec<_> = blocks.iter().map(|b| vocab.tokenize_block(b)).collect();
 
@@ -43,13 +85,14 @@ pub fn generate_simulated_dataset(
         threads
     };
 
-    let generate_range = |range: std::ops::Range<usize>| -> Vec<TrainSample> {
-        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(range.start as u64));
-        let mut out = Vec::with_capacity(range.len());
-        for index in range {
+    // Generates `count` samples continuing an already-seeded rng, so a range
+    // can be produced in progress-reporting chunks without changing the
+    // sample stream.
+    let generate_into = |rng: &mut StdRng, count: usize, out: &mut Vec<TrainSample>| {
+        for _ in 0..count {
             // Draw a block (uniformly at random) and a parameter table.
             let block_index = rng.gen_range(0..blocks.len());
-            let table = sample_table(&mut rng, spec, defaults);
+            let table = sample_table(rng, spec, defaults);
             let target = simulator.predict(&table, &blocks[block_index]);
             let block = tokenized[block_index].clone();
             let per_inst_features = Some(block_param_features(&table, &block));
@@ -60,14 +103,24 @@ pub fn generate_simulated_dataset(
                 global_features: global,
                 target,
             });
-            let _ = index;
         }
-        out
     };
 
-    if threads <= 1 || size < 64 {
-        generate_range(0..size)
+    let samples = if threads <= 1 || size < 64 {
+        // Serial path: one rng stream over the whole range, reporting between
+        // fixed-size chunks.
+        const PROGRESS_CHUNK: usize = 256;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = Vec::with_capacity(size);
+        while out.len() < size {
+            let count = PROGRESS_CHUNK.min(size - out.len());
+            generate_into(&mut rng, count, &mut out);
+            progress(out.len(), size);
+        }
+        out
     } else {
+        // Parallel path: partition the sample range across threads, each range
+        // seeded by its start index; report as ranges complete.
         let chunk = size.div_ceil(threads);
         let ranges: Vec<std::ops::Range<usize>> = (0..threads)
             .map(|t| (t * chunk).min(size)..((t + 1) * chunk).min(size))
@@ -75,14 +128,24 @@ pub fn generate_simulated_dataset(
         std::thread::scope(|scope| {
             let handles: Vec<_> = ranges
                 .into_iter()
-                .map(|range| scope.spawn(move || generate_range(range)))
+                .map(|range| {
+                    scope.spawn(move || -> Vec<TrainSample> {
+                        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(range.start as u64));
+                        let mut out = Vec::with_capacity(range.len());
+                        generate_into(&mut rng, range.len(), &mut out);
+                        out
+                    })
+                })
                 .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("dataset worker panicked"))
-                .collect()
+            let mut out = Vec::with_capacity(size);
+            for handle in handles {
+                out.extend(handle.join().expect("dataset worker panicked"));
+                progress(out.len(), size);
+            }
+            out
         })
-    }
+    };
+    Ok(samples)
 }
 
 #[cfg(test)]
@@ -112,7 +175,8 @@ mod tests {
             100,
             0,
             2,
-        );
+        )
+        .unwrap();
         assert_eq!(data.len(), 100);
         assert!(data.iter().all(|s| s.target >= 0.0 && s.target.is_finite()));
         assert!(data
@@ -137,7 +201,7 @@ mod tests {
         };
         let defaults = SimParams::uniform_default();
         let blocks = blocks();
-        let data = generate_simulated_dataset(&sim, &spec, &defaults, &blocks, 30, 1, 1);
+        let data = generate_simulated_dataset(&sim, &spec, &defaults, &blocks, 30, 1, 1).unwrap();
         for sample in &data {
             let matching = blocks.iter().any(|b| {
                 (sim.predict(&defaults, b) - sample.target).abs() < 1e-12
@@ -162,7 +226,8 @@ mod tests {
             50,
             2,
             1,
-        );
+        )
+        .unwrap();
         let distinct: std::collections::HashSet<u64> =
             data.iter().map(|s| s.target.to_bits()).collect();
         assert!(

@@ -55,6 +55,42 @@ pub trait Simulator: std::fmt::Debug + Send + Sync {
     /// block, divided by the iteration count).
     fn predict(&self, params: &SimParams, block: &BasicBlock) -> f64;
 
+    /// Predicts the timing of every block in `blocks` under one parameter
+    /// table, returning one prediction per block in order.
+    ///
+    /// The provided implementation fans the blocks out across all available
+    /// cores (small batches stay on the calling thread), so evaluation paths
+    /// that score a fixed table over a whole dataset should prefer this over
+    /// a per-block [`Simulator::predict`] loop. Implementations may override
+    /// it with something faster (e.g. sharing decoded state across blocks);
+    /// overrides must return exactly the same values as the per-block loop.
+    fn predict_batch(&self, params: &SimParams, blocks: &[BasicBlock]) -> Vec<f64> {
+        // Below this many blocks the thread-spawn overhead outweighs the
+        // parallelism.
+        const MIN_PARALLEL: usize = 32;
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        if threads <= 1 || blocks.len() < MIN_PARALLEL {
+            return blocks.iter().map(|b| self.predict(params, b)).collect();
+        }
+        let chunk = blocks.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = blocks
+                .chunks(chunk)
+                .map(|shard| {
+                    scope.spawn(move || -> Vec<f64> {
+                        shard.iter().map(|b| self.predict(params, b)).collect()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("prediction worker panicked"))
+                .collect()
+        })
+    }
+
     /// A short human-readable name (`"llvm-mca"`, `"llvm_sim"`).
     fn name(&self) -> &'static str;
 }

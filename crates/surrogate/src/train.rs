@@ -61,6 +61,87 @@ impl Default for TrainConfig {
     }
 }
 
+/// A typed error from the training entry points.
+///
+/// Training used to `assert!` on malformed hyperparameters; every public
+/// entry point now reports them as values so callers (in particular the
+/// `difftune` session driver) can surface them without panicking.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrainError {
+    /// `batch_size` was zero.
+    InvalidBatchSize,
+    /// The learning rate was zero, negative, or non-finite.
+    InvalidLearningRate(f32),
+    /// The gradient-clipping threshold was negative or NaN.
+    InvalidGradClip(f32),
+    /// The worker-thread count was absurdly large (0 means auto).
+    InvalidThreads(usize),
+}
+
+/// Upper bound on explicit worker-thread counts (0 still means "all cores").
+/// Spawning is per-chunk, so a count beyond any real machine is a config
+/// mistake that would only waste memory on empty work ranges.
+pub const MAX_THREADS: usize = 4096;
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainError::InvalidBatchSize => write!(f, "batch size must be positive"),
+            TrainError::InvalidLearningRate(lr) => {
+                write!(f, "learning rate must be finite and positive, got {lr}")
+            }
+            TrainError::InvalidGradClip(clip) => {
+                write!(
+                    f,
+                    "gradient clip must be non-negative (0 disables), got {clip}"
+                )
+            }
+            TrainError::InvalidThreads(threads) => {
+                write!(
+                    f,
+                    "threads must be 0 (all cores) or at most {MAX_THREADS}, got {threads}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+impl TrainConfig {
+    /// Checks the hyperparameters, returning the first problem found.
+    pub fn validate(&self) -> Result<(), TrainError> {
+        if self.batch_size == 0 {
+            return Err(TrainError::InvalidBatchSize);
+        }
+        if !self.learning_rate.is_finite() || self.learning_rate <= 0.0 {
+            return Err(TrainError::InvalidLearningRate(self.learning_rate));
+        }
+        if self.grad_clip.is_nan() || self.grad_clip < 0.0 {
+            return Err(TrainError::InvalidGradClip(self.grad_clip));
+        }
+        if self.threads > MAX_THREADS {
+            return Err(TrainError::InvalidThreads(self.threads));
+        }
+        Ok(())
+    }
+}
+
+/// A telemetry event streamed out of the training loop, so long runs report
+/// progress instead of going dark until the final [`TrainReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrainEvent {
+    /// One full pass over the sample set finished.
+    EpochCompleted {
+        /// Zero-based index of the completed epoch.
+        epoch: usize,
+        /// Total number of epochs this run will perform.
+        epochs: usize,
+        /// Mean per-sample loss (MAPE) over the epoch.
+        mean_loss: f64,
+    },
+}
+
 /// Per-epoch training statistics.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TrainReport {
@@ -121,7 +202,7 @@ pub fn train<M: SurrogateModel>(
     model: &mut M,
     samples: &[TrainSample],
     config: &TrainConfig,
-) -> TrainReport {
+) -> Result<TrainReport, TrainError> {
     let mut optimizer = Adam::new(config.learning_rate);
     train_with_optimizer(model, samples, config, &mut optimizer)
 }
@@ -132,8 +213,22 @@ pub fn train_with_optimizer<M: SurrogateModel>(
     samples: &[TrainSample],
     config: &TrainConfig,
     optimizer: &mut dyn Optimizer,
-) -> TrainReport {
-    assert!(config.batch_size > 0, "batch size must be positive");
+) -> Result<TrainReport, TrainError> {
+    train_observed(model, samples, config, optimizer, &mut |_| {})
+}
+
+/// Trains while streaming a [`TrainEvent`] to `observe` after every epoch.
+///
+/// This is the primitive the other entry points wrap; the `difftune` session
+/// driver uses it to forward per-epoch surrogate losses to its run observers.
+pub fn train_observed<M: SurrogateModel>(
+    model: &mut M,
+    samples: &[TrainSample],
+    config: &TrainConfig,
+    optimizer: &mut dyn Optimizer,
+    observe: &mut dyn FnMut(&TrainEvent),
+) -> Result<TrainReport, TrainError> {
+    config.validate()?;
     let mut order: Vec<usize> = (0..samples.len()).collect();
     let mut rng = StdRng::seed_from_u64(config.seed);
     let threads = if config.threads == 0 {
@@ -191,12 +286,18 @@ pub fn train_with_optimizer<M: SurrogateModel>(
             optimizer.step(model.params_mut(), &grads);
             epoch_loss += batch_loss;
         }
-        epoch_losses.push(epoch_loss / samples.len().max(1) as f64);
+        let mean_loss = epoch_loss / samples.len().max(1) as f64;
+        epoch_losses.push(mean_loss);
+        observe(&TrainEvent::EpochCompleted {
+            epoch: epoch_losses.len() - 1,
+            epochs: config.epochs,
+            mean_loss,
+        });
     }
-    TrainReport {
+    Ok(TrainReport {
         epoch_losses,
         samples: samples.len(),
-    }
+    })
 }
 
 /// Evaluates a model's mean absolute percentage error over samples.
@@ -279,7 +380,7 @@ mod tests {
             threads: 1,
             ..TrainConfig::default()
         };
-        let report = train(&mut model, &samples, &config);
+        let report = train(&mut model, &samples, &config).unwrap();
         let after = evaluate(&model, &samples);
         assert_eq!(report.epoch_losses.len(), 60);
         assert!(
@@ -312,7 +413,7 @@ mod tests {
             threads: 1,
             ..TrainConfig::default()
         };
-        train(&mut model, &samples, &config);
+        train(&mut model, &samples, &config).unwrap();
         let after = evaluate(&model, &samples);
         assert!(
             after < before,
@@ -335,7 +436,7 @@ mod tests {
             threads: 1,
             ..TrainConfig::default()
         };
-        let report = train(&mut model, &samples, &config);
+        let report = train(&mut model, &samples, &config).unwrap();
         assert!(report.final_loss() < report.epoch_losses[0]);
     }
 
@@ -364,8 +465,8 @@ mod tests {
             seed: 5,
             ..FeatureMlpConfig::default()
         });
-        train(&mut single, &samples, &config_single);
-        train(&mut multi, &samples, &config_multi);
+        train(&mut single, &samples, &config_single).unwrap();
+        train(&mut multi, &samples, &config_multi).unwrap();
 
         // Same data, same seed, same batches: the result must agree to within
         // floating-point reduction-order differences.

@@ -23,8 +23,9 @@ fn main() {
     let simulator = McaSimulator::default();
 
     let defaults = default_params(uarch);
+    let test_blocks: Vec<_> = test.iter().map(|r| r.block.clone()).collect();
     let (default_error, default_tau) =
-        Dataset::evaluate(&test, |b| simulator.predict(&defaults, b));
+        Dataset::evaluate_predictions(&test, &simulator.predict_batch(&defaults, &test_blocks));
     println!(
         "{:<22} error {:>6.1}%  tau {default_tau:.3}",
         "llvm-mca (default)",
@@ -52,15 +53,18 @@ fn main() {
     upper[1] = 250.0;
     let mut tuner = BanditTuner::new(SearchSpace::new(lower, upper), TunerConfig::default());
     let bounds = ParamBounds::default();
+    let subsample_blocks: Vec<_> = subsample.iter().map(|r| r.block.clone()).collect();
     let result = tuner.optimize(
         |flat| {
             let params = SimParams::from_flat(flat, &bounds);
-            Dataset::evaluate(&subsample, |b| simulator.predict(&params, b)).0
+            let predictions = simulator.predict_batch(&params, &subsample_blocks);
+            Dataset::evaluate_predictions(&subsample, &predictions).0
         },
         150,
     );
     let tuned = SimParams::from_flat(&result.best, &bounds);
-    let (tuned_error, tuned_tau) = Dataset::evaluate(&test, |b| simulator.predict(&tuned, b));
+    let (tuned_error, tuned_tau) =
+        Dataset::evaluate_predictions(&test, &simulator.predict_batch(&tuned, &test_blocks));
     println!(
         "{:<22} error {:>6.1}%  tau {tuned_tau:.3}",
         "OpenTuner-style",

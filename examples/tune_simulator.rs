@@ -6,12 +6,14 @@
 //! Set `DIFFTUNE_EXAMPLE_BLOCKS` to change the corpus size (default 1500).
 
 use difftune_repro::bhive::{CorpusConfig, Dataset};
-use difftune_repro::core::{DiffTune, DiffTuneConfig, ParamSpec, SurrogateKind};
+use difftune_repro::core::{
+    DiffTuneBuilder, DiffTuneConfig, DiffTuneError, ParamSpec, ProgressEvent, SurrogateKind,
+};
 use difftune_repro::cpu::{default_params, Microarch};
 use difftune_repro::sim::{McaSimulator, Simulator};
 use difftune_repro::surrogate::FeatureMlpConfig;
 
-fn main() {
+fn main() -> Result<(), DiffTuneError> {
     let blocks: usize = std::env::var("DIFFTUNE_EXAMPLE_BLOCKS")
         .ok()
         .and_then(|v| v.parse().ok())
@@ -31,8 +33,9 @@ fn main() {
 
     let simulator = McaSimulator::default();
     let defaults = default_params(uarch);
+    let test_blocks: Vec<_> = test.iter().map(|r| r.block.clone()).collect();
     let (default_error, default_tau) =
-        Dataset::evaluate(&test, |block| simulator.predict(&defaults, block));
+        Dataset::evaluate_predictions(&test, &simulator.predict_batch(&defaults, &test_blocks));
     println!(
         "default parameters : error {:.1}%  tau {default_tau:.3}",
         default_error * 100.0
@@ -47,7 +50,6 @@ fn main() {
         table_epochs: 2,
         ..DiffTuneConfig::default()
     };
-    let difftune = DiffTune::new(config);
     let train: Vec<_> = dataset
         .train()
         .iter()
@@ -57,12 +59,40 @@ fn main() {
         "running DiffTune ({} learned parameters)...",
         ParamSpec::llvm_mca().num_learned(defaults.num_opcodes())
     );
-    let result = difftune.run(&simulator, &ParamSpec::llvm_mca(), &defaults, &train);
+    // The staged session API: validate, observe progress, run each stage.
+    let mut session = DiffTuneBuilder::new(config).build(
+        &simulator,
+        &ParamSpec::llvm_mca(),
+        &defaults,
+        &train,
+    )?;
+    session.add_observer(Box::new(|event: &ProgressEvent| {
+        if let ProgressEvent::SurrogateEpoch {
+            epoch,
+            epochs,
+            mean_loss,
+        } = event
+        {
+            println!(
+                "  surrogate epoch {}/{epochs}: loss {mean_loss:.4}",
+                epoch + 1
+            );
+        }
+    }));
+    let samples = session.generate_dataset()?;
+    println!("  simulated dataset: {samples} samples");
+    session.fit_surrogate()?;
+    session.optimize_table()?;
+    let result = session.finish()?;
 
-    let (initial_error, _) =
-        Dataset::evaluate(&test, |block| simulator.predict(&result.initial, block));
-    let (learned_error, learned_tau) =
-        Dataset::evaluate(&test, |block| simulator.predict(&result.learned, block));
+    let (initial_error, _) = Dataset::evaluate_predictions(
+        &test,
+        &simulator.predict_batch(&result.initial, &test_blocks),
+    );
+    let (learned_error, learned_tau) = Dataset::evaluate_predictions(
+        &test,
+        &simulator.predict_batch(&result.learned, &test_blocks),
+    );
     println!("random initial table: error {:.1}%", initial_error * 100.0);
     println!(
         "learned parameters : error {:.1}%  tau {learned_tau:.3}",
@@ -75,4 +105,5 @@ fn main() {
         result.learned.reorder_buffer_size,
         defaults.reorder_buffer_size
     );
+    Ok(())
 }

@@ -1,7 +1,7 @@
 //! End-to-end DiffTune runs at smoke scale.
 
 use difftune_repro::bhive::{CorpusConfig, Dataset};
-use difftune_repro::core::{DiffTune, DiffTuneConfig, ParamSpec, SurrogateKind};
+use difftune_repro::core::{DiffTuneBuilder, DiffTuneConfig, ParamSpec, SurrogateKind};
 use difftune_repro::cpu::{default_params, Microarch};
 use difftune_repro::sim::{McaSimulator, Simulator, UopSimulator};
 use difftune_repro::surrogate::{train::TrainConfig, IthemalConfig};
@@ -55,13 +55,22 @@ fn difftune_beats_its_random_initialization_on_haswell() {
         .map(|r| (r.block.clone(), r.timing))
         .collect();
 
-    let difftune = DiffTune::new(smoke_config(21));
-    let result = difftune.run(&simulator, &ParamSpec::llvm_mca(), &defaults, &train);
+    let result = DiffTuneBuilder::new(smoke_config(21))
+        .build(&simulator, &ParamSpec::llvm_mca(), &defaults, &train)
+        .expect("inputs are valid")
+        .run_to_completion()
+        .expect("the run completes");
 
     let test = dataset.test();
-    let (initial_error, _) = Dataset::evaluate(&test, |b| simulator.predict(&result.initial, b));
-    let (learned_error, learned_tau) =
-        Dataset::evaluate(&test, |b| simulator.predict(&result.learned, b));
+    let test_blocks: Vec<_> = test.iter().map(|r| r.block.clone()).collect();
+    let (initial_error, _) = Dataset::evaluate_predictions(
+        &test,
+        &simulator.predict_batch(&result.initial, &test_blocks),
+    );
+    let (learned_error, learned_tau) = Dataset::evaluate_predictions(
+        &test,
+        &simulator.predict_batch(&result.learned, &test_blocks),
+    );
 
     // The random initialization sits around the paper's "random table" error
     // band; training the table through the surrogate must recover a large part
@@ -101,8 +110,11 @@ fn difftune_learns_the_uop_simulator_too() {
         .map(|r| (r.block.clone(), r.timing))
         .collect();
 
-    let difftune = DiffTune::new(smoke_config(8));
-    let result = difftune.run(&simulator, &ParamSpec::llvm_sim(), &defaults, &train);
+    let result = DiffTuneBuilder::new(smoke_config(8))
+        .build(&simulator, &ParamSpec::llvm_sim(), &defaults, &train)
+        .expect("inputs are valid")
+        .run_to_completion()
+        .expect("the run completes");
 
     // The spec freezes everything except WriteLatency and PortMap.
     assert_eq!(result.learned.dispatch_width, defaults.dispatch_width);
@@ -116,8 +128,15 @@ fn difftune_learns_the_uop_simulator_too() {
     }
 
     let test = dataset.test();
-    let (initial_error, _) = Dataset::evaluate(&test, |b| simulator.predict(&result.initial, b));
-    let (learned_error, _) = Dataset::evaluate(&test, |b| simulator.predict(&result.learned, b));
+    let test_blocks: Vec<_> = test.iter().map(|r| r.block.clone()).collect();
+    let (initial_error, _) = Dataset::evaluate_predictions(
+        &test,
+        &simulator.predict_batch(&result.initial, &test_blocks),
+    );
+    let (learned_error, _) = Dataset::evaluate_predictions(
+        &test,
+        &simulator.predict_batch(&result.learned, &test_blocks),
+    );
     assert!(
         learned_error <= initial_error * 1.1,
         "learned {learned_error} vs initial {initial_error}"
@@ -142,8 +161,11 @@ fn learned_tables_respect_all_integer_constraints() {
         .iter()
         .map(|r| (r.block.clone(), r.timing))
         .collect();
-    let result =
-        DiffTune::new(smoke_config(3)).run(&simulator, &ParamSpec::llvm_mca(), &defaults, &train);
+    let result = DiffTuneBuilder::new(smoke_config(3))
+        .build(&simulator, &ParamSpec::llvm_mca(), &defaults, &train)
+        .expect("inputs are valid")
+        .run_to_completion()
+        .expect("the run completes");
 
     assert!(result.learned.dispatch_width >= 1);
     assert!(result.learned.reorder_buffer_size >= 1);

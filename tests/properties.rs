@@ -3,7 +3,7 @@
 use difftune_repro::bhive::metrics::{kendall_tau, mape};
 use difftune_repro::cpu::{default_params, Machine, MeasurementConfig, Microarch};
 use difftune_repro::isa::{BasicBlock, BlockGenerator};
-use difftune_repro::sim::{McaSimulator, ParamBounds, SimParams, Simulator};
+use difftune_repro::sim::{McaSimulator, ParamBounds, SimParams, Simulator, UopSimulator};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -79,6 +79,27 @@ proptest! {
         params.per_inst[3].port_map[port] = 2;
         let back = SimParams::from_flat(&params.to_flat(), &ParamBounds::default());
         prop_assert_eq!(back, params);
+    }
+
+    /// Batched prediction agrees exactly with the per-block loop for both
+    /// simulators, at sizes below and above the parallel-dispatch threshold.
+    #[test]
+    fn predict_batch_matches_per_block_predictions(seed in 0u64..2_000, count in 0usize..70) {
+        let blocks: Vec<BasicBlock> = (0..count)
+            .map(|i| generated_block(seed.wrapping_add(i as u64), 1 + (i % 7)))
+            .collect();
+        let params = default_params(Microarch::Haswell);
+        let mca = McaSimulator::default();
+        let uop = UopSimulator::default();
+        for sim in [&mca as &dyn Simulator, &uop as &dyn Simulator] {
+            let batched = sim.predict_batch(&params, &blocks);
+            prop_assert_eq!(batched.len(), blocks.len());
+            for (block, prediction) in blocks.iter().zip(&batched) {
+                // Bit-exact: the default implementation runs the same pure
+                // function, only on a different thread.
+                prop_assert_eq!(sim.predict(&params, block).to_bits(), prediction.to_bits());
+            }
+        }
     }
 
     /// MAPE is zero only for perfect predictions and scales linearly with
