@@ -1,0 +1,392 @@
+//! `difftune-bench` — the stage-by-stage pipeline performance runner.
+//!
+//! Runs the DiffTune pipeline at a chosen scale, timing each stage
+//! separately, and (with `--json`) emits one `BENCH_<stage>.json` record per
+//! stage in the shared `difftune-bench/1` schema:
+//!
+//! * `generate` — simulated-dataset generation (`Session::generate_dataset`)
+//! * `fit`      — surrogate training (`Session::fit_surrogate`)
+//! * `optimize` — parameter-table optimization (`Session::optimize_table`)
+//! * `simulate` — batch simulation of the test split under the learned table
+//!
+//! Thread count comes from `DIFFTUNE_THREADS` (unset = all cores). Because
+//! training runs on the deterministic batch engine, the learned table is
+//! bit-identical for every thread count; `--compare-serial` verifies that by
+//! rerunning fit/optimize with one thread, recording the speedup and failing
+//! if the tables' fingerprints diverge.
+//!
+//! ```text
+//! difftune-bench [--scale smoke|small|paper] [--seed N] [--json]
+//!                [--out-dir DIR] [--compare-serial]
+//!                [--max-seconds STAGE=SECS]... [--min-speedup STAGE=RATIO]...
+//! ```
+//!
+//! `--max-seconds` and `--min-speedup` turn the run into a CI tripwire: if
+//! any stage's wall time exceeds its ceiling, or its measured
+//! speedup-vs-serial falls under its floor, the process exits nonzero after
+//! reporting every violation.
+
+use std::time::Instant;
+
+use difftune::{DiffTuneBuilder, ParamSpec, Session};
+use difftune_bench::record::{fingerprint_table, BenchRecord};
+use difftune_bench::{dataset_for, mca, pairs, Scale};
+use difftune_cpu::{default_params, Microarch};
+use difftune_sim::{SimParams, Simulator};
+
+struct Args {
+    scale: Option<String>,
+    seed: u64,
+    json: bool,
+    out_dir: String,
+    compare_serial: bool,
+    /// `(stage, ceiling_seconds)` pairs from `--max-seconds`.
+    ceilings: Vec<(String, f64)>,
+    /// `(stage, minimum speedup_vs_serial)` pairs from `--min-speedup`
+    /// (requires `--compare-serial`).
+    min_speedups: Vec<(String, f64)>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: difftune-bench [--scale smoke|small|paper] [--seed N] [--json] \
+         [--out-dir DIR] [--compare-serial] [--max-seconds STAGE=SECS]... \
+         [--min-speedup STAGE=RATIO]..."
+    );
+    std::process::exit(2);
+}
+
+/// Parses a repeatable `STAGE=NUMBER` flag operand.
+fn parse_stage_number(flag: &str, raw: &str) -> (String, f64) {
+    let Some((stage, number)) = raw.split_once('=') else {
+        eprintln!("{flag} expects STAGE=NUMBER, got {raw:?}");
+        usage()
+    };
+    let Ok(number) = number.parse::<f64>() else {
+        eprintln!("{flag} expects a numeric value, got {raw:?}");
+        usage()
+    };
+    (stage.to_string(), number)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        scale: None,
+        seed: 0,
+        json: false,
+        out_dir: ".".to_string(),
+        compare_serial: false,
+        ceilings: Vec::new(),
+        min_speedups: Vec::new(),
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        let mut value = |flag: &str| -> String {
+            iter.next().unwrap_or_else(|| {
+                eprintln!("{flag} requires a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--scale" => args.scale = Some(value("--scale")),
+            "--seed" => {
+                let raw = value("--seed");
+                args.seed = raw.parse().unwrap_or_else(|_| {
+                    eprintln!("--seed must be an unsigned integer, got {raw:?}");
+                    usage()
+                });
+            }
+            "--json" => args.json = true,
+            "--out-dir" => args.out_dir = value("--out-dir"),
+            "--compare-serial" => args.compare_serial = true,
+            "--max-seconds" => {
+                let raw = value("--max-seconds");
+                args.ceilings
+                    .push(parse_stage_number("--max-seconds", &raw));
+            }
+            "--min-speedup" => {
+                let raw = value("--min-speedup");
+                args.min_speedups
+                    .push(parse_stage_number("--min-speedup", &raw));
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                usage()
+            }
+        }
+    }
+    args
+}
+
+/// Wall times and throughput inputs of one full pipeline run.
+struct StageTimes {
+    generate_seconds: f64,
+    generate_samples: usize,
+    fit_seconds: f64,
+    fit_samples: usize,
+    optimize_seconds: f64,
+    optimize_samples: usize,
+    learned: SimParams,
+}
+
+/// Runs dataset generation, surrogate fitting, and table optimization with
+/// the given thread count, timing each stage.
+fn run_pipeline(
+    simulator: &dyn Simulator,
+    scale: Scale,
+    seed: u64,
+    threads: usize,
+    train_pairs: &[(difftune_isa::BasicBlock, f64)],
+) -> StageTimes {
+    let mut config = scale.difftune_config(seed);
+    if threads != 0 {
+        config.threads = threads;
+        config.surrogate_train.threads = threads;
+    }
+    let epochs = config.surrogate_train.epochs;
+    let table_epochs = config.table_epochs;
+    let defaults = default_params(Microarch::Haswell);
+    let mut session: Session<'_> = DiffTuneBuilder::new(config)
+        .build(simulator, &ParamSpec::llvm_mca(), &defaults, train_pairs)
+        .unwrap_or_else(|error| {
+            eprintln!("difftune-bench: invalid pipeline input: {error}");
+            std::process::exit(1);
+        });
+
+    let fail = |error: difftune::DiffTuneError| -> ! {
+        eprintln!("difftune-bench: pipeline stage failed: {error}");
+        std::process::exit(1);
+    };
+
+    let start = Instant::now();
+    let generated = session.generate_dataset().unwrap_or_else(|e| fail(e));
+    let generate_seconds = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    session.fit_surrogate().unwrap_or_else(|e| fail(e));
+    let fit_seconds = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    session.optimize_table().unwrap_or_else(|e| fail(e));
+    let optimize_seconds = start.elapsed().as_secs_f64();
+
+    let result = session.finish().unwrap_or_else(|e| fail(e));
+    StageTimes {
+        generate_seconds,
+        generate_samples: generated,
+        fit_seconds,
+        // The fit stage visits every simulated sample once per epoch.
+        fit_samples: generated * epochs,
+        optimize_seconds,
+        optimize_samples: train_pairs.len() * table_epochs,
+        learned: result.learned,
+    }
+}
+
+/// Times batch simulation of the test split under the learned table,
+/// repeating until at least ~0.2 s of work has been measured.
+fn run_simulate_stage(
+    simulator: &dyn Simulator,
+    learned: &SimParams,
+    blocks: &[difftune_isa::BasicBlock],
+) -> (f64, usize) {
+    let mut total_blocks = 0usize;
+    let start = Instant::now();
+    loop {
+        let predictions = simulator.predict_batch(learned, blocks);
+        assert_eq!(predictions.len(), blocks.len());
+        total_blocks += blocks.len();
+        if start.elapsed().as_secs_f64() >= 0.2 {
+            break;
+        }
+    }
+    (start.elapsed().as_secs_f64(), total_blocks)
+}
+
+fn main() {
+    let args = parse_args();
+    let scale = match &args.scale {
+        Some(raw) => Scale::parse(raw).unwrap_or_else(|error| {
+            eprintln!("{error}");
+            std::process::exit(2);
+        }),
+        None => Scale::from_env_or_exit(),
+    };
+    let threads = difftune::threads_from_env().unwrap_or_else(|error| {
+        eprintln!("{error}");
+        std::process::exit(2);
+    });
+    // The records report the worker count the stages actually ran with, so
+    // resolve the knob's "0 = all cores" before building them.
+    let record_threads = if threads == 0 {
+        difftune_bench::record::available_cores()
+    } else {
+        threads
+    };
+    let seed = args.seed;
+
+    eprintln!(
+        "[difftune-bench] scale {} seed {seed} threads {} ({} cores)",
+        scale.name(),
+        if threads == 0 {
+            "all".to_string()
+        } else {
+            threads.to_string()
+        },
+        difftune_bench::record::available_cores(),
+    );
+
+    let corpus_start = Instant::now();
+    let dataset = dataset_for(Microarch::Haswell, scale, seed);
+    let train_pairs = pairs(&dataset.train());
+    let test_blocks: Vec<difftune_isa::BasicBlock> =
+        dataset.test().iter().map(|r| r.block.clone()).collect();
+    eprintln!(
+        "[difftune-bench] corpus ready in {:.2}s ({} train blocks, {} test blocks)",
+        corpus_start.elapsed().as_secs_f64(),
+        train_pairs.len(),
+        test_blocks.len(),
+    );
+
+    let simulator = mca();
+    let times = run_pipeline(&simulator, scale, seed, threads, &train_pairs);
+    let fingerprint = fingerprint_table(&times.learned);
+
+    let mut generate = BenchRecord::stage(
+        "generate",
+        scale.name(),
+        record_threads,
+        seed,
+        times.generate_seconds,
+        times.generate_samples,
+    );
+    let mut fit = BenchRecord::stage(
+        "fit",
+        scale.name(),
+        record_threads,
+        seed,
+        times.fit_seconds,
+        times.fit_samples,
+    );
+    let mut optimize = BenchRecord::stage(
+        "optimize",
+        scale.name(),
+        record_threads,
+        seed,
+        times.optimize_seconds,
+        times.optimize_samples,
+    );
+    optimize.table_fingerprint = Some(fingerprint.clone());
+
+    // A determinism violation is reported *after* the records are written:
+    // when the check trips in CI, the measurements (and both fingerprints)
+    // are exactly what the investigator needs.
+    let mut determinism_violation = None;
+    if args.compare_serial {
+        eprintln!("[difftune-bench] rerunning with 1 thread for the determinism/speedup check");
+        let serial = run_pipeline(&simulator, scale, seed, 1, &train_pairs);
+        let serial_fingerprint = fingerprint_table(&serial.learned);
+        if serial_fingerprint == fingerprint {
+            eprintln!("[difftune-bench] learned tables bit-identical across thread counts ✓");
+        } else {
+            determinism_violation = Some(format!(
+                "DETERMINISM VIOLATION: the learned table depends on the thread count \
+                 (serial {serial_fingerprint}, parallel {fingerprint})"
+            ));
+        }
+        generate.speedup_vs_serial = Some(serial.generate_seconds / times.generate_seconds);
+        fit.speedup_vs_serial = Some(serial.fit_seconds / times.fit_seconds);
+        optimize.speedup_vs_serial = Some(serial.optimize_seconds / times.optimize_seconds);
+    }
+
+    let (simulate_seconds, simulated_blocks) =
+        run_simulate_stage(&simulator, &times.learned, &test_blocks);
+    let simulate = BenchRecord::stage(
+        "simulate",
+        scale.name(),
+        record_threads,
+        seed,
+        simulate_seconds,
+        simulated_blocks,
+    );
+
+    let records = [generate, fit, optimize, simulate];
+    println!(
+        "{:<10} {:>10} {:>12} {:>14} {:>10}",
+        "stage", "seconds", "samples", "samples/sec", "speedup"
+    );
+    for record in &records {
+        println!(
+            "{:<10} {:>10.3} {:>12} {:>14.1} {:>10}",
+            record.stage,
+            record.wall_time_seconds,
+            record.samples,
+            record.samples_per_second,
+            record
+                .speedup_vs_serial
+                .map(|s| format!("{s:.2}x"))
+                .unwrap_or_else(|| "-".to_string()),
+        );
+    }
+    println!("learned table fingerprint: {fingerprint}");
+
+    if args.json {
+        if let Err(error) = std::fs::create_dir_all(&args.out_dir) {
+            eprintln!("difftune-bench: cannot create {}: {error}", args.out_dir);
+            std::process::exit(1);
+        }
+        for record in &records {
+            let path = std::path::Path::new(&args.out_dir).join(record.file_name());
+            if let Err(error) = std::fs::write(&path, record.to_json()) {
+                eprintln!("difftune-bench: cannot write {}: {error}", path.display());
+                std::process::exit(1);
+            }
+            eprintln!("[difftune-bench] wrote {}", path.display());
+        }
+    }
+
+    let mut violations = Vec::new();
+    for (stage, ceiling) in &args.ceilings {
+        match records.iter().find(|r| &r.stage == stage) {
+            Some(record) if record.wall_time_seconds > *ceiling => violations.push(format!(
+                "stage {stage} took {:.2}s, over the {ceiling:.2}s ceiling",
+                record.wall_time_seconds
+            )),
+            Some(_) => {}
+            None => violations.push(format!(
+                "--max-seconds names unknown stage {stage:?} (valid: generate, fit, optimize, \
+                 simulate)"
+            )),
+        }
+    }
+    for (stage, floor) in &args.min_speedups {
+        match records.iter().find(|r| &r.stage == stage) {
+            Some(record) => match record.speedup_vs_serial {
+                Some(speedup) if speedup < *floor => violations.push(format!(
+                    "stage {stage} sped up only {speedup:.2}x over serial, under the {floor:.2}x \
+                     floor (threads {}, {} cores)",
+                    record.threads, record.cpu_cores
+                )),
+                Some(_) => {}
+                None => violations.push(format!(
+                    "no speedup was measured for stage {stage} (requires --compare-serial; \
+                     only generate/fit/optimize are compared)"
+                )),
+            },
+            None => violations.push(format!(
+                "--min-speedup names unknown stage {stage:?} (valid: generate, fit, optimize, \
+                 simulate)"
+            )),
+        }
+    }
+    for violation in &violations {
+        eprintln!("difftune-bench: PERF CEILING EXCEEDED: {violation}");
+    }
+    if let Some(violation) = &determinism_violation {
+        eprintln!("difftune-bench: {violation}");
+    }
+    if !violations.is_empty() || determinism_violation.is_some() {
+        std::process::exit(1);
+    }
+}

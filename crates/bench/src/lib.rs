@@ -7,6 +7,8 @@
 //! the baseline runners (Ithemal, the IACA-style analytical model, and the
 //! OpenTuner-style black-box tuner with evaluation-budget parity).
 
+pub mod record;
+
 use difftune::{DiffTuneBuilder, DiffTuneConfig, DiffTuneResult, ParamSpec, SurrogateKind};
 use difftune_bhive::{CorpusConfig, Dataset, Record};
 use difftune_cpu::{default_params, AnalyticalModel, Microarch};
@@ -47,18 +49,33 @@ pub enum Scale {
 }
 
 impl Scale {
-    /// Reads the scale from the environment. Unset or empty means
-    /// [`Scale::Small`]; anything else must name a valid scale — a typo such
-    /// as `DIFFTUNE_SCALE=papper` is reported instead of silently running at
-    /// the default scale.
-    pub fn from_env() -> Result<Scale, UnknownScale> {
-        let raw = std::env::var("DIFFTUNE_SCALE").unwrap_or_default();
+    /// Parses a scale name. Empty means [`Scale::Small`]; anything else must
+    /// name a valid scale — a typo such as `papper` is reported instead of
+    /// silently running at the default scale.
+    pub fn parse(raw: &str) -> Result<Scale, UnknownScale> {
         match raw.to_ascii_lowercase().as_str() {
             "" => Ok(Scale::Small),
             "smoke" => Ok(Scale::Smoke),
             "small" => Ok(Scale::Small),
             "paper" => Ok(Scale::Paper),
-            _ => Err(UnknownScale { given: raw }),
+            _ => Err(UnknownScale {
+                given: raw.to_string(),
+            }),
+        }
+    }
+
+    /// Reads the scale from the `DIFFTUNE_SCALE` environment variable via
+    /// [`Scale::parse`] (unset means [`Scale::Small`]).
+    pub fn from_env() -> Result<Scale, UnknownScale> {
+        Scale::parse(&std::env::var("DIFFTUNE_SCALE").unwrap_or_default())
+    }
+
+    /// The scale's lowercase name, as accepted by [`Scale::parse`].
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Smoke => "smoke",
+            Scale::Small => "small",
+            Scale::Paper => "paper",
         }
     }
 
@@ -190,7 +207,8 @@ pub fn run_difftune(
     scale: Scale,
     seed: u64,
 ) -> DiffTuneResult {
-    let config = scale.difftune_config(seed);
+    let mut config = scale.difftune_config(seed);
+    apply_env_threads_or_exit(&mut config);
     let train_pairs = pairs(&dataset.train());
     let mut session = DiffTuneBuilder::new(config)
         .build(simulator, spec, &default_params(uarch), &train_pairs)
@@ -221,6 +239,17 @@ pub fn run_difftune(
     session
         .run_to_completion()
         .unwrap_or_else(|error| panic!("DiffTune run failed: {error}"))
+}
+
+/// Applies the `DIFFTUNE_THREADS` knob to a configuration, printing the typed
+/// error and exiting with a nonzero status on an invalid value — the binary
+/// entry points' counterpart of [`difftune::apply_env_threads`], mirroring
+/// [`Scale::from_env_or_exit`].
+pub fn apply_env_threads_or_exit(config: &mut DiffTuneConfig) {
+    if let Err(error) = difftune::apply_env_threads(config) {
+        eprintln!("{error}");
+        std::process::exit(2);
+    }
 }
 
 /// Trains the Ithemal baseline (the surrogate architecture without parameter

@@ -1,0 +1,173 @@
+//! The shared benchmark-record schema behind `BENCH_*.json`.
+//!
+//! Every performance artifact this repository produces — the
+//! `difftune-bench` stage runner and the vendored criterion shim's optional
+//! JSON output — serializes to the same [`BenchRecord`] shape (schema
+//! `difftune-bench/1`), so one set of tooling can consume the whole perf
+//! trajectory.
+
+use difftune_sim::SimParams;
+use serde::{Deserialize, Serialize};
+
+/// The schema tag every record carries.
+pub const BENCH_SCHEMA: &str = "difftune-bench/1";
+
+/// One benchmark measurement: a pipeline stage (`generate`, `fit`,
+/// `optimize`, `simulate`) or a criterion benchmark (`criterion:<id>`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchRecord {
+    /// Schema tag ([`BENCH_SCHEMA`]).
+    pub schema: String,
+    /// Stage name: `generate` / `fit` / `optimize` / `simulate`, or
+    /// `criterion:<benchmark id>` for criterion output.
+    pub stage: String,
+    /// The `DIFFTUNE_SCALE` the stage ran at (absent for criterion records).
+    pub scale: Option<String>,
+    /// Worker-thread count the stage ran with (`DIFFTUNE_THREADS`).
+    pub threads: usize,
+    /// Available cores on the machine that produced the record — the context
+    /// needed to interpret `threads` and any speedup.
+    pub cpu_cores: usize,
+    /// The run seed.
+    pub seed: u64,
+    /// Stage wall time in seconds (for criterion records, the median time of
+    /// one iteration).
+    pub wall_time_seconds: f64,
+    /// Number of samples the stage processed (dataset samples generated,
+    /// training samples visited, blocks simulated; 0 for criterion records).
+    pub samples: usize,
+    /// Throughput: `samples / wall_time_seconds` (for criterion records,
+    /// iterations per second).
+    pub samples_per_second: f64,
+    /// Median nanoseconds per iteration (criterion records only).
+    pub median_ns_per_iter: Option<f64>,
+    /// FNV-1a fingerprint of the learned table (`optimize` stage only) —
+    /// two runs with equal fingerprints produced bit-identical tables.
+    pub table_fingerprint: Option<String>,
+    /// Wall-time ratio of a serial (`threads = 1`) rerun of the same stage
+    /// to this run, when `--compare-serial` measured one.
+    pub speedup_vs_serial: Option<f64>,
+}
+
+impl BenchRecord {
+    /// Builds a pipeline-stage record; optional fields start empty.
+    pub fn stage(
+        stage: &str,
+        scale: &str,
+        threads: usize,
+        seed: u64,
+        wall_time_seconds: f64,
+        samples: usize,
+    ) -> Self {
+        BenchRecord {
+            schema: BENCH_SCHEMA.to_string(),
+            stage: stage.to_string(),
+            scale: Some(scale.to_string()),
+            threads,
+            cpu_cores: available_cores(),
+            seed,
+            wall_time_seconds,
+            samples,
+            samples_per_second: if wall_time_seconds > 0.0 {
+                samples as f64 / wall_time_seconds
+            } else {
+                0.0
+            },
+            median_ns_per_iter: None,
+            table_fingerprint: None,
+            speedup_vs_serial: None,
+        }
+    }
+
+    /// The conventional file name for this record (`BENCH_<stage>.json`,
+    /// with non-alphanumeric stage characters mapped to `_`).
+    pub fn file_name(&self) -> String {
+        let sanitized: String = self
+            .stage
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .collect();
+        format!("BENCH_{sanitized}.json")
+    }
+
+    /// Serializes the record to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("a BenchRecord always serializes")
+    }
+
+    /// Deserializes a record from JSON.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        serde_json::from_str(json).map_err(|error| format!("{error:?}"))
+    }
+}
+
+/// The machine's available core count (1 if it cannot be determined).
+pub fn available_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Order-sensitive FNV-1a fingerprint of a parameter table's flat encoding.
+/// Two tables fingerprint equal exactly when their flat `f64` encodings are
+/// bit-identical; the digest is stable across processes and Rust versions.
+pub fn fingerprint_table(params: &SimParams) -> String {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for value in params.to_flat() {
+        for byte in value.to_bits().to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0100_0000_01b3);
+        }
+    }
+    format!("{hash:#018x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_round_trips_through_json() {
+        let mut record = BenchRecord::stage("fit", "smoke", 4, 7, 1.5, 6000);
+        record.table_fingerprint = Some("0xdeadbeef".to_string());
+        record.speedup_vs_serial = Some(2.5);
+        let json = record.to_json();
+        assert_eq!(BenchRecord::from_json(&json).unwrap(), record);
+        assert_eq!(record.file_name(), "BENCH_fit.json");
+        assert_eq!(record.samples_per_second, 4000.0);
+    }
+
+    #[test]
+    fn criterion_stage_names_sanitize_into_file_names() {
+        let record = BenchRecord::stage("criterion:mca/predict", "smoke", 1, 0, 0.0, 0);
+        assert_eq!(record.file_name(), "BENCH_criterion_mca_predict.json");
+        assert_eq!(record.samples_per_second, 0.0);
+    }
+
+    #[test]
+    fn fingerprints_detect_any_table_change() {
+        let base = SimParams::uniform_default();
+        let mut changed = base.clone();
+        changed.per_inst[3].write_latency += 1;
+        assert_eq!(fingerprint_table(&base), fingerprint_table(&base));
+        assert_ne!(fingerprint_table(&base), fingerprint_table(&changed));
+    }
+
+    #[test]
+    fn the_criterion_shim_emits_this_schema() {
+        // The vendored criterion shim hand-formats its JSON (it cannot depend
+        // on this crate); this test pins the two to the same schema by
+        // parsing a shim-produced record.
+        let json = criterion::bench_record_json("mca/predict batch", 125.5);
+        let record = BenchRecord::from_json(&json).expect("shim output parses as a BenchRecord");
+        assert_eq!(record.schema, BENCH_SCHEMA);
+        assert_eq!(record.stage, "criterion:mca/predict batch");
+        assert_eq!(record.median_ns_per_iter, Some(125.5));
+        assert!((record.samples_per_second - 1e9 / 125.5).abs() < 1e-3);
+        assert!((record.wall_time_seconds - 125.5e-9).abs() < 1e-18);
+        assert_eq!(record.scale, None);
+        assert_eq!(record.samples, 0);
+        assert_eq!(record.table_fingerprint, None);
+        assert_eq!(record.speedup_vs_serial, None);
+    }
+}

@@ -1,0 +1,133 @@
+//! Environment knobs for the driver.
+//!
+//! `DIFFTUNE_THREADS` selects the worker-thread count for every parallel
+//! stage (dataset generation, surrogate training, table optimization).
+//! Parsing mirrors `DIFFTUNE_SCALE` in `difftune-bench`: an unrecognized or
+//! zero value is reported as a typed [`DiffTuneError::InvalidConfig`] listing
+//! the valid values, never silently replaced with a default. Thanks to the
+//! deterministic batch engine, the knob only changes wall-clock time — the
+//! learned table is bit-identical for every thread count.
+
+use difftune_surrogate::train::MAX_THREADS;
+
+use crate::error::DiffTuneError;
+use crate::pipeline::DiffTuneConfig;
+
+/// The environment variable selecting the worker-thread count.
+pub const THREADS_ENV_VAR: &str = "DIFFTUNE_THREADS";
+
+/// Reads the `DIFFTUNE_THREADS` knob.
+///
+/// Returns `0` ("use all available cores") when the variable is unset or
+/// empty, and the parsed count otherwise.
+///
+/// # Errors
+///
+/// [`DiffTuneError::InvalidConfig`] when the value is not a number, is an
+/// explicit `0` (ambiguous — unset already means "all cores"), or exceeds
+/// [`MAX_THREADS`]. The message lists the valid values, mirroring
+/// `DIFFTUNE_SCALE` parsing.
+pub fn threads_from_env() -> Result<usize, DiffTuneError> {
+    parse_threads(std::env::var(THREADS_ENV_VAR).ok().as_deref())
+}
+
+/// [`threads_from_env`] applied to a configuration: a non-zero knob
+/// overrides both the pipeline thread count and the surrogate trainer's.
+///
+/// # Errors
+///
+/// Everything [`threads_from_env`] reports.
+pub fn apply_env_threads(config: &mut DiffTuneConfig) -> Result<(), DiffTuneError> {
+    let threads = threads_from_env()?;
+    if threads != 0 {
+        config.threads = threads;
+        config.surrogate_train.threads = threads;
+    }
+    Ok(())
+}
+
+/// The pure parser behind [`threads_from_env`] (testable without touching
+/// process environment).
+fn parse_threads(raw: Option<&str>) -> Result<usize, DiffTuneError> {
+    let invalid = |raw: &str, why: &str| DiffTuneError::InvalidConfig {
+        field: "DIFFTUNE_THREADS",
+        message: format!(
+            "{why} (got {raw:?}): valid values are 1..={MAX_THREADS}, or unset/empty for all cores"
+        ),
+    };
+    let Some(raw) = raw else {
+        return Ok(0);
+    };
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return Ok(0);
+    }
+    match trimmed.parse::<usize>() {
+        Ok(0) => Err(invalid(raw, "0 is not a worker count")),
+        Ok(count) if count > MAX_THREADS => Err(invalid(raw, "worker count is too large")),
+        Ok(count) => Ok(count),
+        Err(_) => Err(invalid(raw, "not a number")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unset_and_empty_mean_all_cores() {
+        assert_eq!(parse_threads(None), Ok(0));
+        assert_eq!(parse_threads(Some("")), Ok(0));
+        assert_eq!(parse_threads(Some("   ")), Ok(0));
+    }
+
+    #[test]
+    fn valid_counts_parse() {
+        assert_eq!(parse_threads(Some("1")), Ok(1));
+        assert_eq!(parse_threads(Some(" 4 ")), Ok(4));
+        assert_eq!(
+            parse_threads(Some(&MAX_THREADS.to_string())),
+            Ok(MAX_THREADS)
+        );
+    }
+
+    #[test]
+    fn invalid_values_are_typed_errors_listing_valid_values() {
+        for bad in ["0", "-2", "four", "1.5", "9999999"] {
+            let error = parse_threads(Some(bad)).unwrap_err();
+            let DiffTuneError::InvalidConfig { field, message } = &error else {
+                panic!("expected InvalidConfig for {bad:?}, got {error:?}");
+            };
+            assert_eq!(*field, "DIFFTUNE_THREADS");
+            assert!(
+                message.contains(&bad.to_string()) || message.contains(bad),
+                "{message:?} must echo the offending value {bad:?}"
+            );
+            assert!(
+                message.contains("all cores"),
+                "{message:?} must explain the unset default"
+            );
+        }
+    }
+
+    #[test]
+    fn env_override_applies_to_both_thread_knobs() {
+        // One test touches the env var sequentially, so parallel tests never
+        // observe a transient value.
+        std::env::remove_var(THREADS_ENV_VAR);
+        assert_eq!(threads_from_env(), Ok(0));
+        let mut config = DiffTuneConfig::default();
+        apply_env_threads(&mut config).unwrap();
+        assert_eq!(config.threads, 0, "unset must not override the config");
+
+        std::env::set_var(THREADS_ENV_VAR, "3");
+        assert_eq!(threads_from_env(), Ok(3));
+        apply_env_threads(&mut config).unwrap();
+        assert_eq!(config.threads, 3);
+        assert_eq!(config.surrogate_train.threads, 3);
+
+        std::env::set_var(THREADS_ENV_VAR, "zero");
+        assert!(threads_from_env().is_err());
+        std::env::remove_var(THREADS_ENV_VAR);
+    }
+}

@@ -75,6 +75,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod env;
 mod error;
 mod observer;
 mod pipeline;
@@ -84,11 +85,14 @@ mod simdata;
 mod spec;
 mod theta;
 
+pub use env::{apply_env_threads, threads_from_env, THREADS_ENV_VAR};
 pub use error::DiffTuneError;
 pub use observer::{ProgressEvent, RecordingObserver, RunObserver, Stage};
 pub use pipeline::{build_surrogate, DiffTune, DiffTuneConfig, SurrogateKind};
 pub use sampling::sample_table;
 pub use session::{DiffTuneBuilder, DiffTuneResult, RunCheckpoint, Session};
-pub use simdata::{generate_simulated_dataset, generate_simulated_dataset_observed};
+pub use simdata::{
+    generate_simulated_dataset, generate_simulated_dataset_observed, GENERATION_RANGE,
+};
 pub use spec::{ParamSpec, SamplingRanges};
 pub use theta::ThetaTable;

@@ -23,7 +23,7 @@ use difftune_sim::{SimParams, Simulator};
 use difftune_surrogate::train::{train_observed, TrainEvent, TrainReport};
 use difftune_surrogate::{SurrogateModel, TokenizedBlock, Vocab};
 use difftune_tensor::optim::{Adam, Optimizer};
-use difftune_tensor::{Grads, Graph, Params, Tensor};
+use difftune_tensor::{Batch, Grads, Params, Tensor};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -651,13 +651,11 @@ impl<'a> Session<'a> {
             })
             .collect();
 
-        let threads = if config.threads == 0 {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        } else {
-            config.threads
-        };
+        // The deterministic batch engine: per-sample gradients on worker
+        // threads, reduced in fixed sample order, so the learned table is
+        // bit-identical for every thread count (see tests/determinism.rs).
+        let mut engine = Batch::new(config.threads);
+        let mut grads = Grads::new(&store);
 
         let mut order: Vec<usize> = (0..samples.len()).collect();
         let batches = order.len().div_ceil(config.table_batch_size.max(1));
@@ -670,49 +668,26 @@ impl<'a> Session<'a> {
                 let batch_refs: Vec<&(TokenizedBlock, Vec<OpcodeId>, f64)> =
                     batch.iter().map(|&i| &samples[i]).collect();
 
-                let grad_of = |shard: &[&(TokenizedBlock, Vec<OpcodeId>, f64)]| -> (f64, Grads) {
-                    let mut grads = Grads::new(&store);
-                    let mut loss_total = 0.0;
-                    for (block, opcodes, timing) in shard.iter().copied() {
-                        let mut graph = Graph::new(&store);
+                grads.reset(&store);
+                let batch_loss = engine.accumulate(
+                    &store,
+                    &batch_refs,
+                    |graph, sample| {
+                        let (block, opcodes, timing) = &**sample;
                         let theta_var = graph.param(theta_id);
                         let (features, global) =
-                            ThetaTable::feature_vars(&mut graph, theta_var, opcodes);
+                            ThetaTable::feature_vars(graph, theta_var, opcodes);
                         let prediction =
-                            surrogate.forward(&mut graph, block, Some(&features), Some(global));
+                            surrogate.forward(graph, block, Some(&features), Some(global));
                         let target = timing.max(1e-3) as f32;
                         let target_var = graph.input(Tensor::scalar(target));
                         let diff = graph.sub(prediction, target_var);
                         let abs = graph.abs(diff);
-                        let loss = graph.scale(abs, 1.0 / target);
-                        loss_total += f64::from(graph.value(loss)[0]);
-                        graph.backward_scaled(loss, &mut grads, seed);
-                    }
-                    (loss_total, grads)
-                };
-
-                let (batch_loss, grads) = if threads <= 1 || batch_refs.len() < 8 {
-                    grad_of(&batch_refs)
-                } else {
-                    let chunk = batch_refs.len().div_ceil(threads);
-                    let results: Vec<(f64, Grads)> = std::thread::scope(|scope| {
-                        let handles: Vec<_> = batch_refs
-                            .chunks(chunk)
-                            .map(|shard| scope.spawn(move || grad_of(shard)))
-                            .collect();
-                        handles
-                            .into_iter()
-                            .map(|h| h.join().expect("table-training worker panicked"))
-                            .collect()
-                    });
-                    let mut total = 0.0;
-                    let mut merged = Grads::new(&store);
-                    for (loss, local) in results {
-                        total += loss;
-                        merged.merge(&local);
-                    }
-                    (total, merged)
-                };
+                        graph.scale(abs, 1.0 / target)
+                    },
+                    seed,
+                    &mut grads,
+                );
 
                 // Keep the surrogate frozen: only θ's gradient reaches the
                 // optimizer.

@@ -12,6 +12,14 @@ use crate::error::DiffTuneError;
 use crate::sampling::sample_table;
 use crate::spec::ParamSpec;
 
+/// Size of the fixed generation ranges. The sample space is partitioned into
+/// ranges of this many samples, each with its own rng stream seeded
+/// `seed + range.start`, *regardless of the worker count* — so the generated
+/// dataset is bit-identical for every `threads` value (and every machine),
+/// and workers merely pick up ranges. A run of up to one range reduces to a
+/// single stream seeded `seed`.
+pub const GENERATION_RANGE: usize = 512;
+
 /// Generates the simulated dataset `D̂ = {(θ, x, f(θ, x))}` used to train the
 /// surrogate (Equation 2).
 ///
@@ -19,11 +27,12 @@ use crate::spec::ParamSpec;
 /// multiple of the training-set size corresponds to the paper's "10× the
 /// training set" construction), a parameter table is sampled from the spec's
 /// distributions, the simulator is run, and the triple is encoded as a
-/// [`TrainSample`]. Generation is parallelized across threads. Because every
-/// sample draws its own parameter table (the paper's i.i.d. `(θ, x)`
-/// construction), there is no shared-table batch to hand to
-/// [`Simulator::predict_batch`]; parallelism comes from partitioning the
-/// sample range instead.
+/// [`TrainSample`]. Generation is parallelized across threads by handing out
+/// fixed [`GENERATION_RANGE`]-sized ranges (each seeded `seed + range.start`),
+/// so the dataset does not depend on the thread count. Because every sample
+/// draws its own parameter table (the paper's i.i.d. `(θ, x)` construction),
+/// there is no shared-table batch to hand to [`Simulator::predict_batch`];
+/// parallelism comes from partitioning the sample range instead.
 ///
 /// # Errors
 ///
@@ -55,7 +64,8 @@ pub fn generate_simulated_dataset(
 /// [`ProgressEvent::DatasetProgress`](crate::ProgressEvent::DatasetProgress)).
 ///
 /// The generated dataset is identical to [`generate_simulated_dataset`]'s for
-/// the same `(seed, threads)` — observation never changes the sample stream.
+/// the same `seed`, whatever the thread count — neither observation nor
+/// parallelism changes the sample stream.
 ///
 /// # Errors
 ///
@@ -85,14 +95,16 @@ pub fn generate_simulated_dataset_observed(
         threads
     };
 
-    // Generates `count` samples continuing an already-seeded rng, so a range
-    // can be produced in progress-reporting chunks without changing the
-    // sample stream.
-    let generate_into = |rng: &mut StdRng, count: usize, out: &mut Vec<TrainSample>| {
-        for _ in 0..count {
+    // Generates one fixed range's samples from its own rng stream. Range
+    // boundaries and seeds depend only on `size`, never on the worker count,
+    // so the dataset is bit-identical for every `threads` value.
+    let generate_range = |range: std::ops::Range<usize>| -> Vec<TrainSample> {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(range.start as u64));
+        let mut out = Vec::with_capacity(range.len());
+        for _ in range {
             // Draw a block (uniformly at random) and a parameter table.
             let block_index = rng.gen_range(0..blocks.len());
-            let table = sample_table(rng, spec, defaults);
+            let table = sample_table(&mut rng, spec, defaults);
             let target = simulator.predict(&table, &blocks[block_index]);
             let block = tokenized[block_index].clone();
             let per_inst_features = Some(block_param_features(&table, &block));
@@ -104,35 +116,38 @@ pub fn generate_simulated_dataset_observed(
                 target,
             });
         }
+        out
     };
 
-    let samples = if threads <= 1 || size < 64 {
-        // Serial path: one rng stream over the whole range, reporting between
-        // fixed-size chunks.
-        const PROGRESS_CHUNK: usize = 256;
-        let mut rng = StdRng::seed_from_u64(seed);
+    let ranges: Vec<std::ops::Range<usize>> = (0..size)
+        .step_by(GENERATION_RANGE)
+        .map(|start| start..(start + GENERATION_RANGE).min(size))
+        .collect();
+    let workers = threads.min(ranges.len()).max(1);
+
+    let samples = if workers <= 1 {
+        // Serial path: the same ranges, processed in order on this thread.
         let mut out = Vec::with_capacity(size);
-        while out.len() < size {
-            let count = PROGRESS_CHUNK.min(size - out.len());
-            generate_into(&mut rng, count, &mut out);
+        for range in ranges {
+            out.extend(generate_range(range));
             progress(out.len(), size);
         }
         out
     } else {
-        // Parallel path: partition the sample range across threads, each range
-        // seeded by its start index; report as ranges complete.
-        let chunk = size.div_ceil(threads);
-        let ranges: Vec<std::ops::Range<usize>> = (0..threads)
-            .map(|t| (t * chunk).min(size)..((t + 1) * chunk).min(size))
-            .collect();
+        // Parallel path: distribute contiguous runs of ranges across workers;
+        // results are concatenated in range order, so the stream is the same
+        // one the serial path produces.
+        let per_worker = ranges.len().div_ceil(workers);
+        let generate_range = &generate_range;
         std::thread::scope(|scope| {
             let handles: Vec<_> = ranges
-                .into_iter()
-                .map(|range| {
+                .chunks(per_worker)
+                .map(|worker_ranges| {
                     scope.spawn(move || -> Vec<TrainSample> {
-                        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(range.start as u64));
-                        let mut out = Vec::with_capacity(range.len());
-                        generate_into(&mut rng, range.len(), &mut out);
+                        let mut out = Vec::new();
+                        for range in worker_ranges {
+                            out.extend(generate_range(range.clone()));
+                        }
                         out
                     })
                 })
@@ -211,6 +226,34 @@ mod tests {
                 matching,
                 "target should be the default-parameter prediction of its block"
             );
+        }
+    }
+
+    #[test]
+    fn generation_is_bit_identical_for_every_thread_count() {
+        let sim = McaSimulator::new(16);
+        let spec = ParamSpec::llvm_mca();
+        let defaults = SimParams::uniform_default();
+        let blocks = blocks();
+        // Larger than one GENERATION_RANGE so several ranges exist.
+        let size = GENERATION_RANGE * 2 + 77;
+        let serial =
+            generate_simulated_dataset(&sim, &spec, &defaults, &blocks, size, 9, 1).unwrap();
+        for threads in [2, 3, 8] {
+            let parallel =
+                generate_simulated_dataset(&sim, &spec, &defaults, &blocks, size, 9, threads)
+                    .unwrap();
+            assert_eq!(serial.len(), parallel.len());
+            for (a, b) in serial.iter().zip(&parallel) {
+                assert_eq!(a.block, b.block, "{threads} threads changed the stream");
+                assert_eq!(
+                    a.target.to_bits(),
+                    b.target.to_bits(),
+                    "{threads} threads changed a target"
+                );
+                assert_eq!(a.per_inst_features, b.per_inst_features);
+                assert_eq!(a.global_features, b.global_features);
+            }
         }
     }
 

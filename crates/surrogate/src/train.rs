@@ -3,10 +3,19 @@
 //! Both the surrogate (trained on simulated `(θ, x, ŷ)` triples, Equation 2)
 //! and the Ithemal baseline (trained on measured `(x, y)` pairs) use the same
 //! machinery: mini-batch Adam on the paper's mean-absolute-percentage-error
-//! objective, with gradients for a batch computed across worker threads.
+//! objective, with per-sample gradients computed on worker threads by the
+//! deterministic [`Batch`] engine.
+//!
+//! # Determinism
+//!
+//! The batch engine reduces per-sample gradients in fixed sample order, so a
+//! training run is **bit-identical for every thread count**: `threads: 1`
+//! and `threads: 8` produce the same weights, losses, and reports
+//! (`multi_threaded_training_is_bit_identical_to_single_threaded` below
+//! asserts exact equality).
 
 use difftune_tensor::optim::{Adam, Optimizer};
-use difftune_tensor::{Grads, Graph, Tensor, Var};
+use difftune_tensor::{Batch, Grads, Graph, Tensor, Var};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -180,23 +189,6 @@ fn sample_loss<M: SurrogateModel + ?Sized>(
     graph.scale(abs, 1.0 / target)
 }
 
-/// Computes the summed loss and gradients for a slice of samples.
-fn batch_gradients<M: SurrogateModel + ?Sized>(
-    model: &M,
-    samples: &[&TrainSample],
-    grads: &mut Grads,
-    seed: f32,
-) -> f64 {
-    let mut total = 0.0;
-    for sample in samples {
-        let mut graph = Graph::new(model.params());
-        let loss = sample_loss(model, &mut graph, sample);
-        total += f64::from(graph.value(loss)[0]);
-        graph.backward_scaled(loss, grads, seed);
-    }
-    total
-}
-
 /// Trains a surrogate model in place and returns per-epoch statistics.
 pub fn train<M: SurrogateModel>(
     model: &mut M,
@@ -231,13 +223,8 @@ pub fn train_observed<M: SurrogateModel>(
     config.validate()?;
     let mut order: Vec<usize> = (0..samples.len()).collect();
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let threads = if config.threads == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    } else {
-        config.threads
-    };
+    let mut engine = Batch::new(config.threads);
+    let mut grads = Grads::new(model.params());
 
     let mut epoch_losses = Vec::with_capacity(config.epochs);
     for _ in 0..config.epochs {
@@ -247,35 +234,15 @@ pub fn train_observed<M: SurrogateModel>(
             let batch_samples: Vec<&TrainSample> = batch.iter().map(|&i| &samples[i]).collect();
             let seed = 1.0 / batch_samples.len() as f32;
 
-            let mut grads = Grads::new(model.params());
-            let batch_loss = if threads <= 1 || batch_samples.len() < 8 {
-                batch_gradients(&*model, &batch_samples, &mut grads, seed)
-            } else {
-                let chunk = batch_samples.len().div_ceil(threads);
-                let model_ref: &M = &*model;
-                let results: Vec<(f64, Grads)> = std::thread::scope(|scope| {
-                    let handles: Vec<_> = batch_samples
-                        .chunks(chunk)
-                        .map(|shard| {
-                            scope.spawn(move || {
-                                let mut local = Grads::new(model_ref.params());
-                                let loss = batch_gradients(model_ref, shard, &mut local, seed);
-                                (loss, local)
-                            })
-                        })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("training worker panicked"))
-                        .collect()
-                });
-                let mut total = 0.0;
-                for (loss, local) in results {
-                    total += loss;
-                    grads.merge(&local);
-                }
-                total
-            };
+            grads.reset(model.params());
+            let model_ref: &M = &*model;
+            let batch_loss = engine.accumulate(
+                model_ref.params(),
+                &batch_samples,
+                |graph, sample| sample_loss(model_ref, graph, sample),
+                seed,
+                &mut grads,
+            );
 
             if config.grad_clip > 0.0 {
                 let norm = grads.global_norm();
@@ -441,7 +408,7 @@ mod tests {
     }
 
     #[test]
-    fn multi_threaded_training_matches_single_threaded() {
+    fn multi_threaded_training_is_bit_identical_to_single_threaded() {
         let samples = make_samples(true);
         let config_single = TrainConfig {
             learning_rate: 1e-3,
@@ -450,29 +417,47 @@ mod tests {
             threads: 1,
             ..TrainConfig::default()
         };
-        let config_multi = TrainConfig {
-            threads: 4,
-            ..config_single.clone()
+
+        let make_model = |seed| {
+            FeatureMlpModel::new(FeatureMlpConfig {
+                hidden_dim: 16,
+                seed,
+                ..FeatureMlpConfig::default()
+            })
         };
+        let mut single = make_model(5);
+        let single_report = train(&mut single, &samples, &config_single).unwrap();
 
-        let mut single = FeatureMlpModel::new(FeatureMlpConfig {
-            hidden_dim: 16,
-            seed: 5,
-            ..FeatureMlpConfig::default()
-        });
-        let mut multi = FeatureMlpModel::new(FeatureMlpConfig {
-            hidden_dim: 16,
-            seed: 5,
-            ..FeatureMlpConfig::default()
-        });
-        train(&mut single, &samples, &config_single).unwrap();
-        train(&mut multi, &samples, &config_multi).unwrap();
-
-        // Same data, same seed, same batches: the result must agree to within
-        // floating-point reduction-order differences.
-        let a = evaluate(&single, &samples);
-        let b = evaluate(&multi, &samples);
-        assert!((a - b).abs() < 5e-3, "single {a} vs multi {b}");
+        // Same data, same seed, same batches: the deterministic batch engine
+        // reduces gradients in sample order, so every thread count must
+        // reproduce the serial run bit for bit — weights and losses alike.
+        for threads in [2, 4] {
+            let config_multi = TrainConfig {
+                threads,
+                ..config_single.clone()
+            };
+            let mut multi = make_model(5);
+            let multi_report = train(&mut multi, &samples, &config_multi).unwrap();
+            assert_eq!(
+                single.params(),
+                multi.params(),
+                "weights diverged with {threads} threads"
+            );
+            let single_bits: Vec<u64> = single_report
+                .epoch_losses
+                .iter()
+                .map(|l| l.to_bits())
+                .collect();
+            let multi_bits: Vec<u64> = multi_report
+                .epoch_losses
+                .iter()
+                .map(|l| l.to_bits())
+                .collect();
+            assert_eq!(
+                single_bits, multi_bits,
+                "epoch losses diverged with {threads} threads"
+            );
+        }
     }
 
     #[test]

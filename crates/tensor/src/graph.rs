@@ -1,4 +1,21 @@
-//! The computation graph (tape) and reverse-mode differentiation.
+//! The computation graph (tape), reverse-mode differentiation, and the
+//! reusable tape arena.
+//!
+//! # The arena API
+//!
+//! Training builds one tape per sample, and the tape's node values and
+//! gradient buffers used to be allocated fresh every time. A [`TapeArena`]
+//! removes that churn: [`TapeArena::scoped`] lends the arena's node storage,
+//! backward scratch, and buffer pool to a graph for the duration of a
+//! closure, then recycles every buffer back into the arena instead of
+//! freeing it. After the first few samples a training loop runs entirely on
+//! recycled memory.
+//!
+//! The arena only changes where backing memory comes from — every buffer is
+//! fully overwritten before it is read, so a graph built in a reused arena
+//! computes bit-identical values and gradients to one built with
+//! [`Graph::new`] (unit-tested below, property-tested via the
+//! [`Batch`](crate::Batch) engine).
 
 use crate::params::{Grads, ParamId, Params};
 use crate::Tensor;
@@ -46,14 +63,117 @@ struct Node {
     value: Tensor,
 }
 
+/// A pool of recycled `Vec<f32>` buffers.
+///
+/// Buffers are handed out cleared (length zero) with at least the requested
+/// capacity reserved, so reuse can never leak stale values into a
+/// computation.
+#[derive(Debug, Default)]
+struct BufferPool {
+    buffers: Vec<Vec<f32>>,
+}
+
+impl BufferPool {
+    /// Pops a cleared buffer, reserving at least `capacity` elements.
+    fn take(&mut self, capacity: usize) -> Vec<f32> {
+        match self.buffers.pop() {
+            Some(mut buffer) => {
+                buffer.clear();
+                buffer.reserve(capacity);
+                buffer
+            }
+            None => Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Returns a buffer to the pool (zero-capacity buffers are not worth
+    /// keeping).
+    fn put(&mut self, buffer: Vec<f32>) {
+        if buffer.capacity() > 0 {
+            self.buffers.push(buffer);
+        }
+    }
+
+    /// Recycles a tensor's backing buffer.
+    fn put_tensor(&mut self, tensor: Tensor) {
+        self.put(tensor.into_data());
+    }
+}
+
+/// Preallocated tape storage reused across [`Graph`]s.
+///
+/// Build graphs against the arena with [`TapeArena::scoped`]; when the
+/// closure returns, the graph's node table, backward scratch, and every
+/// tensor buffer are recycled back into the arena. One arena serves one
+/// graph at a time; use one arena per worker thread for parallel training —
+/// that is exactly what [`Batch`](crate::Batch) does.
+#[derive(Debug, Default)]
+pub struct TapeArena {
+    nodes: Vec<Node>,
+    scratch: Vec<Option<Tensor>>,
+    pool: BufferPool,
+}
+
+impl TapeArena {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        TapeArena::default()
+    }
+
+    /// Runs `f` with a graph whose tape storage comes from this arena and is
+    /// recycled (not freed) when `f` returns.
+    ///
+    /// Values and gradients are bit-identical to a graph built with
+    /// [`Graph::new`]; only the allocation behavior differs. If `f` panics,
+    /// the borrowed storage is dropped with the graph and the arena starts
+    /// over empty — correct either way, since buffers are always fully
+    /// overwritten before use.
+    pub fn scoped<R>(&mut self, params: &Params, f: impl FnOnce(&mut Graph<'_>) -> R) -> R {
+        let mut graph = Graph {
+            params,
+            nodes: std::mem::take(&mut self.nodes),
+            scratch: std::mem::take(&mut self.scratch),
+            pool: std::mem::take(&mut self.pool),
+        };
+        let result = f(&mut graph);
+        let mut pool = std::mem::take(&mut graph.pool);
+        for node in graph.nodes.drain(..) {
+            // Input tensors were allocated by the caller, not drawn from the
+            // pool; recycling them would grow the pool without bound (one
+            // orphan buffer per input per tape). Every other node's buffer
+            // came from the pool, so takes and puts stay balanced.
+            if !matches!(node.op, Op::Input) {
+                pool.put_tensor(node.value);
+            }
+        }
+        for slot in graph.scratch.drain(..).flatten() {
+            pool.put_tensor(slot);
+        }
+        self.nodes = std::mem::take(&mut graph.nodes);
+        self.scratch = std::mem::take(&mut graph.scratch);
+        self.pool = pool;
+        result
+    }
+
+    /// Number of buffers currently parked in the pool (useful for asserting
+    /// reuse in tests and diagnostics).
+    pub fn pooled_buffers(&self) -> usize {
+        self.pool.buffers.len()
+    }
+}
+
 /// A dynamically built computation graph over a borrowed parameter store.
 ///
 /// Graphs are cheap, single-use objects: build one per sample (or per
-/// forward/backward pass), call [`Graph::backward`], and drop it.
+/// forward/backward pass), call [`Graph::backward`], and drop it. In hot
+/// loops, build them inside a [`TapeArena`] with [`TapeArena::scoped`] so
+/// the per-sample allocations are recycled instead of freed.
 #[derive(Debug)]
 pub struct Graph<'p> {
     params: &'p Params,
     nodes: Vec<Node>,
+    scratch: Vec<Option<Tensor>>,
+    pool: BufferPool,
 }
 
 impl<'p> Graph<'p> {
@@ -62,6 +182,8 @@ impl<'p> Graph<'p> {
         Graph {
             params,
             nodes: Vec::with_capacity(64),
+            scratch: Vec::new(),
+            pool: BufferPool::default(),
         }
     }
 
@@ -83,7 +205,11 @@ impl<'p> Graph<'p> {
     /// A leaf node referencing a trainable parameter; gradients flow into the
     /// corresponding [`Grads`] slot during [`Graph::backward`].
     pub fn param(&mut self, id: ParamId) -> Var {
-        let value = self.params.get(id).clone();
+        let params = self.params;
+        let src = params.get(id);
+        let mut data = self.pool.take(src.len());
+        data.extend_from_slice(src.data());
+        let value = Tensor::from_vec(data, src.shape().to_vec());
         self.push(Op::Param(id), value)
     }
 
@@ -92,33 +218,59 @@ impl<'p> Graph<'p> {
         self.push(Op::Input, value)
     }
 
+    /// Computes an elementwise unary op into a pooled buffer.
+    fn map(&mut self, a: Var, f: impl Fn(f32) -> f32) -> Tensor {
+        let len = self.nodes[a.0].value.len();
+        let mut out = self.pool.take(len);
+        let src = &self.nodes[a.0].value;
+        out.extend(src.data().iter().map(|&x| f(x)));
+        Tensor::from_vec(out, src.shape().to_vec())
+    }
+
+    /// Computes an elementwise binary op into a pooled buffer.
+    fn zip(&mut self, a: Var, b: Var, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        let len = self.nodes[a.0].value.len();
+        let mut out = self.pool.take(len);
+        let at = &self.nodes[a.0].value;
+        let bt = &self.nodes[b.0].value;
+        assert_eq!(
+            at.shape(),
+            bt.shape(),
+            "elementwise shape mismatch: {:?} vs {:?}",
+            at.shape(),
+            bt.shape()
+        );
+        out.extend(at.data().iter().zip(bt.data()).map(|(&x, &y)| f(x, y)));
+        Tensor::from_vec(out, at.shape().to_vec())
+    }
+
     /// Elementwise addition. Shapes must match.
     pub fn add(&mut self, a: Var, b: Var) -> Var {
-        let value = zip(&self.nodes[a.0].value, &self.nodes[b.0].value, |x, y| x + y);
+        let value = self.zip(a, b, |x, y| x + y);
         self.push(Op::Add(a, b), value)
     }
 
     /// Elementwise subtraction (`a - b`). Shapes must match.
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
-        let value = zip(&self.nodes[a.0].value, &self.nodes[b.0].value, |x, y| x - y);
+        let value = self.zip(a, b, |x, y| x - y);
         self.push(Op::Sub(a, b), value)
     }
 
     /// Elementwise multiplication. Shapes must match.
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
-        let value = zip(&self.nodes[a.0].value, &self.nodes[b.0].value, |x, y| x * y);
+        let value = self.zip(a, b, |x, y| x * y);
         self.push(Op::Mul(a, b), value)
     }
 
     /// Multiplies every element by a constant.
     pub fn scale(&mut self, a: Var, factor: f32) -> Var {
-        let value = map(&self.nodes[a.0].value, |x| x * factor);
+        let value = self.map(a, |x| x * factor);
         self.push(Op::Scale(a, factor), value)
     }
 
     /// Adds a constant to every element.
     pub fn add_scalar(&mut self, a: Var, constant: f32) -> Var {
-        let value = map(&self.nodes[a.0].value, |x| x + constant);
+        let value = self.map(a, |x| x + constant);
         self.push(Op::AddScalar(a), value)
     }
 
@@ -128,57 +280,61 @@ impl<'p> Graph<'p> {
     ///
     /// Panics if the shapes are incompatible.
     pub fn matvec(&mut self, w: Var, x: Var) -> Var {
-        let wt = &self.nodes[w.0].value;
-        let xt = &self.nodes[x.0].value;
-        assert_eq!(wt.shape().len(), 2, "matvec weight must be a matrix");
-        let (m, n) = (wt.rows(), wt.cols());
-        assert_eq!(
-            xt.len(),
-            n,
-            "matvec shape mismatch: [{m}, {n}] · [{}]",
-            xt.len()
-        );
-        let mut out = vec![0.0f32; m];
-        let wd = wt.data();
-        let xd = xt.data();
+        let (m, n) = {
+            let wt = &self.nodes[w.0].value;
+            let xt = &self.nodes[x.0].value;
+            assert_eq!(wt.shape().len(), 2, "matvec weight must be a matrix");
+            let (m, n) = (wt.rows(), wt.cols());
+            assert_eq!(
+                xt.len(),
+                n,
+                "matvec shape mismatch: [{m}, {n}] · [{}]",
+                xt.len()
+            );
+            (m, n)
+        };
+        let mut out = self.pool.take(m);
+        let wd = self.nodes[w.0].value.data();
+        let xd = self.nodes[x.0].value.data();
         for i in 0..m {
             let row = &wd[i * n..(i + 1) * n];
             let mut acc = 0.0f32;
             for j in 0..n {
                 acc += row[j] * xd[j];
             }
-            out[i] = acc;
+            out.push(acc);
         }
         self.push(Op::MatVec { w, x }, Tensor::vector(out))
     }
 
     /// Elementwise logistic sigmoid.
     pub fn sigmoid(&mut self, a: Var) -> Var {
-        let value = map(&self.nodes[a.0].value, |x| 1.0 / (1.0 + (-x).exp()));
+        let value = self.map(a, |x| 1.0 / (1.0 + (-x).exp()));
         self.push(Op::Sigmoid(a), value)
     }
 
     /// Elementwise hyperbolic tangent.
     pub fn tanh(&mut self, a: Var) -> Var {
-        let value = map(&self.nodes[a.0].value, f32::tanh);
+        let value = self.map(a, f32::tanh);
         self.push(Op::Tanh(a), value)
     }
 
     /// Elementwise rectified linear unit.
     pub fn relu(&mut self, a: Var) -> Var {
-        let value = map(&self.nodes[a.0].value, |x| x.max(0.0));
+        let value = self.map(a, |x| x.max(0.0));
         self.push(Op::Relu(a), value)
     }
 
     /// Elementwise absolute value.
     pub fn abs(&mut self, a: Var) -> Var {
-        let value = map(&self.nodes[a.0].value, f32::abs);
+        let value = self.map(a, f32::abs);
         self.push(Op::Abs(a), value)
     }
 
     /// Concatenates vectors into one vector.
     pub fn concat(&mut self, parts: &[Var]) -> Var {
-        let mut data = Vec::new();
+        let total: usize = parts.iter().map(|p| self.nodes[p.0].value.len()).sum();
+        let mut data = self.pool.take(total);
         for part in parts {
             data.extend_from_slice(self.nodes[part.0].value.data());
         }
@@ -191,7 +347,8 @@ impl<'p> Graph<'p> {
     ///
     /// Panics if the slice is out of range.
     pub fn slice(&mut self, src: Var, start: usize, len: usize) -> Var {
-        let data = self.nodes[src.0].value.data()[start..start + len].to_vec();
+        let mut data = self.pool.take(len);
+        data.extend_from_slice(&self.nodes[src.0].value.data()[start..start + len]);
         self.push(Op::Slice { src, start, len }, Tensor::vector(data))
     }
 
@@ -201,25 +358,33 @@ impl<'p> Graph<'p> {
     ///
     /// Panics if the node is not a matrix or the row is out of range.
     pub fn row(&mut self, table: Var, row: usize) -> Var {
-        let data = self.nodes[table.0].value.row(row).to_vec();
+        let cols = self.nodes[table.0].value.cols();
+        let mut data = self.pool.take(cols);
+        data.extend_from_slice(self.nodes[table.0].value.row(row));
         self.push(Op::Row { table, row }, Tensor::vector(data))
     }
 
     /// Sum of all elements (produces a scalar).
     pub fn sum(&mut self, a: Var) -> Var {
         let total: f32 = self.nodes[a.0].value.data().iter().sum();
-        self.push(Op::Sum(a), Tensor::scalar(total))
+        let mut data = self.pool.take(1);
+        data.push(total);
+        self.push(Op::Sum(a), Tensor::vector(data))
     }
 
     /// Mean of all elements (produces a scalar).
     pub fn mean(&mut self, a: Var) -> Var {
-        let t = &self.nodes[a.0].value;
-        let mean = if t.is_empty() {
-            0.0
-        } else {
-            t.data().iter().sum::<f32>() / t.len() as f32
+        let mean = {
+            let t = &self.nodes[a.0].value;
+            if t.is_empty() {
+                0.0
+            } else {
+                t.data().iter().sum::<f32>() / t.len() as f32
+            }
         };
-        self.push(Op::Mean(a), Tensor::scalar(mean))
+        let mut data = self.pool.take(1);
+        data.push(mean);
+        self.push(Op::Mean(a), Tensor::vector(data))
     }
 
     /// Runs reverse-mode differentiation from `loss` (which must be a scalar
@@ -229,20 +394,24 @@ impl<'p> Graph<'p> {
     /// # Panics
     ///
     /// Panics if `loss` is not a single-element node.
-    pub fn backward(&self, loss: Var, grads: &mut Grads) {
+    pub fn backward(&mut self, loss: Var, grads: &mut Grads) {
         self.backward_scaled(loss, grads, 1.0);
     }
 
     /// Like [`Graph::backward`] but seeds the loss gradient with `seed`
     /// (useful for averaging over a batch without rescaling afterwards).
-    pub fn backward_scaled(&self, loss: Var, grads: &mut Grads, seed: f32) {
+    pub fn backward_scaled(&mut self, loss: Var, grads: &mut Grads, seed: f32) {
         assert_eq!(
             self.nodes[loss.0].value.len(),
             1,
             "backward requires a scalar loss"
         );
-        let mut node_grads: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
-        node_grads[loss.0] = Some(Tensor::scalar(seed));
+        let mut node_grads = std::mem::take(&mut self.scratch);
+        node_grads.clear();
+        node_grads.resize_with(self.nodes.len(), || None);
+        let mut seed_data = self.pool.take(1);
+        seed_data.push(seed);
+        node_grads[loss.0] = Some(Tensor::vector(seed_data));
 
         for index in (0..self.nodes.len()).rev() {
             let Some(grad) = node_grads[index].take() else {
@@ -253,39 +422,45 @@ impl<'p> Graph<'p> {
                 Op::Input => {}
                 Op::Param(id) => grads.accumulate(*id, &grad, 1.0),
                 Op::Add(a, b) => {
-                    add_grad(&mut node_grads, *a, grad.data(), 1.0);
-                    add_grad(&mut node_grads, *b, grad.data(), 1.0);
+                    add_grad(&mut node_grads, &mut self.pool, *a, grad.data(), 1.0);
+                    add_grad(&mut node_grads, &mut self.pool, *b, grad.data(), 1.0);
                 }
                 Op::Sub(a, b) => {
-                    add_grad(&mut node_grads, *a, grad.data(), 1.0);
-                    add_grad(&mut node_grads, *b, grad.data(), -1.0);
+                    add_grad(&mut node_grads, &mut self.pool, *a, grad.data(), 1.0);
+                    add_grad(&mut node_grads, &mut self.pool, *b, grad.data(), -1.0);
                 }
                 Op::Mul(a, b) => {
-                    let bv: Vec<f32> = grad
-                        .data()
-                        .iter()
-                        .zip(self.nodes[b.0].value.data())
-                        .map(|(g, v)| g * v)
-                        .collect();
-                    let av: Vec<f32> = grad
-                        .data()
-                        .iter()
-                        .zip(self.nodes[a.0].value.data())
-                        .map(|(g, v)| g * v)
-                        .collect();
-                    add_grad(&mut node_grads, *a, &bv, 1.0);
-                    add_grad(&mut node_grads, *b, &av, 1.0);
+                    let mut bv = self.pool.take(grad.len());
+                    bv.extend(
+                        grad.data()
+                            .iter()
+                            .zip(self.nodes[b.0].value.data())
+                            .map(|(g, v)| g * v),
+                    );
+                    let mut av = self.pool.take(grad.len());
+                    av.extend(
+                        grad.data()
+                            .iter()
+                            .zip(self.nodes[a.0].value.data())
+                            .map(|(g, v)| g * v),
+                    );
+                    add_grad_owned(&mut node_grads, &mut self.pool, *a, bv);
+                    add_grad_owned(&mut node_grads, &mut self.pool, *b, av);
                 }
-                Op::Scale(a, factor) => add_grad(&mut node_grads, *a, grad.data(), *factor),
-                Op::AddScalar(a) => add_grad(&mut node_grads, *a, grad.data(), 1.0),
+                Op::Scale(a, factor) => {
+                    add_grad(&mut node_grads, &mut self.pool, *a, grad.data(), *factor)
+                }
+                Op::AddScalar(a) => add_grad(&mut node_grads, &mut self.pool, *a, grad.data(), 1.0),
                 Op::MatVec { w, x } => {
                     let wt = &self.nodes[w.0].value;
                     let xt = &self.nodes[x.0].value;
                     let (m, n) = (wt.rows(), wt.cols());
                     // dL/dW[i,j] = g[i] * x[j]; dL/dx[j] = sum_i g[i] * W[i,j]
                     let g = grad.data();
-                    let mut dw = vec![0.0f32; m * n];
-                    let mut dx = vec![0.0f32; n];
+                    let mut dw = self.pool.take(m * n);
+                    dw.resize(m * n, 0.0);
+                    let mut dx = self.pool.take(n);
+                    dx.resize(n, 0.0);
                     let wd = wt.data();
                     let xd = xt.data();
                     for i in 0..m {
@@ -300,44 +475,53 @@ impl<'p> Graph<'p> {
                             dx[j] += gi * row[j];
                         }
                     }
-                    add_grad_shaped(&mut node_grads, *w, Tensor::matrix(m, n, dw));
-                    add_grad(&mut node_grads, *x, &dx, 1.0);
+                    add_grad_shaped(
+                        &mut node_grads,
+                        &mut self.pool,
+                        *w,
+                        Tensor::matrix(m, n, dw),
+                    );
+                    add_grad_owned(&mut node_grads, &mut self.pool, *x, dx);
                 }
                 Op::Sigmoid(a) => {
-                    let d: Vec<f32> = grad
-                        .data()
-                        .iter()
-                        .zip(node.value.data())
-                        .map(|(g, y)| g * y * (1.0 - y))
-                        .collect();
-                    add_grad(&mut node_grads, *a, &d, 1.0);
+                    let mut d = self.pool.take(grad.len());
+                    d.extend(
+                        grad.data()
+                            .iter()
+                            .zip(node.value.data())
+                            .map(|(g, y)| g * y * (1.0 - y)),
+                    );
+                    add_grad_owned(&mut node_grads, &mut self.pool, *a, d);
                 }
                 Op::Tanh(a) => {
-                    let d: Vec<f32> = grad
-                        .data()
-                        .iter()
-                        .zip(node.value.data())
-                        .map(|(g, y)| g * (1.0 - y * y))
-                        .collect();
-                    add_grad(&mut node_grads, *a, &d, 1.0);
+                    let mut d = self.pool.take(grad.len());
+                    d.extend(
+                        grad.data()
+                            .iter()
+                            .zip(node.value.data())
+                            .map(|(g, y)| g * (1.0 - y * y)),
+                    );
+                    add_grad_owned(&mut node_grads, &mut self.pool, *a, d);
                 }
                 Op::Relu(a) => {
-                    let d: Vec<f32> = grad
-                        .data()
-                        .iter()
-                        .zip(self.nodes[a.0].value.data())
-                        .map(|(g, x)| if *x > 0.0 { *g } else { 0.0 })
-                        .collect();
-                    add_grad(&mut node_grads, *a, &d, 1.0);
+                    let mut d = self.pool.take(grad.len());
+                    d.extend(
+                        grad.data()
+                            .iter()
+                            .zip(self.nodes[a.0].value.data())
+                            .map(|(g, x)| if *x > 0.0 { *g } else { 0.0 }),
+                    );
+                    add_grad_owned(&mut node_grads, &mut self.pool, *a, d);
                 }
                 Op::Abs(a) => {
-                    let d: Vec<f32> = grad
-                        .data()
-                        .iter()
-                        .zip(self.nodes[a.0].value.data())
-                        .map(|(g, x)| if *x >= 0.0 { *g } else { -*g })
-                        .collect();
-                    add_grad(&mut node_grads, *a, &d, 1.0);
+                    let mut d = self.pool.take(grad.len());
+                    d.extend(
+                        grad.data()
+                            .iter()
+                            .zip(self.nodes[a.0].value.data())
+                            .map(|(g, x)| if *x >= 0.0 { *g } else { -*g }),
+                    );
+                    add_grad_owned(&mut node_grads, &mut self.pool, *a, d);
                 }
                 Op::Concat(parts) => {
                     let mut offset = 0;
@@ -345,6 +529,7 @@ impl<'p> Graph<'p> {
                         let len = self.nodes[part.0].value.len();
                         add_grad(
                             &mut node_grads,
+                            &mut self.pool,
                             *part,
                             &grad.data()[offset..offset + len],
                             1.0,
@@ -354,9 +539,10 @@ impl<'p> Graph<'p> {
                 }
                 Op::Slice { src, start, len } => {
                     let total = self.nodes[src.0].value.len();
-                    let mut d = vec![0.0f32; total];
+                    let mut d = self.pool.take(total);
+                    d.resize(total, 0.0);
                     d[*start..*start + *len].copy_from_slice(grad.data());
-                    add_grad(&mut node_grads, *src, &d, 1.0);
+                    add_grad_owned(&mut node_grads, &mut self.pool, *src, d);
                 }
                 Op::Row { table, row } => {
                     // Fast path: embedding tables are parameter leaves, so the
@@ -374,26 +560,39 @@ impl<'p> Graph<'p> {
                         );
                     } else {
                         let shape = table_node.value.shape().to_vec();
+                        let total = table_node.value.len();
                         let cols = table_node.value.cols();
-                        let mut dense = Tensor::zeros(shape);
-                        dense.data_mut()[row * cols..row * cols + grad.len()]
-                            .copy_from_slice(grad.data());
-                        add_grad_shaped(&mut node_grads, *table, dense);
+                        let mut d = self.pool.take(total);
+                        d.resize(total, 0.0);
+                        d[row * cols..row * cols + grad.len()].copy_from_slice(grad.data());
+                        add_grad_shaped(
+                            &mut node_grads,
+                            &mut self.pool,
+                            *table,
+                            Tensor::from_vec(d, shape),
+                        );
                     }
                 }
                 Op::Sum(a) => {
                     let g = grad.item();
-                    let d = vec![g; self.nodes[a.0].value.len()];
-                    add_grad(&mut node_grads, *a, &d, 1.0);
+                    let len = self.nodes[a.0].value.len();
+                    let mut d = self.pool.take(len);
+                    d.resize(len, g);
+                    add_grad_owned(&mut node_grads, &mut self.pool, *a, d);
                 }
                 Op::Mean(a) => {
                     let len = self.nodes[a.0].value.len().max(1);
                     let g = grad.item() / len as f32;
-                    let d = vec![g; self.nodes[a.0].value.len()];
-                    add_grad(&mut node_grads, *a, &d, 1.0);
+                    let len = self.nodes[a.0].value.len();
+                    let mut d = self.pool.take(len);
+                    d.resize(len, g);
+                    add_grad_owned(&mut node_grads, &mut self.pool, *a, d);
                 }
             }
+            self.pool.put_tensor(grad);
         }
+        node_grads.clear();
+        self.scratch = node_grads;
     }
 
     /// Number of nodes recorded on the tape.
@@ -407,49 +606,52 @@ impl<'p> Graph<'p> {
     }
 }
 
-fn map(t: &Tensor, f: impl Fn(f32) -> f32) -> Tensor {
-    Tensor::from_vec(t.data().iter().map(|&x| f(x)).collect(), t.shape().to_vec())
-}
-
-fn zip(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
-    assert_eq!(
-        a.shape(),
-        b.shape(),
-        "elementwise shape mismatch: {:?} vs {:?}",
-        a.shape(),
-        b.shape()
-    );
-    Tensor::from_vec(
-        a.data()
-            .iter()
-            .zip(b.data())
-            .map(|(&x, &y)| f(x, y))
-            .collect(),
-        a.shape().to_vec(),
-    )
-}
-
-fn add_grad(grads: &mut [Option<Tensor>], var: Var, values: &[f32], scale: f32) {
-    let slot = &mut grads[var.0];
-    match slot {
+/// Adds `values * scale` into a node-gradient slot, drawing any fresh buffer
+/// from the pool.
+fn add_grad(
+    slots: &mut [Option<Tensor>],
+    pool: &mut BufferPool,
+    var: Var,
+    values: &[f32],
+    scale: f32,
+) {
+    match &mut slots[var.0] {
         Some(existing) => {
             for (dst, src) in existing.data_mut().iter_mut().zip(values) {
                 *dst += src * scale;
             }
         }
-        None => {
-            let data: Vec<f32> = values.iter().map(|v| v * scale).collect();
-            let len = data.len();
-            *slot = Some(Tensor::from_vec(data, vec![len]));
+        slot @ None => {
+            let mut data = pool.take(values.len());
+            data.extend(values.iter().map(|v| v * scale));
+            *slot = Some(Tensor::vector(data));
         }
     }
 }
 
-fn add_grad_shaped(grads: &mut [Option<Tensor>], var: Var, value: Tensor) {
-    let slot = &mut grads[var.0];
-    match slot {
-        Some(existing) => existing.add_scaled(&value, 1.0),
-        None => *slot = Some(value),
+/// Adds an owned, already-scaled vector buffer into a node-gradient slot,
+/// recycling it into the pool when the slot is already populated.
+fn add_grad_owned(slots: &mut [Option<Tensor>], pool: &mut BufferPool, var: Var, data: Vec<f32>) {
+    match &mut slots[var.0] {
+        Some(existing) => {
+            for (dst, src) in existing.data_mut().iter_mut().zip(&data) {
+                *dst += src;
+            }
+            pool.put(data);
+        }
+        slot @ None => *slot = Some(Tensor::vector(data)),
+    }
+}
+
+/// Adds a shaped (matrix) gradient tensor into a node-gradient slot,
+/// recycling its buffer when the slot is already populated.
+fn add_grad_shaped(slots: &mut [Option<Tensor>], pool: &mut BufferPool, var: Var, value: Tensor) {
+    match &mut slots[var.0] {
+        Some(existing) => {
+            existing.add_scaled(&value, 1.0);
+            pool.put_tensor(value);
+        }
+        slot @ None => *slot = Some(value),
     }
 }
 
@@ -578,5 +780,99 @@ mod tests {
         let wv = g.param(w);
         let mut grads = Grads::new(&params);
         g.backward(wv, &mut grads);
+    }
+
+    /// Runs a small but op-diverse forward/backward pass and returns the loss
+    /// value plus the parameter gradients.
+    fn run_workload(graph: &mut Graph<'_>, ids: &[ParamId], shift: f32) -> (Vec<f32>, Grads) {
+        let w = graph.param(ids[0]);
+        let table = graph.param(ids[1]);
+        let x = graph.input(Tensor::vector(vec![0.4 + shift, -0.9, 1.3]));
+        let h = graph.matvec(w, x);
+        let t = graph.tanh(h);
+        let r0 = graph.row(table, 0);
+        let r1 = graph.row(table, 2);
+        let mix = graph.mul(r0, r1);
+        let cat = graph.concat(&[t, mix]);
+        let s = graph.sigmoid(cat);
+        let shifted = graph.add_scalar(s, shift);
+        let loss = graph.mean(shifted);
+        let mut grads = Grads::new(graph.params);
+        graph.backward(loss, &mut grads);
+        (graph.value(loss).to_vec(), grads)
+    }
+
+    fn workload_params() -> (Params, Vec<ParamId>) {
+        let mut params = Params::new();
+        let w = params.add(
+            "w",
+            Tensor::matrix(2, 3, (0..6).map(|i| 0.3 * i as f32 - 0.8).collect()),
+        );
+        let table = params.add(
+            "table",
+            Tensor::matrix(3, 2, (0..6).map(|i| 0.25 * i as f32 - 0.5).collect()),
+        );
+        (params, vec![w, table])
+    }
+
+    #[test]
+    fn arena_reuse_is_bit_identical_to_fresh_graphs() {
+        let (params, ids) = workload_params();
+        let mut arena = TapeArena::new();
+
+        // Three different workloads through the same arena; every one must
+        // match a fresh (arena-free) graph bit for bit — reused buffers must
+        // never leak stale values into a later tape.
+        for step in 0..3 {
+            let shift = step as f32 * 0.7 - 0.4;
+            let (fresh_loss, fresh_grads) = {
+                let mut graph = Graph::new(&params);
+                run_workload(&mut graph, &ids, shift)
+            };
+            let (arena_loss, arena_grads) =
+                arena.scoped(&params, |graph| run_workload(graph, &ids, shift));
+            assert_eq!(
+                fresh_loss, arena_loss,
+                "values must not change (step {step})"
+            );
+            assert_eq!(
+                fresh_grads, arena_grads,
+                "gradients must not change (step {step})"
+            );
+        }
+    }
+
+    #[test]
+    fn arena_recycles_buffers_across_tapes() {
+        let (params, ids) = workload_params();
+        let mut arena = TapeArena::new();
+        assert_eq!(arena.pooled_buffers(), 0);
+        arena.scoped(&params, |graph| run_workload(graph, &ids, 0.0));
+        let after_first = arena.pooled_buffers();
+        assert!(after_first > 0, "finishing a scope must park its buffers");
+        arena.scoped(&params, |graph| run_workload(graph, &ids, 1.0));
+        // An identical workload consumes and returns the same buffers: the
+        // pool reaches a steady state instead of growing.
+        assert_eq!(arena.pooled_buffers(), after_first);
+    }
+
+    #[test]
+    fn arena_graph_with_smaller_tape_leaves_no_stale_nodes() {
+        let (params, ids) = workload_params();
+        let mut arena = TapeArena::new();
+        arena.scoped(&params, |graph| {
+            run_workload(graph, &ids, 0.0);
+            assert!(graph.len() > 3);
+        });
+        // A much smaller tape in the same arena: its node count and values
+        // must reflect only its own ops.
+        arena.scoped(&params, |graph| {
+            assert!(graph.is_empty());
+            let w = graph.param(ids[0]);
+            let loss = graph.sum(w);
+            assert_eq!(graph.len(), 2);
+            let expected: f32 = params.get(ids[0]).data().iter().sum();
+            assert_eq!(graph.value(loss), &[expected]);
+        });
     }
 }

@@ -13,6 +13,12 @@
 //! * [`Graph`] / [`Var`] — a tape: building an expression records nodes, and
 //!   [`Graph::backward`] walks the tape in reverse accumulating gradients into
 //!   a [`Grads`] store keyed by [`ParamId`].
+//! * [`TapeArena`] — preallocated tape storage: [`TapeArena::scoped`]
+//!   recycles node values and gradient buffers across tapes so hot training
+//!   loops stop paying per-sample allocation churn.
+//! * [`Batch`] — the deterministic data-parallel gradient engine: per-sample
+//!   forward/backward on scoped worker threads, gradients reduced in fixed
+//!   sample order so every thread count produces bit-identical results.
 //! * [`nn`] — the layers the Ithemal-style surrogate needs: linear layers,
 //!   embedding tables, and (stacked) LSTM cells.
 //! * [`optim`] — SGD and Adam.
@@ -40,6 +46,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod batch;
 pub mod check;
 mod graph;
 pub mod nn;
@@ -47,6 +54,7 @@ pub mod optim;
 mod params;
 mod tensor;
 
-pub use graph::{Graph, Var};
+pub use batch::{Batch, REDUCTION_CHUNK};
+pub use graph::{Graph, TapeArena, Var};
 pub use params::{Grads, ParamId, Params};
 pub use tensor::Tensor;

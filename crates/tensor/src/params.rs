@@ -87,7 +87,7 @@ impl Params {
 /// Buffers are allocated lazily on first accumulation and reused across
 /// samples, so per-sample backward passes do not reallocate large embedding
 /// gradients.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Grads {
     slots: Vec<Option<Tensor>>,
 }
@@ -146,6 +146,28 @@ impl Grads {
         for slot in self.slots.iter_mut().flatten() {
             slot.fill_zero();
         }
+    }
+
+    /// Resizes the slot table to match `params` and zeroes every already
+    /// allocated buffer, keeping the allocations for reuse. The deterministic
+    /// [`Batch`](crate::Batch) engine calls this between batches so gradient
+    /// slots stop allocating after the first batch. The store must keep
+    /// being used with parameters of the same shapes; reusing it across
+    /// different models panics on the first shape mismatch, as accumulation
+    /// always has.
+    ///
+    /// Note the difference from a fresh [`Grads::new`]: a slot that was ever
+    /// populated stays `Some` (holding zeros) rather than reverting to
+    /// `None`, so optimizers that skip `None` slots (see
+    /// [`optim`](crate::optim)) will treat a parameter untouched in this
+    /// batch but touched earlier as having an explicit zero gradient — Adam
+    /// then still decays its moments and applies a step. Today every model
+    /// touches every parameter each batch, so the two behave identically;
+    /// a future sparse model should reconsider this before reusing a store
+    /// across batches.
+    pub fn reset(&mut self, params: &Params) {
+        self.slots.resize(params.len(), None);
+        self.zero();
     }
 
     /// Merges another gradient store into this one (summing overlapping slots).

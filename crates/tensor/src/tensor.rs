@@ -142,6 +142,12 @@ impl Tensor {
         self.data.iter_mut().for_each(|v| *v = 0.0);
     }
 
+    /// Consumes the tensor, returning its backing buffer (used by the tape
+    /// arena to recycle allocations across graphs).
+    pub(crate) fn into_data(self) -> Vec<f32> {
+        self.data
+    }
+
     /// The L2 norm of the tensor.
     pub fn norm(&self) -> f32 {
         self.data.iter().map(|v| v * v).sum::<f32>().sqrt()

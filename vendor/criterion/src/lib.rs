@@ -7,6 +7,12 @@
 //! `cargo bench` compiles, runs, and prints stable per-iteration timings in
 //! an environment without registry access. A positional CLI filter argument
 //! (as passed by `cargo bench -- <filter>`) selects matching benchmarks.
+//!
+//! When the `DIFFTUNE_BENCH_JSON` environment variable names a directory,
+//! each benchmark additionally writes its median as a
+//! `BENCH_criterion_<id>.json` record in the `difftune-bench/1` schema (see
+//! `difftune_bench::record::BenchRecord`), so criterion output and the
+//! pipeline perf runner share one schema.
 
 use std::time::{Duration, Instant};
 
@@ -44,7 +50,10 @@ impl Criterion {
         };
         routine(&mut bencher);
         match median_ns(&mut bencher.samples) {
-            Some(ns) => println!("{id:<40} {ns:>12.1} ns/iter"),
+            Some(ns) => {
+                println!("{id:<40} {ns:>12.1} ns/iter");
+                emit_json_record(id, ns);
+            }
             None => println!("{id:<40} {:>12} (no samples)", "-"),
         }
         self
@@ -87,6 +96,59 @@ impl Bencher {
             self.samples
                 .push(elapsed.as_nanos() as f64 / iters_per_sample as f64);
         }
+    }
+}
+
+/// Formats a benchmark median as a `difftune-bench/1` [`BenchRecord`]-shaped
+/// JSON object (field order and names must match
+/// `difftune_bench::record::BenchRecord`, which has a test pinning the two).
+///
+/// [`BenchRecord`]: https://docs.rs/difftune-bench
+pub fn bench_record_json(id: &str, median_ns: f64) -> String {
+    let escaped: String = id
+        .chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            c if c.is_control() => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect();
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let wall_seconds = median_ns * 1e-9;
+    let per_second = if median_ns > 0.0 {
+        1e9 / median_ns
+    } else {
+        0.0
+    };
+    format!(
+        "{{\"schema\":\"difftune-bench/1\",\"stage\":\"criterion:{escaped}\",\
+         \"scale\":null,\"threads\":1,\"cpu_cores\":{cores},\"seed\":0,\
+         \"wall_time_seconds\":{wall_seconds:?},\"samples\":0,\
+         \"samples_per_second\":{per_second:?},\
+         \"median_ns_per_iter\":{median_ns:?},\"table_fingerprint\":null,\
+         \"speedup_vs_serial\":null}}"
+    )
+}
+
+/// Writes the benchmark's JSON record into the directory named by
+/// `DIFFTUNE_BENCH_JSON` (silently skipped when unset; write errors are
+/// reported to stderr but never fail the benchmark run).
+fn emit_json_record(id: &str, median_ns: f64) {
+    let Ok(dir) = std::env::var("DIFFTUNE_BENCH_JSON") else {
+        return;
+    };
+    if dir.is_empty() {
+        return;
+    }
+    let sanitized: String = id
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    let path = std::path::Path::new(&dir).join(format!("BENCH_criterion_{sanitized}.json"));
+    if let Err(error) = std::fs::write(&path, bench_record_json(id, median_ns)) {
+        eprintln!("warning: could not write {}: {error}", path.display());
     }
 }
 
