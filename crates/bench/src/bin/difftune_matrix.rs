@@ -1,0 +1,249 @@
+//! `difftune-matrix` — the scenario-matrix sweep runner.
+//!
+//! Tunes and scores every `Simulator × Microarch × ParamSpec` cell (or a
+//! `--cell` selection) at the chosen scale, writing one
+//! `MATRIX_<sim>_<uarch>_<spec>.json` per completed cell plus a
+//! `MATRIX_summary.json` roll-up, all in the `difftune-matrix/1` schema.
+//! Cells run in parallel (`DIFFTUNE_THREADS` cells at a time; outputs are
+//! byte-identical for every thread count), and an interrupted sweep resumes:
+//! completed cells are recognized by their on-disk records and unfinished
+//! cells restart from their per-stage session checkpoints.
+//!
+//! ```text
+//! difftune-matrix [--scale smoke|small|paper] [--out-dir DIR]
+//!                 [--cell SIM:UARCH:SPEC]... [--max-cells N]
+//!                 [--stop-after generate|fit|optimize]
+//!                 [--max-seconds cell=SECS] [--max-seconds total=SECS]
+//!                 [--list]
+//! ```
+//!
+//! `--max-seconds` turns the run into a CI tripwire: `cell=SECS` caps every
+//! individual cell's wall time, `total=SECS` caps the whole sweep, and any
+//! violation makes the process exit nonzero after the records (which carry no
+//! wall-clock data and stay deterministic) have been written.
+
+use std::time::Instant;
+
+use difftune::Stage;
+use difftune_bench::matrix::{enumerate_cells, run_matrix, CellKey, MatrixOptions};
+use difftune_bench::Scale;
+
+struct Args {
+    scale: Option<String>,
+    out_dir: String,
+    cells: Vec<CellKey>,
+    max_cells: Option<usize>,
+    stop_after: Option<Stage>,
+    /// Per-cell wall ceiling from `--max-seconds cell=SECS`.
+    cell_ceiling: Option<f64>,
+    /// Whole-sweep wall ceiling from `--max-seconds total=SECS`.
+    total_ceiling: Option<f64>,
+    list: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: difftune-matrix [--scale smoke|small|paper] [--out-dir DIR] \
+         [--cell SIM:UARCH:SPEC]... [--max-cells N] \
+         [--stop-after generate|fit|optimize] \
+         [--max-seconds cell=SECS] [--max-seconds total=SECS] [--list]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        scale: None,
+        out_dir: ".".to_string(),
+        cells: Vec::new(),
+        max_cells: None,
+        stop_after: None,
+        cell_ceiling: None,
+        total_ceiling: None,
+        list: false,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        let mut value = |flag: &str| -> String {
+            iter.next().unwrap_or_else(|| {
+                eprintln!("{flag} requires a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--scale" => args.scale = Some(value("--scale")),
+            "--out-dir" => args.out_dir = value("--out-dir"),
+            "--cell" => {
+                let raw = value("--cell");
+                match CellKey::parse(&raw) {
+                    Ok(key) => args.cells.push(key),
+                    Err(error) => {
+                        eprintln!("--cell {raw:?}: {error}");
+                        usage()
+                    }
+                }
+            }
+            "--max-cells" => {
+                let raw = value("--max-cells");
+                args.max_cells = Some(raw.parse().unwrap_or_else(|_| {
+                    eprintln!("--max-cells must be an unsigned integer, got {raw:?}");
+                    usage()
+                }));
+            }
+            "--stop-after" => {
+                let raw = value("--stop-after");
+                args.stop_after = Some(match raw.as_str() {
+                    "generate" => Stage::GenerateDataset,
+                    "fit" => Stage::FitSurrogate,
+                    "optimize" => Stage::OptimizeTable,
+                    other => {
+                        eprintln!(
+                            "--stop-after names unknown stage {other:?} (valid: generate, \
+                             fit, optimize)"
+                        );
+                        usage()
+                    }
+                });
+            }
+            "--max-seconds" => {
+                let raw = value("--max-seconds");
+                let Some((what, seconds)) = raw.split_once('=') else {
+                    eprintln!("--max-seconds expects cell=SECS or total=SECS, got {raw:?}");
+                    usage()
+                };
+                let Ok(seconds) = seconds.parse::<f64>() else {
+                    eprintln!("--max-seconds expects a numeric value, got {raw:?}");
+                    usage()
+                };
+                match what {
+                    "cell" => args.cell_ceiling = Some(seconds),
+                    "total" => args.total_ceiling = Some(seconds),
+                    other => {
+                        eprintln!(
+                            "--max-seconds names unknown ceiling {other:?} (valid: cell, total)"
+                        );
+                        usage()
+                    }
+                }
+            }
+            "--list" => args.list = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                usage()
+            }
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+
+    if args.list {
+        println!("{:<32} {:>20} status", "cell", "seed");
+        for cell in enumerate_cells() {
+            println!(
+                "{:<32} {:>#20x} {}",
+                cell.key.id(),
+                cell.key.seed(),
+                match &cell.skip {
+                    Some(reason) => format!("skipped: {reason}"),
+                    None => "runs".to_string(),
+                }
+            );
+        }
+        return;
+    }
+
+    let scale = match &args.scale {
+        Some(raw) => Scale::parse(raw).unwrap_or_else(|error| {
+            eprintln!("{error}");
+            std::process::exit(2);
+        }),
+        None => Scale::from_env_or_exit(),
+    };
+    let threads = difftune::threads_from_env().unwrap_or_else(|error| {
+        eprintln!("{error}");
+        std::process::exit(2);
+    });
+
+    eprintln!(
+        "[difftune-matrix] scale {} out-dir {} threads {}",
+        scale.name(),
+        args.out_dir,
+        if threads == 0 {
+            "all".to_string()
+        } else {
+            threads.to_string()
+        },
+    );
+
+    let options = MatrixOptions {
+        scale,
+        threads,
+        out_dir: args.out_dir.clone().into(),
+        cells: (!args.cells.is_empty()).then_some(args.cells),
+        max_cells: args.max_cells,
+        stop_after: args.stop_after,
+    };
+
+    let sweep_start = Instant::now();
+    let outcome = run_matrix(&options).unwrap_or_else(|error| {
+        eprintln!("difftune-matrix: sweep failed: {error}");
+        std::process::exit(1);
+    });
+    let total_seconds = sweep_start.elapsed().as_secs_f64();
+
+    println!(
+        "{:<32} {:>10} {:>8} {:>10} {:>8}",
+        "cell", "def MAPE", "def tau", "lrn MAPE", "lrn tau"
+    );
+    for record in &outcome.summary.records {
+        println!(
+            "{:<32} {:>9.1}% {:>8.3} {:>9.1}% {:>8.3}",
+            record.cell,
+            record.default_mape * 100.0,
+            record.default_tau,
+            record.learned_mape * 100.0,
+            record.learned_tau,
+        );
+    }
+    for skipped in &outcome.summary.skipped {
+        println!("{:<32} skipped: {}", skipped.cell, skipped.reason);
+    }
+    println!(
+        "{} completed ({} reused), {} skipped, {} checkpointed, {} pending; {:.1}s",
+        outcome.summary.cells_completed,
+        outcome.reused,
+        outcome.summary.cells_skipped,
+        outcome.interrupted,
+        outcome.pending,
+        total_seconds,
+    );
+
+    let mut violations = Vec::new();
+    if let Some(ceiling) = args.cell_ceiling {
+        for timing in &outcome.timings {
+            if timing.seconds > ceiling {
+                violations.push(format!(
+                    "cell {} took {:.2}s, over the {ceiling:.2}s ceiling",
+                    timing.cell, timing.seconds
+                ));
+            }
+        }
+    }
+    if let Some(ceiling) = args.total_ceiling {
+        if total_seconds > ceiling {
+            violations.push(format!(
+                "the sweep took {total_seconds:.2}s, over the {ceiling:.2}s ceiling"
+            ));
+        }
+    }
+    for violation in &violations {
+        eprintln!("difftune-matrix: PERF CEILING EXCEEDED: {violation}");
+    }
+    if !violations.is_empty() {
+        std::process::exit(1);
+    }
+}

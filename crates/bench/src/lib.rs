@@ -7,6 +7,7 @@
 //! the baseline runners (Ithemal, the IACA-style analytical model, and the
 //! OpenTuner-style black-box tuner with evaluation-budget parity).
 
+pub mod matrix;
 pub mod record;
 
 use difftune::{DiffTuneBuilder, DiffTuneConfig, DiffTuneResult, ParamSpec, SurrogateKind};

@@ -1,16 +1,27 @@
-//! The shared benchmark-record schema behind `BENCH_*.json`.
+//! The shared artifact schemas behind `BENCH_*.json` and `MATRIX_*.json`.
 //!
 //! Every performance artifact this repository produces — the
 //! `difftune-bench` stage runner and the vendored criterion shim's optional
 //! JSON output — serializes to the same [`BenchRecord`] shape (schema
 //! `difftune-bench/1`), so one set of tooling can consume the whole perf
-//! trajectory.
+//! trajectory. The scenario-matrix runner (`difftune-matrix`, see
+//! [`crate::matrix`]) emits one [`MatrixRecord`] per tuned cell plus a
+//! [`MatrixSummary`] roll-up, both under schema `difftune-matrix/1`.
+//!
+//! Matrix records deliberately contain **no wall-clock or machine-dependent
+//! fields** (no timings, thread counts, or core counts): a cell's JSON is a
+//! pure function of its `(simulator, uarch, spec)` key and scale, so reruns
+//! — on any machine, at any `DIFFTUNE_THREADS` — produce byte-identical
+//! files, which is what the determinism suite asserts.
 
 use difftune_sim::SimParams;
 use serde::{Deserialize, Serialize};
 
-/// The schema tag every record carries.
+/// The schema tag every benchmark record carries.
 pub const BENCH_SCHEMA: &str = "difftune-bench/1";
+
+/// The schema tag every matrix record and summary carries.
+pub const MATRIX_SCHEMA: &str = "difftune-matrix/1";
 
 /// One benchmark measurement: a pipeline stage (`generate`, `fit`,
 /// `optimize`, `simulate`) or a criterion benchmark (`criterion:<id>`).
@@ -101,6 +112,154 @@ impl BenchRecord {
     }
 }
 
+/// One scenario-matrix cell's scores: a `(simulator, microarchitecture,
+/// parameter spec)` combination tuned through the session pipeline and scored
+/// on the held-out corpus (schema [`MATRIX_SCHEMA`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MatrixRecord {
+    /// Schema tag ([`MATRIX_SCHEMA`]).
+    pub schema: String,
+    /// The cell key, `<simulator>:<uarch>:<spec>` (e.g.
+    /// `mca:haswell:llvm_mca`).
+    pub cell: String,
+    /// Simulator short name (`mca` or `uop`).
+    pub simulator: String,
+    /// Microarchitecture short name (`ivybridge`, `haswell`, `skylake`,
+    /// `zen2`).
+    pub uarch: String,
+    /// Parameter-spec name (`llvm_mca`, `write_latency_only`, `llvm_sim`).
+    pub spec: String,
+    /// The `DIFFTUNE_SCALE` the cell ran at.
+    pub scale: String,
+    /// The cell's run seed — a stable FNV-1a hash of the cell key, never a
+    /// function of enumeration order or scheduling.
+    pub seed: u64,
+    /// Non-empty training blocks the session optimized against.
+    pub train_blocks: usize,
+    /// Held-out blocks (validation + test splits) the tables were scored on.
+    pub heldout_blocks: usize,
+    /// Simulated samples used for surrogate training.
+    pub simulated_samples: usize,
+    /// Number of learned scalar parameters in the cell's spec.
+    pub num_learned_parameters: usize,
+    /// Held-out MAPE of the expert-provided default table.
+    pub default_mape: f64,
+    /// Held-out Kendall's tau of the default table.
+    pub default_tau: f64,
+    /// Held-out MAPE of the learned table.
+    pub learned_mape: f64,
+    /// Held-out Kendall's tau of the learned table.
+    pub learned_tau: f64,
+    /// Per-hardware-resource-category breakdown (Table V-style), in
+    /// [`difftune_bhive::Category`] order.
+    pub by_category: Vec<CategoryScore>,
+    /// FNV-1a fingerprint of the learned table (see [`fingerprint_table`]):
+    /// equal fingerprints mean bit-identical learned tables.
+    pub table_fingerprint: String,
+}
+
+impl MatrixRecord {
+    /// The conventional file name for this cell
+    /// (`MATRIX_<simulator>_<uarch>_<spec>.json`).
+    pub fn file_name(&self) -> String {
+        matrix_cell_file_name(&self.simulator, &self.uarch, &self.spec)
+    }
+
+    /// Serializes the record to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("a MatrixRecord always serializes")
+    }
+
+    /// Deserializes a record from JSON.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        serde_json::from_str(json).map_err(|error| format!("{error:?}"))
+    }
+}
+
+/// The per-cell file name (`MATRIX_<simulator>_<uarch>_<spec>.json`, with
+/// non-alphanumeric characters mapped to `_`). The spec is part of the name
+/// because one `(simulator, uarch)` pair is tuned under several specs.
+pub fn matrix_cell_file_name(simulator: &str, uarch: &str, spec: &str) -> String {
+    let sanitize = |raw: &str| -> String {
+        raw.chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .collect()
+    };
+    format!(
+        "MATRIX_{}_{}_{}.json",
+        sanitize(simulator),
+        sanitize(uarch),
+        sanitize(spec)
+    )
+}
+
+/// One category row of a [`MatrixRecord`]: default vs. learned error and rank
+/// correlation over the held-out blocks in one hardware-resource category.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CategoryScore {
+    /// Category name as displayed in the paper (`Scalar`, `Vec`, ...).
+    pub category: String,
+    /// Number of held-out blocks in the category.
+    pub blocks: usize,
+    /// Default-table MAPE over the category.
+    pub default_mape: f64,
+    /// Default-table Kendall's tau over the category.
+    pub default_tau: f64,
+    /// Learned-table MAPE over the category.
+    pub learned_mape: f64,
+    /// Learned-table Kendall's tau over the category.
+    pub learned_tau: f64,
+}
+
+/// A cell the matrix enumerated but did not run, with the reason.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SkippedCell {
+    /// The cell key (`<simulator>:<uarch>:<spec>`).
+    pub cell: String,
+    /// Why the cell was skipped (e.g. the spec learns parameters the
+    /// simulator never reads).
+    pub reason: String,
+}
+
+/// The conventional file name of the matrix roll-up.
+pub const MATRIX_SUMMARY_FILE: &str = "MATRIX_summary.json";
+
+/// The roll-up across every enumerated cell of one sweep (schema
+/// [`MATRIX_SCHEMA`]), written as `MATRIX_summary.json`.
+///
+/// Like [`MatrixRecord`], the summary holds no wall-clock or machine state:
+/// an interrupted sweep that is later resumed writes a summary byte-identical
+/// to an uninterrupted run's.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MatrixSummary {
+    /// Schema tag ([`MATRIX_SCHEMA`]).
+    pub schema: String,
+    /// The scale the sweep ran at.
+    pub scale: String,
+    /// Cells enumerated (completed + skipped + any not yet run).
+    pub cells_total: usize,
+    /// Cells with a completed [`MatrixRecord`].
+    pub cells_completed: usize,
+    /// Cells skipped as incompatible.
+    pub cells_skipped: usize,
+    /// The skipped cells with reasons, in enumeration order.
+    pub skipped: Vec<SkippedCell>,
+    /// Completed cell records, sorted by cell key.
+    pub records: Vec<MatrixRecord>,
+}
+
+impl MatrixSummary {
+    /// Serializes the summary to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("a MatrixSummary always serializes")
+    }
+
+    /// Deserializes a summary from JSON.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        serde_json::from_str(json).map_err(|error| format!("{error:?}"))
+    }
+}
+
 /// The machine's available core count (1 if it cannot be determined).
 pub fn available_cores() -> usize {
     std::thread::available_parallelism()
@@ -108,17 +267,28 @@ pub fn available_cores() -> usize {
         .unwrap_or(1)
 }
 
+/// Order-sensitive FNV-1a hash of a byte stream, stable across processes and
+/// Rust versions (the digests it produces are persisted in artifacts). Shared
+/// by [`fingerprint_table`] and the matrix's cell-seed derivation.
+pub fn fnv1a(bytes: impl IntoIterator<Item = u8>) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0100_0000_01b3);
+    }
+    hash
+}
+
 /// Order-sensitive FNV-1a fingerprint of a parameter table's flat encoding.
 /// Two tables fingerprint equal exactly when their flat `f64` encodings are
 /// bit-identical; the digest is stable across processes and Rust versions.
 pub fn fingerprint_table(params: &SimParams) -> String {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for value in params.to_flat() {
-        for byte in value.to_bits().to_le_bytes() {
-            hash ^= u64::from(byte);
-            hash = hash.wrapping_mul(0x0100_0000_01b3);
-        }
-    }
+    let hash = fnv1a(
+        params
+            .to_flat()
+            .into_iter()
+            .flat_map(|value| value.to_bits().to_le_bytes()),
+    );
     format!("{hash:#018x}")
 }
 
@@ -151,6 +321,70 @@ mod tests {
         changed.per_inst[3].write_latency += 1;
         assert_eq!(fingerprint_table(&base), fingerprint_table(&base));
         assert_ne!(fingerprint_table(&base), fingerprint_table(&changed));
+    }
+
+    fn sample_matrix_record() -> MatrixRecord {
+        MatrixRecord {
+            schema: MATRIX_SCHEMA.to_string(),
+            cell: "mca:haswell:llvm_mca".to_string(),
+            simulator: "mca".to_string(),
+            uarch: "haswell".to_string(),
+            spec: "llvm_mca".to_string(),
+            scale: "smoke".to_string(),
+            seed: 0x1234,
+            train_blocks: 480,
+            heldout_blocks: 120,
+            simulated_samples: 1440,
+            num_learned_parameters: 9000,
+            default_mape: 0.25,
+            default_tau: 0.8,
+            learned_mape: 0.2,
+            learned_tau: 0.82,
+            by_category: vec![CategoryScore {
+                category: "Scalar".to_string(),
+                blocks: 40,
+                default_mape: 0.3,
+                default_tau: 0.7,
+                learned_mape: 0.25,
+                learned_tau: 0.75,
+            }],
+            table_fingerprint: "0xdeadbeef".to_string(),
+        }
+    }
+
+    #[test]
+    fn matrix_record_round_trips_through_json() {
+        let record = sample_matrix_record();
+        let json = record.to_json();
+        assert_eq!(MatrixRecord::from_json(&json).unwrap(), record);
+        assert_eq!(record.file_name(), "MATRIX_mca_haswell_llvm_mca.json");
+        assert!(json.contains("difftune-matrix/1"));
+    }
+
+    #[test]
+    fn matrix_summary_round_trips_through_json() {
+        let summary = MatrixSummary {
+            schema: MATRIX_SCHEMA.to_string(),
+            scale: "smoke".to_string(),
+            cells_total: 24,
+            cells_completed: 19,
+            cells_skipped: 4,
+            skipped: vec![SkippedCell {
+                cell: "uop:haswell:llvm_mca".to_string(),
+                reason: "spec learns parameters llvm_sim never reads".to_string(),
+            }],
+            records: vec![sample_matrix_record()],
+        };
+        let json = summary.to_json();
+        assert_eq!(MatrixSummary::from_json(&json).unwrap(), summary);
+    }
+
+    #[test]
+    fn matrix_file_names_sanitize_their_components() {
+        assert_eq!(
+            matrix_cell_file_name("llvm-mca", "ivy bridge", "llvm_sim"),
+            "MATRIX_llvm_mca_ivy_bridge_llvm_sim.json"
+        );
     }
 
     #[test]

@@ -72,8 +72,33 @@ impl Dataset {
     /// `uarch`, and splits it 80/10/10 (block-wise disjoint by construction,
     /// since the corpus contains no duplicate blocks).
     pub fn build(uarch: Microarch, config: &CorpusConfig) -> Self {
+        Dataset::build_with_machine(&Machine::new(uarch), config)
+    }
+
+    /// [`Dataset::build`] with a corpus seed mixed with a stable fingerprint
+    /// of the microarchitecture's machine configuration
+    /// ([`difftune_cpu::UarchConfig::stable_fingerprint`]), so every
+    /// microarchitecture yields genuinely distinct ground truth: different
+    /// corpus *blocks*, not just different timings of a shared corpus.
+    ///
+    /// Scenario sweeps that tune the same simulator against several target
+    /// machines (the paper's Tables IV–VI evaluate per-microarchitecture)
+    /// use this constructor; [`Dataset::build`] keeps the shared-corpus
+    /// behavior for apples-to-apples comparisons on one machine.
+    pub fn build_distinct(uarch: Microarch, config: &CorpusConfig) -> Self {
+        let mut distinct = config.clone();
+        distinct.seed ^= uarch.config().stable_fingerprint();
+        Dataset::build_with_machine(&Machine::new(uarch), &distinct)
+    }
+
+    /// Measures a generated corpus on an explicit reference machine — the
+    /// generation path behind [`Dataset::build`], exposed so callers can
+    /// supply a [`Machine`] with a customized
+    /// [`difftune_cpu::UarchConfig`] (what-if machines) or measurement
+    /// settings.
+    pub fn build_with_machine(machine: &Machine, config: &CorpusConfig) -> Self {
+        let uarch = machine.uarch();
         let corpus = generate_corpus(config);
-        let machine = Machine::new(uarch);
 
         // Measure in parallel: measurement is pure per-block work.
         let num_threads = std::thread::available_parallelism()
@@ -162,6 +187,19 @@ impl Dataset {
         self.split(Split::Test)
     }
 
+    /// The held-out records — everything *not* used to optimize parameters
+    /// (the validation and test splits together, 20% of the corpus).
+    ///
+    /// Scoring paths that want every block the optimizer never saw (the
+    /// scenario matrix scores learned vs. default tables this way) use this
+    /// instead of choosing one of the two held-out splits.
+    pub fn heldout(&self) -> Vec<&Record> {
+        self.records
+            .iter()
+            .filter(|r| r.split != Split::Train)
+            .collect()
+    }
+
     /// Table III-style summary statistics.
     pub fn summary(&self) -> DatasetSummary {
         let mut lens: Vec<usize> = self.records.iter().map(|r| r.block.len()).collect();
@@ -232,6 +270,49 @@ impl Dataset {
             mape(predictions, &actuals),
             kendall_tau(predictions, &actuals),
         )
+    }
+
+    /// Per-category MAPE *and* Kendall's tau of already-computed predictions
+    /// (one per record, in order), keyed by [`Category`] with the number of
+    /// records in each group.
+    ///
+    /// This is the grouped counterpart of [`Dataset::evaluate_predictions`]:
+    /// the scenario matrix reports each cell's error broken down by
+    /// hardware-resource category (Table V-style), and both metrics come from
+    /// the same one-pass grouping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `predictions.len() != records.len()` (a caller bug, not a
+    /// data condition).
+    pub fn evaluate_predictions_by_category(
+        records: &[&Record],
+        predictions: &[f64],
+    ) -> BTreeMap<Category, (usize, f64, f64)> {
+        assert_eq!(
+            predictions.len(),
+            records.len(),
+            "one prediction per record"
+        );
+        let mut grouped: BTreeMap<Category, (Vec<f64>, Vec<f64>)> = BTreeMap::new();
+        for (record, &prediction) in records.iter().zip(predictions) {
+            let entry = grouped.entry(record.category).or_default();
+            entry.0.push(prediction);
+            entry.1.push(record.timing);
+        }
+        grouped
+            .into_iter()
+            .map(|(category, (preds, actuals))| {
+                (
+                    category,
+                    (
+                        preds.len(),
+                        mape(&preds, &actuals),
+                        kendall_tau(&preds, &actuals),
+                    ),
+                )
+            })
+            .collect()
     }
 
     /// Per-application error of a predictor over a set of records (Table V, top).
@@ -344,6 +425,82 @@ mod tests {
         assert!(!by_cat.is_empty());
         let cat_total: usize = by_cat.values().map(|(count, _)| count).sum();
         assert_eq!(cat_total, test.len());
+    }
+
+    #[test]
+    fn heldout_is_validation_plus_test() {
+        let dataset = small_dataset();
+        let heldout = dataset.heldout();
+        assert_eq!(
+            heldout.len(),
+            dataset.validation().len() + dataset.test().len()
+        );
+        let train: std::collections::HashSet<String> = dataset
+            .train()
+            .iter()
+            .map(|r| r.block.to_string())
+            .collect();
+        assert!(heldout
+            .iter()
+            .all(|r| !train.contains(&r.block.to_string())));
+    }
+
+    #[test]
+    fn distinct_datasets_differ_per_uarch_in_blocks_not_just_timings() {
+        let config = CorpusConfig {
+            num_blocks: 120,
+            seed: 4,
+            ..CorpusConfig::default()
+        };
+        let haswell = Dataset::build_distinct(Microarch::Haswell, &config);
+        let skylake = Dataset::build_distinct(Microarch::Skylake, &config);
+        let blocks = |d: &Dataset| -> std::collections::HashSet<String> {
+            d.records().iter().map(|r| r.block.to_string()).collect()
+        };
+        assert_ne!(
+            blocks(&haswell),
+            blocks(&skylake),
+            "distinct ground truth must use different corpus blocks per uarch"
+        );
+        // Deterministic: the same uarch always yields the same dataset.
+        assert_eq!(
+            Dataset::build_distinct(Microarch::Haswell, &config),
+            haswell
+        );
+    }
+
+    #[test]
+    fn build_with_machine_matches_build_for_stock_machines() {
+        let config = CorpusConfig {
+            num_blocks: 100,
+            seed: 9,
+            ..CorpusConfig::default()
+        };
+        let via_build = Dataset::build(Microarch::Skylake, &config);
+        let via_machine = Dataset::build_with_machine(&Machine::new(Microarch::Skylake), &config);
+        assert_eq!(via_build, via_machine);
+    }
+
+    #[test]
+    fn per_category_predictions_grouping_covers_all_records() {
+        let dataset = small_dataset();
+        let heldout = dataset.heldout();
+        let predictions: Vec<f64> = heldout.iter().map(|r| r.timing * 1.25).collect();
+        let grouped = Dataset::evaluate_predictions_by_category(&heldout, &predictions);
+        let total: usize = grouped.values().map(|(count, _, _)| count).sum();
+        assert_eq!(total, heldout.len());
+        for (category, (count, error, tau)) in grouped {
+            assert!(count > 0);
+            // A uniform 25% over-prediction has exactly 25% error and perfect
+            // rank correlation in every category with at least two blocks.
+            assert!(
+                (error - 0.25).abs() < 1e-12,
+                "{category}: expected 25% error, got {error}"
+            );
+            if count >= 2 {
+                assert!(tau > 0.0, "{category}: tau {tau} should be positive");
+            }
+        }
     }
 
     #[test]

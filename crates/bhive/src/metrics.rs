@@ -2,7 +2,12 @@
 
 /// Mean absolute percentage error, as defined in the paper (Section V-A):
 /// `mean(|prediction - actual| / actual)`. Pairs whose actual value is zero
-/// are skipped (they carry no defined percentage error).
+/// or non-finite are skipped (they carry no defined percentage error).
+///
+/// A non-finite *prediction* returns [`f64::INFINITY`] instead of silently
+/// poisoning the mean with NaN: a diverged predictor reads as "infinitely
+/// wrong", which stays loud in comparisons and thresholds (`NaN <= x` is
+/// false in a way that hides the failure; `inf <= x` fails visibly).
 ///
 /// # Panics
 ///
@@ -16,7 +21,10 @@ pub fn mape(predictions: &[f64], actuals: &[f64]) -> f64 {
     let mut total = 0.0;
     let mut count = 0usize;
     for (&p, &a) in predictions.iter().zip(actuals) {
-        if a != 0.0 {
+        if a != 0.0 && a.is_finite() {
+            if !p.is_finite() {
+                return f64::INFINITY;
+            }
             total += (p - a).abs() / a.abs();
             count += 1;
         }
@@ -29,10 +37,19 @@ pub fn mape(predictions: &[f64], actuals: &[f64]) -> f64 {
 }
 
 /// Kendall's tau-a rank correlation coefficient: the fraction of concordant
-/// pairs minus the fraction of discordant pairs.
+/// pairs minus the fraction of discordant pairs, with pairs tied in either
+/// variable counted as neither (the tau-a denominator stays `n(n-1)/2`).
 ///
-/// Computed in `O(n log n)` by counting inversions with a merge sort, so it is
-/// usable on the full test set.
+/// Computed exactly in `O(n log n)`: the values are sorted by
+/// `(actual, prediction)` and discordant pairs are counted as inversions in
+/// the prediction order. The secondary prediction key makes the count
+/// tie-exact — pairs tied in actuals sort by prediction and therefore
+/// contribute no inversion, and pairs tied in predictions never compare
+/// strictly, so neither is miscounted as discordant.
+///
+/// Non-finite values are ordered with [`f64::total_cmp`] (NaN sorts last), so
+/// the result is deterministic and stays in `[-1, 1]` even for a diverged
+/// predictor.
 ///
 /// # Panics
 ///
@@ -48,58 +65,70 @@ pub fn kendall_tau(predictions: &[f64], actuals: &[f64]) -> f64 {
         return 1.0;
     }
 
-    // Sort by actual value; count inversions in the prediction order. Pairs
-    // tied in either variable are counted as neither concordant nor
-    // discordant (tau-a denominator still n(n-1)/2).
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by(|&a, &b| {
         actuals[a]
-            .partial_cmp(&actuals[b])
-            .unwrap_or(std::cmp::Ordering::Equal)
+            .total_cmp(&actuals[b])
+            .then(predictions[a].total_cmp(&predictions[b]))
     });
     let ranked: Vec<f64> = order.iter().map(|&i| predictions[i]).collect();
 
-    // Count ties in actuals (consecutive equal groups after sorting).
-    let mut tied_actual_pairs = 0u64;
-    let mut run = 1u64;
-    for window in order.windows(2) {
-        if actuals[window[0]] == actuals[window[1]] {
-            run += 1;
-        } else {
-            tied_actual_pairs += run * (run - 1) / 2;
-            run = 1;
-        }
-    }
-    tied_actual_pairs += run * (run - 1) / 2;
-
-    // Count ties in predictions.
+    // Count tied pairs: in actuals, in predictions, and in both at once
+    // (consecutive equal runs after sorting). The both-tied count corrects
+    // the inclusion-exclusion when concordant pairs are recovered below.
+    let tied_actual_pairs = tied_pairs(order.iter().map(|&i| actuals[i]));
     let mut sorted_preds = predictions.to_vec();
-    sorted_preds.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-    let mut tied_pred_pairs = 0u64;
-    let mut run = 1u64;
-    for window in sorted_preds.windows(2) {
-        if window[0] == window[1] {
-            run += 1;
-        } else {
-            tied_pred_pairs += run * (run - 1) / 2;
-            run = 1;
-        }
-    }
-    tied_pred_pairs += run * (run - 1) / 2;
+    sorted_preds.sort_by(f64::total_cmp);
+    let tied_pred_pairs = tied_pairs(sorted_preds.iter().copied());
+    let tied_both_pairs = tied_pairs_2d(order.iter().map(|&i| (actuals[i], predictions[i])));
 
-    let mut scratch = ranked.clone();
+    let mut scratch = ranked;
     let mut buffer = vec![0.0; n];
-    let discordant = count_inversions(&mut scratch, &mut buffer);
+    let discordant = count_inversions(&mut scratch, &mut buffer) as f64;
 
     let total_pairs = (n as u64 * (n as u64 - 1) / 2) as f64;
-    // Discordant pairs counted by inversions include pairs tied in actuals that
-    // are out of order in predictions; subtracting the tie counts keeps the
-    // estimate close to the conventional tau-b numerator without a full
-    // tie-aware pass. For the timing data in this workspace ties are rare.
-    let discordant = discordant as f64;
-    let concordant = total_pairs - discordant - tied_actual_pairs as f64 - tied_pred_pairs as f64;
-    let concordant = concordant.max(0.0);
+    let tied = tied_actual_pairs as f64 + tied_pred_pairs as f64 - tied_both_pairs as f64;
+    let concordant = total_pairs - discordant - tied;
     (concordant - discordant) / total_pairs
+}
+
+/// Number of pairs tied in a sorted sequence (sum of `k*(k-1)/2` over runs of
+/// equal values under [`f64::total_cmp`]).
+fn tied_pairs(sorted: impl Iterator<Item = f64>) -> u64 {
+    let mut pairs = 0u64;
+    let mut run = 0u64;
+    let mut previous: Option<f64> = None;
+    for value in sorted {
+        match previous {
+            Some(p) if p.total_cmp(&value).is_eq() => run += 1,
+            _ => {
+                pairs += run * run.saturating_sub(1) / 2;
+                run = 1;
+            }
+        }
+        previous = Some(value);
+    }
+    pairs + run * run.saturating_sub(1) / 2
+}
+
+/// [`tied_pairs`] over `(actual, prediction)` value pairs.
+fn tied_pairs_2d(sorted: impl Iterator<Item = (f64, f64)>) -> u64 {
+    let mut pairs = 0u64;
+    let mut run = 0u64;
+    let mut previous: Option<(f64, f64)> = None;
+    for value in sorted {
+        match previous {
+            Some((a, p)) if a.total_cmp(&value.0).is_eq() && p.total_cmp(&value.1).is_eq() => {
+                run += 1
+            }
+            _ => {
+                pairs += run * run.saturating_sub(1) / 2;
+                run = 1;
+            }
+        }
+        previous = Some(value);
+    }
+    pairs + run * run.saturating_sub(1) / 2
 }
 
 /// Counts inversions in `values` via merge sort. `values` is sorted in place.
@@ -210,5 +239,92 @@ mod tests {
         assert_eq!(kendall_tau(&[], &[]), 1.0);
         assert_eq!(kendall_tau(&[1.0], &[2.0]), 1.0);
         assert_eq!(mape(&[], &[]), 0.0);
+        assert_eq!(mape(&[7.0], &[0.0]), 0.0, "only zero actuals: no pairs");
+    }
+
+    #[test]
+    fn mape_hand_computed_fixtures() {
+        // |2-1|/1 = 1.0, |3-4|/4 = 0.25, |5-5|/5 = 0 → mean = 1.25/3.
+        let fixture = mape(&[2.0, 3.0, 5.0], &[1.0, 4.0, 5.0]);
+        assert!((fixture - 1.25 / 3.0).abs() < 1e-15, "got {fixture}");
+        // A zero actual is skipped, so only the second pair counts.
+        let skipped = mape(&[9.0, 3.0], &[0.0, 2.0]);
+        assert!((skipped - 0.5).abs() < 1e-15, "got {skipped}");
+    }
+
+    #[test]
+    fn mape_guards_against_nan_and_infinite_predictions() {
+        // A non-finite prediction must not silently poison the mean with NaN:
+        // the result is +inf, which fails `learned <= threshold` checks loudly.
+        assert_eq!(mape(&[f64::NAN, 1.0], &[1.0, 1.0]), f64::INFINITY);
+        assert_eq!(mape(&[f64::INFINITY], &[2.0]), f64::INFINITY);
+        assert_eq!(mape(&[f64::NEG_INFINITY, 2.0], &[3.0, 2.0]), f64::INFINITY);
+        // Non-finite *actuals* carry no defined percentage error and are
+        // skipped like zero actuals.
+        assert_eq!(mape(&[1.0, 2.0], &[f64::NAN, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn kendall_tau_hand_computed_tie_fixtures() {
+        // Pair tied in actuals, discordant in predictions: neither concordant
+        // nor discordant under tau-a, so tau = 0 (the pre-fix implementation
+        // returned -1 here by counting the pair as discordant).
+        assert_eq!(kendall_tau(&[2.0, 1.0], &[1.0, 1.0]), 0.0);
+        // Pair tied in predictions only: also neither → 0.
+        assert_eq!(kendall_tau(&[1.0, 1.0], &[1.0, 2.0]), 0.0);
+        // Pair tied in both: still neither → 0.
+        assert_eq!(kendall_tau(&[1.0, 1.0], &[1.0, 1.0]), 0.0);
+        // Three values: (0,1) tied in actuals, (0,2) discordant, (1,2)
+        // concordant → (1 - 1) / 3 = 0.
+        assert_eq!(kendall_tau(&[3.0, 1.0, 2.0], &[1.0, 1.0, 2.0]), 0.0);
+        // Three values: (0,1) and (0,2) concordant, (1,2) tied in
+        // predictions → (2 - 0) / 3.
+        let tau = kendall_tau(&[1.0, 2.0, 2.0], &[1.0, 2.0, 3.0]);
+        assert!((tau - 2.0 / 3.0).abs() < 1e-15, "got {tau}");
+        // All actuals tied: every pair is a tie → 0, not ±1.
+        assert_eq!(kendall_tau(&[1.0, 2.0, 3.0], &[5.0, 5.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn kendall_tau_matches_quadratic_reference_on_tied_data() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(17);
+        let n = 120;
+        // Coarse integer-valued data: ties everywhere in both variables.
+        let actual: Vec<f64> = (0..n).map(|_| f64::from(rng.gen_range(0..8))).collect();
+        let pred: Vec<f64> = actual
+            .iter()
+            .map(|a| (a + f64::from(rng.gen_range(-2..3))).max(0.0))
+            .collect();
+
+        let mut concordant = 0i64;
+        let mut discordant = 0i64;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let da = actual[i] - actual[j];
+                let dp = pred[i] - pred[j];
+                if da * dp > 0.0 {
+                    concordant += 1;
+                } else if da * dp < 0.0 {
+                    discordant += 1;
+                }
+            }
+        }
+        let expected = (concordant - discordant) as f64 / (n * (n - 1) / 2) as f64;
+        let fast = kendall_tau(&pred, &actual);
+        assert!(
+            (fast - expected).abs() < 1e-12,
+            "fast {fast} vs tie-aware reference {expected}"
+        );
+    }
+
+    #[test]
+    fn kendall_tau_is_defined_and_bounded_for_nan_predictions() {
+        let tau = kendall_tau(&[f64::NAN, 1.0, 2.0], &[1.0, 2.0, 3.0]);
+        assert!(tau.is_finite(), "NaN predictions must not produce NaN tau");
+        assert!((-1.0..=1.0).contains(&tau));
+        // Deterministic: the same inputs give the same answer.
+        assert_eq!(tau, kendall_tau(&[f64::NAN, 1.0, 2.0], &[1.0, 2.0, 3.0]));
     }
 }

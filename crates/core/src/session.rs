@@ -579,21 +579,40 @@ impl<'a> Session<'a> {
         })
     }
 
+    /// Runs the next pending stage, whichever it is, and returns the stage
+    /// that ran (a no-op returning [`Stage::Finished`] once every stage has
+    /// completed).
+    ///
+    /// This is the single-step form of [`Session::run_to_completion`]: drivers
+    /// that need to do work *between* stages — write a checkpoint, check a
+    /// wall-clock budget, stop early — loop on `advance` instead of
+    /// duplicating the stage dispatch.
+    pub fn advance(&mut self) -> Result<Stage, DiffTuneError> {
+        let current = self.stage;
+        match current {
+            Stage::GenerateDataset => {
+                self.generate_dataset()?;
+            }
+            Stage::FitSurrogate => {
+                self.fit_surrogate()?;
+            }
+            Stage::OptimizeTable => {
+                self.optimize_table()?;
+            }
+            Stage::Finished => {}
+        }
+        Ok(current)
+    }
+
+    /// Number of non-empty training blocks the session will optimize against.
+    pub fn train_blocks(&self) -> usize {
+        self.pairs.len()
+    }
+
     /// Runs every remaining stage in order and extracts the result.
     pub fn run_to_completion(mut self) -> Result<DiffTuneResult, DiffTuneError> {
         while self.stage != Stage::Finished {
-            match self.stage {
-                Stage::GenerateDataset => {
-                    self.generate_dataset()?;
-                }
-                Stage::FitSurrogate => {
-                    self.fit_surrogate()?;
-                }
-                Stage::OptimizeTable => {
-                    self.optimize_table()?;
-                }
-                Stage::Finished => unreachable!("loop exits at Finished"),
-            }
+            self.advance()?;
         }
         self.finish()
     }

@@ -55,8 +55,22 @@ impl Machine {
 
     /// Creates the reference machine with explicit measurement settings.
     pub fn with_measurement(uarch: Microarch, measurement: MeasurementConfig) -> Self {
+        Machine::with_config(uarch, uarch.config(), measurement)
+    }
+
+    /// Creates a reference machine with an explicit (possibly customized)
+    /// machine configuration.
+    ///
+    /// The stock microarchitectures use [`Machine::new`]; this constructor
+    /// exists for what-if machines — scenario sweeps that perturb port maps,
+    /// window sizes, or elimination features away from the documented
+    /// configuration while keeping the same opcode traits as `uarch`.
+    pub fn with_config(
+        uarch: Microarch,
+        config: UarchConfig,
+        measurement: MeasurementConfig,
+    ) -> Self {
         let registry = OpcodeRegistry::global();
-        let config = uarch.config();
         let traits = registry
             .iter()
             .map(|(_, info)| InstTraits::for_opcode(uarch, info))
@@ -517,6 +531,24 @@ mod tests {
         let exact = machine.measure_exact(&b);
         assert_eq!(a, c, "noise must be deterministic");
         assert!((a - exact).abs() / exact < 0.05, "noise must stay small");
+    }
+
+    #[test]
+    fn custom_machine_configs_change_measurements() {
+        // A what-if Haswell with a 1-wide dispatch must be slower on
+        // throughput-bound code than the documented 4-wide machine.
+        let measurement = MeasurementConfig {
+            iterations: 100,
+            apply_noise: false,
+        };
+        let mut narrow_config = Microarch::Haswell.config();
+        narrow_config.dispatch_width = 1;
+        narrow_config.decode_width = 1;
+        let narrow = Machine::with_config(Microarch::Haswell, narrow_config, measurement);
+        let stock = haswell();
+        let b = block("addq %rax, %rbx\naddq %rcx, %rdx\naddq %rsi, %rdi\naddq %r8, %r9");
+        assert!(narrow.measure_exact(&b) > stock.measure_exact(&b));
+        assert_eq!(narrow.uarch(), Microarch::Haswell);
     }
 
     #[test]

@@ -257,6 +257,25 @@ impl UarchConfig {
         }
     }
 
+    /// Order-sensitive FNV-1a fingerprint of this configuration's serialized
+    /// form, stable across processes and Rust versions.
+    ///
+    /// Scenario sweeps mix this into corpus seeds so that every distinct
+    /// machine configuration yields a distinct measured corpus — different
+    /// blocks, not just different timings (see
+    /// `difftune_bhive::Dataset::build_distinct`). Any change to any field
+    /// changes the fingerprint.
+    pub fn stable_fingerprint(&self) -> u64 {
+        let encoded = serde_json::to_string(self)
+            .expect("a UarchConfig always serializes (plain data, no NaN)");
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in encoded.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0100_0000_01b3);
+        }
+        hash
+    }
+
     /// Candidate ports for a class of operation.
     pub fn ports_for(&self, class: OpClass) -> PortSet {
         self.class_ports
@@ -307,6 +326,30 @@ mod tests {
         assert_eq!("zen2".parse::<Microarch>().unwrap(), Microarch::Zen2);
         assert!("pentium".parse::<Microarch>().is_err());
         assert_eq!(Microarch::Skylake.to_string(), "Skylake");
+    }
+
+    #[test]
+    fn fingerprints_are_stable_and_distinct_per_uarch() {
+        let mut seen = std::collections::HashSet::new();
+        for uarch in Microarch::ALL {
+            let fingerprint = uarch.config().stable_fingerprint();
+            assert_eq!(
+                fingerprint,
+                uarch.config().stable_fingerprint(),
+                "{uarch:?} fingerprint must be deterministic"
+            );
+            assert!(
+                seen.insert(fingerprint),
+                "{uarch:?} fingerprint collides with another microarchitecture"
+            );
+        }
+        // Any field change must change the fingerprint.
+        let mut tweaked = Microarch::Haswell.config();
+        tweaked.rob_size += 1;
+        assert_ne!(
+            tweaked.stable_fingerprint(),
+            Microarch::Haswell.config().stable_fingerprint()
+        );
     }
 
     #[test]

@@ -1,0 +1,58 @@
+//! Scenario-matrix quickstart: tune two cells of the
+//! `Simulator × Microarch × ParamSpec` matrix at smoke scale and print the
+//! learned-vs-default scores per hardware-resource category.
+//!
+//! The full sweep is driven by the `difftune-matrix` binary
+//! (`cargo run --release -p difftune-bench --bin difftune-matrix`); this
+//! example shows the same subsystem through the library API.
+//!
+//! ```sh
+//! cargo run --release --example scenario_matrix
+//! ```
+
+use difftune_bench::matrix::{run_matrix, CellKey, MatrixOptions};
+use difftune_bench::Scale;
+
+fn main() {
+    let out_dir = std::env::temp_dir().join(format!("difftune-example-{}", std::process::id()));
+    let options = MatrixOptions {
+        cells: Some(vec![
+            CellKey::parse("mca:haswell:llvm_mca").expect("valid cell"),
+            CellKey::parse("uop:haswell:llvm_sim").expect("valid cell"),
+        ]),
+        ..MatrixOptions::new(Scale::Smoke, &out_dir)
+    };
+
+    let outcome = run_matrix(&options).unwrap_or_else(|error| panic!("sweep failed: {error}"));
+
+    for record in &outcome.summary.records {
+        println!(
+            "cell {} (seed {:#x}): {} learned parameters over {} train blocks",
+            record.cell, record.seed, record.num_learned_parameters, record.train_blocks
+        );
+        println!(
+            "  overall      default {:>6.1}% MAPE / {:.3} tau   learned {:>6.1}% MAPE / {:.3} tau",
+            record.default_mape * 100.0,
+            record.default_tau,
+            record.learned_mape * 100.0,
+            record.learned_tau,
+        );
+        for category in &record.by_category {
+            println!(
+                "  {:<12} default {:>6.1}% MAPE / {:.3} tau   learned {:>6.1}% MAPE / {:.3} tau   ({} blocks)",
+                category.category,
+                category.default_mape * 100.0,
+                category.default_tau,
+                category.learned_mape * 100.0,
+                category.learned_tau,
+                category.blocks,
+            );
+        }
+    }
+    println!(
+        "artifacts: {} (one MATRIX_*.json per cell + MATRIX_summary.json)",
+        out_dir.display()
+    );
+
+    std::fs::remove_dir_all(&out_dir).ok();
+}
