@@ -3,7 +3,7 @@
 //! Tunes and scores every `Simulator × Microarch × ParamSpec` cell (or a
 //! `--cell` selection) at the chosen scale, writing one
 //! `MATRIX_<sim>_<uarch>_<spec>.json` per completed cell plus a
-//! `MATRIX_summary.json` roll-up, all in the `difftune-matrix/1` schema.
+//! `MATRIX_summary.json` roll-up, all in the `difftune-matrix/2` schema.
 //! Cells run in parallel (`DIFFTUNE_THREADS` cells at a time; outputs are
 //! byte-identical for every thread count), and an interrupted sweep resumes:
 //! completed cells are recognized by their on-disk records and unfinished

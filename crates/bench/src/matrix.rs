@@ -152,14 +152,10 @@ impl SpecKind {
     }
 }
 
-/// The short microarchitecture name used in cell keys and file names.
+/// The short microarchitecture name used in cell keys and file names
+/// (an alias for [`Microarch::key`], kept for existing callers).
 pub fn uarch_key(uarch: Microarch) -> &'static str {
-    match uarch {
-        Microarch::IvyBridge => "ivybridge",
-        Microarch::Haswell => "haswell",
-        Microarch::Skylake => "skylake",
-        Microarch::Zen2 => "zen2",
-    }
+    uarch.key()
 }
 
 /// One cell of the scenario matrix.
@@ -433,6 +429,7 @@ pub fn run_cell(
         learned_tau,
         by_category,
         table_fingerprint: fingerprint_table(&result.learned),
+        learned_table: result.learned.to_flat(),
     };
 
     let record_path = out_dir.join(record.file_name());
@@ -656,6 +653,13 @@ pub fn run_matrix(options: &MatrixOptions) -> Result<MatrixOutcome, String> {
     }
 
     records.sort_by(|a, b| a.cell.cmp(&b.cell));
+    // The roll-up omits the learned tables: every completed cell's own
+    // MATRIX_*.json (already on disk at this point) carries its table, and
+    // duplicating all of them would roughly double the sweep's artifact
+    // size.
+    for record in &mut records {
+        record.learned_table.clear();
+    }
     let summary = MatrixSummary {
         schema: MATRIX_SCHEMA.to_string(),
         scale: options.scale.name().to_string(),

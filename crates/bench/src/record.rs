@@ -6,7 +6,7 @@
 //! `difftune-bench/1`), so one set of tooling can consume the whole perf
 //! trajectory. The scenario-matrix runner (`difftune-matrix`, see
 //! [`crate::matrix`]) emits one [`MatrixRecord`] per tuned cell plus a
-//! [`MatrixSummary`] roll-up, both under schema `difftune-matrix/1`.
+//! [`MatrixSummary`] roll-up, both under schema `difftune-matrix/2`.
 //!
 //! Matrix records deliberately contain **no wall-clock or machine-dependent
 //! fields** (no timings, thread counts, or core counts): a cell's JSON is a
@@ -21,7 +21,13 @@ use serde::{Deserialize, Serialize};
 pub const BENCH_SCHEMA: &str = "difftune-bench/1";
 
 /// The schema tag every matrix record and summary carries.
-pub const MATRIX_SCHEMA: &str = "difftune-matrix/1";
+///
+/// `difftune-matrix/2` extends `/1` with [`MatrixRecord::learned_table`] (the
+/// learned table's flat encoding), making every cell record a self-contained
+/// servable backend for `difftune-serve`. `/1` records lack the table and are
+/// simply re-run by a resumed sweep (the sweep-level resume check matches on
+/// the schema tag).
+pub const MATRIX_SCHEMA: &str = "difftune-matrix/2";
 
 /// One benchmark measurement: a pipeline stage (`generate`, `fit`,
 /// `optimize`, `simulate`) or a criterion benchmark (`criterion:<id>`).
@@ -87,6 +93,17 @@ impl BenchRecord {
             median_ns_per_iter: None,
             table_fingerprint: None,
             speedup_vs_serial: None,
+        }
+    }
+
+    /// Builds a serving-throughput record for the `difftune-loadtest` closed
+    /// loop: stage `serve`, no scale (serving has no `DIFFTUNE_SCALE`; like
+    /// criterion records the field stays empty), `samples` counting predicted
+    /// blocks.
+    pub fn serve(threads: usize, seed: u64, wall_time_seconds: f64, samples: usize) -> Self {
+        BenchRecord {
+            scale: None,
+            ..BenchRecord::stage("serve", "", threads, seed, wall_time_seconds, samples)
         }
     }
 
@@ -156,6 +173,15 @@ pub struct MatrixRecord {
     /// FNV-1a fingerprint of the learned table (see [`fingerprint_table`]):
     /// equal fingerprints mean bit-identical learned tables.
     pub table_fingerprint: String,
+    /// The learned table's flat `f64` encoding
+    /// ([`SimParams::to_flat`]), so the record is a self-contained servable
+    /// backend: `difftune-serve` reconstructs the table with
+    /// [`SimParams::from_flat`] and verifies it against
+    /// [`MatrixRecord::table_fingerprint`]. Learned values are integral, so
+    /// the round trip is exact (pinned by `fingerprints_are_stable...` in
+    /// `difftune-sim`). Empty in [`MatrixSummary`] rows — the roll-up omits
+    /// tables rather than duplicating every per-cell file's.
+    pub learned_table: Vec<f64>,
 }
 
 impl MatrixRecord {
@@ -229,7 +255,8 @@ pub const MATRIX_SUMMARY_FILE: &str = "MATRIX_summary.json";
 ///
 /// Like [`MatrixRecord`], the summary holds no wall-clock or machine state:
 /// an interrupted sweep that is later resumed writes a summary byte-identical
-/// to an uninterrupted run's.
+/// to an uninterrupted run's. Its rows carry an empty `learned_table` —
+/// the tables live in the per-cell files, which `difftune-serve` loads.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MatrixSummary {
     /// Schema tag ([`MATRIX_SCHEMA`]).
@@ -282,14 +309,12 @@ pub fn fnv1a(bytes: impl IntoIterator<Item = u8>) -> u64 {
 /// Order-sensitive FNV-1a fingerprint of a parameter table's flat encoding.
 /// Two tables fingerprint equal exactly when their flat `f64` encodings are
 /// bit-identical; the digest is stable across processes and Rust versions.
+///
+/// This is [`SimParams::fingerprint_hex`]; the alias is kept because the
+/// digest convention predates the method and every artifact consumer imports
+/// it from here.
 pub fn fingerprint_table(params: &SimParams) -> String {
-    let hash = fnv1a(
-        params
-            .to_flat()
-            .into_iter()
-            .flat_map(|value| value.to_bits().to_le_bytes()),
-    );
-    format!("{hash:#018x}")
+    params.fingerprint_hex()
 }
 
 #[cfg(test)]
@@ -349,6 +374,7 @@ mod tests {
                 learned_tau: 0.75,
             }],
             table_fingerprint: "0xdeadbeef".to_string(),
+            learned_table: vec![4.0, 128.0, 1.0, 2.0],
         }
     }
 
@@ -358,7 +384,35 @@ mod tests {
         let json = record.to_json();
         assert_eq!(MatrixRecord::from_json(&json).unwrap(), record);
         assert_eq!(record.file_name(), "MATRIX_mca_haswell_llvm_mca.json");
-        assert!(json.contains("difftune-matrix/1"));
+        assert!(json.contains("difftune-matrix/2"));
+        assert!(json.contains("learned_table"));
+    }
+
+    #[test]
+    fn serve_records_carry_the_stage_and_no_scale() {
+        let record = BenchRecord::serve(4, 7, 2.0, 128);
+        assert_eq!(record.schema, BENCH_SCHEMA);
+        assert_eq!(record.stage, "serve");
+        assert_eq!(record.scale, None);
+        assert_eq!(record.file_name(), "BENCH_serve.json");
+        assert_eq!(record.samples_per_second, 64.0);
+        let json = record.to_json();
+        assert_eq!(BenchRecord::from_json(&json).unwrap(), record);
+    }
+
+    #[test]
+    fn fingerprint_table_matches_the_sim_crate_digest() {
+        // The helper predates SimParams::fingerprint_hex; pin the delegation
+        // so artifacts produced before the move stay comparable.
+        let params = SimParams::uniform_default();
+        let expected = fnv1a(
+            params
+                .to_flat()
+                .into_iter()
+                .flat_map(|value| value.to_bits().to_le_bytes()),
+        );
+        assert_eq!(fingerprint_table(&params), format!("{expected:#018x}"));
+        assert_eq!(params.stable_fingerprint(), expected);
     }
 
     #[test]

@@ -39,6 +39,18 @@ impl Microarch {
         }
     }
 
+    /// The short lowercase key used in cell ids, artifact file names, and
+    /// serving requests (`ivybridge`, `haswell`, `skylake`, `zen2`). Every
+    /// key parses back via [`FromStr`].
+    pub fn key(self) -> &'static str {
+        match self {
+            Microarch::IvyBridge => "ivybridge",
+            Microarch::Haswell => "haswell",
+            Microarch::Skylake => "skylake",
+            Microarch::Zen2 => "zen2",
+        }
+    }
+
     /// The machine configuration of this microarchitecture's reference model.
     pub fn config(self) -> UarchConfig {
         UarchConfig::for_uarch(self)
@@ -314,6 +326,17 @@ mod tests {
     fn ports_for_unknown_class_defaults_to_port_zero() {
         let config = Microarch::Haswell.config();
         assert_ne!(config.ports_for(OpClass::IntAlu), 0);
+    }
+
+    #[test]
+    fn keys_are_distinct_and_parse_back() {
+        let mut seen = std::collections::HashSet::new();
+        for uarch in Microarch::ALL {
+            let key = uarch.key();
+            assert!(seen.insert(key), "{uarch:?} key collides");
+            assert_eq!(key.parse::<Microarch>().unwrap(), uarch);
+            assert_eq!(key, key.to_ascii_lowercase(), "keys are lowercase");
+        }
     }
 
     #[test]

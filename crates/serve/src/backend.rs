@@ -1,0 +1,592 @@
+//! Servable backends: a parameter table bound to a simulator.
+//!
+//! Three table sources are supported, mirroring the artifacts the rest of
+//! the repository produces:
+//!
+//! * **default** — the expert-documentation tables
+//!   ([`difftune_cpu::default_params`]), one per `(simulator, uarch)` pair;
+//! * **checkpoint** — the learned θ inside a finished session
+//!   [`RunCheckpoint`] (the `--checkpoint SIM:UARCH:SPEC=PATH` flag);
+//! * **matrix** — `MATRIX_*.json` cell records from a `difftune-matrix`
+//!   sweep (schema `difftune-matrix/2` carries the learned table's flat
+//!   encoding), so every tuned scenario cell is directly servable.
+//!
+//! Every loaded table is integrity-checked: the reconstructed table's
+//! [`SimParams::stable_fingerprint`] must match the fingerprint recorded in
+//! the artifact, so a truncated or hand-edited file is rejected at load time
+//! instead of silently serving wrong timings.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::Arc;
+
+use difftune::RunCheckpoint;
+use difftune_bench::matrix::{CellKey, SimulatorKind, SpecKind};
+use difftune_bench::record::{fnv1a, MatrixRecord, MATRIX_SCHEMA};
+use difftune_cpu::{default_params, Microarch};
+use difftune_sim::{ParamBounds, SimParams, Simulator};
+
+/// Where a backend's parameter table came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Source {
+    /// Expert-documentation defaults.
+    Default,
+    /// A finished session checkpoint's learned θ.
+    Checkpoint,
+    /// A `difftune-matrix` cell record.
+    Matrix,
+}
+
+impl Source {
+    /// The short name used in backend ids and request `source` fields.
+    pub fn key(self) -> &'static str {
+        match self {
+            Source::Default => "default",
+            Source::Checkpoint => "checkpoint",
+            Source::Matrix => "matrix",
+        }
+    }
+
+    /// Parses a request `source` field.
+    pub fn parse(raw: &str) -> Result<Source, String> {
+        match raw.to_ascii_lowercase().as_str() {
+            "default" => Ok(Source::Default),
+            "checkpoint" => Ok(Source::Checkpoint),
+            "matrix" => Ok(Source::Matrix),
+            other => Err(format!(
+                "unknown source `{other}`: valid sources are \"default\", \"checkpoint\", and \
+                 \"matrix\""
+            )),
+        }
+    }
+}
+
+/// One servable backend: a simulator plus the parameter table it runs.
+#[derive(Debug)]
+pub struct Backend {
+    /// The backend id (`<source>:<sim>:<uarch>` for defaults,
+    /// `<source>:<sim>:<uarch>:<spec>` for learned tables) — echoed in every
+    /// `/predict` response.
+    pub id: String,
+    /// The table's source.
+    pub source: Source,
+    /// The simulator family.
+    pub simulator_kind: SimulatorKind,
+    /// The microarchitecture the table targets.
+    pub uarch: Microarch,
+    /// The parameter spec a learned table was tuned under (`None` for
+    /// defaults, which exist independently of any spec).
+    pub spec: Option<SpecKind>,
+    /// The simulator instance answering predictions.
+    pub simulator: Box<dyn Simulator>,
+    /// The parameter table.
+    pub table: SimParams,
+    /// The table digest in artifact rendering (`{:#018x}`), echoed in
+    /// responses so clients can pin the exact table they were answered from.
+    pub table_fingerprint: String,
+    /// Cache/shard fingerprint: the table digest folded with the simulator
+    /// kind. Two backends sharing a table but not a simulator (e.g. the mca
+    /// and uop defaults of one uarch) predict differently, so the cache key
+    /// must separate them.
+    pub cache_fingerprint: u64,
+}
+
+impl Backend {
+    fn new(
+        source: Source,
+        simulator_kind: SimulatorKind,
+        uarch: Microarch,
+        spec: Option<SpecKind>,
+        table: SimParams,
+    ) -> Self {
+        let id = match spec {
+            Some(spec) => format!(
+                "{}:{}:{}:{}",
+                source.key(),
+                simulator_kind.key(),
+                uarch.key(),
+                spec.key()
+            ),
+            None => format!("{}:{}:{}", source.key(), simulator_kind.key(), uarch.key()),
+        };
+        let table_digest = table.stable_fingerprint();
+        let cache_fingerprint = fnv1a(
+            simulator_kind
+                .key()
+                .bytes()
+                .chain([0xff])
+                .chain(table_digest.to_le_bytes()),
+        );
+        Backend {
+            id,
+            source,
+            simulator_kind,
+            uarch,
+            spec,
+            simulator: simulator_kind.build(),
+            table_fingerprint: table.fingerprint_hex(),
+            table,
+            cache_fingerprint,
+        }
+    }
+
+    /// The shard this backend's requests are routed to, out of `shards`
+    /// workers. Derived from [`Backend::cache_fingerprint`], so a backend
+    /// always lands on the same shard and its cache entries never split.
+    pub fn shard_index(&self, shards: usize) -> usize {
+        (self.cache_fingerprint % shards.max(1) as u64) as usize
+    }
+}
+
+/// A `/predict` request's backend selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackendQuery {
+    /// Requested simulator (default `mca`).
+    pub simulator: SimulatorKind,
+    /// Requested microarchitecture (default `haswell`).
+    pub uarch: Microarch,
+    /// Requested spec (default `llvm_mca`; ignored for the `default` source).
+    pub spec: SpecKind,
+    /// Requested source; `None` resolves learned-first
+    /// (matrix → checkpoint → default).
+    pub source: Option<Source>,
+}
+
+impl Default for BackendQuery {
+    fn default() -> Self {
+        BackendQuery {
+            simulator: SimulatorKind::Mca,
+            uarch: Microarch::Haswell,
+            spec: SpecKind::LlvmMca,
+            source: None,
+        }
+    }
+}
+
+/// The set of loaded backends, keyed for per-request resolution.
+#[derive(Debug, Default)]
+pub struct BackendRegistry {
+    /// Backends by id (the resolution and listing index).
+    backends: BTreeMap<String, Arc<Backend>>,
+}
+
+impl BackendRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        BackendRegistry::default()
+    }
+
+    /// A registry pre-loaded with the expert default table for every
+    /// `(simulator, uarch)` pair — the baseline backends that exist without
+    /// any artifact on disk.
+    pub fn with_defaults() -> Self {
+        let mut registry = BackendRegistry::new();
+        for simulator in SimulatorKind::ALL {
+            for uarch in Microarch::ALL {
+                registry.register(Backend::new(
+                    Source::Default,
+                    simulator,
+                    uarch,
+                    None,
+                    default_params(uarch),
+                ));
+            }
+        }
+        registry
+    }
+
+    fn register(&mut self, backend: Backend) {
+        self.backends.insert(backend.id.clone(), Arc::new(backend));
+    }
+
+    /// Number of loaded backends.
+    pub fn len(&self) -> usize {
+        self.backends.len()
+    }
+
+    /// True when no backend is loaded.
+    pub fn is_empty(&self) -> bool {
+        self.backends.is_empty()
+    }
+
+    /// Every backend id, sorted.
+    pub fn ids(&self) -> Vec<String> {
+        self.backends.keys().cloned().collect()
+    }
+
+    /// Loads every servable `MATRIX_*.json` cell record in a directory.
+    /// Returns the number of backends added.
+    ///
+    /// # Errors
+    ///
+    /// Reports unreadable directories and corrupt records (parse failures,
+    /// wrong schema, fingerprint mismatches). `MATRIX_summary.json` and
+    /// `MATRIX_ckpt_*.json` files are skipped, as are records whose schema
+    /// predates `difftune-matrix/2` (they carry no table to serve).
+    pub fn add_matrix_dir(&mut self, dir: &Path) -> Result<usize, String> {
+        let entries = std::fs::read_dir(dir)
+            .map_err(|error| format!("cannot read table directory {}: {error}", dir.display()))?;
+        let mut names: Vec<String> = entries
+            .filter_map(|entry| entry.ok())
+            .filter_map(|entry| entry.file_name().into_string().ok())
+            .filter(|name| {
+                name.starts_with("MATRIX_")
+                    && name.ends_with(".json")
+                    && name != "MATRIX_summary.json"
+                    && !name.starts_with("MATRIX_ckpt_")
+            })
+            .collect();
+        names.sort();
+
+        let mut added = 0;
+        for name in names {
+            let path = dir.join(&name);
+            let json = std::fs::read_to_string(&path)
+                .map_err(|error| format!("cannot read {}: {error}", path.display()))?;
+            // Check the schema tag on the raw value tree *before* the typed
+            // parse: pre-/2 records are missing `learned_table`, so parsing
+            // them as a MatrixRecord fails — and they should be skipped as
+            // legitimately unservable, not reported as corrupt.
+            let schema = serde_json::from_str_value(&json)
+                .ok()
+                .and_then(|value| {
+                    value
+                        .get("schema")
+                        .and_then(|s| s.as_str().map(String::from))
+                })
+                .ok_or_else(|| format!("{}: not a matrix cell record", path.display()))?;
+            if schema != MATRIX_SCHEMA {
+                eprintln!(
+                    "[difftune-serve] {}: schema {schema:?} has no learned table; re-run the \
+                     sweep to produce servable {MATRIX_SCHEMA} records",
+                    path.display(),
+                );
+                continue;
+            }
+            let record = MatrixRecord::from_json(&json).map_err(|error| {
+                format!("{}: not a matrix cell record: {error}", path.display())
+            })?;
+            self.add_matrix_record(&record)
+                .map_err(|error| format!("{}: {error}", path.display()))?;
+            added += 1;
+        }
+        Ok(added)
+    }
+
+    /// Registers one matrix cell record as a backend.
+    ///
+    /// # Errors
+    ///
+    /// Reports an unparsable cell id, an empty or truncated `learned_table`,
+    /// and any fingerprint mismatch between the reconstructed table and the
+    /// record.
+    pub fn add_matrix_record(&mut self, record: &MatrixRecord) -> Result<(), String> {
+        let key = CellKey::parse(&record.cell)
+            .map_err(|error| format!("cell id {:?}: {error}", record.cell))?;
+        if record.learned_table.is_empty() {
+            return Err(format!("cell {} has an empty learned_table", record.cell));
+        }
+        let table = SimParams::from_flat(&record.learned_table, &ParamBounds::default());
+        let fingerprint = table.fingerprint_hex();
+        if fingerprint != record.table_fingerprint {
+            return Err(format!(
+                "cell {}: reconstructed table fingerprints as {fingerprint} but the record says \
+                 {} — the artifact is corrupt",
+                record.cell, record.table_fingerprint
+            ));
+        }
+        self.register(Backend::new(
+            Source::Matrix,
+            key.simulator,
+            key.uarch,
+            Some(key.spec),
+            table,
+        ));
+        Ok(())
+    }
+
+    /// Loads a finished session checkpoint's learned θ as a backend for the
+    /// given cell coordinates (checkpoints do not record what they tuned, so
+    /// the caller supplies the binding).
+    ///
+    /// # Errors
+    ///
+    /// Reports unreadable/unparsable files and checkpoints without a learned
+    /// table (θ exists only once the optimize stage has run).
+    pub fn add_checkpoint(&mut self, key: &CellKey, path: &Path) -> Result<(), String> {
+        let json = std::fs::read_to_string(path)
+            .map_err(|error| format!("cannot read {}: {error}", path.display()))?;
+        let checkpoint = RunCheckpoint::from_json(&json)
+            .map_err(|error| format!("{}: not a RunCheckpoint: {error}", path.display()))?;
+        let theta = checkpoint.theta.as_ref().ok_or_else(|| {
+            format!(
+                "{}: checkpoint at stage {:?} has no learned θ yet (resume and finish the run \
+                 first)",
+                path.display(),
+                checkpoint.stage
+            )
+        })?;
+        self.register(Backend::new(
+            Source::Checkpoint,
+            key.simulator,
+            key.uarch,
+            Some(key.spec),
+            theta.to_sim_params(),
+        ));
+        Ok(())
+    }
+
+    /// Resolves a request's backend.
+    ///
+    /// With an explicit `source` the exact backend must exist. Without one,
+    /// learned tables win over defaults: `matrix`, then `checkpoint`, then
+    /// `default`. The resolution order is fixed, so a given registry answers
+    /// a given query identically on every request.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the missing backend and listing the loaded
+    /// ids (the server surfaces it as `404`).
+    pub fn resolve(&self, query: &BackendQuery) -> Result<Arc<Backend>, String> {
+        let candidates: Vec<String> = match query.source {
+            Some(source) => vec![self.id_for(source, query)],
+            None => [Source::Matrix, Source::Checkpoint, Source::Default]
+                .iter()
+                .map(|&source| self.id_for(source, query))
+                .collect(),
+        };
+        for id in &candidates {
+            if let Some(backend) = self.backends.get(id) {
+                return Ok(Arc::clone(backend));
+            }
+        }
+        Err(format!(
+            "no backend for {} (loaded backends: {})",
+            candidates.join(" / "),
+            if self.backends.is_empty() {
+                "none".to_string()
+            } else {
+                self.ids().join(", ")
+            }
+        ))
+    }
+
+    fn id_for(&self, source: Source, query: &BackendQuery) -> String {
+        match source {
+            Source::Default => format!("default:{}:{}", query.simulator.key(), query.uarch.key()),
+            _ => format!(
+                "{}:{}:{}:{}",
+                source.key(),
+                query.simulator.key(),
+                query.uarch.key(),
+                query.spec.key()
+            ),
+        }
+    }
+}
+
+/// FNV-1a fingerprint of a block's canonical text — the first half of the
+/// prediction-cache key. Canonical text (rather than the client's spelling)
+/// lets differently formatted requests for the same block share an entry.
+pub fn block_fingerprint(canonical_text: &str) -> u64 {
+    fnv1a(canonical_text.bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use difftune_bench::record::{fingerprint_table, CategoryScore};
+
+    /// A synthetic but internally consistent matrix record over a perturbed
+    /// default table.
+    fn fake_record(cell: &str, uarch: Microarch) -> MatrixRecord {
+        let mut table = default_params(uarch);
+        table.per_inst[5].write_latency += 2;
+        MatrixRecord {
+            schema: MATRIX_SCHEMA.to_string(),
+            cell: cell.to_string(),
+            simulator: "mca".to_string(),
+            uarch: uarch.key().to_string(),
+            spec: "llvm_mca".to_string(),
+            scale: "smoke".to_string(),
+            seed: 1,
+            train_blocks: 1,
+            heldout_blocks: 1,
+            simulated_samples: 1,
+            num_learned_parameters: 1,
+            default_mape: 0.2,
+            default_tau: 0.8,
+            learned_mape: 0.2,
+            learned_tau: 0.8,
+            by_category: Vec::<CategoryScore>::new(),
+            table_fingerprint: fingerprint_table(&table),
+            learned_table: table.to_flat(),
+        }
+    }
+
+    #[test]
+    fn defaults_cover_every_simulator_uarch_pair() {
+        let registry = BackendRegistry::with_defaults();
+        assert_eq!(
+            registry.len(),
+            SimulatorKind::ALL.len() * Microarch::ALL.len()
+        );
+        let backend = registry
+            .resolve(&BackendQuery::default())
+            .expect("default haswell mca backend exists");
+        assert_eq!(backend.id, "default:mca:haswell");
+        assert_eq!(backend.table, default_params(Microarch::Haswell));
+    }
+
+    #[test]
+    fn matrix_records_become_backends_and_win_sourceless_resolution() {
+        let mut registry = BackendRegistry::with_defaults();
+        registry
+            .add_matrix_record(&fake_record("mca:haswell:llvm_mca", Microarch::Haswell))
+            .expect("consistent record loads");
+
+        let learned = registry.resolve(&BackendQuery::default()).unwrap();
+        assert_eq!(learned.id, "matrix:mca:haswell:llvm_mca");
+        assert_ne!(learned.table, default_params(Microarch::Haswell));
+
+        // An explicit source still reaches the defaults.
+        let defaults = registry
+            .resolve(&BackendQuery {
+                source: Some(Source::Default),
+                ..BackendQuery::default()
+            })
+            .unwrap();
+        assert_eq!(defaults.id, "default:mca:haswell");
+    }
+
+    #[test]
+    fn corrupt_matrix_records_are_rejected() {
+        let mut registry = BackendRegistry::new();
+
+        let mut truncated = fake_record("mca:haswell:llvm_mca", Microarch::Haswell);
+        truncated.learned_table.clear();
+        assert!(registry
+            .add_matrix_record(&truncated)
+            .unwrap_err()
+            .contains("empty"));
+
+        let mut tampered = fake_record("mca:haswell:llvm_mca", Microarch::Haswell);
+        tampered.learned_table[3] += 1.0;
+        assert!(registry
+            .add_matrix_record(&tampered)
+            .unwrap_err()
+            .contains("corrupt"));
+
+        let bad_cell = MatrixRecord {
+            cell: "not-a-cell".to_string(),
+            ..fake_record("mca:haswell:llvm_mca", Microarch::Haswell)
+        };
+        assert!(registry.add_matrix_record(&bad_cell).is_err());
+        assert!(registry.is_empty());
+    }
+
+    #[test]
+    fn pre_v2_records_are_skipped_while_v2_records_load() {
+        let dir = std::env::temp_dir().join(format!(
+            "difftune-serve-prev2-{}-{:x}",
+            std::process::id(),
+            fnv1a("pre_v2".bytes())
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("temp dir is writable");
+
+        // A servable /2 record.
+        let v2 = fake_record("mca:haswell:llvm_mca", Microarch::Haswell);
+        std::fs::write(dir.join(v2.file_name()), v2.to_json()).unwrap();
+
+        // A /1-era record: same shape minus `learned_table`, older schema
+        // tag. It cannot even parse as today's MatrixRecord, so the loader
+        // must skip it from the raw schema tag, not report corruption.
+        let v1 = fake_record("mca:skylake:llvm_mca", Microarch::Skylake);
+        let value = serde_json::from_str_value(&v1.to_json()).unwrap();
+        let entries: Vec<(String, serde::Value)> = value
+            .as_map()
+            .unwrap()
+            .iter()
+            .filter(|(key, _)| key != "learned_table")
+            .map(|(key, entry)| {
+                if key == "schema" {
+                    (
+                        key.clone(),
+                        serde::Value::Str("difftune-matrix/1".to_string()),
+                    )
+                } else {
+                    (key.clone(), entry.clone())
+                }
+            })
+            .collect();
+        std::fs::write(
+            dir.join(v1.file_name()),
+            serde_json::to_string(&serde::Value::Map(entries)).unwrap(),
+        )
+        .unwrap();
+
+        // Summary and checkpoint files are ignored by name.
+        std::fs::write(dir.join("MATRIX_summary.json"), "{}").unwrap();
+        std::fs::write(dir.join("MATRIX_ckpt_mca_haswell_llvm_mca.json"), "{}").unwrap();
+
+        let mut registry = BackendRegistry::new();
+        let added = registry
+            .add_matrix_dir(&dir)
+            .expect("the /1 record must not be fatal");
+        assert_eq!(added, 1, "exactly the /2 record loads");
+        assert_eq!(registry.ids(), vec!["matrix:mca:haswell:llvm_mca"]);
+
+        // Garbage in a MATRIX_*.json name is still a hard error.
+        std::fs::write(dir.join("MATRIX_bogus_cell_garbage.json"), "not json").unwrap();
+        assert!(registry
+            .add_matrix_dir(&dir)
+            .unwrap_err()
+            .contains("not a matrix cell record"));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_backends_resolve_to_an_error_naming_the_options() {
+        let registry = BackendRegistry::with_defaults();
+        let error = registry
+            .resolve(&BackendQuery {
+                source: Some(Source::Matrix),
+                ..BackendQuery::default()
+            })
+            .unwrap_err();
+        assert!(error.contains("matrix:mca:haswell:llvm_mca"), "{error}");
+        assert!(error.contains("default:mca:haswell"), "{error}");
+    }
+
+    #[test]
+    fn shared_tables_get_distinct_cache_fingerprints_per_simulator() {
+        // default:mca:haswell and default:uop:haswell share the same table;
+        // their predictions differ, so their cache identities must too.
+        let registry = BackendRegistry::with_defaults();
+        let mca = registry
+            .resolve(&BackendQuery {
+                source: Some(Source::Default),
+                ..BackendQuery::default()
+            })
+            .unwrap();
+        let uop = registry
+            .resolve(&BackendQuery {
+                simulator: SimulatorKind::Uop,
+                source: Some(Source::Default),
+                ..BackendQuery::default()
+            })
+            .unwrap();
+        assert_eq!(mca.table_fingerprint, uop.table_fingerprint);
+        assert_ne!(mca.cache_fingerprint, uop.cache_fingerprint);
+    }
+
+    #[test]
+    fn source_parsing_round_trips_and_rejects_unknowns() {
+        for source in [Source::Default, Source::Checkpoint, Source::Matrix] {
+            assert_eq!(Source::parse(source.key()), Ok(source));
+        }
+        assert!(Source::parse("s3").unwrap_err().contains("matrix"));
+    }
+}

@@ -1,0 +1,291 @@
+//! `difftune-loadtest` — a closed-loop load generator for `difftune-serve`.
+//!
+//! Generates a deterministic set of basic blocks, sends them as `/predict`
+//! requests over one or more keep-alive connections (each connection waits
+//! for its response before sending the next request — a closed loop), and
+//! writes the measured throughput as `BENCH_serve.json` in the
+//! `difftune-bench/1` schema, extending the perf trajectory the training
+//! stages already record.
+//!
+//! ```text
+//! difftune-loadtest --addr HOST:PORT [--requests N] [--batch K] [--blocks B]
+//!                   [--connections C] [--seed S] [--sim X] [--uarch X]
+//!                   [--spec X] [--source X] [--json] [--out-dir DIR]
+//!                   [--wait-seconds S] [--max-seconds S]
+//!                   [--check-deterministic]
+//! ```
+//!
+//! `--check-deterministic` replays the exact request sequence a second time
+//! (now against a warm cache) and exits nonzero unless every response body is
+//! byte-identical to the first pass — the serving determinism contract,
+//! enforced from outside the process. `--max-seconds` is the CI tripwire:
+//! the run fails if the whole loadtest exceeds the budget.
+
+use std::time::{Duration, Instant};
+
+use difftune_bench::record::BenchRecord;
+use difftune_isa::{BlockGenerator, GeneratorConfig};
+use difftune_serve::client::HttpClient;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Value;
+
+struct Args {
+    addr: String,
+    requests: usize,
+    batch: usize,
+    blocks: usize,
+    connections: usize,
+    seed: u64,
+    sim: Option<String>,
+    uarch: Option<String>,
+    spec: Option<String>,
+    source: Option<String>,
+    json: bool,
+    out_dir: String,
+    wait_seconds: f64,
+    max_seconds: Option<f64>,
+    check_deterministic: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: difftune-loadtest --addr HOST:PORT [--requests N] [--batch K] [--blocks B] \
+         [--connections C] [--seed S] [--sim X] [--uarch X] [--spec X] [--source X] [--json] \
+         [--out-dir DIR] [--wait-seconds S] [--max-seconds S] [--check-deterministic]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        addr: String::new(),
+        requests: 64,
+        batch: 4,
+        blocks: 32,
+        connections: 1,
+        seed: 0,
+        sim: None,
+        uarch: None,
+        spec: None,
+        source: None,
+        json: false,
+        out_dir: ".".to_string(),
+        wait_seconds: 30.0,
+        max_seconds: None,
+        check_deterministic: false,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        let mut value = |flag: &str| -> String {
+            iter.next().unwrap_or_else(|| {
+                eprintln!("{flag} requires a value");
+                usage()
+            })
+        };
+        let parse_usize = |flag: &str, raw: String| -> usize {
+            raw.parse().unwrap_or_else(|_| {
+                eprintln!("{flag} must be an unsigned integer, got {raw:?}");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--addr" => args.addr = value("--addr"),
+            "--requests" => args.requests = parse_usize("--requests", value("--requests")),
+            "--batch" => args.batch = parse_usize("--batch", value("--batch")),
+            "--blocks" => args.blocks = parse_usize("--blocks", value("--blocks")),
+            "--connections" => {
+                args.connections = parse_usize("--connections", value("--connections"))
+            }
+            "--seed" => args.seed = value("--seed").parse().unwrap_or_else(|_| usage()),
+            "--sim" => args.sim = Some(value("--sim")),
+            "--uarch" => args.uarch = Some(value("--uarch")),
+            "--spec" => args.spec = Some(value("--spec")),
+            "--source" => args.source = Some(value("--source")),
+            "--json" => args.json = true,
+            "--out-dir" => args.out_dir = value("--out-dir"),
+            "--wait-seconds" => {
+                args.wait_seconds = value("--wait-seconds").parse().unwrap_or_else(|_| usage())
+            }
+            "--max-seconds" => {
+                args.max_seconds = Some(value("--max-seconds").parse().unwrap_or_else(|_| usage()))
+            }
+            "--check-deterministic" => args.check_deterministic = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                usage()
+            }
+        }
+    }
+    if args.addr.is_empty() {
+        eprintln!("--addr is required");
+        usage()
+    }
+    if args.requests == 0 || args.batch == 0 || args.blocks == 0 || args.connections == 0 {
+        eprintln!("--requests, --batch, --blocks, and --connections must be positive");
+        usage()
+    }
+    args
+}
+
+/// Builds the deterministic request bodies: `blocks` distinct generated
+/// blocks, grouped `batch` at a time, rotating until `requests` bodies exist.
+fn request_bodies(args: &Args) -> Vec<String> {
+    let generator = BlockGenerator::new(GeneratorConfig::default());
+    let mut rng = StdRng::seed_from_u64(args.seed);
+    let blocks: Vec<String> = (0..args.blocks)
+        .map(|_| generator.generate(&mut rng).to_string())
+        .collect();
+
+    (0..args.requests)
+        .map(|request| {
+            let batch: Vec<Value> = (0..args.batch)
+                .map(|i| Value::Str(blocks[(request * args.batch + i) % blocks.len()].clone()))
+                .collect();
+            let mut map = vec![("blocks".to_string(), Value::Seq(batch))];
+            for (field, flag) in [
+                ("sim", &args.sim),
+                ("uarch", &args.uarch),
+                ("spec", &args.spec),
+                ("source", &args.source),
+            ] {
+                if let Some(value) = flag {
+                    map.push((field.to_string(), Value::Str(value.clone())));
+                }
+            }
+            serde_json::to_string(&Value::Map(map)).expect("a request body always serializes")
+        })
+        .collect()
+}
+
+/// Runs one closed-loop pass over every request body; returns the response
+/// bodies in request order.
+fn run_pass(args: &Args, bodies: &[String]) -> Result<Vec<String>, String> {
+    let responses: Vec<Result<Vec<(usize, String)>, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..args.connections)
+            .map(|connection| {
+                scope.spawn(move || {
+                    let mut client = HttpClient::connect_with_retry(
+                        &args.addr,
+                        Duration::from_secs_f64(args.wait_seconds),
+                    )
+                    .map_err(|error| format!("cannot connect to {}: {error}", args.addr))?;
+                    let mut collected = Vec::new();
+                    for (index, body) in bodies.iter().enumerate() {
+                        if index % args.connections != connection {
+                            continue;
+                        }
+                        let response = client
+                            .post_json("/predict", body)
+                            .map_err(|error| format!("request {index} failed: {error}"))?;
+                        if response.status != 200 {
+                            return Err(format!(
+                                "request {index} answered {}: {}",
+                                response.status,
+                                response.body_text()
+                            ));
+                        }
+                        collected.push((index, response.body_text()));
+                    }
+                    Ok(collected)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| handle.join().expect("loadtest worker panicked"))
+            .collect()
+    });
+
+    let mut ordered = vec![String::new(); bodies.len()];
+    for result in responses {
+        for (index, body) in result? {
+            ordered[index] = body;
+        }
+    }
+    Ok(ordered)
+}
+
+fn main() {
+    let args = parse_args();
+    let bodies = request_bodies(&args);
+
+    // Readiness probe before the clock starts: the BENCH record (and the
+    // --max-seconds tripwire) measure serving, not how long a freshly
+    // spawned server takes to start accepting.
+    HttpClient::connect_with_retry(&args.addr, Duration::from_secs_f64(args.wait_seconds))
+        .unwrap_or_else(|error| {
+            eprintln!(
+                "difftune-loadtest: cannot connect to {}: {error}",
+                args.addr
+            );
+            std::process::exit(1);
+        });
+    let started = Instant::now();
+
+    let first_pass = run_pass(&args, &bodies).unwrap_or_else(|error| {
+        eprintln!("difftune-loadtest: {error}");
+        std::process::exit(1);
+    });
+    let first_elapsed = started.elapsed().as_secs_f64();
+    let samples = args.requests * args.batch;
+    println!(
+        "difftune-loadtest: {} requests ({samples} blocks) over {} connection(s) in {:.3}s \
+         ({:.0} blocks/s)",
+        args.requests,
+        args.connections,
+        first_elapsed,
+        samples as f64 / first_elapsed.max(1e-9),
+    );
+
+    if args.check_deterministic {
+        // Replay the identical sequence against the now-warm cache: every
+        // body must come back byte-identical.
+        let second_pass = run_pass(&args, &bodies).unwrap_or_else(|error| {
+            eprintln!("difftune-loadtest: replay pass: {error}");
+            std::process::exit(1);
+        });
+        for (index, (first, second)) in first_pass.iter().zip(&second_pass).enumerate() {
+            if first != second {
+                eprintln!(
+                    "difftune-loadtest: DETERMINISM VIOLATION: request {index} diverged between \
+                     cold and warm passes:\n  cold: {first}\n  warm: {second}"
+                );
+                std::process::exit(1);
+            }
+        }
+        println!(
+            "difftune-loadtest: replay pass byte-identical across {} responses",
+            first_pass.len()
+        );
+    }
+
+    if args.json {
+        let record = BenchRecord::serve(args.connections, args.seed, first_elapsed, samples);
+        if let Err(error) = std::fs::create_dir_all(&args.out_dir) {
+            eprintln!("difftune-loadtest: cannot create {}: {error}", args.out_dir);
+            std::process::exit(1);
+        }
+        let path = std::path::Path::new(&args.out_dir).join(record.file_name());
+        if let Err(error) = std::fs::write(&path, record.to_json()) {
+            eprintln!(
+                "difftune-loadtest: cannot write {}: {error}",
+                path.display()
+            );
+            std::process::exit(1);
+        }
+        println!("difftune-loadtest: wrote {}", path.display());
+    }
+
+    if let Some(ceiling) = args.max_seconds {
+        let total = started.elapsed().as_secs_f64();
+        if total > ceiling {
+            eprintln!(
+                "difftune-loadtest: PERF CEILING EXCEEDED: the loadtest took {total:.2}s, over \
+                 the {ceiling:.2}s ceiling"
+            );
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! `difftune-serve` — the prediction server binary.
+//!
+//! Loads backends (expert defaults plus any `--tables` matrix directories
+//! and `--checkpoint` session snapshots) and serves `POST /predict`,
+//! `GET /healthz`, `GET /metrics`, and `GET /backends` until interrupted
+//! (or until `--max-seconds`, the CI self-stop).
+//!
+//! ```text
+//! difftune-serve [--addr A] [--port P] [--tables DIR]...
+//!                [--checkpoint SIM:UARCH:SPEC=PATH]... [--no-defaults]
+//!                [--shards N] [--cache-capacity N] [--max-seconds S]
+//!                [--list-backends]
+//! ```
+//!
+//! Shard count defaults to `DIFFTUNE_THREADS` (unset = all cores), mirroring
+//! the training binaries; shard count and cache state never change response
+//! bytes, only latency.
+
+use std::time::Duration;
+
+use difftune_bench::matrix::CellKey;
+use difftune_serve::backend::BackendRegistry;
+use difftune_serve::server::{spawn, ServeConfig};
+
+struct Args {
+    addr: String,
+    port: u16,
+    tables: Vec<String>,
+    checkpoints: Vec<(CellKey, String)>,
+    no_defaults: bool,
+    shards: Option<usize>,
+    cache_capacity: Option<usize>,
+    max_seconds: Option<f64>,
+    list_backends: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: difftune-serve [--addr A] [--port P] [--tables DIR]... \
+         [--checkpoint SIM:UARCH:SPEC=PATH]... [--no-defaults] [--shards N] \
+         [--cache-capacity N] [--max-seconds S] [--list-backends]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        addr: "127.0.0.1".to_string(),
+        port: 8117,
+        tables: Vec::new(),
+        checkpoints: Vec::new(),
+        no_defaults: false,
+        shards: None,
+        cache_capacity: None,
+        max_seconds: None,
+        list_backends: false,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        let mut value = |flag: &str| -> String {
+            iter.next().unwrap_or_else(|| {
+                eprintln!("{flag} requires a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--addr" => args.addr = value("--addr"),
+            "--port" => {
+                let raw = value("--port");
+                args.port = raw.parse().unwrap_or_else(|_| {
+                    eprintln!("--port must be a port number, got {raw:?}");
+                    usage()
+                });
+            }
+            "--tables" => args.tables.push(value("--tables")),
+            "--checkpoint" => {
+                let raw = value("--checkpoint");
+                let Some((cell, path)) = raw.split_once('=') else {
+                    eprintln!("--checkpoint expects SIM:UARCH:SPEC=PATH, got {raw:?}");
+                    usage()
+                };
+                match CellKey::parse(cell) {
+                    Ok(key) => args.checkpoints.push((key, path.to_string())),
+                    Err(error) => {
+                        eprintln!("--checkpoint {raw:?}: {error}");
+                        usage()
+                    }
+                }
+            }
+            "--no-defaults" => args.no_defaults = true,
+            "--shards" => {
+                let raw = value("--shards");
+                args.shards = Some(raw.parse().unwrap_or_else(|_| {
+                    eprintln!("--shards must be an unsigned integer, got {raw:?}");
+                    usage()
+                }));
+            }
+            "--cache-capacity" => {
+                let raw = value("--cache-capacity");
+                args.cache_capacity = Some(raw.parse().unwrap_or_else(|_| {
+                    eprintln!("--cache-capacity must be an unsigned integer, got {raw:?}");
+                    usage()
+                }));
+            }
+            "--max-seconds" => {
+                let raw = value("--max-seconds");
+                args.max_seconds = Some(raw.parse().unwrap_or_else(|_| {
+                    eprintln!("--max-seconds must be numeric, got {raw:?}");
+                    usage()
+                }));
+            }
+            "--list-backends" => args.list_backends = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                usage()
+            }
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+
+    let mut registry = if args.no_defaults {
+        BackendRegistry::new()
+    } else {
+        BackendRegistry::with_defaults()
+    };
+    for dir in &args.tables {
+        match registry.add_matrix_dir(std::path::Path::new(dir)) {
+            Ok(added) => eprintln!("[difftune-serve] loaded {added} matrix backend(s) from {dir}"),
+            Err(error) => {
+                eprintln!("difftune-serve: {error}");
+                std::process::exit(1);
+            }
+        }
+    }
+    for (key, path) in &args.checkpoints {
+        if let Err(error) = registry.add_checkpoint(key, std::path::Path::new(path)) {
+            eprintln!("difftune-serve: {error}");
+            std::process::exit(1);
+        }
+        eprintln!("[difftune-serve] loaded checkpoint backend checkpoint:{key}");
+    }
+    if registry.is_empty() {
+        eprintln!("difftune-serve: no backends to serve (--no-defaults with nothing loaded)");
+        std::process::exit(1);
+    }
+
+    if args.list_backends {
+        for id in registry.ids() {
+            println!("{id}");
+        }
+        return;
+    }
+
+    // Shard count: --shards wins, then DIFFTUNE_THREADS, then all cores.
+    let shards = match args.shards {
+        Some(n) => n,
+        None => difftune::threads_from_env().unwrap_or_else(|error| {
+            eprintln!("{error}");
+            std::process::exit(2);
+        }),
+    };
+
+    let config = ServeConfig {
+        addr: args.addr.clone(),
+        port: args.port,
+        shards,
+        cache_capacity: args.cache_capacity.unwrap_or(4096),
+        ..ServeConfig::default()
+    };
+    let backends = registry.len();
+    let handle = spawn(config, registry).unwrap_or_else(|error| {
+        eprintln!(
+            "difftune-serve: cannot bind {}:{}: {error}",
+            args.addr, args.port
+        );
+        std::process::exit(1);
+    });
+    println!(
+        "difftune-serve listening on http://{} ({backends} backends)",
+        handle.addr()
+    );
+
+    match args.max_seconds {
+        Some(seconds) => {
+            std::thread::sleep(Duration::from_secs_f64(seconds.max(0.0)));
+            eprintln!("[difftune-serve] --max-seconds reached; shutting down");
+            handle.shutdown();
+        }
+        None => {
+            // Serve until the process is killed.
+            loop {
+                std::thread::park();
+            }
+        }
+    }
+}

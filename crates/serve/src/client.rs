@@ -1,0 +1,159 @@
+//! A minimal blocking HTTP/1.1 client for the loadtest binary and the test
+//! suites — just enough protocol to drive `difftune-serve` over a keep-alive
+//! connection (request writing, `Content-Length` framed response reading).
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// A parsed HTTP response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientResponse {
+    /// The status code.
+    pub status: u16,
+    /// Headers in arrival order, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The response body.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// The body as UTF-8 (lossy).
+    pub fn body_text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// A keep-alive connection to the server.
+#[derive(Debug)]
+pub struct HttpClient {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl HttpClient {
+    /// Connects once.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection errors.
+    pub fn connect(addr: &str) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(HttpClient {
+            stream,
+            buf: Vec::new(),
+        })
+    }
+
+    /// Retries [`HttpClient::connect`] until the server accepts or the wait
+    /// budget runs out — the standard way to wait for a server that was just
+    /// spawned.
+    ///
+    /// # Errors
+    ///
+    /// The last connection error once the budget is exhausted.
+    pub fn connect_with_retry(addr: &str, wait: Duration) -> std::io::Result<Self> {
+        let deadline = Instant::now() + wait;
+        loop {
+            match HttpClient::connect(addr) {
+                Ok(client) => return Ok(client),
+                Err(error) if Instant::now() >= deadline => return Err(error),
+                Err(_) => std::thread::sleep(Duration::from_millis(50)),
+            }
+        }
+    }
+
+    /// Sends a `GET` and reads the response.
+    ///
+    /// # Errors
+    ///
+    /// I/O and protocol-framing errors.
+    pub fn get(&mut self, path: &str) -> std::io::Result<ClientResponse> {
+        let head = format!("GET {path} HTTP/1.1\r\nHost: difftune-serve\r\n\r\n");
+        self.stream.write_all(head.as_bytes())?;
+        self.stream.flush()?;
+        self.read_response()
+    }
+
+    /// Sends a `POST` with a JSON body and reads the response.
+    ///
+    /// # Errors
+    ///
+    /// I/O and protocol-framing errors.
+    pub fn post_json(&mut self, path: &str, body: &str) -> std::io::Result<ClientResponse> {
+        let head = format!(
+            "POST {path} HTTP/1.1\r\nHost: difftune-serve\r\nContent-Type: application/json\r\n\
+             Content-Length: {}\r\n\r\n",
+            body.len()
+        );
+        self.stream.write_all(head.as_bytes())?;
+        self.stream.write_all(body.as_bytes())?;
+        self.stream.flush()?;
+        self.read_response()
+    }
+
+    /// Writes raw request bytes (for pipelining tests) and reads `count`
+    /// responses back.
+    ///
+    /// # Errors
+    ///
+    /// I/O and protocol-framing errors.
+    pub fn send_raw(&mut self, raw: &[u8], count: usize) -> std::io::Result<Vec<ClientResponse>> {
+        self.stream.write_all(raw)?;
+        self.stream.flush()?;
+        (0..count).map(|_| self.read_response()).collect()
+    }
+
+    /// Reads one `Content-Length` framed response off the stream.
+    fn read_response(&mut self) -> std::io::Result<ClientResponse> {
+        let bad = |message: String| std::io::Error::new(std::io::ErrorKind::InvalidData, message);
+
+        // Read until the head terminator.
+        let head_end = loop {
+            if let Some(pos) = self.buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break pos;
+            }
+            let mut chunk = [0u8; 8192];
+            match self.stream.read(&mut chunk)? {
+                0 => return Err(bad("connection closed mid-response".to_string())),
+                n => self.buf.extend_from_slice(&chunk[..n]),
+            }
+        };
+
+        let head = String::from_utf8(self.buf[..head_end].to_vec())
+            .map_err(|_| bad("response head is not UTF-8".to_string()))?;
+        let mut lines = head.split("\r\n");
+        let status_line = lines.next().unwrap_or("");
+        let status: u16 = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|code| code.parse().ok())
+            .ok_or_else(|| bad(format!("malformed status line {status_line:?}")))?;
+        let headers: Vec<(String, String)> = lines
+            .filter_map(|line| line.split_once(':'))
+            .map(|(name, value)| (name.to_ascii_lowercase(), value.trim().to_string()))
+            .collect();
+        let body_len: usize = headers
+            .iter()
+            .find(|(name, _)| name == "content-length")
+            .and_then(|(_, value)| value.parse().ok())
+            .ok_or_else(|| bad("response has no Content-Length".to_string()))?;
+
+        let total = head_end + 4 + body_len;
+        while self.buf.len() < total {
+            let mut chunk = [0u8; 8192];
+            match self.stream.read(&mut chunk)? {
+                0 => return Err(bad("connection closed mid-body".to_string())),
+                n => self.buf.extend_from_slice(&chunk[..n]),
+            }
+        }
+        let body = self.buf[head_end + 4..total].to_vec();
+        self.buf.drain(..total);
+        Ok(ClientResponse {
+            status,
+            headers,
+            body,
+        })
+    }
+}

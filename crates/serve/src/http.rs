@@ -1,0 +1,493 @@
+//! A hand-rolled HTTP/1.1 layer over raw byte streams.
+//!
+//! The build environment vendors every dependency as a minimal shim, so there
+//! is no hyper/tokio to lean on: this module implements exactly the protocol
+//! surface the prediction service needs — an incremental request parser
+//! ([`RequestBuffer`]) that survives partial reads and pipelined requests,
+//! and a [`Response`] writer. Anything malformed or oversized becomes a typed
+//! [`HttpError`] carrying the 4xx/5xx status to answer with; the parser never
+//! panics on hostile input (`tests` below feed it truncations, garbage, and
+//! oversized payloads).
+//!
+//! Deliberately out of scope (see ROADMAP "Open items"): chunked
+//! transfer-encoding (answered with `501`), HTTP/2, and TLS.
+
+/// Default cap on the request head (request line + headers).
+pub const DEFAULT_MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Default cap on a request body.
+pub const DEFAULT_MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+
+/// Size limits applied while parsing requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HttpLimits {
+    /// Maximum bytes of request line + headers before `431` is returned.
+    pub max_head_bytes: usize,
+    /// Maximum `Content-Length` before `413` is returned.
+    pub max_body_bytes: usize,
+}
+
+impl Default for HttpLimits {
+    fn default() -> Self {
+        HttpLimits {
+            max_head_bytes: DEFAULT_MAX_HEAD_BYTES,
+            max_body_bytes: DEFAULT_MAX_BODY_BYTES,
+        }
+    }
+}
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The request method, uppercased as received (`GET`, `POST`, ...).
+    pub method: String,
+    /// The request target (path and query, exactly as sent).
+    pub path: String,
+    /// Headers in arrival order, with lowercased names and trimmed values.
+    pub headers: Vec<(String, String)>,
+    /// The request body (`Content-Length` bytes; empty when absent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first header with this (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(key, _)| *key == name)
+            .map(|(_, value)| value.as_str())
+    }
+
+    /// True when the client asked for the connection to close after this
+    /// request (`Connection: close`).
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|value| value.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// A protocol-level error: the status code to answer with plus a message for
+/// the JSON error body. The connection closes after the error is written
+/// (framing can no longer be trusted).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpError {
+    /// The HTTP status code (4xx or 5xx).
+    pub status: u16,
+    /// Human-readable description, returned in the error body.
+    pub message: String,
+}
+
+impl HttpError {
+    /// A `400 Bad Request` error.
+    pub fn bad_request(message: impl Into<String>) -> Self {
+        HttpError {
+            status: 400,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} {}: {}",
+            self.status,
+            reason(self.status),
+            self.message
+        )
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// The standard reason phrase for the status codes this service emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        411 => "Length Required",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        505 => "HTTP Version Not Supported",
+        _ => "Unknown",
+    }
+}
+
+/// An incremental request parser: bytes go in via [`RequestBuffer::push`] in
+/// whatever fragments the socket delivers, complete requests come out via
+/// [`RequestBuffer::next_request`]. Bytes beyond the first request stay
+/// buffered, so pipelined requests parse one by one.
+#[derive(Debug, Default)]
+pub struct RequestBuffer {
+    buf: Vec<u8>,
+}
+
+impl RequestBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        RequestBuffer::default()
+    }
+
+    /// Appends freshly read bytes.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes currently buffered.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when no bytes are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Tries to parse one complete request off the front of the buffer.
+    ///
+    /// Returns `Ok(None)` when more bytes are needed, `Ok(Some(request))`
+    /// when a full request was consumed (remaining bytes stay buffered for
+    /// the next call), and `Err` when the stream violates the protocol or a
+    /// limit — the caller should answer with [`Response::from_error`] and
+    /// close.
+    pub fn next_request(&mut self, limits: &HttpLimits) -> Result<Option<Request>, HttpError> {
+        let Some(head_end) = find_head_end(&self.buf) else {
+            if self.buf.len() > limits.max_head_bytes {
+                return Err(HttpError {
+                    status: 431,
+                    message: format!(
+                        "request head exceeds {} bytes without terminating",
+                        limits.max_head_bytes
+                    ),
+                });
+            }
+            return Ok(None);
+        };
+        if head_end > limits.max_head_bytes {
+            return Err(HttpError {
+                status: 431,
+                message: format!("request head exceeds {} bytes", limits.max_head_bytes),
+            });
+        }
+
+        let head = std::str::from_utf8(&self.buf[..head_end])
+            .map_err(|_| HttpError::bad_request("request head is not valid UTF-8"))?;
+        let mut lines = head.split("\r\n");
+        let request_line = lines.next().unwrap_or("");
+        let mut parts = request_line.split(' ');
+        let (Some(method), Some(path), Some(version), None) =
+            (parts.next(), parts.next(), parts.next(), parts.next())
+        else {
+            return Err(HttpError::bad_request(format!(
+                "malformed request line {request_line:?}"
+            )));
+        };
+        if method.is_empty() || !method.bytes().all(|b| b.is_ascii_uppercase()) {
+            return Err(HttpError::bad_request(format!(
+                "malformed method {method:?}"
+            )));
+        }
+        if path.is_empty() || !path.starts_with('/') {
+            return Err(HttpError::bad_request(format!(
+                "request target {path:?} must be an absolute path"
+            )));
+        }
+        if version != "HTTP/1.1" && version != "HTTP/1.0" {
+            return Err(HttpError {
+                status: 505,
+                message: format!("unsupported protocol version {version:?}"),
+            });
+        }
+
+        let mut headers = Vec::new();
+        for line in lines {
+            let Some((name, value)) = line.split_once(':') else {
+                return Err(HttpError::bad_request(format!(
+                    "malformed header line {line:?}"
+                )));
+            };
+            if name.is_empty() || name.contains(' ') {
+                return Err(HttpError::bad_request(format!(
+                    "malformed header name {name:?}"
+                )));
+            }
+            headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+        }
+
+        if headers.iter().any(|(name, _)| name == "transfer-encoding") {
+            return Err(HttpError {
+                status: 501,
+                message: "transfer-encoding is not supported; send Content-Length".to_string(),
+            });
+        }
+
+        let content_lengths: Vec<&str> = headers
+            .iter()
+            .filter(|(name, _)| name == "content-length")
+            .map(|(_, value)| value.as_str())
+            .collect();
+        let body_len = match content_lengths.as_slice() {
+            [] => 0usize,
+            [single] => single.parse::<usize>().map_err(|_| {
+                HttpError::bad_request(format!("invalid Content-Length {single:?}"))
+            })?,
+            _ => return Err(HttpError::bad_request("conflicting Content-Length headers")),
+        };
+        if body_len > limits.max_body_bytes {
+            return Err(HttpError {
+                status: 413,
+                message: format!(
+                    "request body of {body_len} bytes exceeds the {}-byte limit",
+                    limits.max_body_bytes
+                ),
+            });
+        }
+
+        let total = head_end + 4 + body_len;
+        if self.buf.len() < total {
+            return Ok(None); // body still in flight
+        }
+
+        let body = self.buf[head_end + 4..total].to_vec();
+        let request = Request {
+            method: method.to_string(),
+            path: path.to_string(),
+            headers,
+            body,
+        };
+        self.buf.drain(..total);
+        Ok(Some(request))
+    }
+}
+
+/// Index of the `\r\n\r\n` head terminator, if present.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// An HTTP response ready to serialize.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// The status code.
+    pub status: u16,
+    /// The `Content-Type` header value.
+    pub content_type: &'static str,
+    /// The response body.
+    pub body: Vec<u8>,
+    /// Whether the server will close the connection after this response
+    /// (`Connection: close` is advertised accordingly).
+    pub close: bool,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: String) -> Self {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into_bytes(),
+            close: false,
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: String) -> Self {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into_bytes(),
+            close: false,
+        }
+    }
+
+    /// The JSON error response for a protocol or application error. Protocol
+    /// errors (passed from [`RequestBuffer::next_request`]) additionally close
+    /// the connection, because request framing can no longer be trusted.
+    pub fn from_error(error: &HttpError, close: bool) -> Self {
+        let body = serde_json::to_string(&serde::Value::Map(vec![(
+            "error".to_string(),
+            serde::Value::Str(error.message.clone()),
+        )]))
+        .expect("an error body always serializes");
+        Response {
+            close,
+            ..Response::json(error.status, body)
+        }
+    }
+
+    /// Serializes status line, headers, and body to the writer.
+    pub fn write_to(&self, writer: &mut impl std::io::Write) -> std::io::Result<()> {
+        let head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+            self.status,
+            reason(self.status),
+            self.content_type,
+            self.body.len(),
+            if self.close { "close" } else { "keep-alive" },
+        );
+        writer.write_all(head.as_bytes())?;
+        writer.write_all(&self.body)?;
+        writer.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_one(raw: &[u8]) -> Result<Option<Request>, HttpError> {
+        let mut buffer = RequestBuffer::new();
+        buffer.push(raw);
+        buffer.next_request(&HttpLimits::default())
+    }
+
+    #[test]
+    fn a_simple_get_parses() {
+        let request = parse_one(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap()
+            .expect("complete request");
+        assert_eq!(request.method, "GET");
+        assert_eq!(request.path, "/healthz");
+        assert_eq!(request.header("host"), Some("x"));
+        assert_eq!(request.header("HOST"), Some("x"));
+        assert!(request.body.is_empty());
+        assert!(!request.wants_close());
+    }
+
+    #[test]
+    fn a_post_with_body_parses_and_respects_content_length() {
+        let request = parse_one(b"POST /predict HTTP/1.1\r\nContent-Length: 7\r\n\r\n{\"a\":1}")
+            .unwrap()
+            .expect("complete request");
+        assert_eq!(request.method, "POST");
+        assert_eq!(request.body, b"{\"a\":1}");
+    }
+
+    #[test]
+    fn partial_reads_accumulate_until_the_request_completes() {
+        // One byte at a time: the parser must return Ok(None) at every prefix
+        // and produce the request exactly once the final byte lands.
+        let raw: &[u8] = b"POST /predict HTTP/1.1\r\nContent-Length: 2\r\n\r\nok";
+        let mut buffer = RequestBuffer::new();
+        let limits = HttpLimits::default();
+        for (i, byte) in raw.iter().enumerate() {
+            buffer.push(std::slice::from_ref(byte));
+            let parsed = buffer.next_request(&limits).expect("prefixes never error");
+            if i + 1 < raw.len() {
+                assert!(parsed.is_none(), "premature parse at byte {i}");
+            } else {
+                let request = parsed.expect("final byte completes the request");
+                assert_eq!(request.body, b"ok");
+                assert!(buffer.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_requests_parse_one_by_one() {
+        let mut buffer = RequestBuffer::new();
+        buffer.push(b"GET /healthz HTTP/1.1\r\n\r\nPOST /predict HTTP/1.1\r\nContent-Length: 2\r\n\r\nhiGET /metrics HTTP/1.1\r\n\r\n");
+        let limits = HttpLimits::default();
+        let first = buffer.next_request(&limits).unwrap().expect("first");
+        assert_eq!(first.path, "/healthz");
+        let second = buffer.next_request(&limits).unwrap().expect("second");
+        assert_eq!(
+            (second.path.as_str(), second.body.as_slice()),
+            ("/predict", b"hi".as_slice())
+        );
+        let third = buffer.next_request(&limits).unwrap().expect("third");
+        assert_eq!(third.path, "/metrics");
+        assert_eq!(buffer.next_request(&limits).unwrap(), None);
+    }
+
+    #[test]
+    fn malformed_input_becomes_4xx_not_a_panic() {
+        for (raw, status) in [
+            (b"garbage\r\n\r\n".as_slice(), 400), // no method/path/version
+            (b"GET /x HTTP/1.1 extra\r\n\r\n".as_slice(), 400), // 4-part request line
+            (b"get /x HTTP/1.1\r\n\r\n".as_slice(), 400), // lowercase method
+            (b"GET x HTTP/1.1\r\n\r\n".as_slice(), 400), // relative target
+            (b"GET /x HTTP/2\r\n\r\n".as_slice(), 505), // unsupported version
+            (b"GET /x HTTP/1.1\r\nno-colon-here\r\n\r\n".as_slice(), 400), // malformed header
+            (
+                b"POST /x HTTP/1.1\r\nContent-Length: nan\r\n\r\n".as_slice(),
+                400,
+            ),
+            (
+                b"POST /x HTTP/1.1\r\nContent-Length: 1\r\nContent-Length: 2\r\n\r\n".as_slice(),
+                400,
+            ),
+            (
+                b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n".as_slice(),
+                501,
+            ),
+            (b"GET /\xff\xfe HTTP/1.1\r\n\r\n".as_slice(), 400), // non-UTF-8 head
+        ] {
+            let error = parse_one(raw).expect_err("malformed input must error");
+            assert_eq!(error.status, status, "input {raw:?}");
+        }
+    }
+
+    #[test]
+    fn oversized_bodies_and_heads_are_rejected() {
+        let limits = HttpLimits {
+            max_head_bytes: 64,
+            max_body_bytes: 16,
+        };
+
+        // Declared body over the limit: rejected from the header alone,
+        // before any body bytes arrive.
+        let mut buffer = RequestBuffer::new();
+        buffer.push(b"POST /predict HTTP/1.1\r\nContent-Length: 17\r\n\r\n");
+        assert_eq!(buffer.next_request(&limits).unwrap_err().status, 413);
+
+        // Head that never terminates: rejected once it exceeds the cap, so a
+        // slow-loris stream cannot grow the buffer forever.
+        let mut buffer = RequestBuffer::new();
+        buffer.push(b"GET /x HTTP/1.1\r\n");
+        for _ in 0..8 {
+            buffer.push(b"X-Padding: aaaaaaaaaaaaaaaa\r\n");
+        }
+        assert_eq!(buffer.next_request(&limits).unwrap_err().status, 431);
+
+        // A complete head that is simply too large is also rejected.
+        let mut buffer = RequestBuffer::new();
+        buffer.push(b"GET /x HTTP/1.1\r\nX-Padding: aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\r\n\r\n");
+        assert_eq!(buffer.next_request(&limits).unwrap_err().status, 431);
+    }
+
+    #[test]
+    fn connection_close_is_honored_and_responses_serialize() {
+        let request = parse_one(b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap()
+            .expect("complete request");
+        assert!(request.wants_close());
+
+        let mut out = Vec::new();
+        Response::json(200, "{}".to_string())
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+
+        let mut out = Vec::new();
+        Response::from_error(&HttpError::bad_request("nope"), true)
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 400 Bad Request\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("{\"error\":\"nope\"}"));
+    }
+}

@@ -1,0 +1,75 @@
+//! # difftune-serve
+//!
+//! A sharded, caching HTTP prediction service over learned DiffTune
+//! parameter tables.
+//!
+//! The tuning pipeline ends in artifacts — expert defaults, session
+//! [`RunCheckpoint`](difftune::RunCheckpoint)s, and `MATRIX_*.json` scenario
+//! cells. This crate puts those artifacts behind a socket: a hand-rolled
+//! HTTP/1.1 server (`std::net::TcpListener` and threads; every external
+//! dependency in this workspace is a vendored shim, so there is no async
+//! runtime to import) that answers basic-block timing predictions from any
+//! loaded backend.
+//!
+//! * [`http`] — incremental request parser (partial reads, pipelining, size
+//!   limits) and response writer;
+//! * [`backend`] — the table registry: `default` / `checkpoint` / `matrix`
+//!   sources, fingerprint-verified loading, per-request resolution;
+//! * [`cache`] — the fingerprint-keyed LRU prediction cache;
+//! * [`server`] — accept loop, connection threads, and the shard-per-worker
+//!   predict pool batching through [`Simulator::predict_batch`];
+//! * [`metrics`] — request/cache/latency counters behind `GET /metrics`;
+//! * [`client`] — the minimal blocking client used by `difftune-loadtest`
+//!   and the test suites.
+//!
+//! Two binaries ship with the crate: `difftune-serve` (the server) and
+//! `difftune-loadtest` (a closed-loop generator that measures throughput
+//! into `BENCH_serve.json`, schema `difftune-bench/1`).
+//!
+//! [`Simulator::predict_batch`]: difftune_sim::Simulator::predict_batch
+//!
+//! # Determinism
+//!
+//! `/predict` response bodies are bit-identical across shard counts, cache
+//! states, and request batching: simulators are pure functions, cache hits
+//! return the exact value a miss would recompute, and floats serialize in
+//! Rust's shortest-exact form — the serving extension of the determinism
+//! contract the training engine established (see `docs/ARCHITECTURE.md`).
+//!
+//! # Example
+//!
+//! ```no_run
+//! use difftune_serve::backend::BackendRegistry;
+//! use difftune_serve::client::HttpClient;
+//! use difftune_serve::server::{spawn, ServeConfig};
+//!
+//! let mut registry = BackendRegistry::with_defaults();
+//! registry.add_matrix_dir(std::path::Path::new("matrix-out"))?;
+//! let handle = spawn(ServeConfig::default(), registry)?;
+//!
+//! let mut client = HttpClient::connect(&handle.addr().to_string())?;
+//! let response = client.post_json(
+//!     "/predict",
+//!     r#"{"block": "addq %rax, %rbx", "sim": "mca", "uarch": "haswell"}"#,
+//! )?;
+//! println!("{}", response.body_text());
+//! handle.shutdown();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod backend;
+pub mod cache;
+pub mod client;
+pub mod http;
+pub mod metrics;
+pub mod server;
+
+pub use backend::{Backend, BackendQuery, BackendRegistry, Source};
+pub use cache::LruCache;
+pub use client::{ClientResponse, HttpClient};
+pub use http::{HttpError, HttpLimits, Request, RequestBuffer, Response};
+pub use metrics::Metrics;
+pub use server::{spawn, ServeConfig, ServerHandle};

@@ -1,0 +1,191 @@
+//! Request, cache, and latency counters behind `GET /metrics`.
+//!
+//! Plain atomics — no histogram buckets or exporters — rendered in the
+//! Prometheus text exposition format so standard scrapers parse it. The
+//! counters are observability only: nothing here feeds back into request
+//! handling, and (unlike `/predict` bodies) the values are wall-clock- and
+//! scheduling-dependent, which is why the determinism suite never compares
+//! `/metrics` output.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic service counters. All methods are lock-free and callable from
+/// every connection and shard thread.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Requests fully parsed off a connection (any endpoint).
+    requests_total: AtomicU64,
+    /// `/predict` requests answered with 200.
+    predict_requests_total: AtomicU64,
+    /// Blocks predicted inside those requests (batched requests count once
+    /// per block).
+    predict_blocks_total: AtomicU64,
+    /// Blocks answered from the prediction cache.
+    cache_hits_total: AtomicU64,
+    /// Blocks that had to run the simulator.
+    cache_misses_total: AtomicU64,
+    /// Responses with a 4xx status.
+    responses_4xx_total: AtomicU64,
+    /// Responses with a 5xx status.
+    responses_5xx_total: AtomicU64,
+    /// Nanoseconds spent handling requests (parse-to-response-written).
+    request_nanos_total: AtomicU64,
+}
+
+impl Metrics {
+    /// A zeroed counter set.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Records a parsed request.
+    pub fn on_request(&self) {
+        self.requests_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a successful `/predict` answering `blocks` blocks.
+    pub fn on_predict(&self, blocks: usize) {
+        self.predict_requests_total.fetch_add(1, Ordering::Relaxed);
+        self.predict_blocks_total
+            .fetch_add(blocks as u64, Ordering::Relaxed);
+    }
+
+    /// Records cache outcomes for a batch.
+    pub fn on_cache(&self, hits: usize, misses: usize) {
+        self.cache_hits_total
+            .fetch_add(hits as u64, Ordering::Relaxed);
+        self.cache_misses_total
+            .fetch_add(misses as u64, Ordering::Relaxed);
+    }
+
+    /// Records a response's status class.
+    pub fn on_response_status(&self, status: u16) {
+        match status {
+            400..=499 => self.responses_4xx_total.fetch_add(1, Ordering::Relaxed),
+            500..=599 => self.responses_5xx_total.fetch_add(1, Ordering::Relaxed),
+            _ => 0,
+        };
+    }
+
+    /// Adds handling latency.
+    pub fn on_latency(&self, elapsed: std::time::Duration) {
+        self.request_nanos_total.fetch_add(
+            elapsed.as_nanos().min(u64::MAX as u128) as u64,
+            Ordering::Relaxed,
+        );
+    }
+
+    /// Cache hits so far (used by tests and the loadtest summary).
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits_total.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses so far.
+    pub fn cache_misses(&self) -> u64 {
+        self.cache_misses_total.load(Ordering::Relaxed)
+    }
+
+    /// Requests so far.
+    pub fn requests(&self) -> u64 {
+        self.requests_total.load(Ordering::Relaxed)
+    }
+
+    /// Renders the Prometheus text exposition. `backends` and `shards` are
+    /// configuration gauges supplied by the server.
+    pub fn render(&self, backends: usize, shards: usize) -> String {
+        let mut out = String::new();
+        let mut counter = |name: &str, help: &str, value: u64| {
+            out.push_str(&format!(
+                "# HELP difftune_{name} {help}\n# TYPE difftune_{name} counter\ndifftune_{name} {value}\n"
+            ));
+        };
+        counter(
+            "requests_total",
+            "Requests parsed across all endpoints.",
+            self.requests(),
+        );
+        counter(
+            "predict_requests_total",
+            "Successful /predict requests.",
+            self.predict_requests_total.load(Ordering::Relaxed),
+        );
+        counter(
+            "predict_blocks_total",
+            "Blocks predicted (batched requests count per block).",
+            self.predict_blocks_total.load(Ordering::Relaxed),
+        );
+        counter(
+            "cache_hits_total",
+            "Blocks answered from the prediction cache.",
+            self.cache_hits(),
+        );
+        counter(
+            "cache_misses_total",
+            "Blocks that ran the simulator.",
+            self.cache_misses(),
+        );
+        counter(
+            "responses_4xx_total",
+            "Responses with a 4xx status.",
+            self.responses_4xx_total.load(Ordering::Relaxed),
+        );
+        counter(
+            "responses_5xx_total",
+            "Responses with a 5xx status.",
+            self.responses_5xx_total.load(Ordering::Relaxed),
+        );
+        let seconds = self.request_nanos_total.load(Ordering::Relaxed) as f64 / 1e9;
+        out.push_str(&format!(
+            "# HELP difftune_request_seconds_total Wall time spent handling requests.\n\
+             # TYPE difftune_request_seconds_total counter\n\
+             difftune_request_seconds_total {seconds:?}\n"
+        ));
+        let mut gauge = |name: &str, help: &str, value: usize| {
+            out.push_str(&format!(
+                "# HELP difftune_{name} {help}\n# TYPE difftune_{name} gauge\ndifftune_{name} {value}\n"
+            ));
+        };
+        gauge("backends", "Loaded servable backends.", backends);
+        gauge("shards", "Prediction worker shards.", shards);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_render_in_exposition_format() {
+        let metrics = Metrics::new();
+        metrics.on_request();
+        metrics.on_request();
+        metrics.on_predict(3);
+        metrics.on_cache(2, 1);
+        metrics.on_response_status(200);
+        metrics.on_response_status(404);
+        metrics.on_response_status(500);
+        metrics.on_latency(std::time::Duration::from_millis(5));
+
+        assert_eq!(metrics.requests(), 2);
+        assert_eq!(metrics.cache_hits(), 2);
+        assert_eq!(metrics.cache_misses(), 1);
+
+        let text = metrics.render(21, 4);
+        for needle in [
+            "difftune_requests_total 2",
+            "difftune_predict_requests_total 1",
+            "difftune_predict_blocks_total 3",
+            "difftune_cache_hits_total 2",
+            "difftune_cache_misses_total 1",
+            "difftune_responses_4xx_total 1",
+            "difftune_responses_5xx_total 1",
+            "difftune_backends 21",
+            "difftune_shards 4",
+            "# TYPE difftune_requests_total counter",
+            "# TYPE difftune_backends gauge",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+}

@@ -1,0 +1,585 @@
+//! The prediction server: accept loop, connection handling, and the
+//! shard-per-worker predict pool.
+//!
+//! # Architecture
+//!
+//! ```text
+//! acceptor ──► connection threads (parse HTTP, resolve backend)
+//!                   │ PredictJob (mpsc)
+//!                   ▼
+//!              shard workers ──► LruCache ──► Simulator::predict_batch
+//! ```
+//!
+//! Each worker shard owns its prediction cache outright (no locks): a backend
+//! is pinned to one shard by its fingerprint ([`Backend::shard_index`]), so
+//! one table's cache entries never split across shards. A shard drains every
+//! queued job before predicting, groups the in-flight requests by backend,
+//! deduplicates repeated blocks, and answers all cache misses of a group with
+//! a single [`Simulator::predict_batch`](difftune_sim::Simulator::predict_batch)
+//! call — the same batched hot path the evaluation pipeline uses.
+//!
+//! # Determinism
+//!
+//! A `/predict` response body is a pure function of `(blocks, backend)`:
+//! simulators are pure, `predict_batch` is defined to equal the per-block
+//! loop, cache hits return the exact `f64` a miss would recompute, and JSON
+//! floats print in Rust's shortest-exact form. Shard count, request grouping,
+//! and cache state change wall time only — `tests/serve_e2e.rs` asserts the
+//! bytes.
+
+use std::collections::{BTreeMap, HashMap};
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+use difftune_isa::BasicBlock;
+use serde::Value;
+
+use crate::backend::{block_fingerprint, Backend, BackendQuery, BackendRegistry, Source};
+use crate::cache::{CacheKey, LruCache};
+use crate::http::{HttpError, HttpLimits, Request, RequestBuffer, Response};
+use crate::metrics::Metrics;
+use difftune_bench::matrix::{SimulatorKind, SpecKind};
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Address to bind (`127.0.0.1` by default).
+    pub addr: String,
+    /// Port to bind; `0` picks an ephemeral port (the handle reports it).
+    pub port: u16,
+    /// Prediction worker shards; `0` means all available cores.
+    pub shards: usize,
+    /// Prediction-cache capacity **per shard** (entries, one per
+    /// `(block, backend)` pair); `0` disables caching.
+    pub cache_capacity: usize,
+    /// HTTP parsing limits.
+    pub limits: HttpLimits,
+    /// Idle-connection read timeout; a connection with no complete request
+    /// for this long is closed.
+    pub read_timeout: Duration,
+    /// Maximum blocks in one `/predict` request (larger requests get `413`).
+    pub max_blocks_per_request: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1".to_string(),
+            port: 0,
+            shards: 0,
+            cache_capacity: 4096,
+            limits: HttpLimits::default(),
+            read_timeout: Duration::from_secs(5),
+            max_blocks_per_request: 1024,
+        }
+    }
+}
+
+/// One queued prediction batch: a resolved backend, the parsed blocks, and
+/// where to send the predictions.
+struct PredictJob {
+    backend: Arc<Backend>,
+    blocks: Vec<BasicBlock>,
+    keys: Vec<CacheKey>,
+    reply: mpsc::Sender<Vec<f64>>,
+}
+
+/// Everything a connection thread needs, cloned per connection.
+#[derive(Clone)]
+struct ConnectionContext {
+    registry: Arc<BackendRegistry>,
+    metrics: Arc<Metrics>,
+    senders: Vec<mpsc::Sender<PredictJob>>,
+    limits: HttpLimits,
+    max_blocks: usize,
+    shard_count: usize,
+}
+
+/// A handle to a running server. Dropping the handle shuts the server down.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    active_connections: Arc<AtomicUsize>,
+    read_timeout: Duration,
+    metrics: Arc<Metrics>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    /// The handle's own copies of the shard senders; dropped during shutdown
+    /// so workers observe a closed channel once every connection is gone.
+    senders: Vec<mpsc::Sender<PredictJob>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with `port: 0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server's metrics counters.
+    pub fn metrics(&self) -> Arc<Metrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// Stops accepting, waits for in-flight connections (bounded by the idle
+    /// timeout), and joins every thread.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the acceptor with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        // Connections notice the flag at their next read timeout.
+        let deadline = Instant::now() + self.read_timeout + Duration::from_secs(1);
+        while self.active_connections.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        self.senders.clear();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.acceptor.is_some() {
+            self.shutdown_inner();
+        }
+    }
+}
+
+/// Binds the listener and spawns the acceptor and shard workers.
+///
+/// # Errors
+///
+/// I/O errors from binding the address.
+pub fn spawn(config: ServeConfig, registry: BackendRegistry) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind((config.addr.as_str(), config.port))?;
+    let addr = listener.local_addr()?;
+
+    let shard_count = if config.shards == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        config.shards
+    };
+
+    let registry = Arc::new(registry);
+    let metrics = Arc::new(Metrics::new());
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let active_connections = Arc::new(AtomicUsize::new(0));
+
+    let mut senders = Vec::with_capacity(shard_count);
+    let mut workers = Vec::with_capacity(shard_count);
+    for shard in 0..shard_count {
+        let (tx, rx) = mpsc::channel::<PredictJob>();
+        senders.push(tx);
+        let cache = LruCache::new(config.cache_capacity);
+        let metrics = Arc::clone(&metrics);
+        workers.push(
+            std::thread::Builder::new()
+                .name(format!("difftune-serve-shard-{shard}"))
+                .spawn(move || worker_loop(rx, cache, metrics))?,
+        );
+    }
+
+    let context = ConnectionContext {
+        registry,
+        metrics: Arc::clone(&metrics),
+        senders: senders.clone(),
+        limits: config.limits,
+        max_blocks: config.max_blocks_per_request,
+        shard_count,
+    };
+    let acceptor = {
+        let shutdown = Arc::clone(&shutdown);
+        let active = Arc::clone(&active_connections);
+        let read_timeout = config.read_timeout;
+        std::thread::Builder::new()
+            .name("difftune-serve-acceptor".to_string())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let context = context.clone();
+                    let shutdown = Arc::clone(&shutdown);
+                    let conn_active = Arc::clone(&active);
+                    active.fetch_add(1, Ordering::SeqCst);
+                    let spawned = std::thread::Builder::new()
+                        .name("difftune-serve-conn".to_string())
+                        .spawn(move || {
+                            handle_connection(stream, context, shutdown, read_timeout);
+                            conn_active.fetch_sub(1, Ordering::SeqCst);
+                        });
+                    if spawned.is_err() {
+                        active.fetch_sub(1, Ordering::SeqCst);
+                    }
+                }
+            })?
+    };
+
+    Ok(ServerHandle {
+        addr,
+        shutdown,
+        active_connections,
+        read_timeout: config.read_timeout,
+        metrics,
+        acceptor: Some(acceptor),
+        workers,
+        senders,
+    })
+}
+
+/// Reads requests off one connection until close, error, or shutdown.
+fn handle_connection(
+    mut stream: TcpStream,
+    context: ConnectionContext,
+    shutdown: Arc<AtomicBool>,
+    read_timeout: Duration,
+) {
+    let _ = stream.set_nodelay(true);
+    if stream.set_read_timeout(Some(read_timeout)).is_err() {
+        return;
+    }
+    let mut parser = RequestBuffer::new();
+    let mut read_buf = [0u8; 16 * 1024];
+    loop {
+        // Answer every complete request already buffered (pipelining).
+        loop {
+            match parser.next_request(&context.limits) {
+                Ok(Some(request)) => {
+                    let started = Instant::now();
+                    context.metrics.on_request();
+                    let mut response = route(&request, &context);
+                    response.close = response.close || request.wants_close();
+                    context.metrics.on_response_status(response.status);
+                    let close = response.close;
+                    let written = response.write_to(&mut stream);
+                    context.metrics.on_latency(started.elapsed());
+                    if written.is_err() || close {
+                        return;
+                    }
+                }
+                Ok(None) => break,
+                Err(error) => {
+                    context.metrics.on_request();
+                    context.metrics.on_response_status(error.status);
+                    let _ = Response::from_error(&error, true).write_to(&mut stream);
+                    return;
+                }
+            }
+        }
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match stream.read(&mut read_buf) {
+            Ok(0) => return,
+            Ok(n) => parser.push(&read_buf[..n]),
+            Err(error)
+                if matches!(
+                    error.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                // Idle (or mid-request stall) past the timeout: close. A
+                // fresh request will come on a fresh connection.
+                return;
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Dispatches one parsed request to its endpoint.
+fn route(request: &Request, context: &ConnectionContext) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => Response::json(
+            200,
+            serde_json::to_string(&Value::Map(vec![
+                ("status".to_string(), Value::Str("ok".to_string())),
+                (
+                    "backends".to_string(),
+                    Value::Int(context.registry.len() as i128),
+                ),
+                (
+                    "shards".to_string(),
+                    Value::Int(context.shard_count as i128),
+                ),
+            ]))
+            .expect("health body serializes"),
+        ),
+        ("GET", "/metrics") => Response::text(
+            200,
+            context
+                .metrics
+                .render(context.registry.len(), context.shard_count),
+        ),
+        ("GET", "/backends") => Response::json(
+            200,
+            serde_json::to_string(&Value::Seq(
+                context.registry.ids().into_iter().map(Value::Str).collect(),
+            ))
+            .expect("backend list serializes"),
+        ),
+        ("POST", "/predict") => match handle_predict(request, context) {
+            Ok(response) => response,
+            Err(error) => Response::from_error(&error, false),
+        },
+        (_, "/healthz" | "/metrics" | "/backends") => Response::from_error(
+            &HttpError {
+                status: 405,
+                message: format!("{} only supports GET", request.path),
+            },
+            false,
+        ),
+        (_, "/predict") => Response::from_error(
+            &HttpError {
+                status: 405,
+                message: "/predict only supports POST".to_string(),
+            },
+            false,
+        ),
+        (_, path) => Response::from_error(
+            &HttpError {
+                status: 404,
+                message: format!(
+                    "unknown path {path}; endpoints are POST /predict, GET /healthz, \
+                     GET /metrics, GET /backends"
+                ),
+            },
+            false,
+        ),
+    }
+}
+
+/// Parses, resolves, and answers one `/predict` request.
+fn handle_predict(request: &Request, context: &ConnectionContext) -> Result<Response, HttpError> {
+    let body = std::str::from_utf8(&request.body)
+        .map_err(|_| HttpError::bad_request("request body is not valid UTF-8"))?;
+    let value = serde_json::from_str_value(body)
+        .map_err(|error| HttpError::bad_request(format!("request body is not JSON: {error}")))?;
+    let map = value
+        .as_map()
+        .ok_or_else(|| HttpError::bad_request("request body must be a JSON object"))?;
+
+    // Exactly one of `block` (a string) or `blocks` (an array of strings).
+    let texts: Vec<&str> = match (find(map, "block"), find(map, "blocks")) {
+        (Some(_), Some(_)) => {
+            return Err(HttpError::bad_request(
+                "send either `block` or `blocks`, not both",
+            ))
+        }
+        (Some(single), None) => {
+            vec![single
+                .as_str()
+                .ok_or_else(|| HttpError::bad_request("`block` must be a string"))?]
+        }
+        (None, Some(many)) => many
+            .as_seq()
+            .ok_or_else(|| HttpError::bad_request("`blocks` must be an array of strings"))?
+            .iter()
+            .map(|item| {
+                item.as_str()
+                    .ok_or_else(|| HttpError::bad_request("`blocks` must contain only strings"))
+            })
+            .collect::<Result<_, _>>()?,
+        (None, None) => {
+            return Err(HttpError::bad_request(
+                "the request must carry a `block` string or a `blocks` array",
+            ))
+        }
+    };
+    if texts.is_empty() {
+        return Err(HttpError::bad_request("`blocks` must not be empty"));
+    }
+    if texts.len() > context.max_blocks {
+        return Err(HttpError {
+            status: 413,
+            message: format!(
+                "{} blocks exceed the per-request limit of {}",
+                texts.len(),
+                context.max_blocks
+            ),
+        });
+    }
+
+    let mut blocks = Vec::with_capacity(texts.len());
+    for (index, text) in texts.iter().enumerate() {
+        let block: BasicBlock = text.parse().map_err(|error| {
+            HttpError::bad_request(format!("blocks[{index}] does not parse: {error}"))
+        })?;
+        if block.is_empty() {
+            return Err(HttpError::bad_request(format!(
+                "blocks[{index}] has no instructions"
+            )));
+        }
+        blocks.push(block);
+    }
+
+    let query = parse_backend_query(map)?;
+    let backend = context
+        .registry
+        .resolve(&query)
+        .map_err(|message| HttpError {
+            status: 404,
+            message,
+        })?;
+
+    let keys: Vec<CacheKey> = blocks
+        .iter()
+        .map(|block| {
+            (
+                block_fingerprint(&block.to_string()),
+                backend.cache_fingerprint,
+            )
+        })
+        .collect();
+    let shard = backend.shard_index(context.shard_count);
+    let (reply_tx, reply_rx) = mpsc::channel();
+    let job = PredictJob {
+        backend: Arc::clone(&backend),
+        blocks,
+        keys,
+        reply: reply_tx,
+    };
+    context.senders[shard].send(job).map_err(|_| HttpError {
+        status: 503,
+        message: "prediction shard is gone (server shutting down)".to_string(),
+    })?;
+    let predictions = reply_rx.recv().map_err(|_| HttpError {
+        status: 500,
+        message: "prediction shard dropped the request".to_string(),
+    })?;
+
+    context.metrics.on_predict(predictions.len());
+    let body = serde_json::to_string(&Value::Map(vec![
+        ("backend".to_string(), Value::Str(backend.id.clone())),
+        (
+            "table_fingerprint".to_string(),
+            Value::Str(backend.table_fingerprint.clone()),
+        ),
+        (
+            "predictions".to_string(),
+            Value::Seq(predictions.into_iter().map(Value::Float).collect()),
+        ),
+    ]))
+    .expect("a prediction body always serializes");
+    Ok(Response::json(200, body))
+}
+
+/// Looks up a top-level field in the request object.
+fn find<'a>(map: &'a [(String, Value)], name: &str) -> Option<&'a Value> {
+    map.iter()
+        .find(|(key, _)| key == name)
+        .map(|(_, value)| value)
+}
+
+/// Extracts the backend-selection fields (`sim`, `uarch`, `spec`, `source`),
+/// all optional.
+fn parse_backend_query(map: &[(String, Value)]) -> Result<BackendQuery, HttpError> {
+    let text = |name: &str| -> Result<Option<&str>, HttpError> {
+        match find(map, name) {
+            None | Some(Value::Null) => Ok(None),
+            Some(value) => value
+                .as_str()
+                .map(Some)
+                .ok_or_else(|| HttpError::bad_request(format!("`{name}` must be a string"))),
+        }
+    };
+    let mut query = BackendQuery::default();
+    if let Some(sim) = text("sim")? {
+        query.simulator = SimulatorKind::parse(sim).map_err(HttpError::bad_request)?;
+    }
+    if let Some(uarch) = text("uarch")? {
+        query.uarch = uarch.parse().map_err(|error: String| {
+            HttpError::bad_request(format!(
+                "{error} (valid: ivybridge, haswell, skylake, zen2)"
+            ))
+        })?;
+    }
+    if let Some(spec) = text("spec")? {
+        query.spec = SpecKind::parse(spec).map_err(HttpError::bad_request)?;
+    }
+    if let Some(source) = text("source")? {
+        query.source = Some(Source::parse(source).map_err(HttpError::bad_request)?);
+    }
+    Ok(query)
+}
+
+/// One shard's loop: drain queued jobs, group by backend, answer misses with
+/// one `predict_batch` per group.
+fn worker_loop(rx: mpsc::Receiver<PredictJob>, mut cache: LruCache, metrics: Arc<Metrics>) {
+    while let Ok(first) = rx.recv() {
+        let mut jobs = vec![first];
+        while let Ok(next) = rx.try_recv() {
+            jobs.push(next);
+        }
+
+        // Group the in-flight jobs by backend so each table's misses batch
+        // into a single simulator call.
+        let mut groups: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+        for (index, job) in jobs.iter().enumerate() {
+            groups
+                .entry(job.backend.cache_fingerprint)
+                .or_default()
+                .push(index);
+        }
+
+        let mut replies: Vec<Vec<f64>> = jobs.iter().map(|j| vec![0.0; j.blocks.len()]).collect();
+        for indices in groups.values() {
+            let backend = Arc::clone(&jobs[indices[0]].backend);
+            // Cache pass: answer hits, queue deduplicated misses.
+            let mut miss_blocks: Vec<BasicBlock> = Vec::new();
+            let mut miss_keys: Vec<CacheKey> = Vec::new();
+            let mut miss_index: HashMap<CacheKey, usize> = HashMap::new();
+            let mut miss_slots: Vec<(usize, usize, usize)> = Vec::new();
+            let mut hits = 0usize;
+            for &job_index in indices {
+                let job = &jobs[job_index];
+                for (block_index, (block, key)) in job.blocks.iter().zip(&job.keys).enumerate() {
+                    if let Some(value) = cache.get(key) {
+                        replies[job_index][block_index] = value;
+                        hits += 1;
+                        continue;
+                    }
+                    let slot = *miss_index.entry(*key).or_insert_with(|| {
+                        miss_blocks.push(block.clone());
+                        miss_keys.push(*key);
+                        miss_blocks.len() - 1
+                    });
+                    miss_slots.push((job_index, block_index, slot));
+                }
+            }
+            metrics.on_cache(hits, miss_blocks.len());
+
+            if !miss_blocks.is_empty() {
+                let values = backend
+                    .simulator
+                    .predict_batch(&backend.table, &miss_blocks);
+                for (key, value) in miss_keys.iter().zip(&values) {
+                    cache.insert(*key, *value);
+                }
+                for (job_index, block_index, slot) in miss_slots {
+                    replies[job_index][block_index] = values[slot];
+                }
+            }
+        }
+
+        for (job, reply) in jobs.iter().zip(replies) {
+            // The client may have disconnected; nothing to do about it.
+            let _ = job.reply.send(reply);
+        }
+    }
+}

@@ -174,6 +174,32 @@ impl SimParams {
         flat
     }
 
+    /// Order-sensitive FNV-1a fingerprint of the table's flat `f64` encoding
+    /// ([`Self::to_flat`], little-endian bit patterns), stable across
+    /// processes and Rust versions — the digest is persisted in artifacts
+    /// (`MATRIX_*.json`, `BENCH_*.json`) and compared across machines.
+    ///
+    /// Two tables fingerprint equal exactly when their flat encodings are
+    /// bit-identical; integrity-checking a table loaded from an artifact
+    /// against the artifact's recorded fingerprint catches any corruption or
+    /// lossy decode.
+    pub fn stable_fingerprint(&self) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for value in self.to_flat() {
+            for byte in value.to_bits().to_le_bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(0x0100_0000_01b3);
+            }
+        }
+        hash
+    }
+
+    /// [`Self::stable_fingerprint`] in the conventional artifact rendering
+    /// (`{:#018x}`, e.g. `0x00df35a022041e35`).
+    pub fn fingerprint_hex(&self) -> String {
+        format!("{:#018x}", self.stable_fingerprint())
+    }
+
     /// Reconstructs a table from a flat vector produced by [`Self::to_flat`]
     /// (or by an optimizer), rounding to integers and clamping to the bounds.
     ///
@@ -269,6 +295,21 @@ mod tests {
         assert_eq!(back.reorder_buffer_size, 1);
         assert_eq!(back.per_inst[0].num_micro_ops, 1);
         assert_eq!(back.per_inst[0].write_latency, 3);
+    }
+
+    #[test]
+    fn fingerprints_are_stable_and_sensitive_to_any_entry() {
+        let base = SimParams::uniform_default();
+        assert_eq!(base.stable_fingerprint(), base.stable_fingerprint());
+        let mut changed = base.clone();
+        changed.per_inst[7].port_map[2] += 1;
+        assert_ne!(base.stable_fingerprint(), changed.stable_fingerprint());
+        let hex = base.fingerprint_hex();
+        assert!(hex.starts_with("0x") && hex.len() == 18, "bad hex {hex:?}");
+        // A flat round trip of an integer table preserves the fingerprint —
+        // the property artifact loaders rely on.
+        let back = SimParams::from_flat(&changed.to_flat(), &ParamBounds::default());
+        assert_eq!(back.stable_fingerprint(), changed.stable_fingerprint());
     }
 
     #[test]

@@ -11,6 +11,7 @@ use difftune_bench::matrix::{run_matrix, CellKey, MatrixOptions};
 use difftune_bench::record::{MatrixRecord, MatrixSummary, MATRIX_SCHEMA, MATRIX_SUMMARY_FILE};
 use difftune_bench::Scale;
 use difftune_repro::core::{threads_from_env, Stage};
+use difftune_repro::sim::{ParamBounds, SimParams};
 
 /// The 2-cell smoke plan: one llvm-mca cell and one llvm_sim cell.
 fn smoke_cells() -> Vec<CellKey> {
@@ -97,8 +98,20 @@ fn two_cell_smoke_matrix_runs_end_to_end_and_its_artifacts_parse_back() {
         let category_blocks: usize = record.by_category.iter().map(|c| c.blocks).sum();
         assert_eq!(category_blocks, record.heldout_blocks);
 
-        // The record also appears, identically, in the summary.
-        assert!(summary.records.contains(&record));
+        // The cell record is servable: its learned table reconstructs to the
+        // recorded fingerprint.
+        assert!(!record.learned_table.is_empty());
+        let table = SimParams::from_flat(&record.learned_table, &ParamBounds::default());
+        assert_eq!(table.fingerprint_hex(), record.table_fingerprint);
+
+        // The record also appears in the summary — minus the learned table,
+        // which the roll-up omits rather than duplicating every per-cell
+        // file's.
+        let summary_row = MatrixRecord {
+            learned_table: Vec::new(),
+            ..record.clone()
+        };
+        assert!(summary.records.contains(&summary_row));
     }
 
     fs::remove_dir_all(&dir).ok();

@@ -1,0 +1,432 @@
+//! End-to-end tests for `difftune-serve`: the serving extension of the
+//! repository's determinism contract.
+//!
+//! The core assertion mirrors `tests/determinism.rs` and `tests/matrix.rs`:
+//! a `/predict` response body is a pure function of `(blocks, backend)` —
+//! byte-identical across shard counts (the serving meaning of
+//! `DIFFTUNE_THREADS`), across cold and warm caches, and across cache
+//! capacities small enough to force eviction churn. The suite also proves
+//! the three backend sources load and resolve (defaults, a hand-written but
+//! fingerprint-consistent `MATRIX_*.json` cell, a session checkpoint's θ),
+//! and that the HTTP surface degrades into 4xx responses, never a dead
+//! server.
+
+use std::fs;
+use std::path::PathBuf;
+
+use difftune_bench::matrix::CellKey;
+use difftune_bench::record::{fingerprint_table, MatrixRecord, MATRIX_SCHEMA};
+use difftune_repro::core::{threads_from_env, RunCheckpoint, Stage, ThetaTable};
+use difftune_repro::cpu::{default_params, Microarch};
+use difftune_repro::isa::BasicBlock;
+use difftune_repro::sim::{McaSimulator, SimParams, Simulator};
+use difftune_serve::backend::BackendRegistry;
+use difftune_serve::client::HttpClient;
+use difftune_serve::http::HttpLimits;
+use difftune_serve::server::{spawn, ServeConfig, ServerHandle};
+
+/// A fresh per-test artifact directory under the temp dir.
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("difftune-serve-{}-{name}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("temp dir is writable");
+    dir
+}
+
+/// A learned-looking table: the uarch defaults with a deterministic nudge.
+fn perturbed_table(uarch: Microarch, nudge: u32) -> SimParams {
+    let mut table = default_params(uarch);
+    table.per_inst[3].write_latency += nudge;
+    table.per_inst[11].port_map[1] += nudge;
+    table.dispatch_width += 1;
+    table
+}
+
+/// Writes a fingerprint-consistent matrix cell record for
+/// `mca:haswell:llvm_mca` into `dir`.
+fn write_matrix_cell(dir: &std::path::Path) -> SimParams {
+    let table = perturbed_table(Microarch::Haswell, 2);
+    let record = MatrixRecord {
+        schema: MATRIX_SCHEMA.to_string(),
+        cell: "mca:haswell:llvm_mca".to_string(),
+        simulator: "mca".to_string(),
+        uarch: "haswell".to_string(),
+        spec: "llvm_mca".to_string(),
+        scale: "smoke".to_string(),
+        seed: 7,
+        train_blocks: 1,
+        heldout_blocks: 1,
+        simulated_samples: 1,
+        num_learned_parameters: 1,
+        default_mape: 0.3,
+        default_tau: 0.7,
+        learned_mape: 0.25,
+        learned_tau: 0.75,
+        by_category: Vec::new(),
+        table_fingerprint: fingerprint_table(&table),
+        learned_table: table.to_flat(),
+    };
+    fs::write(dir.join(record.file_name()), record.to_json()).expect("record writes");
+    table
+}
+
+/// Writes a finished-run checkpoint whose θ is a perturbed Haswell table.
+fn write_checkpoint(dir: &std::path::Path) -> (PathBuf, SimParams) {
+    let table = perturbed_table(Microarch::Haswell, 1);
+    let checkpoint = RunCheckpoint {
+        stage: Stage::Finished,
+        seed: 3,
+        train_blocks: 1,
+        train_fingerprint: 0,
+        table_learning_rate_bits: 0f32.to_bits(),
+        table_epochs: 1,
+        table_batch_size: 1,
+        clamp_to_sampling: false,
+        surrogate_params: None,
+        surrogate_report: None,
+        theta: Some(ThetaTable::from_table(&table)),
+        initial: Some(default_params(Microarch::Haswell)),
+        table_losses: vec![0.5],
+    };
+    let path = dir.join("run.ckpt.json");
+    fs::write(&path, checkpoint.to_json().expect("finite checkpoint")).expect("checkpoint writes");
+    (path, table)
+}
+
+/// Builds the three-source registry every test serves from.
+fn registry(dir: &std::path::Path) -> BackendRegistry {
+    let mut registry = BackendRegistry::with_defaults();
+    write_matrix_cell(dir);
+    let added = registry.add_matrix_dir(dir).expect("matrix dir loads");
+    assert_eq!(added, 1, "exactly the hand-written cell loads");
+    let (checkpoint_path, _) = write_checkpoint(dir);
+    registry
+        .add_checkpoint(
+            &CellKey::parse("mca:haswell:write_latency_only").unwrap(),
+            &checkpoint_path,
+        )
+        .expect("checkpoint loads");
+    registry
+}
+
+fn serve(dir: &std::path::Path, shards: usize, cache_capacity: usize) -> ServerHandle {
+    spawn(
+        ServeConfig {
+            shards,
+            cache_capacity,
+            ..ServeConfig::default()
+        },
+        registry(dir),
+    )
+    .expect("server binds an ephemeral port")
+}
+
+/// The request mix: single and batched blocks over every backend source.
+fn predict_bodies() -> Vec<&'static str> {
+    vec![
+        // No source: learned-first resolution picks the matrix cell.
+        r#"{"block": "addq %rax, %rbx"}"#,
+        r#"{"block": "addq %rax, %rbx", "source": "default"}"#,
+        r#"{"block": "addq %rax, %rbx", "source": "checkpoint", "spec": "write_latency_only"}"#,
+        // A batch with a repeated block (exercises in-batch deduplication).
+        r#"{"blocks": ["addq %rax, %rbx", "mulsd %xmm1, %xmm2", "addq %rax, %rbx", "xorl %eax, %eax"], "source": "matrix"}"#,
+        // Other simulators and microarchitectures fall back to defaults.
+        r#"{"block": "addq %rbx, %rcx", "sim": "uop", "uarch": "skylake"}"#,
+        r#"{"blocks": ["mulsd %xmm1, %xmm2"], "sim": "mca", "uarch": "zen2"}"#,
+    ]
+}
+
+fn post_all(client: &mut HttpClient, bodies: &[&str]) -> Vec<String> {
+    bodies
+        .iter()
+        .map(|body| {
+            let response = client
+                .post_json("/predict", body)
+                .expect("request succeeds");
+            assert_eq!(response.status, 200, "{body} -> {}", response.body_text());
+            response.body_text()
+        })
+        .collect()
+}
+
+#[test]
+fn predict_bodies_are_byte_identical_across_shards_and_cache_states() {
+    let dir = fresh_dir("determinism");
+    let bodies = predict_bodies();
+
+    // The serving analogue of the training suite's width selection: always
+    // compare 1 vs 4 shards, plus whatever DIFFTUNE_THREADS pins (so the CI
+    // determinism legs exercise their widths here too).
+    let mut widths = vec![1usize, 4];
+    match threads_from_env() {
+        Ok(0) => {}
+        Ok(n) if widths.contains(&n) => {}
+        Ok(n) => widths.push(n),
+        Err(error) => panic!("invalid DIFFTUNE_THREADS: {error}"),
+    }
+
+    let mut reference: Option<Vec<String>> = None;
+    for &shards in &widths {
+        let handle = serve(&dir, shards, 4096);
+        let mut client = HttpClient::connect(&handle.addr().to_string()).expect("connects");
+        let cold = post_all(&mut client, &bodies);
+        let warm = post_all(&mut client, &bodies);
+        assert_eq!(cold, warm, "{shards} shard(s): warm cache changed bytes");
+        match &reference {
+            None => reference = Some(cold),
+            Some(reference) => assert_eq!(
+                &cold, reference,
+                "responses diverged between 1 and {shards} shard(s)"
+            ),
+        }
+        drop(client);
+        handle.shutdown();
+    }
+
+    // A one-entry cache (constant eviction churn) and a disabled cache must
+    // serve the same bytes as the roomy one.
+    for capacity in [1, 0] {
+        let handle = serve(&dir, 2, capacity);
+        let mut client = HttpClient::connect(&handle.addr().to_string()).expect("connects");
+        let churned = post_all(&mut client, &bodies);
+        assert_eq!(
+            Some(churned),
+            reference,
+            "cache capacity {capacity} changed response bytes"
+        );
+        drop(client);
+        handle.shutdown();
+    }
+
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn responses_carry_the_resolved_backend_and_exact_simulator_output() {
+    let dir = fresh_dir("values");
+    let matrix_table = perturbed_table(Microarch::Haswell, 2);
+    let checkpoint_table = perturbed_table(Microarch::Haswell, 1);
+    let handle = serve(&dir, 2, 4096);
+    let mut client = HttpClient::connect(&handle.addr().to_string()).expect("connects");
+
+    let block: BasicBlock = "addq %rax, %rbx".parse().unwrap();
+    let simulator = McaSimulator::default();
+    for (body, backend_id, table) in [
+        (
+            r#"{"block": "addq %rax, %rbx", "source": "default"}"#,
+            "default:mca:haswell",
+            default_params(Microarch::Haswell),
+        ),
+        (
+            r#"{"block": "addq %rax, %rbx"}"#,
+            "matrix:mca:haswell:llvm_mca",
+            matrix_table.clone(),
+        ),
+        (
+            r#"{"block": "addq %rax, %rbx", "source": "checkpoint", "spec": "write_latency_only"}"#,
+            "checkpoint:mca:haswell:write_latency_only",
+            checkpoint_table.clone(),
+        ),
+    ] {
+        let response = client
+            .post_json("/predict", body)
+            .expect("request succeeds");
+        assert_eq!(response.status, 200);
+        let text = response.body_text();
+        let expected = simulator.predict(&table, &block);
+        assert!(
+            text.contains(&format!("\"backend\":\"{backend_id}\"")),
+            "{text}"
+        );
+        assert!(
+            text.contains(&format!(
+                "\"table_fingerprint\":\"{}\"",
+                table.fingerprint_hex()
+            )),
+            "{text}"
+        );
+        assert!(
+            text.contains(&format!("\"predictions\":[{expected:?}]")),
+            "expected prediction {expected:?} in {text}"
+        );
+    }
+
+    // The checkpoint and matrix tables really differ from the defaults —
+    // otherwise the three assertions above would not distinguish sources.
+    assert_ne!(matrix_table, default_params(Microarch::Haswell));
+    assert_ne!(checkpoint_table, matrix_table);
+
+    drop(client);
+    handle.shutdown();
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn protocol_and_application_errors_answer_4xx_and_the_server_survives() {
+    let dir = fresh_dir("errors");
+    let handle = spawn(
+        ServeConfig {
+            shards: 1,
+            max_blocks_per_request: 4,
+            limits: HttpLimits {
+                max_body_bytes: 512,
+                ..HttpLimits::default()
+            },
+            ..ServeConfig::default()
+        },
+        registry(&dir),
+    )
+    .expect("server binds");
+    let addr = handle.addr().to_string();
+    let mut client = HttpClient::connect(&addr).expect("connects");
+
+    for (body, status, needle) in [
+        ("not json", 400, "not JSON"),
+        ("[1,2,3]", 400, "JSON object"),
+        (
+            r#"{"sim": "mca"}"#,
+            400,
+            "`block` string or a `blocks` array",
+        ),
+        (
+            r#"{"block": "addq %rax, %rbx", "blocks": []}"#,
+            400,
+            "not both",
+        ),
+        (r#"{"blocks": []}"#, 400, "must not be empty"),
+        (r#"{"blocks": [7]}"#, 400, "only strings"),
+        (r#"{"block": "frobnicate %zz9"}"#, 400, "does not parse"),
+        (r#"{"block": ""}"#, 400, "no instructions"),
+        (
+            r#"{"block": "addq %rax, %rbx", "sim": "qemu"}"#,
+            400,
+            "unknown simulator",
+        ),
+        (
+            r#"{"block": "addq %rax, %rbx", "uarch": "pentium"}"#,
+            400,
+            "unknown microarchitecture",
+        ),
+        (
+            r#"{"block": "addq %rax, %rbx", "source": "s3"}"#,
+            400,
+            "unknown source",
+        ),
+        // A loaded source but an unloaded cell: 404 listing what exists.
+        (
+            r#"{"block": "addq %rax, %rbx", "uarch": "zen2", "source": "matrix"}"#,
+            404,
+            "matrix:mca:zen2",
+        ),
+        // One block over the per-request cap.
+        (
+            r#"{"blocks": ["addq %rax, %rbx", "addq %rax, %rbx", "addq %rax, %rbx", "addq %rax, %rbx", "addq %rax, %rbx"]}"#,
+            413,
+            "per-request limit",
+        ),
+    ] {
+        let response = client
+            .post_json("/predict", body)
+            .expect("request succeeds");
+        assert_eq!(
+            response.status,
+            status,
+            "{body} -> {}",
+            response.body_text()
+        );
+        assert!(
+            response.body_text().contains(needle),
+            "{body}: expected {needle:?} in {}",
+            response.body_text()
+        );
+    }
+
+    // Wrong method / unknown path.
+    assert_eq!(client.get("/predict").expect("answers").status, 405);
+    assert_eq!(client.get("/nope").expect("answers").status, 404);
+
+    // An oversized declared body is refused (and the connection closes, so
+    // use a throwaway client).
+    let mut oversized = HttpClient::connect(&addr).expect("connects");
+    let big = format!(
+        r#"{{"block": "addq %rax, %rbx", "padding": "{}"}}"#,
+        "x".repeat(600)
+    );
+    let response = oversized.post_json("/predict", &big).expect("answers");
+    assert_eq!(response.status, 413);
+
+    // A malformed request line also answers 400 before closing.
+    let mut garbage = HttpClient::connect(&addr).expect("connects");
+    let responses = garbage
+        .send_raw(b"NONSENSE\r\n\r\n", 1)
+        .expect("a 400 comes back");
+    assert_eq!(responses[0].status, 400);
+
+    // After all that abuse the server still answers.
+    let health = client.get("/healthz").expect("still alive");
+    assert_eq!(health.status, 200);
+    assert!(
+        health.body_text().contains("\"backends\":10"),
+        "{}",
+        health.body_text()
+    );
+
+    drop(client);
+    handle.shutdown();
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn pipelined_requests_on_one_connection_all_answer_in_order() {
+    let dir = fresh_dir("pipeline");
+    let handle = serve(&dir, 2, 4096);
+    let mut client = HttpClient::connect(&handle.addr().to_string()).expect("connects");
+
+    let predict = r#"{"block": "addq %rax, %rbx", "source": "default"}"#;
+    let raw = format!(
+        "GET /healthz HTTP/1.1\r\n\r\nPOST /predict HTTP/1.1\r\nContent-Length: {}\r\n\r\n{}GET /metrics HTTP/1.1\r\n\r\n",
+        predict.len(),
+        predict
+    );
+    let responses = client
+        .send_raw(raw.as_bytes(), 3)
+        .expect("all three pipelined responses arrive");
+    assert_eq!(responses[0].status, 200);
+    assert!(responses[0].body_text().contains("\"status\":\"ok\""));
+    assert_eq!(responses[1].status, 200);
+    assert!(responses[1].body_text().contains("default:mca:haswell"));
+    assert_eq!(responses[2].status, 200);
+    assert!(responses[2].body_text().contains("difftune_requests_total"));
+
+    drop(client);
+    handle.shutdown();
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn metrics_observe_requests_and_cache_hits() {
+    let dir = fresh_dir("metrics");
+    let handle = serve(&dir, 1, 4096);
+    let mut client = HttpClient::connect(&handle.addr().to_string()).expect("connects");
+
+    let body = r#"{"blocks": ["addq %rax, %rbx", "mulsd %xmm1, %xmm2"], "source": "default"}"#;
+    assert_eq!(client.post_json("/predict", body).unwrap().status, 200);
+    assert_eq!(client.post_json("/predict", body).unwrap().status, 200);
+
+    let metrics = handle.metrics();
+    assert_eq!(
+        metrics.cache_misses(),
+        2,
+        "first request simulates both blocks"
+    );
+    assert_eq!(metrics.cache_hits(), 2, "second request is fully cached");
+
+    let text = client.get("/metrics").unwrap().body_text();
+    assert!(text.contains("difftune_predict_requests_total 2"), "{text}");
+    assert!(text.contains("difftune_predict_blocks_total 4"), "{text}");
+    assert!(text.contains("difftune_cache_hits_total 2"), "{text}");
+
+    drop(client);
+    handle.shutdown();
+    fs::remove_dir_all(&dir).ok();
+}
