@@ -2,7 +2,7 @@
 //!
 //! Runs the DiffTune pipeline at a chosen scale, timing each stage
 //! separately, and (with `--json`) emits one `BENCH_<stage>.json` record per
-//! stage in the shared `difftune-bench/1` schema:
+//! stage in the shared `difftune-bench/2` schema:
 //!
 //! * `generate` — simulated-dataset generation (`Session::generate_dataset`)
 //! * `fit`      — surrogate training (`Session::fit_surrogate`)
@@ -15,15 +15,29 @@
 //! rerunning fit/optimize with one thread, recording the speedup and failing
 //! if the tables' fingerprints diverge.
 //!
+//! `--engine` picks the execution engine for surrogate training (`compiled`
+//! records one schedule per graph structure and replays it; `taped` rebuilds
+//! a tape per sample). The engines are bit-identical; `--compare-taped`
+//! proves it by rerunning the pipeline on the tape at the same thread count,
+//! failing if the learned tables' fingerprints diverge, and recording the
+//! compiled engine's fit-stage speedup — a ratio that, unlike
+//! `--compare-serial`'s, is meaningful on 1-core machines. The speedup is
+//! the median over back-to-back (taped, compiled) run pairs: each pair's
+//! runs are temporally adjacent so machine-load noise hits both engines
+//! alike, and the median over pairs keeps one scheduler hiccup on a shared
+//! runner from faking a regression.
+//!
 //! ```text
 //! difftune-bench [--scale smoke|small|paper] [--seed N] [--json]
-//!                [--out-dir DIR] [--compare-serial]
+//!                [--out-dir DIR] [--engine taped|compiled]
+//!                [--compare-serial] [--compare-taped]
 //!                [--max-seconds STAGE=SECS]... [--min-speedup STAGE=RATIO]...
+//!                [--min-taped-speedup STAGE=RATIO]...
 //! ```
 //!
-//! `--max-seconds` and `--min-speedup` turn the run into a CI tripwire: if
-//! any stage's wall time exceeds its ceiling, or its measured
-//! speedup-vs-serial falls under its floor, the process exits nonzero after
+//! `--max-seconds`, `--min-speedup`, and `--min-taped-speedup` turn the run
+//! into a CI tripwire: if any stage's wall time exceeds its ceiling, or a
+//! measured speedup falls under its floor, the process exits nonzero after
 //! reporting every violation.
 
 use std::time::Instant;
@@ -33,27 +47,42 @@ use difftune_bench::record::{fingerprint_table, BenchRecord};
 use difftune_bench::{dataset_for, mca, pairs, Scale};
 use difftune_cpu::{default_params, Microarch};
 use difftune_sim::{SimParams, Simulator};
+use difftune_surrogate::train::Engine;
 
 struct Args {
     scale: Option<String>,
     seed: u64,
     json: bool,
     out_dir: String,
+    engine: Engine,
     compare_serial: bool,
+    compare_taped: bool,
     /// `(stage, ceiling_seconds)` pairs from `--max-seconds`.
     ceilings: Vec<(String, f64)>,
     /// `(stage, minimum speedup_vs_serial)` pairs from `--min-speedup`
     /// (requires `--compare-serial`).
     min_speedups: Vec<(String, f64)>,
+    /// `(stage, minimum speedup_vs_taped)` pairs from `--min-taped-speedup`
+    /// (requires `--compare-taped`).
+    min_taped_speedups: Vec<(String, f64)>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: difftune-bench [--scale smoke|small|paper] [--seed N] [--json] \
-         [--out-dir DIR] [--compare-serial] [--max-seconds STAGE=SECS]... \
-         [--min-speedup STAGE=RATIO]..."
+         [--out-dir DIR] [--engine taped|compiled] [--compare-serial] \
+         [--compare-taped] [--max-seconds STAGE=SECS]... \
+         [--min-speedup STAGE=RATIO]... [--min-taped-speedup STAGE=RATIO]..."
     );
     std::process::exit(2);
+}
+
+/// The record-facing name of an engine.
+fn engine_name(engine: Engine) -> &'static str {
+    match engine {
+        Engine::Taped => "taped",
+        Engine::Compiled => "compiled",
+    }
 }
 
 /// Parses a repeatable `STAGE=NUMBER` flag operand.
@@ -75,9 +104,12 @@ fn parse_args() -> Args {
         seed: 0,
         json: false,
         out_dir: ".".to_string(),
+        engine: Engine::default(),
         compare_serial: false,
+        compare_taped: false,
         ceilings: Vec::new(),
         min_speedups: Vec::new(),
+        min_taped_speedups: Vec::new(),
     };
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
@@ -98,7 +130,19 @@ fn parse_args() -> Args {
             }
             "--json" => args.json = true,
             "--out-dir" => args.out_dir = value("--out-dir"),
+            "--engine" => {
+                let raw = value("--engine");
+                args.engine = match raw.as_str() {
+                    "taped" => Engine::Taped,
+                    "compiled" => Engine::Compiled,
+                    other => {
+                        eprintln!("--engine must be taped or compiled, got {other:?}");
+                        usage()
+                    }
+                };
+            }
             "--compare-serial" => args.compare_serial = true,
+            "--compare-taped" => args.compare_taped = true,
             "--max-seconds" => {
                 let raw = value("--max-seconds");
                 args.ceilings
@@ -108,6 +152,11 @@ fn parse_args() -> Args {
                 let raw = value("--min-speedup");
                 args.min_speedups
                     .push(parse_stage_number("--min-speedup", &raw));
+            }
+            "--min-taped-speedup" => {
+                let raw = value("--min-taped-speedup");
+                args.min_taped_speedups
+                    .push(parse_stage_number("--min-taped-speedup", &raw));
             }
             "--help" | "-h" => usage(),
             other => {
@@ -137,6 +186,7 @@ fn run_pipeline(
     scale: Scale,
     seed: u64,
     threads: usize,
+    engine: Engine,
     train_pairs: &[(difftune_isa::BasicBlock, f64)],
 ) -> StageTimes {
     let mut config = scale.difftune_config(seed);
@@ -144,6 +194,7 @@ fn run_pipeline(
         config.threads = threads;
         config.surrogate_train.threads = threads;
     }
+    config.surrogate_train.engine = engine;
     let epochs = config.surrogate_train.epochs;
     let table_epochs = config.table_epochs;
     let defaults = default_params(Microarch::Haswell);
@@ -227,7 +278,7 @@ fn main() {
     let seed = args.seed;
 
     eprintln!(
-        "[difftune-bench] scale {} seed {seed} threads {} ({} cores)",
+        "[difftune-bench] scale {} seed {seed} threads {} ({} cores) engine {}",
         scale.name(),
         if threads == 0 {
             "all".to_string()
@@ -235,6 +286,7 @@ fn main() {
             threads.to_string()
         },
         difftune_bench::record::available_cores(),
+        engine_name(args.engine),
     );
 
     let corpus_start = Instant::now();
@@ -250,7 +302,7 @@ fn main() {
     );
 
     let simulator = mca();
-    let times = run_pipeline(&simulator, scale, seed, threads, &train_pairs);
+    let times = run_pipeline(&simulator, scale, seed, threads, args.engine, &train_pairs);
     let fingerprint = fingerprint_table(&times.learned);
 
     let mut generate = BenchRecord::stage(
@@ -278,19 +330,22 @@ fn main() {
         times.optimize_samples,
     );
     optimize.table_fingerprint = Some(fingerprint.clone());
+    // Only the fit stage has an engine choice: generate/optimize/simulate
+    // run the same code under either engine.
+    fit.engine = Some(engine_name(args.engine).to_string());
 
-    // A determinism violation is reported *after* the records are written:
-    // when the check trips in CI, the measurements (and both fingerprints)
+    // Determinism violations are reported *after* the records are written:
+    // when a check trips in CI, the measurements (and all fingerprints)
     // are exactly what the investigator needs.
-    let mut determinism_violation = None;
+    let mut violations = Vec::new();
     if args.compare_serial {
         eprintln!("[difftune-bench] rerunning with 1 thread for the determinism/speedup check");
-        let serial = run_pipeline(&simulator, scale, seed, 1, &train_pairs);
+        let serial = run_pipeline(&simulator, scale, seed, 1, args.engine, &train_pairs);
         let serial_fingerprint = fingerprint_table(&serial.learned);
         if serial_fingerprint == fingerprint {
             eprintln!("[difftune-bench] learned tables bit-identical across thread counts ✓");
         } else {
-            determinism_violation = Some(format!(
+            violations.push(format!(
                 "DETERMINISM VIOLATION: the learned table depends on the thread count \
                  (serial {serial_fingerprint}, parallel {fingerprint})"
             ));
@@ -298,6 +353,51 @@ fn main() {
         generate.speedup_vs_serial = Some(serial.generate_seconds / times.generate_seconds);
         fit.speedup_vs_serial = Some(serial.fit_seconds / times.fit_seconds);
         optimize.speedup_vs_serial = Some(serial.optimize_seconds / times.optimize_seconds);
+    }
+    if args.compare_taped {
+        // Wall-clock ratios of a single ~10ms fit run swing ±30% on a busy
+        // shared runner, and slow phases last seconds — long enough to
+        // swallow several consecutive runs, so neither a single rerun nor a
+        // best-of-N over each engine separately is stable. Instead the two
+        // engines run back-to-back in pairs (temporally adjacent runs see
+        // the same machine load), each pair yields a taped/compiled fit
+        // ratio, and the reported speedup is the median over the pairs. The
+        // fingerprint check covers every taped run (they are deterministic,
+        // so all must match the main run's table).
+        const COMPARE_TAPED_PAIRS: usize = 5;
+        eprintln!(
+            "[difftune-bench] rerunning on the taped engine for the engine-equality/speedup \
+             check (median of {COMPARE_TAPED_PAIRS} back-to-back pairs)"
+        );
+        let mut ratios = Vec::with_capacity(COMPARE_TAPED_PAIRS);
+        let mut engines_match = true;
+        for _ in 0..COMPARE_TAPED_PAIRS {
+            let taped = run_pipeline(
+                &simulator,
+                scale,
+                seed,
+                threads,
+                Engine::Taped,
+                &train_pairs,
+            );
+            let taped_fingerprint = fingerprint_table(&taped.learned);
+            if taped_fingerprint != fingerprint {
+                engines_match = false;
+                violations.push(format!(
+                    "DETERMINISM VIOLATION: the learned table depends on the execution engine \
+                     (taped {taped_fingerprint}, {} {fingerprint})",
+                    engine_name(args.engine)
+                ));
+                break;
+            }
+            let rerun = run_pipeline(&simulator, scale, seed, threads, args.engine, &train_pairs);
+            ratios.push(taped.fit_seconds / rerun.fit_seconds);
+        }
+        if engines_match {
+            eprintln!("[difftune-bench] learned tables bit-identical across engines ✓");
+            ratios.sort_by(|a, b| a.total_cmp(b));
+            fit.speedup_vs_taped = Some(ratios[ratios.len() / 2]);
+        }
     }
 
     let (simulate_seconds, simulated_blocks) =
@@ -313,20 +413,24 @@ fn main() {
 
     let records = [generate, fit, optimize, simulate];
     println!(
-        "{:<10} {:>10} {:>12} {:>14} {:>10}",
-        "stage", "seconds", "samples", "samples/sec", "speedup"
+        "{:<10} {:>10} {:>12} {:>14} {:>10} {:>10} {:>10}",
+        "stage", "seconds", "samples", "samples/sec", "engine", "vs-serial", "vs-taped"
     );
     for record in &records {
+        let ratio = |value: Option<f64>| {
+            value
+                .map(|s| format!("{s:.2}x"))
+                .unwrap_or_else(|| "-".to_string())
+        };
         println!(
-            "{:<10} {:>10.3} {:>12} {:>14.1} {:>10}",
+            "{:<10} {:>10.3} {:>12} {:>14.1} {:>10} {:>10} {:>10}",
             record.stage,
             record.wall_time_seconds,
             record.samples,
             record.samples_per_second,
-            record
-                .speedup_vs_serial
-                .map(|s| format!("{s:.2}x"))
-                .unwrap_or_else(|| "-".to_string()),
+            record.engine.as_deref().unwrap_or("-"),
+            ratio(record.speedup_vs_serial),
+            ratio(record.speedup_vs_taped),
         );
     }
     println!("learned table fingerprint: {fingerprint}");
@@ -346,7 +450,6 @@ fn main() {
         }
     }
 
-    let mut violations = Vec::new();
     for (stage, ceiling) in &args.ceilings {
         match records.iter().find(|r| &r.stage == stage) {
             Some(record) if record.wall_time_seconds > *ceiling => violations.push(format!(
@@ -380,13 +483,30 @@ fn main() {
             )),
         }
     }
+    for (stage, floor) in &args.min_taped_speedups {
+        match records.iter().find(|r| &r.stage == stage) {
+            Some(record) => match record.speedup_vs_taped {
+                Some(speedup) if speedup < *floor => violations.push(format!(
+                    "stage {stage} ran only {speedup:.2}x faster than the taped engine, under \
+                     the {floor:.2}x floor (threads {}, {} cores)",
+                    record.threads, record.cpu_cores
+                )),
+                Some(_) => {}
+                None => violations.push(format!(
+                    "no taped-engine comparison was measured for stage {stage} (requires \
+                     --compare-taped; only fit has an engine choice)"
+                )),
+            },
+            None => violations.push(format!(
+                "--min-taped-speedup names unknown stage {stage:?} (valid: generate, fit, \
+                 optimize, simulate)"
+            )),
+        }
+    }
     for violation in &violations {
-        eprintln!("difftune-bench: PERF CEILING EXCEEDED: {violation}");
+        eprintln!("difftune-bench: PERF GATE VIOLATION: {violation}");
     }
-    if let Some(violation) = &determinism_violation {
-        eprintln!("difftune-bench: {violation}");
-    }
-    if !violations.is_empty() || determinism_violation.is_some() {
+    if !violations.is_empty() {
         std::process::exit(1);
     }
 }

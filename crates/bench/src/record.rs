@@ -3,8 +3,8 @@
 //! Every performance artifact this repository produces — the
 //! `difftune-bench` stage runner and the vendored criterion shim's optional
 //! JSON output — serializes to the same [`BenchRecord`] shape (schema
-//! `difftune-bench/1`), so one set of tooling can consume the whole perf
-//! trajectory. The scenario-matrix runner (`difftune-matrix`, see
+//! `difftune-bench/2`; `/1` records still load), so one set of tooling can
+//! consume the whole perf trajectory. The scenario-matrix runner (`difftune-matrix`, see
 //! [`crate::matrix`]) emits one [`MatrixRecord`] per tuned cell plus a
 //! [`MatrixSummary`] roll-up, both under schema `difftune-matrix/2`.
 //!
@@ -18,7 +18,13 @@ use difftune_sim::SimParams;
 use serde::{Deserialize, Serialize};
 
 /// The schema tag every benchmark record carries.
-pub const BENCH_SCHEMA: &str = "difftune-bench/1";
+///
+/// `difftune-bench/2` extends `/1` with [`BenchRecord::engine`] (which
+/// execution engine ran the stage) and [`BenchRecord::speedup_vs_taped`]
+/// (the compiled engine's core-count-independent speedup over the tape).
+/// [`BenchRecord::from_json`] still accepts `/1` records — the two added
+/// fields read back as absent.
+pub const BENCH_SCHEMA: &str = "difftune-bench/2";
 
 /// The schema tag every matrix record and summary carries.
 ///
@@ -63,7 +69,24 @@ pub struct BenchRecord {
     pub table_fingerprint: Option<String>,
     /// Wall-time ratio of a serial (`threads = 1`) rerun of the same stage
     /// to this run, when `--compare-serial` measured one.
+    ///
+    /// **Interpret against [`cpu_cores`](BenchRecord::cpu_cores):** the ratio
+    /// only measures parallel scaling when the machine has at least `threads`
+    /// real cores. On a 1-core container a "4-thread" run time-slices one
+    /// core and this ratio legitimately reads *below* 1 (the committed smoke
+    /// baselines were produced on such a machine) — that is scheduler
+    /// overhead, not an engine regression.
     pub speedup_vs_serial: Option<f64>,
+    /// Which execution engine ran the stage's forward/backward passes:
+    /// `"taped"` or `"compiled"`. Absent on stages that have no engine
+    /// choice (generate/simulate/serve/criterion) and on `/1` records.
+    pub engine: Option<String>,
+    /// Wall-time ratio of a taped-engine rerun of the same stage to this
+    /// (compiled) run, when `--compare-taped` measured one. Both runs use
+    /// the same thread count, so — unlike
+    /// [`speedup_vs_serial`](BenchRecord::speedup_vs_serial) — this ratio is
+    /// meaningful on any machine, including 1-core CI containers.
+    pub speedup_vs_taped: Option<f64>,
 }
 
 impl BenchRecord {
@@ -93,6 +116,8 @@ impl BenchRecord {
             median_ns_per_iter: None,
             table_fingerprint: None,
             speedup_vs_serial: None,
+            engine: None,
+            speedup_vs_taped: None,
         }
     }
 
@@ -124,8 +149,21 @@ impl BenchRecord {
     }
 
     /// Deserializes a record from JSON.
+    ///
+    /// Accepts both `difftune-bench/2` and legacy `/1` records: the fields
+    /// `/2` added ([`engine`](BenchRecord::engine),
+    /// [`speedup_vs_taped`](BenchRecord::speedup_vs_taped)) are treated as
+    /// absent when a record predates them.
     pub fn from_json(json: &str) -> Result<Self, String> {
-        serde_json::from_str(json).map_err(|error| format!("{error:?}"))
+        let mut value = serde_json::from_str_value(json).map_err(|error| format!("{error:?}"))?;
+        if let serde::Value::Map(entries) = &mut value {
+            for key in ["engine", "speedup_vs_taped"] {
+                if !entries.iter().any(|(name, _)| name == key) {
+                    entries.push((key.to_string(), serde::Value::Null));
+                }
+            }
+        }
+        <Self as serde::Deserialize>::deserialize(&value).map_err(|error| format!("{error:?}"))
     }
 }
 
@@ -326,10 +364,30 @@ mod tests {
         let mut record = BenchRecord::stage("fit", "smoke", 4, 7, 1.5, 6000);
         record.table_fingerprint = Some("0xdeadbeef".to_string());
         record.speedup_vs_serial = Some(2.5);
+        record.engine = Some("compiled".to_string());
+        record.speedup_vs_taped = Some(1.8);
         let json = record.to_json();
+        assert!(json.contains("difftune-bench/2"));
         assert_eq!(BenchRecord::from_json(&json).unwrap(), record);
         assert_eq!(record.file_name(), "BENCH_fit.json");
         assert_eq!(record.samples_per_second, 4000.0);
+    }
+
+    #[test]
+    fn legacy_schema_1_records_still_load() {
+        // A committed baseline produced before the /2 schema: no `engine`,
+        // no `speedup_vs_taped`. The loader must accept it and report the
+        // missing fields as absent.
+        let json = r#"{"schema":"difftune-bench/1","stage":"fit","scale":"smoke",
+            "threads":4,"cpu_cores":1,"seed":0,"wall_time_seconds":10.5,
+            "samples":6000,"samples_per_second":571.4,"median_ns_per_iter":null,
+            "table_fingerprint":"0xabc","speedup_vs_serial":0.53}"#;
+        let record = BenchRecord::from_json(json).expect("/1 records parse");
+        assert_eq!(record.schema, "difftune-bench/1");
+        assert_eq!(record.engine, None);
+        assert_eq!(record.speedup_vs_taped, None);
+        assert_eq!(record.speedup_vs_serial, Some(0.53));
+        assert_eq!(record.table_fingerprint.as_deref(), Some("0xabc"));
     }
 
     #[test]
@@ -457,5 +515,7 @@ mod tests {
         assert_eq!(record.samples, 0);
         assert_eq!(record.table_fingerprint, None);
         assert_eq!(record.speedup_vs_serial, None);
+        assert_eq!(record.engine, None);
+        assert_eq!(record.speedup_vs_taped, None);
     }
 }

@@ -4,7 +4,7 @@
 //! requests over one or more keep-alive connections (each connection waits
 //! for its response before sending the next request — a closed loop), and
 //! writes the measured throughput as `BENCH_serve.json` in the
-//! `difftune-bench/1` schema, extending the perf trajectory the training
+//! `difftune-bench/2` schema, extending the perf trajectory the training
 //! stages already record.
 //!
 //! ```text

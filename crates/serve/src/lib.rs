@@ -24,7 +24,7 @@
 //!
 //! Two binaries ship with the crate: `difftune-serve` (the server) and
 //! `difftune-loadtest` (a closed-loop generator that measures throughput
-//! into `BENCH_serve.json`, schema `difftune-bench/1`).
+//! into `BENCH_serve.json`, schema `difftune-bench/2`).
 //!
 //! [`Simulator::predict_batch`]: difftune_sim::Simulator::predict_batch
 //!

@@ -165,15 +165,21 @@ impl SurrogateModel for IthemalModel {
             );
         }
 
+        // Hoist every layer's parameters onto the graph once; per-token and
+        // per-instruction work then only emits compute nodes.
+        let embedding = self.embedding.bind(graph);
+        let instr_lstm = self.instr_lstm.bind(graph);
+        let block_lstm = self.block_lstm.bind(graph);
+
         let mut instruction_vectors = Vec::with_capacity(block.len());
         for (index, inst) in block.insts.iter().enumerate() {
             // Token embeddings → instruction-level LSTM summary.
             let embedded: Vec<Var> = inst
                 .tokens
                 .iter()
-                .map(|&token| self.embedding.lookup(graph, token))
+                .map(|&token| embedding.lookup(graph, token))
                 .collect();
-            let inst_vec = self.instr_lstm.run(graph, &embedded);
+            let inst_vec = instr_lstm.run(graph, &embedded);
             // Concatenate the proposed parameters for this instruction plus the
             // global parameters (Figure 3).
             let combined = if self.config.parameter_inputs {
@@ -186,7 +192,7 @@ impl SurrogateModel for IthemalModel {
             instruction_vectors.push(combined);
         }
 
-        let block_vec = self.block_lstm.run(graph, &instruction_vectors);
+        let block_vec = block_lstm.run(graph, &instruction_vectors);
         let prediction = self.head.forward(graph, block_vec);
         // Timings are non-negative; a softplus-like clamp keeps optimization
         // well-behaved without flattening gradients the way abs() would at 0.
@@ -203,6 +209,19 @@ impl SurrogateModel for IthemalModel {
 
     fn uses_parameter_inputs(&self) -> bool {
         self.config.parameter_inputs
+    }
+
+    fn program_key(&self, block: &TokenizedBlock) -> Option<difftune_tensor::ProgramKey> {
+        // The op sequence depends on the per-instruction token counts (the
+        // instruction LSTM unrolls per token) and the surrogate-mode flag;
+        // token *values* only rebind embedding rows.
+        let mut key = Vec::with_capacity(block.len() + 2);
+        key.push(2);
+        key.push(u32::from(self.config.parameter_inputs));
+        for inst in &block.insts {
+            key.push(u32::try_from(inst.tokens.len()).ok()?);
+        }
+        Some(key)
     }
 }
 

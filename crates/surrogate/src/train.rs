@@ -15,7 +15,7 @@
 //! asserts exact equality).
 
 use difftune_tensor::optim::{Adam, Optimizer};
-use difftune_tensor::{Batch, Grads, Graph, Tensor, Var};
+use difftune_tensor::{Batch, Grads, Graph, ProgramCache, Tensor, Var};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -38,6 +38,33 @@ pub struct TrainSample {
     pub target: f64,
 }
 
+/// Which execution engine computes per-sample forward/backward passes.
+///
+/// Both engines share the same fused kernels and the same deterministic
+/// reduction, so they produce **bit-identical** losses, gradients, and
+/// trained weights; `Compiled` is simply faster (no per-sample tape
+/// construction). The enforcing test lives in `tests/engine.rs` at the
+/// workspace root.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Engine {
+    /// Rebuild a fresh autodiff tape for every sample. Always available,
+    /// including for models that cannot key their graph structure.
+    Taped,
+    /// Record one compiled schedule per graph structure
+    /// ([`SurrogateModel::program_key`]) and replay samples against it;
+    /// unkeyable samples fall back to the tape inside the same batch.
+    Compiled,
+}
+
+// The vendored serde derive cannot parse variant attributes, so the
+// non-first default variant needs a manual impl.
+#[allow(clippy::derivable_impls)]
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::Compiled
+    }
+}
+
 /// Training hyperparameters.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TrainConfig {
@@ -55,6 +82,9 @@ pub struct TrainConfig {
     pub seed: u64,
     /// Number of worker threads (0 = use all available cores).
     pub threads: usize,
+    /// Execution engine for per-sample forward/backward passes. The choice
+    /// never changes results (the engines are bit-identical), only speed.
+    pub engine: Engine,
 }
 
 impl Default for TrainConfig {
@@ -66,6 +96,7 @@ impl Default for TrainConfig {
             grad_clip: 5.0,
             seed: 0,
             threads: 0,
+            engine: Engine::default(),
         }
     }
 }
@@ -167,6 +198,19 @@ impl TrainReport {
     }
 }
 
+/// Names the graph structure [`sample_loss`] builds for one sample: the
+/// model's own key for the block, extended with which optional feature
+/// inputs are present (they add input and concat nodes).
+fn sample_program_key<M: SurrogateModel + ?Sized>(
+    model: &M,
+    sample: &TrainSample,
+) -> Option<difftune_tensor::ProgramKey> {
+    let mut key = model.program_key(&sample.block)?;
+    key.push(u32::from(sample.per_inst_features.is_some()));
+    key.push(u32::from(sample.global_features.is_some()));
+    Some(key)
+}
+
 /// Builds the per-sample loss `|f̂(θ, x) − target| / target` on the graph.
 fn sample_loss<M: SurrogateModel + ?Sized>(
     model: &M,
@@ -176,11 +220,8 @@ fn sample_loss<M: SurrogateModel + ?Sized>(
     let feature_vars: Option<Vec<Var>> = sample
         .per_inst_features
         .as_ref()
-        .map(|features| features.iter().map(|f| graph.input(f.clone())).collect());
-    let global_var = sample
-        .global_features
-        .as_ref()
-        .map(|g| graph.input(g.clone()));
+        .map(|features| features.iter().map(|f| graph.input_ref(f)).collect());
+    let global_var = sample.global_features.as_ref().map(|g| graph.input_ref(g));
     let prediction = model.forward(graph, &sample.block, feature_vars.as_deref(), global_var);
     let target = sample.target.max(1e-3) as f32;
     let target_var = graph.input(Tensor::scalar(target));
@@ -225,6 +266,9 @@ pub fn train_observed<M: SurrogateModel>(
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut engine = Batch::new(config.threads);
     let mut grads = Grads::new(model.params());
+    // Compiled schedules depend only on graph *structure*, which optimizer
+    // steps never change, so one cache serves the whole run.
+    let mut cache = ProgramCache::new();
 
     let mut epoch_losses = Vec::with_capacity(config.epochs);
     for _ in 0..config.epochs {
@@ -236,13 +280,24 @@ pub fn train_observed<M: SurrogateModel>(
 
             grads.reset(model.params());
             let model_ref: &M = &*model;
-            let batch_loss = engine.accumulate(
-                model_ref.params(),
-                &batch_samples,
-                |graph, sample| sample_loss(model_ref, graph, sample),
-                seed,
-                &mut grads,
-            );
+            let batch_loss = match config.engine {
+                Engine::Taped => engine.accumulate(
+                    model_ref.params(),
+                    &batch_samples,
+                    |graph, sample| sample_loss(model_ref, graph, sample),
+                    seed,
+                    &mut grads,
+                ),
+                Engine::Compiled => engine.accumulate_compiled(
+                    model_ref.params(),
+                    &batch_samples,
+                    &mut cache,
+                    |sample| sample_program_key(model_ref, sample),
+                    |graph, sample| sample_loss(model_ref, graph, sample),
+                    seed,
+                    &mut grads,
+                ),
+            };
 
             if config.grad_clip > 0.0 {
                 let norm = grads.global_norm();
@@ -458,6 +513,56 @@ mod tests {
                 "epoch losses diverged with {threads} threads"
             );
         }
+    }
+
+    #[test]
+    fn compiled_engine_trains_bit_identically_to_taped() {
+        let samples = make_samples(true);
+        let config_for = |engine: Engine| TrainConfig {
+            learning_rate: 1e-3,
+            batch_size: 4,
+            epochs: 3,
+            threads: 2,
+            engine,
+            ..TrainConfig::default()
+        };
+
+        // MLP family.
+        let mut taped_mlp = FeatureMlpModel::new(FeatureMlpConfig {
+            hidden_dim: 16,
+            seed: 5,
+            ..FeatureMlpConfig::default()
+        });
+        let mut compiled_mlp = FeatureMlpModel::new(FeatureMlpConfig {
+            hidden_dim: 16,
+            seed: 5,
+            ..FeatureMlpConfig::default()
+        });
+        let taped_report = train(&mut taped_mlp, &samples, &config_for(Engine::Taped)).unwrap();
+        let compiled_report =
+            train(&mut compiled_mlp, &samples, &config_for(Engine::Compiled)).unwrap();
+        assert_eq!(taped_mlp.params(), compiled_mlp.params());
+        let bits = |report: &TrainReport| -> Vec<u64> {
+            report.epoch_losses.iter().map(|l| l.to_bits()).collect()
+        };
+        assert_eq!(bits(&taped_report), bits(&compiled_report));
+
+        // LSTM family (variable-length blocks → several compiled programs).
+        let tiny = IthemalConfig {
+            embed_dim: 8,
+            hidden_dim: 12,
+            instr_layers: 1,
+            block_layers: 1,
+            parameter_inputs: true,
+            seed: 5,
+        };
+        let mut taped_lstm = IthemalModel::new(tiny);
+        let mut compiled_lstm = IthemalModel::new(tiny);
+        let taped_report = train(&mut taped_lstm, &samples, &config_for(Engine::Taped)).unwrap();
+        let compiled_report =
+            train(&mut compiled_lstm, &samples, &config_for(Engine::Compiled)).unwrap();
+        assert_eq!(taped_lstm.params(), compiled_lstm.params());
+        assert_eq!(bits(&taped_report), bits(&compiled_report));
     }
 
     #[test]

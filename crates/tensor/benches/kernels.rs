@@ -1,0 +1,130 @@
+//! Criterion microbenchmarks for the fused SIMD-width kernels.
+//!
+//! These time the raw inner loops both execution engines share — the 4-lane
+//! dot/matvec, the fused matvec+bias (`Linear::forward`), and the fused
+//! LSTM gate step — plus their backward kernels, at the layer sizes the
+//! default Ithemal-style surrogate actually runs (64-dim hidden states).
+//! With `DIFFTUNE_BENCH_JSON` set, each median lands in a
+//! `BENCH_criterion_<id>.json` record (`difftune-bench/2` schema) next to
+//! the pipeline runner's stage records.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use difftune_tensor::kernels;
+
+/// Deterministic pseudo-random fill; benches must not depend on rand.
+fn filled(len: usize, seed: u32) -> Vec<f32> {
+    let mut state = seed.wrapping_mul(2654435761).wrapping_add(1);
+    (0..len)
+        .map(|_| {
+            state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+            (state >> 8) as f32 / (1u32 << 24) as f32 - 0.5
+        })
+        .collect()
+}
+
+fn bench_matvec(criterion: &mut Criterion) {
+    let (m, n) = (64, 64);
+    let w = filled(m * n, 1);
+    let x = filled(n, 2);
+    let b = filled(m, 3);
+    let mut out = vec![0.0f32; m];
+    criterion.bench_function("kernels/matvec 64x64", |bencher| {
+        bencher.iter(|| {
+            kernels::matvec(black_box(&w), black_box(&x), m, n, &mut out);
+            out[0]
+        })
+    });
+    criterion.bench_function("kernels/linear 64x64", |bencher| {
+        bencher.iter(|| {
+            kernels::linear(black_box(&w), black_box(&b), black_box(&x), m, n, &mut out);
+            out[0]
+        })
+    });
+    let g = filled(m, 4);
+    let mut dw = vec![0.0f32; m * n];
+    let mut db = vec![0.0f32; m];
+    let mut dx = vec![0.0f32; n];
+    criterion.bench_function("kernels/linear_grad 64x64", |bencher| {
+        bencher.iter(|| {
+            dw.iter_mut().for_each(|v| *v = 0.0);
+            db.iter_mut().for_each(|v| *v = 0.0);
+            dx.iter_mut().for_each(|v| *v = 0.0);
+            kernels::linear_grad(
+                black_box(&w),
+                black_box(&x),
+                black_box(&g),
+                m,
+                n,
+                &mut dw,
+                &mut db,
+                &mut dx,
+            );
+            dx[0]
+        })
+    });
+}
+
+fn bench_lstm_step(criterion: &mut Criterion) {
+    let (hidden, input) = (64, 64);
+    let width = input + hidden;
+    let w = filled(4 * hidden * width, 5);
+    let b = filled(4 * hidden, 6);
+    let x = filled(input, 7);
+    let h_prev = filled(hidden, 8);
+    let c_prev = filled(hidden, 9);
+    let mut packed = vec![0.0f32; kernels::lstm_packed_len(hidden)];
+    criterion.bench_function("kernels/lstm_step h=64", |bencher| {
+        bencher.iter(|| {
+            kernels::lstm_step(
+                black_box(&w),
+                black_box(&b),
+                black_box(&x),
+                black_box(&h_prev),
+                black_box(&c_prev),
+                hidden,
+                input,
+                &mut packed,
+            );
+            packed[0]
+        })
+    });
+
+    kernels::lstm_step(&w, &b, &x, &h_prev, &c_prev, hidden, input, &mut packed);
+    let mut g_packed = vec![0.0f32; kernels::lstm_packed_len(hidden)];
+    for (i, slot) in g_packed[..2 * hidden].iter_mut().enumerate() {
+        *slot = 0.01 * (i as f32 + 1.0);
+    }
+    let mut dw = vec![0.0f32; 4 * hidden * width];
+    let mut db = vec![0.0f32; 4 * hidden];
+    let mut dx = vec![0.0f32; input];
+    let mut dh_prev = vec![0.0f32; hidden];
+    let mut dc_prev = vec![0.0f32; hidden];
+    criterion.bench_function("kernels/lstm_step_grad h=64", |bencher| {
+        bencher.iter(|| {
+            dw.iter_mut().for_each(|v| *v = 0.0);
+            db.iter_mut().for_each(|v| *v = 0.0);
+            dx.iter_mut().for_each(|v| *v = 0.0);
+            dh_prev.iter_mut().for_each(|v| *v = 0.0);
+            dc_prev.iter_mut().for_each(|v| *v = 0.0);
+            kernels::lstm_step_grad(
+                black_box(&w),
+                black_box(&x),
+                black_box(&h_prev),
+                black_box(&c_prev),
+                black_box(&packed),
+                black_box(&g_packed),
+                hidden,
+                input,
+                &mut dw,
+                &mut db,
+                &mut dx,
+                &mut dh_prev,
+                &mut dc_prev,
+            );
+            dx[0]
+        })
+    });
+}
+
+criterion_group!(kernel_benches, bench_matvec, bench_lstm_step);
+criterion_main!(kernel_benches);

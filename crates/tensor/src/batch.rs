@@ -17,8 +17,11 @@
 //! [`Batch::accumulate`] in its inner loop stops allocating after the first
 //! batch.
 
+use std::sync::Arc;
+
+use crate::compile::{CompiledProgram, ProgramCache, ProgramKey};
 use crate::graph::TapeArena;
-use crate::{Grads, Graph, Params, Var};
+use crate::{Grads, Graph, Params, ReplayBuffers, Var};
 
 /// Number of samples per reduction chunk. One [`Grads`] slot exists per
 /// chunk (not per sample), bounding the reduction's memory and the serial
@@ -32,6 +35,10 @@ pub const REDUCTION_CHUNK: usize = 8;
 /// spawn overhead would dominate. The threshold never affects results, only
 /// where the work runs.
 const MIN_PARALLEL_SAMPLES: usize = 8;
+
+/// One reduction chunk of the compiled path: the chunk's samples alongside
+/// each sample's resolved program (`None` = tape fallback for that sample).
+type CompiledChunk<'a, S> = (&'a [S], &'a [Option<Arc<CompiledProgram>>]);
 
 /// A reusable, deterministic batch-gradient accumulator.
 ///
@@ -65,6 +72,7 @@ pub struct Batch {
     slots: Vec<Grads>,
     losses: Vec<f64>,
     arenas: Vec<TapeArena>,
+    replay: Vec<ReplayBuffers>,
 }
 
 impl Batch {
@@ -83,6 +91,7 @@ impl Batch {
             slots: Vec::new(),
             losses: Vec::new(),
             arenas: Vec::new(),
+            replay: Vec::new(),
         }
     }
 
@@ -187,6 +196,127 @@ impl Batch {
         }
         total
     }
+
+    /// Like [`Batch::accumulate`], but replays samples through compiled
+    /// schedules ([`CompiledProgram`]) instead of rebuilding a tape per
+    /// sample.
+    ///
+    /// `key_of` names each sample's graph structure (see
+    /// [`ProgramKey`]); samples mapping to the same key share one schedule,
+    /// recorded on the calling thread the first time the key appears (so
+    /// cache contents never depend on worker scheduling). A sample whose key
+    /// is `None` — dynamic structure the caller cannot key — falls back to
+    /// the tape inside the same chunk, preserving the reduction order.
+    ///
+    /// The chunking, sample order, and merge order are identical to
+    /// [`Batch::accumulate`], and compiled replay is bit-identical to the
+    /// tape, so this produces exactly the same gradients and loss — for
+    /// every thread count and for any mix of compiled and fallback samples.
+    #[allow(clippy::too_many_arguments)] // mirrors accumulate's signature plus the cache and key function
+    pub fn accumulate_compiled<S: Sync>(
+        &mut self,
+        params: &Params,
+        samples: &[S],
+        cache: &mut ProgramCache,
+        key_of: impl Fn(&S) -> Option<ProgramKey>,
+        loss_of: impl Fn(&mut Graph<'_>, &S) -> Var + Sync,
+        seed: f32,
+        grads: &mut Grads,
+    ) -> f64 {
+        let n = samples.len();
+        if n == 0 {
+            return 0.0;
+        }
+        // Resolve every sample's program up front, in sample order.
+        let programs: Vec<Option<Arc<CompiledProgram>>> = samples
+            .iter()
+            .map(|sample| {
+                key_of(sample)
+                    .map(|key| cache.get_or_record(key, params, |graph| loss_of(graph, sample)))
+            })
+            .collect();
+        let chunks: Vec<CompiledChunk<'_, S>> = samples
+            .chunks(REDUCTION_CHUNK)
+            .zip(programs.chunks(REDUCTION_CHUNK))
+            .collect();
+        let workers = if n < MIN_PARALLEL_SAMPLES {
+            1
+        } else {
+            self.threads.min(chunks.len())
+        };
+        if self.slots.len() < chunks.len() {
+            let missing = chunks.len() - self.slots.len();
+            self.slots
+                .extend(std::iter::repeat_with(|| Grads::new(params)).take(missing));
+        }
+        if self.arenas.len() < workers {
+            let missing = workers - self.arenas.len();
+            self.arenas
+                .extend(std::iter::repeat_with(TapeArena::new).take(missing));
+        }
+        if self.replay.len() < workers {
+            let missing = workers - self.replay.len();
+            self.replay
+                .extend(std::iter::repeat_with(ReplayBuffers::new).take(missing));
+        }
+        self.losses.clear();
+        self.losses.resize(chunks.len(), 0.0);
+        let slots = &mut self.slots[..chunks.len()];
+        let losses = &mut self.losses[..chunks.len()];
+        for slot in slots.iter_mut() {
+            slot.reset(params);
+        }
+
+        let loss_of = &loss_of;
+        if workers == 1 {
+            run_shard_compiled(
+                params,
+                &chunks,
+                slots,
+                losses,
+                &mut self.arenas[0],
+                &mut self.replay[0],
+                loss_of,
+                seed,
+            );
+        } else {
+            let per_worker = chunks.len().div_ceil(workers);
+            let arenas = &mut self.arenas[..workers];
+            let replay = &mut self.replay[..workers];
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = chunks
+                    .chunks(per_worker)
+                    .zip(slots.chunks_mut(per_worker))
+                    .zip(losses.chunks_mut(per_worker))
+                    .zip(arenas.iter_mut().zip(replay.iter_mut()))
+                    .map(|(((shard, shard_slots), shard_losses), (arena, buffers))| {
+                        scope.spawn(move || {
+                            run_shard_compiled(
+                                params,
+                                shard,
+                                shard_slots,
+                                shard_losses,
+                                arena,
+                                buffers,
+                                loss_of,
+                                seed,
+                            )
+                        })
+                    })
+                    .collect();
+                for handle in handles {
+                    handle.join().expect("batch gradient worker panicked");
+                }
+            });
+        }
+
+        let mut total = 0.0;
+        for (slot, loss) in self.slots[..chunks.len()].iter().zip(&self.losses) {
+            grads.merge(slot);
+            total += loss;
+        }
+        total
+    }
 }
 
 /// Processes a contiguous run of fixed-size chunks: one tape per sample in
@@ -209,6 +339,37 @@ fn run_shard<S>(
                 graph.backward_scaled(loss, slot, seed);
                 value
             });
+        }
+    }
+}
+
+/// The compiled counterpart of [`run_shard`]: replays each sample against
+/// its shared schedule with the worker's own [`ReplayBuffers`], dropping to
+/// the worker's tape arena for samples without a program.
+#[allow(clippy::too_many_arguments)] // run_shard's parameter list plus the worker's replay buffers
+fn run_shard_compiled<S>(
+    params: &Params,
+    chunks: &[CompiledChunk<'_, S>],
+    slots: &mut [Grads],
+    losses: &mut [f64],
+    arena: &mut TapeArena,
+    buffers: &mut ReplayBuffers,
+    loss_of: &(impl Fn(&mut Graph<'_>, &S) -> Var + Sync),
+    seed: f32,
+) {
+    for (((samples, programs), slot), loss_out) in chunks.iter().zip(slots).zip(losses) {
+        for (sample, program) in samples.iter().zip(programs.iter()) {
+            *loss_out += match program {
+                Some(program) => {
+                    program.replay(params, buffers, slot, seed, |graph| loss_of(graph, sample))
+                }
+                None => arena.scoped(params, |graph| {
+                    let loss = loss_of(graph, sample);
+                    let value = f64::from(graph.value(loss)[0]);
+                    graph.backward_scaled(loss, slot, seed);
+                    value
+                }),
+            };
         }
     }
 }
@@ -307,6 +468,78 @@ mod tests {
             out
         };
         assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    fn compiled_engine_matches_taped_engine_bit_for_bit() {
+        let params = model_params();
+        let data = samples(33);
+        let (taped_loss, taped) = grads_for(1, 33);
+        // All samples here share one graph structure, so a constant key
+        // compiles every sample; mix in a None fallback for odd samples to
+        // cover the in-chunk taped fallback path too.
+        type Keying = fn(&Vec<f32>) -> Option<ProgramKey>;
+        let keyings: [Keying; 2] = [
+            |_| Some(vec![0]),
+            |sample| {
+                if (sample[0].abs() as usize).is_multiple_of(2) {
+                    Some(vec![0])
+                } else {
+                    None
+                }
+            },
+        ];
+        for threads in [1, 2, 4] {
+            for key_of in keyings {
+                let mut engine = Batch::new(threads);
+                let mut cache = ProgramCache::new();
+                let mut grads = Grads::new(&params);
+                let loss = engine.accumulate_compiled(
+                    &params,
+                    &data,
+                    &mut cache,
+                    key_of,
+                    sample_loss,
+                    1.0 / 33.0,
+                    &mut grads,
+                );
+                assert_eq!(
+                    taped_loss.to_bits(),
+                    loss.to_bits(),
+                    "compiled loss must match the tape with {threads} threads"
+                );
+                assert_eq!(
+                    taped, grads,
+                    "compiled gradients must match the tape with {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_engine_reuses_cache_across_batches() {
+        let params = model_params();
+        let data = samples(40);
+        let mut engine = Batch::new(2);
+        let mut cache = ProgramCache::new();
+        let mut reference = Grads::new(&params);
+        engine.accumulate(&params, &data[..17], sample_loss, 0.5, &mut reference);
+        for batch in [&data[..40], &data[..9], &data[..17]] {
+            let mut grads = Grads::new(&params);
+            engine.accumulate_compiled(
+                &params,
+                batch,
+                &mut cache,
+                |_| Some(vec![7]),
+                sample_loss,
+                0.5,
+                &mut grads,
+            );
+            assert_eq!(cache.len(), 1, "one structure must record one program");
+            if batch.len() == 17 {
+                assert_eq!(reference, grads);
+            }
+        }
     }
 
     #[test]

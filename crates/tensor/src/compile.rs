@@ -1,0 +1,1259 @@
+//! Graph-once compiled execution: record a tape into a flat schedule, then
+//! replay it per sample without rebuilding nodes.
+//!
+//! The tape engine ([`Graph`]) rebuilds a per-sample node list — with a
+//! parameter-copy node, a shape `Vec`, and a pooled buffer per op — even
+//! though a surrogate's graph *structure* is identical for every sample of
+//! the same shape. [`CompiledProgram::record`] runs a model closure once on
+//! an ordinary eager graph and freezes the resulting tape into a flat
+//! topological schedule of op descriptors with preassigned offsets into one
+//! contiguous value arena and one gradient arena (extending
+//! [`TapeArena`](crate::TapeArena)'s buffer pooling from individual buffers
+//! to whole schedules). [`CompiledProgram::replay`] then re-runs the closure
+//! in **bind mode** — a cheap validation pass that captures only the
+//! dynamic data (input tensors, embedding row indices, per-sample scalar
+//! constants) — and executes the schedule with the fused kernels in
+//! [`crate::kernels`].
+//!
+//! # Bit-equality with the tape
+//!
+//! Replay is arranged to be **bitwise identical** to running the same
+//! closure on the tape:
+//!
+//! * forward values route through the same kernel functions in the same
+//!   node order;
+//! * backward contributions are applied in the same reverse-node order,
+//!   with the tape's assign-then-accumulate discipline (a slot's first
+//!   contribution overwrites, later ones add) replicated per arena slot;
+//! * parameter gradients flush into [`Grads`] at the same reverse-sweep
+//!   positions via the same accumulation arithmetic.
+//!
+//! One documented edge is out of scope: a graph whose [`Graph::slice`]
+//! regions *overlap* and whose gradient elements are negative zero could in
+//! principle differ in the sign of zero between engines; no model in this
+//! workspace (and no test) builds overlapping slices, and the optimize
+//! stage that reuses theta slices runs on the tape.
+//!
+//! # Structure keys
+//!
+//! A program is valid for every sample whose closure builds the *same op
+//! sequence* (same ops, operands, and tensor lengths). Callers name that
+//! equivalence class with a [`ProgramKey`] and look programs up in a
+//! [`ProgramCache`]; a key must uniquely determine the structure — replay
+//! panics loudly if a rebuilt op diverges from the recorded schedule.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::graph::{Graph, Op};
+use crate::kernels;
+use crate::params::{Grads, ParamId, Params};
+use crate::{Tensor, Var};
+
+/// A structure key naming one compiled graph shape, e.g. a model kind plus
+/// the per-sample dimensions that change its op sequence. Equal keys must
+/// imply identical op sequences.
+pub type ProgramKey = Vec<u32>;
+
+/// One schedule entry: the op kind plus operand node indices. Dynamic
+/// per-sample data (input values, row indices, scalar constants) lives in
+/// the binder, not here.
+#[derive(Debug, Clone, PartialEq)]
+enum CompiledOp {
+    Param(ParamId),
+    Input,
+    Add(u32, u32),
+    Sub(u32, u32),
+    Mul(u32, u32),
+    Scale(u32),
+    AddScalar(u32),
+    MatVec {
+        w: u32,
+        x: u32,
+    },
+    Linear {
+        w: u32,
+        b: u32,
+        x: u32,
+    },
+    LstmStep {
+        w: u32,
+        b: u32,
+        x: u32,
+        h_prev: u32,
+        c_prev: u32,
+        hidden: u32,
+    },
+    Sigmoid(u32),
+    Tanh(u32),
+    Relu(u32),
+    Abs(u32),
+    Concat(Box<[u32]>),
+    Slice {
+        src: u32,
+        start: usize,
+        len: usize,
+    },
+    Row {
+        table: u32,
+    },
+    Sum(u32),
+    Mean(u32),
+}
+
+/// A frozen tape: a flat topological schedule with preassigned value/grad
+/// arena offsets, recorded once per graph structure and replayed per sample.
+///
+/// Programs are immutable and cheaply shared across worker threads behind an
+/// [`Arc`]; each worker replays against its own [`ReplayBuffers`].
+#[derive(Debug)]
+pub struct CompiledProgram {
+    ops: Vec<CompiledOp>,
+    /// Per-node offset into the value and gradient arenas (monotone in node
+    /// index, so operands always precede their consumer in the arena).
+    offsets: Vec<usize>,
+    /// Per-node value length.
+    lens: Vec<usize>,
+    /// Total arena length.
+    values_len: usize,
+    /// Node index of the recorded scalar loss.
+    loss: usize,
+}
+
+impl CompiledProgram {
+    /// Records one schedule by running `build` on an ordinary eager graph
+    /// and freezing the tape it leaves behind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `build` does not return a scalar loss node.
+    pub fn record(params: &Params, build: impl FnOnce(&mut Graph<'_>) -> Var) -> Arc<Self> {
+        let mut graph = Graph::new(params);
+        let loss = build(&mut graph);
+        assert_eq!(
+            graph.value(loss).len(),
+            1,
+            "compiled programs require a scalar loss"
+        );
+        let count = graph.node_count();
+        let mut ops = Vec::with_capacity(count);
+        let mut offsets = Vec::with_capacity(count);
+        let mut lens = Vec::with_capacity(count);
+        let mut values_len = 0usize;
+        for index in 0..count {
+            let len = graph.node_len(index);
+            offsets.push(values_len);
+            lens.push(len);
+            values_len += len;
+            let op = match graph.node_op(index) {
+                Op::Param(id) => CompiledOp::Param(*id),
+                Op::Input => CompiledOp::Input,
+                Op::Add(a, b) => CompiledOp::Add(a.0 as u32, b.0 as u32),
+                Op::Sub(a, b) => CompiledOp::Sub(a.0 as u32, b.0 as u32),
+                Op::Mul(a, b) => CompiledOp::Mul(a.0 as u32, b.0 as u32),
+                Op::Scale(a, _) => CompiledOp::Scale(a.0 as u32),
+                Op::AddScalar(a) => CompiledOp::AddScalar(a.0 as u32),
+                Op::MatVec { w, x } => CompiledOp::MatVec {
+                    w: w.0 as u32,
+                    x: x.0 as u32,
+                },
+                Op::Linear { w, b, x } => CompiledOp::Linear {
+                    w: w.0 as u32,
+                    b: b.0 as u32,
+                    x: x.0 as u32,
+                },
+                Op::LstmStep {
+                    w,
+                    b,
+                    x,
+                    h_prev,
+                    c_prev,
+                    hidden,
+                } => CompiledOp::LstmStep {
+                    w: w.0 as u32,
+                    b: b.0 as u32,
+                    x: x.0 as u32,
+                    h_prev: h_prev.0 as u32,
+                    c_prev: c_prev.0 as u32,
+                    hidden: *hidden as u32,
+                },
+                Op::Sigmoid(a) => CompiledOp::Sigmoid(a.0 as u32),
+                Op::Tanh(a) => CompiledOp::Tanh(a.0 as u32),
+                Op::Relu(a) => CompiledOp::Relu(a.0 as u32),
+                Op::Abs(a) => CompiledOp::Abs(a.0 as u32),
+                Op::Concat(parts) => CompiledOp::Concat(parts.iter().map(|p| p.0 as u32).collect()),
+                Op::Slice { src, start, len } => CompiledOp::Slice {
+                    src: src.0 as u32,
+                    start: *start,
+                    len: *len,
+                },
+                Op::Row { table, .. } => CompiledOp::Row {
+                    table: table.0 as u32,
+                },
+                Op::Sum(a) => CompiledOp::Sum(a.0 as u32),
+                Op::Mean(a) => CompiledOp::Mean(a.0 as u32),
+            };
+            ops.push(op);
+        }
+        Arc::new(CompiledProgram {
+            ops,
+            offsets,
+            lens,
+            values_len,
+            loss: loss.0,
+        })
+    }
+
+    /// Number of scheduled ops.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True for an empty schedule (never produced by [`Self::record`], which
+    /// requires a loss node, but the conventional pairing with [`Self::len`]).
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Replays the schedule for one sample: re-runs `build` in bind mode to
+    /// capture the sample's dynamic data, executes the forward sweep with
+    /// the fused kernels, then backpropagates with seed `seed`, flushing
+    /// parameter gradients into `grads`. Returns the loss value.
+    ///
+    /// Bit-identical to running `build` through
+    /// [`Graph::backward_scaled`](Graph::backward_scaled) on the tape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `build` constructs a different op sequence than the one
+    /// recorded (a [`ProgramKey`] collision — keys must uniquely determine
+    /// graph structure).
+    pub fn replay(
+        self: &Arc<Self>,
+        params: &Params,
+        buffers: &mut ReplayBuffers,
+        grads: &mut Grads,
+        seed: f32,
+        build: impl FnOnce(&mut Graph<'_>) -> Var,
+    ) -> f64 {
+        // Bind pass: validate structure, capture inputs/rows/constants. The
+        // binder box (and its arenas, including the value arena that input
+        // data is written into directly) is parked in `buffers` between
+        // replays; the arenas grow but are never cleared — every slot the
+        // sweeps read is either computed by the forward sweep or rewritten
+        // during bind (each `Input`/`Row`/`Scale`/`AddScalar` op rebinds on
+        // every replay), so stale data is never observed.
+        let mut binder = match buffers.binder.take() {
+            Some(mut binder) => {
+                binder.program = Arc::clone(self);
+                binder.cursor = 0;
+                binder
+            }
+            None => Box::new(Binder {
+                program: Arc::clone(self),
+                cursor: 0,
+                values: Vec::new(),
+                rows: Vec::new(),
+                consts: Vec::new(),
+            }),
+        };
+        if binder.values.len() < self.values_len {
+            binder.values.resize(self.values_len, 0.0);
+        }
+        if binder.rows.len() < self.ops.len() {
+            binder.rows.resize(self.ops.len(), 0);
+        }
+        if binder.consts.len() < self.ops.len() {
+            binder.consts.resize(self.ops.len(), 0.0);
+        }
+        let mut graph = Graph::bound(params, binder);
+        let loss = build(&mut graph);
+        let mut binder = graph
+            .take_binder()
+            .expect("a bind-mode graph retains its binder");
+        assert_eq!(
+            binder.cursor,
+            self.ops.len(),
+            "compiled replay built {} of {} recorded ops — the program key does not uniquely \
+             determine graph structure",
+            binder.cursor,
+            self.ops.len()
+        );
+        assert_eq!(
+            loss.0, self.loss,
+            "compiled replay returned a different loss node than recorded"
+        );
+
+        // Forward sweep over the flat arena. Parameter slots are never
+        // written (reads go straight to the store), input slots were filled
+        // by the bind pass, and every other slot is fully overwritten before
+        // any read, so stale arena contents from earlier replays are
+        // harmless.
+        let Binder {
+            values,
+            rows,
+            consts,
+            ..
+        } = &mut *binder;
+        let values: &mut [f32] = values;
+        for index in 0..self.ops.len() {
+            let len = self.lens[index];
+            let (lo, hi) = values.split_at_mut(self.offsets[index]);
+            let out = &mut hi[..len];
+            let arg = |v: u32| -> &[f32] {
+                let v = v as usize;
+                match &self.ops[v] {
+                    CompiledOp::Param(id) => params.get(*id).data(),
+                    _ => &lo[self.offsets[v]..self.offsets[v] + self.lens[v]],
+                }
+            };
+            match &self.ops[index] {
+                // Param reads go to the store; Input slots were written in
+                // place by the bind pass.
+                CompiledOp::Param(_) | CompiledOp::Input => {}
+                CompiledOp::Add(a, b) => {
+                    for ((o, x), y) in out.iter_mut().zip(arg(*a)).zip(arg(*b)) {
+                        *o = x + y;
+                    }
+                }
+                CompiledOp::Sub(a, b) => {
+                    for ((o, x), y) in out.iter_mut().zip(arg(*a)).zip(arg(*b)) {
+                        *o = x - y;
+                    }
+                }
+                CompiledOp::Mul(a, b) => {
+                    for ((o, x), y) in out.iter_mut().zip(arg(*a)).zip(arg(*b)) {
+                        *o = x * y;
+                    }
+                }
+                CompiledOp::Scale(a) => {
+                    let factor = consts[index];
+                    for (o, x) in out.iter_mut().zip(arg(*a)) {
+                        *o = x * factor;
+                    }
+                }
+                CompiledOp::AddScalar(a) => {
+                    let constant = consts[index];
+                    for (o, x) in out.iter_mut().zip(arg(*a)) {
+                        *o = x + constant;
+                    }
+                }
+                CompiledOp::MatVec { w, x } => {
+                    let n = self.lens[*x as usize];
+                    kernels::matvec(arg(*w), arg(*x), len, n, out);
+                }
+                CompiledOp::Linear { w, b, x } => {
+                    let n = self.lens[*x as usize];
+                    kernels::linear(arg(*w), arg(*b), arg(*x), len, n, out);
+                }
+                CompiledOp::LstmStep {
+                    w,
+                    b,
+                    x,
+                    h_prev,
+                    c_prev,
+                    hidden,
+                } => {
+                    let input = self.lens[*x as usize];
+                    kernels::lstm_step(
+                        arg(*w),
+                        arg(*b),
+                        arg(*x),
+                        arg(*h_prev),
+                        arg(*c_prev),
+                        *hidden as usize,
+                        input,
+                        out,
+                    );
+                }
+                CompiledOp::Sigmoid(a) => {
+                    for (o, x) in out.iter_mut().zip(arg(*a)) {
+                        *o = kernels::sigmoid(*x);
+                    }
+                }
+                CompiledOp::Tanh(a) => {
+                    for (o, x) in out.iter_mut().zip(arg(*a)) {
+                        *o = x.tanh();
+                    }
+                }
+                CompiledOp::Relu(a) => {
+                    for (o, x) in out.iter_mut().zip(arg(*a)) {
+                        *o = x.max(0.0);
+                    }
+                }
+                CompiledOp::Abs(a) => {
+                    for (o, x) in out.iter_mut().zip(arg(*a)) {
+                        *o = x.abs();
+                    }
+                }
+                CompiledOp::Concat(parts) => {
+                    let mut offset = 0;
+                    for part in parts.iter() {
+                        let src = arg(*part);
+                        out[offset..offset + src.len()].copy_from_slice(src);
+                        offset += src.len();
+                    }
+                }
+                CompiledOp::Slice { src, start, len } => {
+                    out.copy_from_slice(&arg(*src)[*start..*start + *len]);
+                }
+                CompiledOp::Row { table } => {
+                    let row = rows[index] as usize;
+                    out.copy_from_slice(&arg(*table)[row * len..(row + 1) * len]);
+                }
+                CompiledOp::Sum(a) => {
+                    out[0] = arg(*a).iter().sum();
+                }
+                CompiledOp::Mean(a) => {
+                    let src = arg(*a);
+                    out[0] = if src.is_empty() {
+                        0.0
+                    } else {
+                        src.iter().sum::<f32>() / src.len() as f32
+                    };
+                }
+            }
+        }
+        let loss_value = f64::from(values[self.offsets[self.loss]]);
+
+        // Backward sweep: same reverse order, same assign-then-accumulate
+        // slot discipline as the tape (`set` marks populated slots).
+        let mut grad_arena = std::mem::take(&mut buffers.grads);
+        grad_arena.resize(self.values_len.max(grad_arena.len()), 0.0);
+        let mut set = std::mem::take(&mut buffers.set);
+        set.clear();
+        set.resize(self.ops.len(), false);
+        let mut scratch = std::mem::take(&mut buffers.scratch);
+        grad_arena[self.offsets[self.loss]] = seed;
+        set[self.loss] = true;
+
+        for index in (0..self.ops.len()).rev() {
+            if !set[index] {
+                continue;
+            }
+            let len = self.lens[index];
+            let (glo, ghi) = grad_arena.split_at_mut(self.offsets[index]);
+            let g = &ghi[..len];
+            let value_of = |v: u32| -> &[f32] {
+                let v = v as usize;
+                match &self.ops[v] {
+                    CompiledOp::Param(id) => params.get(*id).data(),
+                    _ => &values[self.offsets[v]..self.offsets[v] + self.lens[v]],
+                }
+            };
+            // A target operand's gradient slot within the arena prefix.
+            macro_rules! slot {
+                ($v:expr) => {{
+                    let v = $v as usize;
+                    &mut glo[self.offsets[v]..self.offsets[v] + self.lens[v]]
+                }};
+            }
+            match &self.ops[index] {
+                CompiledOp::Input => {}
+                CompiledOp::Param(id) => {
+                    grads.accumulate_at(*id, params.get(*id).shape(), 0, g, 1.0);
+                }
+                CompiledOp::Add(a, b) => {
+                    accumulate(slot!(*a), &mut set[*a as usize], g.iter().copied());
+                    accumulate(slot!(*b), &mut set[*b as usize], g.iter().copied());
+                }
+                CompiledOp::Sub(a, b) => {
+                    accumulate(slot!(*a), &mut set[*a as usize], g.iter().copied());
+                    accumulate(slot!(*b), &mut set[*b as usize], g.iter().map(|v| -v));
+                }
+                CompiledOp::Mul(a, b) => {
+                    // Values and gradients live in separate arenas, so each
+                    // operand's contribution can read the other's value while
+                    // writing its own gradient slot, even when `a == b`.
+                    accumulate(
+                        slot!(*a),
+                        &mut set[*a as usize],
+                        g.iter().zip(value_of(*b)).map(|(g, v)| g * v),
+                    );
+                    accumulate(
+                        slot!(*b),
+                        &mut set[*b as usize],
+                        g.iter().zip(value_of(*a)).map(|(g, v)| g * v),
+                    );
+                }
+                CompiledOp::Scale(a) => {
+                    let factor = consts[index];
+                    accumulate(
+                        slot!(*a),
+                        &mut set[*a as usize],
+                        g.iter().map(|v| v * factor),
+                    );
+                }
+                CompiledOp::AddScalar(a) => {
+                    accumulate(slot!(*a), &mut set[*a as usize], g.iter().copied());
+                }
+                CompiledOp::MatVec { w, x } => {
+                    let n = self.lens[*x as usize];
+                    let targets = [*w as usize, *x as usize];
+                    let ([dw, dx], spills) = route_targets(
+                        glo,
+                        &mut scratch,
+                        &self.offsets,
+                        &self.lens,
+                        &mut set,
+                        targets,
+                    );
+                    kernels::matvec_grad(value_of(*w), value_of(*x), g, len, n, dw, dx);
+                    for (i, spill) in spills.iter().enumerate() {
+                        if let Some((offset, slen)) = spill {
+                            accumulate(
+                                slot!(targets[i]),
+                                &mut set[targets[i]],
+                                scratch[*offset..offset + slen].iter().copied(),
+                            );
+                        }
+                    }
+                }
+                CompiledOp::Linear { w, b, x } => {
+                    let n = self.lens[*x as usize];
+                    let targets = [*w as usize, *b as usize, *x as usize];
+                    let ([dw, db, dx], spills) = route_targets(
+                        glo,
+                        &mut scratch,
+                        &self.offsets,
+                        &self.lens,
+                        &mut set,
+                        targets,
+                    );
+                    kernels::linear_grad(value_of(*w), value_of(*x), g, len, n, dw, db, dx);
+                    for (i, spill) in spills.iter().enumerate() {
+                        if let Some((offset, slen)) = spill {
+                            accumulate(
+                                slot!(targets[i]),
+                                &mut set[targets[i]],
+                                scratch[*offset..offset + slen].iter().copied(),
+                            );
+                        }
+                    }
+                }
+                CompiledOp::LstmStep {
+                    w,
+                    b,
+                    x,
+                    h_prev,
+                    c_prev,
+                    hidden,
+                } => {
+                    let hidden = *hidden as usize;
+                    let input = self.lens[*x as usize];
+                    let targets = [
+                        *w as usize,
+                        *b as usize,
+                        *x as usize,
+                        *h_prev as usize,
+                        *c_prev as usize,
+                    ];
+                    let ([dw, db, dx, dh, dc], spills) = route_targets(
+                        glo,
+                        &mut scratch,
+                        &self.offsets,
+                        &self.lens,
+                        &mut set,
+                        targets,
+                    );
+                    kernels::lstm_step_grad(
+                        value_of(*w),
+                        value_of(*x),
+                        value_of(*h_prev),
+                        value_of(*c_prev),
+                        &values[self.offsets[index]..self.offsets[index] + len],
+                        g,
+                        hidden,
+                        input,
+                        dw,
+                        db,
+                        dx,
+                        dh,
+                        dc,
+                    );
+                    for (i, spill) in spills.iter().enumerate() {
+                        if let Some((offset, slen)) = spill {
+                            accumulate(
+                                slot!(targets[i]),
+                                &mut set[targets[i]],
+                                scratch[*offset..offset + slen].iter().copied(),
+                            );
+                        }
+                    }
+                }
+                CompiledOp::Sigmoid(a) => {
+                    let y = &values[self.offsets[index]..self.offsets[index] + len];
+                    accumulate(
+                        slot!(*a),
+                        &mut set[*a as usize],
+                        g.iter().zip(y).map(|(g, y)| g * y * (1.0 - y)),
+                    );
+                }
+                CompiledOp::Tanh(a) => {
+                    let y = &values[self.offsets[index]..self.offsets[index] + len];
+                    accumulate(
+                        slot!(*a),
+                        &mut set[*a as usize],
+                        g.iter().zip(y).map(|(g, y)| g * (1.0 - y * y)),
+                    );
+                }
+                CompiledOp::Relu(a) => {
+                    let x = value_of(*a);
+                    accumulate(
+                        slot!(*a),
+                        &mut set[*a as usize],
+                        g.iter()
+                            .zip(x)
+                            .map(|(g, x)| if *x > 0.0 { *g } else { 0.0 }),
+                    );
+                }
+                CompiledOp::Abs(a) => {
+                    let x = value_of(*a);
+                    accumulate(
+                        slot!(*a),
+                        &mut set[*a as usize],
+                        g.iter()
+                            .zip(x)
+                            .map(|(g, x)| if *x >= 0.0 { *g } else { -*g }),
+                    );
+                }
+                CompiledOp::Concat(parts) => {
+                    let mut offset = 0;
+                    for part in parts.iter() {
+                        let part_len = self.lens[*part as usize];
+                        accumulate(
+                            slot!(*part),
+                            &mut set[*part as usize],
+                            g[offset..offset + part_len].iter().copied(),
+                        );
+                        offset += part_len;
+                    }
+                }
+                CompiledOp::Slice {
+                    src,
+                    start,
+                    len: slice_len,
+                } => {
+                    let total = self.lens[*src as usize];
+                    scratch.clear();
+                    scratch.resize(total, 0.0);
+                    scratch[*start..*start + *slice_len].copy_from_slice(g);
+                    accumulate(
+                        slot!(*src),
+                        &mut set[*src as usize],
+                        scratch.iter().copied(),
+                    );
+                }
+                CompiledOp::Row { table } => {
+                    let row = rows[index] as usize;
+                    if let CompiledOp::Param(id) = self.ops[*table as usize] {
+                        // Same sparse fast path as the tape: scatter straight
+                        // into the parameter gradient without a dense
+                        // table-sized buffer.
+                        grads.accumulate_at(id, params.get(id).shape(), row * len, g, 1.0);
+                    } else {
+                        let total = self.lens[*table as usize];
+                        scratch.clear();
+                        scratch.resize(total, 0.0);
+                        scratch[row * len..row * len + len].copy_from_slice(g);
+                        accumulate(
+                            slot!(*table),
+                            &mut set[*table as usize],
+                            scratch.iter().copied(),
+                        );
+                    }
+                }
+                CompiledOp::Sum(a) => {
+                    let gval = g[0];
+                    let src_len = self.lens[*a as usize];
+                    accumulate(
+                        slot!(*a),
+                        &mut set[*a as usize],
+                        std::iter::repeat_n(gval, src_len),
+                    );
+                }
+                CompiledOp::Mean(a) => {
+                    let src_len = self.lens[*a as usize];
+                    let gval = g[0] / src_len.max(1) as f32;
+                    accumulate(
+                        slot!(*a),
+                        &mut set[*a as usize],
+                        std::iter::repeat_n(gval, src_len),
+                    );
+                }
+            }
+        }
+
+        // Park every buffer (including the binder box itself) for the next
+        // replay.
+        buffers.binder = Some(binder);
+        buffers.grads = grad_arena;
+        buffers.set = set;
+        buffers.scratch = scratch;
+        loss_value
+    }
+}
+
+/// What [`route_targets`] hands back: each target's kernel destination
+/// buffer, plus a `(scratch_offset, len)` spill entry for every target that
+/// was routed to scratch instead of its arena slot.
+type RoutedTargets<'a, const N: usize> = ([&'a mut [f32]; N], [Option<(usize, usize)>; N]);
+
+/// Chooses a destination buffer for each gradient target of a multi-output
+/// VJP kernel (`matvec_grad`, `linear_grad`, `lstm_step_grad`).
+///
+/// A target whose slot is unset takes the **direct path**: its arena slot is
+/// zeroed, handed to the kernel, and marked set — bit-identical to the
+/// scratch round-trip, because the kernel performs the exact same
+/// accumulation arithmetic over a zeroed buffer either way and [`accumulate`]
+/// on an unset slot assigns the scratch contents verbatim; the direct path
+/// just skips the copy. A target whose slot already holds a gradient (or
+/// that aliases an earlier target) is routed to a zeroed scratch window
+/// instead; the caller [`accumulate`]s it after the kernel via the returned
+/// `(offset, len)` spill entry, in the same target order as before.
+fn route_targets<'a, const N: usize>(
+    glo: &'a mut [f32],
+    scratch: &'a mut Vec<f32>,
+    offsets: &[usize],
+    lens: &[usize],
+    set: &mut [bool],
+    targets: [usize; N],
+) -> RoutedTargets<'a, N> {
+    let direct: [bool; N] =
+        std::array::from_fn(|i| !set[targets[i]] && targets[..i].iter().all(|&t| t != targets[i]));
+    let mut spills: [Option<(usize, usize)>; N] = [None; N];
+    let mut scratch_len = 0usize;
+    for i in 0..N {
+        if !direct[i] {
+            let len = lens[targets[i]];
+            spills[i] = Some((scratch_len, len));
+            scratch_len += len;
+        }
+    }
+    scratch.clear();
+    scratch.resize(scratch_len, 0.0);
+    let mut out: [Option<&'a mut [f32]>; N] = std::array::from_fn(|_| None);
+    // Carve the direct windows out of the arena prefix in ascending offset
+    // order (they are disjoint — aliases were spilled above), zeroing each:
+    // slots hold stale data from earlier replays.
+    let mut order: [usize; N] = std::array::from_fn(|i| i);
+    order.sort_unstable_by_key(|&i| offsets[targets[i]]);
+    let mut rest: &'a mut [f32] = glo;
+    let mut consumed = 0usize;
+    for &i in order.iter().filter(|&&i| direct[i]) {
+        let target = targets[i];
+        let (_, tail) = rest.split_at_mut(offsets[target] - consumed);
+        let (window, tail) = tail.split_at_mut(lens[target]);
+        window.fill(0.0);
+        set[target] = true;
+        consumed = offsets[target] + lens[target];
+        rest = tail;
+        out[i] = Some(window);
+    }
+    let mut srest: &'a mut [f32] = scratch.as_mut_slice();
+    for i in 0..N {
+        if spills[i].is_some() {
+            let (window, tail) = srest.split_at_mut(lens[targets[i]]);
+            out[i] = Some(window);
+            srest = tail;
+        }
+    }
+    (out.map(|w| w.expect("every target routed")), spills)
+}
+
+/// The tape's gradient-slot discipline on a flat arena: the first
+/// contribution to a slot assigns, later contributions add elementwise.
+/// Keeping assignment (not `0 + v`) on the first write preserves the sign
+/// of zero exactly as the tape's fresh-buffer path does.
+#[inline]
+fn accumulate(dst: &mut [f32], set: &mut bool, contributions: impl Iterator<Item = f32>) {
+    if *set {
+        for (d, v) in dst.iter_mut().zip(contributions) {
+            *d += v;
+        }
+    } else {
+        for (d, v) in dst.iter_mut().zip(contributions) {
+            *d = v;
+        }
+        *set = true;
+    }
+}
+
+/// Bind-mode state: walks the recorded schedule while the model closure
+/// re-runs, validating each op against the recording and capturing the
+/// sample's dynamic data (input tensors, row indices, scalar constants) —
+/// no values are computed.
+#[derive(Debug)]
+pub(crate) struct Binder {
+    program: Arc<CompiledProgram>,
+    cursor: usize,
+    /// The program's value arena. Input data is bound straight into its
+    /// recorded slots, so the forward sweep never touches `Input` nodes.
+    values: Vec<f32>,
+    /// Per-node rebound row index (`Row` nodes only).
+    rows: Vec<u32>,
+    /// Per-node rebound scalar constant (`Scale`/`AddScalar` nodes only).
+    consts: Vec<f32>,
+}
+
+impl Binder {
+    fn advance(&mut self) -> usize {
+        let index = self.cursor;
+        assert!(
+            index < self.program.ops.len(),
+            "compiled replay built more than the {} recorded ops — the program key does not \
+             uniquely determine graph structure",
+            self.program.ops.len()
+        );
+        self.cursor += 1;
+        index
+    }
+
+    fn mismatch(&self, index: usize, built: &str) -> ! {
+        panic!(
+            "compiled schedule mismatch at node {index}: recorded {:?}, rebuilt {built} — the \
+             program key must uniquely determine graph structure",
+            self.program.ops[index]
+        );
+    }
+
+    pub(crate) fn param(&mut self, id: ParamId) -> Var {
+        let index = self.advance();
+        match self.program.ops[index] {
+            CompiledOp::Param(recorded) if recorded == id => Var(index),
+            _ => self.mismatch(index, "param"),
+        }
+    }
+
+    pub(crate) fn input(&mut self, value: &Tensor) -> Var {
+        let index = self.advance();
+        match self.program.ops[index] {
+            CompiledOp::Input if value.len() == self.program.lens[index] => {
+                let offset = self.program.offsets[index];
+                self.values[offset..offset + value.len()].copy_from_slice(value.data());
+                Var(index)
+            }
+            _ => self.mismatch(index, "input (or its length changed)"),
+        }
+    }
+
+    pub(crate) fn add(&mut self, a: Var, b: Var) -> Var {
+        let index = self.advance();
+        match self.program.ops[index] {
+            CompiledOp::Add(ra, rb) if (ra as usize, rb as usize) == (a.0, b.0) => Var(index),
+            _ => self.mismatch(index, "add"),
+        }
+    }
+
+    pub(crate) fn sub(&mut self, a: Var, b: Var) -> Var {
+        let index = self.advance();
+        match self.program.ops[index] {
+            CompiledOp::Sub(ra, rb) if (ra as usize, rb as usize) == (a.0, b.0) => Var(index),
+            _ => self.mismatch(index, "sub"),
+        }
+    }
+
+    pub(crate) fn mul(&mut self, a: Var, b: Var) -> Var {
+        let index = self.advance();
+        match self.program.ops[index] {
+            CompiledOp::Mul(ra, rb) if (ra as usize, rb as usize) == (a.0, b.0) => Var(index),
+            _ => self.mismatch(index, "mul"),
+        }
+    }
+
+    pub(crate) fn scale(&mut self, a: Var, factor: f32) -> Var {
+        let index = self.advance();
+        match self.program.ops[index] {
+            CompiledOp::Scale(ra) if ra as usize == a.0 => {
+                self.consts[index] = factor;
+                Var(index)
+            }
+            _ => self.mismatch(index, "scale"),
+        }
+    }
+
+    pub(crate) fn add_scalar(&mut self, a: Var, constant: f32) -> Var {
+        let index = self.advance();
+        match self.program.ops[index] {
+            CompiledOp::AddScalar(ra) if ra as usize == a.0 => {
+                self.consts[index] = constant;
+                Var(index)
+            }
+            _ => self.mismatch(index, "add_scalar"),
+        }
+    }
+
+    pub(crate) fn matvec(&mut self, w: Var, x: Var) -> Var {
+        let index = self.advance();
+        match self.program.ops[index] {
+            CompiledOp::MatVec { w: rw, x: rx } if (rw as usize, rx as usize) == (w.0, x.0) => {
+                Var(index)
+            }
+            _ => self.mismatch(index, "matvec"),
+        }
+    }
+
+    pub(crate) fn linear(&mut self, w: Var, b: Var, x: Var) -> Var {
+        let index = self.advance();
+        match self.program.ops[index] {
+            CompiledOp::Linear {
+                w: rw,
+                b: rb,
+                x: rx,
+            } if (rw as usize, rb as usize, rx as usize) == (w.0, b.0, x.0) => Var(index),
+            _ => self.mismatch(index, "linear"),
+        }
+    }
+
+    pub(crate) fn lstm_step(
+        &mut self,
+        w: Var,
+        b: Var,
+        x: Var,
+        h_prev: Var,
+        c_prev: Var,
+        hidden: usize,
+    ) -> Var {
+        let index = self.advance();
+        match self.program.ops[index] {
+            CompiledOp::LstmStep {
+                w: rw,
+                b: rb,
+                x: rx,
+                h_prev: rh,
+                c_prev: rc,
+                hidden: rhidden,
+            } if (
+                rw as usize,
+                rb as usize,
+                rx as usize,
+                rh as usize,
+                rc as usize,
+                rhidden as usize,
+            ) == (w.0, b.0, x.0, h_prev.0, c_prev.0, hidden) =>
+            {
+                Var(index)
+            }
+            _ => self.mismatch(index, "lstm_step"),
+        }
+    }
+
+    pub(crate) fn sigmoid(&mut self, a: Var) -> Var {
+        let index = self.advance();
+        match self.program.ops[index] {
+            CompiledOp::Sigmoid(ra) if ra as usize == a.0 => Var(index),
+            _ => self.mismatch(index, "sigmoid"),
+        }
+    }
+
+    pub(crate) fn tanh(&mut self, a: Var) -> Var {
+        let index = self.advance();
+        match self.program.ops[index] {
+            CompiledOp::Tanh(ra) if ra as usize == a.0 => Var(index),
+            _ => self.mismatch(index, "tanh"),
+        }
+    }
+
+    pub(crate) fn relu(&mut self, a: Var) -> Var {
+        let index = self.advance();
+        match self.program.ops[index] {
+            CompiledOp::Relu(ra) if ra as usize == a.0 => Var(index),
+            _ => self.mismatch(index, "relu"),
+        }
+    }
+
+    pub(crate) fn abs(&mut self, a: Var) -> Var {
+        let index = self.advance();
+        match self.program.ops[index] {
+            CompiledOp::Abs(ra) if ra as usize == a.0 => Var(index),
+            _ => self.mismatch(index, "abs"),
+        }
+    }
+
+    pub(crate) fn concat(&mut self, parts: &[Var]) -> Var {
+        let index = self.advance();
+        match &self.program.ops[index] {
+            CompiledOp::Concat(recorded)
+                if recorded.len() == parts.len()
+                    && recorded.iter().zip(parts).all(|(r, p)| *r as usize == p.0) =>
+            {
+                Var(index)
+            }
+            _ => self.mismatch(index, "concat"),
+        }
+    }
+
+    pub(crate) fn slice(&mut self, src: Var, start: usize, len: usize) -> Var {
+        let index = self.advance();
+        match self.program.ops[index] {
+            CompiledOp::Slice {
+                src: rsrc,
+                start: rstart,
+                len: rlen,
+            } if (rsrc as usize, rstart, rlen) == (src.0, start, len) => Var(index),
+            _ => self.mismatch(index, "slice"),
+        }
+    }
+
+    pub(crate) fn row(&mut self, table: Var, row: usize) -> Var {
+        let index = self.advance();
+        match self.program.ops[index] {
+            CompiledOp::Row { table: rtable } if rtable as usize == table.0 => {
+                self.rows[index] = row as u32;
+                Var(index)
+            }
+            _ => self.mismatch(index, "row"),
+        }
+    }
+
+    pub(crate) fn sum(&mut self, a: Var) -> Var {
+        let index = self.advance();
+        match self.program.ops[index] {
+            CompiledOp::Sum(ra) if ra as usize == a.0 => Var(index),
+            _ => self.mismatch(index, "sum"),
+        }
+    }
+
+    pub(crate) fn mean(&mut self, a: Var) -> Var {
+        let index = self.advance();
+        match self.program.ops[index] {
+            CompiledOp::Mean(ra) if ra as usize == a.0 => Var(index),
+            _ => self.mismatch(index, "mean"),
+        }
+    }
+}
+
+/// Per-worker replay storage: value and gradient arenas, slot flags, VJP
+/// scratch, and the parked binder (with its dynamic-data arenas), all
+/// reused across replays (and across programs — buffers only ever grow).
+#[derive(Debug, Default)]
+pub struct ReplayBuffers {
+    grads: Vec<f32>,
+    set: Vec<bool>,
+    scratch: Vec<f32>,
+    binder: Option<Box<Binder>>,
+}
+
+impl ReplayBuffers {
+    /// Creates an empty buffer set (allocates lazily on first replay).
+    pub fn new() -> Self {
+        ReplayBuffers::default()
+    }
+}
+
+/// A cache of compiled programs keyed by graph structure.
+///
+/// Lookups never iterate the map, so hash-order nondeterminism cannot leak
+/// into results; recording happens on the calling thread in first-encounter
+/// order.
+#[derive(Debug, Default)]
+pub struct ProgramCache {
+    programs: HashMap<ProgramKey, Arc<CompiledProgram>>,
+}
+
+impl ProgramCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        ProgramCache::default()
+    }
+
+    /// Number of cached programs.
+    pub fn len(&self) -> usize {
+        self.programs.len()
+    }
+
+    /// True when no programs have been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.programs.is_empty()
+    }
+
+    /// Returns the program for `key`, recording it with `build` on a miss.
+    pub fn get_or_record(
+        &mut self,
+        key: ProgramKey,
+        params: &Params,
+        build: impl FnOnce(&mut Graph<'_>) -> Var,
+    ) -> Arc<CompiledProgram> {
+        if let Some(program) = self.programs.get(&key) {
+            return Arc::clone(program);
+        }
+        let program = CompiledProgram::record(params, build);
+        self.programs.insert(key, Arc::clone(&program));
+        program
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One synthetic "sample": an input vector, an embedding row pair, and a
+    /// per-sample loss scale — covering every dynamic-rebinding channel.
+    struct Sample {
+        x: Vec<f32>,
+        row: usize,
+        scale: f32,
+    }
+
+    fn samples() -> Vec<Sample> {
+        (0..7)
+            .map(|i| Sample {
+                x: (0..4)
+                    .map(|j| ((i * 5 + j * 3) % 9) as f32 * 0.4 - 1.3)
+                    .collect(),
+                row: (i * 3) % 5,
+                scale: 1.0 / (0.5 + i as f32),
+            })
+            .collect()
+    }
+
+    fn test_params() -> Params {
+        let mut params = Params::new();
+        params.add(
+            "w",
+            Tensor::matrix(3, 4, (0..12).map(|i| 0.21 * i as f32 - 1.1).collect()),
+        );
+        params.add(
+            "table",
+            Tensor::matrix(5, 3, (0..15).map(|i| 0.09 * i as f32 - 0.55).collect()),
+        );
+        params.add(
+            "bias",
+            Tensor::vector((0..3).map(|i| 0.3 - 0.2 * i as f32).collect()),
+        );
+        params
+    }
+
+    /// An op-diverse model: matvec, fused linear, row lookups (both the
+    /// sparse-param and repeated-use paths), elementwise ops, concat,
+    /// slices, dynamic scale/add_scalar, and both reductions.
+    fn build_loss(graph: &mut Graph<'_>, sample: &Sample) -> Var {
+        let w = graph.param(ParamId(0));
+        let table = graph.param(ParamId(1));
+        let bias = graph.param(ParamId(2));
+        let x = graph.input(Tensor::vector(sample.x.clone()));
+        let h = graph.linear(w, bias, x);
+        let t = graph.tanh(h);
+        let m = graph.matvec(w, x);
+        let s = graph.sigmoid(m);
+        let r0 = graph.row(table, sample.row);
+        let r1 = graph.row(table, (sample.row + 2) % 5);
+        let mixed = graph.mul(r0, r1);
+        let diff = graph.sub(t, s);
+        let a = graph.abs(diff);
+        let cat = graph.concat(&[a, mixed]);
+        let lo = graph.slice(cat, 0, 3);
+        let hi = graph.slice(cat, 3, 3);
+        let summed = graph.add(lo, hi);
+        let rl = graph.relu(summed);
+        let scaled = graph.scale(rl, sample.scale);
+        let shifted = graph.add_scalar(scaled, 0.25 * sample.scale);
+        let total = graph.sum(shifted);
+        let mean = graph.mean(shifted);
+        let both = graph.concat(&[total, mean]);
+        graph.mean(both)
+    }
+
+    fn tape_reference(params: &Params, sample: &Sample, seed: f32) -> (f64, Grads) {
+        let mut graph = Graph::new(params);
+        let loss = build_loss(&mut graph, sample);
+        let value = f64::from(graph.value(loss)[0]);
+        let mut grads = Grads::new(params);
+        graph.backward_scaled(loss, &mut grads, seed);
+        (value, grads)
+    }
+
+    #[test]
+    fn replay_is_bit_identical_to_the_tape() {
+        let params = test_params();
+        let program = CompiledProgram::record(&params, |g| build_loss(g, &samples()[0]));
+        let mut buffers = ReplayBuffers::new();
+        for (index, sample) in samples().iter().enumerate() {
+            let seed = 0.1 + index as f32 * 0.3;
+            let (tape_loss, tape_grads) = tape_reference(&params, sample, seed);
+            let mut grads = Grads::new(&params);
+            let loss = program.replay(&params, &mut buffers, &mut grads, seed, |g| {
+                build_loss(g, sample)
+            });
+            assert_eq!(
+                tape_loss.to_bits(),
+                loss.to_bits(),
+                "loss diverged for sample {index}"
+            );
+            assert_eq!(tape_grads, grads, "gradients diverged for sample {index}");
+        }
+    }
+
+    #[test]
+    fn buffers_are_shared_across_different_programs() {
+        let params = test_params();
+        let mut cache = ProgramCache::new();
+        let mut buffers = ReplayBuffers::new();
+        // Two structurally different programs (the second drops the matvec
+        // branch) interleaved through one buffer set.
+        let small = |graph: &mut Graph<'_>, sample: &Sample| -> Var {
+            let table = graph.param(ParamId(1));
+            let r = graph.row(table, sample.row);
+            let t = graph.tanh(r);
+            graph.sum(t)
+        };
+        for sample in &samples() {
+            for key in [0u32, 1u32] {
+                let program = cache.get_or_record(vec![key], &params, |g| {
+                    if key == 0 {
+                        build_loss(g, sample)
+                    } else {
+                        small(g, sample)
+                    }
+                });
+                let mut compiled = Grads::new(&params);
+                let loss = program.replay(&params, &mut buffers, &mut compiled, 1.0, |g| {
+                    if key == 0 {
+                        build_loss(g, sample)
+                    } else {
+                        small(g, sample)
+                    }
+                });
+                let (tape_loss, tape_grads) = if key == 0 {
+                    tape_reference(&params, sample, 1.0)
+                } else {
+                    let mut graph = Graph::new(&params);
+                    let l = small(&mut graph, sample);
+                    let v = f64::from(graph.value(l)[0]);
+                    let mut g = Grads::new(&params);
+                    graph.backward_scaled(l, &mut g, 1.0);
+                    (v, g)
+                };
+                assert_eq!(tape_loss.to_bits(), loss.to_bits());
+                assert_eq!(tape_grads, compiled);
+            }
+        }
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "compiled schedule mismatch")]
+    fn structure_divergence_panics_loudly() {
+        let params = test_params();
+        let program = CompiledProgram::record(&params, |g| build_loss(g, &samples()[0]));
+        let mut buffers = ReplayBuffers::new();
+        let mut grads = Grads::new(&params);
+        program.replay(&params, &mut buffers, &mut grads, 1.0, |g| {
+            // Swaps the first two ops relative to the recording.
+            let table = g.param(ParamId(1));
+            let w = g.param(ParamId(0));
+            let r = g.row(table, 0);
+            let m = g.matvec(w, r);
+            g.sum(m)
+        });
+    }
+
+    #[test]
+    fn record_requires_a_scalar_loss() {
+        let params = test_params();
+        let result = std::panic::catch_unwind(|| {
+            CompiledProgram::record(&params, |g| g.input(Tensor::vector(vec![1.0, 2.0])))
+        });
+        assert!(result.is_err(), "vector-valued roots must be rejected");
+    }
+}

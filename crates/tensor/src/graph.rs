@@ -17,15 +17,17 @@
 //! [`Graph::new`] (unit-tested below, property-tested via the
 //! [`Batch`](crate::Batch) engine).
 
+use crate::compile::Binder;
+use crate::kernels;
 use crate::params::{Grads, ParamId, Params};
 use crate::Tensor;
 
 /// A node handle within a [`Graph`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct Var(usize);
+pub struct Var(pub(crate) usize);
 
 #[derive(Debug, Clone)]
-enum Op {
+pub(crate) enum Op {
     /// A leaf referencing a trainable parameter.
     Param(ParamId),
     /// A leaf holding constant input data.
@@ -38,6 +40,23 @@ enum Op {
     MatVec {
         w: Var,
         x: Var,
+    },
+    /// Fused `w · x + b` (see [`kernels::linear`]).
+    Linear {
+        w: Var,
+        b: Var,
+        x: Var,
+    },
+    /// Fused LSTM cell step producing the packed `[h, c, i, f, g, o, c_act]`
+    /// buffer of [`kernels::lstm_step`]; consumers reach `h` and `c` through
+    /// the two [`Op::Slice`] nodes [`Graph::lstm_step`] appends.
+    LstmStep {
+        w: Var,
+        b: Var,
+        x: Var,
+        h_prev: Var,
+        c_prev: Var,
+        hidden: usize,
     },
     Sigmoid(Var),
     Tanh(Var),
@@ -134,6 +153,7 @@ impl TapeArena {
             nodes: std::mem::take(&mut self.nodes),
             scratch: std::mem::take(&mut self.scratch),
             pool: std::mem::take(&mut self.pool),
+            bind: None,
         };
         let result = f(&mut graph);
         let mut pool = std::mem::take(&mut graph.pool);
@@ -174,6 +194,13 @@ pub struct Graph<'p> {
     nodes: Vec<Node>,
     scratch: Vec<Option<Tensor>>,
     pool: BufferPool,
+    /// When `Some`, the graph is in **bind mode**: op methods validate the
+    /// call against a [`CompiledProgram`](crate::CompiledProgram)'s recorded
+    /// schedule and capture dynamic data (input tensors, row indices,
+    /// scalar constants) instead of computing values. [`Graph::value`] and
+    /// [`Graph::backward`] are unavailable in this mode — the program's
+    /// `replay` does the computing.
+    bind: Option<Box<Binder>>,
 }
 
 impl<'p> Graph<'p> {
@@ -184,7 +211,40 @@ impl<'p> Graph<'p> {
             nodes: Vec::with_capacity(64),
             scratch: Vec::new(),
             pool: BufferPool::default(),
+            bind: None,
         }
+    }
+
+    /// Creates a graph in bind mode over a compiled program (see the `bind`
+    /// field docs); used exclusively by `CompiledProgram::replay`.
+    pub(crate) fn bound(params: &'p Params, binder: Box<Binder>) -> Self {
+        Graph {
+            params,
+            nodes: Vec::new(),
+            scratch: Vec::new(),
+            pool: BufferPool::default(),
+            bind: Some(binder),
+        }
+    }
+
+    /// Takes the binder back out of a bind-mode graph.
+    pub(crate) fn take_binder(&mut self) -> Option<Box<Binder>> {
+        self.bind.take()
+    }
+
+    /// The number of recorded tape nodes (compile-time accessor).
+    pub(crate) fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// A recorded node's op (compile-time accessor).
+    pub(crate) fn node_op(&self, index: usize) -> &Op {
+        &self.nodes[index].op
+    }
+
+    /// A recorded node's value length (compile-time accessor).
+    pub(crate) fn node_len(&self, index: usize) -> usize {
+        self.nodes[index].value.len()
     }
 
     fn push(&mut self, op: Op, value: Tensor) -> Var {
@@ -205,6 +265,9 @@ impl<'p> Graph<'p> {
     /// A leaf node referencing a trainable parameter; gradients flow into the
     /// corresponding [`Grads`] slot during [`Graph::backward`].
     pub fn param(&mut self, id: ParamId) -> Var {
+        if let Some(bind) = self.bind.as_mut() {
+            return bind.param(id);
+        }
         let params = self.params;
         let src = params.get(id);
         let mut data = self.pool.take(src.len());
@@ -215,7 +278,21 @@ impl<'p> Graph<'p> {
 
     /// A constant input leaf (no gradient).
     pub fn input(&mut self, value: Tensor) -> Var {
+        if let Some(bind) = self.bind.as_mut() {
+            return bind.input(&value);
+        }
         self.push(Op::Input, value)
+    }
+
+    /// [`Graph::input`] from a borrowed tensor. In bind mode the data is
+    /// copied straight into the replay arena with no intermediate clone —
+    /// the fast path for per-sample feature tensors that outlive the graph;
+    /// on the tape it clones, exactly like [`Graph::input`].
+    pub fn input_ref(&mut self, value: &Tensor) -> Var {
+        if let Some(bind) = self.bind.as_mut() {
+            return bind.input(value);
+        }
+        self.push(Op::Input, value.clone())
     }
 
     /// Computes an elementwise unary op into a pooled buffer.
@@ -246,30 +323,49 @@ impl<'p> Graph<'p> {
 
     /// Elementwise addition. Shapes must match.
     pub fn add(&mut self, a: Var, b: Var) -> Var {
+        if let Some(bind) = self.bind.as_mut() {
+            return bind.add(a, b);
+        }
         let value = self.zip(a, b, |x, y| x + y);
         self.push(Op::Add(a, b), value)
     }
 
     /// Elementwise subtraction (`a - b`). Shapes must match.
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        if let Some(bind) = self.bind.as_mut() {
+            return bind.sub(a, b);
+        }
         let value = self.zip(a, b, |x, y| x - y);
         self.push(Op::Sub(a, b), value)
     }
 
     /// Elementwise multiplication. Shapes must match.
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        if let Some(bind) = self.bind.as_mut() {
+            return bind.mul(a, b);
+        }
         let value = self.zip(a, b, |x, y| x * y);
         self.push(Op::Mul(a, b), value)
     }
 
     /// Multiplies every element by a constant.
+    ///
+    /// The factor is a per-call dynamic value: compiled replays rebind it, so
+    /// sample-dependent scales (e.g. `1 / target`) work in both engines.
     pub fn scale(&mut self, a: Var, factor: f32) -> Var {
+        if let Some(bind) = self.bind.as_mut() {
+            return bind.scale(a, factor);
+        }
         let value = self.map(a, |x| x * factor);
         self.push(Op::Scale(a, factor), value)
     }
 
-    /// Adds a constant to every element.
+    /// Adds a constant to every element (rebound per replay, like
+    /// [`Graph::scale`]).
     pub fn add_scalar(&mut self, a: Var, constant: f32) -> Var {
+        if let Some(bind) = self.bind.as_mut() {
+            return bind.add_scalar(a, constant);
+        }
         let value = self.map(a, |x| x + constant);
         self.push(Op::AddScalar(a), value)
     }
@@ -280,6 +376,9 @@ impl<'p> Graph<'p> {
     ///
     /// Panics if the shapes are incompatible.
     pub fn matvec(&mut self, w: Var, x: Var) -> Var {
+        if let Some(bind) = self.bind.as_mut() {
+            return bind.matvec(w, x);
+        }
         let (m, n) = {
             let wt = &self.nodes[w.0].value;
             let xt = &self.nodes[x.0].value;
@@ -294,45 +393,135 @@ impl<'p> Graph<'p> {
             (m, n)
         };
         let mut out = self.pool.take(m);
-        let wd = self.nodes[w.0].value.data();
-        let xd = self.nodes[x.0].value.data();
-        for i in 0..m {
-            let row = &wd[i * n..(i + 1) * n];
-            let mut acc = 0.0f32;
-            for j in 0..n {
-                acc += row[j] * xd[j];
-            }
-            out.push(acc);
-        }
+        out.resize(m, 0.0);
+        kernels::matvec(
+            self.nodes[w.0].value.data(),
+            self.nodes[x.0].value.data(),
+            m,
+            n,
+            &mut out,
+        );
         self.push(Op::MatVec { w, x }, Tensor::vector(out))
+    }
+
+    /// Fused linear layer `w · x + b` — one pass over `w` instead of a
+    /// matvec node plus an add node (see [`kernels::linear`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is not `[m, n]`, `b` not `[m]`, or `x` not `[n]`.
+    pub fn linear(&mut self, w: Var, b: Var, x: Var) -> Var {
+        if let Some(bind) = self.bind.as_mut() {
+            return bind.linear(w, b, x);
+        }
+        let (m, n) = {
+            let wt = &self.nodes[w.0].value;
+            assert_eq!(wt.shape().len(), 2, "linear weight must be a matrix");
+            (wt.rows(), wt.cols())
+        };
+        let mut out = self.pool.take(m);
+        out.resize(m, 0.0);
+        kernels::linear(
+            self.nodes[w.0].value.data(),
+            self.nodes[b.0].value.data(),
+            self.nodes[x.0].value.data(),
+            m,
+            n,
+            &mut out,
+        );
+        self.push(Op::Linear { w, b, x }, Tensor::vector(out))
+    }
+
+    /// Fused LSTM cell step over gate-packed weights (see
+    /// [`kernels::lstm_step`] for the weight layout). Returns the
+    /// `(h, c)` state pair as slice views of the packed gate buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand shapes disagree with `hidden` and `x`'s length.
+    pub fn lstm_step(
+        &mut self,
+        w: Var,
+        b: Var,
+        x: Var,
+        h_prev: Var,
+        c_prev: Var,
+        hidden: usize,
+    ) -> (Var, Var) {
+        let packed = if let Some(bind) = self.bind.as_mut() {
+            bind.lstm_step(w, b, x, h_prev, c_prev, hidden)
+        } else {
+            let input = self.nodes[x.0].value.len();
+            let mut out = self.pool.take(kernels::lstm_packed_len(hidden));
+            out.resize(kernels::lstm_packed_len(hidden), 0.0);
+            kernels::lstm_step(
+                self.nodes[w.0].value.data(),
+                self.nodes[b.0].value.data(),
+                self.nodes[x.0].value.data(),
+                self.nodes[h_prev.0].value.data(),
+                self.nodes[c_prev.0].value.data(),
+                hidden,
+                input,
+                &mut out,
+            );
+            self.push(
+                Op::LstmStep {
+                    w,
+                    b,
+                    x,
+                    h_prev,
+                    c_prev,
+                    hidden,
+                },
+                Tensor::vector(out),
+            )
+        };
+        let h = self.slice(packed, 0, hidden);
+        let c = self.slice(packed, hidden, hidden);
+        (h, c)
     }
 
     /// Elementwise logistic sigmoid.
     pub fn sigmoid(&mut self, a: Var) -> Var {
-        let value = self.map(a, |x| 1.0 / (1.0 + (-x).exp()));
+        if let Some(bind) = self.bind.as_mut() {
+            return bind.sigmoid(a);
+        }
+        let value = self.map(a, kernels::sigmoid);
         self.push(Op::Sigmoid(a), value)
     }
 
     /// Elementwise hyperbolic tangent.
     pub fn tanh(&mut self, a: Var) -> Var {
+        if let Some(bind) = self.bind.as_mut() {
+            return bind.tanh(a);
+        }
         let value = self.map(a, f32::tanh);
         self.push(Op::Tanh(a), value)
     }
 
     /// Elementwise rectified linear unit.
     pub fn relu(&mut self, a: Var) -> Var {
+        if let Some(bind) = self.bind.as_mut() {
+            return bind.relu(a);
+        }
         let value = self.map(a, |x| x.max(0.0));
         self.push(Op::Relu(a), value)
     }
 
     /// Elementwise absolute value.
     pub fn abs(&mut self, a: Var) -> Var {
+        if let Some(bind) = self.bind.as_mut() {
+            return bind.abs(a);
+        }
         let value = self.map(a, f32::abs);
         self.push(Op::Abs(a), value)
     }
 
     /// Concatenates vectors into one vector.
     pub fn concat(&mut self, parts: &[Var]) -> Var {
+        if let Some(bind) = self.bind.as_mut() {
+            return bind.concat(parts);
+        }
         let total: usize = parts.iter().map(|p| self.nodes[p.0].value.len()).sum();
         let mut data = self.pool.take(total);
         for part in parts {
@@ -347,6 +536,9 @@ impl<'p> Graph<'p> {
     ///
     /// Panics if the slice is out of range.
     pub fn slice(&mut self, src: Var, start: usize, len: usize) -> Var {
+        if let Some(bind) = self.bind.as_mut() {
+            return bind.slice(src, start, len);
+        }
         let mut data = self.pool.take(len);
         data.extend_from_slice(&self.nodes[src.0].value.data()[start..start + len]);
         self.push(Op::Slice { src, start, len }, Tensor::vector(data))
@@ -358,6 +550,9 @@ impl<'p> Graph<'p> {
     ///
     /// Panics if the node is not a matrix or the row is out of range.
     pub fn row(&mut self, table: Var, row: usize) -> Var {
+        if let Some(bind) = self.bind.as_mut() {
+            return bind.row(table, row);
+        }
         let cols = self.nodes[table.0].value.cols();
         let mut data = self.pool.take(cols);
         data.extend_from_slice(self.nodes[table.0].value.row(row));
@@ -366,6 +561,9 @@ impl<'p> Graph<'p> {
 
     /// Sum of all elements (produces a scalar).
     pub fn sum(&mut self, a: Var) -> Var {
+        if let Some(bind) = self.bind.as_mut() {
+            return bind.sum(a);
+        }
         let total: f32 = self.nodes[a.0].value.data().iter().sum();
         let mut data = self.pool.take(1);
         data.push(total);
@@ -374,6 +572,9 @@ impl<'p> Graph<'p> {
 
     /// Mean of all elements (produces a scalar).
     pub fn mean(&mut self, a: Var) -> Var {
+        if let Some(bind) = self.bind.as_mut() {
+            return bind.mean(a);
+        }
         let mean = {
             let t = &self.nodes[a.0].value;
             if t.is_empty() {
@@ -455,26 +656,11 @@ impl<'p> Graph<'p> {
                     let wt = &self.nodes[w.0].value;
                     let xt = &self.nodes[x.0].value;
                     let (m, n) = (wt.rows(), wt.cols());
-                    // dL/dW[i,j] = g[i] * x[j]; dL/dx[j] = sum_i g[i] * W[i,j]
-                    let g = grad.data();
                     let mut dw = self.pool.take(m * n);
                     dw.resize(m * n, 0.0);
                     let mut dx = self.pool.take(n);
                     dx.resize(n, 0.0);
-                    let wd = wt.data();
-                    let xd = xt.data();
-                    for i in 0..m {
-                        let gi = g[i];
-                        if gi == 0.0 {
-                            continue;
-                        }
-                        let row = &wd[i * n..(i + 1) * n];
-                        let drow = &mut dw[i * n..(i + 1) * n];
-                        for j in 0..n {
-                            drow[j] += gi * xd[j];
-                            dx[j] += gi * row[j];
-                        }
-                    }
+                    kernels::matvec_grad(wt.data(), xt.data(), grad.data(), m, n, &mut dw, &mut dx);
                     add_grad_shaped(
                         &mut node_grads,
                         &mut self.pool,
@@ -482,6 +668,82 @@ impl<'p> Graph<'p> {
                         Tensor::matrix(m, n, dw),
                     );
                     add_grad_owned(&mut node_grads, &mut self.pool, *x, dx);
+                }
+                Op::Linear { w, b, x } => {
+                    let wt = &self.nodes[w.0].value;
+                    let xt = &self.nodes[x.0].value;
+                    let (m, n) = (wt.rows(), wt.cols());
+                    let mut dw = self.pool.take(m * n);
+                    dw.resize(m * n, 0.0);
+                    let mut db = self.pool.take(m);
+                    db.resize(m, 0.0);
+                    let mut dx = self.pool.take(n);
+                    dx.resize(n, 0.0);
+                    kernels::linear_grad(
+                        wt.data(),
+                        xt.data(),
+                        grad.data(),
+                        m,
+                        n,
+                        &mut dw,
+                        &mut db,
+                        &mut dx,
+                    );
+                    add_grad_shaped(
+                        &mut node_grads,
+                        &mut self.pool,
+                        *w,
+                        Tensor::matrix(m, n, dw),
+                    );
+                    add_grad_owned(&mut node_grads, &mut self.pool, *b, db);
+                    add_grad_owned(&mut node_grads, &mut self.pool, *x, dx);
+                }
+                Op::LstmStep {
+                    w,
+                    b,
+                    x,
+                    h_prev,
+                    c_prev,
+                    hidden,
+                } => {
+                    let hidden = *hidden;
+                    let input = self.nodes[x.0].value.len();
+                    let width = input + hidden;
+                    let mut dw = self.pool.take(4 * hidden * width);
+                    dw.resize(4 * hidden * width, 0.0);
+                    let mut db = self.pool.take(4 * hidden);
+                    db.resize(4 * hidden, 0.0);
+                    let mut dx = self.pool.take(input);
+                    dx.resize(input, 0.0);
+                    let mut dh = self.pool.take(hidden);
+                    dh.resize(hidden, 0.0);
+                    let mut dc = self.pool.take(hidden);
+                    dc.resize(hidden, 0.0);
+                    kernels::lstm_step_grad(
+                        self.nodes[w.0].value.data(),
+                        self.nodes[x.0].value.data(),
+                        self.nodes[h_prev.0].value.data(),
+                        self.nodes[c_prev.0].value.data(),
+                        node.value.data(),
+                        grad.data(),
+                        hidden,
+                        input,
+                        &mut dw,
+                        &mut db,
+                        &mut dx,
+                        &mut dh,
+                        &mut dc,
+                    );
+                    add_grad_shaped(
+                        &mut node_grads,
+                        &mut self.pool,
+                        *w,
+                        Tensor::matrix(4 * hidden, width, dw),
+                    );
+                    add_grad_owned(&mut node_grads, &mut self.pool, *b, db);
+                    add_grad_owned(&mut node_grads, &mut self.pool, *x, dx);
+                    add_grad_owned(&mut node_grads, &mut self.pool, *h_prev, dh);
+                    add_grad_owned(&mut node_grads, &mut self.pool, *c_prev, dc);
                 }
                 Op::Sigmoid(a) => {
                     let mut d = self.pool.take(grad.len());

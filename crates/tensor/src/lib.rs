@@ -19,6 +19,11 @@
 //! * [`Batch`] — the deterministic data-parallel gradient engine: per-sample
 //!   forward/backward on scoped worker threads, gradients reduced in fixed
 //!   sample order so every thread count produces bit-identical results.
+//! * [`CompiledProgram`] / [`ProgramCache`] — graph-once compiled execution:
+//!   one recorded schedule per graph structure, replayed per sample against
+//!   reusable [`ReplayBuffers`], bit-identical to the tape.
+//! * [`kernels`] — the fused, SIMD-width-chunked inner loops both engines
+//!   share (dot/matvec, fused linear, fused LSTM step).
 //! * [`nn`] — the layers the Ithemal-style surrogate needs: linear layers,
 //!   embedding tables, and (stacked) LSTM cells.
 //! * [`optim`] — SGD and Adam.
@@ -48,13 +53,16 @@
 
 mod batch;
 pub mod check;
+mod compile;
 mod graph;
+pub mod kernels;
 pub mod nn;
 pub mod optim;
 mod params;
 mod tensor;
 
 pub use batch::{Batch, REDUCTION_CHUNK};
+pub use compile::{CompiledProgram, ProgramCache, ProgramKey, ReplayBuffers};
 pub use graph::{Graph, TapeArena, Var};
 pub use params::{Grads, ParamId, Params};
 pub use tensor::Tensor;

@@ -1,0 +1,188 @@
+//! Compiled-vs-taped bit-equality of full DiffTune runs.
+//!
+//! The compiled execution engine (`difftune_tensor::CompiledProgram`)
+//! records one schedule per graph structure and replays samples against it;
+//! the taped engine rebuilds an autodiff tape per sample. Both drive the
+//! same fused kernels through the same deterministic reduction, so a full
+//! pipeline run — dataset generation → surrogate fit → table optimization —
+//! must produce **bit-identical** learned tables, losses, and surrogate
+//! weights under either engine, at every thread count.
+//!
+//! CI's `determinism` job runs this suite in both its legs
+//! (`DIFFTUNE_THREADS=1` and `=4`), so engine equality is enforced at
+//! multiple worker widths.
+
+use difftune_repro::bhive::{CorpusConfig, Dataset};
+use difftune_repro::core::{
+    threads_from_env, DiffTuneBuilder, DiffTuneConfig, DiffTuneResult, ParamSpec, SurrogateKind,
+};
+use difftune_repro::cpu::{default_params, Microarch};
+use difftune_repro::sim::{McaSimulator, Simulator};
+use difftune_repro::surrogate::{
+    train::{Engine, TrainConfig},
+    FeatureMlpConfig, IthemalConfig,
+};
+
+/// The worker width under test: `DIFFTUNE_THREADS` when set to a parallel
+/// width, 2 when it pins one thread, and 2 when unset (the engines are
+/// already compared serially by the tensor crate's unit tests).
+fn parallel_width() -> usize {
+    match threads_from_env() {
+        Ok(0) | Ok(1) => 2,
+        Ok(n) => n,
+        Err(error) => panic!("invalid DIFFTUNE_THREADS: {error}"),
+    }
+}
+
+fn smoke_config(
+    surrogate: SurrogateKind,
+    max_simulated: usize,
+    seed: u64,
+    threads: usize,
+    engine: Engine,
+) -> DiffTuneConfig {
+    DiffTuneConfig {
+        surrogate,
+        simulated_multiplier: 4.0,
+        max_simulated,
+        surrogate_train: TrainConfig {
+            epochs: 2,
+            batch_size: 32,
+            threads,
+            engine,
+            ..TrainConfig::default()
+        },
+        table_learning_rate: 0.1,
+        table_epochs: 2,
+        table_batch_size: 32,
+        clamp_to_sampling: true,
+        seed,
+        threads,
+    }
+}
+
+fn run(config: DiffTuneConfig, num_blocks: usize, seed: u64) -> DiffTuneResult {
+    let simulator = McaSimulator::default();
+    let dataset = Dataset::build(
+        Microarch::Haswell,
+        &CorpusConfig {
+            num_blocks,
+            seed,
+            ..CorpusConfig::default()
+        },
+    );
+    let train: Vec<_> = dataset
+        .train()
+        .iter()
+        .map(|r| (r.block.clone(), r.timing))
+        .collect();
+    DiffTuneBuilder::new(config)
+        .build(
+            &simulator as &dyn Simulator,
+            &ParamSpec::llvm_mca(),
+            &default_params(Microarch::Haswell),
+            &train,
+        )
+        .expect("inputs are valid")
+        .run_to_completion()
+        .expect("the run completes")
+}
+
+fn assert_bit_identical(taped: &DiffTuneResult, compiled: &DiffTuneResult, label: &str) {
+    assert_eq!(
+        taped.learned, compiled.learned,
+        "learned table diverged across engines ({label})"
+    );
+    assert_eq!(
+        taped.initial, compiled.initial,
+        "initial table diverged across engines ({label})"
+    );
+    let bits = |losses: &[f64]| -> Vec<u64> { losses.iter().map(|l| l.to_bits()).collect() };
+    assert_eq!(
+        bits(&taped.table_losses),
+        bits(&compiled.table_losses),
+        "table losses diverged across engines ({label})"
+    );
+    assert_eq!(
+        bits(&taped.surrogate_report.epoch_losses),
+        bits(&compiled.surrogate_report.epoch_losses),
+        "surrogate losses diverged across engines ({label})"
+    );
+    for ((_, name, taped_weights), (_, _, compiled_weights)) in taped
+        .surrogate
+        .params()
+        .iter()
+        .zip(compiled.surrogate.params().iter())
+    {
+        let taped_bits: Vec<u32> = taped_weights.data().iter().map(|v| v.to_bits()).collect();
+        let compiled_bits: Vec<u32> = compiled_weights
+            .data()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        assert_eq!(
+            taped_bits, compiled_bits,
+            "surrogate weight {name} diverged across engines ({label})"
+        );
+    }
+}
+
+#[test]
+fn mlp_pipeline_is_bit_identical_across_engines() {
+    let threads = parallel_width();
+    let surrogate = |seed: u64| {
+        SurrogateKind::Mlp(FeatureMlpConfig {
+            hidden_dim: 24,
+            seed,
+            ..FeatureMlpConfig::default()
+        })
+    };
+    let taped = run(
+        smoke_config(surrogate(13), 600, 13, threads, Engine::Taped),
+        300,
+        13,
+    );
+    let compiled = run(
+        smoke_config(surrogate(13), 600, 13, threads, Engine::Compiled),
+        300,
+        13,
+    );
+    assert_bit_identical(&taped, &compiled, "mlp");
+
+    // The compiled engine must also stay thread-count independent: a serial
+    // compiled run reproduces the parallel compiled run bit for bit.
+    let serial_compiled = run(
+        smoke_config(surrogate(13), 600, 13, 1, Engine::Compiled),
+        300,
+        13,
+    );
+    assert_bit_identical(&serial_compiled, &compiled, "mlp, serial-vs-parallel");
+}
+
+#[test]
+fn lstm_pipeline_is_bit_identical_across_engines() {
+    // The LSTM surrogate exercises the fused LSTM-step and embedding-row
+    // replay paths; a reduced scale keeps the double pipeline run fast.
+    let threads = parallel_width();
+    let surrogate = |seed: u64| {
+        SurrogateKind::Lstm(IthemalConfig {
+            embed_dim: 8,
+            hidden_dim: 12,
+            instr_layers: 1,
+            block_layers: 1,
+            parameter_inputs: true,
+            seed,
+        })
+    };
+    let taped = run(
+        smoke_config(surrogate(7), 150, 7, threads, Engine::Taped),
+        80,
+        7,
+    );
+    let compiled = run(
+        smoke_config(surrogate(7), 150, 7, threads, Engine::Compiled),
+        80,
+        7,
+    );
+    assert_bit_identical(&taped, &compiled, "lstm");
+}

@@ -10,7 +10,7 @@
 //!
 //! When the `DIFFTUNE_BENCH_JSON` environment variable names a directory,
 //! each benchmark additionally writes its median as a
-//! `BENCH_criterion_<id>.json` record in the `difftune-bench/1` schema (see
+//! `BENCH_criterion_<id>.json` record in the `difftune-bench/2` schema (see
 //! `difftune_bench::record::BenchRecord`), so criterion output and the
 //! pipeline perf runner share one schema.
 
@@ -99,7 +99,7 @@ impl Bencher {
     }
 }
 
-/// Formats a benchmark median as a `difftune-bench/1` [`BenchRecord`]-shaped
+/// Formats a benchmark median as a `difftune-bench/2` [`BenchRecord`]-shaped
 /// JSON object (field order and names must match
 /// `difftune_bench::record::BenchRecord`, which has a test pinning the two).
 ///
@@ -123,12 +123,13 @@ pub fn bench_record_json(id: &str, median_ns: f64) -> String {
         0.0
     };
     format!(
-        "{{\"schema\":\"difftune-bench/1\",\"stage\":\"criterion:{escaped}\",\
+        "{{\"schema\":\"difftune-bench/2\",\"stage\":\"criterion:{escaped}\",\
          \"scale\":null,\"threads\":1,\"cpu_cores\":{cores},\"seed\":0,\
          \"wall_time_seconds\":{wall_seconds:?},\"samples\":0,\
          \"samples_per_second\":{per_second:?},\
          \"median_ns_per_iter\":{median_ns:?},\"table_fingerprint\":null,\
-         \"speedup_vs_serial\":null}}"
+         \"speedup_vs_serial\":null,\"engine\":null,\
+         \"speedup_vs_taped\":null}}"
     )
 }
 
