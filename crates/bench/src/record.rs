@@ -132,6 +132,17 @@ impl BenchRecord {
         }
     }
 
+    /// Builds a routed-serving-throughput record for `difftune-loadtest
+    /// --via-router` runs: stage `route`, otherwise shaped like
+    /// [`BenchRecord::serve`]. The CI artifact is written as
+    /// `BENCH_router.json` by the loadtest (the stage stays `route`).
+    pub fn route(threads: usize, seed: u64, wall_time_seconds: f64, samples: usize) -> Self {
+        BenchRecord {
+            scale: None,
+            ..BenchRecord::stage("route", "", threads, seed, wall_time_seconds, samples)
+        }
+    }
+
     /// The conventional file name for this record (`BENCH_<stage>.json`,
     /// with non-alphanumeric stage characters mapped to `_`).
     pub fn file_name(&self) -> String {

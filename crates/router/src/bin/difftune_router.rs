@@ -1,0 +1,163 @@
+//! `difftune-router` — the routing-tier binary.
+//!
+//! Fronts N `difftune-serve` upstreams with consistent-hash routing,
+//! health-checked failover, and cross-upstream aggregation of `/metrics`
+//! and `/backends`.
+//!
+//! ```text
+//! difftune-router --upstream HOST:PORT [--upstream HOST:PORT]...
+//!                 [--addr A] [--port P] [--vnodes N]
+//!                 [--idle-timeout S] [--upstream-timeout S]
+//!                 [--health-interval S] [--max-seconds S]
+//! ```
+
+use std::time::Duration;
+
+use difftune_router::server::{spawn_router, RouterConfig};
+
+struct Args {
+    addr: String,
+    port: u16,
+    upstreams: Vec<String>,
+    vnodes: usize,
+    idle_timeout: Option<f64>,
+    upstream_timeout: Option<f64>,
+    health_interval: Option<f64>,
+    max_seconds: Option<f64>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: difftune-router --upstream HOST:PORT [--upstream HOST:PORT]... [--addr A] \
+         [--port P] [--vnodes N] [--idle-timeout S] [--upstream-timeout S] \
+         [--health-interval S] [--max-seconds S]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        addr: "127.0.0.1".to_string(),
+        port: 8116,
+        upstreams: Vec::new(),
+        vnodes: 64,
+        idle_timeout: None,
+        upstream_timeout: None,
+        health_interval: None,
+        max_seconds: None,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        let mut value = |flag: &str| -> String {
+            iter.next().unwrap_or_else(|| {
+                eprintln!("{flag} requires a value");
+                usage()
+            })
+        };
+        let seconds = |flag: &str, raw: String| -> f64 {
+            let parsed: f64 = raw.parse().unwrap_or_else(|_| {
+                eprintln!("{flag} must be numeric seconds, got {raw:?}");
+                usage()
+            });
+            if parsed <= 0.0 || parsed.is_nan() {
+                eprintln!("{flag} must be positive, got {raw:?}");
+                usage()
+            }
+            parsed
+        };
+        match arg.as_str() {
+            "--addr" => args.addr = value("--addr"),
+            "--port" => {
+                let raw = value("--port");
+                args.port = raw.parse().unwrap_or_else(|_| {
+                    eprintln!("--port must be a port number, got {raw:?}");
+                    usage()
+                });
+            }
+            "--upstream" => args.upstreams.push(value("--upstream")),
+            "--vnodes" => {
+                let raw = value("--vnodes");
+                args.vnodes = raw.parse().unwrap_or_else(|_| {
+                    eprintln!("--vnodes must be an unsigned integer, got {raw:?}");
+                    usage()
+                });
+            }
+            "--idle-timeout" => {
+                let raw = value("--idle-timeout");
+                args.idle_timeout = Some(seconds("--idle-timeout", raw));
+            }
+            "--upstream-timeout" => {
+                let raw = value("--upstream-timeout");
+                args.upstream_timeout = Some(seconds("--upstream-timeout", raw));
+            }
+            "--health-interval" => {
+                let raw = value("--health-interval");
+                args.health_interval = Some(seconds("--health-interval", raw));
+            }
+            "--max-seconds" => {
+                let raw = value("--max-seconds");
+                args.max_seconds = Some(raw.parse().unwrap_or_else(|_| {
+                    eprintln!("--max-seconds must be numeric, got {raw:?}");
+                    usage()
+                }));
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                usage()
+            }
+        }
+    }
+    if args.upstreams.is_empty() {
+        eprintln!("difftune-router: at least one --upstream is required");
+        usage()
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let defaults = RouterConfig::default();
+    let config = RouterConfig {
+        addr: args.addr.clone(),
+        port: args.port,
+        upstreams: args.upstreams.clone(),
+        vnodes: args.vnodes,
+        read_timeout: args
+            .idle_timeout
+            .map(Duration::from_secs_f64)
+            .unwrap_or(defaults.read_timeout),
+        upstream_timeout: args
+            .upstream_timeout
+            .map(Duration::from_secs_f64)
+            .unwrap_or(defaults.upstream_timeout),
+        health_interval: args
+            .health_interval
+            .map(Duration::from_secs_f64)
+            .unwrap_or(defaults.health_interval),
+        ..defaults
+    };
+    let handle = spawn_router(config).unwrap_or_else(|error| {
+        eprintln!(
+            "difftune-router: cannot start on {}:{}: {error}",
+            args.addr, args.port
+        );
+        std::process::exit(1);
+    });
+    println!(
+        "difftune-router listening on http://{} ({} upstreams)",
+        handle.addr(),
+        args.upstreams.len()
+    );
+
+    match args.max_seconds {
+        Some(seconds) => {
+            std::thread::sleep(Duration::from_secs_f64(seconds.max(0.0)));
+            eprintln!("[difftune-router] --max-seconds reached; shutting down");
+            handle.shutdown();
+        }
+        None => loop {
+            std::thread::park();
+        },
+    }
+}

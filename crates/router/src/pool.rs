@@ -1,0 +1,61 @@
+//! Pooled keep-alive connections to the upstreams.
+//!
+//! The router holds at most [`ConnectionPool::DEPTH`] idle connections per
+//! upstream. Checkout pops an idle connection (or reports none, letting the
+//! caller dial a fresh one); checkin returns a connection that is still
+//! good. Two events retire connections instead:
+//!
+//! * the upstream answered `Connection: close` (its per-connection request
+//!   cap, or a drain) — the caller simply drops the client;
+//! * the upstream failed entirely — [`ConnectionPool::clear`] empties its
+//!   slot so no stale socket is ever retried against a dead process.
+
+use std::sync::Mutex;
+
+use difftune_serve::client::HttpClient;
+
+/// A per-upstream stack of idle keep-alive connections.
+#[derive(Debug, Default)]
+pub struct ConnectionPool {
+    /// Idle connections, indexed by upstream; LIFO so the warmest socket is
+    /// reused first.
+    idle: Mutex<Vec<Vec<HttpClient>>>,
+}
+
+impl ConnectionPool {
+    /// Idle connections kept per upstream; beyond this, checkins drop the
+    /// connection on the floor (closing it).
+    pub const DEPTH: usize = 16;
+
+    /// A pool for `upstreams` slots, all empty.
+    pub fn new(upstreams: usize) -> Self {
+        ConnectionPool {
+            idle: Mutex::new((0..upstreams).map(|_| Vec::new()).collect()),
+        }
+    }
+
+    /// Pops an idle connection for this upstream, if one is pooled.
+    pub fn checkout(&self, upstream: usize) -> Option<HttpClient> {
+        self.idle.lock().expect("pool lock poisoned")[upstream].pop()
+    }
+
+    /// Returns a healthy connection to the pool (dropped if the slot is
+    /// already at [`ConnectionPool::DEPTH`]).
+    pub fn checkin(&self, upstream: usize, client: HttpClient) {
+        let mut idle = self.idle.lock().expect("pool lock poisoned");
+        if idle[upstream].len() < ConnectionPool::DEPTH {
+            idle[upstream].push(client);
+        }
+    }
+
+    /// Drops every idle connection to this upstream (it failed or was marked
+    /// unhealthy).
+    pub fn clear(&self, upstream: usize) {
+        self.idle.lock().expect("pool lock poisoned")[upstream].clear();
+    }
+
+    /// Idle connections currently pooled for this upstream (test helper).
+    pub fn idle_count(&self, upstream: usize) -> usize {
+        self.idle.lock().expect("pool lock poisoned")[upstream].len()
+    }
+}

@@ -1,0 +1,185 @@
+//! The consistent-hash ring mapping backend fingerprints onto upstreams.
+//!
+//! Classic Karger-style consistent hashing with virtual nodes: every
+//! upstream contributes `vnodes` points, each the FNV-1a hash of
+//! `"<address>#<replica>"`. A request key routes to the first point
+//! clockwise from it; walking on past that point yields the *failover
+//! order* — the distinct upstreams in the order a router should try them.
+//!
+//! Two properties matter here and are tested below:
+//!
+//! * **Stability** — points are derived from the upstream's *address
+//!   string*, not its index in the configuration, so removing one upstream
+//!   moves only the keys that mapped to it; every other key keeps both its
+//!   primary and its relative failover order.
+//! * **Determinism** — the ring is a pure function of `(addresses, vnodes)`.
+//!   Two router processes configured alike route every key identically,
+//!   which is what lets the kill-an-upstream replay in `tests/router_e2e.rs`
+//!   assert byte-identical responses.
+
+use difftune_bench::record::fnv1a;
+
+/// A consistent-hash ring over upstream addresses.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// The upstream addresses, in configuration order (index = node id).
+    nodes: Vec<String>,
+    /// Ring points: `(hash, node index)`, sorted by hash.
+    points: Vec<(u64, usize)>,
+}
+
+impl HashRing {
+    /// Builds the ring. `vnodes` is clamped to at least 1; more virtual
+    /// nodes smooth the load split at the cost of a larger (static) table.
+    pub fn new(nodes: &[String], vnodes: usize) -> Self {
+        let vnodes = vnodes.max(1);
+        let mut points = Vec::with_capacity(nodes.len() * vnodes);
+        for (index, node) in nodes.iter().enumerate() {
+            for replica in 0..vnodes {
+                let hash = fnv1a(format!("{node}#{replica}").bytes());
+                points.push((hash, index));
+            }
+        }
+        // Sort by hash; break (astronomically unlikely) hash ties by node
+        // index so the ring is a total order and routing is deterministic.
+        points.sort_unstable();
+        HashRing {
+            nodes: nodes.to_vec(),
+            points,
+        }
+    }
+
+    /// The upstream addresses, in configuration order.
+    pub fn nodes(&self) -> &[String] {
+        &self.nodes
+    }
+
+    /// Number of upstreams.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the ring has no upstreams.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The full failover order for a key: every upstream exactly once,
+    /// starting at the key's primary and continuing clockwise around the
+    /// ring. Empty only when the ring is empty.
+    pub fn order(&self, key: u64) -> Vec<usize> {
+        if self.points.is_empty() {
+            return Vec::new();
+        }
+        // First point at or after the key, wrapping at the top.
+        let start = self
+            .points
+            .partition_point(|&(hash, _)| hash < key)
+            .checked_rem(self.points.len())
+            .unwrap_or(0);
+        let mut order = Vec::with_capacity(self.nodes.len());
+        let mut seen = vec![false; self.nodes.len()];
+        for offset in 0..self.points.len() {
+            let (_, node) = self.points[(start + offset) % self.points.len()];
+            if !seen[node] {
+                seen[node] = true;
+                order.push(node);
+                if order.len() == self.nodes.len() {
+                    break;
+                }
+            }
+        }
+        order
+    }
+
+    /// The key's primary upstream, if any.
+    pub fn primary(&self, key: u64) -> Option<usize> {
+        self.order(key).first().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addrs(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("127.0.0.1:{}", 9000 + i)).collect()
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_covers_every_node() {
+        let ring = HashRing::new(&addrs(4), 64);
+        for key in [0u64, 1, 42, u64::MAX, fnv1a("matrix:mca".bytes())] {
+            let order = ring.order(key);
+            assert_eq!(order.len(), 4, "every node appears in the failover order");
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2, 3], "each node exactly once");
+            assert_eq!(ring.order(key), order, "same key, same order");
+            assert_eq!(ring.primary(key), Some(order[0]));
+        }
+    }
+
+    #[test]
+    fn identically_configured_rings_agree() {
+        let a = HashRing::new(&addrs(3), 64);
+        let b = HashRing::new(&addrs(3), 64);
+        for key in 0..1000u64 {
+            assert_eq!(a.order(key * 7919), b.order(key * 7919));
+        }
+    }
+
+    #[test]
+    fn removing_a_node_moves_only_its_keys() {
+        let all = addrs(4);
+        let full = HashRing::new(&all, 64);
+        // Drop the last node; the survivors keep their config indices.
+        let survivors = HashRing::new(&all[..3], 64);
+        let mut moved = 0usize;
+        let total = 4096usize;
+        for i in 0..total {
+            let key = fnv1a(format!("key-{i}").bytes());
+            let before = full.primary(key).unwrap();
+            let after = survivors.primary(key).unwrap();
+            if before == 3 {
+                moved += 1;
+                // Orphaned keys land on their old *second* choice — failover
+                // order is what consistent hashing preserves.
+                let fallback = full.order(key)[1];
+                assert_eq!(after, fallback, "key {i} skipped its failover");
+            } else {
+                assert_eq!(before, after, "key {i} moved although its node survived");
+            }
+        }
+        assert!(moved > 0, "some keys must have mapped to the removed node");
+        assert!(
+            moved < total / 2,
+            "only the removed node's share may move (moved {moved}/{total})"
+        );
+    }
+
+    #[test]
+    fn virtual_nodes_balance_the_load_roughly_evenly() {
+        let ring = HashRing::new(&addrs(4), 128);
+        let mut counts = [0usize; 4];
+        let total = 8192usize;
+        for i in 0..total {
+            counts[ring.primary(fnv1a(format!("block-{i}").bytes())).unwrap()] += 1;
+        }
+        for (node, &count) in counts.iter().enumerate() {
+            let share = count as f64 / total as f64;
+            assert!(
+                (0.10..=0.45).contains(&share),
+                "node {node} holds {share:.3} of the keyspace: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn an_empty_ring_routes_nowhere() {
+        let ring = HashRing::new(&[], 64);
+        assert!(ring.is_empty());
+        assert_eq!(ring.order(123), Vec::<usize>::new());
+        assert_eq!(ring.primary(123), None);
+    }
+}

@@ -1,0 +1,747 @@
+//! The routing tier: accept loop, consistent-hash proxying, health checks,
+//! and cross-upstream aggregation.
+//!
+//! # Request path
+//!
+//! ```text
+//! client ──► router conn thread ──► resolve backend id ──► ring.order(key)
+//!                                        │                      │
+//!                                        ▼                      ▼
+//!                               parse_backend_query     healthy-first walk
+//!                                                              │
+//!                                              pooled keep-alive proxy ──► upstream
+//! ```
+//!
+//! The routing key is the FNV-1a hash of the request's *resolved backend
+//! id*: the router runs the same [`parse_backend_query`] +
+//! [`BackendQuery::candidate_ids`](difftune_serve::BackendQuery::candidate_ids)
+//! resolution contract as the upstreams (against the union of their
+//! advertised backends), so all requests for one table land on one upstream
+//! — its shard cache stays hot, and adding upstreams rebalances only the
+//! keys consistent hashing says must move.
+//!
+//! A request whose body does not parse still proxies (under key 0): the
+//! upstream is the authority on error bodies, which keeps routed error
+//! responses byte-identical to direct ones.
+//!
+//! # Failover
+//!
+//! Per upstream, in ring order (healthy upstreams first): try a pooled
+//! connection; if the pooled socket fails (idle-timeout or request-cap
+//! close races are expected), retry once on a fresh dial; only when the
+//! fresh dial also fails is the upstream marked unhealthy, its pool
+//! cleared, and the next ring node tried. `502` is returned only when every
+//! upstream is unreachable. A background thread re-probes `/healthz` every
+//! `health_interval` and refreshes the known-backend union, so a drained or
+//! killed upstream leaves rotation within one probe and a recovered one
+//! returns.
+//!
+//! # Determinism
+//!
+//! Which upstream answers never changes *what* it answers: upstream
+//! `/predict` bodies are pure functions of `(blocks, backend)`, so routing,
+//! failover, and mid-load kills change latency and placement only. This is
+//! determinism invariant #6 (see `docs/ARCHITECTURE.md`), asserted by
+//! `tests/router_e2e.rs`.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::{Duration, Instant};
+
+use difftune_bench::record::fnv1a;
+use difftune_serve::client::{ClientResponse, HttpClient};
+use difftune_serve::http::{HttpError, HttpLimits, Request, RequestBuffer, Response};
+use difftune_serve::server::parse_backend_query;
+use serde::Value;
+
+use crate::pool::ConnectionPool;
+use crate::ring::HashRing;
+
+/// Router configuration.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Address to bind (`127.0.0.1` by default).
+    pub addr: String,
+    /// Port to bind; `0` picks an ephemeral port (the handle reports it).
+    pub port: u16,
+    /// The `difftune-serve` upstreams (`host:port`), at least one.
+    pub upstreams: Vec<String>,
+    /// Virtual nodes per upstream on the hash ring.
+    pub vnodes: usize,
+    /// HTTP parsing limits for client connections.
+    pub limits: HttpLimits,
+    /// Idle-connection read timeout for client connections (the
+    /// `--idle-timeout` flag, same meaning as on `difftune-serve`).
+    pub read_timeout: Duration,
+    /// Read timeout on upstream sockets while proxying — the failover
+    /// budget for a hung upstream.
+    pub upstream_timeout: Duration,
+    /// How often the health thread probes `/healthz` and refreshes the
+    /// known-backend union.
+    pub health_interval: Duration,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            addr: "127.0.0.1".to_string(),
+            port: 0,
+            upstreams: Vec::new(),
+            vnodes: 64,
+            limits: HttpLimits::default(),
+            read_timeout: Duration::from_secs(5),
+            upstream_timeout: Duration::from_secs(10),
+            health_interval: Duration::from_millis(250),
+        }
+    }
+}
+
+/// Shared router state.
+struct RouterState {
+    ring: HashRing,
+    /// Last known upstream health; starts optimistic so early requests try
+    /// everyone before the first probe lands.
+    healthy: Vec<AtomicBool>,
+    pool: ConnectionPool,
+    /// Union of backend ids advertised by the upstreams (`GET /backends`),
+    /// refreshed by the health thread — the resolution universe for routing.
+    known_backends: RwLock<BTreeSet<String>>,
+    upstream_timeout: Duration,
+    /// Router-own counters, rendered under `difftune_router_*`.
+    requests_total: AtomicU64,
+    proxied_total: Vec<AtomicU64>,
+    failovers_total: AtomicU64,
+    upstream_errors_total: AtomicU64,
+}
+
+impl RouterState {
+    fn healthy_count(&self) -> usize {
+        self.healthy
+            .iter()
+            .filter(|flag| flag.load(Ordering::SeqCst))
+            .count()
+    }
+}
+
+/// A handle to a running router. Dropping the handle shuts it down.
+#[derive(Debug)]
+pub struct RouterHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    active_connections: Arc<AtomicUsize>,
+    read_timeout: Duration,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    health: Option<std::thread::JoinHandle<()>>,
+}
+
+impl RouterHandle {
+    /// The bound address (useful with `port: 0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, waits for in-flight connections (bounded by the
+    /// idle timeout), and joins every thread.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        let deadline = Instant::now() + self.read_timeout + Duration::from_secs(1);
+        while self.active_connections.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        if let Some(health) = self.health.take() {
+            let _ = health.join();
+        }
+    }
+}
+
+impl Drop for RouterHandle {
+    fn drop(&mut self) {
+        if self.acceptor.is_some() {
+            self.shutdown_inner();
+        }
+    }
+}
+
+/// Binds the listener and spawns the acceptor and health threads.
+///
+/// # Errors
+///
+/// An empty upstream list (`InvalidInput`) or I/O errors from binding.
+pub fn spawn_router(config: RouterConfig) -> std::io::Result<RouterHandle> {
+    if config.upstreams.is_empty() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "a router needs at least one upstream",
+        ));
+    }
+    let listener = TcpListener::bind((config.addr.as_str(), config.port))?;
+    let addr = listener.local_addr()?;
+
+    let upstream_count = config.upstreams.len();
+    let state = Arc::new(RouterState {
+        ring: HashRing::new(&config.upstreams, config.vnodes),
+        healthy: (0..upstream_count).map(|_| AtomicBool::new(true)).collect(),
+        pool: ConnectionPool::new(upstream_count),
+        known_backends: RwLock::new(BTreeSet::new()),
+        upstream_timeout: config.upstream_timeout,
+        requests_total: AtomicU64::new(0),
+        proxied_total: (0..upstream_count).map(|_| AtomicU64::new(0)).collect(),
+        failovers_total: AtomicU64::new(0),
+        upstream_errors_total: AtomicU64::new(0),
+    });
+
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let active_connections = Arc::new(AtomicUsize::new(0));
+
+    let health = {
+        let state = Arc::clone(&state);
+        let shutdown = Arc::clone(&shutdown);
+        let interval = config.health_interval;
+        std::thread::Builder::new()
+            .name("difftune-router-health".to_string())
+            .spawn(move || health_loop(state, shutdown, interval))?
+    };
+
+    let acceptor = {
+        let state = Arc::clone(&state);
+        let shutdown = Arc::clone(&shutdown);
+        let active = Arc::clone(&active_connections);
+        let limits = config.limits;
+        let read_timeout = config.read_timeout;
+        std::thread::Builder::new()
+            .name("difftune-router-acceptor".to_string())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let state = Arc::clone(&state);
+                    let shutdown = Arc::clone(&shutdown);
+                    let conn_active = Arc::clone(&active);
+                    active.fetch_add(1, Ordering::SeqCst);
+                    let spawned = std::thread::Builder::new()
+                        .name("difftune-router-conn".to_string())
+                        .spawn(move || {
+                            handle_connection(stream, state, shutdown, limits, read_timeout);
+                            conn_active.fetch_sub(1, Ordering::SeqCst);
+                        });
+                    if spawned.is_err() {
+                        active.fetch_sub(1, Ordering::SeqCst);
+                    }
+                }
+            })?
+    };
+
+    Ok(RouterHandle {
+        addr,
+        shutdown,
+        active_connections,
+        read_timeout: config.read_timeout,
+        acceptor: Some(acceptor),
+        health: Some(health),
+    })
+}
+
+/// Probes every upstream's `/healthz` and refreshes the known-backend union.
+fn health_loop(state: Arc<RouterState>, shutdown: Arc<AtomicBool>, interval: Duration) {
+    while !shutdown.load(Ordering::SeqCst) {
+        for (index, addr) in state.ring.nodes().iter().enumerate() {
+            let probe = HttpClient::connect(addr).and_then(|mut client| {
+                client.set_read_timeout(Some(state.upstream_timeout))?;
+                let health = client.get("/healthz")?;
+                if health.status == 200 {
+                    let backends = client.get("/backends")?;
+                    Ok(Some(backends))
+                } else {
+                    // Reachable but draining (503) or broken: out of rotation.
+                    Ok(None)
+                }
+            });
+            match probe {
+                Ok(Some(backends)) => {
+                    state.healthy[index].store(true, Ordering::SeqCst);
+                    if let Some(ids) = parse_backend_list(&backends) {
+                        let mut known =
+                            state.known_backends.write().expect("backend lock poisoned");
+                        known.extend(ids);
+                    }
+                }
+                Ok(None) | Err(_) => {
+                    state.healthy[index].store(false, Ordering::SeqCst);
+                    state.pool.clear(index);
+                }
+            }
+        }
+        // Sleep in small steps so shutdown is prompt.
+        let deadline = Instant::now() + interval;
+        while Instant::now() < deadline && !shutdown.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+}
+
+/// Parses a `GET /backends` body (a JSON array of id strings).
+fn parse_backend_list(response: &ClientResponse) -> Option<Vec<String>> {
+    let value = serde_json::from_str_value(&response.body_text()).ok()?;
+    Some(
+        value
+            .as_seq()?
+            .iter()
+            .filter_map(|item| item.as_str().map(String::from))
+            .collect(),
+    )
+}
+
+/// Reads requests off one client connection until close, error, or shutdown
+/// — the same loop shape as the upstream server.
+fn handle_connection(
+    mut stream: TcpStream,
+    state: Arc<RouterState>,
+    shutdown: Arc<AtomicBool>,
+    limits: HttpLimits,
+    read_timeout: Duration,
+) {
+    let _ = stream.set_nodelay(true);
+    if stream.set_read_timeout(Some(read_timeout)).is_err() {
+        return;
+    }
+    let mut parser = RequestBuffer::new();
+    let mut read_buf = [0u8; 16 * 1024];
+    loop {
+        loop {
+            match parser.next_request(&limits) {
+                Ok(Some(request)) => {
+                    state.requests_total.fetch_add(1, Ordering::Relaxed);
+                    let mut response = route(&request, &state);
+                    response.close = response.close || request.wants_close();
+                    let close = response.close;
+                    if response.write_to(&mut stream).is_err() || close {
+                        return;
+                    }
+                }
+                Ok(None) => break,
+                Err(error) => {
+                    let _ = Response::from_error(&error, true).write_to(&mut stream);
+                    return;
+                }
+            }
+        }
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match stream.read(&mut read_buf) {
+            Ok(0) => return,
+            Ok(n) => parser.push(&read_buf[..n]),
+            Err(error)
+                if matches!(
+                    error.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                return;
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Dispatches one parsed request.
+fn route(request: &Request, state: &RouterState) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/predict") => proxy_predict(request, state),
+        ("POST", "/route") => explain_route(request, state),
+        ("POST", "/reload") => broadcast_reload(state),
+        ("GET", "/healthz") => health_response(state),
+        ("GET", "/backends") => aggregate_backends(state),
+        ("GET", "/metrics") => aggregate_metrics(state),
+        (_, "/predict" | "/route" | "/reload") => Response::from_error(
+            &HttpError {
+                status: 405,
+                message: format!("{} only supports POST", request.path),
+            },
+            false,
+        ),
+        (_, "/healthz" | "/backends" | "/metrics") => Response::from_error(
+            &HttpError {
+                status: 405,
+                message: format!("{} only supports GET", request.path),
+            },
+            false,
+        ),
+        (_, path) => Response::from_error(
+            &HttpError {
+                status: 404,
+                message: format!(
+                    "unknown path {path}; router endpoints are POST /predict, POST /route, \
+                     POST /reload, GET /healthz, GET /metrics, GET /backends"
+                ),
+            },
+            false,
+        ),
+    }
+}
+
+/// Resolves a `/predict` body to its routing identity: the backend id the
+/// upstreams would resolve (against the known-backend union) and its ring
+/// key. Unparsable bodies route under key 0 — the upstream still answers
+/// (with the byte-identical error a direct client would get).
+fn resolve_routing(body: &[u8], known: &BTreeSet<String>) -> (u64, Option<String>) {
+    let Ok(text) = std::str::from_utf8(body) else {
+        return (0, None);
+    };
+    let Ok(value) = serde_json::from_str_value(text) else {
+        return (0, None);
+    };
+    let Some(map) = value.as_map() else {
+        return (0, None);
+    };
+    let Ok(query) = parse_backend_query(map) else {
+        return (0, None);
+    };
+    let candidates = query.candidate_ids();
+    let id = candidates
+        .iter()
+        .find(|id| known.contains(*id))
+        .unwrap_or_else(|| candidates.last().expect("candidate_ids is never empty"))
+        .clone();
+    (fnv1a(id.bytes()), Some(id))
+}
+
+/// The failover walk for a key: ring order, healthy upstreams first (the
+/// relative ring order is preserved within each half, so the walk is still
+/// deterministic for a given health state).
+fn failover_order(state: &RouterState, key: u64) -> Vec<usize> {
+    let order = state.ring.order(key);
+    let (healthy, unhealthy): (Vec<usize>, Vec<usize>) = order
+        .into_iter()
+        .partition(|&index| state.healthy[index].load(Ordering::SeqCst));
+    healthy.into_iter().chain(unhealthy).collect()
+}
+
+/// Proxies one request to one upstream: pooled connection first, one fresh
+/// dial on pooled failure (idle-timeout and request-cap closes are normal),
+/// checking the connection back in unless the upstream said close.
+fn proxy_to(
+    state: &RouterState,
+    upstream: usize,
+    request: &Request,
+) -> std::io::Result<ClientResponse> {
+    if let Some(mut client) = state.pool.checkout(upstream) {
+        if let Ok(response) = client.request(&request.method, &request.path, &request.body) {
+            if !response.wants_close() {
+                state.pool.checkin(upstream, client);
+            }
+            return Ok(response);
+        }
+        // The pooled socket was stale; fall through to a fresh dial.
+    }
+    let mut client = HttpClient::connect(&state.ring.nodes()[upstream])?;
+    client.set_read_timeout(Some(state.upstream_timeout))?;
+    let response = client.request(&request.method, &request.path, &request.body)?;
+    if !response.wants_close() {
+        state.pool.checkin(upstream, client);
+    }
+    Ok(response)
+}
+
+/// Routes and proxies a `/predict`, failing over along the ring.
+fn proxy_predict(request: &Request, state: &RouterState) -> Response {
+    let (key, _) = {
+        let known = state.known_backends.read().expect("backend lock poisoned");
+        resolve_routing(&request.body, &known)
+    };
+    for (attempt, upstream) in failover_order(state, key).into_iter().enumerate() {
+        match proxy_to(state, upstream, request) {
+            Ok(upstream_response) => {
+                state.healthy[upstream].store(true, Ordering::SeqCst);
+                state.proxied_total[upstream].fetch_add(1, Ordering::Relaxed);
+                if attempt > 0 {
+                    state.failovers_total.fetch_add(1, Ordering::Relaxed);
+                }
+                return Response {
+                    status: upstream_response.status,
+                    content_type: "application/json",
+                    body: upstream_response.body,
+                    close: false,
+                };
+            }
+            Err(_) => {
+                state.upstream_errors_total.fetch_add(1, Ordering::Relaxed);
+                state.healthy[upstream].store(false, Ordering::SeqCst);
+                state.pool.clear(upstream);
+            }
+        }
+    }
+    Response::from_error(
+        &HttpError {
+            status: 502,
+            message: format!(
+                "no upstream reachable (tried all {} in ring order)",
+                state.ring.len()
+            ),
+        },
+        false,
+    )
+}
+
+/// `POST /route` — the routing decision for a `/predict`-shaped body,
+/// without proxying. Debug/ops surface; `difftune-loadtest
+/// --kill-upstream-after` uses it to find a request's primary upstream.
+fn explain_route(request: &Request, state: &RouterState) -> Response {
+    let (key, backend) = {
+        let known = state.known_backends.read().expect("backend lock poisoned");
+        resolve_routing(&request.body, &known)
+    };
+    let order = failover_order(state, key);
+    let nodes = state.ring.nodes();
+    let body = serde_json::to_string(&Value::Map(vec![
+        ("key".to_string(), Value::Str(format!("{key:#018x}"))),
+        (
+            "backend".to_string(),
+            backend.map(Value::Str).unwrap_or(Value::Null),
+        ),
+        (
+            "primary".to_string(),
+            order
+                .first()
+                .map(|&index| Value::Str(nodes[index].clone()))
+                .unwrap_or(Value::Null),
+        ),
+        (
+            "order".to_string(),
+            Value::Seq(
+                order
+                    .iter()
+                    .map(|&index| Value::Str(nodes[index].clone()))
+                    .collect(),
+            ),
+        ),
+        (
+            "healthy".to_string(),
+            Value::Seq(
+                nodes
+                    .iter()
+                    .enumerate()
+                    .filter(|(index, _)| state.healthy[*index].load(Ordering::SeqCst))
+                    .map(|(_, addr)| Value::Str(addr.clone()))
+                    .collect(),
+            ),
+        ),
+    ]))
+    .expect("route body serializes");
+    Response::json(200, body)
+}
+
+/// `POST /reload` — forwards the reload to every upstream and reports each
+/// outcome. `200` only when every upstream accepted; any refusal or
+/// unreachable upstream turns the aggregate into `502` (individual results
+/// are still listed).
+fn broadcast_reload(state: &RouterState) -> Response {
+    let reload = Request {
+        method: "POST".to_string(),
+        path: "/reload".to_string(),
+        headers: Vec::new(),
+        body: Vec::new(),
+    };
+    let mut results = Vec::new();
+    let mut all_ok = true;
+    for (index, addr) in state.ring.nodes().iter().enumerate() {
+        let outcome = match proxy_to(state, index, &reload) {
+            Ok(response) => {
+                all_ok &= response.status == 200;
+                Value::Map(vec![
+                    ("status".to_string(), Value::Int(response.status as i128)),
+                    (
+                        "body".to_string(),
+                        serde_json::from_str_value(&response.body_text())
+                            .unwrap_or(Value::Str(response.body_text())),
+                    ),
+                ])
+            }
+            Err(error) => {
+                all_ok = false;
+                state.healthy[index].store(false, Ordering::SeqCst);
+                state.pool.clear(index);
+                Value::Map(vec![(
+                    "error".to_string(),
+                    Value::Str(format!("unreachable: {error}")),
+                )])
+            }
+        };
+        results.push((addr.clone(), outcome));
+    }
+    let body = serde_json::to_string(&Value::Map(vec![
+        (
+            "status".to_string(),
+            Value::Str(if all_ok { "reloaded" } else { "partial" }.to_string()),
+        ),
+        ("upstreams".to_string(), Value::Map(results)),
+    ]))
+    .expect("reload body serializes");
+    Response::json(if all_ok { 200 } else { 502 }, body)
+}
+
+/// `GET /healthz` — `200` while at least one upstream is in rotation.
+fn health_response(state: &RouterState) -> Response {
+    let healthy = state.healthy_count();
+    Response::json(
+        if healthy > 0 { 200 } else { 503 },
+        serde_json::to_string(&Value::Map(vec![
+            (
+                "status".to_string(),
+                Value::Str(if healthy > 0 { "ok" } else { "unavailable" }.to_string()),
+            ),
+            (
+                "upstreams".to_string(),
+                Value::Int(state.ring.len() as i128),
+            ),
+            ("healthy".to_string(), Value::Int(healthy as i128)),
+        ]))
+        .expect("health body serializes"),
+    )
+}
+
+/// `GET /backends` — the live union of every reachable upstream's backend
+/// list (also folded into the routing universe).
+fn aggregate_backends(state: &RouterState) -> Response {
+    let list = Request {
+        method: "GET".to_string(),
+        path: "/backends".to_string(),
+        headers: Vec::new(),
+        body: Vec::new(),
+    };
+    let mut union = BTreeSet::new();
+    for index in 0..state.ring.len() {
+        if let Ok(response) = proxy_to(state, index, &list) {
+            if let Some(ids) = parse_backend_list(&response) {
+                union.extend(ids);
+            }
+        }
+    }
+    {
+        let mut known = state.known_backends.write().expect("backend lock poisoned");
+        known.extend(union.iter().cloned());
+    }
+    Response::json(
+        200,
+        serde_json::to_string(&Value::Seq(union.into_iter().map(Value::Str).collect()))
+            .expect("backend union serializes"),
+    )
+}
+
+/// One aggregated sample: whether every contribution parsed as an integer
+/// (rendered without a decimal point, like the upstream text), and the sums.
+struct SampleSum {
+    integral: bool,
+    int_sum: i128,
+    float_sum: f64,
+}
+
+/// `GET /metrics` — sums every upstream sample sharing a series name (labels
+/// included), then appends the router's own `difftune_router_*` series.
+/// HELP/TYPE headers from upstreams are dropped (samples alone are valid
+/// exposition text) to avoid re-grouping families.
+fn aggregate_metrics(state: &RouterState) -> Response {
+    let scrape = Request {
+        method: "GET".to_string(),
+        path: "/metrics".to_string(),
+        headers: Vec::new(),
+        body: Vec::new(),
+    };
+    let mut order: Vec<String> = Vec::new();
+    let mut sums: BTreeMap<String, SampleSum> = BTreeMap::new();
+    for index in 0..state.ring.len() {
+        let Ok(response) = proxy_to(state, index, &scrape) else {
+            continue;
+        };
+        for line in response.body_text().lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let Some((series, raw_value)) = line.rsplit_once(' ') else {
+                continue;
+            };
+            let Ok(value) = raw_value.parse::<f64>() else {
+                continue;
+            };
+            let integral = !raw_value.contains(['.', 'e', 'E']);
+            let entry = sums.entry(series.to_string()).or_insert_with(|| {
+                order.push(series.to_string());
+                SampleSum {
+                    integral: true,
+                    int_sum: 0,
+                    float_sum: 0.0,
+                }
+            });
+            entry.integral &= integral;
+            entry.int_sum += raw_value.parse::<i128>().unwrap_or(0);
+            entry.float_sum += value;
+        }
+    }
+
+    let mut out = String::new();
+    for series in &order {
+        let sum = &sums[series];
+        if sum.integral {
+            out.push_str(&format!("{series} {}\n", sum.int_sum));
+        } else {
+            out.push_str(&format!("{series} {:?}\n", sum.float_sum));
+        }
+    }
+
+    let mut counter = |name: &str, help: &str, value: u64| {
+        out.push_str(&format!(
+            "# HELP difftune_router_{name} {help}\n# TYPE difftune_router_{name} counter\n\
+             difftune_router_{name} {value}\n"
+        ));
+    };
+    counter(
+        "requests_total",
+        "Requests parsed by the router.",
+        state.requests_total.load(Ordering::Relaxed),
+    );
+    counter(
+        "failovers_total",
+        "Requests answered by a non-primary upstream.",
+        state.failovers_total.load(Ordering::Relaxed),
+    );
+    counter(
+        "upstream_errors_total",
+        "Upstream attempts that failed outright.",
+        state.upstream_errors_total.load(Ordering::Relaxed),
+    );
+    out.push_str(
+        "# HELP difftune_router_proxied_total Requests proxied, by upstream.\n\
+         # TYPE difftune_router_proxied_total counter\n",
+    );
+    for (index, addr) in state.ring.nodes().iter().enumerate() {
+        out.push_str(&format!(
+            "difftune_router_proxied_total{{upstream=\"{addr}\"}} {}\n",
+            state.proxied_total[index].load(Ordering::Relaxed)
+        ));
+    }
+    out.push_str(&format!(
+        "# HELP difftune_router_upstreams Configured upstreams.\n\
+         # TYPE difftune_router_upstreams gauge\ndifftune_router_upstreams {}\n",
+        state.ring.len()
+    ));
+    out.push_str(&format!(
+        "# HELP difftune_router_healthy_upstreams Upstreams in rotation.\n\
+         # TYPE difftune_router_healthy_upstreams gauge\ndifftune_router_healthy_upstreams {}\n",
+        state.healthy_count()
+    ));
+    Response::text(200, out)
+}

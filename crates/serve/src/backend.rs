@@ -16,8 +16,8 @@
 //! the artifact, so a truncated or hand-edited file is rejected at load time
 //! instead of silently serving wrong timings.
 
-use std::collections::BTreeMap;
-use std::path::Path;
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use difftune::RunCheckpoint;
@@ -163,6 +163,50 @@ impl Default for BackendQuery {
     }
 }
 
+impl BackendQuery {
+    /// The backend id this query names under one specific source.
+    pub fn id_for(&self, source: Source) -> String {
+        match source {
+            Source::Default => format!("default:{}:{}", self.simulator.key(), self.uarch.key()),
+            _ => format!(
+                "{}:{}:{}:{}",
+                source.key(),
+                self.simulator.key(),
+                self.uarch.key(),
+                self.spec.key()
+            ),
+        }
+    }
+
+    /// The candidate backend ids in resolution order: the exact id when a
+    /// source is pinned, otherwise learned-first (`matrix` → `checkpoint` →
+    /// `default`). This order is the resolution contract — the registry and
+    /// the routing tier both resolve through it, so a request hashes to the
+    /// same backend identity no matter which process resolves it.
+    pub fn candidate_ids(&self) -> Vec<String> {
+        match self.source {
+            Some(source) => vec![self.id_for(source)],
+            None => [Source::Matrix, Source::Checkpoint, Source::Default]
+                .iter()
+                .map(|&source| self.id_for(source))
+                .collect(),
+        }
+    }
+}
+
+/// What the server loaded at startup — and what `POST /reload` rescans. The
+/// spec is source *locations*, not tables: a reload re-reads every artifact,
+/// fingerprint-verifies it, and only then swaps the registry.
+#[derive(Debug, Clone, Default)]
+pub struct ReloadSpec {
+    /// Load the expert default tables for every `(simulator, uarch)` pair.
+    pub defaults: bool,
+    /// `MATRIX_*.json` directories (`--tables`).
+    pub table_dirs: Vec<PathBuf>,
+    /// Session checkpoints with their cell bindings (`--checkpoint`).
+    pub checkpoints: Vec<(CellKey, PathBuf)>,
+}
+
 /// The set of loaded backends, keyed for per-request resolution.
 #[derive(Debug, Default)]
 pub struct BackendRegistry {
@@ -214,6 +258,49 @@ impl BackendRegistry {
         self.backends.keys().cloned().collect()
     }
 
+    /// Builds a registry from a [`ReloadSpec`] — the startup *and* hot-reload
+    /// loading path, so the two cannot drift apart.
+    ///
+    /// `strict` controls how pre-`difftune-matrix/2` records are treated: at
+    /// startup (`false`) they are skipped with a warning, because a sweep
+    /// directory legitimately accumulates old records; on reload (`true`)
+    /// they are errors, because the operator explicitly asked to serve that
+    /// directory's current contents and a silently unservable table is a
+    /// torn deploy.
+    ///
+    /// # Errors
+    ///
+    /// Any artifact failure (unreadable file, parse failure, fingerprint
+    /// mismatch, and — when `strict` — an unservable schema). On error no
+    /// registry is produced, so a reload keeps serving the old one.
+    pub fn load(spec: &ReloadSpec, strict: bool) -> Result<BackendRegistry, String> {
+        let mut registry = if spec.defaults {
+            BackendRegistry::with_defaults()
+        } else {
+            BackendRegistry::new()
+        };
+        for dir in &spec.table_dirs {
+            registry.add_matrix_dir_with(dir, strict)?;
+        }
+        for (key, path) in &spec.checkpoints {
+            registry.add_checkpoint(key, path)?;
+        }
+        if registry.is_empty() {
+            return Err("the reload spec yields no backends at all".to_string());
+        }
+        Ok(registry)
+    }
+
+    /// Every loaded backend's cache/shard fingerprint. Reload diffs two of
+    /// these sets to find which shards' caches hold entries for tables that
+    /// no longer exist.
+    pub fn cache_fingerprints(&self) -> BTreeSet<u64> {
+        self.backends
+            .values()
+            .map(|backend| backend.cache_fingerprint)
+            .collect()
+    }
+
     /// Loads every servable `MATRIX_*.json` cell record in a directory.
     /// Returns the number of backends added.
     ///
@@ -224,6 +311,18 @@ impl BackendRegistry {
     /// `MATRIX_ckpt_*.json` files are skipped, as are records whose schema
     /// predates `difftune-matrix/2` (they carry no table to serve).
     pub fn add_matrix_dir(&mut self, dir: &Path) -> Result<usize, String> {
+        self.add_matrix_dir_with(dir, false)
+    }
+
+    /// [`BackendRegistry::add_matrix_dir`] with an explicit strictness: when
+    /// `strict`, a record whose schema predates `difftune-matrix/2` is an
+    /// error instead of a skip (the hot-reload policy).
+    ///
+    /// # Errors
+    ///
+    /// See [`BackendRegistry::add_matrix_dir`]; additionally, unservable
+    /// schemas when `strict`.
+    pub fn add_matrix_dir_with(&mut self, dir: &Path, strict: bool) -> Result<usize, String> {
         let entries = std::fs::read_dir(dir)
             .map_err(|error| format!("cannot read table directory {}: {error}", dir.display()))?;
         let mut names: Vec<String> = entries
@@ -256,6 +355,13 @@ impl BackendRegistry {
                 })
                 .ok_or_else(|| format!("{}: not a matrix cell record", path.display()))?;
             if schema != MATRIX_SCHEMA {
+                if strict {
+                    return Err(format!(
+                        "{}: schema {schema:?} has no learned table (need {MATRIX_SCHEMA}); \
+                         refusing to reload from a directory with unservable records",
+                        path.display(),
+                    ));
+                }
                 eprintln!(
                     "[difftune-serve] {}: schema {schema:?} has no learned table; re-run the \
                      sweep to produce servable {MATRIX_SCHEMA} records",
@@ -348,13 +454,7 @@ impl BackendRegistry {
     /// Returns a message naming the missing backend and listing the loaded
     /// ids (the server surfaces it as `404`).
     pub fn resolve(&self, query: &BackendQuery) -> Result<Arc<Backend>, String> {
-        let candidates: Vec<String> = match query.source {
-            Some(source) => vec![self.id_for(source, query)],
-            None => [Source::Matrix, Source::Checkpoint, Source::Default]
-                .iter()
-                .map(|&source| self.id_for(source, query))
-                .collect(),
-        };
+        let candidates = query.candidate_ids();
         for id in &candidates {
             if let Some(backend) = self.backends.get(id) {
                 return Ok(Arc::clone(backend));
@@ -369,19 +469,6 @@ impl BackendRegistry {
                 self.ids().join(", ")
             }
         ))
-    }
-
-    fn id_for(&self, source: Source, query: &BackendQuery) -> String {
-        match source {
-            Source::Default => format!("default:{}:{}", query.simulator.key(), query.uarch.key()),
-            _ => format!(
-                "{}:{}:{}:{}",
-                source.key(),
-                query.simulator.key(),
-                query.uarch.key(),
-                query.spec.key()
-            ),
-        }
     }
 }
 
@@ -545,6 +632,88 @@ mod tests {
             .contains("not a matrix cell record"));
 
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn strict_loading_rejects_pre_v2_records_instead_of_skipping() {
+        let dir = std::env::temp_dir().join(format!(
+            "difftune-serve-strict-{}-{:x}",
+            std::process::id(),
+            fnv1a("strict".bytes())
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("temp dir is writable");
+
+        let v2 = fake_record("mca:haswell:llvm_mca", Microarch::Haswell);
+        std::fs::write(dir.join(v2.file_name()), v2.to_json()).unwrap();
+        let v1 = fake_record("mca:skylake:llvm_mca", Microarch::Skylake);
+        let mut v1_json = serde_json::from_str_value(&v1.to_json()).unwrap();
+        if let serde::Value::Map(entries) = &mut v1_json {
+            for (key, entry) in entries.iter_mut() {
+                if key == "schema" {
+                    *entry = serde::Value::Str("difftune-matrix/1".to_string());
+                }
+            }
+        }
+        std::fs::write(
+            dir.join(v1.file_name()),
+            serde_json::to_string(&v1_json).unwrap(),
+        )
+        .unwrap();
+
+        // Lenient (startup) load skips the /1 record; strict (reload) refuses
+        // the whole directory so the old registry keeps serving.
+        let spec = ReloadSpec {
+            defaults: false,
+            table_dirs: vec![dir.clone()],
+            checkpoints: Vec::new(),
+        };
+        let lenient = BackendRegistry::load(&spec, false).expect("lenient load succeeds");
+        assert_eq!(lenient.ids(), vec!["matrix:mca:haswell:llvm_mca"]);
+        let error = BackendRegistry::load(&spec, true).unwrap_err();
+        assert!(error.contains("difftune-matrix/1"), "{error}");
+        assert!(error.contains("refusing to reload"), "{error}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_refuses_an_empty_spec_and_reports_fingerprint_sets() {
+        let error = BackendRegistry::load(&ReloadSpec::default(), true).unwrap_err();
+        assert!(error.contains("no backends"), "{error}");
+
+        let registry = BackendRegistry::load(
+            &ReloadSpec {
+                defaults: true,
+                ..ReloadSpec::default()
+            },
+            true,
+        )
+        .expect("defaults alone are a valid spec");
+        let fingerprints = registry.cache_fingerprints();
+        assert_eq!(
+            fingerprints.len(),
+            registry.len(),
+            "every backend has a distinct cache fingerprint"
+        );
+    }
+
+    #[test]
+    fn candidate_ids_follow_the_resolution_contract() {
+        let query = BackendQuery::default();
+        assert_eq!(
+            query.candidate_ids(),
+            vec![
+                "matrix:mca:haswell:llvm_mca",
+                "checkpoint:mca:haswell:llvm_mca",
+                "default:mca:haswell",
+            ]
+        );
+        let pinned = BackendQuery {
+            source: Some(Source::Default),
+            ..BackendQuery::default()
+        };
+        assert_eq!(pinned.candidate_ids(), vec!["default:mca:haswell"]);
     }
 
     #[test]

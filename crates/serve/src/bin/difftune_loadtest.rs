@@ -1,11 +1,12 @@
-//! `difftune-loadtest` — a closed-loop load generator for `difftune-serve`.
+//! `difftune-loadtest` — a closed-loop load generator for `difftune-serve`
+//! and the `difftune-router` tier.
 //!
 //! Generates a deterministic set of basic blocks, sends them as `/predict`
 //! requests over one or more keep-alive connections (each connection waits
 //! for its response before sending the next request — a closed loop), and
-//! writes the measured throughput as `BENCH_serve.json` in the
-//! `difftune-bench/2` schema, extending the perf trajectory the training
-//! stages already record.
+//! writes the measured throughput as `BENCH_serve.json` (direct) or
+//! `BENCH_router.json` (routed; stage `route`) in the `difftune-bench/2`
+//! schema, extending the perf trajectory the training stages already record.
 //!
 //! ```text
 //! difftune-loadtest --addr HOST:PORT [--requests N] [--batch K] [--blocks B]
@@ -13,7 +14,19 @@
 //!                   [--spec X] [--source X] [--json] [--out-dir DIR]
 //!                   [--wait-seconds S] [--max-seconds S]
 //!                   [--check-deterministic]
+//! difftune-loadtest --via-router N [--kill-upstream-after K]
+//!                   [--tables DIR]... [--idle-timeout S] [...as above]
 //! ```
+//!
+//! `--via-router N` is the chaos harness: the loadtest spawns N
+//! `difftune-serve` upstreams and one `difftune-router` itself (sibling
+//! binaries next to its own executable), then drives the router.
+//! `--kill-upstream-after K` SIGKILLs the ring-primary upstream for the
+//! request stream after K requests of the first pass — mid-load — and the
+//! remaining requests must fail over. Combined with
+//! `--check-deterministic`, this is the cross-process determinism contract
+//! as a one-liner: the post-kill replay must be byte-identical to the
+//! mixed pre/post-kill first pass.
 //!
 //! `--check-deterministic` replays the exact request sequence a second time
 //! (now against a warm cache) and exits nonzero unless every response body is
@@ -21,6 +34,7 @@
 //! enforced from outside the process. `--max-seconds` is the CI tripwire:
 //! the run fails if the whole loadtest exceeds the budget.
 
+use std::io::{BufRead, BufReader};
 use std::time::{Duration, Instant};
 
 use difftune_bench::record::BenchRecord;
@@ -46,13 +60,18 @@ struct Args {
     wait_seconds: f64,
     max_seconds: Option<f64>,
     check_deterministic: bool,
+    via_router: Option<usize>,
+    kill_upstream_after: Option<usize>,
+    tables: Vec<String>,
+    idle_timeout: Option<f64>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: difftune-loadtest --addr HOST:PORT [--requests N] [--batch K] [--blocks B] \
-         [--connections C] [--seed S] [--sim X] [--uarch X] [--spec X] [--source X] [--json] \
-         [--out-dir DIR] [--wait-seconds S] [--max-seconds S] [--check-deterministic]"
+        "usage: difftune-loadtest (--addr HOST:PORT | --via-router N) [--requests N] [--batch K] \
+         [--blocks B] [--connections C] [--seed S] [--sim X] [--uarch X] [--spec X] [--source X] \
+         [--json] [--out-dir DIR] [--wait-seconds S] [--max-seconds S] [--check-deterministic] \
+         [--kill-upstream-after K] [--tables DIR]... [--idle-timeout S]"
     );
     std::process::exit(2);
 }
@@ -74,6 +93,10 @@ fn parse_args() -> Args {
         wait_seconds: 30.0,
         max_seconds: None,
         check_deterministic: false,
+        via_router: None,
+        kill_upstream_after: None,
+        tables: Vec::new(),
+        idle_timeout: None,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
@@ -111,6 +134,22 @@ fn parse_args() -> Args {
                 args.max_seconds = Some(value("--max-seconds").parse().unwrap_or_else(|_| usage()))
             }
             "--check-deterministic" => args.check_deterministic = true,
+            "--via-router" => {
+                args.via_router = Some(parse_usize("--via-router", value("--via-router")))
+            }
+            "--kill-upstream-after" => {
+                args.kill_upstream_after = Some(parse_usize(
+                    "--kill-upstream-after",
+                    value("--kill-upstream-after"),
+                ))
+            }
+            "--tables" => args.tables.push(value("--tables")),
+            "--idle-timeout" => {
+                args.idle_timeout = Some(value("--idle-timeout").parse().unwrap_or_else(|_| {
+                    eprintln!("--idle-timeout must be numeric seconds");
+                    usage()
+                }))
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument {other:?}");
@@ -118,15 +157,218 @@ fn parse_args() -> Args {
             }
         }
     }
-    if args.addr.is_empty() {
-        eprintln!("--addr is required");
-        usage()
+    match (args.addr.is_empty(), args.via_router) {
+        (true, None) => {
+            eprintln!("one of --addr or --via-router is required");
+            usage()
+        }
+        (false, Some(_)) => {
+            eprintln!("--addr and --via-router are mutually exclusive (the router is the target)");
+            usage()
+        }
+        _ => {}
+    }
+    if let Some(upstreams) = args.via_router {
+        if upstreams == 0 {
+            eprintln!("--via-router needs at least one upstream");
+            usage()
+        }
+    }
+    if args.kill_upstream_after.is_some() {
+        match args.via_router {
+            None => {
+                eprintln!("--kill-upstream-after requires --via-router (it kills a spawned child)");
+                usage()
+            }
+            Some(upstreams) if upstreams < 2 => {
+                eprintln!("--kill-upstream-after needs --via-router >= 2 to have a survivor");
+                usage()
+            }
+            _ => {}
+        }
     }
     if args.requests == 0 || args.batch == 0 || args.blocks == 0 || args.connections == 0 {
         eprintln!("--requests, --batch, --blocks, and --connections must be positive");
         usage()
     }
     args
+}
+
+/// One spawned child process (a serve upstream or the router) with the
+/// address it reported on stdout.
+struct ChildProcess {
+    name: String,
+    addr: String,
+    process: std::process::Child,
+    /// Held open so the child never blocks on a closed stdout pipe.
+    _stdout: BufReader<std::process::ChildStdout>,
+}
+
+/// The self-spawned fleet: N serve upstreams plus the router. Dropping the
+/// fleet kills every child, so no run leaves orphans behind.
+struct Fleet {
+    upstreams: Vec<ChildProcess>,
+    router: Option<ChildProcess>,
+}
+
+impl Fleet {
+    fn router_addr(&self) -> &str {
+        &self.router.as_ref().expect("fleet has a router").addr
+    }
+
+    /// SIGKILLs the upstream serving `addr`. Mid-load chaos: pooled router
+    /// connections to it die mid-stream and must fail over.
+    fn kill_upstream(&mut self, addr: &str) -> Result<(), String> {
+        let child = self
+            .upstreams
+            .iter_mut()
+            .find(|child| child.addr == addr)
+            .ok_or_else(|| format!("no spawned upstream listens on {addr}"))?;
+        child
+            .process
+            .kill()
+            .map_err(|error| format!("cannot kill {}: {error}", child.name))?;
+        let _ = child.process.wait();
+        Ok(())
+    }
+}
+
+impl Drop for Fleet {
+    fn drop(&mut self) {
+        for child in self.upstreams.iter_mut().chain(self.router.iter_mut()) {
+            let _ = child.process.kill();
+            let _ = child.process.wait();
+        }
+    }
+}
+
+/// The `http://HOST:PORT` address out of a child's `listening on` line.
+fn parse_listening_addr(line: &str) -> Option<String> {
+    let start = line.find("http://")? + "http://".len();
+    let rest = &line[start..];
+    let end = rest.find(|c: char| c.is_whitespace()).unwrap_or(rest.len());
+    Some(rest[..end].to_string())
+}
+
+/// Spawns one sibling binary (resolved next to this executable), piping
+/// stdout and blocking until it reports its listening address.
+fn spawn_child(binary: &str, child_args: &[String], name: &str) -> Result<ChildProcess, String> {
+    let exe = std::env::current_exe()
+        .map_err(|error| format!("cannot locate this executable: {error}"))?;
+    let path = exe
+        .parent()
+        .ok_or_else(|| "this executable has no parent directory".to_string())?
+        .join(binary);
+    if !path.exists() {
+        return Err(format!(
+            "{} is not built (expected at {}); build it alongside difftune-loadtest",
+            binary,
+            path.display()
+        ));
+    }
+    let mut process = std::process::Command::new(&path)
+        .args(child_args)
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::inherit())
+        .spawn()
+        .map_err(|error| format!("cannot spawn {}: {error}", path.display()))?;
+    let stdout = process.stdout.take().expect("stdout was piped");
+    let mut reader = BufReader::new(stdout);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => {
+                let _ = process.kill();
+                return Err(format!("{name} exited before reporting its address"));
+            }
+            Ok(_) => {
+                if let Some(addr) = parse_listening_addr(&line) {
+                    eprintln!("[difftune-loadtest] {name} listening on {addr}");
+                    return Ok(ChildProcess {
+                        name: name.to_string(),
+                        addr,
+                        process,
+                        _stdout: reader,
+                    });
+                }
+            }
+            Err(error) => {
+                let _ = process.kill();
+                return Err(format!("cannot read {name} stdout: {error}"));
+            }
+        }
+    }
+}
+
+/// Spawns `upstreams` serve children and a router fronting them.
+fn spawn_fleet(args: &Args, upstreams: usize) -> Result<Fleet, String> {
+    // A generous self-destruct on every child, so an aborted loadtest can
+    // never leave servers running forever.
+    let self_destruct = "900".to_string();
+    let mut fleet = Fleet {
+        upstreams: Vec::with_capacity(upstreams),
+        router: None,
+    };
+    for index in 0..upstreams {
+        let mut child_args = vec![
+            "--port".to_string(),
+            "0".to_string(),
+            "--max-seconds".to_string(),
+            self_destruct.clone(),
+        ];
+        for dir in &args.tables {
+            child_args.push("--tables".to_string());
+            child_args.push(dir.clone());
+        }
+        if let Some(seconds) = args.idle_timeout {
+            child_args.push("--idle-timeout".to_string());
+            child_args.push(seconds.to_string());
+        }
+        fleet.upstreams.push(spawn_child(
+            "difftune-serve",
+            &child_args,
+            &format!("upstream[{index}]"),
+        )?);
+    }
+    let mut router_args = vec![
+        "--port".to_string(),
+        "0".to_string(),
+        "--max-seconds".to_string(),
+        self_destruct,
+    ];
+    for upstream in &fleet.upstreams {
+        router_args.push("--upstream".to_string());
+        router_args.push(upstream.addr.clone());
+    }
+    if let Some(seconds) = args.idle_timeout {
+        router_args.push("--idle-timeout".to_string());
+        router_args.push(seconds.to_string());
+    }
+    fleet.router = Some(spawn_child("difftune-router", &router_args, "router")?);
+    Ok(fleet)
+}
+
+/// Asks the router (`POST /route`) which upstream is primary for this body.
+fn primary_upstream(router_addr: &str, body: &str, wait: Duration) -> Result<String, String> {
+    let mut client = HttpClient::connect_with_retry(router_addr, wait)
+        .map_err(|error| format!("cannot connect to router {router_addr}: {error}"))?;
+    let response = client
+        .request("POST", "/route", body.as_bytes())
+        .map_err(|error| format!("POST /route failed: {error}"))?;
+    if response.status != 200 {
+        return Err(format!(
+            "POST /route answered {}: {}",
+            response.status,
+            response.body_text()
+        ));
+    }
+    let value = serde_json::from_str_value(&response.body_text())
+        .map_err(|error| format!("/route body is not JSON: {error}"))?;
+    value
+        .get("primary")
+        .and_then(|primary| primary.as_str().map(String::from))
+        .ok_or_else(|| format!("/route body has no primary: {}", response.body_text()))
 }
 
 /// Builds the deterministic request bodies: `blocks` distinct generated
@@ -208,8 +450,21 @@ fn run_pass(args: &Args, bodies: &[String]) -> Result<Vec<String>, String> {
 }
 
 fn main() {
-    let args = parse_args();
+    let mut args = parse_args();
     let bodies = request_bodies(&args);
+
+    // Chaos mode: spawn the fleet and point the loadtest at the router.
+    let mut fleet = match args.via_router {
+        Some(upstreams) => {
+            let fleet = spawn_fleet(&args, upstreams).unwrap_or_else(|error| {
+                eprintln!("difftune-loadtest: {error}");
+                std::process::exit(1);
+            });
+            args.addr = fleet.router_addr().to_string();
+            Some(fleet)
+        }
+        None => None,
+    };
 
     // Readiness probe before the clock starts: the BENCH record (and the
     // --max-seconds tripwire) measure serving, not how long a freshly
@@ -224,24 +479,67 @@ fn main() {
         });
     let started = Instant::now();
 
-    let first_pass = run_pass(&args, &bodies).unwrap_or_else(|error| {
-        eprintln!("difftune-loadtest: {error}");
-        std::process::exit(1);
-    });
+    // The first pass, optionally with a mid-load kill: K requests against
+    // the full fleet, then SIGKILL the primary upstream, then the remainder
+    // rides the failover path. The concatenation is what determinism is
+    // asserted against.
+    let first_pass = match args.kill_upstream_after {
+        Some(kill_after) => {
+            let split = kill_after.min(bodies.len());
+            let mut pass = run_pass(&args, &bodies[..split]).unwrap_or_else(|error| {
+                eprintln!("difftune-loadtest: pre-kill segment: {error}");
+                std::process::exit(1);
+            });
+            let victim = primary_upstream(
+                &args.addr,
+                &bodies[0],
+                Duration::from_secs_f64(args.wait_seconds),
+            )
+            .unwrap_or_else(|error| {
+                eprintln!("difftune-loadtest: cannot pick a victim: {error}");
+                std::process::exit(1);
+            });
+            let fleet = fleet
+                .as_mut()
+                .expect("--kill-upstream-after implies a fleet");
+            fleet.kill_upstream(&victim).unwrap_or_else(|error| {
+                eprintln!("difftune-loadtest: {error}");
+                std::process::exit(1);
+            });
+            eprintln!(
+                "[difftune-loadtest] killed primary upstream {victim} after {split} request(s)"
+            );
+            let rest = run_pass(&args, &bodies[split..]).unwrap_or_else(|error| {
+                eprintln!("difftune-loadtest: post-kill segment: {error}");
+                std::process::exit(1);
+            });
+            pass.extend(rest);
+            pass
+        }
+        None => run_pass(&args, &bodies).unwrap_or_else(|error| {
+            eprintln!("difftune-loadtest: {error}");
+            std::process::exit(1);
+        }),
+    };
     let first_elapsed = started.elapsed().as_secs_f64();
     let samples = args.requests * args.batch;
     println!(
         "difftune-loadtest: {} requests ({samples} blocks) over {} connection(s) in {:.3}s \
-         ({:.0} blocks/s)",
+         ({:.0} blocks/s){}",
         args.requests,
         args.connections,
         first_elapsed,
         samples as f64 / first_elapsed.max(1e-9),
+        if args.via_router.is_some() {
+            " via router"
+        } else {
+            ""
+        },
     );
 
     if args.check_deterministic {
-        // Replay the identical sequence against the now-warm cache: every
-        // body must come back byte-identical.
+        // Replay the identical sequence against the now-warm (and, after a
+        // kill, reduced) fleet: every body must come back byte-identical.
         let second_pass = run_pass(&args, &bodies).unwrap_or_else(|error| {
             eprintln!("difftune-loadtest: replay pass: {error}");
             std::process::exit(1);
@@ -262,12 +560,23 @@ fn main() {
     }
 
     if args.json {
-        let record = BenchRecord::serve(args.connections, args.seed, first_elapsed, samples);
+        let threads = args.connections;
+        let (record, file_name) = if args.via_router.is_some() {
+            // Stage `route`; the artifact keeps the conventional CI name.
+            (
+                BenchRecord::route(threads, args.seed, first_elapsed, samples),
+                "BENCH_router.json".to_string(),
+            )
+        } else {
+            let record = BenchRecord::serve(threads, args.seed, first_elapsed, samples);
+            let file_name = record.file_name();
+            (record, file_name)
+        };
         if let Err(error) = std::fs::create_dir_all(&args.out_dir) {
             eprintln!("difftune-loadtest: cannot create {}: {error}", args.out_dir);
             std::process::exit(1);
         }
-        let path = std::path::Path::new(&args.out_dir).join(record.file_name());
+        let path = std::path::Path::new(&args.out_dir).join(file_name);
         if let Err(error) = std::fs::write(&path, record.to_json()) {
             eprintln!(
                 "difftune-loadtest: cannot write {}: {error}",
@@ -288,4 +597,6 @@ fn main() {
             std::process::exit(1);
         }
     }
+    // The fleet (if any) is killed on drop.
+    drop(fleet);
 }

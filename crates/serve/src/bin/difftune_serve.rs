@@ -2,24 +2,27 @@
 //!
 //! Loads backends (expert defaults plus any `--tables` matrix directories
 //! and `--checkpoint` session snapshots) and serves `POST /predict`,
-//! `GET /healthz`, `GET /metrics`, and `GET /backends` until interrupted
-//! (or until `--max-seconds`, the CI self-stop).
+//! `POST /reload`, `POST /drain`, `GET /healthz`, `GET /metrics`, and
+//! `GET /backends` until interrupted (or until `--max-seconds`, the CI
+//! self-stop, or a `POST /drain` completes — a drained process exits 0).
 //!
 //! ```text
 //! difftune-serve [--addr A] [--port P] [--tables DIR]...
 //!                [--checkpoint SIM:UARCH:SPEC=PATH]... [--no-defaults]
 //!                [--shards N] [--cache-capacity N] [--max-seconds S]
+//!                [--idle-timeout S] [--max-requests-per-connection N]
 //!                [--list-backends]
 //! ```
 //!
 //! Shard count defaults to `DIFFTUNE_THREADS` (unset = all cores), mirroring
 //! the training binaries; shard count and cache state never change response
-//! bytes, only latency.
+//! bytes, only latency. `POST /reload` rescans exactly the `--tables` and
+//! `--checkpoint` locations given here, under strict verification.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use difftune_bench::matrix::CellKey;
-use difftune_serve::backend::BackendRegistry;
+use difftune_serve::backend::{BackendRegistry, ReloadSpec};
 use difftune_serve::server::{spawn, ServeConfig};
 
 struct Args {
@@ -31,6 +34,8 @@ struct Args {
     shards: Option<usize>,
     cache_capacity: Option<usize>,
     max_seconds: Option<f64>,
+    idle_timeout: Option<f64>,
+    max_requests_per_connection: usize,
     list_backends: bool,
 }
 
@@ -38,7 +43,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: difftune-serve [--addr A] [--port P] [--tables DIR]... \
          [--checkpoint SIM:UARCH:SPEC=PATH]... [--no-defaults] [--shards N] \
-         [--cache-capacity N] [--max-seconds S] [--list-backends]"
+         [--cache-capacity N] [--max-seconds S] [--idle-timeout S] \
+         [--max-requests-per-connection N] [--list-backends]"
     );
     std::process::exit(2);
 }
@@ -53,6 +59,8 @@ fn parse_args() -> Args {
         shards: None,
         cache_capacity: None,
         max_seconds: None,
+        idle_timeout: None,
+        max_requests_per_connection: 0,
         list_backends: false,
     };
     let mut iter = std::env::args().skip(1);
@@ -109,6 +117,27 @@ fn parse_args() -> Args {
                     usage()
                 }));
             }
+            "--idle-timeout" => {
+                let raw = value("--idle-timeout");
+                let seconds: f64 = raw.parse().unwrap_or_else(|_| {
+                    eprintln!("--idle-timeout must be numeric seconds, got {raw:?}");
+                    usage()
+                });
+                if seconds <= 0.0 || seconds.is_nan() {
+                    eprintln!("--idle-timeout must be positive, got {raw:?}");
+                    usage()
+                }
+                args.idle_timeout = Some(seconds);
+            }
+            "--max-requests-per-connection" => {
+                let raw = value("--max-requests-per-connection");
+                args.max_requests_per_connection = raw.parse().unwrap_or_else(|_| {
+                    eprintln!(
+                        "--max-requests-per-connection must be an unsigned integer, got {raw:?}"
+                    );
+                    usage()
+                });
+            }
             "--list-backends" => args.list_backends = true,
             "--help" | "-h" => usage(),
             other => {
@@ -122,6 +151,18 @@ fn parse_args() -> Args {
 
 fn main() {
     let args = parse_args();
+
+    // The startup spec doubles as the `POST /reload` rescan spec: a reload
+    // re-reads exactly these locations under strict verification.
+    let reload_spec = ReloadSpec {
+        defaults: !args.no_defaults,
+        table_dirs: args.tables.iter().map(std::path::PathBuf::from).collect(),
+        checkpoints: args
+            .checkpoints
+            .iter()
+            .map(|(key, path)| (*key, std::path::PathBuf::from(path)))
+            .collect(),
+    };
 
     let mut registry = if args.no_defaults {
         BackendRegistry::new()
@@ -170,6 +211,12 @@ fn main() {
         port: args.port,
         shards,
         cache_capacity: args.cache_capacity.unwrap_or(4096),
+        read_timeout: args
+            .idle_timeout
+            .map(Duration::from_secs_f64)
+            .unwrap_or_else(|| ServeConfig::default().read_timeout),
+        max_requests_per_connection: args.max_requests_per_connection,
+        reload_spec: Some(reload_spec),
         ..ServeConfig::default()
     };
     let backends = registry.len();
@@ -185,17 +232,22 @@ fn main() {
         handle.addr()
     );
 
-    match args.max_seconds {
-        Some(seconds) => {
-            std::thread::sleep(Duration::from_secs_f64(seconds.max(0.0)));
+    // Serve until killed, drained, or the --max-seconds CI tripwire.
+    let deadline = args
+        .max_seconds
+        .map(|seconds| Instant::now() + Duration::from_secs_f64(seconds.max(0.0)));
+    loop {
+        std::thread::sleep(Duration::from_millis(100));
+        if handle.drain_requested() {
+            eprintln!("[difftune-serve] drain requested; finishing in-flight connections");
+            handle.shutdown();
+            eprintln!("[difftune-serve] drained");
+            std::process::exit(0);
+        }
+        if deadline.is_some_and(|deadline| Instant::now() >= deadline) {
             eprintln!("[difftune-serve] --max-seconds reached; shutting down");
             handle.shutdown();
-        }
-        None => {
-            // Serve until the process is killed.
-            loop {
-                std::thread::park();
-            }
+            return;
         }
     }
 }

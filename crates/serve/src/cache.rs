@@ -35,6 +35,8 @@ struct Slot {
 pub struct LruCache {
     map: HashMap<CacheKey, usize>,
     slots: Vec<Slot>,
+    /// Slots vacated by [`LruCache::remove`], reused before the slab grows.
+    free: Vec<usize>,
     /// Most recently used slot.
     head: usize,
     /// Least recently used slot (the eviction candidate).
@@ -48,6 +50,7 @@ impl LruCache {
         LruCache {
             map: HashMap::with_capacity(capacity.min(1 << 20)),
             slots: Vec::with_capacity(capacity.min(1 << 20)),
+            free: Vec::new(),
             head: NONE,
             tail: NONE,
             capacity,
@@ -90,14 +93,20 @@ impl LruCache {
             return;
         }
         let index = if self.map.len() < self.capacity {
-            let index = self.slots.len();
-            self.slots.push(Slot {
-                key,
-                value,
-                prev: NONE,
-                next: NONE,
-            });
-            index
+            if let Some(index) = self.free.pop() {
+                self.slots[index].key = key;
+                self.slots[index].value = value;
+                index
+            } else {
+                let index = self.slots.len();
+                self.slots.push(Slot {
+                    key,
+                    value,
+                    prev: NONE,
+                    next: NONE,
+                });
+                index
+            }
         } else {
             // Reuse the least-recently-used slot in place.
             let index = self.tail;
@@ -109,6 +118,30 @@ impl LruCache {
         };
         self.map.insert(key, index);
         self.attach_front(index);
+    }
+
+    /// Removes one entry, returning its value if it was cached.
+    pub fn remove(&mut self, key: &CacheKey) -> Option<f64> {
+        let index = self.map.remove(key)?;
+        self.detach(index);
+        self.free.push(index);
+        Some(self.slots[index].value)
+    }
+
+    /// Drops every entry belonging to one backend fingerprint (the second
+    /// half of the cache key) — the hot-reload invalidation path. Returns the
+    /// number of entries removed.
+    pub fn purge_backend(&mut self, backend_fingerprint: u64) -> usize {
+        let stale: Vec<CacheKey> = self
+            .map
+            .keys()
+            .filter(|(_, backend)| *backend == backend_fingerprint)
+            .copied()
+            .collect();
+        for key in &stale {
+            self.remove(key);
+        }
+        stale.len()
     }
 
     /// The cached keys from most to least recently used (test/debug helper).
@@ -228,6 +261,43 @@ mod tests {
         cache.insert(key(1), 1.0);
         assert!(cache.is_empty());
         assert_eq!(cache.get(&key(1)), None);
+    }
+
+    #[test]
+    fn removed_entries_free_their_slots_for_reuse() {
+        let mut cache = LruCache::new(3);
+        cache.insert(key(1), 1.0);
+        cache.insert(key(2), 2.0);
+        cache.insert(key(3), 3.0);
+
+        assert_eq!(cache.remove(&key(2)), Some(2.0));
+        assert_eq!(cache.remove(&key(2)), None, "already removed");
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.keys_most_recent_first(), vec![key(3), key(1)]);
+
+        // The vacated slot is reused without growing the slab, and the list
+        // stays coherent through further inserts and evictions.
+        cache.insert(key(4), 4.0);
+        cache.insert(key(5), 5.0);
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.get(&key(1)), None, "evicted as least recent");
+        assert_eq!(cache.keys_most_recent_first(), vec![key(5), key(4), key(3)]);
+    }
+
+    #[test]
+    fn purging_a_backend_removes_exactly_its_entries() {
+        let mut cache = LruCache::new(8);
+        for n in 0..3 {
+            cache.insert((n, 100), n as f64);
+            cache.insert((n, 200), n as f64 + 10.0);
+        }
+        assert_eq!(cache.purge_backend(100), 3);
+        assert_eq!(cache.len(), 3);
+        for n in 0..3 {
+            assert_eq!(cache.get(&(n, 100)), None);
+            assert_eq!(cache.get(&(n, 200)), Some(n as f64 + 10.0));
+        }
+        assert_eq!(cache.purge_backend(100), 0, "nothing left to purge");
     }
 
     #[test]

@@ -22,6 +22,23 @@ impl ClientResponse {
     pub fn body_text(&self) -> String {
         String::from_utf8_lossy(&self.body).into_owned()
     }
+
+    /// The first header with this (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(key, _)| *key == name)
+            .map(|(_, value)| value.as_str())
+    }
+
+    /// True when the server announced it will close the connection after
+    /// this response (`Connection: close`) — a pooling client must retire
+    /// the connection instead of reusing it.
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|value| value.eq_ignore_ascii_case("close"))
+    }
 }
 
 /// A keep-alive connection to the server.
@@ -62,6 +79,42 @@ impl HttpClient {
                 Err(_) => std::thread::sleep(Duration::from_millis(50)),
             }
         }
+    }
+
+    /// Bounds every read on this connection (`None` = block forever). A
+    /// proxy must not hang on a dead upstream longer than its failover
+    /// budget.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `setsockopt` failures.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    /// Sends an arbitrary request with a raw byte body and reads the
+    /// response. This is the proxy path: the body is forwarded verbatim —
+    /// even invalid UTF-8 — so the upstream's answer (including its error
+    /// bodies) is byte-identical to what a direct client would get.
+    ///
+    /// # Errors
+    ///
+    /// I/O and protocol-framing errors.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &[u8],
+    ) -> std::io::Result<ClientResponse> {
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: difftune-serve\r\nContent-Type: application/json\r\n\
+             Content-Length: {}\r\n\r\n",
+            body.len()
+        );
+        self.stream.write_all(head.as_bytes())?;
+        self.stream.write_all(body)?;
+        self.stream.flush()?;
+        self.read_response()
     }
 
     /// Sends a `GET` and reads the response.

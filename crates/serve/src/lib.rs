@@ -16,8 +16,9 @@
 //! * [`backend`] — the table registry: `default` / `checkpoint` / `matrix`
 //!   sources, fingerprint-verified loading, per-request resolution;
 //! * [`cache`] — the fingerprint-keyed LRU prediction cache;
-//! * [`server`] — accept loop, connection threads, and the shard-per-worker
-//!   predict pool batching through [`Simulator::predict_batch`];
+//! * [`server`] — accept loop, connection threads, the shard-per-worker
+//!   predict pool batching through [`Simulator::predict_batch`], and the ops
+//!   endpoints (`POST /reload` hot table swap, `POST /drain` graceful exit);
 //! * [`metrics`] — request/cache/latency counters behind `GET /metrics`;
 //! * [`client`] — the minimal blocking client used by `difftune-loadtest`
 //!   and the test suites.
@@ -67,9 +68,9 @@ pub mod http;
 pub mod metrics;
 pub mod server;
 
-pub use backend::{Backend, BackendQuery, BackendRegistry, Source};
+pub use backend::{Backend, BackendQuery, BackendRegistry, ReloadSpec, Source};
 pub use cache::LruCache;
 pub use client::{ClientResponse, HttpClient};
 pub use http::{HttpError, HttpLimits, Request, RequestBuffer, Response};
-pub use metrics::Metrics;
-pub use server::{spawn, ServeConfig, ServerHandle};
+pub use metrics::{Endpoint, Metrics};
+pub use server::{parse_backend_query, spawn, ServeConfig, ServerHandle};

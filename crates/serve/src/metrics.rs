@@ -1,13 +1,82 @@
 //! Request, cache, and latency counters behind `GET /metrics`.
 //!
 //! Plain atomics — no histogram buckets or exporters — rendered in the
-//! Prometheus text exposition format so standard scrapers parse it. The
+//! Prometheus text exposition format so standard scrapers parse it. Latency
+//! and request counters additionally carry an `endpoint` label so `/predict`
+//! time is distinguishable from `/metrics` scrapes, and hot reloads tick
+//! `difftune_backend_reloads_total` so table swaps are observable. The
 //! counters are observability only: nothing here feeds back into request
 //! handling, and (unlike `/predict` bodies) the values are wall-clock- and
 //! scheduling-dependent, which is why the determinism suite never compares
 //! `/metrics` output.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The endpoints the service meters separately. `Other` covers 404s and any
+/// future unlabeled path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `POST /predict`.
+    Predict,
+    /// `GET /healthz`.
+    Healthz,
+    /// `GET /metrics`.
+    Metrics,
+    /// `GET /backends`.
+    Backends,
+    /// `POST /reload`.
+    Reload,
+    /// `POST /drain`.
+    Drain,
+    /// Anything else (unknown paths, protocol errors).
+    Other,
+}
+
+impl Endpoint {
+    /// Every endpoint, in render order.
+    pub const ALL: [Endpoint; 7] = [
+        Endpoint::Predict,
+        Endpoint::Healthz,
+        Endpoint::Metrics,
+        Endpoint::Backends,
+        Endpoint::Reload,
+        Endpoint::Drain,
+        Endpoint::Other,
+    ];
+
+    /// The `endpoint` label value.
+    pub fn label(self) -> &'static str {
+        match self {
+            Endpoint::Predict => "predict",
+            Endpoint::Healthz => "healthz",
+            Endpoint::Metrics => "metrics",
+            Endpoint::Backends => "backends",
+            Endpoint::Reload => "reload",
+            Endpoint::Drain => "drain",
+            Endpoint::Other => "other",
+        }
+    }
+
+    /// Classifies a request path.
+    pub fn from_path(path: &str) -> Endpoint {
+        match path {
+            "/predict" => Endpoint::Predict,
+            "/healthz" => Endpoint::Healthz,
+            "/metrics" => Endpoint::Metrics,
+            "/backends" => Endpoint::Backends,
+            "/reload" => Endpoint::Reload,
+            "/drain" => Endpoint::Drain,
+            _ => Endpoint::Other,
+        }
+    }
+
+    fn index(self) -> usize {
+        Endpoint::ALL
+            .iter()
+            .position(|&endpoint| endpoint == self)
+            .expect("every endpoint is in ALL")
+    }
+}
 
 /// Monotonic service counters. All methods are lock-free and callable from
 /// every connection and shard thread.
@@ -30,6 +99,12 @@ pub struct Metrics {
     responses_5xx_total: AtomicU64,
     /// Nanoseconds spent handling requests (parse-to-response-written).
     request_nanos_total: AtomicU64,
+    /// Per-endpoint request counts, indexed by [`Endpoint::ALL`] order.
+    endpoint_requests: [AtomicU64; 7],
+    /// Per-endpoint handling nanoseconds, indexed by [`Endpoint::ALL`] order.
+    endpoint_nanos: [AtomicU64; 7],
+    /// Successful hot reloads (registry swaps).
+    backend_reloads_total: AtomicU64,
 }
 
 impl Metrics {
@@ -67,12 +142,18 @@ impl Metrics {
         };
     }
 
-    /// Adds handling latency.
-    pub fn on_latency(&self, elapsed: std::time::Duration) {
-        self.request_nanos_total.fetch_add(
-            elapsed.as_nanos().min(u64::MAX as u128) as u64,
-            Ordering::Relaxed,
-        );
+    /// Adds handling latency under the endpoint's label (and to the
+    /// unlabeled total, kept for dashboards that predate the labels).
+    pub fn on_latency(&self, endpoint: Endpoint, elapsed: std::time::Duration) {
+        let nanos = elapsed.as_nanos().min(u64::MAX as u128) as u64;
+        self.request_nanos_total.fetch_add(nanos, Ordering::Relaxed);
+        self.endpoint_requests[endpoint.index()].fetch_add(1, Ordering::Relaxed);
+        self.endpoint_nanos[endpoint.index()].fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Records a successful hot reload (the registry swap happened).
+    pub fn on_reload(&self) {
+        self.backend_reloads_total.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Cache hits so far (used by tests and the loadtest summary).
@@ -88,6 +169,11 @@ impl Metrics {
     /// Requests so far.
     pub fn requests(&self) -> u64 {
         self.requests_total.load(Ordering::Relaxed)
+    }
+
+    /// Successful hot reloads so far.
+    pub fn reloads(&self) -> u64 {
+        self.backend_reloads_total.load(Ordering::Relaxed)
     }
 
     /// Renders the Prometheus text exposition. `backends` and `shards` are
@@ -134,12 +220,44 @@ impl Metrics {
             "Responses with a 5xx status.",
             self.responses_5xx_total.load(Ordering::Relaxed),
         );
+        counter(
+            "backend_reloads_total",
+            "Successful hot reloads of the backend registry.",
+            self.reloads(),
+        );
         let seconds = self.request_nanos_total.load(Ordering::Relaxed) as f64 / 1e9;
         out.push_str(&format!(
             "# HELP difftune_request_seconds_total Wall time spent handling requests.\n\
              # TYPE difftune_request_seconds_total counter\n\
              difftune_request_seconds_total {seconds:?}\n"
         ));
+
+        // The per-endpoint labeled series: one HELP/TYPE header per family,
+        // one sample per endpoint.
+        out.push_str(
+            "# HELP difftune_endpoint_requests_total Requests handled, by endpoint.\n\
+             # TYPE difftune_endpoint_requests_total counter\n",
+        );
+        for endpoint in Endpoint::ALL {
+            let value = self.endpoint_requests[endpoint.index()].load(Ordering::Relaxed);
+            out.push_str(&format!(
+                "difftune_endpoint_requests_total{{endpoint=\"{}\"}} {value}\n",
+                endpoint.label()
+            ));
+        }
+        out.push_str(
+            "# HELP difftune_endpoint_seconds_total Wall time handling requests, by endpoint.\n\
+             # TYPE difftune_endpoint_seconds_total counter\n",
+        );
+        for endpoint in Endpoint::ALL {
+            let seconds =
+                self.endpoint_nanos[endpoint.index()].load(Ordering::Relaxed) as f64 / 1e9;
+            out.push_str(&format!(
+                "difftune_endpoint_seconds_total{{endpoint=\"{}\"}} {seconds:?}\n",
+                endpoint.label()
+            ));
+        }
+
         let mut gauge = |name: &str, help: &str, value: usize| {
             out.push_str(&format!(
                 "# HELP difftune_{name} {help}\n# TYPE difftune_{name} gauge\ndifftune_{name} {value}\n"
@@ -165,11 +283,13 @@ mod tests {
         metrics.on_response_status(200);
         metrics.on_response_status(404);
         metrics.on_response_status(500);
-        metrics.on_latency(std::time::Duration::from_millis(5));
+        metrics.on_latency(Endpoint::Predict, std::time::Duration::from_millis(5));
+        metrics.on_reload();
 
         assert_eq!(metrics.requests(), 2);
         assert_eq!(metrics.cache_hits(), 2);
         assert_eq!(metrics.cache_misses(), 1);
+        assert_eq!(metrics.reloads(), 1);
 
         let text = metrics.render(21, 4);
         for needle in [
@@ -180,12 +300,29 @@ mod tests {
             "difftune_cache_misses_total 1",
             "difftune_responses_4xx_total 1",
             "difftune_responses_5xx_total 1",
+            "difftune_backend_reloads_total 1",
+            "difftune_endpoint_requests_total{endpoint=\"predict\"} 1",
+            "difftune_endpoint_requests_total{endpoint=\"healthz\"} 0",
+            "difftune_endpoint_seconds_total{endpoint=\"predict\"} 0.005",
             "difftune_backends 21",
             "difftune_shards 4",
             "# TYPE difftune_requests_total counter",
+            "# TYPE difftune_endpoint_seconds_total counter",
             "# TYPE difftune_backends gauge",
         ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }
+    }
+
+    #[test]
+    fn endpoints_classify_paths_and_label_uniquely() {
+        assert_eq!(Endpoint::from_path("/predict"), Endpoint::Predict);
+        assert_eq!(Endpoint::from_path("/reload"), Endpoint::Reload);
+        assert_eq!(Endpoint::from_path("/drain"), Endpoint::Drain);
+        assert_eq!(Endpoint::from_path("/nope"), Endpoint::Other);
+        let mut labels: Vec<&str> = Endpoint::ALL.iter().map(|e| e.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), Endpoint::ALL.len(), "labels must be unique");
     }
 }

@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! acceptor ──► connection threads (parse HTTP, resolve backend)
-//!                   │ PredictJob (mpsc)
+//!                   │ ShardMessage (mpsc)
 //!                   ▼
 //!              shard workers ──► LruCache ──► Simulator::predict_batch
 //! ```
@@ -18,29 +18,50 @@
 //! a single [`Simulator::predict_batch`](difftune_sim::Simulator::predict_batch)
 //! call — the same batched hot path the evaluation pipeline uses.
 //!
+//! # Ops primitives
+//!
+//! Two endpoints exist for the routing tier ([`crate::client`] consumers):
+//!
+//! * **`POST /reload`** re-reads every artifact named by the startup
+//!   [`ReloadSpec`], fingerprint-verifies the lot, and only on *complete*
+//!   success swaps the registry `Arc` and purges exactly the shard-cache
+//!   entries whose backends disappeared. Any failure leaves the old registry
+//!   serving and returns a structured error — there is no torn state because
+//!   the new registry is built fully off to the side.
+//! * **`POST /drain`** stops the acceptor, lets in-flight connections finish
+//!   their buffered requests, and flips `/healthz` to `503 draining` so a
+//!   router takes the process out of rotation. The binary observes
+//!   [`ServerHandle::drain_requested`] and exits 0.
+//!
+//! Connections additionally honor a `max_requests_per_connection` cap by
+//! answering the capped request with `Connection: close` — the client-visible
+//! negotiation that lets a pooling router rebalance long-lived connections.
+//!
 //! # Determinism
 //!
 //! A `/predict` response body is a pure function of `(blocks, backend)`:
 //! simulators are pure, `predict_batch` is defined to equal the per-block
 //! loop, cache hits return the exact `f64` a miss would recompute, and JSON
 //! floats print in Rust's shortest-exact form. Shard count, request grouping,
-//! and cache state change wall time only — `tests/serve_e2e.rs` asserts the
-//! bytes.
+//! cache state, reloads (same artifacts), and connection caps change wall
+//! time only — `tests/serve_e2e.rs` asserts the bytes.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 use difftune_isa::BasicBlock;
 use serde::Value;
 
-use crate::backend::{block_fingerprint, Backend, BackendQuery, BackendRegistry, Source};
+use crate::backend::{
+    block_fingerprint, Backend, BackendQuery, BackendRegistry, ReloadSpec, Source,
+};
 use crate::cache::{CacheKey, LruCache};
 use crate::http::{HttpError, HttpLimits, Request, RequestBuffer, Response};
-use crate::metrics::Metrics;
+use crate::metrics::{Endpoint, Metrics};
 use difftune_bench::matrix::{SimulatorKind, SpecKind};
 
 /// Server configuration.
@@ -57,11 +78,19 @@ pub struct ServeConfig {
     pub cache_capacity: usize,
     /// HTTP parsing limits.
     pub limits: HttpLimits,
-    /// Idle-connection read timeout; a connection with no complete request
-    /// for this long is closed.
+    /// Idle-connection read timeout (the `--idle-timeout` flag); a connection
+    /// with no complete request for this long is closed.
     pub read_timeout: Duration,
     /// Maximum blocks in one `/predict` request (larger requests get `413`).
     pub max_blocks_per_request: usize,
+    /// After this many answered requests a connection is closed with
+    /// `Connection: close` (`0` = unlimited) — the graceful-drain negotiation
+    /// that keeps a router's pooled connections from pinning one upstream
+    /// forever.
+    pub max_requests_per_connection: usize,
+    /// The artifact locations `POST /reload` rescans. `None` (the default)
+    /// rejects reloads — a server must opt in to naming its sources.
+    pub reload_spec: Option<ReloadSpec>,
 }
 
 impl Default for ServeConfig {
@@ -74,6 +103,8 @@ impl Default for ServeConfig {
             limits: HttpLimits::default(),
             read_timeout: Duration::from_secs(5),
             max_blocks_per_request: 1024,
+            max_requests_per_connection: 0,
+            reload_spec: None,
         }
     }
 }
@@ -87,15 +118,48 @@ struct PredictJob {
     reply: mpsc::Sender<Vec<f64>>,
 }
 
+/// What flows down a shard channel: prediction work, or a cache purge from a
+/// hot reload. Purges ride the same queue as jobs, so a shard applies them
+/// strictly after every job enqueued before the reload — no torn interleaving.
+enum ShardMessage {
+    /// A prediction batch.
+    Job(PredictJob),
+    /// Drop every cache entry belonging to these backend fingerprints, then
+    /// ack with the number of entries removed.
+    Purge {
+        backends: Vec<u64>,
+        done: mpsc::Sender<usize>,
+    },
+}
+
 /// Everything a connection thread needs, cloned per connection.
 #[derive(Clone)]
 struct ConnectionContext {
-    registry: Arc<BackendRegistry>,
+    /// The hot-swappable registry: readers clone the inner `Arc` once per
+    /// request, so a concurrent reload never changes a request mid-flight.
+    registry: Arc<RwLock<Arc<BackendRegistry>>>,
     metrics: Arc<Metrics>,
-    senders: Vec<mpsc::Sender<PredictJob>>,
+    senders: Vec<mpsc::Sender<ShardMessage>>,
     limits: HttpLimits,
     max_blocks: usize,
     shard_count: usize,
+    /// Set by `POST /drain`; checked by the acceptor, connections, and
+    /// `/healthz`.
+    drain: Arc<AtomicBool>,
+    /// The bound address (drain self-connects to unblock the acceptor).
+    addr: SocketAddr,
+    /// What `POST /reload` rescans.
+    reload_spec: Option<ReloadSpec>,
+    /// Serializes reloads: two concurrent reloads must not interleave their
+    /// swap-then-purge sequences.
+    reload_lock: Arc<Mutex<()>>,
+}
+
+impl ConnectionContext {
+    /// The registry as of this instant.
+    fn registry(&self) -> Arc<BackendRegistry> {
+        Arc::clone(&self.registry.read().expect("registry lock poisoned"))
+    }
 }
 
 /// A handle to a running server. Dropping the handle shuts the server down.
@@ -103,6 +167,7 @@ struct ConnectionContext {
 pub struct ServerHandle {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
+    drain: Arc<AtomicBool>,
     active_connections: Arc<AtomicUsize>,
     read_timeout: Duration,
     metrics: Arc<Metrics>,
@@ -110,7 +175,7 @@ pub struct ServerHandle {
     workers: Vec<std::thread::JoinHandle<()>>,
     /// The handle's own copies of the shard senders; dropped during shutdown
     /// so workers observe a closed channel once every connection is gone.
-    senders: Vec<mpsc::Sender<PredictJob>>,
+    senders: Vec<mpsc::Sender<ShardMessage>>,
 }
 
 impl ServerHandle {
@@ -122,6 +187,17 @@ impl ServerHandle {
     /// The server's metrics counters.
     pub fn metrics(&self) -> Arc<Metrics> {
         Arc::clone(&self.metrics)
+    }
+
+    /// True once a `POST /drain` has been accepted. The binary polls this and
+    /// exits 0 after [`ServerHandle::shutdown`].
+    pub fn drain_requested(&self) -> bool {
+        self.drain.load(Ordering::SeqCst)
+    }
+
+    /// Connections currently being served (drain waits for this to hit 0).
+    pub fn active_connections(&self) -> usize {
+        self.active_connections.load(Ordering::SeqCst)
     }
 
     /// Stops accepting, waits for in-flight connections (bounded by the idle
@@ -174,15 +250,16 @@ pub fn spawn(config: ServeConfig, registry: BackendRegistry) -> std::io::Result<
         config.shards
     };
 
-    let registry = Arc::new(registry);
+    let registry = Arc::new(RwLock::new(Arc::new(registry)));
     let metrics = Arc::new(Metrics::new());
     let shutdown = Arc::new(AtomicBool::new(false));
+    let drain = Arc::new(AtomicBool::new(false));
     let active_connections = Arc::new(AtomicUsize::new(0));
 
     let mut senders = Vec::with_capacity(shard_count);
     let mut workers = Vec::with_capacity(shard_count);
     for shard in 0..shard_count {
-        let (tx, rx) = mpsc::channel::<PredictJob>();
+        let (tx, rx) = mpsc::channel::<ShardMessage>();
         senders.push(tx);
         let cache = LruCache::new(config.cache_capacity);
         let metrics = Arc::clone(&metrics);
@@ -200,16 +277,22 @@ pub fn spawn(config: ServeConfig, registry: BackendRegistry) -> std::io::Result<
         limits: config.limits,
         max_blocks: config.max_blocks_per_request,
         shard_count,
+        drain: Arc::clone(&drain),
+        addr,
+        reload_spec: config.reload_spec.clone(),
+        reload_lock: Arc::new(Mutex::new(())),
     };
     let acceptor = {
         let shutdown = Arc::clone(&shutdown);
+        let drain = Arc::clone(&drain);
         let active = Arc::clone(&active_connections);
         let read_timeout = config.read_timeout;
+        let request_cap = config.max_requests_per_connection;
         std::thread::Builder::new()
             .name("difftune-serve-acceptor".to_string())
             .spawn(move || {
                 for stream in listener.incoming() {
-                    if shutdown.load(Ordering::SeqCst) {
+                    if shutdown.load(Ordering::SeqCst) || drain.load(Ordering::SeqCst) {
                         break;
                     }
                     let Ok(stream) = stream else { continue };
@@ -220,7 +303,7 @@ pub fn spawn(config: ServeConfig, registry: BackendRegistry) -> std::io::Result<
                     let spawned = std::thread::Builder::new()
                         .name("difftune-serve-conn".to_string())
                         .spawn(move || {
-                            handle_connection(stream, context, shutdown, read_timeout);
+                            handle_connection(stream, context, shutdown, read_timeout, request_cap);
                             conn_active.fetch_sub(1, Ordering::SeqCst);
                         });
                     if spawned.is_err() {
@@ -233,6 +316,7 @@ pub fn spawn(config: ServeConfig, registry: BackendRegistry) -> std::io::Result<
     Ok(ServerHandle {
         addr,
         shutdown,
+        drain,
         active_connections,
         read_timeout: config.read_timeout,
         metrics,
@@ -242,12 +326,14 @@ pub fn spawn(config: ServeConfig, registry: BackendRegistry) -> std::io::Result<
     })
 }
 
-/// Reads requests off one connection until close, error, or shutdown.
+/// Reads requests off one connection until close, error, shutdown, drain, or
+/// the per-connection request cap.
 fn handle_connection(
     mut stream: TcpStream,
     context: ConnectionContext,
     shutdown: Arc<AtomicBool>,
     read_timeout: Duration,
+    request_cap: usize,
 ) {
     let _ = stream.set_nodelay(true);
     if stream.set_read_timeout(Some(read_timeout)).is_err() {
@@ -255,6 +341,7 @@ fn handle_connection(
     }
     let mut parser = RequestBuffer::new();
     let mut read_buf = [0u8; 16 * 1024];
+    let mut answered = 0usize;
     loop {
         // Answer every complete request already buffered (pipelining).
         loop {
@@ -263,11 +350,19 @@ fn handle_connection(
                     let started = Instant::now();
                     context.metrics.on_request();
                     let mut response = route(&request, &context);
-                    response.close = response.close || request.wants_close();
+                    answered += 1;
+                    // The request-cap negotiation: the capped response itself
+                    // says `Connection: close`, so pooled clients retire the
+                    // connection instead of hitting a surprise reset.
+                    response.close = response.close
+                        || request.wants_close()
+                        || (request_cap > 0 && answered >= request_cap);
                     context.metrics.on_response_status(response.status);
                     let close = response.close;
                     let written = response.write_to(&mut stream);
-                    context.metrics.on_latency(started.elapsed());
+                    context
+                        .metrics
+                        .on_latency(Endpoint::from_path(&request.path), started.elapsed());
                     if written.is_err() || close {
                         return;
                     }
@@ -277,11 +372,12 @@ fn handle_connection(
                     context.metrics.on_request();
                     context.metrics.on_response_status(error.status);
                     let _ = Response::from_error(&error, true).write_to(&mut stream);
+                    context.metrics.on_latency(Endpoint::Other, Duration::ZERO);
                     return;
                 }
             }
         }
-        if shutdown.load(Ordering::SeqCst) {
+        if shutdown.load(Ordering::SeqCst) || context.drain.load(Ordering::SeqCst) {
             return;
         }
         match stream.read(&mut read_buf) {
@@ -305,31 +401,40 @@ fn handle_connection(
 /// Dispatches one parsed request to its endpoint.
 fn route(request: &Request, context: &ConnectionContext) -> Response {
     match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/healthz") => Response::json(
-            200,
-            serde_json::to_string(&Value::Map(vec![
-                ("status".to_string(), Value::Str("ok".to_string())),
-                (
-                    "backends".to_string(),
-                    Value::Int(context.registry.len() as i128),
-                ),
-                (
-                    "shards".to_string(),
-                    Value::Int(context.shard_count as i128),
-                ),
-            ]))
-            .expect("health body serializes"),
-        ),
+        ("GET", "/healthz") => {
+            let draining = context.drain.load(Ordering::SeqCst);
+            let registry = context.registry();
+            Response::json(
+                if draining { 503 } else { 200 },
+                serde_json::to_string(&Value::Map(vec![
+                    (
+                        "status".to_string(),
+                        Value::Str(if draining { "draining" } else { "ok" }.to_string()),
+                    ),
+                    ("backends".to_string(), Value::Int(registry.len() as i128)),
+                    (
+                        "shards".to_string(),
+                        Value::Int(context.shard_count as i128),
+                    ),
+                ]))
+                .expect("health body serializes"),
+            )
+        }
         ("GET", "/metrics") => Response::text(
             200,
             context
                 .metrics
-                .render(context.registry.len(), context.shard_count),
+                .render(context.registry().len(), context.shard_count),
         ),
         ("GET", "/backends") => Response::json(
             200,
             serde_json::to_string(&Value::Seq(
-                context.registry.ids().into_iter().map(Value::Str).collect(),
+                context
+                    .registry()
+                    .ids()
+                    .into_iter()
+                    .map(Value::Str)
+                    .collect(),
             ))
             .expect("backend list serializes"),
         ),
@@ -337,6 +442,11 @@ fn route(request: &Request, context: &ConnectionContext) -> Response {
             Ok(response) => response,
             Err(error) => Response::from_error(&error, false),
         },
+        ("POST", "/reload") => match handle_reload(context) {
+            Ok(response) => response,
+            Err(error) => Response::from_error(&error, false),
+        },
+        ("POST", "/drain") => handle_drain(context),
         (_, "/healthz" | "/metrics" | "/backends") => Response::from_error(
             &HttpError {
                 status: 405,
@@ -344,10 +454,10 @@ fn route(request: &Request, context: &ConnectionContext) -> Response {
             },
             false,
         ),
-        (_, "/predict") => Response::from_error(
+        (_, "/predict" | "/reload" | "/drain") => Response::from_error(
             &HttpError {
                 status: 405,
-                message: "/predict only supports POST".to_string(),
+                message: format!("{} only supports POST", request.path),
             },
             false,
         ),
@@ -355,8 +465,8 @@ fn route(request: &Request, context: &ConnectionContext) -> Response {
             &HttpError {
                 status: 404,
                 message: format!(
-                    "unknown path {path}; endpoints are POST /predict, GET /healthz, \
-                     GET /metrics, GET /backends"
+                    "unknown path {path}; endpoints are POST /predict, POST /reload, \
+                     POST /drain, GET /healthz, GET /metrics, GET /backends"
                 ),
             },
             false,
@@ -430,7 +540,7 @@ fn handle_predict(request: &Request, context: &ConnectionContext) -> Result<Resp
 
     let query = parse_backend_query(map)?;
     let backend = context
-        .registry
+        .registry()
         .resolve(&query)
         .map_err(|message| HttpError {
             status: 404,
@@ -454,10 +564,12 @@ fn handle_predict(request: &Request, context: &ConnectionContext) -> Result<Resp
         keys,
         reply: reply_tx,
     };
-    context.senders[shard].send(job).map_err(|_| HttpError {
-        status: 503,
-        message: "prediction shard is gone (server shutting down)".to_string(),
-    })?;
+    context.senders[shard]
+        .send(ShardMessage::Job(job))
+        .map_err(|_| HttpError {
+            status: 503,
+            message: "prediction shard is gone (server shutting down)".to_string(),
+        })?;
     let predictions = reply_rx.recv().map_err(|_| HttpError {
         status: 500,
         message: "prediction shard dropped the request".to_string(),
@@ -479,6 +591,108 @@ fn handle_predict(request: &Request, context: &ConnectionContext) -> Result<Resp
     Ok(Response::json(200, body))
 }
 
+/// Rebuilds the registry from the startup [`ReloadSpec`] and swaps it in.
+///
+/// The rebuild happens entirely off to the side under strict verification, so
+/// every failure mode — missing spec, unreadable artifact, fingerprint
+/// mismatch, unservable schema — returns a structured error *before* anything
+/// observable changes: the old registry keeps serving and no cache entry is
+/// touched. Only a fully verified registry is swapped in, after which exactly
+/// the cache entries of disappeared backends are purged, shard by shard.
+fn handle_reload(context: &ConnectionContext) -> Result<Response, HttpError> {
+    let Some(spec) = &context.reload_spec else {
+        return Err(HttpError {
+            status: 409,
+            message: "this server has no reload sources (started without --tables/--checkpoint \
+                      or with --no-reload)"
+                .to_string(),
+        });
+    };
+    let _serialized = context.reload_lock.lock().expect("reload lock poisoned");
+
+    let new_registry = BackendRegistry::load(spec, true).map_err(|message| HttpError {
+        status: 409,
+        message: format!("reload rejected, old tables still serving: {message}"),
+    })?;
+    let new_fingerprints = new_registry.cache_fingerprints();
+    let backend_count = new_registry.len();
+
+    // Swap. In-flight requests hold the old `Arc` and finish consistently.
+    let old_registry = {
+        let mut slot = context.registry.write().expect("registry lock poisoned");
+        std::mem::replace(&mut *slot, Arc::new(new_registry))
+    };
+
+    // Purge exactly the backends that disappeared (a re-tuned table gets a
+    // new fingerprint, so its old entries are unreachable garbage; unchanged
+    // backends keep their warm entries).
+    let stale: BTreeSet<u64> = old_registry
+        .cache_fingerprints()
+        .difference(&new_fingerprints)
+        .copied()
+        .collect();
+    let mut by_shard: BTreeMap<usize, Vec<u64>> = BTreeMap::new();
+    for fingerprint in stale {
+        by_shard
+            .entry((fingerprint % context.shard_count.max(1) as u64) as usize)
+            .or_default()
+            .push(fingerprint);
+    }
+    let purged_backends: usize = by_shard.values().map(Vec::len).sum();
+    let mut purged_entries = 0usize;
+    for (shard, backends) in by_shard {
+        let (done_tx, done_rx) = mpsc::channel();
+        if context.senders[shard]
+            .send(ShardMessage::Purge {
+                backends,
+                done: done_tx,
+            })
+            .is_ok()
+        {
+            purged_entries += done_rx.recv().unwrap_or(0);
+        }
+    }
+
+    context.metrics.on_reload();
+    Ok(Response::json(
+        200,
+        serde_json::to_string(&Value::Map(vec![
+            ("status".to_string(), Value::Str("reloaded".to_string())),
+            ("backends".to_string(), Value::Int(backend_count as i128)),
+            (
+                "purged_backends".to_string(),
+                Value::Int(purged_backends as i128),
+            ),
+            (
+                "purged_entries".to_string(),
+                Value::Int(purged_entries as i128),
+            ),
+        ]))
+        .expect("reload body serializes"),
+    ))
+}
+
+/// Begins a graceful drain: stop accepting, flip `/healthz` to 503, and let
+/// the binary exit once in-flight connections finish.
+fn handle_drain(context: &ConnectionContext) -> Response {
+    let already = context.drain.swap(true, Ordering::SeqCst);
+    if !already {
+        // Unblock the acceptor so it observes the flag and stops accepting.
+        let _ = TcpStream::connect(context.addr);
+    }
+    let mut response = Response::json(
+        200,
+        serde_json::to_string(&Value::Map(vec![
+            ("status".to_string(), Value::Str("draining".to_string())),
+            ("already_draining".to_string(), Value::Bool(already)),
+        ]))
+        .expect("drain body serializes"),
+    );
+    // This connection is done too once the response is written.
+    response.close = true;
+    response
+}
+
 /// Looks up a top-level field in the request object.
 fn find<'a>(map: &'a [(String, Value)], name: &str) -> Option<&'a Value> {
     map.iter()
@@ -488,7 +702,15 @@ fn find<'a>(map: &'a [(String, Value)], name: &str) -> Option<&'a Value> {
 
 /// Extracts the backend-selection fields (`sim`, `uarch`, `spec`, `source`),
 /// all optional.
-fn parse_backend_query(map: &[(String, Value)]) -> Result<BackendQuery, HttpError> {
+///
+/// Public because the routing tier parses the same fields out of a `/predict`
+/// body to compute the request's ring position — router and upstream must
+/// agree on this parse or routing would diverge from resolution.
+///
+/// # Errors
+///
+/// A 400 [`HttpError`] naming the malformed field.
+pub fn parse_backend_query(map: &[(String, Value)]) -> Result<BackendQuery, HttpError> {
     let text = |name: &str| -> Result<Option<&str>, HttpError> {
         match find(map, name) {
             None | Some(Value::Null) => Ok(None),
@@ -518,13 +740,19 @@ fn parse_backend_query(map: &[(String, Value)]) -> Result<BackendQuery, HttpErro
     Ok(query)
 }
 
-/// One shard's loop: drain queued jobs, group by backend, answer misses with
-/// one `predict_batch` per group.
-fn worker_loop(rx: mpsc::Receiver<PredictJob>, mut cache: LruCache, metrics: Arc<Metrics>) {
+/// One shard's loop: drain queued messages, group jobs by backend, answer
+/// misses with one `predict_batch` per group, then apply any purges.
+fn worker_loop(rx: mpsc::Receiver<ShardMessage>, mut cache: LruCache, metrics: Arc<Metrics>) {
     while let Ok(first) = rx.recv() {
-        let mut jobs = vec![first];
+        let mut jobs = Vec::new();
+        let mut purges = Vec::new();
+        let mut stash = |message: ShardMessage| match message {
+            ShardMessage::Job(job) => jobs.push(job),
+            ShardMessage::Purge { backends, done } => purges.push((backends, done)),
+        };
+        stash(first);
         while let Ok(next) = rx.try_recv() {
-            jobs.push(next);
+            stash(next);
         }
 
         // Group the in-flight jobs by backend so each table's misses batch
@@ -580,6 +808,17 @@ fn worker_loop(rx: mpsc::Receiver<PredictJob>, mut cache: LruCache, metrics: Arc
         for (job, reply) in jobs.iter().zip(replies) {
             // The client may have disconnected; nothing to do about it.
             let _ = job.reply.send(reply);
+        }
+
+        // Purges apply after the batch's jobs: any job enqueued before the
+        // reload ran against the old registry and may have populated old
+        // entries — they go too.
+        for (backends, done) in purges {
+            let mut removed = 0usize;
+            for backend in backends {
+                removed += cache.purge_backend(backend);
+            }
+            let _ = done.send(removed);
         }
     }
 }

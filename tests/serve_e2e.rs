@@ -20,7 +20,7 @@ use difftune_repro::core::{threads_from_env, RunCheckpoint, Stage, ThetaTable};
 use difftune_repro::cpu::{default_params, Microarch};
 use difftune_repro::isa::BasicBlock;
 use difftune_repro::sim::{McaSimulator, SimParams, Simulator};
-use difftune_serve::backend::BackendRegistry;
+use difftune_serve::backend::{BackendRegistry, ReloadSpec};
 use difftune_serve::client::HttpClient;
 use difftune_serve::http::HttpLimits;
 use difftune_serve::server::{spawn, ServeConfig, ServerHandle};
@@ -45,9 +45,21 @@ fn perturbed_table(uarch: Microarch, nudge: u32) -> SimParams {
 /// Writes a fingerprint-consistent matrix cell record for
 /// `mca:haswell:llvm_mca` into `dir`.
 fn write_matrix_cell(dir: &std::path::Path) -> SimParams {
-    let table = perturbed_table(Microarch::Haswell, 2);
+    write_cell_record(dir, 2, MATRIX_SCHEMA, None)
+}
+
+/// Writes the `mca:haswell:llvm_mca` cell with a chosen table nudge, schema
+/// string, and (optionally) a deliberately wrong fingerprint — the knobs the
+/// hot-reload rejection tests turn.
+fn write_cell_record(
+    dir: &std::path::Path,
+    nudge: u32,
+    schema: &str,
+    fake_fingerprint: Option<String>,
+) -> SimParams {
+    let table = perturbed_table(Microarch::Haswell, nudge);
     let record = MatrixRecord {
-        schema: MATRIX_SCHEMA.to_string(),
+        schema: schema.to_string(),
         cell: "mca:haswell:llvm_mca".to_string(),
         simulator: "mca".to_string(),
         uarch: "haswell".to_string(),
@@ -63,7 +75,7 @@ fn write_matrix_cell(dir: &std::path::Path) -> SimParams {
         learned_mape: 0.25,
         learned_tau: 0.75,
         by_category: Vec::new(),
-        table_fingerprint: fingerprint_table(&table),
+        table_fingerprint: fake_fingerprint.unwrap_or_else(|| fingerprint_table(&table)),
         learned_table: table.to_flat(),
     };
     fs::write(dir.join(record.file_name()), record.to_json()).expect("record writes");
@@ -399,6 +411,259 @@ fn pipelined_requests_on_one_connection_all_answer_in_order() {
     assert!(responses[2].body_text().contains("difftune_requests_total"));
 
     drop(client);
+    handle.shutdown();
+    fs::remove_dir_all(&dir).ok();
+}
+
+/// A defaults-plus-matrix server whose `POST /reload` rescans `dir`.
+fn serve_reloadable(dir: &std::path::Path) -> ServerHandle {
+    let mut registry = BackendRegistry::with_defaults();
+    registry.add_matrix_dir(dir).expect("matrix dir loads");
+    spawn(
+        ServeConfig {
+            shards: 2,
+            read_timeout: std::time::Duration::from_millis(400),
+            reload_spec: Some(ReloadSpec {
+                defaults: true,
+                table_dirs: vec![dir.to_path_buf()],
+                checkpoints: Vec::new(),
+            }),
+            ..ServeConfig::default()
+        },
+        registry,
+    )
+    .expect("server binds")
+}
+
+#[test]
+fn hot_reload_rejections_leave_the_old_registry_serving() {
+    let dir = fresh_dir("reload-reject");
+    write_matrix_cell(&dir);
+    let handle = serve_reloadable(&dir);
+    let mut client = HttpClient::connect(&handle.addr().to_string()).expect("connects");
+
+    let body = r#"{"block": "addq %rax, %rbx", "source": "matrix"}"#;
+    let before = client.post_json("/predict", body).expect("answers");
+    assert_eq!(before.status, 200);
+    let before = before.body_text();
+
+    let cell_path = dir.join(difftune_bench::record::matrix_cell_file_name(
+        "mca", "haswell", "llvm_mca",
+    ));
+    let good_json = fs::read_to_string(&cell_path).expect("cell is on disk");
+
+    // Three corrupt artifact states. Every reload must answer a structured
+    // 409, and the old registry must keep serving the same bytes.
+    write_cell_record(&dir, 4, MATRIX_SCHEMA, Some("0".repeat(16)));
+    let tampered = fs::read_to_string(&cell_path).expect("tampered cell is on disk");
+    for (label, contents, needle) in [
+        ("tampered fingerprint", tampered.as_str(), "fingerprints as"),
+        (
+            "truncated JSON",
+            &good_json[..good_json.len() / 2],
+            "not a matrix cell record",
+        ),
+        ("pre-/2 schema", "", "unservable records"),
+    ] {
+        if label == "pre-/2 schema" {
+            write_cell_record(&dir, 4, "difftune-matrix/1", None);
+        } else {
+            fs::write(&cell_path, contents).expect("cell rewrites");
+        }
+        let rejected = client.post_json("/reload", "").expect("reload answers");
+        assert_eq!(rejected.status, 409, "{label}: {}", rejected.body_text());
+        assert!(
+            rejected
+                .body_text()
+                .contains("reload rejected, old tables still serving"),
+            "{label}: {}",
+            rejected.body_text()
+        );
+        assert!(
+            rejected.body_text().contains(needle),
+            "{label}: expected {needle:?} in {}",
+            rejected.body_text()
+        );
+        let after = client.post_json("/predict", body).expect("still serving");
+        assert_eq!(after.status, 200, "{label} killed the old registry");
+        assert_eq!(
+            after.body_text(),
+            before,
+            "{label} changed served bytes without a successful reload"
+        );
+    }
+
+    // A server started without reload sources refuses outright.
+    let bare = spawn(
+        ServeConfig {
+            shards: 1,
+            ..ServeConfig::default()
+        },
+        BackendRegistry::with_defaults(),
+    )
+    .expect("server binds");
+    let mut bare_client = HttpClient::connect(&bare.addr().to_string()).expect("connects");
+    let refused = bare_client.post_json("/reload", "").expect("answers");
+    assert_eq!(refused.status, 409);
+    assert!(refused.body_text().contains("no reload sources"));
+    drop(bare_client);
+    bare.shutdown();
+
+    // No rejection counted as a reload.
+    let metrics = client.get("/metrics").expect("answers").body_text();
+    assert!(
+        metrics.contains("difftune_backend_reloads_total 0"),
+        "{metrics}"
+    );
+
+    drop(client);
+    handle.shutdown();
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn hot_reload_swaps_tables_and_purges_only_the_stale_backend() {
+    let dir = fresh_dir("reload-swap");
+    let old_table = write_matrix_cell(&dir);
+    let handle = serve_reloadable(&dir);
+    let mut client = HttpClient::connect(&handle.addr().to_string()).expect("connects");
+
+    // Warm the cache so the purge has something to drop.
+    let body = r#"{"block": "addq %rax, %rbx", "source": "matrix"}"#;
+    let before = client.post_json("/predict", body).expect("answers");
+    assert_eq!(before.status, 200);
+    let before = before.body_text();
+    assert!(before.contains(&old_table.fingerprint_hex()), "{before}");
+    assert_eq!(client.post_json("/predict", body).unwrap().status, 200);
+
+    // A new learned table lands in the same cell; reload swaps it in.
+    let new_table = write_cell_record(&dir, 5, MATRIX_SCHEMA, None);
+    let reloaded = client.post_json("/reload", "").expect("reload answers");
+    assert_eq!(reloaded.status, 200, "{}", reloaded.body_text());
+    let text = reloaded.body_text();
+    assert!(text.contains("\"status\":\"reloaded\""), "{text}");
+    assert!(
+        text.contains("\"purged_backends\":1"),
+        "exactly the old matrix table is stale: {text}"
+    );
+    assert!(
+        text.contains("\"purged_entries\":1"),
+        "the warmed cache entry is dropped: {text}"
+    );
+
+    let after = client.post_json("/predict", body).expect("answers");
+    assert_eq!(after.status, 200);
+    let after = after.body_text();
+    assert_ne!(after, before, "the reload changed the served table");
+    assert!(after.contains(&new_table.fingerprint_hex()), "{after}");
+
+    // An idempotent second reload swaps nothing and purges nothing.
+    let again = client.post_json("/reload", "").expect("answers");
+    assert_eq!(again.status, 200);
+    assert!(again.body_text().contains("\"purged_backends\":0"));
+
+    let metrics = client.get("/metrics").expect("answers").body_text();
+    assert!(
+        metrics.contains("difftune_backend_reloads_total 2"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("difftune_endpoint_requests_total{endpoint=\"reload\"} 2"),
+        "{metrics}"
+    );
+
+    drop(client);
+    handle.shutdown();
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn drain_finishes_in_flight_connections_then_stops_accepting() {
+    let dir = fresh_dir("drain");
+    let handle = serve_reloadable(&dir);
+    let addr = handle.addr();
+
+    let mut draining = HttpClient::connect(&addr.to_string()).expect("connects");
+    let mut in_flight = HttpClient::connect(&addr.to_string()).expect("connects");
+    assert_eq!(in_flight.get("/healthz").expect("answers").status, 200);
+    assert!(!handle.drain_requested());
+
+    let response = draining.post_json("/drain", "").expect("drain answers");
+    assert_eq!(response.status, 200);
+    assert!(response.body_text().contains("\"status\":\"draining\""));
+    assert!(response.body_text().contains("\"already_draining\":false"));
+    assert!(
+        response.wants_close(),
+        "a drain response closes its connection"
+    );
+    assert!(handle.drain_requested());
+
+    // The already-open connection gets its in-flight request answered (with
+    // the draining health state) before the server closes it.
+    let health = in_flight
+        .get("/healthz")
+        .expect("in-flight request answers");
+    assert_eq!(health.status, 503);
+    assert!(health.body_text().contains("draining"));
+    assert!(
+        in_flight.get("/healthz").is_err(),
+        "the drained server closed the connection after the in-flight request"
+    );
+
+    // New connections are refused once the acceptor exits.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    loop {
+        if HttpClient::connect(&addr.to_string()).is_err() {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "the drained server kept accepting connections"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+
+    handle.shutdown();
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn connection_cap_negotiates_close_after_the_limit() {
+    let dir = fresh_dir("conn-cap");
+    let handle = spawn(
+        ServeConfig {
+            shards: 1,
+            max_requests_per_connection: 2,
+            ..ServeConfig::default()
+        },
+        registry(&dir),
+    )
+    .expect("server binds");
+    let addr = handle.addr().to_string();
+
+    let mut client = HttpClient::connect(&addr).expect("connects");
+    let first = client.get("/healthz").expect("answers");
+    assert_eq!(first.status, 200);
+    assert!(
+        !first.wants_close(),
+        "below the cap the connection stays open"
+    );
+    let second = client.get("/healthz").expect("answers");
+    assert_eq!(second.status, 200);
+    assert!(
+        second.wants_close(),
+        "the capped request negotiates Connection: close"
+    );
+    assert!(
+        client.get("/healthz").is_err(),
+        "the server closed at the cap"
+    );
+
+    // A fresh connection gets a fresh budget.
+    let mut again = HttpClient::connect(&addr).expect("reconnects");
+    assert_eq!(again.get("/healthz").expect("answers").status, 200);
+
+    drop(again);
     handle.shutdown();
     fs::remove_dir_all(&dir).ok();
 }
