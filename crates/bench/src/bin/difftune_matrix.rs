@@ -2,25 +2,31 @@
 //!
 //! Tunes and scores every `Simulator × Microarch × ParamSpec` cell (or a
 //! `--cell` selection) at the chosen scale, writing one
-//! `MATRIX_<sim>_<uarch>_<spec>.json` per completed cell plus a
-//! `MATRIX_summary.json` roll-up, all in the `difftune-matrix/2` schema.
-//! Cells run in parallel (`DIFFTUNE_THREADS` cells at a time; outputs are
-//! byte-identical for every thread count), and an interrupted sweep resumes:
-//! completed cells are recognized by their on-disk records and unfinished
-//! cells restart from their per-stage session checkpoints.
+//! `MATRIX_<sim>_<uarch>_<spec>.json` per completed cell (schema
+//! `difftune-matrix/3`: default, learned, and surrogate scores) plus the
+//! trained surrogate as `SURROGATE_<sim>_<uarch>_<spec>.json` and a
+//! `MATRIX_summary.json` roll-up. Cells run in parallel (`DIFFTUNE_THREADS`
+//! cells at a time; outputs are byte-identical for every thread count), and
+//! an interrupted sweep resumes: completed cells are recognized by their
+//! on-disk records and unfinished cells restart from their per-stage session
+//! checkpoints.
 //!
 //! ```text
 //! difftune-matrix [--scale smoke|small|paper] [--out-dir DIR]
 //!                 [--cell SIM:UARCH:SPEC]... [--max-cells N]
 //!                 [--stop-after generate|fit|optimize]
 //!                 [--max-seconds cell=SECS] [--max-seconds total=SECS]
-//!                 [--list]
+//!                 [--measure-throughput] [--list]
 //! ```
 //!
 //! `--max-seconds` turns the run into a CI tripwire: `cell=SECS` caps every
 //! individual cell's wall time, `total=SECS` caps the whole sweep, and any
 //! violation makes the process exit nonzero after the records (which carry no
 //! wall-clock data and stay deterministic) have been written.
+//! `--measure-throughput` opts in to the machine-dependent
+//! `surrogate_blocks_per_second` / `simulator_blocks_per_second` record
+//! fields (off by default — with it, records are no longer byte-identical
+//! across hosts).
 
 use std::time::Instant;
 
@@ -38,6 +44,8 @@ struct Args {
     cell_ceiling: Option<f64>,
     /// Whole-sweep wall ceiling from `--max-seconds total=SECS`.
     total_ceiling: Option<f64>,
+    /// Populate the machine-dependent `*_blocks_per_second` record fields.
+    measure_throughput: bool,
     list: bool,
 }
 
@@ -46,7 +54,8 @@ fn usage() -> ! {
         "usage: difftune-matrix [--scale smoke|small|paper] [--out-dir DIR] \
          [--cell SIM:UARCH:SPEC]... [--max-cells N] \
          [--stop-after generate|fit|optimize] \
-         [--max-seconds cell=SECS] [--max-seconds total=SECS] [--list]"
+         [--max-seconds cell=SECS] [--max-seconds total=SECS] \
+         [--measure-throughput] [--list]"
     );
     std::process::exit(2);
 }
@@ -60,6 +69,7 @@ fn parse_args() -> Args {
         stop_after: None,
         cell_ceiling: None,
         total_ceiling: None,
+        measure_throughput: false,
         list: false,
     };
     let mut iter = std::env::args().skip(1);
@@ -126,6 +136,7 @@ fn parse_args() -> Args {
                     }
                 }
             }
+            "--measure-throughput" => args.measure_throughput = true,
             "--list" => args.list = true,
             "--help" | "-h" => usage(),
             other => {
@@ -186,6 +197,7 @@ fn main() {
         cells: (!args.cells.is_empty()).then_some(args.cells),
         max_cells: args.max_cells,
         stop_after: args.stop_after,
+        measure_throughput: args.measure_throughput,
     };
 
     let sweep_start = Instant::now();
@@ -196,17 +208,25 @@ fn main() {
     let total_seconds = sweep_start.elapsed().as_secs_f64();
 
     println!(
-        "{:<32} {:>10} {:>8} {:>10} {:>8}",
-        "cell", "def MAPE", "def tau", "lrn MAPE", "lrn tau"
+        "{:<32} {:>10} {:>8} {:>10} {:>8} {:>10} {:>8}",
+        "cell", "def MAPE", "def tau", "lrn MAPE", "lrn tau", "sur MAPE", "sur tau"
     );
     for record in &outcome.summary.records {
+        let sur_mape = record
+            .surrogate_mape
+            .map_or("-".to_string(), |m| format!("{:.1}%", m * 100.0));
+        let sur_tau = record
+            .surrogate_tau
+            .map_or("-".to_string(), |t| format!("{t:.3}"));
         println!(
-            "{:<32} {:>9.1}% {:>8.3} {:>9.1}% {:>8.3}",
+            "{:<32} {:>9.1}% {:>8.3} {:>9.1}% {:>8.3} {:>10} {:>8}",
             record.cell,
             record.default_mape * 100.0,
             record.default_tau,
             record.learned_mape * 100.0,
             record.learned_tau,
+            sur_mape,
+            sur_tau,
         );
     }
     for skipped in &outcome.summary.skipped {

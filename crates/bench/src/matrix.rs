@@ -46,10 +46,10 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
-use difftune::{DiffTuneBuilder, ParamSpec, RunCheckpoint, Stage};
-use difftune_bhive::{Category, CorpusConfig, Dataset};
+use difftune::{DiffTuneBuilder, RunCheckpoint, Stage};
+use difftune_bhive::{metrics, Category, CorpusConfig, Dataset};
 use difftune_cpu::{default_params, Microarch};
-use difftune_sim::{McaSimulator, Simulator, UopSimulator};
+use difftune_surrogate::{SurrogateArtifact, SurrogateForward};
 
 use crate::record::{
     fingerprint_table, matrix_cell_file_name, CategoryScore, MatrixRecord, MatrixSummary,
@@ -57,100 +57,7 @@ use crate::record::{
 };
 use crate::{pairs, Scale};
 
-/// The simulator families the matrix sweeps.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub enum SimulatorKind {
-    /// The llvm-mca-style instruction-level simulator
-    /// ([`McaSimulator`]).
-    Mca,
-    /// The llvm_sim-style micro-op-level simulator ([`UopSimulator`]).
-    Uop,
-}
-
-impl SimulatorKind {
-    /// Both simulator families, in cell-key order.
-    pub const ALL: [SimulatorKind; 2] = [SimulatorKind::Mca, SimulatorKind::Uop];
-
-    /// The short name used in cell keys and file names.
-    pub fn key(self) -> &'static str {
-        match self {
-            SimulatorKind::Mca => "mca",
-            SimulatorKind::Uop => "uop",
-        }
-    }
-
-    /// Instantiates the simulator.
-    pub fn build(self) -> Box<dyn Simulator> {
-        match self {
-            SimulatorKind::Mca => Box::new(McaSimulator::default()),
-            SimulatorKind::Uop => Box::new(UopSimulator::default()),
-        }
-    }
-
-    /// Parses a cell-key component (`mca`, `llvm-mca`, `uop`, `llvm_sim`).
-    pub fn parse(raw: &str) -> Result<SimulatorKind, String> {
-        match raw.to_ascii_lowercase().replace(['-', '_'], "").as_str() {
-            "mca" | "llvmmca" => Ok(SimulatorKind::Mca),
-            "uop" | "llvmsim" => Ok(SimulatorKind::Uop),
-            other => Err(format!(
-                "unknown simulator `{other}`: valid simulators are \"mca\" (llvm-mca) and \
-                 \"uop\" (llvm_sim)"
-            )),
-        }
-    }
-}
-
-/// The parameter specifications the matrix sweeps (the three experiments the
-/// paper tunes: Table II, Section VI-B, and Appendix A).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub enum SpecKind {
-    /// The full llvm-mca parameter set ([`ParamSpec::llvm_mca`]).
-    LlvmMca,
-    /// WriteLatency only ([`ParamSpec::write_latency_only`]).
-    WriteLatencyOnly,
-    /// WriteLatency + PortMap ([`ParamSpec::llvm_sim`]).
-    LlvmSim,
-}
-
-impl SpecKind {
-    /// All specs, in cell-key order.
-    pub const ALL: [SpecKind; 3] = [
-        SpecKind::LlvmMca,
-        SpecKind::WriteLatencyOnly,
-        SpecKind::LlvmSim,
-    ];
-
-    /// The short name used in cell keys and file names.
-    pub fn key(self) -> &'static str {
-        match self {
-            SpecKind::LlvmMca => "llvm_mca",
-            SpecKind::WriteLatencyOnly => "write_latency_only",
-            SpecKind::LlvmSim => "llvm_sim",
-        }
-    }
-
-    /// The parameter specification for this kind.
-    pub fn spec(self) -> ParamSpec {
-        match self {
-            SpecKind::LlvmMca => ParamSpec::llvm_mca(),
-            SpecKind::WriteLatencyOnly => ParamSpec::write_latency_only(),
-            SpecKind::LlvmSim => ParamSpec::llvm_sim(),
-        }
-    }
-
-    /// Parses a cell-key component.
-    pub fn parse(raw: &str) -> Result<SpecKind, String> {
-        match raw.to_ascii_lowercase().replace(['-', '_'], "").as_str() {
-            "llvmmca" | "full" => Ok(SpecKind::LlvmMca),
-            "writelatencyonly" | "writelatency" => Ok(SpecKind::WriteLatencyOnly),
-            "llvmsim" => Ok(SpecKind::LlvmSim),
-            other => Err(format!(
-                "unknown spec `{other}`: valid specs are \"llvm_mca\", \
-                 \"write_latency_only\", and \"llvm_sim\""
-            )),
-        }
-    }
-}
+pub use difftune::{SimulatorKind, SpecKind};
 
 /// The short microarchitecture name used in cell keys and file names
 /// (an alias for [`Microarch::key`], kept for existing callers).
@@ -336,10 +243,28 @@ pub fn run_cell(
     out_dir: &Path,
     stop_after: Option<Stage>,
 ) -> Result<CellRun, String> {
+    run_cell_with(key, scale, dataset, out_dir, stop_after, false)
+}
+
+/// [`run_cell`] with opt-in wall-clock throughput measurement.
+///
+/// With `measure_throughput` the record's `surrogate_blocks_per_second` /
+/// `simulator_blocks_per_second` fields are populated from timed held-out
+/// prediction passes; without it they stay `None` and the record remains
+/// fully machine-independent (the byte-identity tests never pass it).
+pub fn run_cell_with(
+    key: &CellKey,
+    scale: Scale,
+    dataset: &Dataset,
+    out_dir: &Path,
+    stop_after: Option<Stage>,
+    measure_throughput: bool,
+) -> Result<CellRun, String> {
     let seed = key.seed();
     let mut config = scale.difftune_config(seed);
     config.threads = 1;
     config.surrogate_train.threads = 1;
+    let surrogate_kind = config.surrogate;
 
     let simulator = key.simulator.build();
     let spec = key.spec.spec();
@@ -390,7 +315,9 @@ pub fn run_cell(
     let heldout = dataset.heldout();
     let blocks: Vec<difftune_isa::BasicBlock> = heldout.iter().map(|r| r.block.clone()).collect();
     let default_predictions = simulator.predict_batch(&defaults, &blocks);
+    let sim_started = Instant::now();
     let learned_predictions = simulator.predict_batch(&result.learned, &blocks);
+    let sim_elapsed = sim_started.elapsed();
     let (default_mape, default_tau) = Dataset::evaluate_predictions(&heldout, &default_predictions);
     let (learned_mape, learned_tau) = Dataset::evaluate_predictions(&heldout, &learned_predictions);
     let by_default = Dataset::evaluate_predictions_by_category(&heldout, &default_predictions);
@@ -411,6 +338,43 @@ pub fn run_cell(
         })
         .collect();
 
+    // Export the trained surrogate alongside the table and score the
+    // artifact's own round trip: predictions come from a
+    // [`SurrogateForward`] loaded back from the exact bytes written to
+    // disk, so the recorded surrogate column is provably what
+    // `difftune-serve` will answer with.
+    let artifact = SurrogateArtifact::new(
+        &key.id(),
+        surrogate_kind.into(),
+        result.surrogate.as_ref(),
+        &result.learned,
+    );
+    let artifact_path = out_dir.join(artifact.file_name());
+    std::fs::write(&artifact_path, artifact.to_json()).map_err(|error| {
+        format!(
+            "cell {key}: cannot write {}: {error}",
+            artifact_path.display()
+        )
+    })?;
+    let mut forward = SurrogateForward::from_artifact(&artifact)
+        .map_err(|error| format!("cell {key}: exported surrogate does not load: {error}"))?;
+    // Warm the compiled-program cache off the clock, then time a pure
+    // replay pass — the steady-state throughput a server would see.
+    if measure_throughput {
+        forward.predict_batch(&blocks);
+    }
+    let surrogate_started = Instant::now();
+    let surrogate_predictions = forward.predict_batch(&blocks);
+    let surrogate_elapsed = surrogate_started.elapsed();
+    let (surrogate_mape, surrogate_tau) =
+        Dataset::evaluate_predictions(&heldout, &surrogate_predictions);
+    let surrogate_vs_sim_mape = metrics::mape(&surrogate_predictions, &learned_predictions);
+    let surrogate_vs_sim_tau = metrics::kendall_tau(&surrogate_predictions, &learned_predictions);
+    let blocks_per_second = |elapsed: std::time::Duration| {
+        let seconds = elapsed.as_secs_f64();
+        (measure_throughput && seconds > 0.0).then(|| blocks.len() as f64 / seconds)
+    };
+
     let record = MatrixRecord {
         schema: MATRIX_SCHEMA.to_string(),
         cell: key.id(),
@@ -427,6 +391,13 @@ pub fn run_cell(
         default_tau,
         learned_mape,
         learned_tau,
+        surrogate_mape: Some(surrogate_mape),
+        surrogate_tau: Some(surrogate_tau),
+        surrogate_vs_sim_mape: Some(surrogate_vs_sim_mape),
+        surrogate_vs_sim_tau: Some(surrogate_vs_sim_tau),
+        surrogate_fingerprint: Some(artifact.fingerprint.clone()),
+        surrogate_blocks_per_second: blocks_per_second(surrogate_elapsed),
+        simulator_blocks_per_second: blocks_per_second(sim_elapsed),
         by_category,
         table_fingerprint: fingerprint_table(&result.learned),
         learned_table: result.learned.to_flat(),
@@ -480,6 +451,10 @@ pub struct MatrixOptions {
     pub max_cells: Option<usize>,
     /// Stop every newly run cell at its checkpoint once this stage has run.
     pub stop_after: Option<Stage>,
+    /// Populate the wall-clock `*_blocks_per_second` record fields from
+    /// timed held-out passes (machine-dependent; off by default so records
+    /// stay byte-identical across hosts — see [`run_cell_with`]).
+    pub measure_throughput: bool,
 }
 
 impl MatrixOptions {
@@ -492,6 +467,7 @@ impl MatrixOptions {
             cells: None,
             max_cells: None,
             stop_after: None,
+            measure_throughput: false,
         }
     }
 }
@@ -610,12 +586,13 @@ pub fn run_matrix(options: &MatrixOptions) -> Result<MatrixOutcome, String> {
                         };
                         eprintln!("[difftune-matrix] cell {key} starting");
                         let started = Instant::now();
-                        let run = run_cell(
+                        let run = run_cell_with(
                             key,
                             options.scale,
                             &datasets[&key.uarch],
                             &options.out_dir,
                             options.stop_after,
+                            options.measure_throughput,
                         );
                         local.push((index, run, started.elapsed().as_secs_f64()));
                     }

@@ -6,13 +6,18 @@
 //! `difftune-bench/2`; `/1` records still load), so one set of tooling can
 //! consume the whole perf trajectory. The scenario-matrix runner (`difftune-matrix`, see
 //! [`crate::matrix`]) emits one [`MatrixRecord`] per tuned cell plus a
-//! [`MatrixSummary`] roll-up, both under schema `difftune-matrix/2`.
+//! [`MatrixSummary`] roll-up, both under schema `difftune-matrix/3`
+//! (`/2` records still load).
 //!
 //! Matrix records deliberately contain **no wall-clock or machine-dependent
-//! fields** (no timings, thread counts, or core counts): a cell's JSON is a
-//! pure function of its `(simulator, uarch, spec)` key and scale, so reruns
-//! — on any machine, at any `DIFFTUNE_THREADS` — produce byte-identical
-//! files, which is what the determinism suite asserts.
+//! fields by default** (no timings, thread counts, or core counts): a cell's
+//! JSON is a pure function of its `(simulator, uarch, spec)` key and scale,
+//! so reruns — on any machine, at any `DIFFTUNE_THREADS` — produce
+//! byte-identical files, which is what the determinism suite asserts. The
+//! one exception is explicit opt-in: `difftune-matrix --measure-throughput`
+//! populates the `Option`-typed blocks/s fields (absent otherwise), trading
+//! byte-reproducibility of those two fields for a throughput column — the
+//! determinism suite never passes the flag.
 
 use difftune_sim::SimParams;
 use serde::{Deserialize, Serialize};
@@ -33,7 +38,16 @@ pub const BENCH_SCHEMA: &str = "difftune-bench/2";
 /// servable backend for `difftune-serve`. `/1` records lack the table and are
 /// simply re-run by a resumed sweep (the sweep-level resume check matches on
 /// the schema tag).
-pub const MATRIX_SCHEMA: &str = "difftune-matrix/2";
+///
+/// `difftune-matrix/3` extends `/2` with the surrogate column: held-out
+/// scores of the trained surrogate against ground truth and against the
+/// learned-table simulator ([`MatrixRecord::surrogate_mape`] and friends),
+/// the exported `SURROGATE_*.json` artifact's content fingerprint, and —
+/// only when the sweep opts in with `--measure-throughput` — predicted
+/// blocks/s for the surrogate and the simulator.
+/// [`MatrixRecord::from_json`] still accepts `/2` records — the added
+/// fields read back as absent.
+pub const MATRIX_SCHEMA: &str = "difftune-matrix/3";
 
 /// One benchmark measurement: a pipeline stage (`generate`, `fit`,
 /// `optimize`, `simulate`) or a criterion benchmark (`criterion:<id>`).
@@ -231,6 +245,30 @@ pub struct MatrixRecord {
     /// `difftune-sim`). Empty in [`MatrixSummary`] rows — the roll-up omits
     /// tables rather than duplicating every per-cell file's.
     pub learned_table: Vec<f64>,
+    /// Held-out MAPE of the trained surrogate against ground truth —
+    /// how good the fast path is as a predictor in its own right. Absent on
+    /// `/2` records.
+    pub surrogate_mape: Option<f64>,
+    /// Held-out Kendall's tau of the surrogate against ground truth.
+    pub surrogate_tau: Option<f64>,
+    /// Held-out MAPE of the surrogate against the learned-table simulator —
+    /// the surrogate's *fidelity* to what it mimics (Equation 2's residual
+    /// on real blocks). Absent on `/2` records.
+    pub surrogate_vs_sim_mape: Option<f64>,
+    /// Held-out Kendall's tau of the surrogate against the learned-table
+    /// simulator.
+    pub surrogate_vs_sim_tau: Option<f64>,
+    /// Content fingerprint of the exported `SURROGATE_*.json` artifact, so a
+    /// record pins exactly which surrogate its scores describe. Absent on
+    /// `/2` records.
+    pub surrogate_fingerprint: Option<String>,
+    /// Surrogate predicted blocks/s over the held-out corpus. Wall-clock, so
+    /// it is **only** populated under `--measure-throughput` — byte-identity
+    /// of default sweeps stays intact (see the module docs).
+    pub surrogate_blocks_per_second: Option<f64>,
+    /// Learned-table simulator predicted blocks/s over the held-out corpus
+    /// (same `--measure-throughput` gate).
+    pub simulator_blocks_per_second: Option<f64>,
 }
 
 impl MatrixRecord {
@@ -246,8 +284,27 @@ impl MatrixRecord {
     }
 
     /// Deserializes a record from JSON.
+    ///
+    /// Accepts both `difftune-matrix/3` and `/2` records: the surrogate
+    /// fields `/3` added are treated as absent when a record predates them.
     pub fn from_json(json: &str) -> Result<Self, String> {
-        serde_json::from_str(json).map_err(|error| format!("{error:?}"))
+        let mut value = serde_json::from_str_value(json).map_err(|error| format!("{error:?}"))?;
+        if let serde::Value::Map(entries) = &mut value {
+            for key in [
+                "surrogate_mape",
+                "surrogate_tau",
+                "surrogate_vs_sim_mape",
+                "surrogate_vs_sim_tau",
+                "surrogate_fingerprint",
+                "surrogate_blocks_per_second",
+                "simulator_blocks_per_second",
+            ] {
+                if !entries.iter().any(|(name, _)| name == key) {
+                    entries.push((key.to_string(), serde::Value::Null));
+                }
+            }
+        }
+        <Self as serde::Deserialize>::deserialize(&value).map_err(|error| format!("{error:?}"))
     }
 }
 
@@ -444,6 +501,13 @@ mod tests {
             }],
             table_fingerprint: "0xdeadbeef".to_string(),
             learned_table: vec![4.0, 128.0, 1.0, 2.0],
+            surrogate_mape: Some(0.18),
+            surrogate_tau: Some(0.84),
+            surrogate_vs_sim_mape: Some(0.05),
+            surrogate_vs_sim_tau: Some(0.95),
+            surrogate_fingerprint: Some("0xfeedface".to_string()),
+            surrogate_blocks_per_second: None,
+            simulator_blocks_per_second: None,
         }
     }
 
@@ -453,8 +517,34 @@ mod tests {
         let json = record.to_json();
         assert_eq!(MatrixRecord::from_json(&json).unwrap(), record);
         assert_eq!(record.file_name(), "MATRIX_mca_haswell_llvm_mca.json");
-        assert!(json.contains("difftune-matrix/2"));
+        assert!(json.contains("difftune-matrix/3"));
         assert!(json.contains("learned_table"));
+        assert!(json.contains("surrogate_mape"));
+    }
+
+    #[test]
+    fn legacy_matrix_schema_2_records_still_load() {
+        // A /2-era record: no surrogate fields at all. The loader must
+        // accept it and report the missing columns as absent.
+        let mut v2 = sample_matrix_record();
+        v2.schema = "difftune-matrix/2".to_string();
+        let value = serde_json::from_str_value(&v2.to_json()).unwrap();
+        let entries: Vec<(String, serde::Value)> = value
+            .as_map()
+            .unwrap()
+            .iter()
+            .filter(|(key, _)| {
+                !key.starts_with("surrogate_") && !key.ends_with("_blocks_per_second")
+            })
+            .cloned()
+            .collect();
+        let json = serde_json::to_string(&serde::Value::Map(entries)).unwrap();
+        let record = MatrixRecord::from_json(&json).expect("/2 records parse");
+        assert_eq!(record.schema, "difftune-matrix/2");
+        assert_eq!(record.surrogate_mape, None);
+        assert_eq!(record.surrogate_fingerprint, None);
+        assert_eq!(record.simulator_blocks_per_second, None);
+        assert_eq!(record.learned_table, v2.learned_table);
     }
 
     #[test]

@@ -1,0 +1,279 @@
+//! Typed identities for prediction backends.
+//!
+//! Every layer of the serving stack — the matrix sweep, `difftune-serve`,
+//! `difftune-router`, and their binaries — names backends with the same
+//! colon-separated grammar:
+//!
+//! ```text
+//! <source>:<simulator>:<uarch>[:<spec>]     e.g. matrix:mca:haswell:llvm_mca
+//! ```
+//!
+//! This module is the single home of that grammar. [`SimulatorKind`],
+//! [`SpecKind`], and [`Source`] are the typed components (each with its
+//! `key()`/`parse()` pair), and [`BackendId`] composes them with a
+//! [`Display`](std::fmt::Display)/[`FromStr`](std::str::FromStr) round trip
+//! that `tests/properties.rs` property-tests. Downstream crates re-export
+//! these types (`difftune_bench::matrix`, `difftune_serve::backend`), so the
+//! id a request parses to is the id the registry resolves and the router
+//! hashes — by construction, not by parallel string code.
+
+use difftune_cpu::Microarch;
+use difftune_sim::{McaSimulator, Simulator, UopSimulator};
+
+use crate::spec::ParamSpec;
+
+/// The simulator families the matrix sweeps and the servers answer for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SimulatorKind {
+    /// The llvm-mca-style instruction-level simulator
+    /// ([`McaSimulator`]).
+    Mca,
+    /// The llvm_sim-style micro-op-level simulator ([`UopSimulator`]).
+    Uop,
+}
+
+impl SimulatorKind {
+    /// Both simulator families, in cell-key order.
+    pub const ALL: [SimulatorKind; 2] = [SimulatorKind::Mca, SimulatorKind::Uop];
+
+    /// The short name used in cell keys and file names.
+    pub fn key(self) -> &'static str {
+        match self {
+            SimulatorKind::Mca => "mca",
+            SimulatorKind::Uop => "uop",
+        }
+    }
+
+    /// Instantiates the simulator.
+    pub fn build(self) -> Box<dyn Simulator> {
+        match self {
+            SimulatorKind::Mca => Box::new(McaSimulator::default()),
+            SimulatorKind::Uop => Box::new(UopSimulator::default()),
+        }
+    }
+
+    /// Parses a cell-key component (`mca`, `llvm-mca`, `uop`, `llvm_sim`).
+    pub fn parse(raw: &str) -> Result<SimulatorKind, String> {
+        match raw.to_ascii_lowercase().replace(['-', '_'], "").as_str() {
+            "mca" | "llvmmca" => Ok(SimulatorKind::Mca),
+            "uop" | "llvmsim" => Ok(SimulatorKind::Uop),
+            other => Err(format!(
+                "unknown simulator `{other}`: valid simulators are \"mca\" (llvm-mca) and \
+                 \"uop\" (llvm_sim)"
+            )),
+        }
+    }
+}
+
+/// The parameter specifications the matrix sweeps (the three experiments the
+/// paper tunes: Table II, Section VI-B, and Appendix A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SpecKind {
+    /// The full llvm-mca parameter set ([`ParamSpec::llvm_mca`]).
+    LlvmMca,
+    /// WriteLatency only ([`ParamSpec::write_latency_only`]).
+    WriteLatencyOnly,
+    /// WriteLatency + PortMap ([`ParamSpec::llvm_sim`]).
+    LlvmSim,
+}
+
+impl SpecKind {
+    /// All specs, in cell-key order.
+    pub const ALL: [SpecKind; 3] = [
+        SpecKind::LlvmMca,
+        SpecKind::WriteLatencyOnly,
+        SpecKind::LlvmSim,
+    ];
+
+    /// The short name used in cell keys and file names.
+    pub fn key(self) -> &'static str {
+        match self {
+            SpecKind::LlvmMca => "llvm_mca",
+            SpecKind::WriteLatencyOnly => "write_latency_only",
+            SpecKind::LlvmSim => "llvm_sim",
+        }
+    }
+
+    /// The parameter specification for this kind.
+    pub fn spec(self) -> ParamSpec {
+        match self {
+            SpecKind::LlvmMca => ParamSpec::llvm_mca(),
+            SpecKind::WriteLatencyOnly => ParamSpec::write_latency_only(),
+            SpecKind::LlvmSim => ParamSpec::llvm_sim(),
+        }
+    }
+
+    /// Parses a cell-key component.
+    pub fn parse(raw: &str) -> Result<SpecKind, String> {
+        match raw.to_ascii_lowercase().replace(['-', '_'], "").as_str() {
+            "llvmmca" | "full" => Ok(SpecKind::LlvmMca),
+            "writelatencyonly" | "writelatency" => Ok(SpecKind::WriteLatencyOnly),
+            "llvmsim" => Ok(SpecKind::LlvmSim),
+            other => Err(format!(
+                "unknown spec `{other}`: valid specs are \"llvm_mca\", \
+                 \"write_latency_only\", and \"llvm_sim\""
+            )),
+        }
+    }
+}
+
+/// Where a backend's prediction source came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Source {
+    /// Expert-documentation defaults.
+    Default,
+    /// A finished session checkpoint's learned θ.
+    Checkpoint,
+    /// A `difftune-matrix` cell record's learned table.
+    Matrix,
+    /// A trained surrogate artifact (`SURROGATE_*.json`) answering with one
+    /// forward pass instead of a simulator run.
+    Surrogate,
+}
+
+impl Source {
+    /// The short name used in backend ids and request `source` fields.
+    pub fn key(self) -> &'static str {
+        match self {
+            Source::Default => "default",
+            Source::Checkpoint => "checkpoint",
+            Source::Matrix => "matrix",
+            Source::Surrogate => "surrogate",
+        }
+    }
+
+    /// Parses a request `source` field.
+    pub fn parse(raw: &str) -> Result<Source, String> {
+        match raw.to_ascii_lowercase().as_str() {
+            "default" => Ok(Source::Default),
+            "checkpoint" => Ok(Source::Checkpoint),
+            "matrix" => Ok(Source::Matrix),
+            "surrogate" => Ok(Source::Surrogate),
+            other => Err(format!(
+                "unknown source `{other}`: valid sources are \"default\", \"checkpoint\", \
+                 \"matrix\", and \"surrogate\""
+            )),
+        }
+    }
+}
+
+/// A fully qualified backend identity: `<source>:<sim>:<uarch>[:<spec>]`.
+///
+/// Defaults exist independently of any spec (their id has three segments);
+/// learned backends carry the spec they were tuned under. The
+/// [`Display`](std::fmt::Display) rendering is the wire format echoed in
+/// `/predict` responses and listed by `/backends`, and
+/// [`FromStr`](std::str::FromStr) is its exact inverse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BackendId {
+    /// Where the backend's table or model came from.
+    pub source: Source,
+    /// The simulator family (for surrogates: the family the surrogate mimics).
+    pub simulator: SimulatorKind,
+    /// The microarchitecture the backend targets.
+    pub uarch: Microarch,
+    /// The spec a learned backend was tuned under (`None` for defaults).
+    pub spec: Option<SpecKind>,
+}
+
+impl std::fmt::Display for BackendId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}",
+            self.source.key(),
+            self.simulator.key(),
+            self.uarch.key()
+        )?;
+        if let Some(spec) = self.spec {
+            write!(f, ":{}", spec.key())?;
+        }
+        Ok(())
+    }
+}
+
+impl std::str::FromStr for BackendId {
+    type Err = String;
+
+    fn from_str(raw: &str) -> Result<Self, Self::Err> {
+        let parts: Vec<&str> = raw.split(':').collect();
+        let (source, simulator, uarch, spec) = match parts.as_slice() {
+            [source, simulator, uarch] => (source, simulator, uarch, None),
+            [source, simulator, uarch, spec] => (source, simulator, uarch, Some(spec)),
+            _ => {
+                return Err(format!(
+                    "backend id {raw:?} must have the form SOURCE:SIM:UARCH[:SPEC] \
+                     (e.g. matrix:mca:haswell:llvm_mca)"
+                ))
+            }
+        };
+        Ok(BackendId {
+            source: Source::parse(source)?,
+            simulator: SimulatorKind::parse(simulator)?,
+            uarch: uarch
+                .parse::<Microarch>()
+                .map_err(|e| format!("{e} (valid: ivybridge, haswell, skylake, zen2)"))?,
+            spec: spec.map(|s| SpecKind::parse(s)).transpose()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_display_and_parse_back() {
+        let learned = BackendId {
+            source: Source::Matrix,
+            simulator: SimulatorKind::Mca,
+            uarch: Microarch::Haswell,
+            spec: Some(SpecKind::LlvmMca),
+        };
+        assert_eq!(learned.to_string(), "matrix:mca:haswell:llvm_mca");
+        assert_eq!("matrix:mca:haswell:llvm_mca".parse(), Ok(learned));
+
+        let default = BackendId {
+            source: Source::Default,
+            simulator: SimulatorKind::Uop,
+            uarch: Microarch::Zen2,
+            spec: None,
+        };
+        assert_eq!(default.to_string(), "default:uop:zen2");
+        assert_eq!("default:uop:zen2".parse(), Ok(default));
+
+        let surrogate = BackendId {
+            source: Source::Surrogate,
+            simulator: SimulatorKind::Uop,
+            uarch: Microarch::Haswell,
+            spec: Some(SpecKind::LlvmSim),
+        };
+        assert_eq!(surrogate.to_string(), "surrogate:uop:haswell:llvm_sim");
+        assert_eq!("surrogate:uop:haswell:llvm_sim".parse(), Ok(surrogate));
+    }
+
+    #[test]
+    fn malformed_ids_report_the_grammar() {
+        let err = "matrix:mca".parse::<BackendId>().unwrap_err();
+        assert!(err.contains("SOURCE:SIM:UARCH"), "{err}");
+        let err = "s3:mca:haswell:llvm_mca".parse::<BackendId>().unwrap_err();
+        assert!(err.contains("surrogate"), "{err}");
+        let err = "matrix:mca:pentium:llvm_mca"
+            .parse::<BackendId>()
+            .unwrap_err();
+        assert!(err.contains("haswell"), "{err}");
+    }
+
+    #[test]
+    fn source_parsing_round_trips_and_rejects_unknowns() {
+        for source in [
+            Source::Default,
+            Source::Checkpoint,
+            Source::Matrix,
+            Source::Surrogate,
+        ] {
+            assert_eq!(Source::parse(source.key()), Ok(source));
+        }
+        assert!(Source::parse("s3").unwrap_err().contains("matrix"));
+    }
+}

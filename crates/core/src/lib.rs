@@ -75,6 +75,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod backend_id;
 mod env;
 mod error;
 mod observer;
@@ -85,6 +86,7 @@ mod simdata;
 mod spec;
 mod theta;
 
+pub use backend_id::{BackendId, SimulatorKind, Source, SpecKind};
 pub use env::{apply_env_threads, threads_from_env, THREADS_ENV_VAR};
 pub use error::DiffTuneError;
 pub use observer::{ProgressEvent, RecordingObserver, RunObserver, Stage};

@@ -33,6 +33,28 @@ pub fn build_surrogate(kind: &SurrogateKind) -> Box<dyn SurrogateModel> {
     }
 }
 
+impl From<SurrogateKind> for difftune_surrogate::ModelConfig {
+    /// The artifact-side rendering of a surrogate kind
+    /// ([`difftune_surrogate::SurrogateArtifact`] stores a serde-capable
+    /// `ModelConfig`; this crate's `SurrogateKind` stays the pipeline-facing
+    /// selector).
+    fn from(kind: SurrogateKind) -> Self {
+        match kind {
+            SurrogateKind::Lstm(config) => difftune_surrogate::ModelConfig::Lstm(config),
+            SurrogateKind::Mlp(config) => difftune_surrogate::ModelConfig::Mlp(config),
+        }
+    }
+}
+
+impl From<difftune_surrogate::ModelConfig> for SurrogateKind {
+    fn from(config: difftune_surrogate::ModelConfig) -> Self {
+        match config {
+            difftune_surrogate::ModelConfig::Lstm(c) => SurrogateKind::Lstm(c),
+            difftune_surrogate::ModelConfig::Mlp(c) => SurrogateKind::Mlp(c),
+        }
+    }
+}
+
 /// Configuration of a DiffTune run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DiffTuneConfig {

@@ -292,14 +292,31 @@ fn health_loop(state: Arc<RouterState>, shutdown: Arc<AtomicBool>, interval: Dur
     }
 }
 
-/// Parses a `GET /backends` body (a JSON array of id strings).
+/// The backend id inside one `GET /backends` entry: an
+/// `{"id": ..., "kind": ..., "fingerprint": ...}` object (the current
+/// upstream shape) or a bare id string (older upstreams).
+fn backend_entry_id(entry: &Value) -> Option<String> {
+    match entry {
+        Value::Str(id) => Some(id.clone()),
+        other => other
+            .as_map()?
+            .iter()
+            .find(|(key, _)| key == "id")?
+            .1
+            .as_str()
+            .map(String::from),
+    }
+}
+
+/// Parses a `GET /backends` body (a JSON array of backend entries) into the
+/// advertised ids.
 fn parse_backend_list(response: &ClientResponse) -> Option<Vec<String>> {
     let value = serde_json::from_str_value(&response.body_text()).ok()?;
     Some(
         value
             .as_seq()?
             .iter()
-            .filter_map(|item| item.as_str().map(String::from))
+            .filter_map(backend_entry_id)
             .collect(),
     )
 }
@@ -359,7 +376,16 @@ fn handle_connection(
 
 /// Dispatches one parsed request.
 fn route(request: &Request, state: &RouterState) -> Response {
-    match (request.method.as_str(), request.path.as_str()) {
+    // Versioned aliases: `/v1/<endpoint>` is the same endpoint (the
+    // upstreams accept both spellings too, so proxied paths forward
+    // verbatim and routed `/v1` responses stay byte-identical to direct
+    // ones).
+    let path = request
+        .path
+        .strip_prefix("/v1")
+        .filter(|rest| rest.starts_with('/'))
+        .unwrap_or(&request.path);
+    match (request.method.as_str(), path) {
         ("POST", "/predict") => proxy_predict(request, state),
         ("POST", "/route") => explain_route(request, state),
         ("POST", "/reload") => broadcast_reload(state),
@@ -385,7 +411,8 @@ fn route(request: &Request, state: &RouterState) -> Response {
                 status: 404,
                 message: format!(
                     "unknown path {path}; router endpoints are POST /predict, POST /route, \
-                     POST /reload, GET /healthz, GET /metrics, GET /backends"
+                     POST /reload, GET /healthz, GET /metrics, GET /backends \
+                     (all also under /v1)"
                 ),
             },
             false,
@@ -614,7 +641,9 @@ fn health_response(state: &RouterState) -> Response {
 }
 
 /// `GET /backends` — the live union of every reachable upstream's backend
-/// list (also folded into the routing universe).
+/// list (also folded into the routing universe), id-sorted. Entries keep
+/// the upstream shape (`{id, kind, fingerprint}` objects), so a
+/// single-upstream router answers byte-identically to the upstream itself.
 fn aggregate_backends(state: &RouterState) -> Response {
     let list = Request {
         method: "GET".to_string(),
@@ -622,21 +651,30 @@ fn aggregate_backends(state: &RouterState) -> Response {
         headers: Vec::new(),
         body: Vec::new(),
     };
-    let mut union = BTreeSet::new();
+    let mut union: BTreeMap<String, Value> = BTreeMap::new();
     for index in 0..state.ring.len() {
-        if let Ok(response) = proxy_to(state, index, &list) {
-            if let Some(ids) = parse_backend_list(&response) {
-                union.extend(ids);
+        let Ok(response) = proxy_to(state, index, &list) else {
+            continue;
+        };
+        let Ok(value) = serde_json::from_str_value(&response.body_text()) else {
+            continue;
+        };
+        let Some(entries) = value.as_seq() else {
+            continue;
+        };
+        for entry in entries {
+            if let Some(id) = backend_entry_id(entry) {
+                union.entry(id).or_insert_with(|| entry.clone());
             }
         }
     }
     {
         let mut known = state.known_backends.write().expect("backend lock poisoned");
-        known.extend(union.iter().cloned());
+        known.extend(union.keys().cloned());
     }
     Response::json(
         200,
-        serde_json::to_string(&Value::Seq(union.into_iter().map(Value::Str).collect()))
+        serde_json::to_string(&Value::Seq(union.into_values().collect()))
             .expect("backend union serializes"),
     )
 }

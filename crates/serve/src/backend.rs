@@ -1,93 +1,160 @@
-//! Servable backends: a parameter table bound to a simulator.
+//! Servable backends: a [`Predictor`] bound to an identity.
 //!
-//! Three table sources are supported, mirroring the artifacts the rest of
-//! the repository produces:
+//! Four prediction sources are supported, mirroring the artifacts the rest
+//! of the repository produces:
 //!
 //! * **default** — the expert-documentation tables
 //!   ([`difftune_cpu::default_params`]), one per `(simulator, uarch)` pair;
 //! * **checkpoint** — the learned θ inside a finished session
 //!   [`RunCheckpoint`] (the `--checkpoint SIM:UARCH:SPEC=PATH` flag);
 //! * **matrix** — `MATRIX_*.json` cell records from a `difftune-matrix`
-//!   sweep (schema `difftune-matrix/2` carries the learned table's flat
-//!   encoding), so every tuned scenario cell is directly servable.
+//!   sweep (schema `difftune-matrix/2` onward carries the learned table's
+//!   flat encoding), so every tuned scenario cell is directly servable;
+//! * **surrogate** — `SURROGATE_*.json` artifacts: the trained surrogate
+//!   itself answers with one forward-only replay of a compiled program
+//!   instead of a simulator run (the fast path).
 //!
-//! Every loaded table is integrity-checked: the reconstructed table's
-//! [`SimParams::stable_fingerprint`] must match the fingerprint recorded in
-//! the artifact, so a truncated or hand-edited file is rejected at load time
-//! instead of silently serving wrong timings.
+//! All four hide behind the [`Predictor`] trait — a batch of blocks in,
+//! timings out, plus the artifact fingerprint and the prediction kind — so
+//! the shard job loop, the cache key, and `/backends` are generic over
+//! prediction sources.
+//!
+//! Every loaded artifact is integrity-checked: the reconstructed table's
+//! [`SimParams::stable_fingerprint`] (or the surrogate artifact's content
+//! fingerprint) must match the fingerprint recorded in the artifact, so a
+//! truncated or hand-edited file is rejected at load time instead of
+//! silently serving wrong timings.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
-use difftune::RunCheckpoint;
+use difftune::{BackendId, RunCheckpoint};
 use difftune_bench::matrix::{CellKey, SimulatorKind, SpecKind};
 use difftune_bench::record::{fnv1a, MatrixRecord, MATRIX_SCHEMA};
 use difftune_cpu::{default_params, Microarch};
+use difftune_isa::BasicBlock;
 use difftune_sim::{ParamBounds, SimParams, Simulator};
+use difftune_surrogate::{SurrogateArtifact, SurrogateForward, SURROGATE_SCHEMA};
 
-/// Where a backend's parameter table came from.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-pub enum Source {
-    /// Expert-documentation defaults.
-    Default,
-    /// A finished session checkpoint's learned θ.
-    Checkpoint,
-    /// A `difftune-matrix` cell record.
-    Matrix,
+pub use difftune::Source;
+
+/// A prediction source: a batch of basic blocks in, one timing per block
+/// out, in order.
+///
+/// Both the table-driven simulators and the learned surrogate implement
+/// this, so everything downstream of backend resolution — the shard job
+/// loop, the prediction cache, `/backends` — is generic over how timings
+/// are produced. Implementations must be deterministic: the same block
+/// yields the same bits regardless of batch composition, cache state, or
+/// call history (the serving tier's determinism contract leans on this).
+pub trait Predictor: std::fmt::Debug + Send + Sync {
+    /// Predicts a timing for every block, in order.
+    fn predict_batch(&self, blocks: &[BasicBlock]) -> Vec<f64>;
+
+    /// The artifact digest (`{:#018x}`) pinning exactly what answers: the
+    /// table fingerprint for table backends, the surrogate artifact's
+    /// content fingerprint for surrogate backends.
+    fn fingerprint(&self) -> &str;
+
+    /// The prediction family: `"table"` or `"surrogate"`.
+    fn kind(&self) -> &'static str;
 }
 
-impl Source {
-    /// The short name used in backend ids and request `source` fields.
-    pub fn key(self) -> &'static str {
-        match self {
-            Source::Default => "default",
-            Source::Checkpoint => "checkpoint",
-            Source::Matrix => "matrix",
-        }
+/// A simulator running a parameter table — the classic backend.
+#[derive(Debug)]
+struct TablePredictor {
+    simulator: Box<dyn Simulator>,
+    table: SimParams,
+    fingerprint: String,
+}
+
+impl Predictor for TablePredictor {
+    fn predict_batch(&self, blocks: &[BasicBlock]) -> Vec<f64> {
+        self.simulator.predict_batch(&self.table, blocks)
     }
 
-    /// Parses a request `source` field.
-    pub fn parse(raw: &str) -> Result<Source, String> {
-        match raw.to_ascii_lowercase().as_str() {
-            "default" => Ok(Source::Default),
-            "checkpoint" => Ok(Source::Checkpoint),
-            "matrix" => Ok(Source::Matrix),
-            other => Err(format!(
-                "unknown source `{other}`: valid sources are \"default\", \"checkpoint\", and \
-                 \"matrix\""
-            )),
-        }
+    fn fingerprint(&self) -> &str {
+        &self.fingerprint
+    }
+
+    fn kind(&self) -> &'static str {
+        "table"
     }
 }
 
-/// One servable backend: a simulator plus the parameter table it runs.
+/// The learned surrogate answering directly: tokenize, encode the embedded
+/// table as features, and run one forward-only replay of a compiled program
+/// (recorded once per graph structure and cached). Blocks whose structure
+/// the model cannot key fall back to a taped forward pass — bit-identical
+/// by the engine's contract, so the fallback is invisible in the bytes.
+#[derive(Debug)]
+struct SurrogatePredictor {
+    /// The shared forward-only engine ([`SurrogateForward`]); the mutex
+    /// guards its compiled-program cache and replay scratch. Predictions
+    /// never depend on that state — it only skips re-recording — so lock
+    /// order across shards cannot change response bytes.
+    forward: Mutex<SurrogateForward>,
+    fingerprint: String,
+}
+
+impl SurrogatePredictor {
+    fn new(artifact: &SurrogateArtifact) -> Result<Self, String> {
+        Ok(SurrogatePredictor {
+            forward: Mutex::new(SurrogateForward::from_artifact(artifact)?),
+            fingerprint: artifact.fingerprint.clone(),
+        })
+    }
+}
+
+impl Predictor for SurrogatePredictor {
+    fn predict_batch(&self, blocks: &[BasicBlock]) -> Vec<f64> {
+        self.forward
+            .lock()
+            .expect("surrogate engine lock poisoned")
+            .predict_batch(blocks)
+    }
+
+    fn fingerprint(&self) -> &str {
+        &self.fingerprint
+    }
+
+    fn kind(&self) -> &'static str {
+        "surrogate"
+    }
+}
+
+/// One servable backend: a [`Predictor`] plus the identity it serves under.
 #[derive(Debug)]
 pub struct Backend {
     /// The backend id (`<source>:<sim>:<uarch>` for defaults,
-    /// `<source>:<sim>:<uarch>:<spec>` for learned tables) — echoed in every
-    /// `/predict` response.
+    /// `<source>:<sim>:<uarch>:<spec>` for learned backends) — echoed in
+    /// every `/predict` response.
     pub id: String,
-    /// The table's source.
+    /// The backend's source.
     pub source: Source,
-    /// The simulator family.
+    /// The simulator family (for surrogates: the family mimicked).
     pub simulator_kind: SimulatorKind,
-    /// The microarchitecture the table targets.
+    /// The microarchitecture the backend targets.
     pub uarch: Microarch,
-    /// The parameter spec a learned table was tuned under (`None` for
+    /// The parameter spec a learned backend was tuned under (`None` for
     /// defaults, which exist independently of any spec).
     pub spec: Option<SpecKind>,
-    /// The simulator instance answering predictions.
-    pub simulator: Box<dyn Simulator>,
-    /// The parameter table.
+    /// The prediction source answering requests.
+    pub predictor: Box<dyn Predictor>,
+    /// The parameter table (for surrogates: the learned table embedded in
+    /// the artifact, which the surrogate encodes as its feature inputs).
     pub table: SimParams,
-    /// The table digest in artifact rendering (`{:#018x}`), echoed in
-    /// responses so clients can pin the exact table they were answered from.
+    /// The artifact digest in `{:#018x}` rendering
+    /// ([`Predictor::fingerprint`]), echoed in responses so clients can pin
+    /// the exact artifact they were answered from.
     pub table_fingerprint: String,
-    /// Cache/shard fingerprint: the table digest folded with the simulator
-    /// kind. Two backends sharing a table but not a simulator (e.g. the mca
-    /// and uop defaults of one uarch) predict differently, so the cache key
-    /// must separate them.
+    /// Cache/shard fingerprint: the artifact digest folded with the
+    /// simulator kind (and, for surrogates, the prediction kind). Two
+    /// backends sharing a table but not a simulator (e.g. the mca and uop
+    /// defaults of one uarch) predict differently, so the cache key must
+    /// separate them — and a surrogate trained on a cell predicts
+    /// differently from the cell's table, so those separate too.
     pub cache_fingerprint: u64,
 }
 
@@ -99,16 +166,13 @@ impl Backend {
         spec: Option<SpecKind>,
         table: SimParams,
     ) -> Self {
-        let id = match spec {
-            Some(spec) => format!(
-                "{}:{}:{}:{}",
-                source.key(),
-                simulator_kind.key(),
-                uarch.key(),
-                spec.key()
-            ),
-            None => format!("{}:{}:{}", source.key(), simulator_kind.key(), uarch.key()),
-        };
+        let id = BackendId {
+            source,
+            simulator: simulator_kind,
+            uarch,
+            spec,
+        }
+        .to_string();
         let table_digest = table.stable_fingerprint();
         let cache_fingerprint = fnv1a(
             simulator_kind
@@ -117,17 +181,60 @@ impl Backend {
                 .chain([0xff])
                 .chain(table_digest.to_le_bytes()),
         );
+        let predictor = TablePredictor {
+            simulator: simulator_kind.build(),
+            table: table.clone(),
+            fingerprint: table.fingerprint_hex(),
+        };
         Backend {
             id,
             source,
             simulator_kind,
             uarch,
             spec,
-            simulator: simulator_kind.build(),
-            table_fingerprint: table.fingerprint_hex(),
+            table_fingerprint: predictor.fingerprint.clone(),
+            predictor: Box::new(predictor),
             table,
             cache_fingerprint,
         }
+    }
+
+    fn from_surrogate(artifact: &SurrogateArtifact) -> Result<Self, String> {
+        let key = CellKey::parse(&artifact.cell)
+            .map_err(|error| format!("cell id {:?}: {error}", artifact.cell))?;
+        let predictor = SurrogatePredictor::new(artifact)?;
+        let id = BackendId {
+            source: Source::Surrogate,
+            simulator: key.simulator,
+            uarch: key.uarch,
+            spec: Some(key.spec),
+        }
+        .to_string();
+        let cache_fingerprint = fnv1a(
+            "surrogate"
+                .bytes()
+                .chain([0xff])
+                .chain(key.simulator.key().bytes())
+                .chain([0xff])
+                .chain(artifact.stable_fingerprint().to_le_bytes()),
+        );
+        Ok(Backend {
+            id,
+            source: Source::Surrogate,
+            simulator_kind: key.simulator,
+            uarch: key.uarch,
+            spec: Some(key.spec),
+            table: artifact.table(),
+            table_fingerprint: predictor.fingerprint.clone(),
+            predictor: Box::new(predictor),
+            cache_fingerprint,
+        })
+    }
+
+    /// The prediction family answering for this backend
+    /// ([`Predictor::kind`]).
+    pub fn kind(&self) -> &'static str {
+        self.predictor.kind()
     }
 
     /// The shard this backend's requests are routed to, out of `shards`
@@ -164,24 +271,24 @@ impl Default for BackendQuery {
 }
 
 impl BackendQuery {
-    /// The backend id this query names under one specific source.
+    /// The backend id this query names under one specific source (defaults
+    /// exist independently of any spec, so their id drops the spec segment).
     pub fn id_for(&self, source: Source) -> String {
-        match source {
-            Source::Default => format!("default:{}:{}", self.simulator.key(), self.uarch.key()),
-            _ => format!(
-                "{}:{}:{}:{}",
-                source.key(),
-                self.simulator.key(),
-                self.uarch.key(),
-                self.spec.key()
-            ),
+        BackendId {
+            source,
+            simulator: self.simulator,
+            uarch: self.uarch,
+            spec: (source != Source::Default).then_some(self.spec),
         }
+        .to_string()
     }
 
     /// The candidate backend ids in resolution order: the exact id when a
-    /// source is pinned, otherwise learned-first (`matrix` → `checkpoint` →
-    /// `default`). This order is the resolution contract — the registry and
-    /// the routing tier both resolve through it, so a request hashes to the
+    /// source is pinned, otherwise learned-table-first (`matrix` →
+    /// `checkpoint` → `default`; surrogates answer only when explicitly
+    /// requested, because they approximate the simulator rather than run
+    /// it). This order is the resolution contract — the registry and the
+    /// routing tier both resolve through it, so a request hashes to the
     /// same backend identity no matter which process resolves it.
     pub fn candidate_ids(&self) -> Vec<String> {
         match self.source {
@@ -258,6 +365,22 @@ impl BackendRegistry {
         self.backends.keys().cloned().collect()
     }
 
+    /// Every backend as `(id, kind, fingerprint)`, sorted by id — the
+    /// listing `/backends` and `--list-backends` report, complete by
+    /// construction because it walks the same index resolution uses.
+    pub fn entries(&self) -> Vec<(String, &'static str, String)> {
+        self.backends
+            .values()
+            .map(|backend| {
+                (
+                    backend.id.clone(),
+                    backend.kind(),
+                    backend.table_fingerprint.clone(),
+                )
+            })
+            .collect()
+    }
+
     /// Builds a registry from a [`ReloadSpec`] — the startup *and* hot-reload
     /// loading path, so the two cannot drift apart.
     ///
@@ -301,12 +424,13 @@ impl BackendRegistry {
             .collect()
     }
 
-    /// Loads every servable `MATRIX_*.json` cell record in a directory.
-    /// Returns the number of backends added.
+    /// Loads every servable `MATRIX_*.json` cell record and every
+    /// `SURROGATE_*.json` artifact in a directory. Returns the number of
+    /// backends added.
     ///
     /// # Errors
     ///
-    /// Reports unreadable directories and corrupt records (parse failures,
+    /// Reports unreadable directories and corrupt artifacts (parse failures,
     /// wrong schema, fingerprint mismatches). `MATRIX_summary.json` and
     /// `MATRIX_ckpt_*.json` files are skipped, as are records whose schema
     /// predates `difftune-matrix/2` (they carry no table to serve).
@@ -315,7 +439,7 @@ impl BackendRegistry {
     }
 
     /// [`BackendRegistry::add_matrix_dir`] with an explicit strictness: when
-    /// `strict`, a record whose schema predates `difftune-matrix/2` is an
+    /// `strict`, an artifact whose schema this build cannot serve is an
     /// error instead of a skip (the hot-reload policy).
     ///
     /// # Errors
@@ -329,10 +453,11 @@ impl BackendRegistry {
             .filter_map(|entry| entry.ok())
             .filter_map(|entry| entry.file_name().into_string().ok())
             .filter(|name| {
-                name.starts_with("MATRIX_")
-                    && name.ends_with(".json")
-                    && name != "MATRIX_summary.json"
-                    && !name.starts_with("MATRIX_ckpt_")
+                name.ends_with(".json")
+                    && ((name.starts_with("MATRIX_")
+                        && name != "MATRIX_summary.json"
+                        && !name.starts_with("MATRIX_ckpt_"))
+                        || name.starts_with("SURROGATE_"))
             })
             .collect();
         names.sort();
@@ -343,9 +468,15 @@ impl BackendRegistry {
             let json = std::fs::read_to_string(&path)
                 .map_err(|error| format!("cannot read {}: {error}", path.display()))?;
             // Check the schema tag on the raw value tree *before* the typed
-            // parse: pre-/2 records are missing `learned_table`, so parsing
-            // them as a MatrixRecord fails — and they should be skipped as
-            // legitimately unservable, not reported as corrupt.
+            // parse: artifacts of another schema generation may not even
+            // parse into today's types (pre-/2 matrix records are missing
+            // `learned_table`) — and they should be skipped as legitimately
+            // unservable, not reported as corrupt.
+            let kind_label = if name.starts_with("SURROGATE_") {
+                "surrogate artifact"
+            } else {
+                "matrix cell record"
+            };
             let schema = serde_json::from_str_value(&json)
                 .ok()
                 .and_then(|value| {
@@ -353,30 +484,56 @@ impl BackendRegistry {
                         .get("schema")
                         .and_then(|s| s.as_str().map(String::from))
                 })
-                .ok_or_else(|| format!("{}: not a matrix cell record", path.display()))?;
-            if schema != MATRIX_SCHEMA {
+                .ok_or_else(|| format!("{}: not a {kind_label}", path.display()))?;
+            let expected = if name.starts_with("SURROGATE_") {
+                SURROGATE_SCHEMA
+            } else {
+                MATRIX_SCHEMA
+            };
+            if schema != expected {
                 if strict {
                     return Err(format!(
-                        "{}: schema {schema:?} has no learned table (need {MATRIX_SCHEMA}); \
+                        "{}: schema {schema:?} is not servable by this build (need {expected}); \
                          refusing to reload from a directory with unservable records",
                         path.display(),
                     ));
                 }
                 eprintln!(
-                    "[difftune-serve] {}: schema {schema:?} has no learned table; re-run the \
-                     sweep to produce servable {MATRIX_SCHEMA} records",
+                    "[difftune-serve] {}: schema {schema:?} is not servable by this build; \
+                     re-run the sweep to produce servable {expected} artifacts",
                     path.display(),
                 );
                 continue;
             }
-            let record = MatrixRecord::from_json(&json).map_err(|error| {
-                format!("{}: not a matrix cell record: {error}", path.display())
-            })?;
-            self.add_matrix_record(&record)
-                .map_err(|error| format!("{}: {error}", path.display()))?;
+            if name.starts_with("SURROGATE_") {
+                let artifact = SurrogateArtifact::from_json(&json).map_err(|error| {
+                    format!("{}: not a surrogate artifact: {error}", path.display())
+                })?;
+                self.add_surrogate_artifact(&artifact)
+                    .map_err(|error| format!("{}: {error}", path.display()))?;
+            } else {
+                let record = MatrixRecord::from_json(&json).map_err(|error| {
+                    format!("{}: not a matrix cell record: {error}", path.display())
+                })?;
+                self.add_matrix_record(&record)
+                    .map_err(|error| format!("{}: {error}", path.display()))?;
+            }
             added += 1;
         }
         Ok(added)
+    }
+
+    /// Registers one verified surrogate artifact as a `surrogate:` backend.
+    ///
+    /// # Errors
+    ///
+    /// Reports an unparsable cell id and any integrity failure
+    /// ([`SurrogateArtifact::verify`] — schema, content fingerprint, table
+    /// round trip, weight compatibility).
+    pub fn add_surrogate_artifact(&mut self, artifact: &SurrogateArtifact) -> Result<(), String> {
+        artifact.verify()?;
+        self.register(Backend::from_surrogate(artifact)?);
+        Ok(())
     }
 
     /// Registers one matrix cell record as a backend.
@@ -505,6 +662,13 @@ mod tests {
             default_tau: 0.8,
             learned_mape: 0.2,
             learned_tau: 0.8,
+            surrogate_mape: None,
+            surrogate_tau: None,
+            surrogate_vs_sim_mape: None,
+            surrogate_vs_sim_tau: None,
+            surrogate_fingerprint: None,
+            surrogate_blocks_per_second: None,
+            simulator_blocks_per_second: None,
             by_category: Vec::<CategoryScore>::new(),
             table_fingerprint: fingerprint_table(&table),
             learned_table: table.to_flat(),
@@ -751,11 +915,177 @@ mod tests {
         assert_ne!(mca.cache_fingerprint, uop.cache_fingerprint);
     }
 
+    /// A tiny but genuine surrogate artifact over a perturbed default table.
+    fn fake_artifact(cell: &str, uarch: Microarch) -> SurrogateArtifact {
+        use difftune_surrogate::{FeatureMlpConfig, FeatureMlpModel, ModelConfig};
+        let config = FeatureMlpConfig {
+            hidden_dim: 8,
+            parameter_inputs: true,
+            seed: 3,
+        };
+        let model = FeatureMlpModel::new(config);
+        let mut table = default_params(uarch);
+        table.per_inst[7].write_latency += 1;
+        SurrogateArtifact::new(cell, ModelConfig::Mlp(config), &model, &table)
+    }
+
     #[test]
-    fn source_parsing_round_trips_and_rejects_unknowns() {
-        for source in [Source::Default, Source::Checkpoint, Source::Matrix] {
-            assert_eq!(Source::parse(source.key()), Ok(source));
+    fn surrogate_artifacts_become_explicit_source_backends() {
+        let mut registry = BackendRegistry::with_defaults();
+        registry
+            .add_surrogate_artifact(&fake_artifact("mca:haswell:llvm_mca", Microarch::Haswell))
+            .expect("a consistent artifact loads");
+
+        // Sourceless resolution still prefers tables; the surrogate answers
+        // only when asked for.
+        let sourceless = registry.resolve(&BackendQuery::default()).unwrap();
+        assert_eq!(sourceless.id, "default:mca:haswell");
+        let surrogate = registry
+            .resolve(&BackendQuery {
+                source: Some(Source::Surrogate),
+                ..BackendQuery::default()
+            })
+            .unwrap();
+        assert_eq!(surrogate.id, "surrogate:mca:haswell:llvm_mca");
+        assert_eq!(surrogate.kind(), "surrogate");
+        assert_ne!(surrogate.table, default_params(Microarch::Haswell));
+
+        // The listing reports every predictor with kind and fingerprint.
+        let entries = registry.entries();
+        assert_eq!(entries.len(), registry.len());
+        let ids: Vec<&String> = entries.iter().map(|(id, _, _)| id).collect();
+        let mut sorted = ids.clone();
+        sorted.sort();
+        assert_eq!(ids, sorted, "entries are sorted by id");
+        let (_, kind, fingerprint) = entries
+            .iter()
+            .find(|(id, _, _)| id == "surrogate:mca:haswell:llvm_mca")
+            .unwrap();
+        assert_eq!(*kind, "surrogate");
+        assert_eq!(*fingerprint, surrogate.table_fingerprint);
+    }
+
+    #[test]
+    fn surrogate_predictions_match_the_in_process_forward_pass() {
+        use difftune_surrogate::{block_param_features, global_features, Vocab};
+        use difftune_tensor::{Graph, Var};
+
+        let artifact = fake_artifact("mca:haswell:llvm_mca", Microarch::Haswell);
+        let mut registry = BackendRegistry::new();
+        registry.add_surrogate_artifact(&artifact).unwrap();
+        let backend = registry
+            .resolve(&BackendQuery {
+                source: Some(Source::Surrogate),
+                ..BackendQuery::default()
+            })
+            .unwrap();
+
+        let blocks: Vec<BasicBlock> = [
+            "addq %rax, %rbx",
+            "imulq %rbx, %rcx\naddq %rcx, %rax",
+            "movq (%rdi), %rax\naddq %rax, %rbx",
+        ]
+        .iter()
+        .map(|text| text.parse().unwrap())
+        .collect();
+
+        // In-process reference: a fresh taped forward pass per block.
+        let model = artifact.load_model().unwrap();
+        let table = artifact.table();
+        let vocab = Vocab::new();
+        let global = global_features(&table);
+        let expected: Vec<f64> = blocks
+            .iter()
+            .map(|block| {
+                let tokenized = vocab.tokenize_block(block);
+                let features = block_param_features(&table, &tokenized);
+                let mut graph = Graph::new(model.params());
+                let feature_vars: Vec<Var> =
+                    features.iter().map(|f| graph.input(f.clone())).collect();
+                let global_var = graph.input(global.clone());
+                let prediction = model.forward(
+                    &mut graph,
+                    &tokenized,
+                    Some(&feature_vars),
+                    Some(global_var),
+                );
+                f64::from(graph.value(prediction)[0])
+            })
+            .collect();
+
+        // Served path (compiled replay), twice: cold cache and warm cache
+        // must both be bit-equal to the reference.
+        for _ in 0..2 {
+            let served = backend.predictor.predict_batch(&blocks);
+            let served_bits: Vec<u64> = served.iter().map(|v| v.to_bits()).collect();
+            let expected_bits: Vec<u64> = expected.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(served_bits, expected_bits);
         }
-        assert!(Source::parse("s3").unwrap_err().contains("matrix"));
+    }
+
+    #[test]
+    fn tampered_surrogate_artifacts_are_rejected() {
+        let mut registry = BackendRegistry::new();
+        let mut tampered = fake_artifact("mca:haswell:llvm_mca", Microarch::Haswell);
+        tampered.learned_table[0] += 1.0;
+        assert!(registry
+            .add_surrogate_artifact(&tampered)
+            .unwrap_err()
+            .contains("fingerprint"));
+        assert!(registry.is_empty());
+    }
+
+    #[test]
+    fn surrogate_artifacts_load_from_table_directories() {
+        let dir = std::env::temp_dir().join(format!(
+            "difftune-serve-surrogate-{}-{:x}",
+            std::process::id(),
+            fnv1a("surrogate_dir".bytes())
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("temp dir is writable");
+
+        let record = fake_record("mca:haswell:llvm_mca", Microarch::Haswell);
+        std::fs::write(dir.join(record.file_name()), record.to_json()).unwrap();
+        let artifact = fake_artifact("mca:haswell:llvm_mca", Microarch::Haswell);
+        std::fs::write(dir.join(artifact.file_name()), artifact.to_json()).unwrap();
+
+        let mut registry = BackendRegistry::new();
+        let added = registry.add_matrix_dir(&dir).unwrap();
+        assert_eq!(added, 2, "the record and the artifact both load");
+        assert_eq!(
+            registry.ids(),
+            vec![
+                "matrix:mca:haswell:llvm_mca",
+                "surrogate:mca:haswell:llvm_mca"
+            ]
+        );
+
+        // An artifact of an unknown schema generation is skipped leniently
+        // and fatal strictly, like unservable matrix schemas.
+        let mut future = serde_json::from_str_value(&artifact.to_json()).unwrap();
+        if let serde::Value::Map(entries) = &mut future {
+            for (key, entry) in entries.iter_mut() {
+                if key == "schema" {
+                    *entry = serde::Value::Str("difftune-surrogate/999".to_string());
+                }
+            }
+        }
+        std::fs::write(
+            dir.join("SURROGATE_mca_skylake_llvm_mca.json"),
+            serde_json::to_string(&future).unwrap(),
+        )
+        .unwrap();
+        let mut lenient = BackendRegistry::new();
+        assert_eq!(lenient.add_matrix_dir(&dir).unwrap(), 2);
+        let spec = ReloadSpec {
+            defaults: false,
+            table_dirs: vec![dir.clone()],
+            checkpoints: Vec::new(),
+        };
+        let error = BackendRegistry::load(&spec, true).unwrap_err();
+        assert!(error.contains("difftune-surrogate/999"), "{error}");
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -171,7 +171,9 @@ fn main() {
     };
     for dir in &args.tables {
         match registry.add_matrix_dir(std::path::Path::new(dir)) {
-            Ok(added) => eprintln!("[difftune-serve] loaded {added} matrix backend(s) from {dir}"),
+            Ok(added) => {
+                eprintln!("[difftune-serve] loaded {added} matrix/surrogate backend(s) from {dir}");
+            }
             Err(error) => {
                 eprintln!("difftune-serve: {error}");
                 std::process::exit(1);
@@ -191,8 +193,8 @@ fn main() {
     }
 
     if args.list_backends {
-        for id in registry.ids() {
-            println!("{id}");
+        for (id, kind, fingerprint) in registry.entries() {
+            println!("{id}\t{kind}\t{fingerprint}");
         }
         return;
     }

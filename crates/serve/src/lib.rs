@@ -68,7 +68,7 @@ pub mod http;
 pub mod metrics;
 pub mod server;
 
-pub use backend::{Backend, BackendQuery, BackendRegistry, ReloadSpec, Source};
+pub use backend::{Backend, BackendQuery, BackendRegistry, Predictor, ReloadSpec, Source};
 pub use cache::LruCache;
 pub use client::{ClientResponse, HttpClient};
 pub use http::{HttpError, HttpLimits, Request, RequestBuffer, Response};

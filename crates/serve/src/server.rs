@@ -7,7 +7,7 @@
 //! acceptor ──► connection threads (parse HTTP, resolve backend)
 //!                   │ ShardMessage (mpsc)
 //!                   ▼
-//!              shard workers ──► LruCache ──► Simulator::predict_batch
+//!              shard workers ──► LruCache ──► Predictor::predict_batch
 //! ```
 //!
 //! Each worker shard owns its prediction cache outright (no locks): a backend
@@ -15,8 +15,10 @@
 //! one table's cache entries never split across shards. A shard drains every
 //! queued job before predicting, groups the in-flight requests by backend,
 //! deduplicates repeated blocks, and answers all cache misses of a group with
-//! a single [`Simulator::predict_batch`](difftune_sim::Simulator::predict_batch)
-//! call — the same batched hot path the evaluation pipeline uses.
+//! a single [`Predictor::predict_batch`](crate::backend::Predictor) call —
+//! for table backends the same batched simulator hot path the evaluation
+//! pipeline uses, for surrogate backends a forward-only replay of the
+//! compiled surrogate program.
 //!
 //! # Ops primitives
 //!
@@ -53,6 +55,7 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
+use difftune::BackendId;
 use difftune_isa::BasicBlock;
 use serde::Value;
 
@@ -399,8 +402,18 @@ fn handle_connection(
 }
 
 /// Dispatches one parsed request to its endpoint.
+///
+/// Every endpoint is reachable both at its versioned path (`/v1/predict`)
+/// and at the legacy unversioned alias (`/predict`); the two are normalized
+/// to one handler here, so their responses are byte-identical by
+/// construction.
 fn route(request: &Request, context: &ConnectionContext) -> Response {
-    match (request.method.as_str(), request.path.as_str()) {
+    let path = request
+        .path
+        .strip_prefix("/v1")
+        .filter(|rest| rest.starts_with('/'))
+        .unwrap_or(&request.path);
+    match (request.method.as_str(), path) {
         ("GET", "/healthz") => {
             let draining = context.drain.load(Ordering::SeqCst);
             let registry = context.registry();
@@ -431,9 +444,15 @@ fn route(request: &Request, context: &ConnectionContext) -> Response {
             serde_json::to_string(&Value::Seq(
                 context
                     .registry()
-                    .ids()
+                    .entries()
                     .into_iter()
-                    .map(Value::Str)
+                    .map(|(id, kind, fingerprint)| {
+                        Value::Map(vec![
+                            ("id".to_string(), Value::Str(id)),
+                            ("kind".to_string(), Value::Str(kind.to_string())),
+                            ("fingerprint".to_string(), Value::Str(fingerprint)),
+                        ])
+                    })
                     .collect(),
             ))
             .expect("backend list serializes"),
@@ -466,7 +485,8 @@ fn route(request: &Request, context: &ConnectionContext) -> Response {
                 status: 404,
                 message: format!(
                     "unknown path {path}; endpoints are POST /predict, POST /reload, \
-                     POST /drain, GET /healthz, GET /metrics, GET /backends"
+                     POST /drain, GET /healthz, GET /metrics, GET /backends (all also \
+                     under /v1)"
                 ),
             },
             false,
@@ -578,6 +598,10 @@ fn handle_predict(request: &Request, context: &ConnectionContext) -> Result<Resp
     context.metrics.on_predict(predictions.len());
     let body = serde_json::to_string(&Value::Map(vec![
         ("backend".to_string(), Value::Str(backend.id.clone())),
+        (
+            "source_kind".to_string(),
+            Value::Str(backend.kind().to_string()),
+        ),
         (
             "table_fingerprint".to_string(),
             Value::Str(backend.table_fingerprint.clone()),
@@ -701,7 +725,9 @@ fn find<'a>(map: &'a [(String, Value)], name: &str) -> Option<&'a Value> {
 }
 
 /// Extracts the backend-selection fields (`sim`, `uarch`, `spec`, `source`),
-/// all optional.
+/// all optional, plus the `backend` shorthand: a full backend id
+/// (`matrix:mca:haswell:llvm_mca`) parsed through [`BackendId`], setting all
+/// four at once (individual fields still override it).
 ///
 /// Public because the routing tier parses the same fields out of a `/predict`
 /// body to compute the request's ring position — router and upstream must
@@ -721,6 +747,15 @@ pub fn parse_backend_query(map: &[(String, Value)]) -> Result<BackendQuery, Http
         }
     };
     let mut query = BackendQuery::default();
+    if let Some(id) = text("backend")? {
+        let id: BackendId = id.parse().map_err(HttpError::bad_request)?;
+        query.simulator = id.simulator;
+        query.uarch = id.uarch;
+        query.source = Some(id.source);
+        if let Some(spec) = id.spec {
+            query.spec = spec;
+        }
+    }
     if let Some(sim) = text("sim")? {
         query.simulator = SimulatorKind::parse(sim).map_err(HttpError::bad_request)?;
     }
@@ -793,9 +828,7 @@ fn worker_loop(rx: mpsc::Receiver<ShardMessage>, mut cache: LruCache, metrics: A
             metrics.on_cache(hits, miss_blocks.len());
 
             if !miss_blocks.is_empty() {
-                let values = backend
-                    .simulator
-                    .predict_batch(&backend.table, &miss_blocks);
+                let values = backend.predictor.predict_batch(&miss_blocks);
                 for (key, value) in miss_keys.iter().zip(&values) {
                     cache.insert(*key, *value);
                 }

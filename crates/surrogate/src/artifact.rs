@@ -1,0 +1,374 @@
+//! Servable surrogate artifacts.
+//!
+//! A [`SurrogateArtifact`] is the deployment form of a trained surrogate:
+//! the model configuration, its trained weights, and the learned parameter
+//! table the weights were trained against, all under one content
+//! fingerprint. `difftune-matrix` writes one per cell
+//! (`SURROGATE_<sim>_<uarch>_<spec>.json`) next to the cell's
+//! `MATRIX_*.json`, and `difftune-serve` loads them with the same strict
+//! verification as tables: schema tag, content fingerprint, table
+//! fingerprint, and weight-shape compatibility are all checked before a
+//! backend is registered.
+
+use difftune_sim::{ParamBounds, SimParams};
+use difftune_tensor::Params;
+use serde::{Deserialize, Serialize};
+
+use crate::{FeatureMlpConfig, FeatureMlpModel, IthemalConfig, IthemalModel, SurrogateModel};
+
+/// Schema tag stamped into every artifact. Bump on breaking layout changes.
+pub const SURROGATE_SCHEMA: &str = "difftune-surrogate/1";
+
+/// The model family and hyperparameters an artifact was trained with —
+/// everything needed to rebuild the architecture before loading weights.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ModelConfig {
+    /// The Ithemal-style LSTM surrogate.
+    Lstm(IthemalConfig),
+    /// The feature-MLP surrogate.
+    Mlp(FeatureMlpConfig),
+}
+
+impl ModelConfig {
+    /// Builds a freshly initialized model of this configuration.
+    pub fn build(&self) -> Box<dyn SurrogateModel> {
+        match self {
+            ModelConfig::Lstm(config) => Box::new(IthemalModel::new(*config)),
+            ModelConfig::Mlp(config) => Box::new(FeatureMlpModel::new(*config)),
+        }
+    }
+
+    /// The model family name (`"lstm"` or `"mlp"`).
+    pub fn family(&self) -> &'static str {
+        match self {
+            ModelConfig::Lstm(_) => "lstm",
+            ModelConfig::Mlp(_) => "mlp",
+        }
+    }
+
+    /// A canonical byte rendering for fingerprinting: a family discriminant
+    /// followed by every hyperparameter in declaration order.
+    fn digest_bytes(&self) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        match self {
+            ModelConfig::Lstm(c) => {
+                bytes.push(0);
+                for dim in [c.embed_dim, c.hidden_dim, c.instr_layers, c.block_layers] {
+                    bytes.extend((dim as u64).to_le_bytes());
+                }
+                bytes.push(u8::from(c.parameter_inputs));
+                bytes.extend(c.seed.to_le_bytes());
+            }
+            ModelConfig::Mlp(c) => {
+                bytes.push(1);
+                bytes.extend((c.hidden_dim as u64).to_le_bytes());
+                bytes.push(u8::from(c.parameter_inputs));
+                bytes.extend(c.seed.to_le_bytes());
+            }
+        }
+        bytes
+    }
+}
+
+/// A fingerprint-verified, servable snapshot of a trained surrogate.
+///
+/// The artifact is self-contained: it embeds the learned parameter table the
+/// surrogate's feature inputs are derived from, so a serving process needs no
+/// other file to answer predictions. [`SurrogateArtifact::from_json`] refuses
+/// anything whose schema, content fingerprint, table fingerprint, or weight
+/// shapes do not verify.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SurrogateArtifact {
+    /// Always [`SURROGATE_SCHEMA`] for records written by this version.
+    pub schema: String,
+    /// The matrix cell id (`sim:uarch:spec`) this surrogate was trained in.
+    pub cell: String,
+    /// Model family and hyperparameters.
+    pub config: ModelConfig,
+    /// Trained weight tensors.
+    pub weights: Params,
+    /// Flat encoding of the learned parameter table
+    /// ([`SimParams::to_flat`]) the surrogate consumes as feature inputs.
+    pub learned_table: Vec<f64>,
+    /// [`SimParams::fingerprint_hex`] of the learned table.
+    pub table_fingerprint: String,
+    /// [`SurrogateArtifact::stable_fingerprint`] in `{:#018x}` rendering,
+    /// covering cell, config, weights, and table.
+    pub fingerprint: String,
+}
+
+impl SurrogateArtifact {
+    /// Snapshots a trained model and its learned table into an artifact.
+    ///
+    /// The caller asserts that `model` was built from `config`; the stamped
+    /// fingerprints make any later drift detectable.
+    pub fn new(
+        cell: &str,
+        config: ModelConfig,
+        model: &dyn SurrogateModel,
+        table: &SimParams,
+    ) -> Self {
+        let mut artifact = SurrogateArtifact {
+            schema: SURROGATE_SCHEMA.to_string(),
+            cell: cell.to_string(),
+            config,
+            weights: model.params().clone(),
+            learned_table: table.to_flat(),
+            table_fingerprint: table.fingerprint_hex(),
+            fingerprint: String::new(),
+        };
+        artifact.fingerprint = format!("{:#018x}", artifact.stable_fingerprint());
+        artifact
+    }
+
+    /// Order-sensitive FNV-1a digest over the cell id, the configuration,
+    /// every weight tensor (name, shape, and `f32` bit patterns), and the
+    /// learned table's `f64` bit patterns — stable across processes and Rust
+    /// versions, and independent of the stored
+    /// [`fingerprint`](SurrogateArtifact::fingerprint) field itself.
+    pub fn stable_fingerprint(&self) -> u64 {
+        let mut bytes = Vec::new();
+        bytes.extend(self.cell.as_bytes());
+        bytes.push(0xff);
+        bytes.extend(self.config.digest_bytes());
+        bytes.push(0xff);
+        for (_, name, tensor) in self.weights.iter() {
+            bytes.extend(name.as_bytes());
+            bytes.push(0x00);
+            bytes.extend((tensor.shape().len() as u64).to_le_bytes());
+            for &dim in tensor.shape() {
+                bytes.extend((dim as u64).to_le_bytes());
+            }
+            for &value in tensor.data() {
+                bytes.extend(value.to_bits().to_le_bytes());
+            }
+        }
+        bytes.push(0xff);
+        for &value in &self.learned_table {
+            bytes.extend(value.to_bits().to_le_bytes());
+        }
+        fnv1a(bytes)
+    }
+
+    /// The conventional file name for this artifact
+    /// (`SURROGATE_<sim>_<uarch>_<spec>.json`).
+    pub fn file_name(&self) -> String {
+        surrogate_file_name(&self.cell)
+    }
+
+    /// Reconstructs the learned parameter table embedded in the artifact.
+    pub fn table(&self) -> SimParams {
+        SimParams::from_flat(&self.learned_table, &ParamBounds::default())
+    }
+
+    /// Builds the model from the stored configuration and loads the stored
+    /// weights into it, after checking tensor names and shapes against a
+    /// fresh build (the same compatibility rule session checkpoints use).
+    pub fn load_model(&self) -> Result<Box<dyn SurrogateModel>, String> {
+        let mut model = self.config.build();
+        check_weights_compatible(model.params(), &self.weights)?;
+        *model.params_mut() = self.weights.clone();
+        Ok(model)
+    }
+
+    /// Verifies every integrity property of the artifact: the schema tag,
+    /// the content fingerprint, the table length and fingerprint, and weight
+    /// compatibility with a fresh build of the stored configuration.
+    pub fn verify(&self) -> Result<(), String> {
+        if self.schema != SURROGATE_SCHEMA {
+            return Err(format!(
+                "surrogate artifact has schema {:?}, this build reads {SURROGATE_SCHEMA:?}",
+                self.schema
+            ));
+        }
+        let expected = format!("{:#018x}", self.stable_fingerprint());
+        if self.fingerprint != expected {
+            return Err(format!(
+                "surrogate artifact fingerprint mismatch: recorded {:?}, content hashes to \
+                 {expected:?} — the artifact was corrupted or hand-edited",
+                self.fingerprint
+            ));
+        }
+        let table_len = SimParams::uniform_default().num_parameters();
+        if self.learned_table.len() != table_len {
+            return Err(format!(
+                "surrogate artifact embeds a table of {} parameters, the opcode registry \
+                 needs {table_len}",
+                self.learned_table.len()
+            ));
+        }
+        let table = self.table();
+        if table.fingerprint_hex() != self.table_fingerprint {
+            return Err(format!(
+                "surrogate artifact table fingerprint mismatch: recorded {:?}, table hashes \
+                 to {:?}",
+                self.table_fingerprint,
+                table.fingerprint_hex()
+            ));
+        }
+        check_weights_compatible(self.config.build().params(), &self.weights)
+    }
+
+    /// Serializes the artifact to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("a SurrogateArtifact always serializes")
+    }
+
+    /// Deserializes and strictly verifies an artifact
+    /// (see [`SurrogateArtifact::verify`]).
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        let artifact: SurrogateArtifact =
+            serde_json::from_str(json).map_err(|error| format!("{error:?}"))?;
+        artifact.verify()?;
+        Ok(artifact)
+    }
+}
+
+/// The per-cell artifact file name (`SURROGATE_<cell>.json`, with
+/// non-alphanumeric characters mapped to `_` — the same convention as
+/// `MATRIX_*.json` cell files).
+pub fn surrogate_file_name(cell: &str) -> String {
+    let sanitized: String = cell
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    format!("SURROGATE_{sanitized}.json")
+}
+
+/// Checks that saved weights fit a freshly built model (same tensor count,
+/// names, and shapes, in order).
+fn check_weights_compatible(fresh: &Params, saved: &Params) -> Result<(), String> {
+    if fresh.len() != saved.len() {
+        return Err(format!(
+            "surrogate artifact has {} weight tensors but the stored configuration builds {}",
+            saved.len(),
+            fresh.len()
+        ));
+    }
+    for ((_, fresh_name, fresh_value), (_, saved_name, saved_value)) in
+        fresh.iter().zip(saved.iter())
+    {
+        if fresh_name != saved_name || fresh_value.shape() != saved_value.shape() {
+            return Err(format!(
+                "surrogate artifact weight mismatch: artifact has {saved_name} {:?}, the \
+                 stored configuration expects {fresh_name} {:?}",
+                saved_value.shape(),
+                fresh_value.shape()
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Order-sensitive FNV-1a (local copy of `difftune_bench::record::fnv1a`;
+/// this crate sits below `bench` in the dependency graph).
+fn fnv1a(bytes: impl IntoIterator<Item = u8>) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_artifact() -> SurrogateArtifact {
+        let config = ModelConfig::Mlp(FeatureMlpConfig {
+            hidden_dim: 4,
+            parameter_inputs: true,
+            seed: 7,
+        });
+        let model = config.build();
+        let mut table = SimParams::uniform_default();
+        table.dispatch_width = 6;
+        SurrogateArtifact::new("uop:haswell:llvm_sim", config, model.as_ref(), &table)
+    }
+
+    #[test]
+    fn round_trips_through_json_and_loads_identical_weights() {
+        let artifact = tiny_artifact();
+        let back = SurrogateArtifact::from_json(&artifact.to_json()).unwrap();
+        assert_eq!(back, artifact);
+        assert_eq!(back.file_name(), "SURROGATE_uop_haswell_llvm_sim.json");
+        assert_eq!(back.table().dispatch_width, 6);
+        let model = back.load_model().unwrap();
+        assert_eq!(model.params(), &artifact.weights);
+    }
+
+    #[test]
+    fn fingerprint_covers_weights_and_table() {
+        let base = tiny_artifact();
+        let mut tampered_table = base.clone();
+        tampered_table.learned_table[0] += 1.0;
+        assert_ne!(
+            base.stable_fingerprint(),
+            tampered_table.stable_fingerprint()
+        );
+        let mut tampered_weights = base.clone();
+        let id = tampered_weights.weights.by_name("mlp.head.w").unwrap();
+        tampered_weights.weights.get_mut(id).data_mut()[0] += 1.0;
+        assert_ne!(
+            base.stable_fingerprint(),
+            tampered_weights.stable_fingerprint()
+        );
+    }
+
+    #[test]
+    fn rejects_tampered_content() {
+        let mut artifact = tiny_artifact();
+        artifact.learned_table[0] += 1.0;
+        let error = SurrogateArtifact::from_json(&artifact.to_json()).unwrap_err();
+        assert!(error.contains("fingerprint mismatch"), "{error}");
+    }
+
+    #[test]
+    fn rejects_stale_table_fingerprint() {
+        let mut artifact = tiny_artifact();
+        artifact.table_fingerprint = "0x0000000000000000".to_string();
+        artifact.fingerprint = format!("{:#018x}", artifact.stable_fingerprint());
+        let error = SurrogateArtifact::from_json(&artifact.to_json()).unwrap_err();
+        assert!(error.contains("table fingerprint"), "{error}");
+    }
+
+    #[test]
+    fn rejects_weights_that_do_not_fit_the_configuration() {
+        let mut artifact = tiny_artifact();
+        artifact.config = ModelConfig::Mlp(FeatureMlpConfig {
+            hidden_dim: 8,
+            parameter_inputs: true,
+            seed: 7,
+        });
+        artifact.fingerprint = format!("{:#018x}", artifact.stable_fingerprint());
+        let error = SurrogateArtifact::from_json(&artifact.to_json()).unwrap_err();
+        assert!(error.contains("weight"), "{error}");
+    }
+
+    #[test]
+    fn rejects_unknown_schema() {
+        let mut artifact = tiny_artifact();
+        artifact.schema = "difftune-surrogate/99".to_string();
+        let error = SurrogateArtifact::from_json(&artifact.to_json()).unwrap_err();
+        assert!(error.contains("schema"), "{error}");
+    }
+
+    #[test]
+    fn lstm_configs_build_and_fingerprint_distinctly() {
+        let lstm = ModelConfig::Lstm(IthemalConfig {
+            embed_dim: 4,
+            hidden_dim: 4,
+            instr_layers: 1,
+            block_layers: 1,
+            parameter_inputs: true,
+            seed: 7,
+        });
+        assert_eq!(lstm.family(), "lstm");
+        let model = lstm.build();
+        let table = SimParams::uniform_default();
+        let artifact = SurrogateArtifact::new("mca:haswell:llvm_mca", lstm, model.as_ref(), &table);
+        artifact.verify().unwrap();
+        assert_ne!(artifact.fingerprint, tiny_artifact().fingerprint);
+    }
+}

@@ -45,7 +45,7 @@ const CLASSES: [OpClass; 19] = [
 const STATIC_FEATURES: usize = 4 + CLASSES.len();
 
 /// Hyperparameters of the [`FeatureMlpModel`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct FeatureMlpConfig {
     /// Width of the two hidden layers.
     pub hidden_dim: usize,

@@ -1,0 +1,219 @@
+//! Forward-only surrogate inference: the fast path behind `surrogate:`
+//! backends.
+//!
+//! [`SurrogateForward`] owns everything one prediction needs — the trained
+//! model, the tokenizer, the learned table it encodes as parameter features,
+//! and the compiled-program cache — and produces one `f64` per basic block
+//! with **no tape and no backward pass**. The graph a block builds is
+//! recorded once per structure ([`SurrogateModel::program_key`]) and then
+//! replayed forward-only ([`difftune_tensor::CompiledProgram::replay_forward`]); blocks whose
+//! structure the model cannot key fall back to a taped forward pass, which
+//! the engine guarantees is bit-identical.
+//!
+//! Both consumers of surrogate inference go through this type so they cannot
+//! diverge: `difftune-serve` wraps it in its `Predictor` trait, and
+//! `difftune-matrix` scores cells with it. The serving determinism
+//! invariant — surrogate `/predict` bytes equal to an in-process forward
+//! pass — holds because [`SurrogateForward::predict`] *is* the in-process
+//! forward pass.
+
+use difftune_isa::BasicBlock;
+use difftune_sim::SimParams;
+use difftune_tensor::{Graph, ProgramCache, ReplayBuffers, Tensor, Var};
+
+use crate::artifact::SurrogateArtifact;
+use crate::encode::{block_param_features, global_features, Vocab};
+use crate::SurrogateModel;
+
+/// A trained surrogate bound to a learned table, ready to predict.
+///
+/// Prediction is deterministic and history-free: the same block returns the
+/// same bits regardless of what was predicted before (the internal program
+/// cache only skips re-recording — replay output is bit-equal to the taped
+/// pass by the engine's contract).
+#[derive(Debug)]
+pub struct SurrogateForward {
+    model: Box<dyn SurrogateModel>,
+    vocab: Vocab,
+    table: SimParams,
+    global: Tensor,
+    cache: ProgramCache,
+    buffers: ReplayBuffers,
+}
+
+impl SurrogateForward {
+    /// Binds a trained model to the learned table it encodes as features.
+    pub fn new(model: Box<dyn SurrogateModel>, table: SimParams) -> Self {
+        let global = global_features(&table);
+        SurrogateForward {
+            model,
+            vocab: Vocab::new(),
+            table,
+            global,
+            cache: ProgramCache::new(),
+            buffers: ReplayBuffers::default(),
+        }
+    }
+
+    /// Loads a verified artifact's model and embedded table.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SurrogateArtifact::load_model`] failures (weight/config
+    /// incompatibility).
+    pub fn from_artifact(artifact: &SurrogateArtifact) -> Result<Self, String> {
+        Ok(SurrogateForward::new(
+            artifact.load_model()?,
+            artifact.table(),
+        ))
+    }
+
+    /// The model answering predictions.
+    pub fn model(&self) -> &dyn SurrogateModel {
+        self.model.as_ref()
+    }
+
+    /// The learned table encoded as the model's parameter features.
+    pub fn table(&self) -> &SimParams {
+        &self.table
+    }
+
+    /// Number of compiled programs recorded so far.
+    pub fn programs_recorded(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Predicts one block's timing with a forward-only pass.
+    pub fn predict(&mut self, block: &BasicBlock) -> f64 {
+        let tokenized = self.vocab.tokenize_block(block);
+        let per_inst: Option<Vec<Tensor>> = self
+            .model
+            .uses_parameter_inputs()
+            .then(|| block_param_features(&self.table, &tokenized));
+        let global: Option<Tensor> = self
+            .model
+            .uses_parameter_inputs()
+            .then(|| self.global.clone());
+        let model = &self.model;
+        let build = |graph: &mut Graph<'_>| -> Var {
+            let per_inst_vars: Option<Vec<Var>> = per_inst
+                .as_ref()
+                .map(|f| f.iter().map(|t| graph.input(t.clone())).collect());
+            let global_var = global.as_ref().map(|g| graph.input(g.clone()));
+            model.forward(graph, &tokenized, per_inst_vars.as_deref(), global_var)
+        };
+        // The same key extension the training engine uses: optional feature
+        // inputs add input/concat nodes to the graph.
+        let key = self.model.program_key(&tokenized).map(|mut key| {
+            key.push(u32::from(per_inst.is_some()));
+            key.push(u32::from(global.is_some()));
+            key
+        });
+        match key {
+            Some(key) => {
+                let program = self
+                    .cache
+                    .get_or_record(key, self.model.params(), |g| build(g));
+                program.replay_forward(self.model.params(), &mut self.buffers, |g| build(g))
+            }
+            None => {
+                let mut graph = Graph::new(self.model.params());
+                let prediction = build(&mut graph);
+                f64::from(graph.value(prediction)[0])
+            }
+        }
+    }
+
+    /// Predicts a timing for every block, in order.
+    pub fn predict_batch(&mut self, blocks: &[BasicBlock]) -> Vec<f64> {
+        blocks.iter().map(|block| self.predict(block)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feature::{FeatureMlpConfig, FeatureMlpModel};
+    use crate::model::{IthemalConfig, IthemalModel};
+
+    fn blocks() -> Vec<BasicBlock> {
+        [
+            "addq %rax, %rbx",
+            "imulq %rbx, %rcx\naddq %rcx, %rax",
+            "movq (%rdi), %rax\naddq %rax, %rbx",
+            "addq %rax, %rbx",
+        ]
+        .iter()
+        .map(|text| text.parse().unwrap())
+        .collect()
+    }
+
+    /// The reference: a fresh taped forward pass, nothing shared.
+    fn taped_reference(model: &dyn SurrogateModel, table: &SimParams, block: &BasicBlock) -> f64 {
+        let vocab = Vocab::new();
+        let tokenized = vocab.tokenize_block(block);
+        let features = model
+            .uses_parameter_inputs()
+            .then(|| block_param_features(table, &tokenized));
+        let global = model
+            .uses_parameter_inputs()
+            .then(|| global_features(table));
+        let mut graph = Graph::new(model.params());
+        let feature_vars: Option<Vec<Var>> = features
+            .as_ref()
+            .map(|f| f.iter().map(|t| graph.input(t.clone())).collect());
+        let global_var = global.as_ref().map(|g| graph.input(g.clone()));
+        let prediction = model.forward(&mut graph, &tokenized, feature_vars.as_deref(), global_var);
+        f64::from(graph.value(prediction)[0])
+    }
+
+    #[test]
+    fn replayed_predictions_are_bit_equal_to_the_taped_pass() {
+        let table = SimParams::uniform_default();
+        let mlp = FeatureMlpModel::new(FeatureMlpConfig {
+            hidden_dim: 8,
+            parameter_inputs: true,
+            seed: 1,
+        });
+        let lstm = IthemalModel::new(IthemalConfig {
+            embed_dim: 8,
+            hidden_dim: 12,
+            instr_layers: 1,
+            block_layers: 1,
+            parameter_inputs: true,
+            seed: 2,
+        });
+        let models: Vec<Box<dyn SurrogateModel>> = vec![Box::new(mlp), Box::new(lstm)];
+        for model in models {
+            let expected: Vec<u64> = blocks()
+                .iter()
+                .map(|b| taped_reference(model.as_ref(), &table, b).to_bits())
+                .collect();
+            let mut forward = SurrogateForward::new(model, table.clone());
+            // Cold cache, then warm cache: both must match the reference.
+            for _ in 0..2 {
+                let got: Vec<u64> = forward
+                    .predict_batch(&blocks())
+                    .into_iter()
+                    .map(f64::to_bits)
+                    .collect();
+                assert_eq!(got, expected);
+            }
+            assert!(forward.programs_recorded() > 0, "the fast path compiled");
+        }
+    }
+
+    #[test]
+    fn repeated_structures_share_one_compiled_program() {
+        let mlp = FeatureMlpModel::new(FeatureMlpConfig {
+            hidden_dim: 8,
+            parameter_inputs: true,
+            seed: 4,
+        });
+        let mut forward = SurrogateForward::new(Box::new(mlp), SimParams::uniform_default());
+        // The MLP keys on block length: two 1-instruction blocks, one
+        // 2-instruction block → exactly two programs.
+        forward.predict_batch(&blocks());
+        assert_eq!(forward.programs_recorded(), 2);
+    }
+}

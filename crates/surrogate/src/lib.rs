@@ -29,16 +29,20 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod artifact;
 mod encode;
 mod feature;
+pub mod infer;
 mod model;
 pub mod train;
 
+pub use artifact::{surrogate_file_name, ModelConfig, SurrogateArtifact, SURROGATE_SCHEMA};
 pub use encode::{
     block_param_features, global_features, param_features, TokenizedBlock, TokenizedInst, Vocab,
     GLOBAL_FEATURES, GLOBAL_SCALES, PER_INST_FEATURES, PER_INST_SCALES,
 };
 pub use feature::{FeatureMlpConfig, FeatureMlpModel};
+pub use infer::SurrogateForward;
 pub use model::{IthemalConfig, IthemalModel};
 
 use difftune_tensor::{Graph, ProgramKey, Var};

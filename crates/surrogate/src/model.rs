@@ -10,7 +10,7 @@ use crate::encode::{TokenizedBlock, Vocab, GLOBAL_FEATURES, PER_INST_FEATURES};
 use crate::SurrogateModel;
 
 /// Hyperparameters of the [`IthemalModel`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct IthemalConfig {
     /// Token embedding dimensionality.
     pub embed_dim: usize,

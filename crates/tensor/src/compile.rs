@@ -236,185 +236,14 @@ impl CompiledProgram {
         seed: f32,
         build: impl FnOnce(&mut Graph<'_>) -> Var,
     ) -> f64 {
-        // Bind pass: validate structure, capture inputs/rows/constants. The
-        // binder box (and its arenas, including the value arena that input
-        // data is written into directly) is parked in `buffers` between
-        // replays; the arenas grow but are never cleared — every slot the
-        // sweeps read is either computed by the forward sweep or rewritten
-        // during bind (each `Input`/`Row`/`Scale`/`AddScalar` op rebinds on
-        // every replay), so stale data is never observed.
-        let mut binder = match buffers.binder.take() {
-            Some(mut binder) => {
-                binder.program = Arc::clone(self);
-                binder.cursor = 0;
-                binder
-            }
-            None => Box::new(Binder {
-                program: Arc::clone(self),
-                cursor: 0,
-                values: Vec::new(),
-                rows: Vec::new(),
-                consts: Vec::new(),
-            }),
-        };
-        if binder.values.len() < self.values_len {
-            binder.values.resize(self.values_len, 0.0);
-        }
-        if binder.rows.len() < self.ops.len() {
-            binder.rows.resize(self.ops.len(), 0);
-        }
-        if binder.consts.len() < self.ops.len() {
-            binder.consts.resize(self.ops.len(), 0.0);
-        }
-        let mut graph = Graph::bound(params, binder);
-        let loss = build(&mut graph);
-        let mut binder = graph
-            .take_binder()
-            .expect("a bind-mode graph retains its binder");
-        assert_eq!(
-            binder.cursor,
-            self.ops.len(),
-            "compiled replay built {} of {} recorded ops — the program key does not uniquely \
-             determine graph structure",
-            binder.cursor,
-            self.ops.len()
-        );
-        assert_eq!(
-            loss.0, self.loss,
-            "compiled replay returned a different loss node than recorded"
-        );
-
-        // Forward sweep over the flat arena. Parameter slots are never
-        // written (reads go straight to the store), input slots were filled
-        // by the bind pass, and every other slot is fully overwritten before
-        // any read, so stale arena contents from earlier replays are
-        // harmless.
+        let mut binder = self.bind(params, buffers, build);
+        let loss_value = self.forward_sweep(params, &mut binder);
         let Binder {
             values,
             rows,
             consts,
             ..
-        } = &mut *binder;
-        let values: &mut [f32] = values;
-        for index in 0..self.ops.len() {
-            let len = self.lens[index];
-            let (lo, hi) = values.split_at_mut(self.offsets[index]);
-            let out = &mut hi[..len];
-            let arg = |v: u32| -> &[f32] {
-                let v = v as usize;
-                match &self.ops[v] {
-                    CompiledOp::Param(id) => params.get(*id).data(),
-                    _ => &lo[self.offsets[v]..self.offsets[v] + self.lens[v]],
-                }
-            };
-            match &self.ops[index] {
-                // Param reads go to the store; Input slots were written in
-                // place by the bind pass.
-                CompiledOp::Param(_) | CompiledOp::Input => {}
-                CompiledOp::Add(a, b) => {
-                    for ((o, x), y) in out.iter_mut().zip(arg(*a)).zip(arg(*b)) {
-                        *o = x + y;
-                    }
-                }
-                CompiledOp::Sub(a, b) => {
-                    for ((o, x), y) in out.iter_mut().zip(arg(*a)).zip(arg(*b)) {
-                        *o = x - y;
-                    }
-                }
-                CompiledOp::Mul(a, b) => {
-                    for ((o, x), y) in out.iter_mut().zip(arg(*a)).zip(arg(*b)) {
-                        *o = x * y;
-                    }
-                }
-                CompiledOp::Scale(a) => {
-                    let factor = consts[index];
-                    for (o, x) in out.iter_mut().zip(arg(*a)) {
-                        *o = x * factor;
-                    }
-                }
-                CompiledOp::AddScalar(a) => {
-                    let constant = consts[index];
-                    for (o, x) in out.iter_mut().zip(arg(*a)) {
-                        *o = x + constant;
-                    }
-                }
-                CompiledOp::MatVec { w, x } => {
-                    let n = self.lens[*x as usize];
-                    kernels::matvec(arg(*w), arg(*x), len, n, out);
-                }
-                CompiledOp::Linear { w, b, x } => {
-                    let n = self.lens[*x as usize];
-                    kernels::linear(arg(*w), arg(*b), arg(*x), len, n, out);
-                }
-                CompiledOp::LstmStep {
-                    w,
-                    b,
-                    x,
-                    h_prev,
-                    c_prev,
-                    hidden,
-                } => {
-                    let input = self.lens[*x as usize];
-                    kernels::lstm_step(
-                        arg(*w),
-                        arg(*b),
-                        arg(*x),
-                        arg(*h_prev),
-                        arg(*c_prev),
-                        *hidden as usize,
-                        input,
-                        out,
-                    );
-                }
-                CompiledOp::Sigmoid(a) => {
-                    for (o, x) in out.iter_mut().zip(arg(*a)) {
-                        *o = kernels::sigmoid(*x);
-                    }
-                }
-                CompiledOp::Tanh(a) => {
-                    for (o, x) in out.iter_mut().zip(arg(*a)) {
-                        *o = x.tanh();
-                    }
-                }
-                CompiledOp::Relu(a) => {
-                    for (o, x) in out.iter_mut().zip(arg(*a)) {
-                        *o = x.max(0.0);
-                    }
-                }
-                CompiledOp::Abs(a) => {
-                    for (o, x) in out.iter_mut().zip(arg(*a)) {
-                        *o = x.abs();
-                    }
-                }
-                CompiledOp::Concat(parts) => {
-                    let mut offset = 0;
-                    for part in parts.iter() {
-                        let src = arg(*part);
-                        out[offset..offset + src.len()].copy_from_slice(src);
-                        offset += src.len();
-                    }
-                }
-                CompiledOp::Slice { src, start, len } => {
-                    out.copy_from_slice(&arg(*src)[*start..*start + *len]);
-                }
-                CompiledOp::Row { table } => {
-                    let row = rows[index] as usize;
-                    out.copy_from_slice(&arg(*table)[row * len..(row + 1) * len]);
-                }
-                CompiledOp::Sum(a) => {
-                    out[0] = arg(*a).iter().sum();
-                }
-                CompiledOp::Mean(a) => {
-                    let src = arg(*a);
-                    out[0] = if src.is_empty() {
-                        0.0
-                    } else {
-                        src.iter().sum::<f32>() / src.len() as f32
-                    };
-                }
-            }
-        }
-        let loss_value = f64::from(values[self.offsets[self.loss]]);
+        } = &*binder;
 
         // Backward sweep: same reverse order, same assign-then-accumulate
         // slot discipline as the tape (`set` marks populated slots).
@@ -691,6 +520,223 @@ impl CompiledProgram {
         buffers.set = set;
         buffers.scratch = scratch;
         loss_value
+    }
+
+    /// Forward-only replay: re-runs `build` in bind mode against the
+    /// recorded schedule and executes the forward sweep — no gradient arena,
+    /// no backward sweep. This is the serving fast path: a surrogate backend
+    /// answers predictions with exactly the forward arithmetic
+    /// [`Self::replay`] performs, so the returned value is bit-identical to
+    /// a full taped forward pass over the same graph
+    /// (`replay_forward_matches_the_tape_and_the_full_replay` below pins it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `build` constructs a different op sequence than the one
+    /// recorded, exactly like [`Self::replay`].
+    pub fn replay_forward(
+        self: &Arc<Self>,
+        params: &Params,
+        buffers: &mut ReplayBuffers,
+        build: impl FnOnce(&mut Graph<'_>) -> Var,
+    ) -> f64 {
+        let mut binder = self.bind(params, buffers, build);
+        let value = self.forward_sweep(params, &mut binder);
+        buffers.binder = Some(binder);
+        value
+    }
+
+    /// The bind pass shared by [`Self::replay`] and [`Self::replay_forward`].
+    fn bind(
+        self: &Arc<Self>,
+        params: &Params,
+        buffers: &mut ReplayBuffers,
+        build: impl FnOnce(&mut Graph<'_>) -> Var,
+    ) -> Box<Binder> {
+        // Bind pass: validate structure, capture inputs/rows/constants. The
+        // binder box (and its arenas, including the value arena that input
+        // data is written into directly) is parked in `buffers` between
+        // replays; the arenas grow but are never cleared — every slot the
+        // sweeps read is either computed by the forward sweep or rewritten
+        // during bind (each `Input`/`Row`/`Scale`/`AddScalar` op rebinds on
+        // every replay), so stale data is never observed.
+        let mut binder = match buffers.binder.take() {
+            Some(mut binder) => {
+                binder.program = Arc::clone(self);
+                binder.cursor = 0;
+                binder
+            }
+            None => Box::new(Binder {
+                program: Arc::clone(self),
+                cursor: 0,
+                values: Vec::new(),
+                rows: Vec::new(),
+                consts: Vec::new(),
+            }),
+        };
+        if binder.values.len() < self.values_len {
+            binder.values.resize(self.values_len, 0.0);
+        }
+        if binder.rows.len() < self.ops.len() {
+            binder.rows.resize(self.ops.len(), 0);
+        }
+        if binder.consts.len() < self.ops.len() {
+            binder.consts.resize(self.ops.len(), 0.0);
+        }
+        let mut graph = Graph::bound(params, binder);
+        let loss = build(&mut graph);
+        let binder = graph
+            .take_binder()
+            .expect("a bind-mode graph retains its binder");
+        assert_eq!(
+            binder.cursor,
+            self.ops.len(),
+            "compiled replay built {} of {} recorded ops — the program key does not uniquely \
+             determine graph structure",
+            binder.cursor,
+            self.ops.len()
+        );
+        assert_eq!(
+            loss.0, self.loss,
+            "compiled replay returned a different loss node than recorded"
+        );
+        binder
+    }
+
+    /// The forward sweep shared by [`Self::replay`] and
+    /// [`Self::replay_forward`]; returns the value of the recorded root node.
+    fn forward_sweep(&self, params: &Params, binder: &mut Binder) -> f64 {
+        // Forward sweep over the flat arena. Parameter slots are never
+        // written (reads go straight to the store), input slots were filled
+        // by the bind pass, and every other slot is fully overwritten before
+        // any read, so stale arena contents from earlier replays are
+        // harmless.
+        let Binder {
+            values,
+            rows,
+            consts,
+            ..
+        } = binder;
+        let values: &mut [f32] = values;
+        for index in 0..self.ops.len() {
+            let len = self.lens[index];
+            let (lo, hi) = values.split_at_mut(self.offsets[index]);
+            let out = &mut hi[..len];
+            let arg = |v: u32| -> &[f32] {
+                let v = v as usize;
+                match &self.ops[v] {
+                    CompiledOp::Param(id) => params.get(*id).data(),
+                    _ => &lo[self.offsets[v]..self.offsets[v] + self.lens[v]],
+                }
+            };
+            match &self.ops[index] {
+                // Param reads go to the store; Input slots were written in
+                // place by the bind pass.
+                CompiledOp::Param(_) | CompiledOp::Input => {}
+                CompiledOp::Add(a, b) => {
+                    for ((o, x), y) in out.iter_mut().zip(arg(*a)).zip(arg(*b)) {
+                        *o = x + y;
+                    }
+                }
+                CompiledOp::Sub(a, b) => {
+                    for ((o, x), y) in out.iter_mut().zip(arg(*a)).zip(arg(*b)) {
+                        *o = x - y;
+                    }
+                }
+                CompiledOp::Mul(a, b) => {
+                    for ((o, x), y) in out.iter_mut().zip(arg(*a)).zip(arg(*b)) {
+                        *o = x * y;
+                    }
+                }
+                CompiledOp::Scale(a) => {
+                    let factor = consts[index];
+                    for (o, x) in out.iter_mut().zip(arg(*a)) {
+                        *o = x * factor;
+                    }
+                }
+                CompiledOp::AddScalar(a) => {
+                    let constant = consts[index];
+                    for (o, x) in out.iter_mut().zip(arg(*a)) {
+                        *o = x + constant;
+                    }
+                }
+                CompiledOp::MatVec { w, x } => {
+                    let n = self.lens[*x as usize];
+                    kernels::matvec(arg(*w), arg(*x), len, n, out);
+                }
+                CompiledOp::Linear { w, b, x } => {
+                    let n = self.lens[*x as usize];
+                    kernels::linear(arg(*w), arg(*b), arg(*x), len, n, out);
+                }
+                CompiledOp::LstmStep {
+                    w,
+                    b,
+                    x,
+                    h_prev,
+                    c_prev,
+                    hidden,
+                } => {
+                    let input = self.lens[*x as usize];
+                    kernels::lstm_step(
+                        arg(*w),
+                        arg(*b),
+                        arg(*x),
+                        arg(*h_prev),
+                        arg(*c_prev),
+                        *hidden as usize,
+                        input,
+                        out,
+                    );
+                }
+                CompiledOp::Sigmoid(a) => {
+                    for (o, x) in out.iter_mut().zip(arg(*a)) {
+                        *o = kernels::sigmoid(*x);
+                    }
+                }
+                CompiledOp::Tanh(a) => {
+                    for (o, x) in out.iter_mut().zip(arg(*a)) {
+                        *o = x.tanh();
+                    }
+                }
+                CompiledOp::Relu(a) => {
+                    for (o, x) in out.iter_mut().zip(arg(*a)) {
+                        *o = x.max(0.0);
+                    }
+                }
+                CompiledOp::Abs(a) => {
+                    for (o, x) in out.iter_mut().zip(arg(*a)) {
+                        *o = x.abs();
+                    }
+                }
+                CompiledOp::Concat(parts) => {
+                    let mut offset = 0;
+                    for part in parts.iter() {
+                        let src = arg(*part);
+                        out[offset..offset + src.len()].copy_from_slice(src);
+                        offset += src.len();
+                    }
+                }
+                CompiledOp::Slice { src, start, len } => {
+                    out.copy_from_slice(&arg(*src)[*start..*start + *len]);
+                }
+                CompiledOp::Row { table } => {
+                    let row = rows[index] as usize;
+                    out.copy_from_slice(&arg(*table)[row * len..(row + 1) * len]);
+                }
+                CompiledOp::Sum(a) => {
+                    out[0] = arg(*a).iter().sum();
+                }
+                CompiledOp::Mean(a) => {
+                    let src = arg(*a);
+                    out[0] = if src.is_empty() {
+                        0.0
+                    } else {
+                        src.iter().sum::<f32>() / src.len() as f32
+                    };
+                }
+            }
+        }
+        f64::from(values[self.offsets[self.loss]])
     }
 }
 
@@ -1181,6 +1227,29 @@ mod tests {
                 "loss diverged for sample {index}"
             );
             assert_eq!(tape_grads, grads, "gradients diverged for sample {index}");
+        }
+    }
+
+    #[test]
+    fn replay_forward_matches_the_tape_and_the_full_replay() {
+        let params = test_params();
+        let program = CompiledProgram::record(&params, |g| build_loss(g, &samples()[0]));
+        let mut buffers = ReplayBuffers::new();
+        for (index, sample) in samples().iter().enumerate() {
+            let forward = program.replay_forward(&params, &mut buffers, |g| build_loss(g, sample));
+            let (tape_loss, _) = tape_reference(&params, sample, 1.0);
+            assert_eq!(
+                tape_loss.to_bits(),
+                forward.to_bits(),
+                "forward-only replay diverged from the tape for sample {index}"
+            );
+            // Interleave full replays through the same buffers: the two entry
+            // points must not perturb each other's parked arenas.
+            let mut grads = Grads::new(&params);
+            let full = program.replay(&params, &mut buffers, &mut grads, 1.0, |g| {
+                build_loss(g, sample)
+            });
+            assert_eq!(full.to_bits(), forward.to_bits());
         }
     }
 

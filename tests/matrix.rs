@@ -12,6 +12,7 @@ use difftune_bench::record::{MatrixRecord, MatrixSummary, MATRIX_SCHEMA, MATRIX_
 use difftune_bench::Scale;
 use difftune_repro::core::{threads_from_env, Stage};
 use difftune_repro::sim::{ParamBounds, SimParams};
+use difftune_repro::surrogate::{surrogate_file_name, SurrogateArtifact, SurrogateForward};
 
 /// The 2-cell smoke plan: one llvm-mca cell and one llvm_sim cell.
 fn smoke_cells() -> Vec<CellKey> {
@@ -36,6 +37,7 @@ fn options(dir: &Path, threads: usize) -> MatrixOptions {
         cells: Some(smoke_cells()),
         max_cells: None,
         stop_after: None,
+        measure_throughput: false,
     }
 }
 
@@ -104,6 +106,34 @@ fn two_cell_smoke_matrix_runs_end_to_end_and_its_artifacts_parse_back() {
         let table = SimParams::from_flat(&record.learned_table, &ParamBounds::default());
         assert_eq!(table.fingerprint_hex(), record.table_fingerprint);
 
+        // Schema /3: the surrogate column is populated, throughput is not
+        // (blocks/s only exists under --measure-throughput, so default runs
+        // stay wall-clock-free and bit-reproducible).
+        let surrogate_mape = record.surrogate_mape.expect("surrogate MAPE recorded");
+        assert!(
+            surrogate_mape.is_finite() && surrogate_mape > 0.0,
+            "{}: surrogate MAPE must be a real error, got {surrogate_mape}",
+            record.cell
+        );
+        assert!(record.surrogate_tau.is_some());
+        assert!(record.surrogate_vs_sim_mape.is_some());
+        assert!(record.surrogate_vs_sim_tau.is_some());
+        assert!(record.surrogate_blocks_per_second.is_none());
+        assert!(record.simulator_blocks_per_second.is_none());
+
+        // The exported surrogate artifact sits next to the cell record, loads
+        // back through the strict verifier, and matches the recorded
+        // fingerprint and learned table.
+        let artifact =
+            SurrogateArtifact::from_json(&read(&dir.join(surrogate_file_name(&key.id()))))
+                .expect("surrogate artifact parses and verifies");
+        assert_eq!(
+            Some(&artifact.fingerprint),
+            record.surrogate_fingerprint.as_ref()
+        );
+        assert_eq!(artifact.table().fingerprint_hex(), record.table_fingerprint);
+        SurrogateForward::from_artifact(&artifact).expect("artifact is servable");
+
         // The record also appears in the summary — minus the learned table,
         // which the roll-up omits rather than duplicating every per-cell
         // file's.
@@ -140,7 +170,7 @@ fn matrix_artifacts_are_byte_identical_across_thread_counts() {
 
         for file in smoke_cells()
             .iter()
-            .map(CellKey::file_name)
+            .flat_map(|key| [key.file_name(), surrogate_file_name(&key.id())])
             .chain([MATRIX_SUMMARY_FILE.to_string()])
         {
             let serial = read(&serial_dir.join(&file));

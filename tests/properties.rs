@@ -1,6 +1,7 @@
 //! Property-based integration tests over generated blocks and parameter tables.
 
 use difftune_repro::bhive::metrics::{kendall_tau, mape};
+use difftune_repro::core::{BackendId, SimulatorKind, Source, SpecKind};
 use difftune_repro::cpu::{default_params, Machine, MeasurementConfig, Microarch};
 use difftune_repro::isa::{BasicBlock, BlockGenerator};
 use difftune_repro::sim::{McaSimulator, ParamBounds, SimParams, Simulator, UopSimulator};
@@ -100,6 +101,29 @@ proptest! {
                 prop_assert_eq!(sim.predict(&params, block).to_bits(), prediction.to_bits());
             }
         }
+    }
+
+    /// Every constructible backend id renders to a wire string that parses
+    /// back to the same id — the grammar `/predict` echoes, `/backends`
+    /// lists, and the router hashes has no ambiguous corner.
+    #[test]
+    fn backend_ids_round_trip_through_the_wire_format(
+        source in 0usize..4,
+        simulator in 0usize..SimulatorKind::ALL.len(),
+        uarch in 0usize..Microarch::ALL.len(),
+        spec in 0usize..=SpecKind::ALL.len(),
+    ) {
+        let sources = [Source::Default, Source::Checkpoint, Source::Matrix, Source::Surrogate];
+        let id = BackendId {
+            source: sources[source],
+            simulator: SimulatorKind::ALL[simulator],
+            uarch: Microarch::ALL[uarch],
+            spec: spec.checked_sub(1).map(|i| SpecKind::ALL[i]),
+        };
+        let wire = id.to_string();
+        prop_assert_eq!(wire.parse::<BackendId>(), Ok(id), "{}", wire);
+        // The wire format is canonical: re-rendering the parse is the identity.
+        prop_assert_eq!(wire.parse::<BackendId>().unwrap().to_string(), wire);
     }
 
     /// MAPE is zero only for perfect predictions and scales linearly with

@@ -15,6 +15,9 @@ use std::time::Duration;
 use difftune_bench::record::{fingerprint_table, MatrixRecord, MATRIX_SCHEMA};
 use difftune_repro::cpu::{default_params, Microarch};
 use difftune_repro::sim::SimParams;
+use difftune_repro::surrogate::{
+    FeatureMlpConfig, FeatureMlpModel, ModelConfig, SurrogateArtifact,
+};
 use difftune_router::server::{spawn_router, RouterConfig};
 use difftune_serve::backend::{BackendRegistry, ReloadSpec};
 use difftune_serve::client::HttpClient;
@@ -57,12 +60,40 @@ fn write_matrix_cell(dir: &Path, nudge: u32) -> SimParams {
         default_tau: 0.7,
         learned_mape: 0.25,
         learned_tau: 0.75,
+        surrogate_mape: None,
+        surrogate_tau: None,
+        surrogate_vs_sim_mape: None,
+        surrogate_vs_sim_tau: None,
+        surrogate_fingerprint: None,
+        surrogate_blocks_per_second: None,
+        simulator_blocks_per_second: None,
         by_category: Vec::new(),
         table_fingerprint: fingerprint_table(&table),
         learned_table: table.to_flat(),
     };
     fs::write(dir.join(record.file_name()), record.to_json()).expect("record writes");
     table
+}
+
+/// Writes a `SURROGATE_*.json` artifact for `mca:haswell:llvm_mca` into
+/// `dir` (a small feature-MLP over a perturbed table), so upstreams also
+/// serve a `surrogate:` backend.
+fn write_surrogate_artifact(dir: &Path) -> SurrogateArtifact {
+    let config = FeatureMlpConfig {
+        hidden_dim: 8,
+        parameter_inputs: true,
+        seed: 5,
+    };
+    let model = FeatureMlpModel::new(config);
+    let table = perturbed_table(3);
+    let artifact = SurrogateArtifact::new(
+        "mca:haswell:llvm_mca",
+        ModelConfig::Mlp(config),
+        &model,
+        &table,
+    );
+    fs::write(dir.join(artifact.file_name()), artifact.to_json()).expect("artifact writes");
+    artifact
 }
 
 /// One upstream: defaults plus the matrix cell in `dir`, reloadable from
@@ -111,6 +142,8 @@ fn request_bodies() -> Vec<&'static str> {
         r#"{"blocks": ["addq %rax, %rbx", "mulsd %xmm1, %xmm2", "xorl %eax, %eax"], "source": "matrix"}"#,
         r#"{"block": "addq %rbx, %rcx", "sim": "uop", "uarch": "skylake"}"#,
         r#"{"blocks": ["mulsd %xmm1, %xmm2"], "sim": "mca", "uarch": "zen2"}"#,
+        // The surrogate fast path routes like any other backend id.
+        r#"{"block": "addq %rax, %rbx", "source": "surrogate"}"#,
         r#"{"block": "frobnicate %zz9"}"#,
     ]
 }
@@ -133,6 +166,7 @@ fn post_all(client: &mut HttpClient, bodies: &[&str]) -> Vec<(u16, String)> {
 fn routed_responses_are_byte_identical_to_direct_serving_across_fleet_sizes() {
     let dir = fresh_dir("identity");
     write_matrix_cell(&dir, 2);
+    write_surrogate_artifact(&dir);
     let bodies = request_bodies();
 
     // The direct-serve reference stream.
@@ -162,6 +196,21 @@ fn routed_responses_are_byte_identical_to_direct_serving_across_fleet_sizes() {
             "{fleet_size} upstream(s): warm caches changed routed bytes"
         );
 
+        // The /v1 alias proxies byte-identically too.
+        let v1: Vec<(u16, String)> = bodies
+            .iter()
+            .map(|body| {
+                let response = client
+                    .post_json("/v1/predict", body)
+                    .expect("request succeeds");
+                (response.status, response.body_text())
+            })
+            .collect();
+        assert_eq!(
+            v1, reference,
+            "{fleet_size} upstream(s): /v1/predict diverged from /predict"
+        );
+
         drop(client);
         router.shutdown();
         for upstream in upstreams {
@@ -188,6 +237,7 @@ fn primary_for(client: &mut HttpClient, body: &str) -> String {
 fn killing_the_primary_upstream_mid_sequence_keeps_bytes_identical() {
     let dir = fresh_dir("failover");
     write_matrix_cell(&dir, 2);
+    write_surrogate_artifact(&dir);
     let bodies = request_bodies();
 
     let reference = {
@@ -257,6 +307,7 @@ fn killing_the_primary_upstream_mid_sequence_keeps_bytes_identical() {
 fn hot_reload_broadcast_swaps_every_upstream_and_stays_byte_identical() {
     let dir = fresh_dir("reload");
     let old_table = write_matrix_cell(&dir, 2);
+    write_surrogate_artifact(&dir);
     let bodies = request_bodies();
 
     let upstreams: Vec<ServerHandle> = (0..2).map(|_| spawn_upstream(&dir)).collect();
@@ -305,6 +356,7 @@ fn hot_reload_broadcast_swaps_every_upstream_and_stays_byte_identical() {
 fn router_aggregates_backends_and_metrics_and_explains_routes() {
     let dir = fresh_dir("aggregate");
     write_matrix_cell(&dir, 2);
+    let artifact = write_surrogate_artifact(&dir);
     let upstreams: Vec<ServerHandle> = (0..2).map(|_| spawn_upstream(&dir)).collect();
     let router = spawn_fleet_router(&upstreams);
     let mut client = HttpClient::connect(&router.addr().to_string()).expect("connects");
@@ -314,13 +366,24 @@ fn router_aggregates_backends_and_metrics_and_explains_routes() {
     assert_eq!(health.status, 200);
     assert!(health.body_text().contains("\"upstreams\":2"));
 
-    // /backends is the union of every upstream's list.
+    // /backends is the union of every upstream's list, and the structured
+    // entries (id/kind/fingerprint) survive aggregation intact.
     let backends = client.get("/backends").expect("answers").body_text();
     assert!(
         backends.contains("matrix:mca:haswell:llvm_mca"),
         "{backends}"
     );
     assert!(backends.contains("default:mca:haswell"), "{backends}");
+    assert!(
+        backends.contains("\"id\":\"surrogate:mca:haswell:llvm_mca\",\"kind\":\"surrogate\""),
+        "{backends}"
+    );
+    assert!(
+        backends.contains(&format!("\"fingerprint\":\"{}\"", artifact.fingerprint)),
+        "{backends}"
+    );
+    let v1_backends = client.get("/v1/backends").expect("answers").body_text();
+    assert_eq!(backends, v1_backends, "/v1/backends aliases /backends");
 
     // Two predictions, then /metrics: upstream samples are summed and the
     // router appends its own series.

