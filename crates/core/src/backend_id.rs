@@ -129,6 +129,9 @@ pub enum Source {
     /// A trained surrogate artifact (`SURROGATE_*.json`) answering with one
     /// forward pass instead of a simulator run.
     Surrogate,
+    /// The three-tier prediction policy (LRU → surrogate → simulator)
+    /// layered over a cell's learned table and optional surrogate.
+    Policy,
 }
 
 impl Source {
@@ -139,6 +142,7 @@ impl Source {
             Source::Checkpoint => "checkpoint",
             Source::Matrix => "matrix",
             Source::Surrogate => "surrogate",
+            Source::Policy => "policy",
         }
     }
 
@@ -149,9 +153,10 @@ impl Source {
             "checkpoint" => Ok(Source::Checkpoint),
             "matrix" => Ok(Source::Matrix),
             "surrogate" => Ok(Source::Surrogate),
+            "policy" => Ok(Source::Policy),
             other => Err(format!(
                 "unknown source `{other}`: valid sources are \"default\", \"checkpoint\", \
-                 \"matrix\", and \"surrogate\""
+                 \"matrix\", \"surrogate\", and \"policy\""
             )),
         }
     }
@@ -250,6 +255,15 @@ mod tests {
         };
         assert_eq!(surrogate.to_string(), "surrogate:uop:haswell:llvm_sim");
         assert_eq!("surrogate:uop:haswell:llvm_sim".parse(), Ok(surrogate));
+
+        let policy = BackendId {
+            source: Source::Policy,
+            simulator: SimulatorKind::Mca,
+            uarch: Microarch::Skylake,
+            spec: Some(SpecKind::LlvmMca),
+        };
+        assert_eq!(policy.to_string(), "policy:mca:skylake:llvm_mca");
+        assert_eq!("policy:mca:skylake:llvm_mca".parse(), Ok(policy));
     }
 
     #[test]
@@ -271,6 +285,7 @@ mod tests {
             Source::Checkpoint,
             Source::Matrix,
             Source::Surrogate,
+            Source::Policy,
         ] {
             assert_eq!(Source::parse(source.key()), Ok(source));
         }

@@ -88,6 +88,12 @@ pub struct RunCheckpoint {
     pub clamp_to_sampling: bool,
     /// Trained surrogate weights (present once `fit_surrogate` has run).
     pub surrogate_params: Option<Params>,
+    /// The model configuration `surrogate_params` was trained under, in the
+    /// artifact-side rendering — enough for a serving process to rebuild the
+    /// architecture and load the weights without the run's `DiffTuneConfig`.
+    /// `None` in checkpoints written before this field existed (those cells
+    /// serve table-only).
+    pub surrogate_config: Option<difftune_surrogate::ModelConfig>,
     /// Surrogate training statistics (present once `fit_surrogate` has run).
     pub surrogate_report: Option<TrainReport>,
     /// The optimized θ table (present once `optimize_table` has run).
@@ -145,10 +151,24 @@ impl RunCheckpoint {
     }
 
     /// Deserializes a checkpoint from JSON.
+    ///
+    /// Fields added after the first checkpoint schema (`surrogate_config`)
+    /// are backfilled with `null` when absent, so old checkpoints keep
+    /// loading.
     pub fn from_json(json: &str) -> Result<Self, DiffTuneError> {
-        serde_json::from_str(json).map_err(|error| DiffTuneError::Checkpoint {
-            message: format!("deserialization failed: {error:?}"),
-        })
+        let corrupt = |error: String| DiffTuneError::Checkpoint {
+            message: format!("deserialization failed: {error}"),
+        };
+        let mut value =
+            serde_json::from_str_value(json).map_err(|error| corrupt(format!("{error:?}")))?;
+        if let serde::Value::Map(entries) = &mut value {
+            for key in ["surrogate_config"] {
+                if !entries.iter().any(|(name, _)| name == key) {
+                    entries.push((key.to_string(), serde::Value::Null));
+                }
+            }
+        }
+        <Self as Deserialize>::deserialize(&value).map_err(|error| corrupt(format!("{error:?}")))
     }
 }
 
@@ -632,6 +652,10 @@ impl<'a> Session<'a> {
             table_batch_size: self.config.table_batch_size,
             clamp_to_sampling: self.config.clamp_to_sampling,
             surrogate_params: self.surrogate.as_ref().map(|s| s.params().clone()),
+            surrogate_config: self
+                .surrogate
+                .as_ref()
+                .map(|_| self.config.surrogate.into()),
             surrogate_report: self.surrogate_report.clone(),
             theta: self.theta.clone(),
             initial: self.initial.clone(),

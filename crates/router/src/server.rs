@@ -687,10 +687,66 @@ struct SampleSum {
     float_sum: f64,
 }
 
-/// `GET /metrics` — sums every upstream sample sharing a series name (labels
-/// included), then appends the router's own `difftune_router_*` series.
-/// HELP/TYPE headers from upstreams are dropped (samples alone are valid
-/// exposition text) to avoid re-grouping families.
+/// Canonicalizes one sample's series (`name{labels}`) by sorting its
+/// `key="value"` label pairs, so two upstreams exposing the same series with
+/// labels in different orders merge into one sum instead of two lines.
+/// Splitting is quote-aware: commas inside label values never split a pair.
+/// Series that are not well-formed (`name{...}` with a closing brace) pass
+/// through unchanged — aggregation keys on whatever the upstream wrote.
+fn normalize_series(series: &str) -> String {
+    let Some(open) = series.find('{') else {
+        return series.to_string();
+    };
+    let Some(close) = series.rfind('}') else {
+        return series.to_string();
+    };
+    if close < open {
+        return series.to_string();
+    }
+    let labels = &series[open + 1..close];
+    let mut pairs: Vec<String> = Vec::new();
+    let mut current = String::new();
+    let mut in_quotes = false;
+    let mut escaped = false;
+    for c in labels.chars() {
+        match c {
+            '\\' if in_quotes && !escaped => {
+                escaped = true;
+                current.push(c);
+            }
+            '"' if !escaped => {
+                in_quotes = !in_quotes;
+                current.push(c);
+                escaped = false;
+            }
+            ',' if !in_quotes => {
+                pairs.push(current.trim().to_string());
+                current.clear();
+                escaped = false;
+            }
+            _ => {
+                current.push(c);
+                escaped = false;
+            }
+        }
+    }
+    if !current.trim().is_empty() {
+        pairs.push(current.trim().to_string());
+    }
+    pairs.sort();
+    format!(
+        "{}{{{}}}{}",
+        &series[..open],
+        pairs.join(","),
+        &series[close + 1..]
+    )
+}
+
+/// `GET /metrics` — sums every upstream sample sharing a series identity
+/// (name plus its label *set* — label order is normalized before merging,
+/// see [`normalize_series`]), then appends the router's own
+/// `difftune_router_*` series. HELP/TYPE headers from upstreams are dropped
+/// (samples alone are valid exposition text) to avoid re-grouping families.
 fn aggregate_metrics(state: &RouterState) -> Response {
     let scrape = Request {
         method: "GET".to_string(),
@@ -716,8 +772,9 @@ fn aggregate_metrics(state: &RouterState) -> Response {
                 continue;
             };
             let integral = !raw_value.contains(['.', 'e', 'E']);
-            let entry = sums.entry(series.to_string()).or_insert_with(|| {
-                order.push(series.to_string());
+            let series = normalize_series(series);
+            let entry = sums.entry(series.clone()).or_insert_with(|| {
+                order.push(series.clone());
                 SampleSum {
                     integral: true,
                     int_sum: 0,
@@ -782,4 +839,44 @@ fn aggregate_metrics(state: &RouterState) -> Response {
         state.healthy_count()
     ));
     Response::text(200, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::normalize_series;
+
+    #[test]
+    fn label_order_never_splits_a_series() {
+        let a = r#"difftune_policy_tier_total{tier="surrogate",cell="mca:haswell:llvm_mca"}"#;
+        let b = r#"difftune_policy_tier_total{cell="mca:haswell:llvm_mca",tier="surrogate"}"#;
+        assert_eq!(normalize_series(a), normalize_series(b));
+        assert_eq!(
+            normalize_series(a),
+            r#"difftune_policy_tier_total{cell="mca:haswell:llvm_mca",tier="surrogate"}"#
+        );
+    }
+
+    #[test]
+    fn quoted_commas_and_braces_stay_inside_their_label_value() {
+        let tricky = r#"m{b="x,y",a="p{q}r"}"#;
+        assert_eq!(normalize_series(tricky), r#"m{a="p{q}r",b="x,y"}"#);
+        let shuffled = r#"m{a="p{q}r",b="x,y"}"#;
+        assert_eq!(normalize_series(shuffled), normalize_series(tricky));
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_a_value() {
+        let escaped = r#"m{b="say \"hi\", friend",a="1"}"#;
+        assert_eq!(
+            normalize_series(escaped),
+            r#"m{a="1",b="say \"hi\", friend"}"#
+        );
+    }
+
+    #[test]
+    fn unlabeled_and_malformed_series_pass_through() {
+        assert_eq!(normalize_series("plain_total"), "plain_total");
+        assert_eq!(normalize_series("broken{oops"), "broken{oops");
+        assert_eq!(normalize_series("m{}"), "m{}");
+    }
 }

@@ -1,6 +1,6 @@
 //! Servable backends: a [`Predictor`] bound to an identity.
 //!
-//! Four prediction sources are supported, mirroring the artifacts the rest
+//! Five prediction sources are supported, mirroring the artifacts the rest
 //! of the repository produces:
 //!
 //! * **default** — the expert-documentation tables
@@ -12,9 +12,14 @@
 //!   flat encoding), so every tuned scenario cell is directly servable;
 //! * **surrogate** — `SURROGATE_*.json` artifacts: the trained surrogate
 //!   itself answers with one forward-only replay of a compiled program
-//!   instead of a simulator run (the fast path).
+//!   instead of a simulator run (the fast path);
+//! * **policy** — the three-tier serve path
+//!   ([`crate::policy::PolicyPredictor`]): derived automatically for every
+//!   cell with a learned table, pairing it with the cell's surrogate (when
+//!   one is loaded) under the registry's `--error-budget`, and the default
+//!   answer for sourceless requests.
 //!
-//! All four hide behind the [`Predictor`] trait — a batch of blocks in,
+//! All five hide behind the [`Predictor`] trait — a batch of blocks in,
 //! timings out, plus the artifact fingerprint and the prediction kind — so
 //! the shard job loop, the cache key, and `/backends` are generic over
 //! prediction sources.
@@ -37,6 +42,8 @@ use difftune_isa::BasicBlock;
 use difftune_sim::{ParamBounds, SimParams, Simulator};
 use difftune_surrogate::{SurrogateArtifact, SurrogateForward, SURROGATE_SCHEMA};
 
+use crate::policy::policy_backend;
+
 pub use difftune::Source;
 
 /// A prediction source: a batch of basic blocks in, one timing per block
@@ -57,8 +64,23 @@ pub trait Predictor: std::fmt::Debug + Send + Sync {
     /// content fingerprint for surrogate backends.
     fn fingerprint(&self) -> &str;
 
-    /// The prediction family: `"table"` or `"surrogate"`.
+    /// The prediction family: `"table"`, `"surrogate"`, or `"policy"`.
     fn kind(&self) -> &'static str;
+
+    /// Whether `block` takes the surrogate's compiled fast path. `None` for
+    /// predictors with no surrogate notion (tables); surrogate predictors
+    /// answer from the model's program-keying without running a prediction.
+    fn replayable(&self, _block: &BasicBlock) -> Option<bool> {
+        None
+    }
+
+    /// The cache-key tier tag for `block`: [`crate::policy::TIER_PLAIN`] for
+    /// ordinary predictors; the policy predictor returns the tier (2 =
+    /// surrogate, 3 = simulator) it will answer the block from, so cached
+    /// policy answers stay attributable to the tier that produced them.
+    fn tier_tag(&self, _block: &BasicBlock) -> u8 {
+        0
+    }
 }
 
 /// A simulator running a parameter table — the classic backend.
@@ -88,31 +110,79 @@ impl Predictor for TablePredictor {
 /// (recorded once per graph structure and cached). Blocks whose structure
 /// the model cannot key fall back to a taped forward pass — bit-identical
 /// by the engine's contract, so the fallback is invisible in the bytes.
+///
+/// Concurrency: engines are pooled, not serialized. A batch checks an
+/// engine out (or builds a fresh one when all are busy), predicts without
+/// holding any lock, and checks it back in — so concurrent batches from the
+/// policy layer and direct surrogate traffic run in parallel instead of
+/// queueing on one mutex. Bit-determinism survives because an engine's
+/// compiled-program cache only skips re-recording: a fresh engine and a
+/// warm engine produce the same bits by the tensor engine's replay
+/// contract.
 #[derive(Debug)]
 struct SurrogatePredictor {
-    /// The shared forward-only engine ([`SurrogateForward`]); the mutex
-    /// guards its compiled-program cache and replay scratch. Predictions
-    /// never depend on that state — it only skips re-recording — so lock
-    /// order across shards cannot change response bytes.
-    forward: Mutex<SurrogateForward>,
+    /// The verified artifact — kept whole so the pool can mint additional
+    /// engines on demand.
+    artifact: SurrogateArtifact,
+    /// Idle forward engines. The lock is held only to pop/push; predictions
+    /// run outside it.
+    engines: Mutex<Vec<SurrogateForward>>,
+    /// A dedicated engine for `&self` structural probes
+    /// ([`SurrogateForward::replayable`]); it never predicts, so it is never
+    /// checked out.
+    probe: SurrogateForward,
     fingerprint: String,
 }
 
 impl SurrogatePredictor {
     fn new(artifact: &SurrogateArtifact) -> Result<Self, String> {
         Ok(SurrogatePredictor {
-            forward: Mutex::new(SurrogateForward::from_artifact(artifact)?),
+            engines: Mutex::new(vec![SurrogateForward::from_artifact(artifact)?]),
+            probe: SurrogateForward::from_artifact(artifact)?,
             fingerprint: artifact.fingerprint.clone(),
+            artifact: artifact.clone(),
         })
+    }
+
+    /// Pops an idle engine, or mints a new one when every engine is busy.
+    /// Minting cannot fail: the artifact already built two engines in
+    /// [`SurrogatePredictor::new`], so its weights are known-compatible.
+    fn checkout(&self) -> SurrogateForward {
+        let idle = self
+            .engines
+            .lock()
+            .expect("surrogate engine pool lock poisoned")
+            .pop();
+        idle.unwrap_or_else(|| {
+            SurrogateForward::from_artifact(&self.artifact)
+                .expect("the artifact was verified and engine-built at load time")
+        })
+    }
+
+    fn checkin(&self, engine: SurrogateForward) {
+        self.engines
+            .lock()
+            .expect("surrogate engine pool lock poisoned")
+            .push(engine);
+    }
+
+    /// Idle engines currently pooled (tests assert the pool grew under
+    /// concurrency).
+    #[cfg(test)]
+    fn pooled_engines(&self) -> usize {
+        self.engines
+            .lock()
+            .expect("surrogate engine pool lock poisoned")
+            .len()
     }
 }
 
 impl Predictor for SurrogatePredictor {
     fn predict_batch(&self, blocks: &[BasicBlock]) -> Vec<f64> {
-        self.forward
-            .lock()
-            .expect("surrogate engine lock poisoned")
-            .predict_batch(blocks)
+        let mut engine = self.checkout();
+        let answers = engine.predict_batch(blocks);
+        self.checkin(engine);
+        answers
     }
 
     fn fingerprint(&self) -> &str {
@@ -121,6 +191,10 @@ impl Predictor for SurrogatePredictor {
 
     fn kind(&self) -> &'static str {
         "surrogate"
+    }
+
+    fn replayable(&self, block: &BasicBlock) -> Option<bool> {
+        Some(self.probe.replayable(block))
     }
 }
 
@@ -255,7 +329,7 @@ pub struct BackendQuery {
     /// Requested spec (default `llvm_mca`; ignored for the `default` source).
     pub spec: SpecKind,
     /// Requested source; `None` resolves learned-first
-    /// (matrix → checkpoint → default).
+    /// (policy → matrix → checkpoint → default).
     pub source: Option<Source>,
 }
 
@@ -284,19 +358,26 @@ impl BackendQuery {
     }
 
     /// The candidate backend ids in resolution order: the exact id when a
-    /// source is pinned, otherwise learned-table-first (`matrix` →
-    /// `checkpoint` → `default`; surrogates answer only when explicitly
-    /// requested, because they approximate the simulator rather than run
-    /// it). This order is the resolution contract — the registry and the
-    /// routing tier both resolve through it, so a request hashes to the
-    /// same backend identity no matter which process resolves it.
+    /// source is pinned, otherwise the three-tier policy first, then
+    /// learned tables (`policy` → `matrix` → `checkpoint` → `default`; bare
+    /// surrogates answer only when explicitly requested, because they
+    /// approximate the simulator rather than run it — the policy wraps them
+    /// under the error budget instead). This order is the resolution
+    /// contract — the registry and the routing tier both resolve through
+    /// it, so a request hashes to the same backend identity no matter which
+    /// process resolves it.
     pub fn candidate_ids(&self) -> Vec<String> {
         match self.source {
             Some(source) => vec![self.id_for(source)],
-            None => [Source::Matrix, Source::Checkpoint, Source::Default]
-                .iter()
-                .map(|&source| self.id_for(source))
-                .collect(),
+            None => [
+                Source::Policy,
+                Source::Matrix,
+                Source::Checkpoint,
+                Source::Default,
+            ]
+            .iter()
+            .map(|&source| self.id_for(source))
+            .collect(),
         }
     }
 }
@@ -312,13 +393,30 @@ pub struct ReloadSpec {
     pub table_dirs: Vec<PathBuf>,
     /// Session checkpoints with their cell bindings (`--checkpoint`).
     pub checkpoints: Vec<(CellKey, PathBuf)>,
+    /// The `--error-budget` gating policy tier 2 (default `0.0`: the policy
+    /// serves tier 3 until the operator vouches for a surrogate accuracy).
+    pub error_budget: f64,
 }
 
 /// The set of loaded backends, keyed for per-request resolution.
+///
+/// Beyond the id index, the registry keeps the inputs the policy layer
+/// derives from: the configured error budget, each cell's recorded
+/// surrogate-vs-simulator MAPE (from its matrix record), and the structured
+/// warnings lenient loads accumulated. Every mutation that changes a cell's
+/// table or surrogate rebuilds the derived `policy:` backends, so they can
+/// never go stale relative to their halves.
 #[derive(Debug, Default)]
 pub struct BackendRegistry {
     /// Backends by id (the resolution and listing index).
     backends: BTreeMap<String, Arc<Backend>>,
+    /// The `--error-budget` policy tier 2 is gated by.
+    error_budget: f64,
+    /// Recorded `surrogate_vs_sim_mape` per canonical cell id.
+    cell_mape: BTreeMap<String, f64>,
+    /// Structured warnings from lenient loads (e.g. a corrupt surrogate
+    /// artifact skipped so its cell serves table-only).
+    warnings: Vec<String>,
 }
 
 impl BackendRegistry {
@@ -348,6 +446,73 @@ impl BackendRegistry {
 
     fn register(&mut self, backend: Backend) {
         self.backends.insert(backend.id.clone(), Arc::new(backend));
+    }
+
+    /// Sets the error budget gating policy tier 2 and rebuilds the derived
+    /// `policy:` backends under it.
+    pub fn set_error_budget(&mut self, budget: f64) {
+        self.error_budget = budget;
+        self.refresh_policies();
+    }
+
+    /// The configured error budget.
+    pub fn error_budget(&self) -> f64 {
+        self.error_budget
+    }
+
+    /// Structured warnings accumulated by lenient loads — artifacts that
+    /// were skipped (never fatally) with their cells degraded, surfaced so
+    /// operators see *why* a policy runs tier 3.
+    pub fn warnings(&self) -> &[String] {
+        &self.warnings
+    }
+
+    /// Drops and re-derives every `policy:` backend from the current cells:
+    /// one policy per cell with a learned table (matrix preferred over
+    /// checkpoint), paired with the cell's surrogate backend when one is
+    /// loaded and gated by the cell's recorded MAPE against the budget.
+    /// Cells without a learned table (default-only, surrogate-only) get no
+    /// policy, so sourceless resolution falls through to the defaults there.
+    fn refresh_policies(&mut self) {
+        self.backends
+            .retain(|_, backend| backend.source != Source::Policy);
+        let mut tables: BTreeMap<String, Arc<Backend>> = BTreeMap::new();
+        let mut surrogates: BTreeMap<String, Arc<Backend>> = BTreeMap::new();
+        for backend in self.backends.values() {
+            let Some(spec) = backend.spec else { continue };
+            let cell = CellKey {
+                simulator: backend.simulator_kind,
+                uarch: backend.uarch,
+                spec,
+            }
+            .id();
+            match backend.source {
+                Source::Matrix => {
+                    tables.insert(cell, Arc::clone(backend));
+                }
+                Source::Checkpoint => {
+                    tables.entry(cell).or_insert_with(|| Arc::clone(backend));
+                }
+                Source::Surrogate => {
+                    surrogates.insert(cell, Arc::clone(backend));
+                }
+                Source::Default | Source::Policy => {}
+            }
+        }
+        let policies: Vec<Backend> = tables
+            .iter()
+            .map(|(cell, table)| {
+                policy_backend(
+                    table,
+                    surrogates.get(cell),
+                    self.cell_mape.get(cell).copied(),
+                    self.error_budget,
+                )
+            })
+            .collect();
+        for policy in policies {
+            self.register(policy);
+        }
     }
 
     /// Number of loaded backends.
@@ -402,6 +567,7 @@ impl BackendRegistry {
         } else {
             BackendRegistry::new()
         };
+        registry.error_budget = spec.error_budget;
         for dir in &spec.table_dirs {
             registry.add_matrix_dir_with(dir, strict)?;
         }
@@ -506,11 +672,29 @@ impl BackendRegistry {
                 continue;
             }
             if name.starts_with("SURROGATE_") {
-                let artifact = SurrogateArtifact::from_json(&json).map_err(|error| {
+                // Parse first, verify second: garbage that is not an
+                // artifact at all stays fatal in both modes, but an artifact
+                // that parses and fails integrity (fingerprint mismatch,
+                // incompatible weights) is downgraded to a structured
+                // warning in lenient (startup) loads — the cell serves
+                // table-only with its policy pinned to tier 3, never a 500.
+                let artifact = SurrogateArtifact::parse_json(&json).map_err(|error| {
                     format!("{}: not a surrogate artifact: {error}", path.display())
                 })?;
-                self.add_surrogate_artifact(&artifact)
-                    .map_err(|error| format!("{}: {error}", path.display()))?;
+                if let Err(error) = self.add_surrogate_artifact(&artifact) {
+                    if strict {
+                        return Err(format!("{}: {error}", path.display()));
+                    }
+                    let warning = format!(
+                        "{}: unservable surrogate artifact ({error}); serving cell {} \
+                         table-only — its policy degrades to tier 3",
+                        path.display(),
+                        artifact.cell,
+                    );
+                    eprintln!("[difftune-serve] {warning}");
+                    self.warnings.push(warning);
+                    continue;
+                }
             } else {
                 let record = MatrixRecord::from_json(&json).map_err(|error| {
                     format!("{}: not a matrix cell record: {error}", path.display())
@@ -533,6 +717,7 @@ impl BackendRegistry {
     pub fn add_surrogate_artifact(&mut self, artifact: &SurrogateArtifact) -> Result<(), String> {
         artifact.verify()?;
         self.register(Backend::from_surrogate(artifact)?);
+        self.refresh_policies();
         Ok(())
     }
 
@@ -558,6 +743,9 @@ impl BackendRegistry {
                 record.cell, record.table_fingerprint
             ));
         }
+        if let Some(mape) = record.surrogate_vs_sim_mape {
+            self.cell_mape.insert(key.id(), mape);
+        }
         self.register(Backend::new(
             Source::Matrix,
             key.simulator,
@@ -565,12 +753,22 @@ impl BackendRegistry {
             Some(key.spec),
             table,
         ));
+        self.refresh_policies();
         Ok(())
     }
 
     /// Loads a finished session checkpoint's learned θ as a backend for the
     /// given cell coordinates (checkpoints do not record what they tuned, so
     /// the caller supplies the binding).
+    ///
+    /// When the checkpoint also carries trained surrogate weights *and* the
+    /// configuration they were trained under, the pair is snapshotted into a
+    /// surrogate artifact ([`SurrogateArtifact::from_weights`]) and
+    /// registered as the cell's `surrogate:` backend — unless a file
+    /// artifact already claimed the cell (directories load before
+    /// checkpoints, so file artifacts deterministically win). A weight/
+    /// config mismatch degrades to a structured warning, never an error:
+    /// the table backend is the artifact the operator asked for.
     ///
     /// # Errors
     ///
@@ -589,20 +787,51 @@ impl BackendRegistry {
                 checkpoint.stage
             )
         })?;
+        let table = theta.to_sim_params();
+        if let (Some(weights), Some(config)) =
+            (&checkpoint.surrogate_params, checkpoint.surrogate_config)
+        {
+            let surrogate_id = BackendId {
+                source: Source::Surrogate,
+                simulator: key.simulator,
+                uarch: key.uarch,
+                spec: Some(key.spec),
+            }
+            .to_string();
+            if !self.backends.contains_key(&surrogate_id) {
+                let built = SurrogateArtifact::from_weights(&key.id(), config, weights, &table)
+                    .and_then(|artifact| Backend::from_surrogate(&artifact));
+                match built {
+                    Ok(backend) => self.register(backend),
+                    Err(error) => {
+                        let warning = format!(
+                            "{}: checkpoint surrogate for cell {} is unservable ({error}); \
+                             serving the cell table-only — its policy degrades to tier 3",
+                            path.display(),
+                            key.id(),
+                        );
+                        eprintln!("[difftune-serve] {warning}");
+                        self.warnings.push(warning);
+                    }
+                }
+            }
+        }
         self.register(Backend::new(
             Source::Checkpoint,
             key.simulator,
             key.uarch,
             Some(key.spec),
-            theta.to_sim_params(),
+            table,
         ));
+        self.refresh_policies();
         Ok(())
     }
 
     /// Resolves a request's backend.
     ///
     /// With an explicit `source` the exact backend must exist. Without one,
-    /// learned tables win over defaults: `matrix`, then `checkpoint`, then
+    /// the derived three-tier policy wins, then learned tables over
+    /// defaults: `policy`, then `matrix`, then `checkpoint`, then
     /// `default`. The resolution order is fixed, so a given registry answers
     /// a given query identically on every request.
     ///
@@ -696,9 +925,23 @@ mod tests {
             .add_matrix_record(&fake_record("mca:haswell:llvm_mca", Microarch::Haswell))
             .expect("consistent record loads");
 
+        // Sourceless resolution lands on the derived policy wrapping the
+        // matrix table (at the default 0.0 budget it serves the same table
+        // values through tier 3).
         let learned = registry.resolve(&BackendQuery::default()).unwrap();
-        assert_eq!(learned.id, "matrix:mca:haswell:llvm_mca");
+        assert_eq!(learned.id, "policy:mca:haswell:llvm_mca");
+        assert_eq!(learned.kind(), "policy");
         assert_ne!(learned.table, default_params(Microarch::Haswell));
+
+        // The matrix table itself still answers when pinned.
+        let matrix = registry
+            .resolve(&BackendQuery {
+                source: Some(Source::Matrix),
+                ..BackendQuery::default()
+            })
+            .unwrap();
+        assert_eq!(matrix.id, "matrix:mca:haswell:llvm_mca");
+        assert_eq!(matrix.table, learned.table);
 
         // An explicit source still reaches the defaults.
         let defaults = registry
@@ -786,7 +1029,10 @@ mod tests {
             .add_matrix_dir(&dir)
             .expect("the /1 record must not be fatal");
         assert_eq!(added, 1, "exactly the /2 record loads");
-        assert_eq!(registry.ids(), vec!["matrix:mca:haswell:llvm_mca"]);
+        assert_eq!(
+            registry.ids(),
+            vec!["matrix:mca:haswell:llvm_mca", "policy:mca:haswell:llvm_mca"]
+        );
 
         // Garbage in a MATRIX_*.json name is still a hard error.
         std::fs::write(dir.join("MATRIX_bogus_cell_garbage.json"), "not json").unwrap();
@@ -831,9 +1077,13 @@ mod tests {
             defaults: false,
             table_dirs: vec![dir.clone()],
             checkpoints: Vec::new(),
+            error_budget: 0.0,
         };
         let lenient = BackendRegistry::load(&spec, false).expect("lenient load succeeds");
-        assert_eq!(lenient.ids(), vec!["matrix:mca:haswell:llvm_mca"]);
+        assert_eq!(
+            lenient.ids(),
+            vec!["matrix:mca:haswell:llvm_mca", "policy:mca:haswell:llvm_mca"]
+        );
         let error = BackendRegistry::load(&spec, true).unwrap_err();
         assert!(error.contains("difftune-matrix/1"), "{error}");
         assert!(error.contains("refusing to reload"), "{error}");
@@ -868,6 +1118,7 @@ mod tests {
         assert_eq!(
             query.candidate_ids(),
             vec![
+                "policy:mca:haswell:llvm_mca",
                 "matrix:mca:haswell:llvm_mca",
                 "checkpoint:mca:haswell:llvm_mca",
                 "default:mca:haswell",
@@ -1057,6 +1308,7 @@ mod tests {
             registry.ids(),
             vec![
                 "matrix:mca:haswell:llvm_mca",
+                "policy:mca:haswell:llvm_mca",
                 "surrogate:mca:haswell:llvm_mca"
             ]
         );
@@ -1082,10 +1334,321 @@ mod tests {
             defaults: false,
             table_dirs: vec![dir.clone()],
             checkpoints: Vec::new(),
+            error_budget: 0.0,
         };
         let error = BackendRegistry::load(&spec, true).unwrap_err();
         assert!(error.contains("difftune-surrogate/999"), "{error}");
 
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    use crate::policy::{TIER_SIMULATOR, TIER_SURROGATE};
+
+    /// [`fake_record`] with a measured surrogate-vs-simulator MAPE.
+    fn fake_record_with_mape(cell: &str, uarch: Microarch, mape: f64) -> MatrixRecord {
+        MatrixRecord {
+            surrogate_vs_sim_mape: Some(mape),
+            ..fake_record(cell, uarch)
+        }
+    }
+
+    fn parse_block(text: &str) -> BasicBlock {
+        text.parse().expect("test blocks parse")
+    }
+
+    #[test]
+    fn policies_gate_the_surrogate_tier_on_the_error_budget() {
+        let mut registry = BackendRegistry::with_defaults();
+        registry
+            .add_matrix_record(&fake_record_with_mape(
+                "mca:haswell:llvm_mca",
+                Microarch::Haswell,
+                5.0,
+            ))
+            .unwrap();
+        registry
+            .add_surrogate_artifact(&fake_artifact("mca:haswell:llvm_mca", Microarch::Haswell))
+            .unwrap();
+        let block = parse_block("addq %rax, %rbx");
+        let matrix = registry
+            .resolve(&BackendQuery {
+                source: Some(Source::Matrix),
+                ..BackendQuery::default()
+            })
+            .unwrap();
+        let surrogate = registry
+            .resolve(&BackendQuery {
+                source: Some(Source::Surrogate),
+                ..BackendQuery::default()
+            })
+            .unwrap();
+
+        // Default budget 0.0 < MAPE 5.0: the policy serves the simulator.
+        let policy = registry.resolve(&BackendQuery::default()).unwrap();
+        assert_eq!(policy.id, "policy:mca:haswell:llvm_mca");
+        assert_eq!(policy.predictor.tier_tag(&block), TIER_SIMULATOR);
+        assert_eq!(
+            policy.predictor.predict_batch(std::slice::from_ref(&block))[0].to_bits(),
+            matrix.predictor.predict_batch(std::slice::from_ref(&block))[0].to_bits(),
+            "tier 3 answers with the learned table's exact bits"
+        );
+
+        // Budget 10.0 >= MAPE 5.0: tier 2 opens for replayable blocks.
+        registry.set_error_budget(10.0);
+        let policy = registry.resolve(&BackendQuery::default()).unwrap();
+        assert_eq!(policy.predictor.tier_tag(&block), TIER_SURROGATE);
+        assert_eq!(
+            policy.predictor.predict_batch(std::slice::from_ref(&block))[0].to_bits(),
+            surrogate
+                .predictor
+                .predict_batch(std::slice::from_ref(&block))[0]
+                .to_bits(),
+            "tier 2 answers with the surrogate's exact bits"
+        );
+
+        // Tightening the budget below the MAPE closes tier 2 again, and the
+        // rebuilt policy has a new cache identity (stale entries retire).
+        let open_fingerprint = policy.cache_fingerprint;
+        registry.set_error_budget(1.0);
+        let policy = registry.resolve(&BackendQuery::default()).unwrap();
+        assert_eq!(policy.predictor.tier_tag(&block), TIER_SIMULATOR);
+        assert_ne!(policy.cache_fingerprint, open_fingerprint);
+    }
+
+    #[test]
+    fn an_unmeasured_surrogate_only_clears_an_infinite_budget() {
+        let mut registry = BackendRegistry::new();
+        registry
+            .add_matrix_record(&fake_record("mca:haswell:llvm_mca", Microarch::Haswell))
+            .unwrap();
+        registry
+            .add_surrogate_artifact(&fake_artifact("mca:haswell:llvm_mca", Microarch::Haswell))
+            .unwrap();
+        let block = parse_block("addq %rax, %rbx");
+
+        registry.set_error_budget(1e12);
+        let policy = registry.resolve(&BackendQuery::default()).unwrap();
+        assert_eq!(
+            policy.predictor.tier_tag(&block),
+            TIER_SIMULATOR,
+            "no recorded MAPE means no finite budget vouches for tier 2"
+        );
+
+        registry.set_error_budget(f64::INFINITY);
+        let policy = registry.resolve(&BackendQuery::default()).unwrap();
+        assert_eq!(policy.predictor.tier_tag(&block), TIER_SURROGATE);
+    }
+
+    #[test]
+    fn matrix_tables_win_the_policy_over_checkpoint_tables() {
+        let record = fake_record("mca:haswell:llvm_mca", Microarch::Haswell);
+        let checkpoint_table = default_params(Microarch::Haswell);
+        assert_ne!(checkpoint_table.to_flat(), record.learned_table);
+
+        // Checkpoint first, then matrix: the matrix table takes the policy.
+        let mut registry = BackendRegistry::new();
+        registry.register(Backend::new(
+            Source::Checkpoint,
+            SimulatorKind::Mca,
+            Microarch::Haswell,
+            Some(SpecKind::LlvmMca),
+            checkpoint_table.clone(),
+        ));
+        registry.add_matrix_record(&record).unwrap();
+        let policy = registry.resolve(&BackendQuery::default()).unwrap();
+        assert_eq!(policy.id, "policy:mca:haswell:llvm_mca");
+        assert_eq!(policy.table.to_flat(), record.learned_table);
+
+        // Matrix first, then checkpoint: same winner.
+        let mut registry = BackendRegistry::new();
+        registry.add_matrix_record(&record).unwrap();
+        registry.register(Backend::new(
+            Source::Checkpoint,
+            SimulatorKind::Mca,
+            Microarch::Haswell,
+            Some(SpecKind::LlvmMca),
+            checkpoint_table.clone(),
+        ));
+        registry.refresh_policies();
+        let policy = registry.resolve(&BackendQuery::default()).unwrap();
+        assert_eq!(policy.table.to_flat(), record.learned_table);
+
+        // A checkpoint-only cell still gets a policy.
+        let mut registry = BackendRegistry::new();
+        registry.register(Backend::new(
+            Source::Checkpoint,
+            SimulatorKind::Mca,
+            Microarch::Haswell,
+            Some(SpecKind::LlvmMca),
+            checkpoint_table.clone(),
+        ));
+        registry.refresh_policies();
+        let policy = registry.resolve(&BackendQuery::default()).unwrap();
+        assert_eq!(policy.table, checkpoint_table);
+    }
+
+    #[test]
+    fn corrupt_surrogate_artifacts_degrade_the_cell_to_table_only() {
+        let dir = std::env::temp_dir().join(format!(
+            "difftune-serve-corrupt-{}-{:x}",
+            std::process::id(),
+            fnv1a("corrupt_artifact".bytes())
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("temp dir is writable");
+
+        let record = fake_record_with_mape("mca:haswell:llvm_mca", Microarch::Haswell, 0.5);
+        std::fs::write(dir.join(record.file_name()), record.to_json()).unwrap();
+        let mut tampered = fake_artifact("mca:haswell:llvm_mca", Microarch::Haswell);
+        tampered.learned_table[0] += 1.0;
+        std::fs::write(dir.join(tampered.file_name()), tampered.to_json()).unwrap();
+
+        // Lenient (startup) load: the corrupt artifact becomes a structured
+        // warning, the cell serves table-only, and its policy pins tier 3
+        // even under a budget that would otherwise open tier 2.
+        let mut registry = BackendRegistry::new();
+        registry.set_error_budget(f64::INFINITY);
+        let added = registry.add_matrix_dir(&dir).unwrap();
+        assert_eq!(added, 1, "only the record loads");
+        assert_eq!(
+            registry.ids(),
+            vec!["matrix:mca:haswell:llvm_mca", "policy:mca:haswell:llvm_mca"]
+        );
+        assert_eq!(registry.warnings().len(), 1);
+        assert!(
+            registry.warnings()[0].contains("tier 3"),
+            "{:?}",
+            registry.warnings()
+        );
+        let policy = registry.resolve(&BackendQuery::default()).unwrap();
+        assert_eq!(
+            policy.predictor.tier_tag(&parse_block("addq %rax, %rbx")),
+            TIER_SIMULATOR
+        );
+
+        // Strict (reload) load refuses the directory outright.
+        let spec = ReloadSpec {
+            defaults: false,
+            table_dirs: vec![dir.clone()],
+            checkpoints: Vec::new(),
+            error_budget: f64::INFINITY,
+        };
+        let error = BackendRegistry::load(&spec, true).unwrap_err();
+        assert!(error.contains("fingerprint"), "{error}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn surrogate_engine_pool_predicts_concurrently_without_changing_bits() {
+        let artifact = fake_artifact("mca:haswell:llvm_mca", Microarch::Haswell);
+        let predictor = SurrogatePredictor::new(&artifact).unwrap();
+        let blocks: Vec<BasicBlock> = [
+            "addq %rax, %rbx",
+            "imulq %rbx, %rcx\naddq %rcx, %rax",
+            "movq (%rdi), %rax\naddq %rax, %rbx",
+        ]
+        .iter()
+        .map(|text| parse_block(text))
+        .collect();
+        let serial: Vec<u64> = predictor
+            .predict_batch(&blocks)
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+
+        // Two engines checked out at once: the second is minted on demand —
+        // the pool never serializes concurrent batches on one lock — and a
+        // fresh engine's bits equal a warm engine's by the replay contract.
+        let mut first = predictor.checkout();
+        let mut second = predictor.checkout();
+        for engine in [&mut first, &mut second] {
+            let bits: Vec<u64> = engine
+                .predict_batch(&blocks)
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
+            assert_eq!(bits, serial);
+        }
+        predictor.checkin(first);
+        predictor.checkin(second);
+        assert_eq!(
+            predictor.pooled_engines(),
+            2,
+            "the pool grew under concurrency"
+        );
+
+        // And genuinely concurrent callers all get the serial bits.
+        let barrier = std::sync::Barrier::new(4);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    scope.spawn(|| {
+                        barrier.wait();
+                        predictor
+                            .predict_batch(&blocks)
+                            .iter()
+                            .map(|v| v.to_bits())
+                            .collect::<Vec<u64>>()
+                    })
+                })
+                .collect();
+            for handle in handles {
+                assert_eq!(handle.join().expect("no panic"), serial);
+            }
+        });
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig {
+            cases: 48,
+            ..proptest::prelude::ProptestConfig::default()
+        })]
+
+        /// The tier choice is a pure function of `(block, budget, cell
+        /// metadata)`: two independently built policies over the same inputs
+        /// agree on every generated block, repeated queries never flip, and
+        /// running predictions in between changes nothing.
+        #[test]
+        fn tier_choice_is_a_pure_function_of_block_budget_and_metadata(
+            seed in 0u64..10_000,
+            budget in 0.0f64..20.0,
+            mape in proptest::option::of(0.0f64..20.0),
+        ) {
+            use difftune_isa::{BlockGenerator, GeneratorConfig};
+            use rand::{rngs::StdRng, SeedableRng};
+
+            let build = || {
+                let mut registry = BackendRegistry::new();
+                let mut record =
+                    fake_record("mca:haswell:llvm_mca", Microarch::Haswell);
+                record.surrogate_vs_sim_mape = mape;
+                registry.add_matrix_record(&record).unwrap();
+                registry
+                    .add_surrogate_artifact(&fake_artifact(
+                        "mca:haswell:llvm_mca",
+                        Microarch::Haswell,
+                    ))
+                    .unwrap();
+                registry.set_error_budget(budget);
+                registry.resolve(&BackendQuery::default()).unwrap()
+            };
+            let (first, second) = (build(), build());
+
+            let generator = BlockGenerator::new(GeneratorConfig::default());
+            let mut rng = StdRng::seed_from_u64(seed);
+            for _ in 0..8 {
+                let block = generator.generate(&mut rng);
+                let tier = first.predictor.tier_tag(&block);
+                proptest::prop_assert!(tier == TIER_SURROGATE || tier == TIER_SIMULATOR);
+                proptest::prop_assert_eq!(second.predictor.tier_tag(&block), tier);
+                if tier == TIER_SURROGATE {
+                    proptest::prop_assert!(mape.unwrap_or(f64::INFINITY) <= budget);
+                }
+                // A prediction in between must not perturb the choice.
+                first.predictor.predict_batch(std::slice::from_ref(&block));
+                proptest::prop_assert_eq!(first.predictor.tier_tag(&block), tier);
+            }
+        }
     }
 }

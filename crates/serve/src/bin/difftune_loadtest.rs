@@ -11,11 +11,12 @@
 //! ```text
 //! difftune-loadtest --addr HOST:PORT [--requests N] [--batch K] [--blocks B]
 //!                   [--connections C] [--seed S] [--sim X] [--uarch X]
-//!                   [--spec X] [--source X] [--json] [--out-dir DIR]
-//!                   [--wait-seconds S] [--max-seconds S]
-//!                   [--check-deterministic]
+//!                   [--spec X] [--source X] [--expect-source-kind KIND]
+//!                   [--json] [--out-dir DIR] [--wait-seconds S]
+//!                   [--max-seconds S] [--check-deterministic]
 //! difftune-loadtest --via-router N [--kill-upstream-after K]
-//!                   [--tables DIR]... [--idle-timeout S] [...as above]
+//!                   [--tables DIR]... [--error-budget MAPE]
+//!                   [--idle-timeout S] [...as above]
 //! ```
 //!
 //! `--via-router N` is the chaos harness: the loadtest spawns N
@@ -55,6 +56,7 @@ struct Args {
     uarch: Option<String>,
     spec: Option<String>,
     source: Option<String>,
+    expect_source_kind: Option<String>,
     json: bool,
     out_dir: String,
     wait_seconds: f64,
@@ -63,6 +65,7 @@ struct Args {
     via_router: Option<usize>,
     kill_upstream_after: Option<usize>,
     tables: Vec<String>,
+    error_budget: Option<f64>,
     idle_timeout: Option<f64>,
 }
 
@@ -70,8 +73,9 @@ fn usage() -> ! {
     eprintln!(
         "usage: difftune-loadtest (--addr HOST:PORT | --via-router N) [--requests N] [--batch K] \
          [--blocks B] [--connections C] [--seed S] [--sim X] [--uarch X] [--spec X] [--source X] \
-         [--json] [--out-dir DIR] [--wait-seconds S] [--max-seconds S] [--check-deterministic] \
-         [--kill-upstream-after K] [--tables DIR]... [--idle-timeout S]"
+         [--expect-source-kind KIND] [--json] [--out-dir DIR] [--wait-seconds S] [--max-seconds S] \
+         [--check-deterministic] [--kill-upstream-after K] [--tables DIR]... \
+         [--error-budget MAPE] [--idle-timeout S]"
     );
     std::process::exit(2);
 }
@@ -88,6 +92,7 @@ fn parse_args() -> Args {
         uarch: None,
         spec: None,
         source: None,
+        expect_source_kind: None,
         json: false,
         out_dir: ".".to_string(),
         wait_seconds: 30.0,
@@ -96,6 +101,7 @@ fn parse_args() -> Args {
         via_router: None,
         kill_upstream_after: None,
         tables: Vec::new(),
+        error_budget: None,
         idle_timeout: None,
     };
     let mut iter = std::env::args().skip(1);
@@ -125,6 +131,7 @@ fn parse_args() -> Args {
             "--uarch" => args.uarch = Some(value("--uarch")),
             "--spec" => args.spec = Some(value("--spec")),
             "--source" => args.source = Some(value("--source")),
+            "--expect-source-kind" => args.expect_source_kind = Some(value("--expect-source-kind")),
             "--json" => args.json = true,
             "--out-dir" => args.out_dir = value("--out-dir"),
             "--wait-seconds" => {
@@ -144,6 +151,12 @@ fn parse_args() -> Args {
                 ))
             }
             "--tables" => args.tables.push(value("--tables")),
+            "--error-budget" => {
+                args.error_budget = Some(value("--error-budget").parse().unwrap_or_else(|_| {
+                    eprintln!("--error-budget must be numeric MAPE percent");
+                    usage()
+                }))
+            }
             "--idle-timeout" => {
                 args.idle_timeout = Some(value("--idle-timeout").parse().unwrap_or_else(|_| {
                     eprintln!("--idle-timeout must be numeric seconds");
@@ -320,6 +333,10 @@ fn spawn_fleet(args: &Args, upstreams: usize) -> Result<Fleet, String> {
         for dir in &args.tables {
             child_args.push("--tables".to_string());
             child_args.push(dir.clone());
+        }
+        if let Some(budget) = args.error_budget {
+            child_args.push("--error-budget".to_string());
+            child_args.push(budget.to_string());
         }
         if let Some(seconds) = args.idle_timeout {
             child_args.push("--idle-timeout".to_string());
@@ -536,6 +553,29 @@ fn main() {
             ""
         },
     );
+
+    if let Some(expected) = &args.expect_source_kind {
+        // Tier assertion for policy backends: every response must have been
+        // answered from the expected tier family ("table" or "surrogate").
+        for (index, body) in first_pass.iter().enumerate() {
+            let kind = serde_json::from_str_value(body).ok().and_then(|value| {
+                value
+                    .get("source_kind")
+                    .and_then(|k| k.as_str().map(String::from))
+            });
+            if kind.as_deref() != Some(expected.as_str()) {
+                eprintln!(
+                    "difftune-loadtest: SOURCE KIND MISMATCH: request {index} expected \
+                     source_kind {expected:?}, got: {body}"
+                );
+                std::process::exit(1);
+            }
+        }
+        println!(
+            "difftune-loadtest: all {} responses answered with source_kind {expected:?}",
+            first_pass.len()
+        );
+    }
 
     if args.check_deterministic {
         // Replay the identical sequence against the now-warm (and, after a

@@ -9,9 +9,9 @@
 //! ```text
 //! difftune-serve [--addr A] [--port P] [--tables DIR]...
 //!                [--checkpoint SIM:UARCH:SPEC=PATH]... [--no-defaults]
-//!                [--shards N] [--cache-capacity N] [--max-seconds S]
-//!                [--idle-timeout S] [--max-requests-per-connection N]
-//!                [--list-backends]
+//!                [--error-budget MAPE] [--shards N] [--cache-capacity N]
+//!                [--max-seconds S] [--idle-timeout S]
+//!                [--max-requests-per-connection N] [--list-backends]
 //! ```
 //!
 //! Shard count defaults to `DIFFTUNE_THREADS` (unset = all cores), mirroring
@@ -31,6 +31,7 @@ struct Args {
     tables: Vec<String>,
     checkpoints: Vec<(CellKey, String)>,
     no_defaults: bool,
+    error_budget: f64,
     shards: Option<usize>,
     cache_capacity: Option<usize>,
     max_seconds: Option<f64>,
@@ -42,8 +43,9 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: difftune-serve [--addr A] [--port P] [--tables DIR]... \
-         [--checkpoint SIM:UARCH:SPEC=PATH]... [--no-defaults] [--shards N] \
-         [--cache-capacity N] [--max-seconds S] [--idle-timeout S] \
+         [--checkpoint SIM:UARCH:SPEC=PATH]... [--no-defaults] \
+         [--error-budget MAPE] [--shards N] [--cache-capacity N] \
+         [--max-seconds S] [--idle-timeout S] \
          [--max-requests-per-connection N] [--list-backends]"
     );
     std::process::exit(2);
@@ -56,6 +58,7 @@ fn parse_args() -> Args {
         tables: Vec::new(),
         checkpoints: Vec::new(),
         no_defaults: false,
+        error_budget: 0.0,
         shards: None,
         cache_capacity: None,
         max_seconds: None,
@@ -96,6 +99,18 @@ fn parse_args() -> Args {
                 }
             }
             "--no-defaults" => args.no_defaults = true,
+            "--error-budget" => {
+                let raw = value("--error-budget");
+                let budget: f64 = raw.parse().unwrap_or_else(|_| {
+                    eprintln!("--error-budget must be numeric MAPE percent, got {raw:?}");
+                    usage()
+                });
+                if budget < 0.0 || budget.is_nan() {
+                    eprintln!("--error-budget must be non-negative, got {raw:?}");
+                    usage()
+                }
+                args.error_budget = budget;
+            }
             "--shards" => {
                 let raw = value("--shards");
                 args.shards = Some(raw.parse().unwrap_or_else(|_| {
@@ -162,6 +177,7 @@ fn main() {
             .iter()
             .map(|(key, path)| (*key, std::path::PathBuf::from(path)))
             .collect(),
+        error_budget: args.error_budget,
     };
 
     let mut registry = if args.no_defaults {
@@ -169,6 +185,7 @@ fn main() {
     } else {
         BackendRegistry::with_defaults()
     };
+    registry.set_error_budget(args.error_budget);
     for dir in &args.tables {
         match registry.add_matrix_dir(std::path::Path::new(dir)) {
             Ok(added) => {
@@ -186,6 +203,9 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!("[difftune-serve] loaded checkpoint backend checkpoint:{key}");
+    }
+    for warning in registry.warnings() {
+        eprintln!("[difftune-serve] warning: {warning}");
     }
     if registry.is_empty() {
         eprintln!("difftune-serve: no backends to serve (--no-defaults with nothing loaded)");

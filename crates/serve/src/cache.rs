@@ -14,8 +14,14 @@
 
 use std::collections::HashMap;
 
-/// A cache key: `(block fingerprint, backend fingerprint)`.
-pub type CacheKey = (u64, u64);
+/// A cache key: `(block fingerprint, backend fingerprint, tier tag)`.
+///
+/// The tier tag is `0` for ordinary backends; policy backends tag each
+/// block with the tier that answered it (2 = surrogate, 3 = simulator), so
+/// a cached policy answer stays attributable to its tier in the metrics.
+/// The tier is a pure function of the block and the policy's frozen
+/// metadata, so a block still maps to exactly one key.
+pub type CacheKey = (u64, u64, u8);
 
 /// Sentinel for "no neighbor" in the intrusive list.
 const NONE: usize = usize::MAX;
@@ -135,7 +141,7 @@ impl LruCache {
         let stale: Vec<CacheKey> = self
             .map
             .keys()
-            .filter(|(_, backend)| *backend == backend_fingerprint)
+            .filter(|(_, backend, _)| *backend == backend_fingerprint)
             .copied()
             .collect();
         for key in &stale {
@@ -191,7 +197,7 @@ mod tests {
     use super::*;
 
     fn key(n: u64) -> CacheKey {
-        (n, 0xb1)
+        (n, 0xb1, 0)
     }
 
     #[test]
@@ -249,10 +255,20 @@ mod tests {
     #[test]
     fn distinct_backends_do_not_collide() {
         let mut cache = LruCache::new(4);
-        cache.insert((7, 100), 1.5);
-        cache.insert((7, 200), 2.5);
-        assert_eq!(cache.get(&(7, 100)), Some(1.5));
-        assert_eq!(cache.get(&(7, 200)), Some(2.5));
+        cache.insert((7, 100, 0), 1.5);
+        cache.insert((7, 200, 0), 2.5);
+        assert_eq!(cache.get(&(7, 100, 0)), Some(1.5));
+        assert_eq!(cache.get(&(7, 200, 0)), Some(2.5));
+    }
+
+    #[test]
+    fn distinct_tier_tags_do_not_collide_and_purge_crosses_tiers() {
+        let mut cache = LruCache::new(4);
+        cache.insert((7, 100, 2), 1.5);
+        cache.insert((7, 100, 3), 2.5);
+        assert_eq!(cache.get(&(7, 100, 2)), Some(1.5));
+        assert_eq!(cache.get(&(7, 100, 3)), Some(2.5));
+        assert_eq!(cache.purge_backend(100), 2, "purge ignores the tier tag");
     }
 
     #[test]
@@ -288,14 +304,14 @@ mod tests {
     fn purging_a_backend_removes_exactly_its_entries() {
         let mut cache = LruCache::new(8);
         for n in 0..3 {
-            cache.insert((n, 100), n as f64);
-            cache.insert((n, 200), n as f64 + 10.0);
+            cache.insert((n, 100, 0), n as f64);
+            cache.insert((n, 200, 0), n as f64 + 10.0);
         }
         assert_eq!(cache.purge_backend(100), 3);
         assert_eq!(cache.len(), 3);
         for n in 0..3 {
-            assert_eq!(cache.get(&(n, 100)), None);
-            assert_eq!(cache.get(&(n, 200)), Some(n as f64 + 10.0));
+            assert_eq!(cache.get(&(n, 100, 0)), None);
+            assert_eq!(cache.get(&(n, 200, 0)), Some(n as f64 + 10.0));
         }
         assert_eq!(cache.purge_backend(100), 0, "nothing left to purge");
     }

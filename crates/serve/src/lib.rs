@@ -14,7 +14,11 @@
 //! * [`http`] — incremental request parser (partial reads, pipelining, size
 //!   limits) and response writer;
 //! * [`backend`] — the table registry: `default` / `checkpoint` / `matrix`
-//!   sources, fingerprint-verified loading, per-request resolution;
+//!   / `surrogate` sources, fingerprint-verified loading, per-request
+//!   resolution;
+//! * [`policy`] — the derived three-tier `policy:` backends (per-shard LRU
+//!   → surrogate → full simulator, gated by `--error-budget`), the default
+//!   answer for sourceless requests;
 //! * [`cache`] — the fingerprint-keyed LRU prediction cache;
 //! * [`server`] — accept loop, connection threads, the shard-per-worker
 //!   predict pool batching through [`Simulator::predict_batch`], and the ops
@@ -36,6 +40,11 @@
 //! return the exact value a miss would recompute, and floats serialize in
 //! Rust's shortest-exact form — the serving extension of the determinism
 //! contract the training engine established (see `docs/ARCHITECTURE.md`).
+//! Policy backends extend the same contract (invariant #8): the tier a
+//! block is answered from is a pure function of the block, the budget, and
+//! the cell's frozen metadata, so responses stay byte-identical across
+//! shard counts, cache states, and tier configurations given the same
+//! budget.
 //!
 //! # Example
 //!
@@ -66,6 +75,7 @@ pub mod cache;
 pub mod client;
 pub mod http;
 pub mod metrics;
+pub mod policy;
 pub mod server;
 
 pub use backend::{Backend, BackendQuery, BackendRegistry, Predictor, ReloadSpec, Source};
@@ -73,4 +83,5 @@ pub use cache::LruCache;
 pub use client::{ClientResponse, HttpClient};
 pub use http::{HttpError, HttpLimits, Request, RequestBuffer, Response};
 pub use metrics::{Endpoint, Metrics};
+pub use policy::{PolicyPredictor, TIER_PLAIN, TIER_SIMULATOR, TIER_SURROGATE};
 pub use server::{parse_backend_query, spawn, ServeConfig, ServerHandle};

@@ -105,9 +105,17 @@ pub struct Metrics {
     endpoint_nanos: [AtomicU64; 7],
     /// Successful hot reloads (registry swaps).
     backend_reloads_total: AtomicU64,
+    /// Policy-backend blocks answered per tier, indexed by
+    /// [`Metrics::POLICY_TIERS`] order (cache, surrogate, simulator).
+    policy_tier_total: [AtomicU64; 3],
 }
 
 impl Metrics {
+    /// The `tier` label values of `difftune_policy_tier_total`, in index
+    /// order: tier 1 (the per-shard LRU), tier 2 (the surrogate), tier 3
+    /// (the full simulator).
+    pub const POLICY_TIERS: [&'static str; 3] = ["cache", "surrogate", "simulator"];
+
     /// A zeroed counter set.
     pub fn new() -> Self {
         Metrics::default()
@@ -154,6 +162,17 @@ impl Metrics {
     /// Records a successful hot reload (the registry swap happened).
     pub fn on_reload(&self) {
         self.backend_reloads_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `blocks` policy-backend blocks answered by the given tier
+    /// (an index into [`Metrics::POLICY_TIERS`]).
+    pub fn on_policy_tier(&self, tier_index: usize, blocks: usize) {
+        self.policy_tier_total[tier_index].fetch_add(blocks as u64, Ordering::Relaxed);
+    }
+
+    /// Policy blocks answered by one tier so far.
+    pub fn policy_tier(&self, tier_index: usize) -> u64 {
+        self.policy_tier_total[tier_index].load(Ordering::Relaxed)
     }
 
     /// Cache hits so far (used by tests and the loadtest summary).
@@ -257,6 +276,16 @@ impl Metrics {
                 endpoint.label()
             ));
         }
+        out.push_str(
+            "# HELP difftune_policy_tier_total Policy-backend blocks answered, by tier.\n\
+             # TYPE difftune_policy_tier_total counter\n",
+        );
+        for (index, tier) in Metrics::POLICY_TIERS.iter().enumerate() {
+            out.push_str(&format!(
+                "difftune_policy_tier_total{{tier=\"{tier}\"}} {}\n",
+                self.policy_tier(index)
+            ));
+        }
 
         let mut gauge = |name: &str, help: &str, value: usize| {
             out.push_str(&format!(
@@ -285,6 +314,8 @@ mod tests {
         metrics.on_response_status(500);
         metrics.on_latency(Endpoint::Predict, std::time::Duration::from_millis(5));
         metrics.on_reload();
+        metrics.on_policy_tier(0, 4);
+        metrics.on_policy_tier(1, 2);
 
         assert_eq!(metrics.requests(), 2);
         assert_eq!(metrics.cache_hits(), 2);
@@ -304,6 +335,10 @@ mod tests {
             "difftune_endpoint_requests_total{endpoint=\"predict\"} 1",
             "difftune_endpoint_requests_total{endpoint=\"healthz\"} 0",
             "difftune_endpoint_seconds_total{endpoint=\"predict\"} 0.005",
+            "difftune_policy_tier_total{tier=\"cache\"} 4",
+            "difftune_policy_tier_total{tier=\"surrogate\"} 2",
+            "difftune_policy_tier_total{tier=\"simulator\"} 0",
+            "# TYPE difftune_policy_tier_total counter",
             "difftune_backends 21",
             "difftune_shards 4",
             "# TYPE difftune_requests_total counter",

@@ -46,7 +46,10 @@
 //! loop, cache hits return the exact `f64` a miss would recompute, and JSON
 //! floats print in Rust's shortest-exact form. Shard count, request grouping,
 //! cache state, reloads (same artifacts), and connection caps change wall
-//! time only — `tests/serve_e2e.rs` asserts the bytes.
+//! time only — `tests/serve_e2e.rs` asserts the bytes. Policy backends
+//! extend this (invariant #8): the tier answering each block is a pure
+//! function of the block and the policy's frozen metadata, so the same
+//! holds across tier configurations given the same `--error-budget`.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::io::Read;
@@ -65,6 +68,7 @@ use crate::backend::{
 use crate::cache::{CacheKey, LruCache};
 use crate::http::{HttpError, HttpLimits, Request, RequestBuffer, Response};
 use crate::metrics::{Endpoint, Metrics};
+use crate::policy::TIER_SURROGATE;
 use difftune_bench::matrix::{SimulatorKind, SpecKind};
 
 /// Server configuration.
@@ -385,7 +389,22 @@ fn handle_connection(
         }
         match stream.read(&mut read_buf) {
             Ok(0) => return,
-            Ok(n) => parser.push(&read_buf[..n]),
+            Ok(n) => {
+                // Re-check the flags *after* the blocking read too: bytes
+                // that complete while a drain lands must not start a new
+                // request. Without this check the connection races the
+                // drain — whether the request got answered depended on
+                // whether the read returned before or after the flag
+                // flipped. With it, the ordering is deterministic: requests
+                // fully buffered before the drain are answered (the parse
+                // loop above ran first), requests arriving after the drain
+                // is observed are closed unanswered and retried by the
+                // client against the next process.
+                if shutdown.load(Ordering::SeqCst) || context.drain.load(Ordering::SeqCst) {
+                    return;
+                }
+                parser.push(&read_buf[..n]);
+            }
             Err(error)
                 if matches!(
                     error.kind(),
@@ -573,9 +592,23 @@ fn handle_predict(request: &Request, context: &ConnectionContext) -> Result<Resp
             (
                 block_fingerprint(&block.to_string()),
                 backend.cache_fingerprint,
+                backend.predictor.tier_tag(block),
             )
         })
         .collect();
+    // Policy responses report the tier family that actually answered: pure
+    // tier-2 batches are `surrogate`, anything touching tier 3 is `table`.
+    // The tier tags are pure functions of the blocks, so this label is as
+    // deterministic as the prediction bytes.
+    let source_kind = if backend.source == Source::Policy {
+        if keys.iter().all(|&(_, _, tier)| tier == TIER_SURROGATE) {
+            "surrogate"
+        } else {
+            "table"
+        }
+    } else {
+        backend.kind()
+    };
     let shard = backend.shard_index(context.shard_count);
     let (reply_tx, reply_rx) = mpsc::channel();
     let job = PredictJob {
@@ -600,7 +633,7 @@ fn handle_predict(request: &Request, context: &ConnectionContext) -> Result<Resp
         ("backend".to_string(), Value::Str(backend.id.clone())),
         (
             "source_kind".to_string(),
-            Value::Str(backend.kind().to_string()),
+            Value::Str(source_kind.to_string()),
         ),
         (
             "table_fingerprint".to_string(),
@@ -826,6 +859,17 @@ fn worker_loop(rx: mpsc::Receiver<ShardMessage>, mut cache: LruCache, metrics: A
                 }
             }
             metrics.on_cache(hits, miss_blocks.len());
+            if backend.source == Source::Policy {
+                // Tier attribution: hits are tier 1; each deduplicated miss
+                // carries its tier in the cache key's tag.
+                let surrogate = miss_keys
+                    .iter()
+                    .filter(|&&(_, _, tier)| tier == TIER_SURROGATE)
+                    .count();
+                metrics.on_policy_tier(0, hits);
+                metrics.on_policy_tier(1, surrogate);
+                metrics.on_policy_tier(2, miss_blocks.len() - surrogate);
+            }
 
             if !miss_blocks.is_empty() {
                 let values = backend.predictor.predict_batch(&miss_blocks);

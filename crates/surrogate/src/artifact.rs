@@ -121,6 +121,35 @@ impl SurrogateArtifact {
         artifact
     }
 
+    /// Snapshots already-saved weights (e.g. a session checkpoint's
+    /// `surrogate_params`) into an artifact, checking that the weights fit a
+    /// fresh build of `config` first. This is how checkpoint cells get
+    /// servable surrogates outside the matrix flow.
+    ///
+    /// # Errors
+    ///
+    /// Returns the weight-compatibility error when `weights` does not match
+    /// the tensors `config` builds.
+    pub fn from_weights(
+        cell: &str,
+        config: ModelConfig,
+        weights: &Params,
+        table: &SimParams,
+    ) -> Result<Self, String> {
+        check_weights_compatible(config.build().params(), weights)?;
+        let mut artifact = SurrogateArtifact {
+            schema: SURROGATE_SCHEMA.to_string(),
+            cell: cell.to_string(),
+            config,
+            weights: weights.clone(),
+            learned_table: table.to_flat(),
+            table_fingerprint: table.fingerprint_hex(),
+            fingerprint: String::new(),
+        };
+        artifact.fingerprint = format!("{:#018x}", artifact.stable_fingerprint());
+        Ok(artifact)
+    }
+
     /// Order-sensitive FNV-1a digest over the cell id, the configuration,
     /// every weight tensor (name, shape, and `f32` bit patterns), and the
     /// learned table's `f64` bit patterns — stable across processes and Rust
@@ -214,11 +243,22 @@ impl SurrogateArtifact {
         serde_json::to_string(self).expect("a SurrogateArtifact always serializes")
     }
 
+    /// Deserializes an artifact **without** verifying it. Callers that want
+    /// to downgrade integrity failures to warnings (lenient directory loads)
+    /// parse with this and run [`SurrogateArtifact::verify`] themselves;
+    /// everything else should use [`SurrogateArtifact::from_json`].
+    ///
+    /// # Errors
+    ///
+    /// Fails only when the JSON does not parse as an artifact at all.
+    pub fn parse_json(json: &str) -> Result<Self, String> {
+        serde_json::from_str(json).map_err(|error| format!("{error:?}"))
+    }
+
     /// Deserializes and strictly verifies an artifact
     /// (see [`SurrogateArtifact::verify`]).
     pub fn from_json(json: &str) -> Result<Self, String> {
-        let artifact: SurrogateArtifact =
-            serde_json::from_str(json).map_err(|error| format!("{error:?}"))?;
+        let artifact = SurrogateArtifact::parse_json(json)?;
         artifact.verify()?;
         Ok(artifact)
     }
@@ -314,6 +354,29 @@ mod tests {
             base.stable_fingerprint(),
             tampered_weights.stable_fingerprint()
         );
+    }
+
+    #[test]
+    fn from_weights_rebuilds_a_verifiable_artifact_from_saved_tensors() {
+        let base = tiny_artifact();
+        let rebuilt = SurrogateArtifact::from_weights(
+            "uop:haswell:llvm_sim",
+            base.config,
+            &base.weights,
+            &base.table(),
+        )
+        .unwrap();
+        rebuilt.verify().unwrap();
+        assert_eq!(rebuilt.fingerprint, base.fingerprint);
+
+        let wrong = ModelConfig::Mlp(FeatureMlpConfig {
+            hidden_dim: 8,
+            parameter_inputs: true,
+            seed: 7,
+        });
+        let error =
+            SurrogateArtifact::from_weights("c", wrong, &base.weights, &base.table()).unwrap_err();
+        assert!(error.contains("weight"), "{error}");
     }
 
     #[test]

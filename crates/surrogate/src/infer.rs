@@ -83,6 +83,16 @@ impl SurrogateForward {
         self.cache.len()
     }
 
+    /// Whether `block` takes the compiled fast path: it tokenizes and the
+    /// model can program-key its structure. The serving policy layer uses
+    /// this to decide tier 2 vs tier 3 without running a prediction (and
+    /// without `&mut self` — no cache is touched).
+    pub fn replayable(&self, block: &BasicBlock) -> bool {
+        self.model
+            .program_key(&self.vocab.tokenize_block(block))
+            .is_some()
+    }
+
     /// Predicts one block's timing with a forward-only pass.
     pub fn predict(&mut self, block: &BasicBlock) -> f64 {
         let tokenized = self.vocab.tokenize_block(block);

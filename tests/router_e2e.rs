@@ -110,6 +110,7 @@ fn spawn_upstream(dir: &Path) -> ServerHandle {
                 defaults: true,
                 table_dirs: vec![dir.to_path_buf()],
                 checkpoints: Vec::new(),
+                error_budget: 0.0,
             }),
             ..ServeConfig::default()
         },

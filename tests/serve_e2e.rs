@@ -51,17 +51,19 @@ fn perturbed_table(uarch: Microarch, nudge: u32) -> SimParams {
 /// Writes a fingerprint-consistent matrix cell record for
 /// `mca:haswell:llvm_mca` into `dir`.
 fn write_matrix_cell(dir: &std::path::Path) -> SimParams {
-    write_cell_record(dir, 2, MATRIX_SCHEMA, None)
+    write_cell_record(dir, 2, MATRIX_SCHEMA, None, None)
 }
 
 /// Writes the `mca:haswell:llvm_mca` cell with a chosen table nudge, schema
-/// string, and (optionally) a deliberately wrong fingerprint — the knobs the
-/// hot-reload rejection tests turn.
+/// string, (optionally) a deliberately wrong fingerprint — the knobs the
+/// hot-reload rejection tests turn — and (optionally) a recorded
+/// surrogate-vs-simulator MAPE, the knob the policy budget tests turn.
 fn write_cell_record(
     dir: &std::path::Path,
     nudge: u32,
     schema: &str,
     fake_fingerprint: Option<String>,
+    mape: Option<f64>,
 ) -> SimParams {
     let table = perturbed_table(Microarch::Haswell, nudge);
     let record = MatrixRecord {
@@ -82,7 +84,7 @@ fn write_cell_record(
         learned_tau: 0.75,
         surrogate_mape: None,
         surrogate_tau: None,
-        surrogate_vs_sim_mape: None,
+        surrogate_vs_sim_mape: mape,
         surrogate_vs_sim_tau: None,
         surrogate_fingerprint: None,
         surrogate_blocks_per_second: None,
@@ -140,6 +142,7 @@ fn write_checkpoint(dir: &std::path::Path) -> (PathBuf, SimParams) {
         table_batch_size: 1,
         clamp_to_sampling: false,
         surrogate_params: None,
+        surrogate_config: None,
         surrogate_report: None,
         theta: Some(ThetaTable::from_table(&table)),
         initial: Some(default_params(Microarch::Haswell)),
@@ -185,8 +188,12 @@ fn serve(dir: &std::path::Path, shards: usize, cache_capacity: usize) -> ServerH
 /// The request mix: single and batched blocks over every backend source.
 fn predict_bodies() -> Vec<&'static str> {
     vec![
-        // No source: learned-first resolution picks the matrix cell.
+        // No source: resolution lands on the cell's derived three-tier
+        // policy (which, at the default 0.0 budget, serves the matrix
+        // table's exact values through tier 3).
         r#"{"block": "addq %rax, %rbx"}"#,
+        // The policy pinned explicitly routes the same way.
+        r#"{"block": "addq %rax, %rbx", "source": "policy"}"#,
         r#"{"block": "addq %rax, %rbx", "source": "default"}"#,
         r#"{"block": "addq %rax, %rbx", "source": "checkpoint", "spec": "write_latency_only"}"#,
         // A batch with a repeated block (exercises in-batch deduplication).
@@ -283,7 +290,14 @@ fn responses_carry_the_resolved_backend_and_exact_simulator_output() {
             default_params(Microarch::Haswell),
         ),
         (
+            // Sourceless: the policy answers, echoing the learned table's
+            // digest and (at budget 0) its exact simulator values.
             r#"{"block": "addq %rax, %rbx"}"#,
+            "policy:mca:haswell:llvm_mca",
+            matrix_table.clone(),
+        ),
+        (
+            r#"{"block": "addq %rax, %rbx", "source": "matrix"}"#,
             "matrix:mca:haswell:llvm_mca",
             matrix_table.clone(),
         ),
@@ -431,7 +445,7 @@ fn protocol_and_application_errors_answer_4xx_and_the_server_survives() {
     let health = client.get("/healthz").expect("still alive");
     assert_eq!(health.status, 200);
     assert!(
-        health.body_text().contains("\"backends\":11"),
+        health.body_text().contains("\"backends\":13"),
         "{}",
         health.body_text()
     );
@@ -480,6 +494,7 @@ fn serve_reloadable(dir: &std::path::Path) -> ServerHandle {
                 defaults: true,
                 table_dirs: vec![dir.to_path_buf()],
                 checkpoints: Vec::new(),
+                error_budget: 0.0,
             }),
             ..ServeConfig::default()
         },
@@ -507,7 +522,7 @@ fn hot_reload_rejections_leave_the_old_registry_serving() {
 
     // Three corrupt artifact states. Every reload must answer a structured
     // 409, and the old registry must keep serving the same bytes.
-    write_cell_record(&dir, 4, MATRIX_SCHEMA, Some("0".repeat(16)));
+    write_cell_record(&dir, 4, MATRIX_SCHEMA, Some("0".repeat(16)), None);
     let tampered = fs::read_to_string(&cell_path).expect("tampered cell is on disk");
     for (label, contents, needle) in [
         ("tampered fingerprint", tampered.as_str(), "fingerprints as"),
@@ -519,7 +534,7 @@ fn hot_reload_rejections_leave_the_old_registry_serving() {
         ("pre-/2 schema", "", "unservable records"),
     ] {
         if label == "pre-/2 schema" {
-            write_cell_record(&dir, 4, "difftune-matrix/1", None);
+            write_cell_record(&dir, 4, "difftune-matrix/1", None, None);
         } else {
             fs::write(&cell_path, contents).expect("cell rewrites");
         }
@@ -590,14 +605,14 @@ fn hot_reload_swaps_tables_and_purges_only_the_stale_backend() {
     assert_eq!(client.post_json("/predict", body).unwrap().status, 200);
 
     // A new learned table lands in the same cell; reload swaps it in.
-    let new_table = write_cell_record(&dir, 5, MATRIX_SCHEMA, None);
+    let new_table = write_cell_record(&dir, 5, MATRIX_SCHEMA, None, None);
     let reloaded = client.post_json("/reload", "").expect("reload answers");
     assert_eq!(reloaded.status, 200, "{}", reloaded.body_text());
     let text = reloaded.body_text();
     assert!(text.contains("\"status\":\"reloaded\""), "{text}");
     assert!(
-        text.contains("\"purged_backends\":1"),
-        "exactly the old matrix table is stale: {text}"
+        text.contains("\"purged_backends\":2"),
+        "the old matrix table and the policy derived from it are stale: {text}"
     );
     assert!(
         text.contains("\"purged_entries\":1"),
@@ -651,25 +666,37 @@ fn drain_finishes_in_flight_connections_then_stops_accepting() {
     );
     assert!(handle.drain_requested());
 
-    // The already-open connection either gets one more request answered
-    // (with the draining health state) or was already closed by the time
-    // the request landed — the connection loop checks the drain flag
-    // between reads, so both interleavings are graceful. A served answer
-    // must advertise the drain.
-    if let Ok(health) = in_flight.get("/healthz") {
-        assert_eq!(health.status, 503);
-        assert!(health.body_text().contains("draining"));
-        assert!(
-            in_flight.get("/healthz").is_err(),
-            "the drained server closed the connection after the in-flight request"
-        );
-    }
+    // Deterministic ordering: the connection loop checks the drain flag
+    // both before *and* after its blocking read, so a request sent after
+    // the drain response came back is never answered — the connection is
+    // closed unanswered and the client retries against the next process.
+    // (Before the post-read check this raced: whether the in-flight
+    // connection got one more answer depended on whether its read returned
+    // before or after the flag flipped.)
+    assert!(
+        in_flight.get("/healthz").is_err(),
+        "a request sent after the drain must be closed unanswered"
+    );
 
-    // New connections are refused once the acceptor exits.
+    // New connections stop being accepted once the acceptor exits. The
+    // acceptor observes the flag on its next wakeup, so the harness retries
+    // with a bounded budget instead of asserting on the first attempt: a
+    // post-drain connection either fails to connect or is closed without an
+    // answer — it is never served.
     let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
-    loop {
-        if HttpClient::connect(&addr.to_string()).is_err() {
-            break;
+    let mut refused = false;
+    for _ in 0..250 {
+        match HttpClient::connect(&addr.to_string()) {
+            Err(_) => {
+                refused = true;
+                break;
+            }
+            Ok(mut late) => {
+                assert!(
+                    late.get("/healthz").is_err(),
+                    "a connection accepted mid-drain must be closed unanswered"
+                );
+            }
         }
         assert!(
             std::time::Instant::now() < deadline,
@@ -677,6 +704,7 @@ fn drain_finishes_in_flight_connections_then_stops_accepting() {
         );
         std::thread::sleep(std::time::Duration::from_millis(20));
     }
+    assert!(refused, "the acceptor never stopped accepting");
 
     handle.shutdown();
     fs::remove_dir_all(&dir).ok();
@@ -954,5 +982,248 @@ fn hot_reload_swaps_the_surrogate_under_inflight_traffic_byte_identically() {
 
     drop(client);
     handle.shutdown();
+    fs::remove_dir_all(&dir).ok();
+}
+
+/// A defaults-plus-`dir` server with a chosen `--error-budget`. The policy
+/// budget tests write the cell's record with a measured
+/// `surrogate_vs_sim_mape` of 2.0, so budgets at or above 2.0 open tier 2
+/// and budgets below it pin tier 3.
+fn serve_with_budget(dir: &std::path::Path, shards: usize, budget: f64) -> ServerHandle {
+    let mut registry = BackendRegistry::with_defaults();
+    registry.add_matrix_dir(dir).expect("matrix dir loads");
+    registry.set_error_budget(budget);
+    spawn(
+        ServeConfig {
+            shards,
+            cache_capacity: 4096,
+            ..ServeConfig::default()
+        },
+        registry,
+    )
+    .expect("server binds")
+}
+
+#[test]
+fn policy_tiers_answer_by_budget_and_stay_byte_identical_across_shards() {
+    let dir = fresh_dir("policy-budget");
+    let matrix_table = write_cell_record(&dir, 2, MATRIX_SCHEMA, None, Some(2.0));
+    let artifact = write_surrogate_artifact(&dir, 1);
+
+    let block = "addq %rax, %rbx";
+    let sourceless = r#"{"block": "addq %rax, %rbx"}"#;
+    let pinned = [
+        r#"{"block": "addq %rax, %rbx", "source": "matrix"}"#,
+        r#"{"block": "addq %rax, %rbx", "source": "surrogate"}"#,
+    ];
+
+    let parsed: BasicBlock = block.parse().unwrap();
+    let tier3 = McaSimulator::default().predict(&matrix_table, &parsed);
+    let tier2 = in_process_prediction(&artifact, block);
+    assert_ne!(
+        tier3.to_bits(),
+        tier2.to_bits(),
+        "the two tiers must be distinguishable"
+    );
+
+    // Pinned-source responses bypass the policy, so they must not move with
+    // the budget; this reference spans every server below.
+    let mut pinned_reference: Option<Vec<String>> = None;
+    for (budget, source_kind, expected) in [
+        // 0.0 is below the recorded MAPE of 2.0: every block takes tier 3
+        // and the response carries the matrix table's exact values.
+        (0.0, "table", tier3),
+        // 10.0 clears the MAPE: tier 2 opens and the response is bit-equal
+        // to the in-process surrogate forward pass.
+        (10.0, "surrogate", tier2),
+    ] {
+        // Determinism invariant #8: the same budget serves the same bytes
+        // across shard counts and across cold/warm caches.
+        let mut reference: Option<String> = None;
+        for shards in [1usize, 4] {
+            let handle = serve_with_budget(&dir, shards, budget);
+            let mut client = HttpClient::connect(&handle.addr().to_string()).expect("connects");
+            let cold = post_all(&mut client, &[sourceless]).remove(0);
+            let warm = post_all(&mut client, &[sourceless]).remove(0);
+            assert_eq!(
+                cold, warm,
+                "budget {budget}, {shards} shard(s): warm cache changed bytes"
+            );
+            assert!(
+                cold.contains("\"backend\":\"policy:mca:haswell:llvm_mca\""),
+                "{cold}"
+            );
+            assert!(
+                cold.contains(&format!("\"source_kind\":\"{source_kind}\"")),
+                "budget {budget}: {cold}"
+            );
+            assert!(
+                cold.contains(&format!("\"predictions\":[{expected:?}]")),
+                "budget {budget}: expected {expected:?} in {cold}"
+            );
+            // Whichever tier answers, the response advertises the learned
+            // table's digest — the cell being served.
+            assert!(
+                cold.contains(&format!(
+                    "\"table_fingerprint\":\"{}\"",
+                    matrix_table.fingerprint_hex()
+                )),
+                "{cold}"
+            );
+            match &reference {
+                None => reference = Some(cold),
+                Some(reference) => assert_eq!(
+                    &cold, reference,
+                    "budget {budget}: bytes diverged across shard counts"
+                ),
+            }
+
+            let pinned_now = post_all(&mut client, &pinned);
+            match &pinned_reference {
+                None => pinned_reference = Some(pinned_now),
+                Some(reference) => assert_eq!(
+                    &pinned_now, reference,
+                    "budget {budget} changed pinned-source bytes"
+                ),
+            }
+            drop(client);
+            handle.shutdown();
+        }
+    }
+
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn a_corrupt_artifact_degrades_the_policy_to_table_only_and_never_500s() {
+    let dir = fresh_dir("policy-corrupt");
+    let matrix_table = write_cell_record(&dir, 2, MATRIX_SCHEMA, None, Some(2.0));
+
+    // An artifact whose embedded table was bit-flipped after fingerprinting:
+    // the content fingerprint no longer verifies.
+    let config = FeatureMlpConfig {
+        hidden_dim: 8,
+        parameter_inputs: true,
+        seed: 3,
+    };
+    let model = FeatureMlpModel::new(config);
+    let mut artifact = SurrogateArtifact::new(
+        "mca:haswell:llvm_mca",
+        ModelConfig::Mlp(config),
+        &model,
+        &perturbed_table(Microarch::Haswell, 1),
+    );
+    artifact.learned_table[0] += 1.0;
+    fs::write(dir.join(artifact.file_name()), artifact.to_json()).expect("artifact writes");
+
+    // The lenient startup load skips the artifact with a structured warning
+    // naming the degradation; the cell still loads its table.
+    let mut registry = BackendRegistry::with_defaults();
+    let added = registry
+        .add_matrix_dir(&dir)
+        .expect("the lenient load survives a corrupt artifact");
+    assert_eq!(added, 1, "only the record loads");
+    registry.set_error_budget(1000.0);
+    assert!(
+        !registry.warnings().is_empty(),
+        "the skipped artifact leaves a structured warning"
+    );
+    assert!(
+        registry.warnings()[0].contains("tier 3"),
+        "{:?}",
+        registry.warnings()
+    );
+
+    let handle = spawn(
+        ServeConfig {
+            shards: 2,
+            cache_capacity: 4096,
+            ..ServeConfig::default()
+        },
+        registry,
+    )
+    .expect("server binds");
+    let mut client = HttpClient::connect(&handle.addr().to_string()).expect("connects");
+
+    // Sourceless requests still answer 200 through the policy — tier 3 with
+    // the table's exact values, never a 500 — even under a budget that
+    // would have opened tier 2.
+    let response = client
+        .post_json("/predict", r#"{"block": "addq %rax, %rbx"}"#)
+        .expect("answers");
+    assert_eq!(response.status, 200, "{}", response.body_text());
+    let text = response.body_text();
+    assert!(
+        text.contains("\"backend\":\"policy:mca:haswell:llvm_mca\""),
+        "{text}"
+    );
+    assert!(text.contains("\"source_kind\":\"table\""), "{text}");
+    let parsed: BasicBlock = "addq %rax, %rbx".parse().unwrap();
+    let expected = McaSimulator::default().predict(&matrix_table, &parsed);
+    assert!(
+        text.contains(&format!("\"predictions\":[{expected:?}]")),
+        "{text}"
+    );
+
+    // Pinning the never-loaded surrogate is a structured 404, and the
+    // server stays healthy throughout.
+    let pinned = client
+        .post_json(
+            "/predict",
+            r#"{"block": "addq %rax, %rbx", "source": "surrogate"}"#,
+        )
+        .expect("answers");
+    assert_eq!(pinned.status, 404, "{}", pinned.body_text());
+    assert_eq!(client.get("/healthz").expect("answers").status, 200);
+
+    drop(client);
+    handle.shutdown();
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn policy_tier_metrics_attribute_blocks_to_cache_surrogate_and_simulator() {
+    let dir = fresh_dir("policy-metrics");
+    write_cell_record(&dir, 2, MATRIX_SCHEMA, None, Some(2.0));
+    write_surrogate_artifact(&dir, 1);
+    let body = r#"{"block": "addq %rax, %rbx"}"#;
+
+    // Generous budget: the first pass misses into tier 2, the repeat is a
+    // tier-1 cache hit.
+    let handle = serve_with_budget(&dir, 1, 10.0);
+    let mut client = HttpClient::connect(&handle.addr().to_string()).expect("connects");
+    assert_eq!(client.post_json("/predict", body).unwrap().status, 200);
+    assert_eq!(client.post_json("/predict", body).unwrap().status, 200);
+    let metrics = client.get("/metrics").unwrap().body_text();
+    for needle in [
+        "difftune_policy_tier_total{tier=\"cache\"} 1",
+        "difftune_policy_tier_total{tier=\"surrogate\"} 1",
+        "difftune_policy_tier_total{tier=\"simulator\"} 0",
+    ] {
+        assert!(
+            metrics.contains(needle),
+            "missing {needle:?} in:\n{metrics}"
+        );
+    }
+    drop(client);
+    handle.shutdown();
+
+    // Budget 0: the same block routes to tier 3.
+    let handle = serve_with_budget(&dir, 1, 0.0);
+    let mut client = HttpClient::connect(&handle.addr().to_string()).expect("connects");
+    assert_eq!(client.post_json("/predict", body).unwrap().status, 200);
+    let metrics = client.get("/metrics").unwrap().body_text();
+    for needle in [
+        "difftune_policy_tier_total{tier=\"simulator\"} 1",
+        "difftune_policy_tier_total{tier=\"surrogate\"} 0",
+    ] {
+        assert!(
+            metrics.contains(needle),
+            "missing {needle:?} in:\n{metrics}"
+        );
+    }
+    drop(client);
+    handle.shutdown();
+
     fs::remove_dir_all(&dir).ok();
 }

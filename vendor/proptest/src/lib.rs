@@ -73,6 +73,39 @@ impl<T: Clone + core::fmt::Debug> Strategy for Just<T> {
     }
 }
 
+/// Strategies over `Option<T>` (the subset of proptest's `option` module
+/// this workspace uses).
+pub mod option {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    use super::Strategy;
+
+    /// Yields `None` for about a quarter of cases and `Some` of the inner
+    /// strategy's value otherwise (proptest's default `of` weighting).
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// See [`of`].
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn pick(&self, rng: &mut StdRng) -> Option<S::Value> {
+            if rng.gen_range(0..4u32) == 0 {
+                None
+            } else {
+                Some(self.inner.pick(rng))
+            }
+        }
+    }
+}
+
 /// Deterministic per-case generator: every failure reproduces from the case
 /// index alone.
 pub fn case_rng(case: u64) -> StdRng {
