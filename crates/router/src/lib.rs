@@ -15,22 +15,30 @@
 //! * [`ring`] — the consistent-hash ring (stable, deterministic failover
 //!   order);
 //! * [`pool`] — per-upstream keep-alive connection pooling;
-//! * [`server`] — accept loop, proxying, health checks, `/metrics` and
-//!   `/backends` aggregation, `/reload` broadcast, and the `/route` debug
+//! * [`server`] — accept loop, proxying, request coalescing, health checks,
+//!   `/metrics` and `/backends` aggregation, `/reload` broadcast, the
+//!   `POST /rollout` rolling-restart orchestrator, and the `/route` debug
 //!   endpoint.
 //!
 //! The `difftune-router` binary wraps [`server::spawn_router`].
+//!
+//! Because the ring is a pure function of `(upstream addresses, vnodes)`,
+//! N routers configured alike agree on every routing decision with no
+//! coordination: fleets deploy as shared-nothing router replicas over the
+//! same upstream set (see `docs/ARCHITECTURE.md`, "Fleet deployment").
 //!
 //! # Determinism
 //!
 //! Routing changes *where* a request is answered, never *what* the answer
 //! is: upstream `/predict` bodies are pure functions of `(blocks, backend)`
 //! and the router forwards bodies byte-for-byte in both directions. Killing
-//! an upstream mid-load, failing over, and hot-reloading identical
-//! artifacts all leave the response stream byte-identical to a direct
-//! `difftune-serve` — determinism invariant #6, asserted end-to-end by
-//! `tests/router_e2e.rs` and exercised in CI by
-//! `difftune-loadtest --via-router --kill-upstream-after N`.
+//! an upstream mid-load, failing over, coalescing identical in-flight
+//! requests, rolling restarts, and hot-reloading identical artifacts all
+//! leave the response stream byte-identical to a direct `difftune-serve` —
+//! determinism invariant #6, asserted end-to-end by `tests/router_e2e.rs`
+//! and `tests/fleet_e2e.rs`, and exercised in CI by
+//! `difftune-loadtest --via-router --kill-upstream-after N` plus the
+//! `--chaos` fault schedules.
 //!
 //! # Example
 //!

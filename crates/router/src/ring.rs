@@ -182,4 +182,88 @@ mod tests {
         assert_eq!(ring.order(123), Vec::<usize>::new());
         assert_eq!(ring.primary(123), None);
     }
+
+    // Property-test the unit-test claims above across ring shapes: the
+    // failover order is always a permutation of the live nodes, removing a
+    // node never reorders the survivors, and key movement is bounded by
+    // (roughly) the removed node's share of the keyspace.
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig {
+            cases: 48,
+            ..proptest::prelude::ProptestConfig::default()
+        })]
+
+        /// `order(key)` contains every node exactly once, starts at the
+        /// primary, and is a pure function of `(addresses, vnodes, key)`.
+        #[test]
+        fn order_is_a_permutation_of_the_nodes(
+            nodes in 1usize..9,
+            vnodes in 1usize..96,
+            key in 0u64..u64::MAX,
+        ) {
+            let ring = HashRing::new(&addrs(nodes), vnodes);
+            let order = ring.order(key);
+            proptest::prop_assert_eq!(order.len(), nodes);
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            proptest::prop_assert_eq!(sorted, (0..nodes).collect::<Vec<_>>());
+            proptest::prop_assert_eq!(ring.primary(key), Some(order[0]));
+            let again = HashRing::new(&addrs(nodes), vnodes);
+            proptest::prop_assert_eq!(again.order(key), order);
+        }
+
+        /// Dropping the last node deletes exactly its points: the
+        /// survivors' relative failover order for every key is the full
+        /// ring's order with the removed node filtered out — no survivor
+        /// ever moves relative to another.
+        #[test]
+        fn removing_a_node_never_reorders_the_survivors(
+            nodes in 2usize..9,
+            vnodes in 1usize..64,
+            key in 0u64..u64::MAX,
+        ) {
+            let all = addrs(nodes);
+            let full = HashRing::new(&all, vnodes);
+            let survivors = HashRing::new(&all[..nodes - 1], vnodes);
+            let removed = nodes - 1;
+            let filtered: Vec<usize> = full
+                .order(key)
+                .into_iter()
+                .filter(|&node| node != removed)
+                .collect();
+            proptest::prop_assert_eq!(survivors.order(key), filtered);
+        }
+
+        /// A removed node's keys land on their old second choice, and only
+        /// its (vnode-balanced) share of the keyspace moves.
+        #[test]
+        fn key_movement_is_bounded_by_the_removed_share(
+            nodes in 2usize..7,
+            seed in 0u64..10_000,
+        ) {
+            let all = addrs(nodes);
+            let full = HashRing::new(&all, 64);
+            let survivors = HashRing::new(&all[..nodes - 1], 64);
+            let removed = nodes - 1;
+            let total = 512usize;
+            let mut moved = 0usize;
+            for i in 0..total {
+                let key = fnv1a(format!("key-{seed}-{i}").bytes());
+                let before = full.primary(key).unwrap();
+                let after = survivors.primary(key).unwrap();
+                if before == removed {
+                    moved += 1;
+                    proptest::prop_assert_eq!(after, full.order(key)[1]);
+                } else {
+                    proptest::prop_assert_eq!(after, before);
+                }
+            }
+            // The removed node held ~1/nodes of the keyspace; allow 3x the
+            // fair share as the vnode-imbalance envelope.
+            proptest::prop_assert!(
+                moved <= total * 3 / nodes,
+                "moved {moved}/{total} keys from a ring of {nodes}"
+            );
+        }
+    }
 }

@@ -36,19 +36,40 @@
 //! killed upstream leaves rotation within one probe and a recovered one
 //! returns.
 //!
+//! # Rolling restarts
+//!
+//! `POST /rollout` restarts the fleet one upstream at a time with zero
+//! client-visible downtime: quiesce (the upstream leaves the routing
+//! rotation but keeps answering in-flight requests), reload (the same
+//! strict `POST /reload` a broadcast would send — on refusal the old
+//! registry keeps serving), health-verify, and only then return to
+//! rotation. The response reports per-upstream progress; the first failure
+//! aborts the rollout with every upstream back in rotation and serving.
+//!
+//! # Request coalescing
+//!
+//! Identical in-flight `/predict` bodies from different client connections
+//! collapse into one upstream call: the first request leads (proxies as
+//! usual), followers wait on the leader's singleflight entry and share its
+//! response bytes, metered as `difftune_router_coalesced_total`. Safe
+//! because upstream bodies are pure functions of the request (invariant
+//! #6); followers only share `200`s and re-proxy on anything else, so a
+//! leader's transient failure never fans out.
+//!
 //! # Determinism
 //!
 //! Which upstream answers never changes *what* it answers: upstream
 //! `/predict` bodies are pure functions of `(blocks, backend)`, so routing,
-//! failover, and mid-load kills change latency and placement only. This is
-//! determinism invariant #6 (see `docs/ARCHITECTURE.md`), asserted by
-//! `tests/router_e2e.rs`.
+//! failover, coalescing, rollouts, and mid-load kills change latency and
+//! placement only. This is determinism invariant #6 (see
+//! `docs/ARCHITECTURE.md`), asserted by `tests/router_e2e.rs` and
+//! `tests/fleet_e2e.rs`.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 use difftune_bench::record::fnv1a;
@@ -99,22 +120,52 @@ impl Default for RouterConfig {
     }
 }
 
+/// One in-flight `/predict`'s singleflight entry: the leader fills `slot`
+/// and notifies; followers wait and share the bytes.
+struct Flight {
+    slot: Mutex<Option<(u16, Vec<u8>)>>,
+    done: Condvar,
+}
+
+impl Flight {
+    fn new() -> Self {
+        Flight {
+            slot: Mutex::new(None),
+            done: Condvar::new(),
+        }
+    }
+}
+
 /// Shared router state.
 struct RouterState {
     ring: HashRing,
     /// Last known upstream health; starts optimistic so early requests try
     /// everyone before the first probe lands.
     healthy: Vec<AtomicBool>,
+    /// Administratively quiesced by an in-progress rollout: kept out of the
+    /// routing rotation (but still answering in-flight requests) without
+    /// being marked unhealthy.
+    rolling: Vec<AtomicBool>,
+    /// Requests currently proxied to each upstream — the rollout's quiesce
+    /// step waits for this to reach zero before reloading.
+    in_flight: Vec<AtomicUsize>,
+    /// One rollout at a time; a concurrent `POST /rollout` answers `409`.
+    rollout_active: AtomicBool,
     pool: ConnectionPool,
     /// Union of backend ids advertised by the upstreams (`GET /backends`),
     /// refreshed by the health thread — the resolution universe for routing.
     known_backends: RwLock<BTreeSet<String>>,
+    /// Identical in-flight `/predict` requests, keyed `(ring key, body
+    /// fingerprint)` — the singleflight map behind request coalescing.
+    flights: Mutex<HashMap<(u64, u64), Arc<Flight>>>,
     upstream_timeout: Duration,
     /// Router-own counters, rendered under `difftune_router_*`.
     requests_total: AtomicU64,
     proxied_total: Vec<AtomicU64>,
     failovers_total: AtomicU64,
     upstream_errors_total: AtomicU64,
+    coalesced_total: AtomicU64,
+    rollouts_total: AtomicU64,
 }
 
 impl RouterState {
@@ -192,13 +243,21 @@ pub fn spawn_router(config: RouterConfig) -> std::io::Result<RouterHandle> {
     let state = Arc::new(RouterState {
         ring: HashRing::new(&config.upstreams, config.vnodes),
         healthy: (0..upstream_count).map(|_| AtomicBool::new(true)).collect(),
+        rolling: (0..upstream_count)
+            .map(|_| AtomicBool::new(false))
+            .collect(),
+        in_flight: (0..upstream_count).map(|_| AtomicUsize::new(0)).collect(),
+        rollout_active: AtomicBool::new(false),
         pool: ConnectionPool::new(upstream_count),
         known_backends: RwLock::new(BTreeSet::new()),
+        flights: Mutex::new(HashMap::new()),
         upstream_timeout: config.upstream_timeout,
         requests_total: AtomicU64::new(0),
         proxied_total: (0..upstream_count).map(|_| AtomicU64::new(0)).collect(),
         failovers_total: AtomicU64::new(0),
         upstream_errors_total: AtomicU64::new(0),
+        coalesced_total: AtomicU64::new(0),
+        rollouts_total: AtomicU64::new(0),
     });
 
     let shutdown = Arc::new(AtomicBool::new(false));
@@ -389,10 +448,11 @@ fn route(request: &Request, state: &RouterState) -> Response {
         ("POST", "/predict") => proxy_predict(request, state),
         ("POST", "/route") => explain_route(request, state),
         ("POST", "/reload") => broadcast_reload(state),
+        ("POST", "/rollout") => run_rollout(state),
         ("GET", "/healthz") => health_response(state),
         ("GET", "/backends") => aggregate_backends(state),
         ("GET", "/metrics") => aggregate_metrics(state),
-        (_, "/predict" | "/route" | "/reload") => Response::from_error(
+        (_, "/predict" | "/route" | "/reload" | "/rollout") => Response::from_error(
             &HttpError {
                 status: 405,
                 message: format!("{} only supports POST", request.path),
@@ -411,7 +471,7 @@ fn route(request: &Request, state: &RouterState) -> Response {
                 status: 404,
                 message: format!(
                     "unknown path {path}; router endpoints are POST /predict, POST /route, \
-                     POST /reload, GET /healthz, GET /metrics, GET /backends \
+                     POST /reload, POST /rollout, GET /healthz, GET /metrics, GET /backends \
                      (all also under /v1)"
                 ),
             },
@@ -446,21 +506,46 @@ fn resolve_routing(body: &[u8], known: &BTreeSet<String>) -> (u64, Option<String
     (fnv1a(id.bytes()), Some(id))
 }
 
-/// The failover walk for a key: ring order, healthy upstreams first (the
-/// relative ring order is preserved within each half, so the walk is still
-/// deterministic for a given health state).
+/// The failover walk for a key: ring order, with upstreams grouped by
+/// availability — in rotation first, then quiesced-by-rollout, then
+/// unhealthy. The sort is stable, so relative ring order is preserved
+/// within each class and the walk stays deterministic for a given state.
+/// A quiesced upstream is only tried when every in-rotation upstream has
+/// failed: a rollout never makes the fleet less available than losing the
+/// quiesced upstream outright would.
 fn failover_order(state: &RouterState, key: u64) -> Vec<usize> {
-    let order = state.ring.order(key);
-    let (healthy, unhealthy): (Vec<usize>, Vec<usize>) = order
-        .into_iter()
-        .partition(|&index| state.healthy[index].load(Ordering::SeqCst));
-    healthy.into_iter().chain(unhealthy).collect()
+    let mut order = state.ring.order(key);
+    order.sort_by_key(|&index| {
+        match (
+            state.healthy[index].load(Ordering::SeqCst),
+            state.rolling[index].load(Ordering::SeqCst),
+        ) {
+            (true, false) => 0u8,
+            (true, true) => 1,
+            (false, _) => 2,
+        }
+    });
+    order
 }
 
 /// Proxies one request to one upstream: pooled connection first, one fresh
 /// dial on pooled failure (idle-timeout and request-cap closes are normal),
-/// checking the connection back in unless the upstream said close.
+/// checking the connection back in unless the upstream said close. The
+/// per-upstream in-flight gauge brackets the attempt so a rollout's quiesce
+/// step can wait for traffic to settle.
 fn proxy_to(
+    state: &RouterState,
+    upstream: usize,
+    request: &Request,
+) -> std::io::Result<ClientResponse> {
+    state.in_flight[upstream].fetch_add(1, Ordering::SeqCst);
+    let result = proxy_to_inner(state, upstream, request);
+    state.in_flight[upstream].fetch_sub(1, Ordering::SeqCst);
+    result
+}
+
+/// See [`proxy_to`].
+fn proxy_to_inner(
     state: &RouterState,
     upstream: usize,
     request: &Request,
@@ -483,12 +568,85 @@ fn proxy_to(
     Ok(response)
 }
 
-/// Routes and proxies a `/predict`, failing over along the ring.
+/// Routes and proxies a `/predict`, coalescing identical in-flight bodies
+/// into one upstream call (singleflight) and failing over along the ring.
 fn proxy_predict(request: &Request, state: &RouterState) -> Response {
     let (key, _) = {
         let known = state.known_backends.read().expect("backend lock poisoned");
         resolve_routing(&request.body, &known)
     };
+
+    // Singleflight: the first connection in with a given `(routing key,
+    // body)` leads and proxies; everyone else arriving while the leader is
+    // in flight waits for — and shares — the leader's bytes. Identical
+    // bodies have identical responses (invariant #6), so sharing never
+    // changes what any client sees, only how many upstream calls are made.
+    let flight_key = (key, fnv1a(request.body.iter().copied()));
+    let leader = {
+        let mut flights = state.flights.lock().expect("flight lock poisoned");
+        match flights.get(&flight_key) {
+            Some(flight) => Err(Arc::clone(flight)),
+            None => {
+                let flight = Arc::new(Flight::new());
+                flights.insert(flight_key, Arc::clone(&flight));
+                Ok(flight)
+            }
+        }
+    };
+    let flight = match leader {
+        Ok(flight) => flight,
+        Err(flight) => {
+            state.coalesced_total.fetch_add(1, Ordering::Relaxed);
+            // Generous wait: the leader may walk the whole ring before
+            // answering. On timeout (leader thread died) proxy directly.
+            let budget = state
+                .upstream_timeout
+                .saturating_mul(state.ring.len().max(1) as u32)
+                + Duration::from_secs(1);
+            let deadline = Instant::now() + budget;
+            let mut slot = flight.slot.lock().expect("flight slot poisoned");
+            while slot.is_none() {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (next, _) = flight
+                    .done
+                    .wait_timeout(slot, deadline - now)
+                    .expect("flight slot poisoned");
+                slot = next;
+            }
+            // Followers only share success: a leader's transient failure
+            // (e.g. a kill racing the walk) must not fan out to clients
+            // that would have succeeded on their own retry.
+            if let Some((status, body)) = slot.as_ref().filter(|(status, _)| *status == 200) {
+                return Response {
+                    status: *status,
+                    content_type: "application/json",
+                    body: body.clone(),
+                    close: false,
+                };
+            }
+            drop(slot);
+            return proxy_predict_walk(request, state, key);
+        }
+    };
+
+    let response = proxy_predict_walk(request, state, key);
+    {
+        let mut flights = state.flights.lock().expect("flight lock poisoned");
+        flights.remove(&flight_key);
+    }
+    let mut slot = flight.slot.lock().expect("flight slot poisoned");
+    *slot = Some((response.status, response.body.clone()));
+    flight.done.notify_all();
+    drop(slot);
+    response
+}
+
+/// The failover walk behind [`proxy_predict`]: try each upstream in
+/// availability-then-ring order until one answers.
+fn proxy_predict_walk(request: &Request, state: &RouterState, key: u64) -> Response {
     for (attempt, upstream) in failover_order(state, key).into_iter().enumerate() {
         match proxy_to(state, upstream, request) {
             Ok(upstream_response) => {
@@ -618,6 +776,189 @@ fn broadcast_reload(state: &RouterState) -> Response {
     ]))
     .expect("reload body serializes");
     Response::json(if all_ok { 200 } else { 502 }, body)
+}
+
+/// Polls one upstream's in-flight gauge down to zero, bounded by the
+/// upstream timeout. Returns whether traffic fully settled — a timeout is
+/// recorded but not fatal, because `/reload` swaps the registry atomically
+/// and requests racing the swap answer canonical bytes either way.
+fn wait_for_quiesce(state: &RouterState, upstream: usize) -> bool {
+    let deadline = Instant::now() + state.upstream_timeout;
+    while Instant::now() < deadline {
+        if state.in_flight[upstream].load(Ordering::SeqCst) == 0 {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    state.in_flight[upstream].load(Ordering::SeqCst) == 0
+}
+
+/// Probes one upstream's `/healthz` on fresh dials until it answers `200`,
+/// bounded by the upstream timeout.
+fn verify_upstream_health(state: &RouterState, upstream: usize) -> bool {
+    let addr = &state.ring.nodes()[upstream];
+    let deadline = Instant::now() + state.upstream_timeout;
+    loop {
+        let probe = HttpClient::connect(addr).and_then(|mut client| {
+            client.set_read_timeout(Some(state.upstream_timeout))?;
+            client.get("/healthz")
+        });
+        if probe.is_ok_and(|response| response.status == 200) {
+            return true;
+        }
+        if Instant::now() >= deadline {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// `POST /rollout` — rolling restart: quiesce, reload, health-verify, and
+/// return each upstream to rotation, one at a time, in configured order.
+///
+/// Per upstream the steps are:
+///
+/// 1. **quiesce** — the upstream leaves the routing rotation (new
+///    `/predict`s avoid it; it still answers in-flight requests) and the
+///    router waits for its in-flight gauge to settle;
+/// 2. **reload** — the same strict `POST /reload` a broadcast would send;
+///    a refusal (`409`) keeps the old registry serving;
+/// 3. **verify** — fresh-dial `/healthz` probes until `200`;
+/// 4. **return** — back into rotation.
+///
+/// The first failure aborts the rollout: the failing upstream goes straight
+/// back into rotation (a refused reload keeps serving the old registry;
+/// an unreachable upstream is left to the health loop), remaining upstreams
+/// are reported `skipped`, and the response is `502` with per-upstream
+/// detail. Upstreams already out of rotation are skipped, not failed — a
+/// dead process has nothing to quiesce and a rollout after a kill must
+/// still restart the survivors. Only one rollout runs at a time; a
+/// concurrent `POST /rollout` answers `409`.
+fn run_rollout(state: &RouterState) -> Response {
+    if state.rollout_active.swap(true, Ordering::SeqCst) {
+        return Response::from_error(
+            &HttpError {
+                status: 409,
+                message: "a rollout is already in progress".to_string(),
+            },
+            false,
+        );
+    }
+    state.rollouts_total.fetch_add(1, Ordering::Relaxed);
+
+    let reload = Request {
+        method: "POST".to_string(),
+        path: "/reload".to_string(),
+        headers: Vec::new(),
+        body: Vec::new(),
+    };
+    let mut upstreams: Vec<(String, Value)> = Vec::new();
+    let mut abort: Option<String> = None;
+    for (index, addr) in state.ring.nodes().iter().enumerate() {
+        if let Some(reason) = &abort {
+            upstreams.push((
+                addr.clone(),
+                Value::Map(vec![
+                    ("status".to_string(), Value::Str("skipped".to_string())),
+                    (
+                        "detail".to_string(),
+                        Value::Str(format!("rollout aborted at {reason}")),
+                    ),
+                ]),
+            ));
+            continue;
+        }
+        if !state.healthy[index].load(Ordering::SeqCst) {
+            upstreams.push((
+                addr.clone(),
+                Value::Map(vec![
+                    ("status".to_string(), Value::Str("skipped".to_string())),
+                    (
+                        "detail".to_string(),
+                        Value::Str("out of rotation (unhealthy); nothing to quiesce".to_string()),
+                    ),
+                ]),
+            ));
+            continue;
+        }
+
+        let mut steps: Vec<Value> = Vec::new();
+        state.rolling[index].store(true, Ordering::SeqCst);
+        steps.push(Value::Str(
+            if wait_for_quiesce(state, index) {
+                "quiesced"
+            } else {
+                "quiesced (in-flight settle timed out; reload swaps atomically)"
+            }
+            .to_string(),
+        ));
+
+        let failure = match proxy_to(state, index, &reload) {
+            Ok(response) if response.status == 200 => {
+                steps.push(Value::Str("reloaded".to_string()));
+                if verify_upstream_health(state, index) {
+                    steps.push(Value::Str("verified".to_string()));
+                    None
+                } else {
+                    Some(format!(
+                        "reloaded but /healthz did not answer 200 within {:?}",
+                        state.upstream_timeout
+                    ))
+                }
+            }
+            Ok(response) => Some(format!(
+                "reload refused with {}: {}",
+                response.status,
+                response.body_text()
+            )),
+            Err(error) => {
+                state.healthy[index].store(false, Ordering::SeqCst);
+                state.pool.clear(index);
+                Some(format!("reload unreachable: {error}"))
+            }
+        };
+
+        // Back into rotation either way: on success the upstream is
+        // verified; on failure the old registry is still serving (a refused
+        // reload never swaps) and an unreachable upstream is out of the
+        // healthy set already — the fleet keeps serving in both cases.
+        state.rolling[index].store(false, Ordering::SeqCst);
+        match failure {
+            None => {
+                state.healthy[index].store(true, Ordering::SeqCst);
+                upstreams.push((
+                    addr.clone(),
+                    Value::Map(vec![
+                        ("status".to_string(), Value::Str("ok".to_string())),
+                        ("steps".to_string(), Value::Seq(steps)),
+                    ]),
+                ));
+            }
+            Some(error) => {
+                upstreams.push((
+                    addr.clone(),
+                    Value::Map(vec![
+                        ("status".to_string(), Value::Str("failed".to_string())),
+                        ("steps".to_string(), Value::Seq(steps)),
+                        ("error".to_string(), Value::Str(error)),
+                    ]),
+                ));
+                abort = Some(addr.clone());
+            }
+        }
+    }
+    state.rollout_active.store(false, Ordering::SeqCst);
+
+    let completed = abort.is_none();
+    let body = serde_json::to_string(&Value::Map(vec![
+        (
+            "status".to_string(),
+            Value::Str(if completed { "completed" } else { "aborted" }.to_string()),
+        ),
+        ("upstreams".to_string(), Value::Map(upstreams)),
+    ]))
+    .expect("rollout body serializes");
+    Response::json(if completed { 200 } else { 502 }, body)
 }
 
 /// `GET /healthz` — `200` while at least one upstream is in rotation.
@@ -817,6 +1158,16 @@ fn aggregate_metrics(state: &RouterState) -> Response {
         "upstream_errors_total",
         "Upstream attempts that failed outright.",
         state.upstream_errors_total.load(Ordering::Relaxed),
+    );
+    counter(
+        "coalesced_total",
+        "Predict requests that shared another connection's in-flight upstream call.",
+        state.coalesced_total.load(Ordering::Relaxed),
+    );
+    counter(
+        "rollouts_total",
+        "Rolling restarts started via POST /rollout.",
+        state.rollouts_total.load(Ordering::Relaxed),
     );
     out.push_str(
         "# HELP difftune_router_proxied_total Requests proxied, by upstream.\n\

@@ -396,6 +396,10 @@ pub struct ReloadSpec {
     /// The `--error-budget` gating policy tier 2 (default `0.0`: the policy
     /// serves tier 3 until the operator vouches for a surrogate accuracy).
     pub error_budget: f64,
+    /// Per-cell overrides (`--error-budget CELL=BUDGET`, repeatable), keyed
+    /// by canonical cell id. Cells without an override fall back to
+    /// `error_budget`.
+    pub cell_budgets: Vec<(String, f64)>,
 }
 
 /// The set of loaded backends, keyed for per-request resolution.
@@ -412,6 +416,8 @@ pub struct BackendRegistry {
     backends: BTreeMap<String, Arc<Backend>>,
     /// The `--error-budget` policy tier 2 is gated by.
     error_budget: f64,
+    /// Per-cell budget overrides; cells not listed use `error_budget`.
+    cell_budgets: BTreeMap<String, f64>,
     /// Recorded `surrogate_vs_sim_mape` per canonical cell id.
     cell_mape: BTreeMap<String, f64>,
     /// Structured warnings from lenient loads (e.g. a corrupt surrogate
@@ -460,6 +466,21 @@ impl BackendRegistry {
         self.error_budget
     }
 
+    /// Sets a per-cell budget override and rebuilds the derived `policy:`
+    /// backends. Cells without an override keep using the global budget.
+    pub fn set_cell_budget(&mut self, cell: &str, budget: f64) {
+        self.cell_budgets.insert(cell.to_string(), budget);
+        self.refresh_policies();
+    }
+
+    /// The budget gating a cell's policy: its override, or the global one.
+    pub fn budget_for(&self, cell: &str) -> f64 {
+        self.cell_budgets
+            .get(cell)
+            .copied()
+            .unwrap_or(self.error_budget)
+    }
+
     /// Structured warnings accumulated by lenient loads — artifacts that
     /// were skipped (never fatally) with their cells degraded, surfaced so
     /// operators see *why* a policy runs tier 3.
@@ -506,7 +527,7 @@ impl BackendRegistry {
                     table,
                     surrogates.get(cell),
                     self.cell_mape.get(cell).copied(),
-                    self.error_budget,
+                    self.budget_for(cell),
                 )
             })
             .collect();
@@ -568,6 +589,7 @@ impl BackendRegistry {
             BackendRegistry::new()
         };
         registry.error_budget = spec.error_budget;
+        registry.cell_budgets = spec.cell_budgets.iter().cloned().collect();
         for dir in &spec.table_dirs {
             registry.add_matrix_dir_with(dir, strict)?;
         }
@@ -1078,6 +1100,7 @@ mod tests {
             table_dirs: vec![dir.clone()],
             checkpoints: Vec::new(),
             error_budget: 0.0,
+            cell_budgets: Vec::new(),
         };
         let lenient = BackendRegistry::load(&spec, false).expect("lenient load succeeds");
         assert_eq!(
@@ -1335,6 +1358,7 @@ mod tests {
             table_dirs: vec![dir.clone()],
             checkpoints: Vec::new(),
             error_budget: 0.0,
+            cell_budgets: Vec::new(),
         };
         let error = BackendRegistry::load(&spec, true).unwrap_err();
         assert!(error.contains("difftune-surrogate/999"), "{error}");
@@ -1532,6 +1556,7 @@ mod tests {
             table_dirs: vec![dir.clone()],
             checkpoints: Vec::new(),
             error_budget: f64::INFINITY,
+            cell_budgets: Vec::new(),
         };
         let error = BackendRegistry::load(&spec, true).unwrap_err();
         assert!(error.contains("fingerprint"), "{error}");
@@ -1605,14 +1630,18 @@ mod tests {
             ..proptest::prelude::ProptestConfig::default()
         })]
 
-        /// The tier choice is a pure function of `(block, budget, cell
-        /// metadata)`: two independently built policies over the same inputs
-        /// agree on every generated block, repeated queries never flip, and
-        /// running predictions in between changes nothing.
+        /// The tier choice is a pure function of `(block, effective budget,
+        /// cell metadata)`: two independently built policies over the same
+        /// inputs agree on every generated block, repeated queries never
+        /// flip, and running predictions in between changes nothing. The
+        /// effective budget is the cell's override when one is set
+        /// (`--error-budget CELL=BUDGET`) and the global budget otherwise —
+        /// mixed-budget fleets gate each cell independently.
         #[test]
         fn tier_choice_is_a_pure_function_of_block_budget_and_metadata(
             seed in 0u64..10_000,
             budget in 0.0f64..20.0,
+            cell_budget in proptest::option::of(0.0f64..20.0),
             mape in proptest::option::of(0.0f64..20.0),
         ) {
             use difftune_isa::{BlockGenerator, GeneratorConfig};
@@ -1631,9 +1660,17 @@ mod tests {
                     ))
                     .unwrap();
                 registry.set_error_budget(budget);
+                if let Some(cell_budget) = cell_budget {
+                    registry.set_cell_budget("mca:haswell:llvm_mca", cell_budget);
+                }
+                proptest::prop_assert_eq!(
+                    registry.budget_for("mca:haswell:llvm_mca"),
+                    cell_budget.unwrap_or(budget)
+                );
                 registry.resolve(&BackendQuery::default()).unwrap()
             };
             let (first, second) = (build(), build());
+            let effective = cell_budget.unwrap_or(budget);
 
             let generator = BlockGenerator::new(GeneratorConfig::default());
             let mut rng = StdRng::seed_from_u64(seed);
@@ -1643,7 +1680,7 @@ mod tests {
                 proptest::prop_assert!(tier == TIER_SURROGATE || tier == TIER_SIMULATOR);
                 proptest::prop_assert_eq!(second.predictor.tier_tag(&block), tier);
                 if tier == TIER_SURROGATE {
-                    proptest::prop_assert!(mape.unwrap_or(f64::INFINITY) <= budget);
+                    proptest::prop_assert!(mape.unwrap_or(f64::INFINITY) <= effective);
                 }
                 // A prediction in between must not perturb the choice.
                 first.predictor.predict_batch(std::slice::from_ref(&block));

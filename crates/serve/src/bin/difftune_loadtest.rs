@@ -1,5 +1,5 @@
-//! `difftune-loadtest` — a closed-loop load generator for `difftune-serve`
-//! and the `difftune-router` tier.
+//! `difftune-loadtest` — a closed-loop load generator and chaos driver for
+//! `difftune-serve` and the `difftune-router` tier.
 //!
 //! Generates a deterministic set of basic blocks, sends them as `/predict`
 //! requests over one or more keep-alive connections (each connection waits
@@ -10,32 +10,51 @@
 //!
 //! ```text
 //! difftune-loadtest --addr HOST:PORT [--requests N] [--batch K] [--blocks B]
-//!                   [--connections C] [--seed S] [--sim X] [--uarch X]
-//!                   [--spec X] [--source X] [--expect-source-kind KIND]
+//!                   [--connections C] [--collide] [--seed S] [--sim X]
+//!                   [--uarch X] [--spec X] [--source X]
+//!                   [--expect-source-kind KIND] [--expect-coalescing]
 //!                   [--json] [--out-dir DIR] [--wait-seconds S]
 //!                   [--max-seconds S] [--check-deterministic]
-//! difftune-loadtest --via-router N [--kill-upstream-after K]
-//!                   [--tables DIR]... [--error-budget MAPE]
-//!                   [--idle-timeout S] [...as above]
+//! difftune-loadtest --via-router N [--routers M] [--kill-upstream-after K]
+//!                   [--chaos SPEC] [--tables DIR]...
+//!                   [--error-budget SPEC]... [--idle-timeout S] [...as above]
 //! ```
 //!
-//! `--via-router N` is the chaos harness: the loadtest spawns N
-//! `difftune-serve` upstreams and one `difftune-router` itself (sibling
-//! binaries next to its own executable), then drives the router.
-//! `--kill-upstream-after K` SIGKILLs the ring-primary upstream for the
-//! request stream after K requests of the first pass — mid-load — and the
-//! remaining requests must fail over. Combined with
-//! `--check-deterministic`, this is the cross-process determinism contract
-//! as a one-liner: the post-kill replay must be byte-identical to the
-//! mixed pre/post-kill first pass.
+//! `--via-router N` spawns N `difftune-serve` upstreams and `--routers M`
+//! (default 1) `difftune-router` replicas over them (sibling binaries next
+//! to its own executable), then drives the first router. Spawned children
+//! are tracked in a process-wide registry: they are killed when the fleet
+//! drops, when the loadtest panics (a panic hook sweeps the registry), and
+//! on Ctrl-C (the terminal delivers SIGINT to the whole process group).
+//! Every child also carries a generous `--max-seconds` self-destruct as the
+//! last line of defence against orphans.
+//!
+//! `--kill-upstream-after K` SIGKILLs the ring-primary upstream after K
+//! requests of the first pass — mid-load — and the remaining requests must
+//! fail over. `--chaos SPEC` generalises it into a scripted fault schedule
+//! (the grammar lives in `tests/chaos/mod.rs`, shared with
+//! `tests/fleet_e2e.rs`): explicit `kill@24,rollout@40` events or seeded
+//! `seed:42:3` draws, replayed bit-identically. A clean baseline pass runs
+//! first; then the schedule replays the same requests with faults injected
+//! at their request indices, and every response must be byte-identical to
+//! the baseline — determinism invariant #6 in scripted, exhaustive form:
+//! pre-fault and post-fault canonical bytes are the *same* bytes.
+//!
+//! `--collide` makes every connection send the *full* request sequence
+//! instead of a partition, so C connections race identical bodies — the
+//! workload the router's singleflight map coalesces. `--expect-coalescing`
+//! scrapes the router's `/metrics` after the first pass and fails unless
+//! `difftune_router_coalesced_total` > 0.
 //!
 //! `--check-deterministic` replays the exact request sequence a second time
-//! (now against a warm cache) and exits nonzero unless every response body is
-//! byte-identical to the first pass — the serving determinism contract,
-//! enforced from outside the process. `--max-seconds` is the CI tripwire:
-//! the run fails if the whole loadtest exceeds the budget.
+//! (now against a warm — and, after faults, degraded — fleet) and exits
+//! nonzero unless every response body is byte-identical to the first pass.
+//! `--max-seconds` is the CI tripwire: the run fails if the whole loadtest
+//! exceeds the budget.
 
 use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::sync::{Barrier, Mutex};
 use std::time::{Duration, Instant};
 
 use difftune_bench::record::BenchRecord;
@@ -45,37 +64,87 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Value;
 
+#[path = "../../../../tests/chaos/mod.rs"]
+mod chaos;
+
+use chaos::{ChaosSchedule, Fault, FaultKind};
+
+/// Every spawned child's PID. The panic hook sweeps this so a failing
+/// assertion in any loadtest thread cannot leak serve/router processes; the
+/// `Fleet` drop is the orderly path and unregisters what it kills.
+static CHILD_PIDS: Mutex<Vec<u32>> = Mutex::new(Vec::new());
+
+fn register_child(pid: u32) {
+    CHILD_PIDS.lock().expect("child registry").push(pid);
+}
+
+fn unregister_child(pid: u32) {
+    CHILD_PIDS
+        .lock()
+        .expect("child registry")
+        .retain(|&known| known != pid);
+}
+
+/// SIGKILLs every registered child. Used by the panic hook and the error
+/// exit; safe to call twice (the registry drains on first use).
+fn kill_registered_children() {
+    let pids = std::mem::take(&mut *CHILD_PIDS.lock().expect("child registry"));
+    for pid in pids {
+        let _ = std::process::Command::new("kill")
+            .args(["-KILL", &pid.to_string()])
+            .status();
+    }
+}
+
+/// Delivers a named signal (`STOP`, `CONT`, ...) to a child PID.
+fn signal_child(pid: u32, signal: &str) -> Result<(), String> {
+    let status = std::process::Command::new("kill")
+        .args([&format!("-{signal}"), &pid.to_string()])
+        .status()
+        .map_err(|error| format!("cannot run kill -{signal} {pid}: {error}"))?;
+    if status.success() {
+        Ok(())
+    } else {
+        Err(format!("kill -{signal} {pid} exited with {status}"))
+    }
+}
+
 struct Args {
     addr: String,
     requests: usize,
     batch: usize,
     blocks: usize,
     connections: usize,
+    collide: bool,
     seed: u64,
     sim: Option<String>,
     uarch: Option<String>,
     spec: Option<String>,
     source: Option<String>,
     expect_source_kind: Option<String>,
+    expect_coalescing: bool,
     json: bool,
     out_dir: String,
     wait_seconds: f64,
     max_seconds: Option<f64>,
     check_deterministic: bool,
     via_router: Option<usize>,
+    routers: usize,
     kill_upstream_after: Option<usize>,
+    chaos: Option<String>,
     tables: Vec<String>,
-    error_budget: Option<f64>,
+    error_budget: Vec<String>,
     idle_timeout: Option<f64>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: difftune-loadtest (--addr HOST:PORT | --via-router N) [--requests N] [--batch K] \
-         [--blocks B] [--connections C] [--seed S] [--sim X] [--uarch X] [--spec X] [--source X] \
-         [--expect-source-kind KIND] [--json] [--out-dir DIR] [--wait-seconds S] [--max-seconds S] \
-         [--check-deterministic] [--kill-upstream-after K] [--tables DIR]... \
-         [--error-budget MAPE] [--idle-timeout S]"
+        "usage: difftune-loadtest (--addr HOST:PORT | --via-router N) [--routers M] [--requests N] \
+         [--batch K] [--blocks B] [--connections C] [--collide] [--seed S] [--sim X] [--uarch X] \
+         [--spec X] [--source X] [--expect-source-kind KIND] [--expect-coalescing] [--json] \
+         [--out-dir DIR] [--wait-seconds S] [--max-seconds S] [--check-deterministic] \
+         [--kill-upstream-after K] [--chaos SPEC] [--tables DIR]... [--error-budget SPEC]... \
+         [--idle-timeout S]"
     );
     std::process::exit(2);
 }
@@ -87,21 +156,25 @@ fn parse_args() -> Args {
         batch: 4,
         blocks: 32,
         connections: 1,
+        collide: false,
         seed: 0,
         sim: None,
         uarch: None,
         spec: None,
         source: None,
         expect_source_kind: None,
+        expect_coalescing: false,
         json: false,
         out_dir: ".".to_string(),
         wait_seconds: 30.0,
         max_seconds: None,
         check_deterministic: false,
         via_router: None,
+        routers: 1,
         kill_upstream_after: None,
+        chaos: None,
         tables: Vec::new(),
-        error_budget: None,
+        error_budget: Vec::new(),
         idle_timeout: None,
     };
     let mut iter = std::env::args().skip(1);
@@ -126,12 +199,14 @@ fn parse_args() -> Args {
             "--connections" => {
                 args.connections = parse_usize("--connections", value("--connections"))
             }
+            "--collide" => args.collide = true,
             "--seed" => args.seed = value("--seed").parse().unwrap_or_else(|_| usage()),
             "--sim" => args.sim = Some(value("--sim")),
             "--uarch" => args.uarch = Some(value("--uarch")),
             "--spec" => args.spec = Some(value("--spec")),
             "--source" => args.source = Some(value("--source")),
             "--expect-source-kind" => args.expect_source_kind = Some(value("--expect-source-kind")),
+            "--expect-coalescing" => args.expect_coalescing = true,
             "--json" => args.json = true,
             "--out-dir" => args.out_dir = value("--out-dir"),
             "--wait-seconds" => {
@@ -144,19 +219,16 @@ fn parse_args() -> Args {
             "--via-router" => {
                 args.via_router = Some(parse_usize("--via-router", value("--via-router")))
             }
+            "--routers" => args.routers = parse_usize("--routers", value("--routers")),
             "--kill-upstream-after" => {
                 args.kill_upstream_after = Some(parse_usize(
                     "--kill-upstream-after",
                     value("--kill-upstream-after"),
                 ))
             }
+            "--chaos" => args.chaos = Some(value("--chaos")),
             "--tables" => args.tables.push(value("--tables")),
-            "--error-budget" => {
-                args.error_budget = Some(value("--error-budget").parse().unwrap_or_else(|_| {
-                    eprintln!("--error-budget must be numeric MAPE percent");
-                    usage()
-                }))
-            }
+            "--error-budget" => args.error_budget.push(value("--error-budget")),
             "--idle-timeout" => {
                 args.idle_timeout = Some(value("--idle-timeout").parse().unwrap_or_else(|_| {
                     eprintln!("--idle-timeout must be numeric seconds");
@@ -187,6 +259,14 @@ fn parse_args() -> Args {
             usage()
         }
     }
+    if args.routers == 0 {
+        eprintln!("--routers must be positive");
+        usage()
+    }
+    if args.routers > 1 && args.via_router.is_none() {
+        eprintln!("--routers requires --via-router (the loadtest spawns them)");
+        usage()
+    }
     if args.kill_upstream_after.is_some() {
         match args.via_router {
             None => {
@@ -200,6 +280,23 @@ fn parse_args() -> Args {
             _ => {}
         }
     }
+    if args.chaos.is_some() {
+        if args.kill_upstream_after.is_some() {
+            eprintln!("--chaos and --kill-upstream-after are mutually exclusive (use kill@K)");
+            usage()
+        }
+        match args.via_router {
+            None => {
+                eprintln!("--chaos requires --via-router (faults apply to spawned children)");
+                usage()
+            }
+            Some(upstreams) if upstreams < 2 => {
+                eprintln!("--chaos needs --via-router >= 2 so kills leave a survivor");
+                usage()
+            }
+            _ => {}
+        }
+    }
     if args.requests == 0 || args.batch == 0 || args.blocks == 0 || args.connections == 0 {
         eprintln!("--requests, --batch, --blocks, and --connections must be positive");
         usage()
@@ -207,9 +304,10 @@ fn parse_args() -> Args {
     args
 }
 
-/// One spawned child process (a serve upstream or the router) with the
+/// One spawned child process (a serve upstream or a router) with the
 /// address it reported on stdout.
 struct ChildProcess {
+    #[allow(dead_code)]
     name: String,
     addr: String,
     process: std::process::Child,
@@ -217,16 +315,48 @@ struct ChildProcess {
     _stdout: BufReader<std::process::ChildStdout>,
 }
 
-/// The self-spawned fleet: N serve upstreams plus the router. Dropping the
+impl ChildProcess {
+    /// SIGKILL + reap + drop from the panic-hook registry.
+    fn kill(&mut self) {
+        let pid = self.process.id();
+        let _ = self.process.kill();
+        let _ = self.process.wait();
+        unregister_child(pid);
+    }
+
+    /// True while the child has not exited.
+    fn alive(&mut self) -> bool {
+        matches!(self.process.try_wait(), Ok(None))
+    }
+}
+
+/// The self-spawned fleet: N serve upstreams plus M routers. Dropping the
 /// fleet kills every child, so no run leaves orphans behind.
 struct Fleet {
     upstreams: Vec<ChildProcess>,
-    router: Option<ChildProcess>,
+    routers: Vec<ChildProcess>,
 }
 
 impl Fleet {
     fn router_addr(&self) -> &str {
-        &self.router.as_ref().expect("fleet has a router").addr
+        &self.routers.first().expect("fleet has a router").addr
+    }
+
+    /// The upstream to fault next: the ring primary for `preferred` when
+    /// that child is still running, else the first upstream still alive.
+    fn victim(&mut self, preferred: &str) -> Result<usize, String> {
+        let by_addr = self
+            .upstreams
+            .iter()
+            .position(|child| child.addr == preferred);
+        if let Some(index) = by_addr {
+            if self.upstreams[index].alive() {
+                return Ok(index);
+            }
+        }
+        (0..self.upstreams.len())
+            .find(|&index| self.upstreams[index].alive())
+            .ok_or_else(|| "every upstream is already dead".to_string())
     }
 
     /// SIGKILLs the upstream serving `addr`. Mid-load chaos: pooled router
@@ -237,20 +367,30 @@ impl Fleet {
             .iter_mut()
             .find(|child| child.addr == addr)
             .ok_or_else(|| format!("no spawned upstream listens on {addr}"))?;
-        child
-            .process
-            .kill()
-            .map_err(|error| format!("cannot kill {}: {error}", child.name))?;
-        let _ = child.process.wait();
+        child.kill();
         Ok(())
+    }
+
+    /// Kills the router at `addr` and returns the address of a survivor.
+    fn kill_router(&mut self, addr: &str) -> Result<String, String> {
+        if self.routers.len() < 2 {
+            return Err("cannot kill the only router".to_string());
+        }
+        let index = self
+            .routers
+            .iter()
+            .position(|child| child.addr == addr)
+            .ok_or_else(|| format!("no spawned router listens on {addr}"))?;
+        let mut child = self.routers.remove(index);
+        child.kill();
+        Ok(self.routers[0].addr.clone())
     }
 }
 
 impl Drop for Fleet {
     fn drop(&mut self) {
-        for child in self.upstreams.iter_mut().chain(self.router.iter_mut()) {
-            let _ = child.process.kill();
-            let _ = child.process.wait();
+        for child in self.upstreams.iter_mut().chain(self.routers.iter_mut()) {
+            child.kill();
         }
     }
 }
@@ -264,7 +404,8 @@ fn parse_listening_addr(line: &str) -> Option<String> {
 }
 
 /// Spawns one sibling binary (resolved next to this executable), piping
-/// stdout and blocking until it reports its listening address.
+/// stdout and blocking until it reports its listening address. The child's
+/// PID is registered for the panic-hook sweep before this returns.
 fn spawn_child(binary: &str, child_args: &[String], name: &str) -> Result<ChildProcess, String> {
     let exe = std::env::current_exe()
         .map_err(|error| format!("cannot locate this executable: {error}"))?;
@@ -285,6 +426,7 @@ fn spawn_child(binary: &str, child_args: &[String], name: &str) -> Result<ChildP
         .stderr(std::process::Stdio::inherit())
         .spawn()
         .map_err(|error| format!("cannot spawn {}: {error}", path.display()))?;
+    register_child(process.id());
     let stdout = process.stdout.take().expect("stdout was piped");
     let mut reader = BufReader::new(stdout);
     let mut line = String::new();
@@ -292,7 +434,10 @@ fn spawn_child(binary: &str, child_args: &[String], name: &str) -> Result<ChildP
         line.clear();
         match reader.read_line(&mut line) {
             Ok(0) => {
+                let pid = process.id();
                 let _ = process.kill();
+                let _ = process.wait();
+                unregister_child(pid);
                 return Err(format!("{name} exited before reporting its address"));
             }
             Ok(_) => {
@@ -307,21 +452,26 @@ fn spawn_child(binary: &str, child_args: &[String], name: &str) -> Result<ChildP
                 }
             }
             Err(error) => {
+                let pid = process.id();
                 let _ = process.kill();
+                let _ = process.wait();
+                unregister_child(pid);
                 return Err(format!("cannot read {name} stdout: {error}"));
             }
         }
     }
 }
 
-/// Spawns `upstreams` serve children and a router fronting them.
-fn spawn_fleet(args: &Args, upstreams: usize) -> Result<Fleet, String> {
+/// Spawns `upstreams` serve children and `args.routers` routers fronting
+/// them. `tables` has already been redirected to the chaos scratch copy
+/// when the schedule includes a corrupt-reload fault.
+fn spawn_fleet(args: &Args, upstreams: usize, tables: &[String]) -> Result<Fleet, String> {
     // A generous self-destruct on every child, so an aborted loadtest can
     // never leave servers running forever.
     let self_destruct = "900".to_string();
     let mut fleet = Fleet {
         upstreams: Vec::with_capacity(upstreams),
-        router: None,
+        routers: Vec::new(),
     };
     for index in 0..upstreams {
         let mut child_args = vec![
@@ -330,13 +480,13 @@ fn spawn_fleet(args: &Args, upstreams: usize) -> Result<Fleet, String> {
             "--max-seconds".to_string(),
             self_destruct.clone(),
         ];
-        for dir in &args.tables {
+        for dir in tables {
             child_args.push("--tables".to_string());
             child_args.push(dir.clone());
         }
-        if let Some(budget) = args.error_budget {
+        for budget in &args.error_budget {
             child_args.push("--error-budget".to_string());
-            child_args.push(budget.to_string());
+            child_args.push(budget.clone());
         }
         if let Some(seconds) = args.idle_timeout {
             child_args.push("--idle-timeout".to_string());
@@ -348,21 +498,27 @@ fn spawn_fleet(args: &Args, upstreams: usize) -> Result<Fleet, String> {
             &format!("upstream[{index}]"),
         )?);
     }
-    let mut router_args = vec![
-        "--port".to_string(),
-        "0".to_string(),
-        "--max-seconds".to_string(),
-        self_destruct,
-    ];
-    for upstream in &fleet.upstreams {
-        router_args.push("--upstream".to_string());
-        router_args.push(upstream.addr.clone());
+    for index in 0..args.routers {
+        let mut router_args = vec![
+            "--port".to_string(),
+            "0".to_string(),
+            "--max-seconds".to_string(),
+            self_destruct.clone(),
+        ];
+        for upstream in &fleet.upstreams {
+            router_args.push("--upstream".to_string());
+            router_args.push(upstream.addr.clone());
+        }
+        if let Some(seconds) = args.idle_timeout {
+            router_args.push("--idle-timeout".to_string());
+            router_args.push(seconds.to_string());
+        }
+        fleet.routers.push(spawn_child(
+            "difftune-router",
+            &router_args,
+            &format!("router[{index}]"),
+        )?);
     }
-    if let Some(seconds) = args.idle_timeout {
-        router_args.push("--idle-timeout".to_string());
-        router_args.push(seconds.to_string());
-    }
-    fleet.router = Some(spawn_child("difftune-router", &router_args, "router")?);
     Ok(fleet)
 }
 
@@ -419,8 +575,15 @@ fn request_bodies(args: &Args) -> Vec<String> {
 }
 
 /// Runs one closed-loop pass over every request body; returns the response
-/// bodies in request order.
+/// bodies in request order. Without `--collide` the bodies are partitioned
+/// round-robin across connections; with it, every connection sends the full
+/// sequence in lockstep (a barrier before each send), racing identical
+/// requests through the router's singleflight map, and the per-connection
+/// response streams must agree byte-for-byte.
 fn run_pass(args: &Args, bodies: &[String]) -> Result<Vec<String>, String> {
+    if args.collide {
+        return run_collide_pass(args, bodies);
+    }
     let responses: Vec<Result<Vec<(usize, String)>, String>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..args.connections)
             .map(|connection| {
@@ -466,17 +629,304 @@ fn run_pass(args: &Args, bodies: &[String]) -> Result<Vec<String>, String> {
     Ok(ordered)
 }
 
+/// The `--collide` pass: C connections each send all bodies, synchronized
+/// per request so identical bodies are in flight together.
+fn run_collide_pass(args: &Args, bodies: &[String]) -> Result<Vec<String>, String> {
+    let barrier = Barrier::new(args.connections);
+    let streams: Vec<Result<Vec<String>, String>> = std::thread::scope(|scope| {
+        let barrier = &barrier;
+        let handles: Vec<_> = (0..args.connections)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut client = HttpClient::connect_with_retry(
+                        &args.addr,
+                        Duration::from_secs_f64(args.wait_seconds),
+                    )
+                    .map_err(|error| format!("cannot connect to {}: {error}", args.addr))?;
+                    let mut collected = Vec::with_capacity(bodies.len());
+                    for (index, body) in bodies.iter().enumerate() {
+                        barrier.wait();
+                        let response = client
+                            .post_json("/predict", body)
+                            .map_err(|error| format!("request {index} failed: {error}"))?;
+                        if response.status != 200 {
+                            return Err(format!(
+                                "request {index} answered {}: {}",
+                                response.status,
+                                response.body_text()
+                            ));
+                        }
+                        collected.push(response.body_text());
+                    }
+                    Ok(collected)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| handle.join().expect("loadtest worker panicked"))
+            .collect()
+    });
+    let mut first: Option<Vec<String>> = None;
+    for stream in streams {
+        let stream = stream?;
+        match &first {
+            None => first = Some(stream),
+            Some(reference) => {
+                for (index, (a, b)) in reference.iter().zip(&stream).enumerate() {
+                    if a != b {
+                        return Err(format!(
+                            "COALESCING DIVERGENCE: request {index} differs between colliding \
+                             connections:\n  {a}\n  {b}"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    Ok(first.expect("at least one connection"))
+}
+
+/// Recursively copies `from` into `to` (used to build a corruptible scratch
+/// copy of the table dirs, so chaos never touches the user's artifacts).
+fn copy_dir_recursive(from: &Path, to: &Path) -> Result<(), String> {
+    std::fs::create_dir_all(to)
+        .map_err(|error| format!("cannot create {}: {error}", to.display()))?;
+    let entries = std::fs::read_dir(from)
+        .map_err(|error| format!("cannot read {}: {error}", from.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|error| format!("cannot list {}: {error}", from.display()))?;
+        let source = entry.path();
+        let target = to.join(entry.file_name());
+        let kind = entry
+            .file_type()
+            .map_err(|error| format!("cannot stat {}: {error}", source.display()))?;
+        if kind.is_dir() {
+            copy_dir_recursive(&source, &target)?;
+        } else {
+            std::fs::copy(&source, &target)
+                .map_err(|error| format!("cannot copy {}: {error}", source.display()))?;
+        }
+    }
+    Ok(())
+}
+
+/// Overwrites every regular file under `dir` with garbage, so the next
+/// strict reload must refuse the artifacts and keep the old registry.
+fn corrupt_dir(dir: &Path) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir)
+        .map_err(|error| format!("cannot read {}: {error}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|error| format!("cannot list {}: {error}", dir.display()))?;
+        let path = entry.path();
+        let kind = entry
+            .file_type()
+            .map_err(|error| format!("cannot stat {}: {error}", path.display()))?;
+        if kind.is_dir() {
+            corrupt_dir(&path)?;
+        } else {
+            std::fs::write(&path, b"this is not a difftune artifact")
+                .map_err(|error| format!("cannot corrupt {}: {error}", path.display()))?;
+        }
+    }
+    Ok(())
+}
+
+/// Applies one scheduled fault to the running fleet. `stalled` carries a
+/// SIGSTOPped child's PID until the next schedule boundary SIGCONTs it.
+fn apply_fault(
+    fault: &Fault,
+    args: &mut Args,
+    fleet: &mut Fleet,
+    bodies: &[String],
+    stalled: &mut Option<u32>,
+    scratch_tables: &[String],
+) -> Result<(), String> {
+    let wait = Duration::from_secs_f64(args.wait_seconds);
+    match fault.kind {
+        FaultKind::KillUpstream => {
+            let preferred = primary_upstream(&args.addr, &bodies[0], wait)?;
+            let victim = fleet.victim(&preferred)?;
+            let addr = fleet.upstreams[victim].addr.clone();
+            fleet.kill_upstream(&addr)?;
+            eprintln!(
+                "[difftune-loadtest] chaos: killed upstream {addr} after request {}",
+                fault.at_request
+            );
+        }
+        FaultKind::StallUpstream => {
+            let preferred = primary_upstream(&args.addr, &bodies[0], wait)?;
+            let victim = fleet.victim(&preferred)?;
+            let pid = fleet.upstreams[victim].process.id();
+            signal_child(pid, "STOP")?;
+            *stalled = Some(pid);
+            eprintln!(
+                "[difftune-loadtest] chaos: stalled upstream {} (SIGSTOP) after request {}",
+                fleet.upstreams[victim].addr, fault.at_request
+            );
+        }
+        FaultKind::CorruptReload => {
+            for dir in scratch_tables {
+                corrupt_dir(Path::new(dir))?;
+            }
+            let mut client = HttpClient::connect_with_retry(&args.addr, wait)
+                .map_err(|error| format!("cannot connect to {}: {error}", args.addr))?;
+            let response = client
+                .request("POST", "/reload", b"")
+                .map_err(|error| format!("POST /reload failed: {error}"))?;
+            // With corrupted artifacts a strict reload refuses and the old
+            // registry keeps serving; without table dirs this is a clean
+            // registry rebuild under load. Either way the responses after
+            // this boundary must stay byte-identical to the baseline.
+            eprintln!(
+                "[difftune-loadtest] chaos: corrupt-artifact reload after request {} \
+                 (router answered {})",
+                fault.at_request, response.status
+            );
+        }
+        FaultKind::Rollout => {
+            let mut client = HttpClient::connect_with_retry(&args.addr, wait)
+                .map_err(|error| format!("cannot connect to {}: {error}", args.addr))?;
+            let response = client
+                .request("POST", "/rollout", b"")
+                .map_err(|error| format!("POST /rollout failed: {error}"))?;
+            // Reload-mode rollouts only succeed when the upstreams can
+            // rebuild their registries; after a corrupt fault the rollout
+            // must *abort* and leave the fleet serving, so any status is
+            // legal — the baseline comparison is the real assertion.
+            eprintln!(
+                "[difftune-loadtest] chaos: rollout after request {} (router answered {}: {})",
+                fault.at_request,
+                response.status,
+                response.body_text()
+            );
+        }
+        FaultKind::KillRouter => {
+            let dead = args.addr.clone();
+            args.addr = fleet.kill_router(&dead)?;
+            eprintln!(
+                "[difftune-loadtest] chaos: killed router {dead} after request {}; moving to {}",
+                fault.at_request, args.addr
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Replays the request sequence with the schedule's faults injected at
+/// their request boundaries; returns the responses in request order.
+fn run_chaos_pass(
+    args: &mut Args,
+    bodies: &[String],
+    schedule: &ChaosSchedule,
+    fleet: &mut Fleet,
+    scratch_tables: &[String],
+) -> Result<Vec<String>, String> {
+    let mut responses = Vec::with_capacity(bodies.len());
+    let mut next = 0usize;
+    let mut stalled: Option<u32> = None;
+    for fault in &schedule.faults {
+        let boundary = (fault.at_request + 1).min(bodies.len());
+        if boundary > next {
+            responses.extend(run_pass(args, &bodies[next..boundary])?);
+            next = boundary;
+        }
+        // A stalled upstream wakes at the next boundary: the stall was a
+        // transient, not a death, and the fleet must absorb its return too.
+        if let Some(pid) = stalled.take() {
+            signal_child(pid, "CONT")?;
+            eprintln!("[difftune-loadtest] chaos: resumed stalled upstream (SIGCONT)");
+        }
+        apply_fault(fault, args, fleet, bodies, &mut stalled, scratch_tables)?;
+    }
+    if next < bodies.len() {
+        responses.extend(run_pass(args, &bodies[next..])?);
+    }
+    if let Some(pid) = stalled.take() {
+        signal_child(pid, "CONT")?;
+        eprintln!("[difftune-loadtest] chaos: resumed stalled upstream (SIGCONT)");
+    }
+    Ok(responses)
+}
+
+/// Scrapes the target's `/metrics` for `difftune_router_coalesced_total`.
+fn scrape_coalesced_total(addr: &str, wait: Duration) -> Result<u64, String> {
+    let mut client = HttpClient::connect_with_retry(addr, wait)
+        .map_err(|error| format!("cannot connect to {addr}: {error}"))?;
+    let response = client
+        .get("/metrics")
+        .map_err(|error| format!("GET /metrics failed: {error}"))?;
+    if response.status != 200 {
+        return Err(format!("GET /metrics answered {}", response.status));
+    }
+    for line in response.body_text().lines() {
+        if let Some(value) = line.strip_prefix("difftune_router_coalesced_total ") {
+            return value
+                .trim()
+                .parse()
+                .map_err(|_| format!("unparseable coalesced_total value {value:?}"));
+        }
+    }
+    Err("the target exports no difftune_router_coalesced_total (is it a router?)".to_string())
+}
+
 fn main() {
+    // A panicking worker thread (failed assertion, poisoned lock) must not
+    // leak the spawned fleet; neither must an error return. Ctrl-C needs no
+    // hook: the terminal delivers SIGINT to the whole process group, children
+    // included.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        kill_registered_children();
+        default_hook(info);
+    }));
+    if let Err(error) = run() {
+        eprintln!("difftune-loadtest: {error}");
+        kill_registered_children();
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), String> {
     let mut args = parse_args();
     let bodies = request_bodies(&args);
+    let wait = Duration::from_secs_f64(args.wait_seconds);
 
-    // Chaos mode: spawn the fleet and point the loadtest at the router.
+    // Parse the chaos schedule before spawning anything: a bad spec should
+    // fail fast, and a corrupt fault redirects the fleet's table dirs to a
+    // disposable scratch copy.
+    let schedule = match &args.chaos {
+        Some(spec) => Some(ChaosSchedule::parse(
+            spec,
+            args.requests,
+            args.routers >= 2,
+        )?),
+        None => None,
+    };
+    let needs_scratch = schedule.as_ref().is_some_and(|schedule| {
+        schedule
+            .faults
+            .iter()
+            .any(|fault| fault.kind == FaultKind::CorruptReload)
+    }) && !args.tables.is_empty();
+    let mut scratch_root: Option<PathBuf> = None;
+    let mut fleet_tables = args.tables.clone();
+    if needs_scratch {
+        let root = Path::new(&args.out_dir).join(format!("chaos-scratch-{}", std::process::id()));
+        let mut copies = Vec::with_capacity(args.tables.len());
+        for (index, dir) in args.tables.iter().enumerate() {
+            let copy = root.join(format!("tables-{index}"));
+            copy_dir_recursive(Path::new(dir), &copy)?;
+            copies.push(copy.to_string_lossy().into_owned());
+        }
+        fleet_tables = copies;
+        scratch_root = Some(root);
+    }
+
+    // Chaos mode: spawn the fleet and point the loadtest at a router.
     let mut fleet = match args.via_router {
         Some(upstreams) => {
-            let fleet = spawn_fleet(&args, upstreams).unwrap_or_else(|error| {
-                eprintln!("difftune-loadtest: {error}");
-                std::process::exit(1);
-            });
+            let fleet = spawn_fleet(&args, upstreams, &fleet_tables)?;
             args.addr = fleet.router_addr().to_string();
             Some(fleet)
         }
@@ -486,65 +936,64 @@ fn main() {
     // Readiness probe before the clock starts: the BENCH record (and the
     // --max-seconds tripwire) measure serving, not how long a freshly
     // spawned server takes to start accepting.
-    HttpClient::connect_with_retry(&args.addr, Duration::from_secs_f64(args.wait_seconds))
-        .unwrap_or_else(|error| {
-            eprintln!(
-                "difftune-loadtest: cannot connect to {}: {error}",
-                args.addr
-            );
-            std::process::exit(1);
-        });
+    HttpClient::connect_with_retry(&args.addr, wait)
+        .map_err(|error| format!("cannot connect to {}: {error}", args.addr))?;
     let started = Instant::now();
 
-    // The first pass, optionally with a mid-load kill: K requests against
-    // the full fleet, then SIGKILL the primary upstream, then the remainder
-    // rides the failover path. The concatenation is what determinism is
+    // The first pass, in one of three shapes: a scripted chaos schedule
+    // (clean baseline, then the same requests with faults injected), the
+    // single mid-load kill, or a plain closed loop. Whatever mix of
+    // pre-fault and post-fault responses comes back is what determinism is
     // asserted against.
-    let first_pass = match args.kill_upstream_after {
-        Some(kill_after) => {
-            let split = kill_after.min(bodies.len());
-            let mut pass = run_pass(&args, &bodies[..split]).unwrap_or_else(|error| {
-                eprintln!("difftune-loadtest: pre-kill segment: {error}");
-                std::process::exit(1);
-            });
-            let victim = primary_upstream(
-                &args.addr,
-                &bodies[0],
-                Duration::from_secs_f64(args.wait_seconds),
-            )
-            .unwrap_or_else(|error| {
-                eprintln!("difftune-loadtest: cannot pick a victim: {error}");
-                std::process::exit(1);
-            });
-            let fleet = fleet
-                .as_mut()
-                .expect("--kill-upstream-after implies a fleet");
-            fleet.kill_upstream(&victim).unwrap_or_else(|error| {
-                eprintln!("difftune-loadtest: {error}");
-                std::process::exit(1);
-            });
-            eprintln!(
-                "[difftune-loadtest] killed primary upstream {victim} after {split} request(s)"
-            );
-            let rest = run_pass(&args, &bodies[split..]).unwrap_or_else(|error| {
-                eprintln!("difftune-loadtest: post-kill segment: {error}");
-                std::process::exit(1);
-            });
-            pass.extend(rest);
-            pass
+    let first_pass = if let Some(schedule) = &schedule {
+        eprintln!("[difftune-loadtest] chaos schedule: {}", schedule.spec);
+        let baseline =
+            run_pass(&args, &bodies).map_err(|error| format!("baseline pass: {error}"))?;
+        let fleet = fleet.as_mut().expect("--chaos implies a fleet");
+        let chaos_pass = run_chaos_pass(&mut args, &bodies, schedule, fleet, &fleet_tables)
+            .map_err(|error| format!("chaos pass: {error}"))?;
+        for (index, (clean, faulted)) in baseline.iter().zip(&chaos_pass).enumerate() {
+            if clean != faulted {
+                return Err(format!(
+                    "CHAOS DIVERGENCE: request {index} differs from the fault-free baseline \
+                     under schedule {}:\n  baseline: {clean}\n  chaos:    {faulted}",
+                    schedule.spec
+                ));
+            }
         }
-        None => run_pass(&args, &bodies).unwrap_or_else(|error| {
-            eprintln!("difftune-loadtest: {error}");
-            std::process::exit(1);
-        }),
+        println!(
+            "difftune-loadtest: chaos schedule [{}] replayed; all {} responses byte-identical \
+             to the fault-free baseline",
+            schedule.spec,
+            chaos_pass.len()
+        );
+        chaos_pass
+    } else if let Some(kill_after) = args.kill_upstream_after {
+        let split = kill_after.min(bodies.len());
+        let mut pass = run_pass(&args, &bodies[..split])
+            .map_err(|error| format!("pre-kill segment: {error}"))?;
+        let victim = primary_upstream(&args.addr, &bodies[0], wait)
+            .map_err(|error| format!("cannot pick a victim: {error}"))?;
+        let fleet = fleet
+            .as_mut()
+            .expect("--kill-upstream-after implies a fleet");
+        fleet.kill_upstream(&victim)?;
+        eprintln!("[difftune-loadtest] killed primary upstream {victim} after {split} request(s)");
+        let rest = run_pass(&args, &bodies[split..])
+            .map_err(|error| format!("post-kill segment: {error}"))?;
+        pass.extend(rest);
+        pass
+    } else {
+        run_pass(&args, &bodies)?
     };
     let first_elapsed = started.elapsed().as_secs_f64();
-    let samples = args.requests * args.batch;
+    let samples = args.requests * args.batch * if args.collide { args.connections } else { 1 };
     println!(
-        "difftune-loadtest: {} requests ({samples} blocks) over {} connection(s) in {:.3}s \
+        "difftune-loadtest: {} requests ({samples} blocks) over {} connection(s){} in {:.3}s \
          ({:.0} blocks/s){}",
         args.requests,
         args.connections,
+        if args.collide { " [colliding]" } else { "" },
         first_elapsed,
         samples as f64 / first_elapsed.max(1e-9),
         if args.via_router.is_some() {
@@ -553,6 +1002,19 @@ fn main() {
             ""
         },
     );
+
+    if args.expect_coalescing {
+        // Scrape before teardown: the router dies with the loadtest, so the
+        // counter is only observable now.
+        let coalesced = scrape_coalesced_total(&args.addr, wait)?;
+        if coalesced == 0 {
+            return Err(
+                "COALESCING MISS: difftune_router_coalesced_total is 0 after a colliding pass"
+                    .to_string(),
+            );
+        }
+        println!("difftune-loadtest: router coalesced {coalesced} request(s)");
+    }
 
     if let Some(expected) = &args.expect_source_kind {
         // Tier assertion for policy backends: every response must have been
@@ -564,11 +1026,10 @@ fn main() {
                     .and_then(|k| k.as_str().map(String::from))
             });
             if kind.as_deref() != Some(expected.as_str()) {
-                eprintln!(
-                    "difftune-loadtest: SOURCE KIND MISMATCH: request {index} expected \
-                     source_kind {expected:?}, got: {body}"
-                );
-                std::process::exit(1);
+                return Err(format!(
+                    "SOURCE KIND MISMATCH: request {index} expected source_kind {expected:?}, \
+                     got: {body}"
+                ));
             }
         }
         println!(
@@ -578,19 +1039,16 @@ fn main() {
     }
 
     if args.check_deterministic {
-        // Replay the identical sequence against the now-warm (and, after a
-        // kill, reduced) fleet: every body must come back byte-identical.
-        let second_pass = run_pass(&args, &bodies).unwrap_or_else(|error| {
-            eprintln!("difftune-loadtest: replay pass: {error}");
-            std::process::exit(1);
-        });
+        // Replay the identical sequence against the now-warm (and, after
+        // faults, degraded) fleet: every body must come back byte-identical.
+        let second_pass =
+            run_pass(&args, &bodies).map_err(|error| format!("replay pass: {error}"))?;
         for (index, (first, second)) in first_pass.iter().zip(&second_pass).enumerate() {
             if first != second {
-                eprintln!(
-                    "difftune-loadtest: DETERMINISM VIOLATION: request {index} diverged between \
-                     cold and warm passes:\n  cold: {first}\n  warm: {second}"
-                );
-                std::process::exit(1);
+                return Err(format!(
+                    "DETERMINISM VIOLATION: request {index} diverged between cold and warm \
+                     passes:\n  cold: {first}\n  warm: {second}"
+                ));
             }
         }
         println!(
@@ -612,31 +1070,27 @@ fn main() {
             let file_name = record.file_name();
             (record, file_name)
         };
-        if let Err(error) = std::fs::create_dir_all(&args.out_dir) {
-            eprintln!("difftune-loadtest: cannot create {}: {error}", args.out_dir);
-            std::process::exit(1);
-        }
-        let path = std::path::Path::new(&args.out_dir).join(file_name);
-        if let Err(error) = std::fs::write(&path, record.to_json()) {
-            eprintln!(
-                "difftune-loadtest: cannot write {}: {error}",
-                path.display()
-            );
-            std::process::exit(1);
-        }
+        std::fs::create_dir_all(&args.out_dir)
+            .map_err(|error| format!("cannot create {}: {error}", args.out_dir))?;
+        let path = Path::new(&args.out_dir).join(file_name);
+        std::fs::write(&path, record.to_json())
+            .map_err(|error| format!("cannot write {}: {error}", path.display()))?;
         println!("difftune-loadtest: wrote {}", path.display());
     }
 
     if let Some(ceiling) = args.max_seconds {
         let total = started.elapsed().as_secs_f64();
         if total > ceiling {
-            eprintln!(
-                "difftune-loadtest: PERF CEILING EXCEEDED: the loadtest took {total:.2}s, over \
-                 the {ceiling:.2}s ceiling"
-            );
-            std::process::exit(1);
+            return Err(format!(
+                "PERF CEILING EXCEEDED: the loadtest took {total:.2}s, over the {ceiling:.2}s \
+                 ceiling"
+            ));
         }
     }
-    // The fleet (if any) is killed on drop.
+    // The fleet (if any) is killed on drop; the scratch copy is disposable.
     drop(fleet);
+    if let Some(root) = scratch_root {
+        let _ = std::fs::remove_dir_all(root);
+    }
+    Ok(())
 }

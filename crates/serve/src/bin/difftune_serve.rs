@@ -9,7 +9,8 @@
 //! ```text
 //! difftune-serve [--addr A] [--port P] [--tables DIR]...
 //!                [--checkpoint SIM:UARCH:SPEC=PATH]... [--no-defaults]
-//!                [--error-budget MAPE] [--shards N] [--cache-capacity N]
+//!                [--error-budget MAPE | SIM:UARCH:SPEC=MAPE]...
+//!                [--shards N] [--cache-capacity N]
 //!                [--max-seconds S] [--idle-timeout S]
 //!                [--max-requests-per-connection N] [--list-backends]
 //! ```
@@ -32,6 +33,7 @@ struct Args {
     checkpoints: Vec<(CellKey, String)>,
     no_defaults: bool,
     error_budget: f64,
+    cell_budgets: Vec<(String, f64)>,
     shards: Option<usize>,
     cache_capacity: Option<usize>,
     max_seconds: Option<f64>,
@@ -44,8 +46,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: difftune-serve [--addr A] [--port P] [--tables DIR]... \
          [--checkpoint SIM:UARCH:SPEC=PATH]... [--no-defaults] \
-         [--error-budget MAPE] [--shards N] [--cache-capacity N] \
-         [--max-seconds S] [--idle-timeout S] \
+         [--error-budget MAPE | SIM:UARCH:SPEC=MAPE]... [--shards N] \
+         [--cache-capacity N] [--max-seconds S] [--idle-timeout S] \
          [--max-requests-per-connection N] [--list-backends]"
     );
     std::process::exit(2);
@@ -59,6 +61,7 @@ fn parse_args() -> Args {
         checkpoints: Vec::new(),
         no_defaults: false,
         error_budget: 0.0,
+        cell_budgets: Vec::new(),
         shards: None,
         cache_capacity: None,
         max_seconds: None,
@@ -100,8 +103,15 @@ fn parse_args() -> Args {
             }
             "--no-defaults" => args.no_defaults = true,
             "--error-budget" => {
+                // Repeatable: a bare number sets the global budget; a
+                // `SIM:UARCH:SPEC=BUDGET` pair overrides one cell. Cells
+                // without an override fall back to the global value.
                 let raw = value("--error-budget");
-                let budget: f64 = raw.parse().unwrap_or_else(|_| {
+                let (cell, number) = match raw.split_once('=') {
+                    Some((cell, number)) => (Some(cell), number),
+                    None => (None, raw.as_str()),
+                };
+                let budget: f64 = number.parse().unwrap_or_else(|_| {
                     eprintln!("--error-budget must be numeric MAPE percent, got {raw:?}");
                     usage()
                 });
@@ -109,7 +119,16 @@ fn parse_args() -> Args {
                     eprintln!("--error-budget must be non-negative, got {raw:?}");
                     usage()
                 }
-                args.error_budget = budget;
+                match cell {
+                    None => args.error_budget = budget,
+                    Some(cell) => match CellKey::parse(cell) {
+                        Ok(key) => args.cell_budgets.push((key.id(), budget)),
+                        Err(error) => {
+                            eprintln!("--error-budget {raw:?}: {error}");
+                            usage()
+                        }
+                    },
+                }
             }
             "--shards" => {
                 let raw = value("--shards");
@@ -178,6 +197,7 @@ fn main() {
             .map(|(key, path)| (*key, std::path::PathBuf::from(path)))
             .collect(),
         error_budget: args.error_budget,
+        cell_budgets: args.cell_budgets.clone(),
     };
 
     let mut registry = if args.no_defaults {
@@ -186,6 +206,9 @@ fn main() {
         BackendRegistry::with_defaults()
     };
     registry.set_error_budget(args.error_budget);
+    for (cell, budget) in &args.cell_budgets {
+        registry.set_cell_budget(cell, *budget);
+    }
     for dir in &args.tables {
         match registry.add_matrix_dir(std::path::Path::new(dir)) {
             Ok(added) => {

@@ -7,7 +7,11 @@
 //! and a [`Response`] writer. Anything malformed or oversized becomes a typed
 //! [`HttpError`] carrying the 4xx/5xx status to answer with; the parser never
 //! panics on hostile input (`tests` below feed it truncations, garbage, and
-//! oversized payloads).
+//! oversized payloads). Protocol rejections use a fixed status vocabulary:
+//! `400` (malformed request line, header, or Content-Length), `411` (POST or
+//! PUT without a Content-Length), `413` (declared body over the limit),
+//! `431` (head over the limit), `501` (transfer-encoding), and `505`
+//! (unsupported protocol version).
 //!
 //! Deliberately out of scope (see ROADMAP "Open items"): chunked
 //! transfer-encoding (answered with `501`), HTTP/2, and TLS.
@@ -237,7 +241,18 @@ impl RequestBuffer {
             .map(|(_, value)| value.as_str())
             .collect();
         let body_len = match content_lengths.as_slice() {
-            [] => 0usize,
+            [] => {
+                // Methods that carry a payload must frame it: without a
+                // Content-Length the parser cannot tell where the body ends,
+                // so a bare POST/PUT is `411` rather than "empty body".
+                if method == "POST" || method == "PUT" {
+                    return Err(HttpError {
+                        status: 411,
+                        message: format!("{method} requests must declare a Content-Length"),
+                    });
+                }
+                0usize
+            }
             [single] => single.parse::<usize>().map_err(|_| {
                 HttpError::bad_request(format!("invalid Content-Length {single:?}"))
             })?,
@@ -431,6 +446,8 @@ mod tests {
                 b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n".as_slice(),
                 501,
             ),
+            (b"POST /x HTTP/1.1\r\n\r\n".as_slice(), 411), // payload method, no framing
+            (b"PUT /x HTTP/1.1\r\n\r\n".as_slice(), 411),
             (b"GET /\xff\xfe HTTP/1.1\r\n\r\n".as_slice(), 400), // non-UTF-8 head
         ] {
             let error = parse_one(raw).expect_err("malformed input must error");
@@ -491,5 +508,89 @@ mod tests {
         assert!(text.starts_with("HTTP/1.1 400 Bad Request\r\n"));
         assert!(text.contains("Connection: close\r\n"));
         assert!(text.ends_with("{\"error\":\"nope\"}"));
+    }
+
+    // Fuzz-style property tests: the parser is a pure function of the byte
+    // stream regardless of how reads fragment it, and hostile preambles only
+    // ever map to the documented status vocabulary (module docs above).
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig {
+            cases: 96,
+            ..proptest::prelude::ProptestConfig::default()
+        })]
+
+        /// A valid POST with an arbitrary binary body parses to the same
+        /// request no matter how the bytes are split across reads: every
+        /// proper prefix yields `Ok(None)`, the final chunk yields exactly
+        /// the one-shot parse, and nothing stays buffered.
+        #[test]
+        fn byte_splits_never_change_the_parse(
+            seed in 0u64..1_000_000,
+            body_len in 0usize..64,
+        ) {
+            use rand::{rngs::StdRng, Rng, SeedableRng};
+            let mut rng = StdRng::seed_from_u64(seed);
+            let body: Vec<u8> = (0..body_len).map(|_| rng.gen_range(0u8..=255)).collect();
+            let mut raw = format!(
+                "POST /predict HTTP/1.1\r\nHost: fleet\r\nContent-Length: {body_len}\r\n\r\n"
+            )
+            .into_bytes();
+            raw.extend_from_slice(&body);
+
+            let limits = HttpLimits::default();
+            let expected = {
+                let mut buffer = RequestBuffer::new();
+                buffer.push(&raw);
+                buffer.next_request(&limits).unwrap().expect("one-shot parse")
+            };
+
+            let mut buffer = RequestBuffer::new();
+            let mut offset = 0usize;
+            while offset < raw.len() {
+                // Bias toward tiny chunks so header/body boundaries are hit.
+                let chunk = rng.gen_range(1usize..=8).min(raw.len() - offset);
+                buffer.push(&raw[offset..offset + chunk]);
+                offset += chunk;
+                let parsed = buffer.next_request(&limits);
+                if offset < raw.len() {
+                    proptest::prop_assert_eq!(parsed, Ok(None), "early parse at byte {}", offset);
+                } else {
+                    let request = parsed.unwrap().expect("final chunk completes the request");
+                    proptest::prop_assert_eq!(&request, &expected);
+                    proptest::prop_assert!(buffer.is_empty());
+                }
+            }
+        }
+
+        /// Random hostile preambles (biased toward protocol punctuation)
+        /// never panic the parser, and every rejection carries one of the
+        /// documented statuses: 400, 411, 413, 431, 501, or 505.
+        #[test]
+        fn hostile_preambles_map_to_documented_statuses(
+            seed in 0u64..1_000_000,
+            len in 0usize..200,
+        ) {
+            use rand::{rngs::StdRng, Rng, SeedableRng};
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+            const ALPHABET: &[u8] = b"\r\n :/.GETPOSTHTTP1\xff\x00abcdefgh0123456789-";
+            let mut raw: Vec<u8> = (0..len)
+                .map(|_| ALPHABET[rng.gen_range(0usize..ALPHABET.len())])
+                .collect();
+            raw.extend_from_slice(b"\r\n\r\n");
+
+            let mut buffer = RequestBuffer::new();
+            buffer.push(&raw);
+            match buffer.next_request(&HttpLimits::default()) {
+                // A lucky draw can form a valid request (or one still
+                // waiting on a declared body); both are acceptable.
+                Ok(_) => {}
+                Err(error) => proptest::prop_assert!(
+                    matches!(error.status, 400 | 411 | 413 | 431 | 501 | 505),
+                    "undocumented status {} for {:?}",
+                    error.status,
+                    raw
+                ),
+            }
+        }
     }
 }

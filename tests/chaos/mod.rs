@@ -1,0 +1,347 @@
+//! Deterministic fault schedules for chaos-testing the serving fleet.
+//!
+//! A [`ChaosSchedule`] is a list of faults pinned to request indices:
+//! "kill upstream 0 after request 24, start a rollout after request 40".
+//! Schedules come from an explicit spec string (`kill@24,rollout@40`) or
+//! from a seed (`seed:42:3` — three events drawn from a seeded RNG), and
+//! both forms are pure functions of their inputs, so a schedule replays
+//! bit-identically across runs, machines, and CI legs.
+//!
+//! The module is shared by `tests/fleet_e2e.rs` (in-process fleets, faults
+//! applied through handles) and `difftune-loadtest --chaos` (child-process
+//! fleets, faults applied with signals), via `#[path]` includes. To stay
+//! includable from both it depends only on `std` and the vendored `rand`.
+//!
+//! The invariant every consumer asserts is determinism invariant #6 in its
+//! scripted, exhaustive form: because `/predict` bodies are pure functions
+//! of `(blocks, backend)`, the *pre-fault* and *post-fault* canonical bytes
+//! are the same bytes — so every client-visible response under any schedule
+//! must be byte-identical to a clean, fault-free baseline.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One kind of injectable fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// SIGKILL one upstream (in-process: drop its handle without shutdown).
+    KillUpstream,
+    /// SIGSTOP one upstream for a beat, then SIGCONT it — a stall, not a
+    /// death: the router's read timeout must fail over around it.
+    StallUpstream,
+    /// Overwrite one upstream's artifact dir with garbage, then broadcast
+    /// `POST /reload` — strict reload must refuse (409) and keep serving
+    /// the old registry.
+    CorruptReload,
+    /// `POST /rollout` on a router: quiesce/reload/verify each upstream in
+    /// turn while traffic continues.
+    Rollout,
+    /// Kill one router; clients move to a surviving router.
+    KillRouter,
+}
+
+impl FaultKind {
+    /// The spec-grammar name of this fault.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::KillUpstream => "kill",
+            FaultKind::StallUpstream => "stall",
+            FaultKind::CorruptReload => "corrupt",
+            FaultKind::Rollout => "rollout",
+            FaultKind::KillRouter => "kill-router",
+        }
+    }
+
+    fn parse(name: &str) -> Option<FaultKind> {
+        match name {
+            "kill" => Some(FaultKind::KillUpstream),
+            "stall" => Some(FaultKind::StallUpstream),
+            "corrupt" => Some(FaultKind::CorruptReload),
+            "rollout" => Some(FaultKind::Rollout),
+            "kill-router" => Some(FaultKind::KillRouter),
+            _ => None,
+        }
+    }
+}
+
+/// One fault, scheduled to fire after `at_request` requests have completed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fault {
+    /// What to inject.
+    pub kind: FaultKind,
+    /// Fires once the request with this (0-based) index has completed.
+    pub at_request: usize,
+}
+
+/// A deterministic, replayable list of faults, sorted by request index.
+#[derive(Debug, Clone)]
+pub struct ChaosSchedule {
+    /// The faults, sorted by `at_request` (stable for equal indices).
+    pub faults: Vec<Fault>,
+    /// Canonical spec string: parsing or printing it reproduces the
+    /// schedule exactly (`kill@24,rollout@40`).
+    pub spec: String,
+}
+
+impl ChaosSchedule {
+    /// Parses a schedule spec.
+    ///
+    /// Two forms:
+    ///
+    /// * explicit — comma-separated `FAULT@REQUEST` events, where FAULT is
+    ///   one of `kill`, `stall`, `corrupt`, `rollout`, `kill-router`:
+    ///   `kill@24,rollout@40`;
+    /// * seeded — `seed:<u64>[:<events>]` draws `events` (default 3) events
+    ///   from a seeded RNG over the first `total` requests.
+    ///
+    /// `total` bounds the request indices; an explicit event at or past it
+    /// is an error (it would never fire). `allow_router_kill` gates
+    /// `kill-router` events: seeded schedules never draw them when it is
+    /// false, and explicit ones are rejected (a single-router consumer
+    /// cannot survive applying one).
+    pub fn parse(
+        spec: &str,
+        total: usize,
+        allow_router_kill: bool,
+    ) -> Result<ChaosSchedule, String> {
+        if let Some(rest) = spec.strip_prefix("seed:") {
+            let mut parts = rest.splitn(2, ':');
+            let seed: u64 = parts
+                .next()
+                .unwrap_or("")
+                .parse()
+                .map_err(|_| format!("chaos spec {spec:?}: seed is not a u64"))?;
+            let events = match parts.next() {
+                None => 3,
+                Some(n) => n
+                    .parse::<usize>()
+                    .map_err(|_| format!("chaos spec {spec:?}: event count is not a number"))?,
+            };
+            return Ok(ChaosSchedule::from_seed(
+                seed,
+                events,
+                total,
+                allow_router_kill,
+            ));
+        }
+        let mut faults = Vec::new();
+        for token in spec.split(',') {
+            let token = token.trim();
+            if token.is_empty() {
+                continue;
+            }
+            let (name, at) = token
+                .split_once('@')
+                .ok_or_else(|| format!("chaos event {token:?}: expected FAULT@REQUEST"))?;
+            let kind = FaultKind::parse(name).ok_or_else(|| {
+                format!(
+                    "chaos event {token:?}: unknown fault {name:?} \
+                     (kill, stall, corrupt, rollout, kill-router)"
+                )
+            })?;
+            if kind == FaultKind::KillRouter && !allow_router_kill {
+                return Err(format!(
+                    "chaos event {token:?}: kill-router needs at least two routers"
+                ));
+            }
+            let at_request: usize = at
+                .parse()
+                .map_err(|_| format!("chaos event {token:?}: request index is not a number"))?;
+            if at_request >= total {
+                return Err(format!(
+                    "chaos event {token:?}: fires at request {at_request} but only \
+                     {total} requests are scheduled"
+                ));
+            }
+            faults.push(Fault { kind, at_request });
+        }
+        if faults.is_empty() {
+            return Err(format!("chaos spec {spec:?}: no events"));
+        }
+        faults.sort_by_key(|fault| fault.at_request);
+        let spec = canonical_spec(&faults);
+        Ok(ChaosSchedule { faults, spec })
+    }
+
+    /// Draws `events` faults from a seeded RNG, spread over the middle of
+    /// the run (`[total/8, 7*total/8)`) so every fault has pre-fault and
+    /// post-fault traffic to compare. Pure function of its arguments.
+    ///
+    /// `allow_router_kill` gates [`FaultKind::KillRouter`] so single-router
+    /// consumers can draw schedules they can actually apply.
+    pub fn from_seed(
+        seed: u64,
+        events: usize,
+        total: usize,
+        allow_router_kill: bool,
+    ) -> ChaosSchedule {
+        let mut rng = StdRng::seed_from_u64(0xc4a0_5000_0000_0000 ^ seed);
+        let lo = (total / 8).max(1);
+        let hi = (total * 7 / 8).max(lo + 1);
+        let menu: &[FaultKind] = if allow_router_kill {
+            &[
+                FaultKind::KillUpstream,
+                FaultKind::StallUpstream,
+                FaultKind::CorruptReload,
+                FaultKind::Rollout,
+                FaultKind::KillRouter,
+            ]
+        } else {
+            &[
+                FaultKind::KillUpstream,
+                FaultKind::StallUpstream,
+                FaultKind::CorruptReload,
+                FaultKind::Rollout,
+            ]
+        };
+        let mut faults = Vec::with_capacity(events.max(1));
+        let mut killed_router = false;
+        let mut disrupted_upstream = false;
+        for _ in 0..events.max(1) {
+            let mut kind = menu[rng.gen_range(0..menu.len())];
+            // At most one router death and one upstream *disruption* (kill
+            // OR stall) per schedule: a kill takes one upstream out for
+            // good and a stall freezes another for a window, so drawing
+            // both could leave a 2-upstream fleet with nothing alive to
+            // answer. Later draws degrade to rollouts, which any fleet
+            // survives.
+            if kind == FaultKind::KillRouter && killed_router {
+                kind = FaultKind::Rollout;
+            }
+            if matches!(kind, FaultKind::KillUpstream | FaultKind::StallUpstream)
+                && disrupted_upstream
+            {
+                kind = FaultKind::Rollout;
+            }
+            killed_router |= kind == FaultKind::KillRouter;
+            disrupted_upstream |=
+                matches!(kind, FaultKind::KillUpstream | FaultKind::StallUpstream);
+            faults.push(Fault {
+                kind,
+                at_request: rng.gen_range(lo..hi),
+            });
+        }
+        faults.sort_by_key(|fault| fault.at_request);
+        let spec = canonical_spec(&faults);
+        ChaosSchedule { faults, spec }
+    }
+
+    /// The faults that fire once request `request` has completed.
+    #[allow(dead_code)] // part of the shared harness API; not every consumer segments this way
+    pub fn faults_at(&self, request: usize) -> impl Iterator<Item = &Fault> {
+        self.faults
+            .iter()
+            .filter(move |fault| fault.at_request == request)
+    }
+
+    /// True when the schedule kills a router at some point.
+    #[allow(dead_code)] // part of the shared harness API
+    pub fn kills_a_router(&self) -> bool {
+        self.faults
+            .iter()
+            .any(|fault| fault.kind == FaultKind::KillRouter)
+    }
+}
+
+fn canonical_spec(faults: &[Fault]) -> String {
+    faults
+        .iter()
+        .map(|fault| format!("{}@{}", fault.kind.name(), fault.at_request))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_specs_round_trip_through_their_canonical_form() {
+        let schedule = ChaosSchedule::parse("rollout@40, kill@24", 64, true).unwrap();
+        assert_eq!(schedule.spec, "kill@24,rollout@40");
+        assert_eq!(
+            schedule.faults,
+            vec![
+                Fault {
+                    kind: FaultKind::KillUpstream,
+                    at_request: 24
+                },
+                Fault {
+                    kind: FaultKind::Rollout,
+                    at_request: 40
+                },
+            ]
+        );
+        let reparsed = ChaosSchedule::parse(&schedule.spec, 64, true).unwrap();
+        assert_eq!(reparsed.faults, schedule.faults);
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected_with_a_reason() {
+        for bad in [
+            "",
+            "kill",
+            "frobnicate@3",
+            "kill@banana",
+            "kill@64",
+            "seed:banana",
+        ] {
+            assert!(
+                ChaosSchedule::parse(bad, 64, true).is_err(),
+                "spec {bad:?} should not parse"
+            );
+        }
+        assert!(
+            ChaosSchedule::parse("kill-router@9", 64, false).is_err(),
+            "explicit router kills need a second router"
+        );
+    }
+
+    #[test]
+    fn seeded_schedules_replay_bit_identically() {
+        let a = ChaosSchedule::parse("seed:42:4", 64, true).unwrap();
+        let b = ChaosSchedule::from_seed(42, 4, 64, true);
+        assert_eq!(a.faults, b.faults);
+        assert_eq!(a.spec, b.spec);
+        let c = ChaosSchedule::from_seed(43, 4, 64, true);
+        assert_ne!(a.spec, c.spec, "different seeds draw different schedules");
+    }
+
+    #[test]
+    fn seeded_schedules_stay_survivable_and_inside_the_run() {
+        for seed in 0..200u64 {
+            let schedule = ChaosSchedule::from_seed(seed, 5, 64, true);
+            assert!(schedule.faults.len() == 5);
+            let disruptions = schedule
+                .faults
+                .iter()
+                .filter(|fault| {
+                    matches!(
+                        fault.kind,
+                        FaultKind::KillUpstream | FaultKind::StallUpstream
+                    )
+                })
+                .count();
+            let router_kills = schedule
+                .faults
+                .iter()
+                .filter(|fault| fault.kind == FaultKind::KillRouter)
+                .count();
+            // Kills and stalls share one budget: a kill plus a stall could
+            // leave a 2-upstream fleet with zero live upstreams.
+            assert!(
+                disruptions <= 1,
+                "seed {seed} disrupts {disruptions} upstreams"
+            );
+            assert!(
+                router_kills <= 1,
+                "seed {seed} kills {router_kills} routers"
+            );
+            for fault in &schedule.faults {
+                assert!(fault.at_request >= 8 && fault.at_request < 56);
+            }
+            let no_router = ChaosSchedule::from_seed(seed, 5, 64, false);
+            assert!(!no_router.kills_a_router());
+        }
+    }
+}

@@ -1,0 +1,618 @@
+//! Fleet-level end-to-end tests: multi-router deployments, rolling
+//! restarts, request coalescing, and the deterministic chaos harness.
+//!
+//! `tests/router_e2e.rs` proves determinism invariant #6 for one router;
+//! this suite extends it to the full fleet story. Because the hash ring is
+//! a pure function of `(upstream addresses, vnodes)`, N shared-nothing
+//! routers over the same upstream set agree on every routing decision with
+//! no coordination — so `/predict` bytes must be identical through *any*
+//! router, while a rolling restart is in flight, and across a scripted
+//! chaos schedule (`tests/chaos/mod.rs`) that kills an upstream, corrupts
+//! artifacts, and kills a router mid-sequence. The chaos schedules are
+//! seeded and replay bit-identically, which makes every failure in this
+//! file reproducible from its test name alone.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Barrier;
+use std::time::Duration;
+
+use difftune_bench::record::{fingerprint_table, MatrixRecord, MATRIX_SCHEMA};
+use difftune_repro::cpu::{default_params, Microarch};
+use difftune_repro::sim::SimParams;
+use difftune_router::server::{spawn_router, RouterConfig};
+use difftune_router::RouterHandle;
+use difftune_serve::backend::{BackendRegistry, ReloadSpec};
+use difftune_serve::client::HttpClient;
+use difftune_serve::server::{spawn, ServeConfig, ServerHandle};
+
+#[path = "chaos/mod.rs"]
+mod chaos;
+
+use chaos::{ChaosSchedule, FaultKind};
+
+/// A fresh per-test artifact directory under the temp dir.
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("difftune-fleet-{}-{name}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("temp dir is writable");
+    dir
+}
+
+/// A learned-looking table: the Haswell defaults with a deterministic nudge.
+fn perturbed_table(nudge: u32) -> SimParams {
+    let mut table = default_params(Microarch::Haswell);
+    table.per_inst[3].write_latency += nudge;
+    table.per_inst[11].port_map[1] += nudge;
+    table.dispatch_width += 1;
+    table
+}
+
+/// Writes a fingerprint-consistent `mca:haswell:llvm_mca` cell into `dir`.
+fn write_matrix_cell(dir: &Path, nudge: u32) -> SimParams {
+    let table = perturbed_table(nudge);
+    let record = MatrixRecord {
+        schema: MATRIX_SCHEMA.to_string(),
+        cell: "mca:haswell:llvm_mca".to_string(),
+        simulator: "mca".to_string(),
+        uarch: "haswell".to_string(),
+        spec: "llvm_mca".to_string(),
+        scale: "smoke".to_string(),
+        seed: 7,
+        train_blocks: 1,
+        heldout_blocks: 1,
+        simulated_samples: 1,
+        num_learned_parameters: 1,
+        default_mape: 0.3,
+        default_tau: 0.7,
+        learned_mape: 0.25,
+        learned_tau: 0.75,
+        surrogate_mape: None,
+        surrogate_tau: None,
+        surrogate_vs_sim_mape: None,
+        surrogate_vs_sim_tau: None,
+        surrogate_fingerprint: None,
+        surrogate_blocks_per_second: None,
+        simulator_blocks_per_second: None,
+        by_category: Vec::new(),
+        table_fingerprint: fingerprint_table(&table),
+        learned_table: table.to_flat(),
+    };
+    fs::write(dir.join(record.file_name()), record.to_json()).expect("record writes");
+    table
+}
+
+/// One upstream: defaults plus the matrix cell in `dir`, reloadable from
+/// `dir`, with a short idle timeout so shutdowns never wait on the routers'
+/// pooled keep-alive connections.
+fn spawn_upstream(dir: &Path) -> ServerHandle {
+    let mut registry = BackendRegistry::with_defaults();
+    registry.add_matrix_dir(dir).expect("matrix dir loads");
+    spawn(
+        ServeConfig {
+            shards: 2,
+            read_timeout: Duration::from_millis(300),
+            reload_spec: Some(ReloadSpec {
+                defaults: true,
+                table_dirs: vec![dir.to_path_buf()],
+                checkpoints: Vec::new(),
+                error_budget: 0.0,
+                cell_budgets: Vec::new(),
+            }),
+            ..ServeConfig::default()
+        },
+        registry,
+    )
+    .expect("upstream binds an ephemeral port")
+}
+
+/// A router over the given upstream handles, tuned for fast tests.
+fn spawn_fleet_router(upstreams: &[ServerHandle]) -> RouterHandle {
+    spawn_router(RouterConfig {
+        upstreams: upstreams
+            .iter()
+            .map(|handle| handle.addr().to_string())
+            .collect(),
+        read_timeout: Duration::from_millis(300),
+        upstream_timeout: Duration::from_secs(5),
+        health_interval: Duration::from_millis(50),
+        ..RouterConfig::default()
+    })
+    .expect("router binds an ephemeral port")
+}
+
+/// The request sequence: every backend source, singles and batches, plus a
+/// malformed body (error bytes must round-trip through the proxy too),
+/// cycled out to `total` requests.
+fn request_sequence(total: usize) -> Vec<&'static str> {
+    let bodies = [
+        r#"{"block": "addq %rax, %rbx"}"#,
+        r#"{"block": "addq %rax, %rbx", "source": "default"}"#,
+        r#"{"blocks": ["addq %rax, %rbx", "mulsd %xmm1, %xmm2", "xorl %eax, %eax"], "source": "matrix"}"#,
+        r#"{"block": "addq %rbx, %rcx", "sim": "uop", "uarch": "skylake"}"#,
+        r#"{"blocks": ["mulsd %xmm1, %xmm2"], "sim": "mca", "uarch": "zen2"}"#,
+        r#"{"block": "frobnicate %zz9"}"#,
+    ];
+    (0..total).map(|i| bodies[i % bodies.len()]).collect()
+}
+
+/// Posts every body in order; returns `(status, body)` pairs so error
+/// responses are compared byte-for-byte as well.
+fn post_all(client: &mut HttpClient, bodies: &[&str]) -> Vec<(u16, String)> {
+    bodies
+        .iter()
+        .map(|body| {
+            let response = client
+                .post_json("/predict", body)
+                .expect("request succeeds");
+            (response.status, response.body_text())
+        })
+        .collect()
+}
+
+/// The canonical stream from one direct `difftune-serve`, the reference
+/// every routed stream must equal byte-for-byte.
+fn direct_reference(dir: &Path, bodies: &[&str]) -> Vec<(u16, String)> {
+    let handle = spawn_upstream(dir);
+    let mut client = HttpClient::connect(&handle.addr().to_string()).expect("connects");
+    let reference = post_all(&mut client, bodies);
+    drop(client);
+    handle.shutdown();
+    reference
+}
+
+#[test]
+fn every_router_in_a_fleet_serves_byte_identical_predictions() {
+    let dir = fresh_dir("any-router");
+    write_matrix_cell(&dir, 2);
+    let bodies = request_sequence(12);
+    let reference = direct_reference(&dir, &bodies);
+    assert!(reference.iter().any(|(status, _)| *status != 200));
+
+    // 3 upstreams, 3 shared-nothing routers over the same addresses.
+    let upstreams: Vec<ServerHandle> = (0..3).map(|_| spawn_upstream(&dir)).collect();
+    let routers: Vec<RouterHandle> = (0..3).map(|_| spawn_fleet_router(&upstreams)).collect();
+
+    for (index, router) in routers.iter().enumerate() {
+        let mut client = HttpClient::connect(&router.addr().to_string()).expect("connects");
+        let cold = post_all(&mut client, &bodies);
+        assert_eq!(
+            cold, reference,
+            "router {index}: routed bytes diverged from direct serving"
+        );
+        let warm = post_all(&mut client, &bodies);
+        assert_eq!(warm, reference, "router {index}: warm caches changed bytes");
+        // The /v1 alias proxies byte-identically through any replica too.
+        let v1: Vec<(u16, String)> = bodies
+            .iter()
+            .map(|body| {
+                let response = client
+                    .post_json("/v1/predict", body)
+                    .expect("request succeeds");
+                (response.status, response.body_text())
+            })
+            .collect();
+        assert_eq!(v1, reference, "router {index}: /v1/predict diverged");
+    }
+
+    for router in routers {
+        router.shutdown();
+    }
+    for upstream in upstreams {
+        upstream.shutdown();
+    }
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn a_rollout_under_load_completes_with_zero_failed_requests() {
+    let dir = fresh_dir("rollout");
+    write_matrix_cell(&dir, 2);
+    let bodies = request_sequence(6);
+    let reference = direct_reference(&dir, &bodies);
+
+    let upstreams: Vec<ServerHandle> = (0..3).map(|_| spawn_upstream(&dir)).collect();
+    let router = spawn_fleet_router(&upstreams);
+    let router_addr = router.addr().to_string();
+
+    // Closed-loop traffic hammers the router for the whole rollout; every
+    // response must be a 200-or-canonical-error byte-identical to direct
+    // serving — zero failures, zero divergence.
+    let stop = AtomicBool::new(false);
+    let served = AtomicUsize::new(0);
+    let rollout_body = std::thread::scope(|scope| {
+        let traffic: Vec<_> = (0..2)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut client = HttpClient::connect(&router_addr).expect("traffic connects");
+                    while !stop.load(Ordering::Relaxed) {
+                        for (index, body) in bodies.iter().enumerate() {
+                            let response = client
+                                .post_json("/predict", body)
+                                .expect("request survives the rollout");
+                            assert_eq!(
+                                (response.status, response.body_text()),
+                                reference[index].clone(),
+                                "request diverged mid-rollout"
+                            );
+                            served.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                })
+            })
+            .collect();
+
+        // Let the traffic warm up, then roll the whole fleet.
+        while served.load(Ordering::Relaxed) < bodies.len() {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let mut client = HttpClient::connect(&router_addr).expect("connects");
+        let response = client
+            .request("POST", "/rollout", b"")
+            .expect("rollout answers");
+        assert_eq!(response.status, 200, "{}", response.body_text());
+        stop.store(true, Ordering::Relaxed);
+        for handle in traffic {
+            handle.join().expect("traffic thread survives");
+        }
+        response.body_text()
+    });
+
+    assert!(
+        rollout_body.contains("\"status\":\"completed\""),
+        "{rollout_body}"
+    );
+    for upstream in &upstreams {
+        let addr = upstream.addr().to_string();
+        assert!(
+            rollout_body.contains(&addr),
+            "every upstream reports progress: {rollout_body}"
+        );
+    }
+    assert_eq!(
+        rollout_body.matches("\"status\":\"ok\"").count(),
+        3,
+        "all three upstreams rolled: {rollout_body}"
+    );
+    assert!(
+        rollout_body.contains("\"quiesced\"") && rollout_body.contains("\"verified\""),
+        "structured per-upstream steps: {rollout_body}"
+    );
+
+    // The fleet is fully back in rotation and still byte-identical.
+    let mut client = HttpClient::connect(&router_addr).expect("connects");
+    wait_for_healthy_upstreams(&mut client, 3);
+    assert_eq!(post_all(&mut client, &bodies), reference);
+
+    drop(client);
+    router.shutdown();
+    for upstream in upstreams {
+        upstream.shutdown();
+    }
+    fs::remove_dir_all(&dir).ok();
+}
+
+/// Polls `/metrics` until the router reports `count` healthy upstreams.
+fn wait_for_healthy_upstreams(client: &mut HttpClient, count: usize) {
+    let needle = format!("difftune_router_healthy_upstreams {count}");
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        let metrics = client.get("/metrics").expect("answers").body_text();
+        if metrics.contains(&needle) {
+            return;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "the router never reported {count} healthy upstreams: {metrics}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// Overwrites every artifact in `dir` with garbage, so the next strict
+/// reload must refuse and keep the old registry serving.
+fn corrupt_artifacts(dir: &Path) {
+    for entry in fs::read_dir(dir).expect("artifact dir lists") {
+        let path = entry.expect("artifact dir lists").path();
+        if path.is_file() {
+            fs::write(&path, b"this is not a difftune artifact").expect("corruption writes");
+        }
+    }
+}
+
+#[test]
+fn an_aborted_rollout_leaves_every_upstream_healthy_and_serving() {
+    let dir = fresh_dir("abort");
+    write_matrix_cell(&dir, 2);
+    let bodies = request_sequence(6);
+    let reference = direct_reference(&dir, &bodies);
+
+    let upstreams: Vec<ServerHandle> = (0..3).map(|_| spawn_upstream(&dir)).collect();
+    let router = spawn_fleet_router(&upstreams);
+    let mut client = HttpClient::connect(&router.addr().to_string()).expect("connects");
+    assert_eq!(post_all(&mut client, &bodies), reference);
+
+    // Corrupt the artifacts: the first upstream's reload refuses (strict
+    // reload keeps its old registry), and the rollout must abort there —
+    // never touching the remaining upstreams.
+    corrupt_artifacts(&dir);
+    let response = client
+        .request("POST", "/rollout", b"")
+        .expect("rollout answers");
+    let body = response.body_text();
+    assert_eq!(response.status, 502, "{body}");
+    assert!(body.contains("\"status\":\"aborted\""), "{body}");
+    assert!(body.contains("reload refused"), "{body}");
+    assert_eq!(
+        body.matches("\"status\":\"skipped\"").count(),
+        2,
+        "the rollout stopped at the first failure: {body}"
+    );
+
+    // Abort-on-first-failure leaves the fleet serving: all three upstreams
+    // stay in rotation and the bytes never changed.
+    wait_for_healthy_upstreams(&mut client, 3);
+    assert_eq!(
+        post_all(&mut client, &bodies),
+        reference,
+        "an aborted rollout changed routed bytes"
+    );
+
+    drop(client);
+    router.shutdown();
+    for upstream in upstreams {
+        upstream.shutdown();
+    }
+    fs::remove_dir_all(&dir).ok();
+}
+
+/// The in-process fleet a chaos schedule runs against. Killed upstreams
+/// and routers leave `None` holes so indices stay stable mid-schedule.
+struct ChaosFleet {
+    dir: PathBuf,
+    upstreams: Vec<Option<ServerHandle>>,
+    routers: Vec<Option<RouterHandle>>,
+    active_router: usize,
+}
+
+impl ChaosFleet {
+    fn router_addr(&self) -> String {
+        self.routers[self.active_router]
+            .as_ref()
+            .expect("the active router is alive")
+            .addr()
+            .to_string()
+    }
+
+    /// Applies one fault with its in-process analog. `StallUpstream` has no
+    /// in-process analog (threads cannot be SIGSTOPped); seeds are chosen
+    /// below so schedules never draw it — the loadtest binary covers stalls
+    /// against real child processes.
+    fn apply(&mut self, kind: FaultKind, client: &mut HttpClient) {
+        match kind {
+            FaultKind::KillUpstream => {
+                let victim = self
+                    .upstreams
+                    .iter()
+                    .position(Option::is_some)
+                    .expect("an upstream is still alive");
+                self.upstreams[victim]
+                    .take()
+                    .expect("victim is alive")
+                    .shutdown();
+            }
+            FaultKind::StallUpstream => {
+                unreachable!("stall has no in-process analog; seeds exclude it")
+            }
+            FaultKind::CorruptReload => {
+                corrupt_artifacts(&self.dir);
+                // The broadcast reload must refuse on every live upstream
+                // and keep the old registries serving.
+                let response = client
+                    .request("POST", "/reload", b"")
+                    .expect("reload answers");
+                assert_ne!(
+                    response.status,
+                    200,
+                    "a corrupt reload must refuse: {}",
+                    response.body_text()
+                );
+            }
+            FaultKind::Rollout => {
+                // After a corrupt fault the rollout aborts; before one it
+                // completes. Either way it must answer and leave the fleet
+                // serving — the byte assertions below are the real check.
+                client
+                    .request("POST", "/rollout", b"")
+                    .expect("rollout answers");
+            }
+            FaultKind::KillRouter => {
+                self.routers[self.active_router]
+                    .take()
+                    .expect("active router is alive")
+                    .shutdown();
+                self.active_router = self
+                    .routers
+                    .iter()
+                    .position(Option::is_some)
+                    .expect("a router survives");
+                *client = HttpClient::connect(&self.router_addr()).expect("reconnects");
+            }
+        }
+    }
+}
+
+#[test]
+fn a_seeded_chaos_schedule_replays_byte_identically() {
+    let total = 24usize;
+    // The smallest seed whose 4-event draw has no stall (no in-process
+    // analog) and at most one upstream kill — deterministic, so the chosen
+    // schedule is as reproducible as a hard-coded one.
+    let seed = (0u64..)
+        .find(|&seed| {
+            ChaosSchedule::from_seed(seed, 4, total, true)
+                .faults
+                .iter()
+                .all(|fault| fault.kind != FaultKind::StallUpstream)
+        })
+        .expect("some seed avoids stalls");
+    let schedule = ChaosSchedule::from_seed(seed, 4, total, true);
+
+    // The schedule replays bit-identically: its canonical spec reparses to
+    // the same faults, twice.
+    let reparsed =
+        ChaosSchedule::parse(&schedule.spec, total, true).expect("canonical spec parses");
+    assert_eq!(reparsed.faults, schedule.faults);
+    assert_eq!(
+        ChaosSchedule::from_seed(seed, 4, total, true).faults,
+        schedule.faults
+    );
+
+    let dir = fresh_dir("chaos");
+    write_matrix_cell(&dir, 2);
+    let bodies = request_sequence(total);
+    let reference = direct_reference(&dir, &bodies);
+
+    let mut fleet = ChaosFleet {
+        upstreams: (0..3).map(|_| Some(spawn_upstream(&dir))).collect(),
+        routers: Vec::new(),
+        active_router: 0,
+        dir: dir.clone(),
+    };
+    fleet.routers = (0..2)
+        .map(|_| {
+            let upstreams: Vec<String> = fleet
+                .upstreams
+                .iter()
+                .map(|slot| slot.as_ref().expect("alive").addr().to_string())
+                .collect();
+            Some(
+                spawn_router(RouterConfig {
+                    upstreams,
+                    read_timeout: Duration::from_millis(300),
+                    upstream_timeout: Duration::from_secs(5),
+                    health_interval: Duration::from_millis(50),
+                    ..RouterConfig::default()
+                })
+                .expect("router binds"),
+            )
+        })
+        .collect();
+
+    let mut client = HttpClient::connect(&fleet.router_addr()).expect("connects");
+
+    // Clean baseline through the router, then the same requests with the
+    // schedule's faults injected at their request boundaries. Invariant #6
+    // in scripted form: pre-fault and post-fault canonical bytes are the
+    // same bytes, so the chaos pass must equal both the baseline and the
+    // direct reference.
+    let baseline = post_all(&mut client, &bodies);
+    assert_eq!(baseline, reference);
+
+    let mut streamed: Vec<(u16, String)> = Vec::with_capacity(total);
+    let mut next = 0usize;
+    for fault in &schedule.faults {
+        let boundary = (fault.at_request + 1).min(total);
+        if boundary > next {
+            streamed.extend(post_all(&mut client, &bodies[next..boundary]));
+            next = boundary;
+        }
+        fleet.apply(fault.kind, &mut client);
+    }
+    if next < total {
+        streamed.extend(post_all(&mut client, &bodies[next..]));
+    }
+    assert_eq!(
+        streamed, reference,
+        "chaos schedule [{}] (seed {seed}) changed client-visible bytes",
+        schedule.spec
+    );
+
+    // A full replay over the degraded fleet is still byte-identical.
+    let replay = post_all(&mut client, &bodies);
+    assert_eq!(
+        replay, reference,
+        "the post-chaos replay diverged under schedule [{}]",
+        schedule.spec
+    );
+
+    drop(client);
+    for router in fleet.routers.iter_mut().filter_map(Option::take) {
+        router.shutdown();
+    }
+    for upstream in fleet.upstreams.iter_mut().filter_map(Option::take) {
+        upstream.shutdown();
+    }
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn identical_inflight_requests_coalesce_into_one_upstream_call() {
+    let dir = fresh_dir("coalesce");
+    write_matrix_cell(&dir, 2);
+
+    let upstreams: Vec<ServerHandle> = (0..2).map(|_| spawn_upstream(&dir)).collect();
+    let router = spawn_fleet_router(&upstreams);
+    let router_addr = router.addr().to_string();
+    let mut metrics_client = HttpClient::connect(&router_addr).expect("connects");
+
+    // Rounds of C connections racing one *cold* body each (a barrier aligns
+    // the sends), until the router reports a coalesced request. Responses
+    // across colliding connections must agree byte-for-byte every round.
+    let connections = 4usize;
+    let mut coalesced = 0u64;
+    for round in 0..200usize {
+        let body = format!(
+            r#"{{"blocks": ["addq ${round}, %rbx", "mulsd %xmm1, %xmm2", "addq ${round}, %rcx", "xorl %eax, %eax"], "source": "matrix"}}"#
+        );
+        let barrier = Barrier::new(connections);
+        let responses: Vec<(u16, String)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..connections)
+                .map(|_| {
+                    let body = &body;
+                    let barrier = &barrier;
+                    let router_addr = &router_addr;
+                    scope.spawn(move || {
+                        let mut client = HttpClient::connect(router_addr).expect("connects");
+                        barrier.wait();
+                        let response = client.post_json("/predict", body).expect("answers");
+                        (response.status, response.body_text())
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| handle.join().expect("collider survives"))
+                .collect()
+        });
+        for response in &responses[1..] {
+            assert_eq!(
+                response, &responses[0],
+                "colliding connections saw different bytes in round {round}"
+            );
+        }
+        assert_eq!(responses[0].0, 200);
+
+        let metrics = metrics_client.get("/metrics").expect("answers").body_text();
+        coalesced = metrics
+            .lines()
+            .find_map(|line| line.strip_prefix("difftune_router_coalesced_total "))
+            .and_then(|value| value.trim().parse().ok())
+            .expect("the router exports difftune_router_coalesced_total");
+        if coalesced > 0 {
+            break;
+        }
+    }
+    assert!(
+        coalesced > 0,
+        "200 rounds of {connections} colliding connections never coalesced"
+    );
+
+    drop(metrics_client);
+    router.shutdown();
+    for upstream in upstreams {
+        upstream.shutdown();
+    }
+    fs::remove_dir_all(&dir).ok();
+}

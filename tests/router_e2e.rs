@@ -111,6 +111,7 @@ fn spawn_upstream(dir: &Path) -> ServerHandle {
                 table_dirs: vec![dir.to_path_buf()],
                 checkpoints: Vec::new(),
                 error_budget: 0.0,
+                cell_budgets: Vec::new(),
             }),
             ..ServeConfig::default()
         },

@@ -495,6 +495,7 @@ fn serve_reloadable(dir: &std::path::Path) -> ServerHandle {
                 table_dirs: vec![dir.to_path_buf()],
                 checkpoints: Vec::new(),
                 error_budget: 0.0,
+                cell_budgets: Vec::new(),
             }),
             ..ServeConfig::default()
         },
